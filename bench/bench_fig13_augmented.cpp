@@ -1,0 +1,87 @@
+// Figure 13: Augmented Computing scenario — inference accuracy under a
+// fixed latency SLO of 140 ms, sweeping bandwidth (50-400 Mbps) for each
+// network delay in {100, 75, 50, 25, 5} ms. A cell holds the method's
+// accuracy when it satisfies the SLO and "-" when it cannot (the paper's
+// missing dots).
+#include "baselines/adcnn.h"
+#include "baselines/neurosurgeon.h"
+#include "bench_util.h"
+#include "netsim/scenario.h"
+
+using namespace murmur;
+
+namespace {
+
+constexpr double kLatencySloMs = 140.0;
+
+struct Method {
+  std::string name;
+  const supernet::FixedModelProfile* model = nullptr;  // null => Murmuration
+  bool adcnn = false;
+};
+
+std::vector<Method> methods() {
+  return {
+      {"Neurosurgeon+MobileNetV3", &supernet::mobilenet_v3_large(), false},
+      {"Neurosurgeon+Resnet50", &supernet::resnet50(), false},
+      {"Neurosurgeon+Inception", &supernet::inception_v3(), false},
+      {"Neurosurgeon+DenseNet161", &supernet::densenet161(), false},
+      {"Neurosurgeon+Resnext101", &supernet::resnext101_32x8d(), false},
+      {"ADCNN+MobileNetV3", &supernet::mobilenet_v3_large(), true},
+      {"ADCNN+Resnet50", &supernet::resnet50(), true},
+      {"Murmuration(ours)", nullptr, false},
+  };
+}
+
+}  // namespace
+
+int main() {
+  const auto art = bench::murmuration_artifacts(
+      netsim::Scenario::kAugmentedComputing, core::SloType::kLatency);
+  Rng rng(2024);
+
+  for (double delay : {100.0, 75.0, 50.0, 25.0, 5.0}) {
+    std::vector<std::string> cols = {"method"};
+    for (double bw : bench::augmented_bandwidths())
+      cols.push_back(std::to_string(static_cast<int>(bw)) + "Mbps");
+    Table t(cols, 1);
+
+    for (const auto& m : methods()) {
+      t.new_row().add(m.name);
+      for (double bw : bench::augmented_bandwidths()) {
+        netsim::Network net = netsim::make_augmented_computing();
+        netsim::shape_remotes(net, Bandwidth::from_mbps(bw),
+                              Delay::from_ms(delay));
+        double accuracy = 0.0, latency = 0.0;
+        if (m.model && m.adcnn) {
+          const baselines::Adcnn adcnn(*m.model, net);
+          latency = adcnn.latency().latency_ms;
+          accuracy = adcnn.accuracy();
+        } else if (m.model) {
+          const baselines::Neurosurgeon ns(*m.model, net);
+          latency = ns.best_split().latency_ms;
+          accuracy = ns.accuracy();
+        } else {
+          const auto d = bench::murmuration_decide(
+              art, core::Slo::latency_ms(kLatencySloMs), net.conditions(), rng);
+          latency = d.predicted.latency_ms;
+          accuracy = d.predicted.accuracy;
+        }
+        if (latency <= kLatencySloMs)
+          t.add(accuracy);
+        else
+          t.add_blank();
+      }
+    }
+    bench::emit("fig13a_delay" + std::to_string(static_cast<int>(delay)),
+                "Accuracy @ latency SLO 140 ms, network delay " +
+                    std::to_string(static_cast<int>(delay)) + " ms",
+                t);
+  }
+  std::printf(
+      "\nExpected shape (paper Fig 13): DenseNet161/Resnext101 never meet the "
+      "SLO;\nResNet50/Inception only at low delay + high bandwidth; "
+      "Murmuration covers\nevery cell, with accuracy rising with bandwidth "
+      "and beating the satisfiable\nbaselines by up to ~5%%.\n");
+  return 0;
+}

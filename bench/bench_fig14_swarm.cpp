@@ -1,0 +1,84 @@
+// Figure 14: Device Swarm scenario — inference accuracy for different
+// latency SLOs {2000, 1000, 600, 500, 400} ms and bandwidths (5-500 Mbps)
+// at a fixed 20 ms network delay. Cells hold accuracy when the SLO is met.
+#include "baselines/adcnn.h"
+#include "baselines/neurosurgeon.h"
+#include "bench_util.h"
+#include "netsim/scenario.h"
+
+using namespace murmur;
+
+namespace {
+
+struct Method {
+  std::string name;
+  const supernet::FixedModelProfile* model = nullptr;  // null => Murmuration
+  bool adcnn = false;
+};
+
+std::vector<Method> methods() {
+  return {
+      {"ADCNN+MobileNetV3", &supernet::mobilenet_v3_large(), true},
+      {"ADCNN+Resnet50", &supernet::resnet50(), true},
+      {"ADCNN+Densenet161", &supernet::densenet161(), true},
+      {"ADCNN+Resnext101_32x8d", &supernet::resnext101_32x8d(), true},
+      {"Neurosurgeon+MobileNetV3", &supernet::mobilenet_v3_large(), false},
+      {"Neurosurgeon+Resnet50", &supernet::resnet50(), false},
+      {"Murmuration(ours)", nullptr, false},
+  };
+}
+
+}  // namespace
+
+int main() {
+  const auto art = bench::murmuration_artifacts(netsim::Scenario::kDeviceSwarm,
+                                                core::SloType::kLatency);
+  Rng rng(2025);
+  constexpr double kDelayMs = 20.0;
+
+  for (double slo : {2000.0, 1000.0, 600.0, 500.0, 400.0}) {
+    std::vector<std::string> cols = {"method"};
+    for (double bw : bench::swarm_bandwidths())
+      cols.push_back(std::to_string(static_cast<int>(bw)) + "Mbps");
+    Table t(cols, 1);
+
+    for (const auto& m : methods()) {
+      t.new_row().add(m.name);
+      for (double bw : bench::swarm_bandwidths()) {
+        netsim::Network net = netsim::make_device_swarm();
+        netsim::shape_remotes(net, Bandwidth::from_mbps(bw),
+                              Delay::from_ms(kDelayMs));
+        double accuracy = 0.0, latency = 0.0;
+        if (m.model && m.adcnn) {
+          const baselines::Adcnn adcnn(*m.model, net);
+          latency = adcnn.latency().latency_ms;
+          accuracy = adcnn.accuracy();
+        } else if (m.model) {
+          // Neurosurgeon on the swarm: local Pi + one remote Pi.
+          const baselines::Neurosurgeon ns(*m.model, net);
+          latency = ns.best_split().latency_ms;
+          accuracy = ns.accuracy();
+        } else {
+          const auto d = bench::murmuration_decide(
+              art, core::Slo::latency_ms(slo), net.conditions(), rng);
+          latency = d.predicted.latency_ms;
+          accuracy = d.predicted.accuracy;
+        }
+        if (latency <= slo)
+          t.add(accuracy);
+        else
+          t.add_blank();
+      }
+    }
+    bench::emit("fig14_slo" + std::to_string(static_cast<int>(slo)),
+                "Accuracy @ latency SLO " + std::to_string(static_cast<int>(slo)) +
+                    " ms, delay 20 ms (device swarm)",
+                t);
+  }
+  std::printf(
+      "\nExpected shape (paper Fig 14): at 2000 ms nearly everything "
+      "qualifies and\nMurmuration sits at the top (~78%%); as the SLO "
+      "tightens the heavy ADCNN\nmodels drop out and Murmuration keeps "
+      "covering the low-bandwidth cells.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Figure 15: Augmented Computing scenario with *accuracy* as the SLO —
+// inference latency achieved under accuracy constraints 72.5-78%, one
+// table per bandwidth in {50..400} Mbps (delay fixed at 10 ms). A cell
+// holds the method's latency when it can reach the required accuracy.
+#include "baselines/neurosurgeon.h"
+#include "bench_util.h"
+#include "netsim/scenario.h"
+
+using namespace murmur;
+
+namespace {
+
+constexpr double kDelayMs = 10.0;
+
+const std::vector<double>& accuracy_slos() {
+  static const std::vector<double> v = {72.5, 73.5, 74.5, 75.5,
+                                        76.5, 77.5, 78.0};
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  const auto art = bench::murmuration_artifacts(
+      netsim::Scenario::kAugmentedComputing, core::SloType::kAccuracy);
+  Rng rng(2026);
+
+  const std::vector<std::pair<std::string, const supernet::FixedModelProfile*>>
+      baselines = {
+          {"Neurosurgeon+MobileNetV3", &supernet::mobilenet_v3_large()},
+          {"Neurosurgeon+Resnet50", &supernet::resnet50()},
+          {"Neurosurgeon+Inception", &supernet::inception_v3()},
+          {"Neurosurgeon+DenseNet161", &supernet::densenet161()},
+          {"Neurosurgeon+Resnext101", &supernet::resnext101_32x8d()},
+      };
+
+  for (double bw : bench::augmented_bandwidths()) {
+    std::vector<std::string> cols = {"method"};
+    for (double a : accuracy_slos()) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "acc>=%.1f", a);
+      cols.emplace_back(buf);
+    }
+    Table t(cols, 1);
+
+    netsim::Network net = netsim::make_augmented_computing();
+    netsim::shape_remotes(net, Bandwidth::from_mbps(bw),
+                          Delay::from_ms(kDelayMs));
+
+    for (const auto& [name, model] : baselines) {
+      t.new_row().add(name);
+      const baselines::Neurosurgeon ns(*model, net);
+      const double latency = ns.best_split().latency_ms;
+      for (double a : accuracy_slos()) {
+        if (model->top1_accuracy >= a)
+          t.add(latency);
+        else
+          t.add_blank();
+      }
+    }
+
+    t.new_row().add("Murmuration(ours)");
+    for (double a : accuracy_slos()) {
+      const auto d = bench::murmuration_decide(
+          art, core::Slo::accuracy_pct(a), net.conditions(), rng);
+      if (d.predicted.accuracy >= a)
+        t.add(d.predicted.latency_ms);
+      else
+        t.add_blank();
+    }
+
+    bench::emit("fig15_bw" + std::to_string(static_cast<int>(bw)),
+                "Latency (ms) under accuracy SLOs @ " +
+                    std::to_string(static_cast<int>(bw)) + " Mbps (lower is "
+                    "better; '-' = accuracy unreachable)",
+                t);
+  }
+  std::printf(
+      "\nExpected shape (paper Fig 15): Murmuration's latency rises as the "
+      "accuracy\nconstraint tightens and falls as bandwidth grows; at high "
+      "accuracy bounds it\nundercuts the only satisfiable fixed baselines by "
+      "a large factor (paper: up to 6.7x).\n");
+  return 0;
+}

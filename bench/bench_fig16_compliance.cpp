@@ -1,0 +1,131 @@
+// Figure 16: SLO compliance rate comparison.
+//  (a) Augmented Computing @ 75% accuracy SLO, latency SLO in
+//      {100, 120, 140} ms, over 40 network settings (delay 5-100 ms x
+//      bandwidth 50-400 Mbps).
+//  (b) Device Swarm @ 74% accuracy SLO, latency SLO in {600, 1000} ms,
+//      over 9 settings (delay 20 ms, bandwidth 5-500 Mbps).
+// Compliance = fraction of settings where BOTH the latency and the
+// accuracy bound hold.
+#include "baselines/adcnn.h"
+#include "baselines/neurosurgeon.h"
+#include "bench_util.h"
+#include "netsim/scenario.h"
+
+using namespace murmur;
+
+namespace {
+
+bool complies(double latency, double accuracy, double lat_slo,
+              double acc_slo) {
+  return latency <= lat_slo && accuracy >= acc_slo;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(2027);
+
+  // ---------------------------------------------------------- panel (a) --
+  {
+    const auto art = bench::murmuration_artifacts(
+        netsim::Scenario::kAugmentedComputing, core::SloType::kLatency);
+    constexpr double kAccSlo = 75.0;
+    const std::vector<double> delays = {5, 25, 50, 75, 100};
+    Table t({"method", "SLO=100ms", "SLO=120ms", "SLO=140ms"}, 1);
+
+    struct Row {
+      std::string name;
+      const supernet::FixedModelProfile* model;
+    };
+    const std::vector<Row> rows = {
+        {"NeuroSurgeon+Resnet50", &supernet::resnet50()},
+        {"Neurosurgeon+Inception", &supernet::inception_v3()},
+        {"Murmuration(ours)", nullptr},
+    };
+    for (const auto& row : rows) {
+      t.new_row().add(row.name);
+      for (double lat_slo : {100.0, 120.0, 140.0}) {
+        int ok = 0, n = 0;
+        for (double delay : delays) {
+          for (double bw : bench::augmented_bandwidths()) {
+            netsim::Network net = netsim::make_augmented_computing();
+            netsim::shape_remotes(net, Bandwidth::from_mbps(bw),
+                                  Delay::from_ms(delay));
+            double latency, accuracy;
+            if (row.model) {
+              const baselines::Neurosurgeon ns(*row.model, net);
+              latency = ns.best_split().latency_ms;
+              accuracy = ns.accuracy();
+            } else {
+              const auto d = bench::murmuration_decide(
+                  art, core::Slo::latency_ms(lat_slo), net.conditions(), rng);
+              latency = d.predicted.latency_ms;
+              accuracy = d.predicted.accuracy;
+            }
+            ok += complies(latency, accuracy, lat_slo, kAccSlo);
+            ++n;
+          }
+        }
+        t.add(100.0 * ok / n);
+      }
+    }
+    bench::emit("fig16a",
+                "Compliance rate (%) — augmented computing, 75% accuracy SLO, "
+                "40 network settings",
+                t);
+  }
+
+  // ---------------------------------------------------------- panel (b) --
+  {
+    const auto art = bench::murmuration_artifacts(
+        netsim::Scenario::kDeviceSwarm, core::SloType::kLatency);
+    constexpr double kAccSlo = 74.0;
+    const std::vector<double> bws = {5, 10, 25, 50, 100, 200, 300, 400, 500};
+    Table t({"method", "SLO=600ms", "SLO=1000ms"}, 1);
+
+    struct Row {
+      std::string name;
+      const supernet::FixedModelProfile* model;
+    };
+    const std::vector<Row> rows = {
+        {"ADCNN+MobileNetV3", &supernet::mobilenet_v3_large()},
+        {"ADCNN+Resnet50", &supernet::resnet50()},
+        {"Murmuration(ours)", nullptr},
+    };
+    for (const auto& row : rows) {
+      t.new_row().add(row.name);
+      for (double lat_slo : {600.0, 1000.0}) {
+        int ok = 0, n = 0;
+        for (double bw : bws) {
+          netsim::Network net = netsim::make_device_swarm();
+          netsim::shape_remotes(net, Bandwidth::from_mbps(bw),
+                                Delay::from_ms(20.0));
+          double latency, accuracy;
+          if (row.model) {
+            const baselines::Adcnn adcnn(*row.model, net);
+            latency = adcnn.latency().latency_ms;
+            accuracy = adcnn.accuracy();
+          } else {
+            const auto d = bench::murmuration_decide(
+                art, core::Slo::latency_ms(lat_slo), net.conditions(), rng);
+            latency = d.predicted.latency_ms;
+            accuracy = d.predicted.accuracy;
+          }
+          ok += complies(latency, accuracy, lat_slo, kAccSlo);
+          ++n;
+        }
+        t.add(100.0 * ok / n);
+      }
+    }
+    bench::emit("fig16b",
+                "Compliance rate (%) — device swarm, 74% accuracy SLO, "
+                "9 network settings (delay 20 ms, bw 5-500 Mbps)",
+                t);
+  }
+
+  std::printf(
+      "\nExpected shape (paper Fig 16): Murmuration's compliance tops every "
+      "column,\nimproving on the best fixed baseline by tens of percentage "
+      "points (paper: up to 52%%).\n");
+  return 0;
+}

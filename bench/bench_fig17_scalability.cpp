@@ -1,0 +1,101 @@
+// Figure 17: scalability — inference latency vs number of Raspberry Pi
+// devices (1 Gbps links, 2 ms delay) under accuracy SLOs of 75% and 76%.
+//
+// For each fleet size the bench sweeps Murmuration's strategy space
+// directly: candidate submodels meeting the accuracy SLO (sampled from the
+// supernet plus the boundary configs) crossed with the canonical partition
+// plans for that fleet (all-local, 1x2, 2x1 and 2x2 FDSP spreads with the
+// final stages kept local). This measures what the figure measures — how
+// the distributed executor scales — without retraining a policy per fleet
+// size (the device-selection head's arity changes with n).
+//
+// Known deviation (DESIGN.md): our search space caps spatial partitioning
+// at 2x2, so latency saturates once four remote devices are busy; the
+// paper's gains continue mildly to 9 devices.
+#include "bench_util.h"
+#include "netsim/scenario.h"
+#include "partition/subnet_latency.h"
+#include "supernet/accuracy_model.h"
+
+using namespace murmur;
+
+namespace {
+
+using partition::PlacementPlan;
+using supernet::SubnetConfig;
+
+/// Canonical plans for a fleet of n devices under a given grid.
+std::vector<std::pair<SubnetConfig, PlacementPlan>> candidate_strategies(
+    const SubnetConfig& base, std::size_t n_devices) {
+  std::vector<std::pair<SubnetConfig, PlacementPlan>> out;
+  out.emplace_back(base, PlacementPlan::all_local());
+
+  auto spread = [&](PartitionGrid grid, std::vector<std::uint8_t> devices) {
+    SubnetConfig cfg = base;
+    PlacementPlan plan = PlacementPlan::all_local();
+    for (int b = 0; b < supernet::kMaxBlocks; ++b) {
+      cfg.blocks[static_cast<std::size_t>(b)].grid = grid;
+      for (int t = 0; t < grid.tiles(); ++t)
+        plan.device[static_cast<std::size_t>(b)][static_cast<std::size_t>(t)] =
+            devices[static_cast<std::size_t>(t) % devices.size()];
+    }
+    out.emplace_back(std::move(cfg), plan);
+  };
+
+  if (n_devices >= 2) spread(PartitionGrid{1, 2}, {0, 1});
+  if (n_devices >= 3) spread(PartitionGrid{2, 1}, {1, 2});
+  if (n_devices >= 3) spread(PartitionGrid{2, 2}, {0, 1, 2, 0});
+  if (n_devices >= 4) spread(PartitionGrid{2, 2}, {0, 1, 2, 3});
+  if (n_devices >= 5) spread(PartitionGrid{2, 2}, {1, 2, 3, 4});
+  if (n_devices >= 9) spread(PartitionGrid{2, 2}, {5, 6, 7, 8});
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(41);
+  // Candidate submodels: random sample + boundary configs.
+  std::vector<SubnetConfig> configs = {SubnetConfig::max_config(),
+                                       SubnetConfig::min_config()};
+  for (int i = 0; i < 1500; ++i) {
+    SubnetConfig c = SubnetConfig::random(rng);
+    for (auto& b : c.blocks) b.grid = PartitionGrid{1, 1};  // grid set later
+    configs.push_back(std::move(c));
+  }
+
+  Table t({"devices", "latency_ms @75% acc SLO", "latency_ms @76% acc SLO"}, 1);
+  std::array<double, 2> single_dev{0.0, 0.0};
+
+  for (std::size_t n = 1; n <= 9; ++n) {
+    netsim::Network net = netsim::make_pi_swarm(n);
+    netsim::shape_remotes(net, Bandwidth::from_gbps(1.0), Delay::from_ms(2.0));
+    const partition::SubnetLatencyEvaluator eval(net);
+
+    t.new_row().add(static_cast<double>(n));
+    const std::array<double, 2> slos = {75.0, 76.0};
+    for (std::size_t si = 0; si < slos.size(); ++si) {
+      double best = 1e18;
+      for (const auto& cfg : configs) {
+        for (auto& [c, plan] : candidate_strategies(cfg, n)) {
+          if (supernet::AccuracyModel::accuracy(c) < slos[si]) continue;
+          best = std::min(best, eval.latency_ms(c, plan));
+        }
+      }
+      t.add(best);
+      if (n == 1) single_dev[si] = best;
+      if (n == 9 && single_dev[si] > 0)
+        std::printf("speedup @%.0f%%: %.2fx (1 -> 9 devices)\n", slos[si],
+                    single_dev[si] / best);
+    }
+  }
+  bench::emit("fig17",
+              "Inference latency vs number of devices (1 Gbps / 2 ms, "
+              "accuracy SLO)",
+              t);
+  std::printf(
+      "\nExpected shape (paper Fig 17): latency falls with fleet size "
+      "(paper: 1.7-4.5x);\nours saturates at 4 busy remotes (2x2 grid cap — "
+      "documented deviation).\n");
+  return 0;
+}

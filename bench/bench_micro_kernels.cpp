@@ -1,0 +1,70 @@
+// google-benchmark microbenchmarks of the hot kernels: GEMM-based
+// convolution, depthwise convolution, activation quantization, the LSTM
+// policy step and the supernet submodel switch.
+#include <benchmark/benchmark.h>
+
+#include "nn/conv2d.h"
+#include "rl/lstm.h"
+#include "runtime/supernet_host.h"
+#include "tensor/quantize.h"
+
+using namespace murmur;
+
+namespace {
+
+void BM_Conv2dPointwise(benchmark::State& state) {
+  Rng rng(1);
+  const int ch = static_cast<int>(state.range(0));
+  nn::Conv2D conv(ch, ch * 4, 1, 1, 1, rng);
+  Tensor x = Tensor::randn({1, ch, 14, 14}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Conv2dPointwise)->Arg(16)->Arg(40)->Arg(80);
+
+void BM_Conv2dDepthwise(benchmark::State& state) {
+  Rng rng(2);
+  const int k = static_cast<int>(state.range(0));
+  nn::Conv2D conv(64, 64, 7, 1, 64, rng);
+  conv.set_active_kernel(k);
+  Tensor x = Tensor::randn({1, 64, 14, 14}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+}
+BENCHMARK(BM_Conv2dDepthwise)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_QuantizeInt8(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::randn({1, 80, 14, 14}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(quantize(x, QuantBits::k8));
+  state.SetBytesProcessed(state.iterations() * x.bytes());
+}
+BENCHMARK(BM_QuantizeInt8);
+
+void BM_LstmPolicyStep(benchmark::State& state) {
+  Rng rng(4);
+  rl::LstmCell cell(24, static_cast<std::size_t>(state.range(0)), rng);
+  auto s = cell.initial_state();
+  std::vector<double> x(24, 0.1);
+  for (auto _ : state) {
+    cell.forward(x, s, nullptr);
+    benchmark::DoNotOptimize(s.h.data());
+  }
+}
+BENCHMARK(BM_LstmPolicyStep)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SubmodelSwitch(benchmark::State& state) {
+  supernet::SupernetOptions opts;
+  opts.width_mult = 0.25;
+  runtime::SupernetHost host(opts);
+  bool flip = false;
+  for (auto _ : state) {
+    host.switch_submodel(flip ? supernet::SubnetConfig::min_config()
+                              : supernet::SubnetConfig::max_config());
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_SubmodelSwitch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace murmur::bench {
+
+int train_steps() noexcept {
+  if (const char* env = std::getenv("MURMUR_TRAIN_STEPS"))
+    return std::max(1, std::atoi(env));
+  return 3000;
+}
+
+int num_seeds() noexcept {
+  if (const char* env = std::getenv("MURMUR_SEEDS"))
+    return std::max(1, std::atoi(env));
+  return 1;
+}
+
+void emit(const std::string& figure_id, const std::string& caption,
+          const Table& table) {
+  std::printf("\n=== %s: %s ===\n%s", figure_id.c_str(), caption.c_str(),
+              table.to_text().c_str());
+  std::fflush(stdout);
+  if (const char* dir = std::getenv("MURMUR_CSV_DIR")) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    table.write_csv(std::string(dir) + "/" + figure_id + ".csv");
+  }
+}
+
+core::TrainedArtifacts murmuration_artifacts(netsim::Scenario scenario,
+                                             core::SloType slo_type,
+                                             std::uint64_t seed) {
+  core::TrainSetup setup;
+  setup.scenario = scenario;
+  setup.slo_type = slo_type;
+  setup.algo = core::Algo::kSupreme;
+  setup.trainer.total_steps = train_steps();
+  setup.trainer.eval_every = std::max(1, train_steps() / 12);
+  setup.trainer.eval_points = 96;
+  setup.trainer.seed = seed;
+  return core::train_or_load(setup);
+}
+
+core::Decision murmuration_decide(const core::TrainedArtifacts& art,
+                                  const core::Slo& slo,
+                                  const netsim::NetworkConditions& cond,
+                                  Rng& rng) {
+  core::DecisionEngine engine(*art.env, *art.policy, art.replay.get());
+  return engine.decide(slo, cond, rng);
+}
+
+std::vector<double> swarm_bandwidths() {
+  return {5, 10, 20, 50, 100, 200, 350, 500};
+}
+
+std::vector<double> augmented_bandwidths() {
+  return {50, 100, 150, 200, 250, 300, 350, 400};
+}
+
+}  // namespace murmur::bench

@@ -1,0 +1,47 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every bench prints the exact data series of one paper figure as an
+// aligned table (and CSV when MURMUR_CSV_DIR is set). Trained policies are
+// cached under .murmur_cache in the working directory, so the expensive
+// Stage-2 training runs once and is shared across all figure benches.
+//
+// Knobs (environment variables):
+//   MURMUR_TRAIN_STEPS  training steps per run   (default 3000; paper: 20000)
+//   MURMUR_SEEDS        seeds averaged in Fig 11/12 (default 1; paper: 3)
+//   MURMUR_NO_CACHE     force retraining
+//   MURMUR_CSV_DIR      also write each table as CSV into this directory
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/decision.h"
+#include "core/training.h"
+
+namespace murmur::bench {
+
+int train_steps() noexcept;
+int num_seeds() noexcept;
+
+/// Print a figure banner + table; also CSV if MURMUR_CSV_DIR is set.
+void emit(const std::string& figure_id, const std::string& caption,
+          const Table& table);
+
+/// Cached trained Murmuration artifacts for a scenario + SLO type.
+core::TrainedArtifacts murmuration_artifacts(netsim::Scenario scenario,
+                                             core::SloType slo_type,
+                                             std::uint64_t seed = 1);
+
+/// One Murmuration decision for a concrete SLO + shaped network.
+core::Decision murmuration_decide(const core::TrainedArtifacts& art,
+                                  const core::Slo& slo,
+                                  const netsim::NetworkConditions& cond,
+                                  Rng& rng);
+
+/// Bandwidth sweep values used by the swarm figures (5-500 Mbps, log-ish).
+std::vector<double> swarm_bandwidths();
+/// Bandwidth sweep used by the augmented figures (50-400 Mbps).
+std::vector<double> augmented_bandwidths();
+
+}  // namespace murmur::bench

@@ -1,0 +1,59 @@
+// Drone swarm scenario (the paper's Device Swarm use case, e.g. search and
+// rescue): five Raspberry-Pi-class drones cooperate on image
+// classification. The operator requires a minimum accuracy; Murmuration
+// spatially partitions the submodel across the swarm to push latency down,
+// and re-partitions when drones drift out of range (bandwidth drops).
+#include <cstdio>
+
+#include "common/log.h"
+#include "core/training.h"
+#include "netsim/scenario.h"
+#include "runtime/system.h"
+
+using namespace murmur;
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+
+  core::TrainSetup setup;
+  setup.scenario = netsim::Scenario::kDeviceSwarm;
+  setup.slo_type = core::SloType::kAccuracy;
+  setup.trainer.total_steps = 1500;
+  setup.trainer.eval_every = 1500;
+  setup.trainer.eval_points = 48;
+  auto artifacts = core::train_or_load(setup);
+
+  runtime::SystemOptions opts;
+  opts.slo = core::Slo::accuracy_pct(77.5);
+  opts.exec_width_mult = 0.15;
+  opts.classes = 100;
+  runtime::MurmurationSystem system(std::move(artifacts), opts);
+
+  Rng rng(5);
+  Tensor frame = Tensor::randn({1, 3, 224, 224}, rng, 0.0f, 0.5f);
+
+  std::printf("accuracy SLO: >= 77.5%%\n");
+  for (const double bw : {500.0, 100.0, 20.0, 5.0}) {
+    netsim::shape_remotes(system.network(), Bandwidth::from_mbps(bw),
+                          Delay::from_ms(10.0));
+    const auto r = system.infer(frame);
+    const int devices = r.decision.strategy.plan.devices_used(
+        r.decision.strategy.config);
+    int partitioned_blocks = 0;
+    for (int b = 0; b < supernet::kMaxBlocks; ++b)
+      if (r.decision.strategy.config.block_active(b) &&
+          r.decision.strategy.config.blocks[b].grid.tiles() > 1)
+        ++partitioned_blocks;
+    std::printf(
+        "swarm link %4.0f Mbps: latency %7.1f ms, accuracy %.1f%% (%s), "
+        "%d device(s), %d spatially partitioned block(s)\n",
+        bw, r.sim_latency_ms, r.decision.predicted.accuracy,
+        r.decision.predicted.accuracy >= 77.5 ? "ok" : "VIOLATED", devices,
+        partitioned_blocks);
+  }
+  std::printf(
+      "\nThe swarm spreads FDSP tiles across the drones to hold a high "
+      "accuracy bar;\nas links thin out the same strategy degrades "
+      "gracefully until local execution\nbecomes competitive again.\n");
+  return 0;
+}

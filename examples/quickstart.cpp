@@ -1,0 +1,68 @@
+// Quickstart: train a Murmuration policy for the augmented-computing
+// scenario (Raspberry Pi + GPU desktop), stand up the runtime, and serve a
+// few inference requests under a latency SLO.
+//
+//   build/examples/quickstart
+//
+// The trained policy is cached in .murmur_cache, so the second run starts
+// instantly.
+#include <cstdio>
+
+#include "common/log.h"
+#include "core/training.h"
+#include "runtime/system.h"
+
+using namespace murmur;
+
+int main() {
+  set_log_level(LogLevel::kInfo);
+
+  // --- Stage 2 (offline): train the SUPREME policy --------------------
+  core::TrainSetup setup;
+  setup.scenario = netsim::Scenario::kAugmentedComputing;
+  setup.slo_type = core::SloType::kLatency;
+  setup.algo = core::Algo::kSupreme;
+  setup.trainer.total_steps = 800;  // small demo budget
+  setup.trainer.eval_every = 400;
+  setup.trainer.eval_points = 48;
+  auto artifacts = core::train_or_load(setup);
+  std::printf("trained: final avg reward %.3f, SLO compliance %.0f%%\n",
+              artifacts.curve.back().avg_reward,
+              100.0 * artifacts.curve.back().compliance);
+
+  // --- Stage 3 (online): deployment runtime -----------------------------
+  runtime::SystemOptions opts;
+  opts.slo = core::Slo::latency_ms(200.0);
+  opts.exec_width_mult = 0.15;  // small executable supernet for the demo
+  opts.classes = 100;
+  runtime::MurmurationSystem system(std::move(artifacts), opts);
+
+  // Shape the link to a mid-range WiFi-like condition.
+  netsim::shape_remotes(system.network(), Bandwidth::from_mbps(120),
+                        Delay::from_ms(15));
+
+  Rng rng(7);
+  Tensor image = Tensor::randn({1, 3, 224, 224}, rng, 0.0f, 0.5f);
+  for (int i = 0; i < 3; ++i) {
+    const auto r = system.infer(image);
+    const auto& cfg = r.decision.strategy.config;
+    std::printf(
+        "request %d: class=%d  sim latency %.1f ms (SLO %s, %s)  "
+        "accuracy %.1f%%  res=%d depth=%d quant-min=%d cache_hit=%d\n",
+        i, r.predicted_class, r.sim_latency_ms, system.slo().to_string().c_str(),
+        r.slo_met ? "met" : "MISSED", r.decision.predicted.accuracy,
+        cfg.resolution, cfg.active_blocks(),
+        [&] {
+          int bits = 32;
+          for (int b = 0; b < supernet::kMaxBlocks; ++b)
+            if (cfg.block_active(b))
+              bits = std::min(bits, bit_count(cfg.blocks[b].quant));
+          return bits;
+        }(),
+        r.cache_hit ? 1 : 0);
+  }
+  std::printf("strategy cache: %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(system.cache().hits()),
+              static_cast<unsigned long long>(system.cache().misses()));
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Trace-driven evaluation: record a repeatable random-walk trace of link
+// conditions (the "dynamic edge environment"), then replay the same trace
+// against Murmuration's decision engine and against a strategy frozen at
+// t=0, comparing SLO compliance and accuracy over the run. Both arms see
+// the true instantaneous conditions, so the comparison isolates the value
+// of *adaptation* itself.
+#include <cstdio>
+
+#include "common/log.h"
+#include "common/stats.h"
+#include "core/decision.h"
+#include "core/training.h"
+#include "netsim/trace.h"
+#include "partition/subnet_latency.h"
+
+using namespace murmur;
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+
+  // Record a two-minute trace with deep fades (240 frames, 500 ms apart).
+  netsim::Network base = netsim::make_augmented_computing();
+  netsim::shape_remotes(base, Bandwidth::from_mbps(80), Delay::from_ms(25));
+  netsim::NetworkDynamics::Options dopts;
+  dopts.seed = 77;
+  dopts.sigma_bw = 0.35;
+  dopts.sigma_delay_ms = 8.0;
+  const auto trace =
+      netsim::ConditionTrace::record_random_walk(base, dopts, 240, 500.0);
+  double bw_lo = 1e18, bw_hi = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    bw_lo = std::min(bw_lo, trace.frame(i).conditions.bandwidth_mbps[1]);
+    bw_hi = std::max(bw_hi, trace.frame(i).conditions.bandwidth_mbps[1]);
+  }
+  std::printf("trace: %zu frames over %.0f s, bandwidth swings %.0f-%.0f Mbps\n",
+              trace.size(), trace.duration_ms() / 1e3, bw_lo, bw_hi);
+
+  core::TrainSetup setup;
+  setup.trainer.total_steps = 1500;
+  setup.trainer.eval_every = 1500;
+  setup.trainer.eval_points = 48;
+  const auto art = core::train_or_load(setup);
+  core::DecisionEngine engine(*art.env, *art.policy, art.replay.get());
+  const core::Slo slo = core::Slo::latency_ms(140.0);
+  Rng rng(9);
+
+  // Freeze the strategy Murmuration picks for the trace's first frame.
+  const core::Decision frozen =
+      engine.decide(slo, trace.frame(0).conditions, rng);
+
+  netsim::Network net = netsim::make_augmented_computing();
+  const partition::SubnetLatencyEvaluator eval(net);
+  RunningStat adaptive_acc;
+  int adaptive_ok = 0, frozen_ok = 0, n = 0;
+  for (std::size_t i = 0; i < trace.size(); i += 2) {
+    trace.replay_into(net, trace.frame(i).t_ms);
+    const auto d = engine.decide(slo, net.conditions(), rng);
+    adaptive_ok +=
+        eval.latency_ms(d.strategy.config, d.strategy.plan) <= slo.value;
+    adaptive_acc.add(d.predicted.accuracy);
+    frozen_ok +=
+        eval.latency_ms(frozen.strategy.config, frozen.strategy.plan) <=
+        slo.value;
+    ++n;
+  }
+
+  std::printf("\n%-24s %12s %12s\n", "over the trace", "Murmuration",
+              "frozen t=0");
+  std::printf("%-24s %11.0f%% %11.0f%%\n", "SLO compliance",
+              100.0 * adaptive_ok / n, 100.0 * frozen_ok / n);
+  std::printf("%-24s %11.1f%% %11.1f%%\n", "mean accuracy",
+              adaptive_acc.mean(), frozen.predicted.accuracy);
+  std::printf(
+      "\nRe-deciding per frame holds the SLO through fades (shrinking or "
+      "pulling the\nmodel local) while the frozen strategy misses whenever "
+      "conditions drop below\nits assumptions.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "baselines/adcnn.h"
+
+#include <algorithm>
+
+namespace murmur::baselines {
+
+AdcnnResult Adcnn::latency() const {
+  const std::size_t n_dev = network_.num_devices();
+  AdcnnResult r;
+  r.devices = static_cast<int>(n_dev);
+
+  double spatial_flops = 0.0, tail_flops = 0.0;
+  std::size_t last_spatial = 0;
+  for (std::size_t i = 0; i < model_.layers.size(); ++i) {
+    const auto& l = model_.layers[i];
+    if (l.spatial) {
+      spatial_flops += l.flops;
+      last_spatial = i;
+    } else {
+      tail_flops += l.flops;
+    }
+  }
+
+  if (n_dev <= 1) {
+    r.parallel_compute_ms =
+        network_.device(0).throughput.compute_ms(spatial_flops);
+    r.tail_compute_ms = network_.device(0).throughput.compute_ms(tail_flops);
+    r.latency_ms = r.parallel_compute_ms + r.tail_compute_ms;
+    return r;
+  }
+
+  // Scatter: the local device serializes one input tile to each remote over
+  // its access link (tiles go out back-to-back through the same switch port).
+  const double tile_in_bytes =
+      static_cast<double>(supernet::FixedModelProfile::input_bytes()) /
+      static_cast<double>(n_dev);
+  double scatter_serialize = 0.0;
+  double max_path_delay = 0.0;
+  for (std::size_t d = 1; d < n_dev; ++d) {
+    scatter_serialize +=
+        network_.path_bandwidth(0, d).transfer_ms(tile_in_bytes);
+    max_path_delay = std::max(max_path_delay, network_.path_delay_ms(0, d));
+  }
+  r.scatter_ms = scatter_serialize + max_path_delay;
+
+  // Parallel compute: each device runs its tile of every spatial layer with
+  // the FDSP padding overhead; the slowest device gates the result.
+  const double per_device_flops =
+      spatial_flops / static_cast<double>(n_dev) * kFdspComputeOverhead;
+  for (std::size_t d = 0; d < n_dev; ++d)
+    r.parallel_compute_ms =
+        std::max(r.parallel_compute_ms,
+                 network_.device(d).throughput.compute_ms(per_device_flops));
+
+  // Gather: remote tiles of the last spatial layer return to local.
+  const double tile_out_bytes =
+      static_cast<double>(model_.out_bytes(last_spatial)) /
+      static_cast<double>(n_dev);
+  double gather_serialize = 0.0;
+  for (std::size_t d = 1; d < n_dev; ++d)
+    gather_serialize +=
+        network_.path_bandwidth(d, 0).transfer_ms(tile_out_bytes);
+  r.gather_ms = gather_serialize + max_path_delay;
+
+  r.tail_compute_ms = network_.device(0).throughput.compute_ms(tail_flops);
+  r.latency_ms =
+      r.scatter_ms + r.parallel_compute_ms + r.gather_ms + r.tail_compute_ms;
+  return r;
+}
+
+}  // namespace murmur::baselines

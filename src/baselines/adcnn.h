@@ -1,0 +1,50 @@
+// ADCNN (Zhang et al., ICPP'20): Fully Decomposable Spatial Partitioning of
+// a fixed CNN across N edge devices. The input feature map of every
+// spatial layer is split into N tiles with FDSP zero-padding (no
+// cross-partition halo traffic); tiles execute in parallel and stay
+// resident, so communication reduces to the initial scatter and the final
+// gather before the non-spatial tail (pool/FC) runs on the local device.
+// The finetuned FDSP model pays a small fixed accuracy cost.
+#pragma once
+
+#include "netsim/network.h"
+#include "supernet/model_zoo.h"
+
+namespace murmur::baselines {
+
+struct AdcnnResult {
+  double latency_ms = 0.0;
+  double scatter_ms = 0.0;
+  double parallel_compute_ms = 0.0;
+  double gather_ms = 0.0;
+  double tail_compute_ms = 0.0;
+  int devices = 1;
+};
+
+class Adcnn {
+ public:
+  /// FDSP zero-padding compute overhead per tile (halo area recomputed as
+  /// zeros) and the finetuned model's accuracy drop — both from the ADCNN
+  /// paper's reported ranges.
+  static constexpr double kFdspComputeOverhead = 1.15;
+  static constexpr double kFdspAccuracyDrop = 0.6;
+
+  Adcnn(const supernet::FixedModelProfile& model,
+        const netsim::Network& network)
+      : model_(model), network_(network) {}
+
+  /// Distributed inference latency across all devices of the network.
+  AdcnnResult latency() const;
+
+  double accuracy() const noexcept {
+    return network_.num_devices() > 1
+               ? model_.top1_accuracy - kFdspAccuracyDrop
+               : model_.top1_accuracy;
+  }
+
+ private:
+  const supernet::FixedModelProfile& model_;
+  const netsim::Network& network_;
+};
+
+}  // namespace murmur::baselines

@@ -1,0 +1,21 @@
+#include "baselines/fixed_single.h"
+
+namespace murmur::baselines {
+
+FixedSingleResult fixed_single_device_latency(
+    const supernet::FixedModelProfile& model, const netsim::Network& network,
+    std::size_t device) {
+  FixedSingleResult r;
+  r.compute_ms = network.device(device).throughput.compute_ms(model.total_flops());
+  if (device != 0) {
+    r.transfer_ms =
+        network.transfer_ms(0, device,
+                            static_cast<double>(
+                                supernet::FixedModelProfile::input_bytes())) +
+        network.transfer_ms(device, 0, 1000.0 * 4.0);
+  }
+  r.latency_ms = r.compute_ms + r.transfer_ms;
+  return r;
+}
+
+}  // namespace murmur::baselines

@@ -1,0 +1,21 @@
+// Single-device execution of a fixed model (Figure 1a's conventional
+// deployment): the whole profile runs on one device; if that device is not
+// the local one, the input ships out and the logits ship back.
+#pragma once
+
+#include "netsim/network.h"
+#include "supernet/model_zoo.h"
+
+namespace murmur::baselines {
+
+struct FixedSingleResult {
+  double latency_ms = 0.0;
+  double compute_ms = 0.0;
+  double transfer_ms = 0.0;
+};
+
+FixedSingleResult fixed_single_device_latency(
+    const supernet::FixedModelProfile& model, const netsim::Network& network,
+    std::size_t device);
+
+}  // namespace murmur::baselines

@@ -1,0 +1,48 @@
+#include "baselines/neurosurgeon.h"
+
+#include <cassert>
+
+namespace murmur::baselines {
+
+NeurosurgeonResult Neurosurgeon::latency_at_split(int split_after) const {
+  const auto& layers = model_.layers;
+  const int n = static_cast<int>(layers.size());
+  assert(split_after >= -1 && split_after < n);
+  NeurosurgeonResult r;
+  r.split_after = split_after;
+
+  double local_flops = 0.0, remote_flops = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (i <= split_after)
+      local_flops += layers[static_cast<std::size_t>(i)].flops;
+    else
+      remote_flops += layers[static_cast<std::size_t>(i)].flops;
+  }
+  r.local_compute_ms = network_.device(local_).throughput.compute_ms(local_flops);
+  r.remote_compute_ms =
+      network_.device(remote_).throughput.compute_ms(remote_flops);
+
+  if (split_after < n - 1) {
+    // Ship the activation (or raw input) plus return the logits.
+    const double up_bytes =
+        split_after < 0
+            ? static_cast<double>(supernet::FixedModelProfile::input_bytes())
+            : static_cast<double>(model_.out_bytes(static_cast<std::size_t>(split_after)));
+    r.transfer_ms = network_.transfer_ms(local_, remote_, up_bytes) +
+                    network_.transfer_ms(remote_, local_, 1000.0 * 4.0);
+  }
+  r.latency_ms = r.local_compute_ms + r.remote_compute_ms + r.transfer_ms;
+  return r;
+}
+
+NeurosurgeonResult Neurosurgeon::best_split() const {
+  const int n = static_cast<int>(model_.layers.size());
+  NeurosurgeonResult best = latency_at_split(n - 1);  // all local
+  for (int s = -1; s < n - 1; ++s) {
+    const NeurosurgeonResult r = latency_at_split(s);
+    if (r.latency_ms < best.latency_ms) best = r;
+  }
+  return best;
+}
+
+}  // namespace murmur::baselines

@@ -1,0 +1,45 @@
+// Neurosurgeon (Kang et al., ASPLOS'17): layer-wise partitioning of a fixed
+// DNN between a local device and one remote device. The framework profiles
+// per-layer compute and activation sizes, then picks the split point that
+// minimises end-to-end latency under current network conditions.
+#pragma once
+
+#include "netsim/network.h"
+#include "supernet/model_zoo.h"
+
+namespace murmur::baselines {
+
+struct NeurosurgeonResult {
+  /// Index of the last layer executed locally; -1 means everything remote.
+  int split_after = -1;
+  double latency_ms = 0.0;
+  double local_compute_ms = 0.0;
+  double remote_compute_ms = 0.0;
+  double transfer_ms = 0.0;
+};
+
+class Neurosurgeon {
+ public:
+  /// `local`/`remote` are device indices in `network`.
+  Neurosurgeon(const supernet::FixedModelProfile& model,
+               const netsim::Network& network, std::size_t local = 0,
+               std::size_t remote = 1)
+      : model_(model), network_(network), local_(local), remote_(remote) {}
+
+  /// Latency for a given split point (-1 .. layers-1; layers-1 = all local).
+  NeurosurgeonResult latency_at_split(int split_after) const;
+
+  /// Optimal split under current conditions (exhaustive over split points —
+  /// for a chain DNN the min-cut reduces to this scan).
+  NeurosurgeonResult best_split() const;
+
+  /// Model accuracy is the fixed model's accuracy (no adaptation).
+  double accuracy() const noexcept { return model_.top1_accuracy; }
+
+ private:
+  const supernet::FixedModelProfile& model_;
+  const netsim::Network& network_;
+  std::size_t local_, remote_;
+};
+
+}  // namespace murmur::baselines

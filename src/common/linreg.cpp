@@ -1,0 +1,94 @@
+#include "common/linreg.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace murmur {
+
+SimpleLinReg SimpleLinReg::fit(std::span<const double> xs,
+                               std::span<const double> ys) {
+  SimpleLinReg out;
+  const std::size_t n = xs.size();
+  if (n == 0 || n != ys.size()) return out;
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx < 1e-12) {
+    out.intercept = my;
+    return out;
+  }
+  out.slope = sxy / sxx;
+  out.intercept = my - out.slope * mx;
+  out.r2 = syy < 1e-12 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return out;
+}
+
+bool solve_linear_system(std::vector<std::vector<double>>& a,
+                         std::vector<double>& b) {
+  const std::size_t n = a.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) b[i] /= a[i][i];
+  return true;
+}
+
+bool MultiLinReg::fit(const std::vector<std::vector<double>>& x,
+                      std::span<const double> y) {
+  const std::size_t n = x.size();
+  if (n == 0 || n != y.size()) return false;
+  const std::size_t d = x[0].size();
+  if (n < d + 1) return false;
+  // Augmented feature vector [x, 1]; solve (X^T X) w = X^T y.
+  const std::size_t m = d + 1;
+  std::vector<std::vector<double>> xtx(m, std::vector<double>(m, 0.0));
+  std::vector<double> xty(m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < m; ++r) {
+      const double xr = r < d ? x[i][r] : 1.0;
+      xty[r] += xr * y[i];
+      for (std::size_t c = 0; c < m; ++c) {
+        const double xc = c < d ? x[i][c] : 1.0;
+        xtx[r][c] += xr * xc;
+      }
+    }
+  }
+  // Tiny ridge term keeps near-collinear monitoring features solvable.
+  for (std::size_t r = 0; r < m; ++r) xtx[r][r] += 1e-9;
+  if (!solve_linear_system(xtx, xty)) return false;
+  w_.assign(xty.begin(), xty.begin() + static_cast<std::ptrdiff_t>(d));
+  b_ = xty[d];
+  return true;
+}
+
+double MultiLinReg::predict(std::span<const double> x) const noexcept {
+  double y = b_;
+  const std::size_t d = std::min(x.size(), w_.size());
+  for (std::size_t i = 0; i < d; ++i) y += w_[i] * x[i];
+  return y;
+}
+
+}  // namespace murmur

@@ -1,0 +1,51 @@
+// Ordinary least squares regression.
+//
+// The paper's Monitoring-Data Predictor uses "a lightweight linear
+// regression method" to forecast short-term bandwidth/delay; we implement
+// simple (y = a + b*t) and multiple (y = w·x + b) OLS with normal equations
+// solved by Gaussian elimination with partial pivoting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace murmur {
+
+/// Simple y = intercept + slope * x regression over paired samples.
+struct SimpleLinReg {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination of the fit, in [0, 1] (0 if degenerate).
+  double r2 = 0.0;
+
+  /// Fit from paired samples; requires xs.size() == ys.size() >= 2.
+  /// Returns a flat model (slope 0, intercept = mean) if x has no variance.
+  static SimpleLinReg fit(std::span<const double> xs,
+                          std::span<const double> ys);
+
+  double predict(double x) const noexcept { return intercept + slope * x; }
+};
+
+/// Multiple linear regression y = w·x + b via normal equations.
+class MultiLinReg {
+ public:
+  /// Fit from row-major design matrix (n rows, d features). Requires
+  /// n >= d + 1. Returns false if the normal equations are singular.
+  bool fit(const std::vector<std::vector<double>>& x,
+           std::span<const double> y);
+
+  double predict(std::span<const double> x) const noexcept;
+  const std::vector<double>& weights() const noexcept { return w_; }
+  double bias() const noexcept { return b_; }
+
+ private:
+  std::vector<double> w_;
+  double b_ = 0.0;
+};
+
+/// Solve A x = b in place (Gaussian elimination, partial pivoting).
+/// Returns false if A is (numerically) singular.
+bool solve_linear_system(std::vector<std::vector<double>>& a,
+                         std::vector<double>& b);
+
+}  // namespace murmur

@@ -1,0 +1,40 @@
+// Minimal leveled logger. Benchmarks and examples default to Info; tests set
+// Warn to keep ctest output readable. Thread-safe (one mutex per process).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace murmur {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line at `level` (no-op if below the global threshold).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace murmur
+
+#define MURMUR_LOG_DEBUG ::murmur::detail::LogStream(::murmur::LogLevel::kDebug)
+#define MURMUR_LOG_INFO ::murmur::detail::LogStream(::murmur::LogLevel::kInfo)
+#define MURMUR_LOG_WARN ::murmur::detail::LogStream(::murmur::LogLevel::kWarn)
+#define MURMUR_LOG_ERROR ::murmur::detail::LogStream(::murmur::LogLevel::kError)

@@ -1,0 +1,101 @@
+#include "common/serialize.h"
+
+namespace murmur {
+
+namespace {
+template <typename T>
+void append_raw(std::vector<std::uint8_t>& buf, T v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+}  // namespace
+
+void ByteWriter::write_u32(std::uint32_t v) { append_raw(buf_, v); }
+void ByteWriter::write_u64(std::uint64_t v) { append_raw(buf_, v); }
+void ByteWriter::write_f32(float v) { append_raw(buf_, v); }
+void ByteWriter::write_f64(double v) { append_raw(buf_, v); }
+
+void ByteWriter::write_string(const std::string& s) {
+  write_u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::write_f32_span(std::span<const float> xs) {
+  write_u64(xs.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(xs.data());
+  buf_.insert(buf_.end(), p, p + xs.size_bytes());
+}
+
+void ByteWriter::write_f64_span(std::span<const double> xs) {
+  write_u64(xs.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(xs.data());
+  buf_.insert(buf_.end(), p, p + xs.size_bytes());
+}
+
+void ByteWriter::write_bytes(std::span<const std::uint8_t> bytes) {
+  write_u64(bytes.size());
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+bool ByteReader::take(void* out, std::size_t n) noexcept {
+  if (!ok_ || pos_ + n > data_.size()) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, data_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::read_u32(std::uint32_t& v) noexcept { return take(&v, 4); }
+bool ByteReader::read_u64(std::uint64_t& v) noexcept { return take(&v, 8); }
+bool ByteReader::read_i32(std::int32_t& v) noexcept { return take(&v, 4); }
+bool ByteReader::read_f32(float& v) noexcept { return take(&v, 4); }
+bool ByteReader::read_f64(double& v) noexcept { return take(&v, 8); }
+
+bool ByteReader::read_string(std::string& s) {
+  std::uint32_t n = 0;
+  if (!read_u32(n)) return false;
+  if (pos_ + n > data_.size()) {
+    ok_ = false;
+    return false;
+  }
+  s.assign(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteReader::read_f32_vec(std::vector<float>& xs) {
+  std::uint64_t n = 0;
+  if (!read_u64(n)) return false;
+  if (pos_ + n * sizeof(float) > data_.size()) {
+    ok_ = false;
+    return false;
+  }
+  xs.resize(n);
+  return take(xs.data(), n * sizeof(float));
+}
+
+bool ByteReader::read_f64_vec(std::vector<double>& xs) {
+  std::uint64_t n = 0;
+  if (!read_u64(n)) return false;
+  if (pos_ + n * sizeof(double) > data_.size()) {
+    ok_ = false;
+    return false;
+  }
+  xs.resize(n);
+  return take(xs.data(), n * sizeof(double));
+}
+
+bool ByteReader::read_bytes(std::vector<std::uint8_t>& bytes) {
+  std::uint64_t n = 0;
+  if (!read_u64(n)) return false;
+  if (pos_ + n > data_.size()) {
+    ok_ = false;
+    return false;
+  }
+  bytes.resize(n);
+  return take(bytes.data(), n);
+}
+
+}  // namespace murmur

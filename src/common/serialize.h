@@ -1,0 +1,61 @@
+// Byte-buffer serialization used by (1) the in-process transport that stands
+// in for the paper's gRPC channel and (2) policy-weight checkpoints.
+// Little-endian, length-prefixed; no alignment assumptions on the read side.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace murmur {
+
+class ByteWriter {
+ public:
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i32(std::int32_t v) { write_u32(static_cast<std::uint32_t>(v)); }
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_f32_span(std::span<const float> xs);
+  void write_f64_span(std::span<const double> xs);
+  void write_bytes(std::span<const std::uint8_t> bytes);
+
+  const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  /// Each read_* returns false (leaving the output untouched) on underflow;
+  /// once any read fails the reader is poisoned and all further reads fail.
+  bool read_u32(std::uint32_t& v) noexcept;
+  bool read_u64(std::uint64_t& v) noexcept;
+  bool read_i32(std::int32_t& v) noexcept;
+  bool read_f32(float& v) noexcept;
+  bool read_f64(double& v) noexcept;
+  bool read_string(std::string& s);
+  bool read_f32_vec(std::vector<float>& xs);
+  bool read_f64_vec(std::vector<double>& xs);
+  bool read_bytes(std::vector<std::uint8_t>& bytes);
+
+  bool ok() const noexcept { return ok_; }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  bool take(void* out, std::size_t n) noexcept;
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace murmur

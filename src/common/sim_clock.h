@@ -1,0 +1,38 @@
+// Simulated wall clock for the device/network simulator.
+//
+// All latency accounting in the simulated testbed advances this clock rather
+// than reading the host's clock, so results are deterministic and
+// independent of host load. Thread-safe: the distributed executor's worker
+// threads advance per-device lanes and the clock keeps the global maximum.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/units.h"
+
+namespace murmur {
+
+class SimClock {
+ public:
+  /// Current simulated time in ms since reset.
+  double now_ms() const noexcept {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  /// Advance the global clock to at least `t_ms` (monotone).
+  void advance_to(double t_ms) noexcept {
+    double cur = now_.load(std::memory_order_relaxed);
+    while (t_ms > cur &&
+           !now_.compare_exchange_weak(cur, t_ms, std::memory_order_acq_rel)) {
+    }
+  }
+
+  void advance_by(Duration d) noexcept { advance_to(now_ms() + d.ms); }
+  void reset() noexcept { now_.store(0.0, std::memory_order_release); }
+
+ private:
+  std::atomic<double> now_{0.0};
+};
+
+}  // namespace murmur

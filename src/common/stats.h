@@ -1,0 +1,55 @@
+// Small statistics helpers used by the monitors, benchmarks and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace murmur {
+
+/// Streaming mean/variance (Welford). Numerically stable, O(1) memory.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void reset() noexcept { *this = RunningStat{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 if fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs) noexcept;
+double stddev(std::span<const double> xs) noexcept;
+/// Linear-interpolated percentile, p in [0, 100]. Copies + sorts.
+double percentile(std::span<const double> xs, double p);
+
+/// Exponentially weighted moving average, used by the passive network
+/// monitor to smooth noisy bandwidth/delay samples.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.3) noexcept : alpha_(alpha) {}
+  void add(double x) noexcept {
+    value_ = initialized_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    initialized_ = true;
+  }
+  bool initialized() const noexcept { return initialized_; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace murmur

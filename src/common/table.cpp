@@ -1,0 +1,111 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace murmur {
+
+Table::Table(std::vector<std::string> columns, int precision)
+    : columns_(std::move(columns)), precision_(precision) {}
+
+Table& Table::new_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string v) {
+  if (rows_.empty()) new_row();
+  rows_.back().emplace_back(std::move(v));
+  return *this;
+}
+
+Table& Table::add(double v) {
+  if (rows_.empty()) new_row();
+  rows_.back().emplace_back(v);
+  return *this;
+}
+
+Table& Table::add_blank() {
+  if (rows_.empty()) new_row();
+  rows_.back().emplace_back(std::monostate{});
+  return *this;
+}
+
+std::string Table::format_cell(const Cell& c) const {
+  if (std::holds_alternative<std::monostate>(c)) return "-";
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  return os.str();
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    auto& out = cells.emplace_back();
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out.push_back(format_cell(row[i]));
+      if (i < widths.size()) widths[i] = std::max(widths[i], out.back().size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i ? "  " : "") << std::setw(static_cast<int>(widths[i]))
+         << std::left << row[i];
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  std::string rule;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    if (i) rule += "  ";
+    rule += std::string(widths[i], '-');
+  }
+  os << rule << '\n';
+  for (const auto& row : cells) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    os << (i ? "," : "") << escape(columns_[i]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i ? "," : "");
+      if (!std::holds_alternative<std::monostate>(row[i]))
+        os << escape(format_cell(row[i]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_text(); }
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+}  // namespace murmur

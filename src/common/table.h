@@ -1,0 +1,49 @@
+// Aligned text tables + CSV emission. Every benchmark prints its figure's
+// data series through this so the output is uniform and machine-parsable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace murmur {
+
+/// A cell is a string, a double (formatted with fixed precision) or empty
+/// (rendered as "-" in text, blank in CSV) — used for "SLO not met" holes in
+/// the figure series, matching the paper's missing dots.
+class Table {
+ public:
+  using Cell = std::variant<std::monostate, std::string, double>;
+
+  explicit Table(std::vector<std::string> columns, int precision = 3);
+
+  /// Begin a new row; subsequent add() calls fill it left to right.
+  Table& new_row();
+  Table& add(std::string v);
+  Table& add(double v);
+  Table& add(const char* v) { return add(std::string(v)); }
+  /// Add an empty cell ("SLO not satisfiable" hole).
+  Table& add_blank();
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return columns_.size(); }
+
+  /// Render as an aligned text table.
+  std::string to_text() const;
+  /// Render as CSV (RFC-4180-ish; cells containing commas/quotes escaped).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+  /// Write CSV to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::string format_cell(const Cell& c) const;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+}  // namespace murmur

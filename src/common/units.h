@@ -1,0 +1,63 @@
+// Strongly-typed scalar units used across the network simulator, the cost
+// models and the benchmarks. All conversions are explicit so Mbps never
+// silently mixes with MB/s or ms with s.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace murmur {
+
+/// Network bandwidth. Canonical unit: megabits per second.
+struct Bandwidth {
+  double mbps = 0.0;
+
+  static constexpr Bandwidth from_mbps(double v) noexcept { return {v}; }
+  static constexpr Bandwidth from_gbps(double v) noexcept { return {v * 1000.0}; }
+
+  /// Bytes transferable per millisecond at this rate.
+  constexpr double bytes_per_ms() const noexcept {
+    return mbps * 1e6 / 8.0 / 1e3;
+  }
+  /// Time in ms to move `bytes` at this rate (infinite bandwidth -> 0).
+  constexpr double transfer_ms(double bytes) const noexcept {
+    return mbps <= 0.0 ? 0.0 : bytes / bytes_per_ms();
+  }
+  auto operator<=>(const Bandwidth&) const = default;
+};
+
+/// One-way network propagation delay. Canonical unit: milliseconds.
+struct Delay {
+  double ms = 0.0;
+  static constexpr Delay from_ms(double v) noexcept { return {v}; }
+  auto operator<=>(const Delay&) const = default;
+};
+
+/// Time duration. Canonical unit: milliseconds.
+struct Duration {
+  double ms = 0.0;
+  static constexpr Duration from_ms(double v) noexcept { return {v}; }
+  static constexpr Duration from_s(double v) noexcept { return {v * 1e3}; }
+  constexpr double seconds() const noexcept { return ms / 1e3; }
+  constexpr Duration operator+(Duration o) const noexcept { return {ms + o.ms}; }
+  constexpr Duration operator-(Duration o) const noexcept { return {ms - o.ms}; }
+  Duration& operator+=(Duration o) noexcept { ms += o.ms; return *this; }
+  auto operator<=>(const Duration&) const = default;
+};
+
+/// Compute throughput. Canonical unit: GFLOP/s (fp32, effective).
+struct Throughput {
+  double gflops = 0.0;
+  static constexpr Throughput from_gflops(double v) noexcept { return {v}; }
+  /// Time in ms to execute `flops` floating point operations.
+  constexpr double compute_ms(double flops) const noexcept {
+    return gflops <= 0.0 ? 0.0 : flops / (gflops * 1e9) * 1e3;
+  }
+  auto operator<=>(const Throughput&) const = default;
+};
+
+/// Data size helpers.
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+
+}  // namespace murmur

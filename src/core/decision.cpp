@@ -1,0 +1,113 @@
+#include "core/decision.h"
+
+#include <algorithm>
+
+#include "rl/rollout.h"
+
+namespace murmur::core {
+
+Decision DecisionEngine::decide(const rl::ConstraintPoint& c, Rng& rng) const {
+  const rl::Episode ep =
+      rl::rollout(env_, policy_, c, rng, {.greedy = true});
+  Decision best;
+  best.strategy = env_.decode(ep.actions);
+  best.predicted = ep.outcome;
+  best.reward = ep.reward;
+  best.satisfied = ep.satisfied;
+
+  if (replay_) {
+    // Consult the SUPREME strategy store. Bucketed sharing gives the prime
+    // candidate; every stored strategy is cheap to verify (one analytic
+    // evaluation), so the engine also sweeps the store — decisions stay in
+    // the low-millisecond range (Fig 18) and never regress below the best
+    // known strategy for the current constraint.
+    std::vector<const rl::ReplayEntry*> candidates;
+    if (const rl::ReplayEntry* primary = replay_->best_for(c))
+      candidates.push_back(primary);
+    const auto all = replay_->all_entries();
+    candidates.insert(candidates.end(), all.begin(), all.end());
+    for (const rl::ReplayEntry* entry : candidates) {
+      const rl::Outcome o = env_.evaluate(c, entry->actions);
+      const double r = env_.reward(c, o);
+      if (r > best.reward) {
+        best.strategy = env_.decode(entry->actions);
+        best.predicted = o;
+        best.reward = r;
+        best.satisfied = env_.satisfies(c, o);
+      }
+    }
+  }
+  return best;
+}
+
+Decision EvolutionarySearch::search(const rl::ConstraintPoint& c) const {
+  Rng rng(opts_.seed);
+  struct Candidate {
+    std::vector<int> actions;
+    double reward = 0.0;
+    rl::Outcome outcome;
+  };
+  auto evaluate = [&](Candidate& cand) {
+    cand.outcome = env_.evaluate(c, cand.actions);
+    cand.reward = env_.reward(c, cand.outcome);
+    // Tie-break unsatisfied candidates toward the SLO boundary so selection
+    // has gradient even before anything satisfies the constraint.
+    if (cand.reward == 0.0) {
+      const double slo = env_.slo_value(c);
+      const double gap =
+          env_.slo_type() == SloType::kLatency
+              ? (cand.outcome.latency_ms - slo) / std::max(1.0, slo)
+              : (slo - cand.outcome.accuracy) / 100.0;
+      cand.reward = -gap;
+    }
+  };
+
+  std::vector<Candidate> pop(static_cast<std::size_t>(opts_.population));
+  for (auto& cand : pop) {
+    cand.actions = env_.complete_randomly({}, rng);
+    evaluate(cand);
+  }
+  auto by_reward = [](const Candidate& a, const Candidate& b) {
+    return a.reward > b.reward;
+  };
+  std::sort(pop.begin(), pop.end(), by_reward);
+
+  for (int gen = 0; gen < opts_.generations; ++gen) {
+    const std::size_t elite = pop.size() / 4;
+    std::vector<Candidate> next(pop.begin(),
+                                pop.begin() + static_cast<std::ptrdiff_t>(elite));
+    while (next.size() < pop.size()) {
+      // Tournament parents from the top half.
+      const auto pick = [&] {
+        const std::size_t a = rng.uniform_index(pop.size() / 2);
+        const std::size_t b = rng.uniform_index(pop.size() / 2);
+        return pop[std::min(a, b)];
+      };
+      const Candidate& pa = pick();
+      const Candidate& pb = pick();
+      Candidate child;
+      const std::size_t cut = rng.uniform_index(pa.actions.size() + 1);
+      child.actions.assign(pa.actions.begin(),
+                           pa.actions.begin() + static_cast<std::ptrdiff_t>(cut));
+      for (std::size_t i = cut; i < pb.actions.size(); ++i)
+        child.actions.push_back(pb.actions[i]);
+      for (auto& a : child.actions)
+        if (rng.bernoulli(opts_.mutation_rate))
+          a = static_cast<int>(rng.uniform_index(12));
+      child.actions = env_.complete_randomly(std::move(child.actions), rng);
+      evaluate(child);
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+    std::sort(pop.begin(), pop.end(), by_reward);
+  }
+
+  Decision d;
+  d.strategy = env_.decode(pop.front().actions);
+  d.predicted = pop.front().outcome;
+  d.reward = std::max(0.0, pop.front().reward);
+  d.satisfied = env_.satisfies(c, pop.front().outcome);
+  return d;
+}
+
+}  // namespace murmur::core

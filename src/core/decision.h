@@ -1,0 +1,66 @@
+// Model Selection and Partition Decision module (paper §5) plus the
+// evolutionary-search baseline it is compared against in Fig 18.
+#pragma once
+
+#include "core/murmuration_env.h"
+#include "rl/policy.h"
+#include "rl/replay_tree.h"
+
+namespace murmur::core {
+
+struct Decision {
+  MurmurationEnv::Strategy strategy;
+  rl::Outcome predicted;
+  double reward = 0.0;
+  bool satisfied = false;
+};
+
+/// RL-policy-driven decision making. Optionally consults the SUPREME replay
+/// tree: the bucketed buffer stores the best strategy found per constraint
+/// bucket, so runtime decisions take the better of (greedy policy rollout,
+/// best shared bucket entry) — both are O(ms).
+class DecisionEngine {
+ public:
+  DecisionEngine(const MurmurationEnv& env, const rl::PolicyNetwork& policy,
+                 const rl::BucketedReplayTree* replay = nullptr)
+      : env_(env), policy_(policy), replay_(replay) {}
+
+  Decision decide(const rl::ConstraintPoint& c, Rng& rng) const;
+
+  /// Convenience overload from concrete SLO + conditions.
+  Decision decide(const Slo& slo, const netsim::NetworkConditions& cond,
+                  Rng& rng) const {
+    return decide(env_.make_constraint(slo.value, cond), rng);
+  }
+
+ private:
+  const MurmurationEnv& env_;
+  const rl::PolicyNetwork& policy_;
+  const rl::BucketedReplayTree* replay_;
+};
+
+/// Evolutionary submodel search (the once-for-all-style baseline of Fig 18):
+/// population of action sequences, tournament selection, one-point
+/// crossover, per-gene mutation.
+class EvolutionarySearch {
+ public:
+  struct Options {
+    int population = 100;
+    int generations = 50;
+    double mutation_rate = 0.08;
+    std::uint64_t seed = 11;
+  };
+
+  EvolutionarySearch(const MurmurationEnv& env, Options opts)
+      : env_(env), opts_(opts) {}
+  explicit EvolutionarySearch(const MurmurationEnv& env)
+      : EvolutionarySearch(env, Options{}) {}
+
+  Decision search(const rl::ConstraintPoint& c) const;
+
+ private:
+  const MurmurationEnv& env_;
+  Options opts_;
+};
+
+}  // namespace murmur::core

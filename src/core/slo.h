@@ -1,0 +1,32 @@
+// Service Level Objectives. The paper's SLO API takes a scalar latency or
+// accuracy target (§5).
+#pragma once
+
+#include <string>
+
+namespace murmur::core {
+
+enum class SloType { kLatency, kAccuracy };
+
+struct Slo {
+  SloType type = SloType::kLatency;
+  /// ms for kLatency, percent top-1 for kAccuracy.
+  double value = 0.0;
+
+  static Slo latency_ms(double ms) noexcept { return {SloType::kLatency, ms}; }
+  static Slo accuracy_pct(double pct) noexcept {
+    return {SloType::kAccuracy, pct};
+  }
+
+  bool satisfied_by(double accuracy, double latency_ms) const noexcept {
+    return type == SloType::kLatency ? latency_ms <= value
+                                     : accuracy >= value;
+  }
+  std::string to_string() const {
+    return type == SloType::kLatency
+               ? "latency<=" + std::to_string(value) + "ms"
+               : "accuracy>=" + std::to_string(value) + "%";
+  }
+};
+
+}  // namespace murmur::core

@@ -1,0 +1,52 @@
+#include "core/strategy_cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace murmur::core {
+
+std::uint64_t StrategyCache::key_of(const rl::ConstraintPoint& c) const noexcept {
+  const int g = env_.grid_points();
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (double v : c.coords) {
+    const auto q = static_cast<std::uint64_t>(
+        std::min<int>(g - 1, static_cast<int>(std::clamp(v, 0.0, 1.0) * g)));
+    h = (h ^ (q + 1)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::optional<Decision> StrategyCache::get(const rl::ConstraintPoint& c) {
+  const auto key = key_of(c);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  return it->second->second;
+}
+
+void StrategyCache::put(const rl::ConstraintPoint& c, Decision decision) {
+  const auto key = key_of(c);
+  if (const auto it = map_.find(key); it != map_.end()) {
+    it->second->second = std::move(decision);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(decision));
+  map_[key] = lru_.begin();
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+void StrategyCache::clear() {
+  lru_.clear();
+  map_.clear();
+  hits_ = misses_ = 0;
+}
+
+}  // namespace murmur::core

@@ -1,0 +1,46 @@
+// Strategy Cache (paper §5): maps known (SLO, network-condition) buckets to
+// previously computed strategies so the RL policy is not re-run for every
+// inference request. Keys are the same grid quantization the replay tree
+// uses; eviction is LRU.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "core/decision.h"
+
+namespace murmur::core {
+
+class StrategyCache {
+ public:
+  explicit StrategyCache(const MurmurationEnv& env,
+                         std::size_t capacity = 1024)
+      : env_(env), capacity_(capacity) {}
+
+  /// Lookup the strategy cached for this constraint's bucket.
+  std::optional<Decision> get(const rl::ConstraintPoint& c);
+  void put(const rl::ConstraintPoint& c, Decision decision);
+  void clear();
+
+  std::size_t size() const noexcept { return map_.size(); }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  double hit_rate() const noexcept {
+    const auto total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+  }
+
+ private:
+  std::uint64_t key_of(const rl::ConstraintPoint& c) const noexcept;
+
+  const MurmurationEnv& env_;
+  std::size_t capacity_;
+  // LRU: most-recent at front.
+  std::list<std::pair<std::uint64_t, Decision>> lru_;
+  std::unordered_map<std::uint64_t, decltype(lru_)::iterator> map_;
+  std::uint64_t hits_ = 0, misses_ = 0;
+};
+
+}  // namespace murmur::core

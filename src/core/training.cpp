@@ -1,0 +1,206 @@
+#include "core/training.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+#include "common/serialize.h"
+
+namespace murmur::core {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x4d435031u;  // "MCP1"
+
+std::array<int, rl::kNumHeads> head_options_of(const MurmurationEnv& env) {
+  std::array<int, rl::kNumHeads> heads{};
+  for (int h = 0; h < rl::kNumHeads; ++h)
+    heads[static_cast<std::size_t>(h)] =
+        env.head_options(static_cast<rl::Head>(h));
+  return heads;
+}
+
+std::string setup_key(const TrainSetup& s) {
+  std::ostringstream os;
+  os << netsim::scenario_name(s.scenario) << "_"
+     << (s.slo_type == SloType::kLatency ? "lat" : "acc") << "_"
+     << algo_name(s.algo) << "_s" << s.trainer.total_steps << "_h"
+     << s.policy.hidden << "_seed" << s.trainer.seed
+     << (s.curriculum ? "_cur" : "");
+  return os.str();
+}
+
+void save_checkpoint(const std::string& path, const TrainedArtifacts& art) {
+  ByteWriter w;
+  w.write_u32(kCheckpointMagic);
+  // Curve.
+  w.write_u64(art.curve.size());
+  for (const auto& p : art.curve) {
+    w.write_i32(p.step);
+    w.write_f64(p.avg_reward);
+    w.write_f64(p.compliance);
+  }
+  // Replay tree entries.
+  const auto entries = art.replay ? art.replay->all_entries()
+                                  : std::vector<const rl::ReplayEntry*>{};
+  w.write_u64(entries.size());
+  for (const auto* e : entries) {
+    w.write_f64_span(e->tight.coords);
+    w.write_u64(e->actions.size());
+    for (int a : e->actions) w.write_i32(a);
+    w.write_f64(e->outcome.accuracy);
+    w.write_f64(e->outcome.latency_ms);
+    w.write_f64(e->reward);
+  }
+  // Policy.
+  const auto policy_bytes = art.policy->serialize();
+  w.write_bytes(policy_bytes);
+
+  std::ofstream f(path, std::ios::binary);
+  const auto& buf = w.data();
+  f.write(reinterpret_cast<const char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size()));
+}
+
+bool load_checkpoint(const std::string& path, TrainedArtifacts& art,
+                     const rl::SupremeOptions& sup) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  ByteReader r(bytes);
+  std::uint32_t magic = 0;
+  if (!r.read_u32(magic) || magic != kCheckpointMagic) return false;
+  std::uint64_t n = 0;
+  if (!r.read_u64(n)) return false;
+  art.curve.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    rl::TrainPoint p;
+    if (!r.read_i32(p.step) || !r.read_f64(p.avg_reward) ||
+        !r.read_f64(p.compliance))
+      return false;
+    art.curve.push_back(p);
+  }
+  std::uint64_t n_entries = 0;
+  if (!r.read_u64(n_entries)) return false;
+  if (n_entries > 0) {
+    art.replay = std::make_unique<rl::BucketedReplayTree>(
+        art.env->constraint_dims(), art.env->grid_points() * 2, sup.bucket_queue);
+    for (std::uint64_t i = 0; i < n_entries; ++i) {
+      rl::ReplayEntry e;
+      if (!r.read_f64_vec(e.tight.coords)) return false;
+      std::uint64_t na = 0;
+      if (!r.read_u64(na)) return false;
+      e.actions.resize(na);
+      for (auto& a : e.actions)
+        if (!r.read_i32(a)) return false;
+      if (!r.read_f64(e.outcome.accuracy) || !r.read_f64(e.outcome.latency_ms) ||
+          !r.read_f64(e.reward))
+        return false;
+      art.replay->insert(std::move(e));
+    }
+  }
+  std::vector<std::uint8_t> policy_bytes;
+  if (!r.read_bytes(policy_bytes)) return false;
+  return art.policy->deserialize(policy_bytes);
+}
+
+}  // namespace
+
+const char* algo_name(Algo a) noexcept {
+  switch (a) {
+    case Algo::kSupreme: return "supreme";
+    case Algo::kGcsl: return "gcsl";
+    case Algo::kPpo: return "ppo";
+  }
+  return "?";
+}
+
+int default_train_steps() noexcept {
+  if (const char* env = std::getenv("MURMUR_TRAIN_STEPS"))
+    return std::max(1, std::atoi(env));
+  return 4000;
+}
+
+std::unique_ptr<MurmurationEnv> make_env(const TrainSetup& setup) {
+  return std::make_unique<MurmurationEnv>(netsim::make_scenario(setup.scenario),
+                                          setup.slo_type);
+}
+
+TrainedArtifacts train(const TrainSetup& setup) {
+  TrainedArtifacts art;
+  art.env = make_env(setup);
+
+  rl::TrainerOptions topts = setup.trainer;
+  if (topts.total_steps <= 0) topts.total_steps = default_train_steps();
+  topts.bootstrap = art.env->bootstrap_episodes();
+
+  rl::PolicyOptions popts = setup.policy;
+  popts.seed ^= topts.seed * 0x9E3779B97f4A7C15ULL;
+  art.policy = std::make_unique<rl::PolicyNetwork>(
+      art.env->feature_dim(), head_options_of(*art.env), popts);
+
+  MURMUR_LOG_INFO << "training " << algo_name(setup.algo) << " on "
+                  << netsim::scenario_name(setup.scenario) << " ("
+                  << topts.total_steps << " steps)";
+  switch (setup.algo) {
+    case Algo::kSupreme: {
+      rl::SupremeOptions sup = setup.supreme;
+      if (setup.curriculum && sup.curriculum_steps == 0)
+        sup.curriculum_steps = topts.total_steps / 4;
+      rl::SupremeTrainer trainer(*art.env, topts, sup);
+      art.curve = trainer.train(*art.policy);
+      // Keep the final strategy store for runtime decision making.
+      art.replay = std::make_unique<rl::BucketedReplayTree>(
+          art.env->constraint_dims(), art.env->grid_points() * 2, sup.bucket_queue);
+      for (const auto* e : trainer.replay().all_entries())
+        art.replay->insert(*e);
+      break;
+    }
+    case Algo::kGcsl: {
+      rl::GcslTrainer trainer(*art.env, topts);
+      art.curve = trainer.train(*art.policy);
+      break;
+    }
+    case Algo::kPpo: {
+      rl::PpoTrainer trainer(*art.env, topts);
+      art.curve = trainer.train(*art.policy);
+      break;
+    }
+  }
+  return art;
+}
+
+TrainedArtifacts train_or_load(const TrainSetup& setup,
+                               const std::string& cache_dir) {
+  const bool no_cache =
+      std::getenv("MURMUR_NO_CACHE") != nullptr;
+  TrainSetup s = setup;
+  if (s.trainer.total_steps <= 0) s.trainer.total_steps = default_train_steps();
+  const std::string path =
+      cache_dir + "/" + setup_key(s) + ".ckpt";
+
+  if (!no_cache && std::filesystem::exists(path)) {
+    TrainedArtifacts art;
+    art.env = make_env(s);
+    rl::PolicyOptions popts = s.policy;
+    popts.seed ^= s.trainer.seed * 0x9E3779B97f4A7C15ULL;
+    art.policy = std::make_unique<rl::PolicyNetwork>(
+        art.env->feature_dim(), head_options_of(*art.env), popts);
+    if (load_checkpoint(path, art, s.supreme)) {
+      MURMUR_LOG_INFO << "loaded checkpoint " << path;
+      return art;
+    }
+    MURMUR_LOG_WARN << "stale checkpoint " << path << ", retraining";
+  }
+
+  TrainedArtifacts art = train(s);
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir, ec);
+  if (!ec) save_checkpoint(path, art);
+  return art;
+}
+
+}  // namespace murmur::core

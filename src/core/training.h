@@ -1,0 +1,57 @@
+// Offline Stage-2 training orchestration: build the env for a scenario,
+// bootstrap, run the chosen trainer, and checkpoint (policy + training
+// curve + replay tree) so benchmarks can reuse trained artifacts instead of
+// retraining per figure.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/murmuration_env.h"
+#include "netsim/scenario.h"
+#include "rl/gcsl.h"
+#include "rl/ppo.h"
+#include "rl/supreme.h"
+
+namespace murmur::core {
+
+enum class Algo { kSupreme, kGcsl, kPpo };
+const char* algo_name(Algo a) noexcept;
+
+struct TrainSetup {
+  netsim::Scenario scenario = netsim::Scenario::kAugmentedComputing;
+  SloType slo_type = SloType::kLatency;
+  Algo algo = Algo::kSupreme;
+  rl::TrainerOptions trainer{};
+  rl::SupremeOptions supreme{};
+  rl::PolicyOptions policy{};
+  /// Curriculum on => supreme.curriculum_steps set to half the run.
+  bool curriculum = true;
+};
+
+/// Owns everything a trained Murmuration policy needs at decision time.
+struct TrainedArtifacts {
+  std::unique_ptr<MurmurationEnv> env;
+  std::unique_ptr<rl::PolicyNetwork> policy;
+  rl::TrainingCurve curve;
+  /// Non-null for SUPREME: the final bucketed replay tree (strategy store).
+  std::unique_ptr<rl::BucketedReplayTree> replay;
+};
+
+/// Default number of training steps; override with env var
+/// MURMUR_TRAIN_STEPS (benchmark knob for slower/faster machines).
+int default_train_steps() noexcept;
+
+/// Build the env (with scenario defaults) for a setup.
+std::unique_ptr<MurmurationEnv> make_env(const TrainSetup& setup);
+
+/// Train from scratch.
+TrainedArtifacts train(const TrainSetup& setup);
+
+/// Train, or load a matching checkpoint from `cache_dir` if present.
+/// Checkpoints are written after training; set MURMUR_NO_CACHE=1 to force
+/// retraining.
+TrainedArtifacts train_or_load(const TrainSetup& setup,
+                               const std::string& cache_dir = ".murmur_cache");
+
+}  // namespace murmur::core

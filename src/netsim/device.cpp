@@ -1,0 +1,44 @@
+#include "netsim/device.h"
+
+namespace murmur::netsim {
+
+const char* device_type_name(DeviceType t) noexcept {
+  switch (t) {
+    case DeviceType::kRaspberryPi4: return "RaspberryPi4";
+    case DeviceType::kDesktopCpu: return "DesktopCPU";
+    case DeviceType::kDesktopGpu: return "DesktopGPU";
+    case DeviceType::kJetson: return "JetsonNano";
+  }
+  return "?";
+}
+
+Throughput device_throughput(DeviceType t) noexcept {
+  switch (t) {
+    case DeviceType::kRaspberryPi4: return Throughput::from_gflops(1.5);
+    case DeviceType::kDesktopCpu: return Throughput::from_gflops(20.0);
+    case DeviceType::kDesktopGpu: return Throughput::from_gflops(100.0);
+    case DeviceType::kJetson: return Throughput::from_gflops(8.0);
+  }
+  return Throughput::from_gflops(1.0);
+}
+
+double device_type_feature(DeviceType t) noexcept {
+  switch (t) {
+    case DeviceType::kRaspberryPi4: return 0.1;
+    case DeviceType::kJetson: return 0.35;
+    case DeviceType::kDesktopCpu: return 0.6;
+    case DeviceType::kDesktopGpu: return 1.0;
+  }
+  return 0.0;
+}
+
+Device Device::make(int id, DeviceType type) {
+  Device d;
+  d.id = id;
+  d.type = type;
+  d.throughput = device_throughput(type);
+  d.name = std::string(device_type_name(type)) + "#" + std::to_string(id);
+  return d;
+}
+
+}  // namespace murmur::netsim

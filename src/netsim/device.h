@@ -1,0 +1,38 @@
+// Simulated edge devices.
+//
+// Substitution (DESIGN.md §2): the paper's physical testbed is one
+// Raspberry Pi 4 + one AMD Ryzen 5500 / GTX1080 desktop (Augmented
+// Computing scenario) and five Raspberry Pi 4s (Device Swarm scenario).
+// Each device is modelled by an effective fp32 CNN throughput, calibrated
+// so single-device latencies of the zoo models land in the regime the
+// paper's figures imply (e.g. fixed MobileNetV3 cannot meet a 140 ms SLO
+// on the Pi alone, ResNeXt101 cannot meet it even on the GPU).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace murmur::netsim {
+
+enum class DeviceType { kRaspberryPi4, kDesktopCpu, kDesktopGpu, kJetson };
+
+const char* device_type_name(DeviceType t) noexcept;
+
+/// Calibrated effective throughput per device type.
+Throughput device_throughput(DeviceType t) noexcept;
+
+/// Normalized device-type feature for the RL policy state (0..1).
+double device_type_feature(DeviceType t) noexcept;
+
+struct Device {
+  int id = 0;
+  DeviceType type = DeviceType::kRaspberryPi4;
+  Throughput throughput = device_throughput(DeviceType::kRaspberryPi4);
+  std::string name;
+
+  static Device make(int id, DeviceType type);
+};
+
+}  // namespace murmur::netsim

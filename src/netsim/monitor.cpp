@@ -1,0 +1,72 @@
+#include "netsim/monitor.h"
+
+#include <algorithm>
+
+namespace murmur::netsim {
+
+NetworkMonitor::NetworkMonitor(const Network& network, Options opts)
+    : network_(network),
+      opts_(opts),
+      rng_(opts.seed),
+      history_(network.num_devices()),
+      bw_ewma_(network.num_devices(), Ewma(opts.ewma_alpha)),
+      delay_ewma_(network.num_devices(), Ewma(opts.ewma_alpha)) {}
+
+MonitorSample NetworkMonitor::probe(std::size_t device, double t_ms) {
+  const auto& link = network_.link(device);
+  MonitorSample s;
+  s.t_ms = t_ms;
+  s.bandwidth_mbps =
+      std::max(0.01, link.bandwidth.mbps *
+                         (1.0 + rng_.normal(0.0, opts_.bandwidth_noise)));
+  s.delay_ms = std::max(
+      0.0, link.delay.ms * (1.0 + rng_.normal(0.0, opts_.delay_noise)));
+  history_[device].push_back(s);
+  while (history_[device].size() > opts_.history) history_[device].pop_front();
+  bw_ewma_[device].add(s.bandwidth_mbps);
+  delay_ewma_[device].add(s.delay_ms);
+  return s;
+}
+
+void NetworkMonitor::probe_all(double t_ms) {
+  for (std::size_t d = 1; d < network_.num_devices(); ++d) probe(d, t_ms);
+}
+
+void NetworkMonitor::observe_transfer(std::size_t device, double bytes,
+                                      double elapsed_ms, double t_ms) {
+  const double delay = delay_estimate(device);
+  const double serialize_ms = std::max(0.1, elapsed_ms - delay);
+  MonitorSample s;
+  s.t_ms = t_ms;
+  s.bandwidth_mbps = bytes * 8.0 / 1e6 / (serialize_ms / 1e3);
+  s.delay_ms = delay;
+  history_[device].push_back(s);
+  while (history_[device].size() > opts_.history) history_[device].pop_front();
+  bw_ewma_[device].add(s.bandwidth_mbps);
+}
+
+double NetworkMonitor::bandwidth_estimate(std::size_t device) const noexcept {
+  if (bw_ewma_[device].initialized()) return bw_ewma_[device].value();
+  return network_.link(device).bandwidth.mbps;  // no probe yet
+}
+
+double NetworkMonitor::delay_estimate(std::size_t device) const noexcept {
+  if (delay_ewma_[device].initialized()) return delay_ewma_[device].value();
+  return network_.link(device).delay.ms;
+}
+
+NetworkConditions NetworkMonitor::estimate() const {
+  NetworkConditions c;
+  for (std::size_t d = 0; d < network_.num_devices(); ++d) {
+    if (d == 0) {
+      c.bandwidth_mbps.push_back(network_.link(0).bandwidth.mbps);
+      c.delay_ms.push_back(network_.link(0).delay.ms);
+    } else {
+      c.bandwidth_mbps.push_back(bandwidth_estimate(d));
+      c.delay_ms.push_back(delay_estimate(d));
+    }
+  }
+  return c;
+}
+
+}  // namespace murmur::netsim

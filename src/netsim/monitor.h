@@ -1,0 +1,68 @@
+// Network monitoring (paper §5: "monitors network delay and bandwidth using
+// active and passive methods").
+//
+// Active probes measure a device's link with multiplicative noise (real
+// bandwidth estimators are noisy); passive observations reuse byte counts
+// from recent transfers. Both feed per-metric EWMA smoothers and a history
+// ring used by the linear-regression predictor.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "netsim/network.h"
+
+namespace murmur::netsim {
+
+struct MonitorSample {
+  double t_ms = 0.0;
+  double bandwidth_mbps = 0.0;
+  double delay_ms = 0.0;
+};
+
+class NetworkMonitor {
+ public:
+  struct Options {
+    double bandwidth_noise = 0.05;  // multiplicative stddev of active probes
+    double delay_noise = 0.03;
+    std::size_t history = 64;  // samples retained per device
+    double ewma_alpha = 0.4;
+    std::uint64_t seed = 99;
+  };
+
+  NetworkMonitor(const Network& network, Options opts);
+  explicit NetworkMonitor(const Network& network)
+      : NetworkMonitor(network, Options{}) {}
+
+  /// Active probe of every remote device's link at simulated time `t_ms`.
+  void probe_all(double t_ms);
+  /// Active probe of one device.
+  MonitorSample probe(std::size_t device, double t_ms);
+  /// Passive observation: a transfer of `bytes` to `device` took
+  /// `elapsed_ms`; infers bandwidth after subtracting known delay.
+  void observe_transfer(std::size_t device, double bytes, double elapsed_ms,
+                        double t_ms);
+
+  /// Smoothed current estimate for one device.
+  double bandwidth_estimate(std::size_t device) const noexcept;
+  double delay_estimate(std::size_t device) const noexcept;
+
+  /// Estimated conditions snapshot for all devices (device 0 reported from
+  /// ground truth: the local link is not probed over itself).
+  NetworkConditions estimate() const;
+
+  const std::deque<MonitorSample>& history(std::size_t device) const noexcept {
+    return history_[device];
+  }
+
+ private:
+  const Network& network_;
+  Options opts_;
+  Rng rng_;
+  std::vector<std::deque<MonitorSample>> history_;
+  std::vector<Ewma> bw_ewma_, delay_ewma_;
+};
+
+}  // namespace murmur::netsim

@@ -1,0 +1,56 @@
+#include "netsim/network.h"
+
+#include <algorithm>
+
+namespace murmur::netsim {
+
+Network::Network(std::vector<Device> devices)
+    : devices_(std::move(devices)), links_(devices_.size()) {
+  assert(!devices_.empty());
+}
+
+void Network::shape(std::size_t device, Bandwidth bw, Delay delay) noexcept {
+  assert(device < links_.size());
+  links_[device] = LinkState{bw, delay};
+}
+
+void Network::shape_all(Bandwidth bw, Delay delay) noexcept {
+  for (auto& l : links_) l = LinkState{bw, delay};
+}
+
+void Network::apply(const NetworkConditions& cond) noexcept {
+  assert(cond.num_devices() == links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i)
+    links_[i] = LinkState{Bandwidth::from_mbps(cond.bandwidth_mbps[i]),
+                          Delay::from_ms(cond.delay_ms[i])};
+}
+
+double Network::path_delay_ms(std::size_t a, std::size_t b) const noexcept {
+  if (a == b) return 0.0;
+  return links_[a].delay.ms + links_[b].delay.ms;
+}
+
+Bandwidth Network::path_bandwidth(std::size_t a, std::size_t b) const noexcept {
+  if (a == b) return Bandwidth::from_gbps(1e6);  // in-memory
+  return Bandwidth::from_mbps(
+      std::min(links_[a].bandwidth.mbps, links_[b].bandwidth.mbps));
+}
+
+double Network::transfer_ms(std::size_t a, std::size_t b,
+                            double bytes) const noexcept {
+  if (a == b) return 0.0;
+  return path_delay_ms(a, b) + path_bandwidth(a, b).transfer_ms(bytes);
+}
+
+NetworkConditions Network::conditions() const {
+  NetworkConditions c;
+  c.bandwidth_mbps.reserve(links_.size());
+  c.delay_ms.reserve(links_.size());
+  for (const auto& l : links_) {
+    c.bandwidth_mbps.push_back(l.bandwidth.mbps);
+    c.delay_ms.push_back(l.delay.ms);
+  }
+  return c;
+}
+
+}  // namespace murmur::netsim

@@ -1,0 +1,67 @@
+// Star-topology edge network with tc-style traffic shaping.
+//
+// Device 0 is the local device (where inference requests originate); all
+// devices hang off one Ethernet switch, as in the paper's testbed. The
+// per-device shaped bandwidth/delay (the paper sets these with `tc`) are
+// the link parameters between the switch and that device. The effective
+// path between two devices traverses both endpoints' shaping.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "common/units.h"
+#include "netsim/device.h"
+
+namespace murmur::netsim {
+
+/// Shaped conditions of one device's access link.
+struct LinkState {
+  Bandwidth bandwidth = Bandwidth::from_gbps(1.0);
+  Delay delay = Delay::from_ms(0.1);
+};
+
+/// Immutable snapshot of all devices' link conditions — this is the RL
+/// "task" descriptor (one task = one network condition vector).
+struct NetworkConditions {
+  std::vector<double> bandwidth_mbps;  // per device (index 0 = local)
+  std::vector<double> delay_ms;
+
+  std::size_t num_devices() const noexcept { return bandwidth_mbps.size(); }
+  bool operator==(const NetworkConditions&) const = default;
+};
+
+class Network {
+ public:
+  explicit Network(std::vector<Device> devices);
+
+  std::size_t num_devices() const noexcept { return devices_.size(); }
+  const Device& device(std::size_t i) const noexcept { return devices_[i]; }
+  const std::vector<Device>& devices() const noexcept { return devices_; }
+
+  /// tc-style shaping of one device's access link.
+  void shape(std::size_t device, Bandwidth bw, Delay delay) noexcept;
+  void shape_all(Bandwidth bw, Delay delay) noexcept;
+  /// Apply a full conditions snapshot (sizes must match).
+  void apply(const NetworkConditions& cond) noexcept;
+
+  const LinkState& link(std::size_t device) const noexcept {
+    return links_[device];
+  }
+
+  /// Ground-truth transfer time of `bytes` from device a to device b:
+  /// both access-link delays plus serialization at the bottleneck rate.
+  double transfer_ms(std::size_t a, std::size_t b, double bytes) const noexcept;
+  /// One-way path delay a -> b (0 if a == b).
+  double path_delay_ms(std::size_t a, std::size_t b) const noexcept;
+  /// Bottleneck bandwidth on the a -> b path.
+  Bandwidth path_bandwidth(std::size_t a, std::size_t b) const noexcept;
+
+  NetworkConditions conditions() const;
+
+ private:
+  std::vector<Device> devices_;
+  std::vector<LinkState> links_;
+};
+
+}  // namespace murmur::netsim

@@ -1,0 +1,43 @@
+#include "netsim/predictor.h"
+
+#include <algorithm>
+
+namespace murmur::netsim {
+
+MonitorPredictor::Forecast MonitorPredictor::forecast(
+    std::size_t device, double horizon_ms) const {
+  const auto& hist = monitor_.history(device);
+  Forecast f;
+  if (hist.size() < 4) {
+    f.bandwidth_mbps = monitor_.bandwidth_estimate(device);
+    f.delay_ms = monitor_.delay_estimate(device);
+    f.confidence = 0.0;
+    return f;
+  }
+  std::vector<double> ts, bws, delays;
+  ts.reserve(hist.size());
+  for (const auto& s : hist) {
+    ts.push_back(s.t_ms);
+    bws.push_back(s.bandwidth_mbps);
+    delays.push_back(s.delay_ms);
+  }
+  const double t_pred = ts.back() + horizon_ms;
+  const auto bw_fit = SimpleLinReg::fit(ts, bws);
+  const auto delay_fit = SimpleLinReg::fit(ts, delays);
+  f.bandwidth_mbps = std::max(0.01, bw_fit.predict(t_pred));
+  f.delay_ms = std::max(0.0, delay_fit.predict(t_pred));
+  f.confidence = std::min(bw_fit.r2, delay_fit.r2);
+  return f;
+}
+
+NetworkConditions MonitorPredictor::forecast_all(double horizon_ms) const {
+  NetworkConditions base = monitor_.estimate();
+  for (std::size_t d = 1; d < base.num_devices(); ++d) {
+    const Forecast f = forecast(d, horizon_ms);
+    base.bandwidth_mbps[d] = f.bandwidth_mbps;
+    base.delay_ms[d] = f.delay_ms;
+  }
+  return base;
+}
+
+}  // namespace murmur::netsim

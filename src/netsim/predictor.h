@@ -1,0 +1,34 @@
+// Monitoring-data predictor (paper §5): "predicts short-term monitoring
+// data change ... utilizes a lightweight linear regression method", enabling
+// the runtime to precompute strategies for where conditions are heading.
+#pragma once
+
+#include "common/linreg.h"
+#include "netsim/monitor.h"
+
+namespace murmur::netsim {
+
+class MonitorPredictor {
+ public:
+  struct Forecast {
+    double bandwidth_mbps = 0.0;
+    double delay_ms = 0.0;
+    double confidence = 0.0;  // min of the two fits' R^2
+  };
+
+  explicit MonitorPredictor(const NetworkMonitor& monitor)
+      : monitor_(monitor) {}
+
+  /// Forecast device `device`'s conditions `horizon_ms` past its latest
+  /// sample by fitting y = a + b*t to the monitor history. Falls back to
+  /// the current EWMA estimate when history is too short (< 4 samples).
+  Forecast forecast(std::size_t device, double horizon_ms) const;
+
+  /// Full predicted conditions snapshot.
+  NetworkConditions forecast_all(double horizon_ms) const;
+
+ private:
+  const NetworkMonitor& monitor_;
+};
+
+}  // namespace murmur::netsim

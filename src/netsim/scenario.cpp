@@ -1,0 +1,65 @@
+#include "netsim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace murmur::netsim {
+
+const char* scenario_name(Scenario s) noexcept {
+  switch (s) {
+    case Scenario::kAugmentedComputing: return "augmented_computing";
+    case Scenario::kDeviceSwarm: return "device_swarm";
+  }
+  return "?";
+}
+
+namespace {
+Network finalize(std::vector<Device> devices) {
+  Network net(std::move(devices));
+  // Local access link: effectively unshaped (1 GbE switch port).
+  net.shape(0, Bandwidth::from_gbps(1.0), Delay::from_ms(0.05));
+  for (std::size_t d = 1; d < net.num_devices(); ++d)
+    net.shape(d, Bandwidth::from_gbps(1.0), Delay::from_ms(0.05));
+  return net;
+}
+}  // namespace
+
+Network make_augmented_computing() {
+  return finalize({Device::make(0, DeviceType::kRaspberryPi4),
+                   Device::make(1, DeviceType::kDesktopGpu)});
+}
+
+Network make_device_swarm() { return make_pi_swarm(5); }
+
+Network make_pi_swarm(std::size_t n) {
+  std::vector<Device> devices;
+  devices.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    devices.push_back(Device::make(static_cast<int>(i),
+                                   DeviceType::kRaspberryPi4));
+  return finalize(std::move(devices));
+}
+
+Network make_scenario(Scenario s) {
+  return s == Scenario::kAugmentedComputing ? make_augmented_computing()
+                                            : make_device_swarm();
+}
+
+void shape_remotes(Network& net, Bandwidth bw, Delay delay) noexcept {
+  for (std::size_t d = 1; d < net.num_devices(); ++d) net.shape(d, bw, delay);
+}
+
+void NetworkDynamics::step(Network& net) {
+  for (std::size_t d = 1; d < net.num_devices(); ++d) {
+    const auto& link = net.link(d);
+    const double bw = std::clamp(
+        link.bandwidth.mbps * std::exp(rng_.normal(0.0, opts_.sigma_bw)),
+        opts_.min_bandwidth_mbps, opts_.max_bandwidth_mbps);
+    const double delay =
+        std::clamp(link.delay.ms + rng_.normal(0.0, opts_.sigma_delay_ms),
+                   opts_.min_delay_ms, opts_.max_delay_ms);
+    net.shape(d, Bandwidth::from_mbps(bw), Delay::from_ms(delay));
+  }
+}
+
+}  // namespace murmur::netsim

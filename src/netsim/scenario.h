@@ -1,0 +1,56 @@
+// The paper's two evaluation scenarios (§6) plus a scalable swarm builder
+// for the Fig 17 scalability sweep, and a random-walk dynamics process for
+// "dynamic edge environment" experiments.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "netsim/network.h"
+
+namespace murmur::netsim {
+
+enum class Scenario { kAugmentedComputing, kDeviceSwarm };
+
+const char* scenario_name(Scenario s) noexcept;
+
+/// Augmented Computing: Raspberry Pi 4 (local) + GTX1080 desktop (remote).
+Network make_augmented_computing();
+/// Device Swarm: 5 Raspberry Pi 4s (1 local + 4 remote).
+Network make_device_swarm();
+/// Swarm of `n` Raspberry Pi 4s (Fig 17 sweeps n = 1..9).
+Network make_pi_swarm(std::size_t n);
+Network make_scenario(Scenario s);
+
+/// Shape every remote device's link; the local access link stays at
+/// 1 Gbps / ~0 ms so the per-remote shaping alone defines path conditions
+/// (matching how tc shaping is applied in the paper's testbed).
+void shape_remotes(Network& net, Bandwidth bw, Delay delay) noexcept;
+
+/// Bounded random-walk evolution of link conditions — the "dynamic edge
+/// environment". Each step multiplies bandwidth by exp(N(0, sigma_bw)) and
+/// perturbs delay additively, clamped to [min, max].
+class NetworkDynamics {
+ public:
+  struct Options {
+    double sigma_bw = 0.08;
+    double sigma_delay_ms = 2.0;
+    double min_bandwidth_mbps = 5.0;
+    double max_bandwidth_mbps = 500.0;
+    double min_delay_ms = 1.0;
+    double max_delay_ms = 100.0;
+    std::uint64_t seed = 31;
+  };
+
+  explicit NetworkDynamics(Options opts) : opts_(opts), rng_(opts.seed) {}
+  NetworkDynamics() : NetworkDynamics(Options{}) {}
+
+  /// Evolve every remote link of `net` by one step.
+  void step(Network& net);
+
+ private:
+  Options opts_;
+  Rng rng_;
+};
+
+}  // namespace murmur::netsim

@@ -1,0 +1,104 @@
+#include "netsim/trace.h"
+
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+namespace murmur::netsim {
+
+void ConditionTrace::add(double t_ms, NetworkConditions conditions) {
+  assert(frames_.empty() || t_ms >= frames_.back().t_ms);
+  assert(frames_.empty() ||
+         conditions.num_devices() == frames_.front().conditions.num_devices());
+  frames_.push_back(Frame{t_ms, std::move(conditions)});
+}
+
+const NetworkConditions& ConditionTrace::at(double t_ms) const {
+  assert(!frames_.empty());
+  const Frame* best = &frames_.front();
+  for (const auto& f : frames_) {
+    if (f.t_ms > t_ms) break;
+    best = &f;
+  }
+  return best->conditions;
+}
+
+ConditionTrace ConditionTrace::record_random_walk(
+    Network net, NetworkDynamics::Options dynamics, int frames, double dt_ms) {
+  ConditionTrace trace;
+  NetworkDynamics dyn(dynamics);
+  for (int i = 0; i < frames; ++i) {
+    trace.add(i * dt_ms, net.conditions());
+    dyn.step(net);
+  }
+  return trace;
+}
+
+std::string ConditionTrace::to_csv() const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "t_ms";
+  for (std::size_t d = 0; d < num_devices(); ++d)
+    os << ",bw_" << d << ",delay_" << d;
+  os << '\n';
+  for (const auto& f : frames_) {
+    os << f.t_ms;
+    for (std::size_t d = 0; d < f.conditions.num_devices(); ++d)
+      os << ',' << f.conditions.bandwidth_mbps[d] << ','
+         << f.conditions.delay_ms[d];
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::optional<ConditionTrace> ConditionTrace::from_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  std::string line;
+  if (!std::getline(is, line)) return std::nullopt;  // header
+  // Count devices from the header: 1 + 2n columns.
+  std::size_t cols = 1;
+  for (char ch : line)
+    if (ch == ',') ++cols;
+  if (cols < 3 || (cols - 1) % 2 != 0) return std::nullopt;
+  const std::size_t devices = (cols - 1) / 2;
+
+  ConditionTrace trace;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    Frame f;
+    if (!std::getline(ls, cell, ',')) return std::nullopt;
+    f.t_ms = std::stod(cell);
+    f.conditions.bandwidth_mbps.resize(devices);
+    f.conditions.delay_ms.resize(devices);
+    for (std::size_t d = 0; d < devices; ++d) {
+      if (!std::getline(ls, cell, ',')) return std::nullopt;
+      f.conditions.bandwidth_mbps[d] = std::stod(cell);
+      if (!std::getline(ls, cell, ',')) return std::nullopt;
+      f.conditions.delay_ms[d] = std::stod(cell);
+    }
+    if (!trace.frames_.empty() && f.t_ms < trace.frames_.back().t_ms)
+      return std::nullopt;
+    trace.frames_.push_back(std::move(f));
+  }
+  if (trace.frames_.empty()) return std::nullopt;
+  return trace;
+}
+
+bool ConditionTrace::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+std::optional<ConditionTrace> ConditionTrace::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return from_csv(ss.str());
+}
+
+}  // namespace murmur::netsim

@@ -1,0 +1,61 @@
+// Network-condition traces: record the evolution of link conditions
+// (timestamped NetworkConditions snapshots), persist them as CSV, and
+// replay them into a simulated network. Used by the dynamic-environment
+// examples and the runtime ablations so experiments on "dynamic edge
+// environments" are repeatable.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "netsim/network.h"
+#include "netsim/scenario.h"
+
+namespace murmur::netsim {
+
+class ConditionTrace {
+ public:
+  struct Frame {
+    double t_ms = 0.0;
+    NetworkConditions conditions;
+  };
+
+  void add(double t_ms, NetworkConditions conditions);
+  std::size_t size() const noexcept { return frames_.size(); }
+  bool empty() const noexcept { return frames_.empty(); }
+  const Frame& frame(std::size_t i) const noexcept { return frames_[i]; }
+  double duration_ms() const noexcept {
+    return frames_.empty() ? 0.0 : frames_.back().t_ms;
+  }
+  std::size_t num_devices() const noexcept {
+    return frames_.empty() ? 0 : frames_.front().conditions.num_devices();
+  }
+
+  /// Conditions at time t (step interpolation: last frame with t_ms <= t;
+  /// the first frame before the trace starts).
+  const NetworkConditions& at(double t_ms) const;
+
+  /// Apply the conditions at time t to `net`.
+  void replay_into(Network& net, double t_ms) const { net.apply(at(t_ms)); }
+
+  // --- generation ------------------------------------------------------
+  /// Record `frames` snapshots, `dt_ms` apart, of a network evolving under
+  /// the random-walk dynamics.
+  static ConditionTrace record_random_walk(Network net,
+                                           NetworkDynamics::Options dynamics,
+                                           int frames, double dt_ms);
+
+  // --- persistence -------------------------------------------------------
+  /// CSV schema: t_ms, bw_0, delay_0, bw_1, delay_1, ...
+  std::string to_csv() const;
+  static std::optional<ConditionTrace> from_csv(const std::string& csv);
+  bool save(const std::string& path) const;
+  static std::optional<ConditionTrace> load(const std::string& path);
+
+ private:
+  std::vector<Frame> frames_;
+};
+
+}  // namespace murmur::netsim

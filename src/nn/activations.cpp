@@ -1,0 +1,36 @@
+#include "nn/activations.h"
+
+namespace murmur::nn {
+
+float apply_activation(Activation a, float x) noexcept {
+  switch (a) {
+    case Activation::kIdentity:
+      return x;
+    case Activation::kRelu:
+      return x > 0.0f ? x : 0.0f;
+    case Activation::kHardSwish: {
+      const float r = std::clamp(x + 3.0f, 0.0f, 6.0f);
+      return x * r / 6.0f;
+    }
+    case Activation::kHardSigmoid:
+      return std::clamp(x + 3.0f, 0.0f, 6.0f) / 6.0f;
+  }
+  return x;
+}
+
+void apply_activation(Activation a, Tensor& t) noexcept {
+  if (a == Activation::kIdentity) return;
+  for (auto& v : t.data()) v = apply_activation(a, v);
+}
+
+const char* activation_name(Activation a) noexcept {
+  switch (a) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kRelu: return "relu";
+    case Activation::kHardSwish: return "hardswish";
+    case Activation::kHardSigmoid: return "hardsigmoid";
+  }
+  return "?";
+}
+
+}  // namespace murmur::nn

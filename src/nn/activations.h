@@ -1,0 +1,38 @@
+// Pointwise activations used by MobileNetV3: ReLU, hard-swish, hard-sigmoid.
+#pragma once
+
+#include <algorithm>
+
+#include "nn/layer.h"
+
+namespace murmur::nn {
+
+enum class Activation { kIdentity, kRelu, kHardSwish, kHardSigmoid };
+
+float apply_activation(Activation a, float x) noexcept;
+/// In-place over a whole tensor.
+void apply_activation(Activation a, Tensor& t) noexcept;
+const char* activation_name(Activation a) noexcept;
+
+/// Activation as a standalone layer (used inside Sequential).
+class ActivationLayer final : public Layer {
+ public:
+  explicit ActivationLayer(Activation a) noexcept : act_(a) {}
+  Tensor forward(const Tensor& input) override {
+    Tensor out = input;
+    apply_activation(act_, out);
+    return out;
+  }
+  std::vector<int> out_shape(const std::vector<int>& in) const override {
+    return in;
+  }
+  double flops(const std::vector<int>& in) const override {
+    return static_cast<double>(shape_numel(in));
+  }
+  std::string name() const override { return activation_name(act_); }
+
+ private:
+  Activation act_;
+};
+
+}  // namespace murmur::nn

@@ -1,0 +1,46 @@
+#include "nn/batchnorm.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace murmur::nn {
+
+BatchNorm::BatchNorm(int channels) : channels_(channels) {
+  scale_.assign(static_cast<std::size_t>(channels), 1.0f);
+  shift_.assign(static_cast<std::size_t>(channels), 0.0f);
+}
+
+BatchNorm::BatchNorm(int channels, std::span<const float> gamma,
+                     std::span<const float> beta,
+                     std::span<const float> running_mean,
+                     std::span<const float> running_var, float eps)
+    : BatchNorm(channels) {
+  assert(gamma.size() == static_cast<std::size_t>(channels));
+  for (int c = 0; c < channels; ++c) {
+    const float inv = 1.0f / std::sqrt(running_var[c] + eps);
+    scale_[c] = gamma[c] * inv;
+    shift_[c] = beta[c] - running_mean[c] * gamma[c] * inv;
+  }
+}
+
+Tensor BatchNorm::forward(const Tensor& input) {
+  assert(input.rank() == 4 && input.dim(1) == channels_);
+  Tensor out = input;
+  const int n = out.dim(0), h = out.dim(2), w = out.dim(3);
+  for (int b = 0; b < n; ++b)
+    for (int c = 0; c < channels_; ++c) {
+      const float s = scale_[c], t = shift_[c];
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) out.at(b, c, y, x) = s * out.at(b, c, y, x) + t;
+    }
+  return out;
+}
+
+std::string BatchNorm::name() const {
+  std::ostringstream os;
+  os << "bn(" << channels_ << ")";
+  return os.str();
+}
+
+}  // namespace murmur::nn

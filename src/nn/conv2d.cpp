@@ -1,0 +1,144 @@
+#include "nn/conv2d.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "tensor/gemm.h"
+
+namespace murmur::nn {
+
+Conv2D::Conv2D(int in_channels, int out_channels, int max_kernel, int stride,
+               int groups, Rng& rng, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      max_kernel_(max_kernel),
+      stride_(stride),
+      groups_(groups),
+      active_kernel_(max_kernel) {
+  assert(max_kernel % 2 == 1);
+  assert(in_channels % groups == 0 && out_channels % groups == 0);
+  const int cpg = in_channels / groups;
+  weight_ = Tensor::kaiming({out_channels, cpg, max_kernel, max_kernel},
+                            cpg * max_kernel * max_kernel, rng);
+  if (bias) bias_.assign(static_cast<std::size_t>(out_channels), 0.0f);
+}
+
+void Conv2D::set_active_kernel(int k) {
+  assert(k % 2 == 1 && k >= 1 && k <= max_kernel_);
+  active_kernel_ = k;
+}
+
+Tensor Conv2D::cropped_weight() const {
+  if (active_kernel_ == max_kernel_) return weight_;
+  const int off = (max_kernel_ - active_kernel_) / 2;
+  const int cpg = in_channels_ / groups_;
+  Tensor w({out_channels_, cpg, active_kernel_, active_kernel_});
+  for (int o = 0; o < out_channels_; ++o)
+    for (int c = 0; c < cpg; ++c)
+      for (int y = 0; y < active_kernel_; ++y)
+        for (int x = 0; x < active_kernel_; ++x)
+          w.at(o, c, y, x) = weight_.at(o, c, y + off, x + off);
+  return w;
+}
+
+std::vector<int> Conv2D::out_shape(const std::vector<int>& in) const {
+  assert(in.size() == 4);
+  const int pad = active_kernel_ / 2;
+  return {in[0], out_channels_,
+          conv_out_size(in[2], active_kernel_, stride_, pad),
+          conv_out_size(in[3], active_kernel_, stride_, pad)};
+}
+
+double Conv2D::flops(const std::vector<int>& in) const {
+  const auto out = out_shape(in);
+  const double per_out = 2.0 * (in_channels_ / groups_) * active_kernel_ *
+                         active_kernel_;
+  return per_out * out[0] * out[1] * out[2] * out[3];
+}
+
+std::size_t Conv2D::param_bytes() const noexcept {
+  return weight_.bytes() + bias_.size() * sizeof(float);
+}
+
+std::string Conv2D::name() const {
+  std::ostringstream os;
+  os << (depthwise() ? "dwconv" : "conv") << active_kernel_ << "x"
+     << active_kernel_ << "s" << stride_ << "(" << in_channels_ << "->"
+     << out_channels_ << ")";
+  return os.str();
+}
+
+Tensor Conv2D::forward(const Tensor& input) {
+  assert(input.rank() == 4);
+  assert(input.dim(1) == in_channels_);
+  return forward_grouped(input, cropped_weight());
+}
+
+Tensor Conv2D::forward_grouped(const Tensor& input, const Tensor& w) const {
+  const int n = input.dim(0);
+  const int h = input.dim(2);
+  const int wd = input.dim(3);
+  const int k = active_kernel_;
+  const int pad = k / 2;
+  const int oh = conv_out_size(h, k, stride_, pad);
+  const int ow = conv_out_size(wd, k, stride_, pad);
+  const int cpg = in_channels_ / groups_;   // input channels per group
+  const int opg = out_channels_ / groups_;  // output channels per group
+  Tensor out({n, out_channels_, oh, ow});
+
+  if (depthwise()) {
+    // Direct loop: im2col buys nothing for 1-channel groups.
+    for (int b = 0; b < n; ++b) {
+      for (int c = 0; c < in_channels_; ++c) {
+        for (int oy = 0; oy < oh; ++oy) {
+          for (int ox = 0; ox < ow; ++ox) {
+            float acc = bias_.empty() ? 0.0f : bias_[c];
+            for (int ky = 0; ky < k; ++ky) {
+              const int iy = oy * stride_ - pad + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (int kx = 0; kx < k; ++kx) {
+                const int ix = ox * stride_ - pad + kx;
+                if (ix < 0 || ix >= wd) continue;
+                acc += w.at(c, 0, ky, kx) * input.at(b, c, iy, ix);
+              }
+            }
+            out.at(b, c, oy, ox) = acc;
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  // Grouped/standard conv via im2col + GEMM per (image, group).
+  const std::size_t col_rows = static_cast<std::size_t>(cpg) * k * k;
+  const std::size_t col_cols = static_cast<std::size_t>(oh) * ow;
+  std::vector<float> col(col_rows * col_cols);
+  for (int b = 0; b < n; ++b) {
+    for (int g = 0; g < groups_; ++g) {
+      const float* in_ptr =
+          input.raw() + ((static_cast<std::size_t>(b) * in_channels_ +
+                          static_cast<std::size_t>(g) * cpg) *
+                         h * wd);
+      im2col(in_ptr, cpg, h, wd, k, k, stride_, pad, col.data());
+      const float* w_ptr =
+          w.raw() + static_cast<std::size_t>(g) * opg * cpg * k * k;
+      float* out_ptr =
+          out.raw() + ((static_cast<std::size_t>(b) * out_channels_ +
+                        static_cast<std::size_t>(g) * opg) *
+                       oh * ow);
+      gemm(opg, static_cast<int>(col_rows), static_cast<int>(col_cols), w_ptr,
+           col.data(), out_ptr);
+      if (!bias_.empty()) {
+        for (int o = 0; o < opg; ++o) {
+          const float bval = bias_[static_cast<std::size_t>(g) * opg + o];
+          float* row = out_ptr + static_cast<std::size_t>(o) * oh * ow;
+          for (std::size_t i = 0; i < col_cols; ++i) row[i] += bval;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace murmur::nn

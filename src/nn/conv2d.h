@@ -1,0 +1,53 @@
+// 2-D convolution with groups (groups == in_channels gives depthwise).
+//
+// Weights are stored at the supernet's *maximum* kernel size; an elastic
+// convolution can execute with a centre-cropped smaller kernel — the
+// weight-sharing trick used by once-for-all style supernets — via
+// `set_active_kernel`.
+#pragma once
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace murmur::nn {
+
+class Conv2D final : public Layer {
+ public:
+  /// Square kernel, symmetric "same"-style padding of kernel/2 by default.
+  /// `max_kernel` must be odd; stride >= 1; groups divides both channel
+  /// counts.
+  Conv2D(int in_channels, int out_channels, int max_kernel, int stride,
+         int groups, Rng& rng, bool bias = true);
+
+  /// Select the kernel size to execute with (odd, <= max kernel). The
+  /// active kernel uses the centre crop of the stored max-size weights.
+  void set_active_kernel(int k);
+  int active_kernel() const noexcept { return active_kernel_; }
+  int max_kernel() const noexcept { return max_kernel_; }
+  int in_channels() const noexcept { return in_channels_; }
+  int out_channels() const noexcept { return out_channels_; }
+  int stride() const noexcept { return stride_; }
+  int groups() const noexcept { return groups_; }
+  bool depthwise() const noexcept { return groups_ == in_channels_; }
+
+  Tensor forward(const Tensor& input) override;
+  std::vector<int> out_shape(const std::vector<int>& in) const override;
+  double flops(const std::vector<int>& in) const override;
+  std::size_t param_bytes() const noexcept override;
+  std::string name() const override;
+
+  /// Direct access for weight-reload benchmarks (Fig 19).
+  Tensor& weights() noexcept { return weight_; }
+  const Tensor& weights() const noexcept { return weight_; }
+
+ private:
+  Tensor cropped_weight() const;
+  Tensor forward_grouped(const Tensor& input, const Tensor& w) const;
+
+  int in_channels_, out_channels_, max_kernel_, stride_, groups_;
+  int active_kernel_;
+  Tensor weight_;  // [out, in/groups, max_k, max_k]
+  std::vector<float> bias_;
+};
+
+}  // namespace murmur::nn

@@ -1,0 +1,39 @@
+// Layer abstraction for the executable CNN substrate.
+//
+// Layers are inference-only (the paper's supernet is trained offline; here
+// Stage-1 training is replaced by the calibrated accuracy model — see
+// DESIGN.md §2). Each layer reports its FLOPs and output size so the cost
+// model and the latency evaluator can account for compute and transfer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace murmur::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Run inference. Input/output are NCHW (or NC for the classifier tail).
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Output shape for a given input shape (shape inference without compute).
+  virtual std::vector<int> out_shape(const std::vector<int>& in) const = 0;
+
+  /// Floating point operations (multiply + add counted separately) for one
+  /// forward pass at the given input shape.
+  virtual double flops(const std::vector<int>& in) const = 0;
+
+  /// Bytes of parameters held by this layer.
+  virtual std::size_t param_bytes() const noexcept { return 0; }
+
+  virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace murmur::nn

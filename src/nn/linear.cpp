@@ -1,0 +1,71 @@
+#include "nn/linear.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace murmur::nn {
+
+Linear::Linear(int in_features, int out_features, Rng& rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = Tensor::kaiming({out_features, in_features}, in_features, rng);
+  if (bias) bias_.assign(static_cast<std::size_t>(out_features), 0.0f);
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  Tensor x = input;
+  if (x.rank() == 4) {
+    assert(x.dim(2) == 1 && x.dim(3) == 1);
+    x = x.reshaped({x.dim(0), x.dim(1)});
+  }
+  assert(x.rank() == 2 && x.dim(1) == in_features_);
+  const int n = x.dim(0);
+  Tensor out({n, out_features_});
+  for (int b = 0; b < n; ++b) {
+    for (int o = 0; o < out_features_; ++o) {
+      float acc = bias_.empty() ? 0.0f : bias_[o];
+      for (int i = 0; i < in_features_; ++i)
+        acc += weight_.at(o, i) * x.at(b, i);
+      out.at(b, o) = acc;
+    }
+  }
+  return out;
+}
+
+std::vector<int> Linear::out_shape(const std::vector<int>& in) const {
+  return {in[0], out_features_};
+}
+
+double Linear::flops(const std::vector<int>& in) const {
+  return 2.0 * in[0] * in_features_ * out_features_;
+}
+
+std::size_t Linear::param_bytes() const noexcept {
+  return weight_.bytes() + bias_.size() * sizeof(float);
+}
+
+std::string Linear::name() const {
+  std::ostringstream os;
+  os << "linear(" << in_features_ << "->" << out_features_ << ")";
+  return os.str();
+}
+
+Tensor softmax(const Tensor& logits) {
+  assert(logits.rank() == 2);
+  Tensor out = logits;
+  const int n = out.dim(0);
+  const int c = out.dim(1);
+  for (int b = 0; b < n; ++b) {
+    float mx = out.at(b, 0);
+    for (int i = 1; i < c; ++i) mx = std::max(mx, out.at(b, i));
+    float sum = 0.0f;
+    for (int i = 0; i < c; ++i) {
+      out.at(b, i) = std::exp(out.at(b, i) - mx);
+      sum += out.at(b, i);
+    }
+    for (int i = 0; i < c; ++i) out.at(b, i) /= sum;
+  }
+  return out;
+}
+
+}  // namespace murmur::nn

@@ -1,0 +1,33 @@
+// Fully connected layer (the supernet's classifier head). Accepts NC or
+// NCHW-with-1x1-spatial input.
+#pragma once
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace murmur::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(int in_features, int out_features, Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& input) override;
+  std::vector<int> out_shape(const std::vector<int>& in) const override;
+  double flops(const std::vector<int>& in) const override;
+  std::size_t param_bytes() const noexcept override;
+  std::string name() const override;
+
+  int in_features() const noexcept { return in_features_; }
+  int out_features() const noexcept { return out_features_; }
+  Tensor& weights() noexcept { return weight_; }
+
+ private:
+  int in_features_, out_features_;
+  Tensor weight_;  // [out, in]
+  std::vector<float> bias_;
+};
+
+/// Numerically stable softmax over the last dimension of an NC tensor.
+Tensor softmax(const Tensor& logits);
+
+}  // namespace murmur::nn

@@ -1,0 +1,43 @@
+#include "nn/pooling.h"
+
+#include <cassert>
+
+namespace murmur::nn {
+
+Tensor GlobalAvgPool::forward(const Tensor& input) {
+  assert(input.rank() == 4);
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  Tensor out({n, c, 1, 1});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch) {
+      float s = 0.0f;
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) s += input.at(b, ch, y, x);
+      out.at(b, ch, 0, 0) = s * inv;
+    }
+  return out;
+}
+
+Tensor AvgPool::forward(const Tensor& input) {
+  assert(input.rank() == 4);
+  const int n = input.dim(0), c = input.dim(1);
+  const int oh = input.dim(2) / k_, ow = input.dim(3) / k_;
+  assert(oh > 0 && ow > 0);
+  Tensor out({n, c, oh, ow});
+  const float inv = 1.0f / static_cast<float>(k_ * k_);
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch)
+      for (int y = 0; y < oh; ++y)
+        for (int x = 0; x < ow; ++x) {
+          float s = 0.0f;
+          for (int dy = 0; dy < k_; ++dy)
+            for (int dx = 0; dx < k_; ++dx)
+              s += input.at(b, ch, y * k_ + dy, x * k_ + dx);
+          out.at(b, ch, y, x) = s * inv;
+        }
+  return out;
+}
+
+}  // namespace murmur::nn

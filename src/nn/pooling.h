@@ -1,0 +1,38 @@
+// Pooling layers: global average pool (MobileNetV3 head) and average pool.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace murmur::nn {
+
+/// NCHW -> NC11 mean over the spatial dims.
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  std::vector<int> out_shape(const std::vector<int>& in) const override {
+    return {in[0], in[1], 1, 1};
+  }
+  double flops(const std::vector<int>& in) const override {
+    return static_cast<double>(shape_numel(in));
+  }
+  std::string name() const override { return "gap"; }
+};
+
+/// Non-overlapping kxk average pooling (stride == k).
+class AvgPool final : public Layer {
+ public:
+  explicit AvgPool(int k) noexcept : k_(k) {}
+  Tensor forward(const Tensor& input) override;
+  std::vector<int> out_shape(const std::vector<int>& in) const override {
+    return {in[0], in[1], in[2] / k_, in[3] / k_};
+  }
+  double flops(const std::vector<int>& in) const override {
+    return static_cast<double>(shape_numel(in));
+  }
+  std::string name() const override { return "avgpool" + std::to_string(k_); }
+
+ private:
+  int k_;
+};
+
+}  // namespace murmur::nn

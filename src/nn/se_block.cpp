@@ -1,0 +1,64 @@
+#include "nn/se_block.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "nn/activations.h"
+
+namespace murmur::nn {
+
+SEBlock::SEBlock(int channels, int reduction, Rng& rng)
+    : channels_(channels), hidden_(std::max(1, channels / reduction)) {
+  w1_ = Tensor::kaiming({hidden_, channels_}, channels_, rng);
+  w2_ = Tensor::kaiming({channels_, hidden_}, hidden_, rng);
+}
+
+Tensor SEBlock::forward(const Tensor& input) {
+  assert(input.rank() == 4 && input.dim(1) == channels_);
+  const int n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  Tensor out = input;
+  std::vector<float> pooled(static_cast<std::size_t>(channels_));
+  std::vector<float> hid(static_cast<std::size_t>(hidden_));
+  std::vector<float> gate(static_cast<std::size_t>(channels_));
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int b = 0; b < n; ++b) {
+    for (int c = 0; c < channels_; ++c) {
+      float s = 0.0f;
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) s += input.at(b, c, y, x);
+      pooled[c] = s * inv;
+    }
+    for (int i = 0; i < hidden_; ++i) {
+      float s = 0.0f;
+      for (int c = 0; c < channels_; ++c) s += w1_.at(i, c) * pooled[c];
+      hid[i] = apply_activation(Activation::kRelu, s);
+    }
+    for (int c = 0; c < channels_; ++c) {
+      float s = 0.0f;
+      for (int i = 0; i < hidden_; ++i) s += w2_.at(c, i) * hid[i];
+      gate[c] = apply_activation(Activation::kHardSigmoid, s);
+    }
+    for (int c = 0; c < channels_; ++c)
+      for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x) out.at(b, c, y, x) *= gate[c];
+  }
+  return out;
+}
+
+double SEBlock::flops(const std::vector<int>& in) const {
+  const double fc = 2.0 * channels_ * hidden_ * 2.0;
+  return static_cast<double>(shape_numel(in)) * 2.0 + fc * in[0];
+}
+
+std::size_t SEBlock::param_bytes() const noexcept {
+  return w1_.bytes() + w2_.bytes();
+}
+
+std::string SEBlock::name() const {
+  std::ostringstream os;
+  os << "se(" << channels_ << "/" << hidden_ << ")";
+  return os.str();
+}
+
+}  // namespace murmur::nn

@@ -1,0 +1,28 @@
+// Squeeze-and-Excitation block (MobileNetV3 uses SE in several stages):
+// global-pool -> FC(reduce) -> ReLU -> FC(expand) -> hard-sigmoid -> scale.
+#pragma once
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace murmur::nn {
+
+class SEBlock final : public Layer {
+ public:
+  SEBlock(int channels, int reduction, Rng& rng);
+
+  Tensor forward(const Tensor& input) override;
+  std::vector<int> out_shape(const std::vector<int>& in) const override {
+    return in;
+  }
+  double flops(const std::vector<int>& in) const override;
+  std::size_t param_bytes() const noexcept override;
+  std::string name() const override;
+
+ private:
+  int channels_, hidden_;
+  Tensor w1_;  // [hidden, channels]
+  Tensor w2_;  // [channels, hidden]
+};
+
+}  // namespace murmur::nn

@@ -1,0 +1,50 @@
+#include "nn/sequential.h"
+
+namespace murmur::nn {
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& l : layers_) x = l->forward(x);
+  return x;
+}
+
+std::vector<int> Sequential::out_shape(const std::vector<int>& in) const {
+  std::vector<int> s = in;
+  for (const auto& l : layers_) s = l->out_shape(s);
+  return s;
+}
+
+double Sequential::flops(const std::vector<int>& in) const {
+  double total = 0.0;
+  std::vector<int> s = in;
+  for (const auto& l : layers_) {
+    total += l->flops(s);
+    s = l->out_shape(s);
+  }
+  return total;
+}
+
+std::size_t Sequential::param_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& l : layers_) total += l->param_bytes();
+  return total;
+}
+
+std::vector<Sequential::LayerProfile> Sequential::profile(
+    const std::vector<int>& in) const {
+  std::vector<LayerProfile> out;
+  out.reserve(layers_.size());
+  std::vector<int> s = in;
+  for (const auto& l : layers_) {
+    LayerProfile p;
+    p.name = l->name();
+    p.flops = l->flops(s);
+    s = l->out_shape(s);
+    p.out_elements = shape_numel(s);
+    p.param_bytes = l->param_bytes();
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace murmur::nn

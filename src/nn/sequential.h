@@ -1,0 +1,51 @@
+// Ordered container of layers with whole-model shape/FLOP accounting.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace murmur::nn {
+
+class Sequential final : public Layer {
+ public:
+  Sequential() = default;
+
+  Sequential& add(LayerPtr layer) {
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto p = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *p;
+    layers_.push_back(std::move(p));
+    return ref;
+  }
+
+  std::size_t size() const noexcept { return layers_.size(); }
+  Layer& layer(std::size_t i) noexcept { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const noexcept { return *layers_[i]; }
+
+  Tensor forward(const Tensor& input) override;
+  std::vector<int> out_shape(const std::vector<int>& in) const override;
+  double flops(const std::vector<int>& in) const override;
+  std::size_t param_bytes() const noexcept override;
+  std::string name() const override { return "sequential"; }
+
+  /// Per-layer (flops, output-bytes) profile for a given input shape;
+  /// consumed by cost models.
+  struct LayerProfile {
+    std::string name;
+    double flops = 0.0;
+    std::size_t out_elements = 0;
+    std::size_t param_bytes = 0;
+  };
+  std::vector<LayerProfile> profile(const std::vector<int>& in) const;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace murmur::nn

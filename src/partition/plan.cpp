@@ -1,0 +1,63 @@
+#include "partition/plan.h"
+
+#include <bitset>
+#include <sstream>
+
+namespace murmur::partition {
+
+bool PlacementPlan::valid(const supernet::SubnetConfig& config,
+                          std::size_t num_devices) const noexcept {
+  if (stem_device >= num_devices || head_device >= num_devices) return false;
+  for (int b = 0; b < kMaxBlocks; ++b) {
+    if (!config.block_active(b)) continue;
+    const int tiles = config.blocks[static_cast<std::size_t>(b)].grid.tiles();
+    for (int t = 0; t < tiles; ++t)
+      if (device[static_cast<std::size_t>(b)][static_cast<std::size_t>(t)] >=
+          num_devices)
+        return false;
+  }
+  return true;
+}
+
+int PlacementPlan::devices_used(
+    const supernet::SubnetConfig& config) const noexcept {
+  std::bitset<256> used;
+  used.set(stem_device);
+  used.set(head_device);
+  for (int b = 0; b < kMaxBlocks; ++b) {
+    if (!config.block_active(b)) continue;
+    const int tiles = config.blocks[static_cast<std::size_t>(b)].grid.tiles();
+    for (int t = 0; t < tiles; ++t)
+      used.set(device[static_cast<std::size_t>(b)][static_cast<std::size_t>(t)]);
+  }
+  return static_cast<int>(used.count());
+}
+
+std::uint64_t PlacementPlan::hash() const noexcept {
+  std::uint64_t h = 0x51ed270b9bb4c1f5ULL ^ stem_device ^
+                    (static_cast<std::uint64_t>(head_device) << 8);
+  for (const auto& row : device)
+    for (std::uint8_t d : row)
+      h ^= d + 0x9E3779B97f4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::string PlacementPlan::to_string(
+    const supernet::SubnetConfig& config) const {
+  std::ostringstream os;
+  os << "stem@d" << static_cast<int>(stem_device);
+  for (int b = 0; b < kMaxBlocks; ++b) {
+    if (!config.block_active(b)) continue;
+    const int tiles = config.blocks[static_cast<std::size_t>(b)].grid.tiles();
+    os << " b" << b << "[";
+    for (int t = 0; t < tiles; ++t)
+      os << (t ? "," : "")
+         << static_cast<int>(
+                device[static_cast<std::size_t>(b)][static_cast<std::size_t>(t)]);
+    os << "]";
+  }
+  os << " head@d" << static_cast<int>(head_device);
+  return os.str();
+}
+
+}  // namespace murmur::partition

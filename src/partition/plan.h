@@ -1,0 +1,43 @@
+// Placement plan: which device executes each spatial tile of each block.
+//
+// Together, (SubnetConfig, PlacementPlan) is one complete Murmuration
+// strategy — the joint "model selection and partitioning" decision the RL
+// policy emits (paper §4.2: actions a^k_y for model settings, a^k_p for
+// per-partition device selection).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "supernet/subnet_config.h"
+
+namespace murmur::partition {
+
+using supernet::kMaxBlocks;
+using supernet::kMaxPartitions;
+
+struct PlacementPlan {
+  /// device[b][t]: device executing tile t of block b. Entries beyond the
+  /// block's configured tile count are ignored.
+  std::array<std::array<std::uint8_t, kMaxPartitions>, kMaxBlocks> device{};
+  std::uint8_t stem_device = 0;
+  std::uint8_t head_device = 0;
+
+  bool operator==(const PlacementPlan&) const = default;
+
+  /// Everything on the local device.
+  static PlacementPlan all_local() noexcept { return PlacementPlan{}; }
+
+  /// True if every referenced device id is < num_devices.
+  bool valid(const supernet::SubnetConfig& config,
+             std::size_t num_devices) const noexcept;
+
+  /// Number of distinct devices this plan actually uses.
+  int devices_used(const supernet::SubnetConfig& config) const noexcept;
+
+  std::uint64_t hash() const noexcept;
+  std::string to_string(const supernet::SubnetConfig& config) const;
+};
+
+}  // namespace murmur::partition

@@ -1,0 +1,154 @@
+#include "partition/subnet_latency.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "supernet/cost_model.h"
+
+namespace murmur::partition {
+
+using supernet::CostModel;
+using supernet::SubnetConfig;
+
+double overlap_fraction(const TileExtent& a, const TileExtent& b) noexcept {
+  const int h = std::max(0, std::min(a.h0 + a.h, b.h0 + b.h) -
+                                std::max(a.h0, b.h0));
+  const int w = std::max(0, std::min(a.w0 + a.w, b.w0 + b.w) -
+                                std::max(a.w0, b.w0));
+  const double area = static_cast<double>(a.h) * a.w;
+  return area > 0 ? (static_cast<double>(h) * w) / area : 0.0;
+}
+
+LatencyBreakdown SubnetLatencyEvaluator::evaluate(
+    const SubnetConfig& config, const PlacementPlan& plan,
+    Timeline* timeline) const {
+  LatencyBreakdown out;
+  const std::size_t n_dev = network_.num_devices();
+  std::vector<double> device_free(n_dev, 0.0);
+
+  // Current data layout: a set of tiles (extent on the current lattice,
+  // owning device, ready time, wire bytes of the full current map).
+  struct Piece {
+    TileExtent extent;
+    int device = 0;
+    double ready = 0.0;
+  };
+  std::vector<Piece> pieces;
+
+  auto charge_transfer = [&](int src, int dst, double bytes, double start,
+                             const std::string& label) {
+    if (src == dst || bytes <= 0.0) return 0.0;
+    const double t = network_.transfer_ms(static_cast<std::size_t>(src),
+                                          static_cast<std::size_t>(dst), bytes);
+    out.comm_ms += t;
+    ++out.messages;
+    out.bytes_moved += static_cast<std::size_t>(bytes);
+    if (timeline) timeline->add_transfer(src, dst, start, start + t, label);
+    return t;
+  };
+
+  // --- Stem: image lives on device 0. --------------------------------
+  const int stem_dev = plan.stem_device;
+  double t0 = charge_transfer(0, stem_dev,
+                              static_cast<double>(CostModel::input_bytes(config)),
+                              0.0, "input");
+  const double stem_compute =
+      network_.device(static_cast<std::size_t>(stem_dev))
+          .throughput.compute_ms(CostModel::stem_flops(config));
+  out.compute_ms += stem_compute;
+  const double stem_start =
+      std::max(t0, device_free[static_cast<std::size_t>(stem_dev)]);
+  const double stem_ready = stem_start + stem_compute;
+  if (timeline)
+    timeline->add_compute(stem_dev, stem_start, stem_ready, "stem");
+  device_free[static_cast<std::size_t>(stem_dev)] = stem_ready;
+  const int stem_spatial = config.resolution / 2;
+  pieces.push_back(Piece{TileExtent{0, 0, stem_spatial, stem_spatial},
+                         stem_dev, stem_ready});
+  // Stem output travels as fp32 (quantization applies to block outputs).
+  double current_wire_bytes =
+      static_cast<double>(CostModel::stem_out_elements(config)) * 4.0;
+
+  // --- Blocks ----------------------------------------------------------
+  for (int b = 0; b < supernet::kMaxBlocks; ++b) {
+    if (!config.block_active(b)) continue;
+    const auto& bc = config.blocks[static_cast<std::size_t>(b)];
+    const auto geo = CostModel::block_geometry(config, b);
+    const auto in_extents =
+        tile_extents(geo.in_spatial, geo.in_spatial, bc.grid);
+    const double tile_flops = CostModel::block_tile_flops(config, b);
+    const double full_area =
+        static_cast<double>(geo.in_spatial) * geo.in_spatial;
+
+    std::vector<Piece> next;
+    next.reserve(in_extents.size());
+    for (std::size_t t = 0; t < in_extents.size(); ++t) {
+      const int dev = plan.device[static_cast<std::size_t>(b)][t];
+      const std::string label =
+          "b" + std::to_string(b) + "/t" + std::to_string(t);
+      // Gather every overlapping region of the previous layout.
+      double arrival = 0.0;
+      for (const auto& p : pieces) {
+        const double frac_of_map =
+            overlap_fraction(in_extents[t], p.extent) *
+            (static_cast<double>(in_extents[t].h) * in_extents[t].w) /
+            full_area;
+        if (frac_of_map <= 0.0) continue;
+        const double bytes = current_wire_bytes * frac_of_map;
+        const double xfer =
+            charge_transfer(p.device, dev, bytes, p.ready, label);
+        arrival = std::max(arrival, p.ready + xfer);
+        if (p.device != dev)
+          out.critical_comm_ms = std::max(out.critical_comm_ms, xfer);
+      }
+      const double start =
+          std::max(arrival, device_free[static_cast<std::size_t>(dev)]);
+      const double compute =
+          network_.device(static_cast<std::size_t>(dev))
+              .throughput.compute_ms(tile_flops);
+      out.compute_ms += compute;
+      const double finish = start + compute;
+      if (timeline) timeline->add_compute(dev, start, finish, label);
+      device_free[static_cast<std::size_t>(dev)] = finish;
+      // Output tile extent on the out lattice.
+      next.push_back(Piece{TileExtent{in_extents[t].h0 / geo.stride,
+                                      in_extents[t].w0 / geo.stride,
+                                      std::max(1, in_extents[t].h / geo.stride),
+                                      std::max(1, in_extents[t].w / geo.stride)},
+                           dev, finish});
+    }
+    pieces = std::move(next);
+    current_wire_bytes =
+        static_cast<double>(CostModel::block_out_wire_bytes(config, b));
+  }
+
+  // --- Head: gather the final map, classify, return logits to local. ---
+  const int head_dev = plan.head_device;
+  double head_input_ready = 0.0;
+  double total_area = 0.0;
+  for (const auto& p : pieces) total_area += static_cast<double>(p.extent.h) * p.extent.w;
+  for (const auto& p : pieces) {
+    const double frac = (static_cast<double>(p.extent.h) * p.extent.w) /
+                        std::max(1.0, total_area);
+    const double xfer = charge_transfer(p.device, head_dev,
+                                        current_wire_bytes * frac, p.ready,
+                                        "gather");
+    head_input_ready = std::max(head_input_ready, p.ready + xfer);
+  }
+  const double head_compute =
+      network_.device(static_cast<std::size_t>(head_dev))
+          .throughput.compute_ms(CostModel::head_flops(config));
+  out.compute_ms += head_compute;
+  const double head_start =
+      std::max(head_input_ready,
+               device_free[static_cast<std::size_t>(head_dev)]);
+  double finish = head_start + head_compute;
+  if (timeline) timeline->add_compute(head_dev, head_start, finish, "head");
+  // Logits back to the local device (1000 fp32 values).
+  finish += charge_transfer(head_dev, 0, 1000.0 * 4.0, finish, "logits");
+  out.total_ms = finish;
+  return out;
+}
+
+}  // namespace murmur::partition

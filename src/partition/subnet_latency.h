@@ -1,0 +1,53 @@
+// Event-driven latency evaluation of a (SubnetConfig, PlacementPlan)
+// strategy over a simulated network.
+//
+// The evaluator plays out the dataflow of one distributed inference:
+// blocks run in dependency order; the tiles of a block run in parallel on
+// their assigned devices; a tile starts once every overlapping region of
+// the previous block's (possibly differently partitioned, possibly
+// quantized) output has arrived at its device; two tiles mapped to one
+// device serialize on that device. This is the same first-order model
+// Neurosurgeon-class systems use, extended to tile granularity.
+#pragma once
+
+#include "netsim/network.h"
+#include "partition/plan.h"
+#include "partition/timeline.h"
+
+namespace murmur::partition {
+
+struct LatencyBreakdown {
+  double total_ms = 0.0;
+  double compute_ms = 0.0;  // summed busy time across devices
+  double comm_ms = 0.0;     // summed transfer time across messages
+  double critical_comm_ms = 0.0;  // comm on the critical path (approx.)
+  int messages = 0;
+  std::size_t bytes_moved = 0;
+};
+
+class SubnetLatencyEvaluator {
+ public:
+  explicit SubnetLatencyEvaluator(const netsim::Network& network)
+      : network_(network) {}
+
+  /// Latency of one inference (image starts on device 0; logits must
+  /// arrive back at device 0). If `timeline` is non-null it receives one
+  /// event per compute/transfer for Gantt rendering.
+  LatencyBreakdown evaluate(const supernet::SubnetConfig& config,
+                            const PlacementPlan& plan,
+                            Timeline* timeline = nullptr) const;
+
+  /// Convenience: total milliseconds only.
+  double latency_ms(const supernet::SubnetConfig& config,
+                    const PlacementPlan& plan) const {
+    return evaluate(config, plan).total_ms;
+  }
+
+ private:
+  const netsim::Network& network_;
+};
+
+/// Fractional area of `a` covered by `b` (extents on the same lattice).
+double overlap_fraction(const TileExtent& a, const TileExtent& b) noexcept;
+
+}  // namespace murmur::partition

@@ -1,0 +1,68 @@
+#include "partition/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace murmur::partition {
+
+void Timeline::add_compute(int device, double start_ms, double end_ms,
+                           std::string label) {
+  events_.push_back(TimelineEvent{TimelineEvent::Kind::kCompute, start_ms,
+                                  end_ms, device, -1, std::move(label)});
+}
+
+void Timeline::add_transfer(int src, int dst, double start_ms, double end_ms,
+                            std::string label) {
+  events_.push_back(TimelineEvent{TimelineEvent::Kind::kTransfer, start_ms,
+                                  end_ms, dst, src, std::move(label)});
+}
+
+double Timeline::makespan_ms() const noexcept {
+  double end = 0.0;
+  for (const auto& e : events_) end = std::max(end, e.end_ms);
+  return end;
+}
+
+double Timeline::device_busy_ms(int device) const noexcept {
+  double busy = 0.0;
+  for (const auto& e : events_)
+    if (e.kind == TimelineEvent::Kind::kCompute && e.device == device)
+      busy += e.end_ms - e.start_ms;
+  return busy;
+}
+
+double Timeline::device_utilization(int device) const noexcept {
+  const double total = makespan_ms();
+  return total > 0.0 ? device_busy_ms(device) / total : 0.0;
+}
+
+std::string Timeline::render(std::size_t num_devices,
+                             std::size_t width) const {
+  const double total = makespan_ms();
+  std::ostringstream os;
+  os << "timeline (makespan " << total << " ms, '#'=compute '~'=incoming "
+     << "transfer)\n";
+  if (total <= 0.0 || width == 0) return os.str();
+  const double per_char = total / static_cast<double>(width);
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    std::string lane(width, '.');
+    // Transfers first so compute overwrites where both occur.
+    for (const auto& e : events_) {
+      if (e.device != static_cast<int>(d)) continue;
+      auto c0 = static_cast<std::size_t>(e.start_ms / per_char);
+      auto c1 = static_cast<std::size_t>(e.end_ms / per_char);
+      c0 = std::min(c0, width - 1);
+      c1 = std::min(std::max(c1, c0 + 1), width);
+      const char mark =
+          e.kind == TimelineEvent::Kind::kCompute ? '#' : '~';
+      for (std::size_t c = c0; c < c1; ++c)
+        if (mark == '#' || lane[c] == '.') lane[c] = mark;
+    }
+    os << "dev" << d << " |" << lane << "| busy "
+       << static_cast<int>(100.0 * device_utilization(static_cast<int>(d)))
+       << "%\n";
+  }
+  return os.str();
+}
+
+}  // namespace murmur::partition

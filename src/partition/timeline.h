@@ -1,0 +1,46 @@
+// Execution timeline: per-device record of what a partitioned inference
+// does and when (simulated time). Filled by the latency evaluator on
+// request; rendered as an ASCII Gantt chart for debugging placements and
+// understanding where a strategy's time goes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace murmur::partition {
+
+struct TimelineEvent {
+  enum class Kind { kCompute, kTransfer };
+  Kind kind = Kind::kCompute;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  int device = 0;       // executing device (compute) or destination (transfer)
+  int src_device = -1;  // transfer source (-1 for compute)
+  std::string label;    // e.g. "b7/t2" or "stem"
+};
+
+class Timeline {
+ public:
+  void add_compute(int device, double start_ms, double end_ms,
+                   std::string label);
+  void add_transfer(int src, int dst, double start_ms, double end_ms,
+                    std::string label);
+  void clear() { events_.clear(); }
+
+  const std::vector<TimelineEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  double makespan_ms() const noexcept;
+  /// Total busy (compute) time of one device.
+  double device_busy_ms(int device) const noexcept;
+  /// Fraction of the makespan device `device` spends computing.
+  double device_utilization(int device) const noexcept;
+
+  /// ASCII Gantt chart: one lane per device, '#' compute, '~' transfer-in.
+  /// `width` = characters representing the full makespan.
+  std::string render(std::size_t num_devices, std::size_t width = 72) const;
+
+ private:
+  std::vector<TimelineEvent> events_;
+};
+
+}  // namespace murmur::partition

@@ -1,0 +1,41 @@
+// Shared trainer types: training curves and options common to PPO, GCSL and
+// SUPREME. One "training step" is one collected episode, matching the
+// x-axis of the paper's Figures 11-12.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rl/policy.h"
+#include "rl/trajectory.h"
+
+namespace murmur::rl {
+
+struct TrainPoint {
+  int step = 0;
+  double avg_reward = 0.0;
+  double compliance = 0.0;  // fraction of validation SLOs met
+};
+using TrainingCurve = std::vector<TrainPoint>;
+
+struct TrainerOptions {
+  int total_steps = 8000;
+  int eval_every = 500;
+  int eval_points = 64;     // validation constraints (evenly distributed)
+  int batch_size = 16;      // episodes per policy update
+  double epsilon = 0.10;    // epsilon-greedy exploration
+  std::uint64_t seed = 1;
+  /// Seed trajectories (the paper bootstraps GCSL/SUPREME with the max- and
+  /// min-submodel trajectories).
+  std::vector<Episode> bootstrap;
+};
+
+class Trainer {
+ public:
+  virtual ~Trainer() = default;
+  virtual std::string name() const = 0;
+  /// Train `policy` in place; returns the evaluation curve.
+  virtual TrainingCurve train(PolicyNetwork& policy) = 0;
+};
+
+}  // namespace murmur::rl

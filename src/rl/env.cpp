@@ -1,0 +1,36 @@
+#include "rl/env.h"
+
+namespace murmur::rl {
+
+std::vector<int> Env::complete_randomly(std::vector<int> prefix,
+                                        Rng& rng) const {
+  // Clamp any prefix action that is out of range for its (possibly
+  // changed) step spec, then extend randomly until the schema is complete.
+  std::vector<int> actions;
+  actions.reserve(static_cast<std::size_t>(max_episode_len()));
+  for (int a : prefix) {
+    if (done(actions)) break;
+    const StepSpec spec = next_step(actions);
+    actions.push_back(a >= 0 && a < spec.num_options
+                          ? a
+                          : static_cast<int>(rng.uniform_index(
+                                static_cast<std::uint64_t>(spec.num_options))));
+  }
+  while (!done(actions)) {
+    const StepSpec spec = next_step(actions);
+    actions.push_back(static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(spec.num_options))));
+  }
+  return actions;
+}
+
+std::vector<int> Env::heuristic_mutation(std::span<const int> actions,
+                                         Rng& rng) const {
+  std::vector<int> mutated(actions.begin(), actions.end());
+  if (!mutated.empty())
+    mutated[rng.uniform_index(mutated.size())] =
+        static_cast<int>(rng.uniform_index(12));
+  return complete_randomly(std::move(mutated), rng);
+}
+
+}  // namespace murmur::rl

@@ -1,0 +1,99 @@
+// Goal-conditioned multi-task environment interface (paper §4.2).
+//
+// A *constraint point* bundles the goal (the SLO) with the task (the
+// network-condition vector): `coords` holds one normalized value per
+// dimension, oriented so that **0 is the tightest constraint and 1 the most
+// relaxed** (latency SLO: larger is more relaxed; bandwidth: larger is more
+// relaxed; delay: smaller is more relaxed — the env does the orientation).
+// This orientation is what makes the SUPREME bucket tree's dominance
+// relation ("a strategy found under tight constraints remains valid under
+// relaxed ones", Fig 7) a simple element-wise comparison.
+//
+// An episode is a fixed schema of sequential decisions (Fig 5): the env
+// reports the head type and option count of the next decision given the
+// actions taken so far, and evaluates a completed action sequence to an
+// (accuracy, latency) outcome.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace murmur::rl {
+
+struct Outcome {
+  double accuracy = 0.0;    // percent top-1
+  double latency_ms = 0.0;  // end-to-end inference latency
+};
+
+struct ConstraintPoint {
+  std::vector<double> coords;  // [0,1] per dim; 0 = tightest, 1 = most relaxed
+  bool operator==(const ConstraintPoint&) const = default;
+};
+
+/// Decision-head identifiers (each head has its own output layer, Fig 5).
+enum class Head : int {
+  kResolution = 0,
+  kDepth = 1,
+  kKernel = 2,
+  kQuant = 3,
+  kGrid = 4,
+  kDevice = 5,
+};
+inline constexpr int kNumHeads = 6;
+
+struct StepSpec {
+  Head head = Head::kResolution;
+  int num_options = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // --- constraint space ------------------------------------------------
+  virtual int constraint_dims() const = 0;
+  /// Grid resolution per dimension (the paper trains on 10 discrete points).
+  virtual int grid_points() const = 0;
+  /// Sample a training constraint; dims >= `active_dims` (curriculum) are
+  /// pinned to their most-relaxed grid value. Pass constraint_dims() for no
+  /// curriculum restriction.
+  virtual ConstraintPoint sample_constraint(Rng& rng, int active_dims) const = 0;
+  /// Evenly spread validation points over the full space.
+  virtual std::vector<ConstraintPoint> validation_points(int count) const = 0;
+
+  // --- episode schema ----------------------------------------------------
+  /// Spec of the next decision; only valid while !done().
+  virtual StepSpec next_step(std::span<const int> actions_so_far) const = 0;
+  virtual bool done(std::span<const int> actions) const = 0;
+  virtual int max_episode_len() const = 0;
+  virtual std::size_t feature_dim() const = 0;
+  virtual std::vector<double> features(
+      const ConstraintPoint& c, std::span<const int> actions_so_far) const = 0;
+  virtual int head_options(Head head) const = 0;
+
+  // --- evaluation ---------------------------------------------------------
+  virtual Outcome evaluate(const ConstraintPoint& c,
+                           std::span<const int> actions) const = 0;
+  virtual double reward(const ConstraintPoint& c, const Outcome& o) const = 0;
+  virtual bool satisfies(const ConstraintPoint& c, const Outcome& o) const = 0;
+  /// Hindsight relabel: the tightest constraint point (same task dims) that
+  /// this outcome satisfies — GCSL's relabelled goal, and the bucket the
+  /// trajectory is filed under in SUPREME.
+  virtual ConstraintPoint relabel(const ConstraintPoint& c,
+                                  const Outcome& o) const = 0;
+
+  /// Complete a (possibly mutated) action prefix into a schema-valid full
+  /// action sequence using uniformly random choices.
+  std::vector<int> complete_randomly(std::vector<int> prefix, Rng& rng) const;
+
+  /// Domain-specific mutation heuristic on a complete action sequence
+  /// (paper §4.4.1: "simple mutation heuristics such as improving execution
+  /// locality"). The default is a random point mutation; concrete envs can
+  /// rewrite placements/partitioning structurally.
+  virtual std::vector<int> heuristic_mutation(std::span<const int> actions,
+                                              Rng& rng) const;
+};
+
+}  // namespace murmur::rl

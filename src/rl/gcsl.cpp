@@ -1,0 +1,75 @@
+#include "rl/gcsl.h"
+
+#include "rl/rollout.h"
+
+namespace murmur::rl {
+
+void GcslTrainer::imitation_update(
+    const Env& env, PolicyNetwork& policy,
+    std::span<const std::pair<ConstraintPoint, const std::vector<int>*>> batch) {
+  if (batch.empty()) return;
+  const double inv = 1.0 / static_cast<double>(batch.size());
+  for (const auto& [constraint, actions] : batch) {
+    const ReplayedEpisode rep = replay_features(env, constraint, *actions);
+    PolicyNetwork::EpisodeCache cache;
+    const auto& probs = policy.forward_episode(rep.features, rep.heads, cache);
+    // Mean cross-entropy gradient: dL/dlogits = softmax - onehot(action).
+    std::vector<std::vector<double>> dlogits(probs.size());
+    const double step_inv =
+        inv / static_cast<double>(std::max<std::size_t>(1, probs.size()));
+    for (std::size_t t = 0; t < probs.size(); ++t) {
+      dlogits[t] = probs[t];
+      for (auto& d : dlogits[t]) d *= step_inv;
+      dlogits[t][static_cast<std::size_t>((*actions)[t])] -= step_inv;
+    }
+    policy.backward_episode(cache, dlogits);
+  }
+  policy.apply_gradients();
+}
+
+TrainingCurve GcslTrainer::train(PolicyNetwork& policy) {
+  Rng rng(opts_.seed);
+  Rng eval_rng(opts_.seed ^ 0xE7A1ull);
+  const auto validation =
+      env_.validation_points(opts_.eval_points);
+  TrainingCurve curve;
+
+  // Replay of relabelled episodes (bounded FIFO).
+  std::deque<Episode> replay;
+  constexpr std::size_t kReplayCap = 4096;
+  auto store = [&](Episode ep) {
+    // Relabel to the achieved goal (hindsight): the trajectory is optimal
+    // data for the constraint it actually satisfied.
+    ep.constraint = env_.relabel(ep.constraint, ep.outcome);
+    ep.satisfied = true;
+    replay.push_back(std::move(ep));
+    if (replay.size() > kReplayCap) replay.pop_front();
+  };
+  for (const auto& boot : opts_.bootstrap) store(boot);
+
+  auto maybe_eval = [&](int step) {
+    if (step % opts_.eval_every != 0 && step != opts_.total_steps) return;
+    const EvalResult r = evaluate_policy(env_, policy, validation, eval_rng);
+    curve.push_back({step, r.avg_reward, r.compliance});
+  };
+  maybe_eval(0);
+
+  for (int step = 1; step <= opts_.total_steps; ++step) {
+    const ConstraintPoint c =
+        env_.sample_constraint(rng, env_.constraint_dims());
+    store(rollout(env_, policy, c, rng, {.epsilon = opts_.epsilon}));
+
+    // Imitation update on a random batch of relabelled episodes.
+    std::vector<std::pair<ConstraintPoint, const std::vector<int>*>> batch;
+    batch.reserve(static_cast<std::size_t>(opts_.batch_size));
+    for (int i = 0; i < opts_.batch_size && !replay.empty(); ++i) {
+      const auto& ep = replay[rng.uniform_index(replay.size())];
+      batch.emplace_back(ep.constraint, &ep.actions);
+    }
+    imitation_update(env_, policy, batch);
+    maybe_eval(step);
+  }
+  return curve;
+}
+
+}  // namespace murmur::rl

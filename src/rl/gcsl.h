@@ -1,0 +1,34 @@
+// Goal-Conditioned Supervised Learning (Ghosh et al. 2019), the paper's
+// strongest conventional baseline and the imitation engine inside SUPREME:
+// collect trajectories, hindsight-relabel each to the goal it actually
+// achieved, and train the policy by supervised imitation of the relabelled
+// data.
+#pragma once
+
+#include <deque>
+
+#include "rl/algo.h"
+
+namespace murmur::rl {
+
+class GcslTrainer final : public Trainer {
+ public:
+  GcslTrainer(const Env& env, TrainerOptions opts)
+      : env_(env), opts_(std::move(opts)) {}
+
+  std::string name() const override { return "GCSL"; }
+  TrainingCurve train(PolicyNetwork& policy) override;
+
+  /// One supervised imitation update on a batch of (constraint, actions)
+  /// pairs: cross-entropy of the stored actions under the policy
+  /// conditioned on the given constraint. Shared with SUPREME.
+  static void imitation_update(
+      const Env& env, PolicyNetwork& policy,
+      std::span<const std::pair<ConstraintPoint, const std::vector<int>*>> batch);
+
+ private:
+  const Env& env_;
+  TrainerOptions opts_;
+};
+
+}  // namespace murmur::rl

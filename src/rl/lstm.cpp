@@ -1,0 +1,108 @@
+#include "rl/lstm.h"
+
+#include <cmath>
+
+namespace murmur::rl {
+
+namespace {
+double sigmoid(double x) noexcept { return 1.0 / (1.0 + std::exp(-x)); }
+}
+
+LstmCell::LstmCell(std::size_t input_dim, std::size_t hidden_dim, Rng& rng)
+    : d_(input_dim),
+      h_(hidden_dim),
+      wx_(4 * hidden_dim * input_dim, rng, 1.0 / std::sqrt(static_cast<double>(input_dim))),
+      wh_(4 * hidden_dim * hidden_dim, rng, 1.0 / std::sqrt(static_cast<double>(hidden_dim))),
+      b_(4 * hidden_dim, rng, 0.0) {
+  // Standard trick: positive forget-gate bias stabilises early training.
+  for (std::size_t i = h_; i < 2 * h_; ++i) b_.value[i] = 1.0;
+}
+
+void LstmCell::forward(std::span<const double> x, State& state,
+                       Cache* cache) const {
+  // Gate pre-activations z = Wx*x + Wh*h + b, gate order [i, f, g, o].
+  std::vector<double> z(4 * h_);
+  for (std::size_t r = 0; r < 4 * h_; ++r) {
+    double s = b_.value[r];
+    const double* wxr = &wx_.value[r * d_];
+    for (std::size_t j = 0; j < d_; ++j) s += wxr[j] * x[j];
+    const double* whr = &wh_.value[r * h_];
+    for (std::size_t j = 0; j < h_; ++j) s += whr[j] * state.h[j];
+    z[r] = s;
+  }
+  if (cache) {
+    cache->x.assign(x.begin(), x.end());
+    cache->h_prev = state.h;
+    cache->c_prev = state.c;
+    cache->i.resize(h_);
+    cache->f.resize(h_);
+    cache->g.resize(h_);
+    cache->o.resize(h_);
+    cache->c.resize(h_);
+    cache->tanh_c.resize(h_);
+  }
+  for (std::size_t j = 0; j < h_; ++j) {
+    const double ig = sigmoid(z[j]);
+    const double fg = sigmoid(z[h_ + j]);
+    const double gg = std::tanh(z[2 * h_ + j]);
+    const double og = sigmoid(z[3 * h_ + j]);
+    const double c = fg * state.c[j] + ig * gg;
+    const double tc = std::tanh(c);
+    state.c[j] = c;
+    state.h[j] = og * tc;
+    if (cache) {
+      cache->i[j] = ig;
+      cache->f[j] = fg;
+      cache->g[j] = gg;
+      cache->o[j] = og;
+      cache->c[j] = c;
+      cache->tanh_c[j] = tc;
+    }
+  }
+}
+
+void LstmCell::backward(const Cache& cache, std::vector<double>& dh,
+                        std::vector<double>& dc) {
+  // Gradients of the gate pre-activations.
+  std::vector<double> dz(4 * h_);
+  std::vector<double> dc_prev(h_), dh_prev(h_, 0.0);
+  for (std::size_t j = 0; j < h_; ++j) {
+    const double do_ = dh[j] * cache.tanh_c[j];
+    const double dct = dc[j] + dh[j] * cache.o[j] * (1.0 - cache.tanh_c[j] * cache.tanh_c[j]);
+    const double di = dct * cache.g[j];
+    const double df = dct * cache.c_prev[j];
+    const double dg = dct * cache.i[j];
+    dc_prev[j] = dct * cache.f[j];
+    dz[j] = di * cache.i[j] * (1.0 - cache.i[j]);
+    dz[h_ + j] = df * cache.f[j] * (1.0 - cache.f[j]);
+    dz[2 * h_ + j] = dg * (1.0 - cache.g[j] * cache.g[j]);
+    dz[3 * h_ + j] = do_ * cache.o[j] * (1.0 - cache.o[j]);
+  }
+  for (std::size_t r = 0; r < 4 * h_; ++r) {
+    const double dzr = dz[r];
+    if (dzr == 0.0) continue;
+    double* gwx = &wx_.grad[r * d_];
+    for (std::size_t j = 0; j < d_; ++j) gwx[j] += dzr * cache.x[j];
+    double* gwh = &wh_.grad[r * h_];
+    const double* whr = &wh_.value[r * h_];
+    for (std::size_t j = 0; j < h_; ++j) {
+      gwh[j] += dzr * cache.h_prev[j];
+      dh_prev[j] += dzr * whr[j];
+    }
+    b_.grad[r] += dzr;
+  }
+  dh = std::move(dh_prev);
+  dc = std::move(dc_prev);
+}
+
+void LstmCell::save(ByteWriter& w) const {
+  wx_.save(w);
+  wh_.save(w);
+  b_.save(w);
+}
+
+bool LstmCell::load(ByteReader& r) {
+  return wx_.load(r) && wh_.load(r) && b_.load(r);
+}
+
+}  // namespace murmur::rl

@@ -1,0 +1,56 @@
+// LSTM cell with truncated-free full BPTT, hand-rolled.
+//
+// The policy backbone (paper Fig 5) is a 1-layer LSTM; an LSTM is chosen
+// over a transformer for its lower compute on edge devices. Forward passes
+// cache activations per step; backward() consumes them in reverse.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rl/param.h"
+
+namespace murmur::rl {
+
+class LstmCell {
+ public:
+  LstmCell(std::size_t input_dim, std::size_t hidden_dim, Rng& rng);
+
+  std::size_t input_dim() const noexcept { return d_; }
+  std::size_t hidden_dim() const noexcept { return h_; }
+
+  struct State {
+    std::vector<double> h, c;
+  };
+  State initial_state() const {
+    return {std::vector<double>(h_, 0.0), std::vector<double>(h_, 0.0)};
+  }
+
+  /// Cached intermediates of one step, needed by backward().
+  struct Cache {
+    std::vector<double> x, h_prev, c_prev;
+    std::vector<double> i, f, g, o, c, tanh_c;
+  };
+
+  /// Advance the state by one step; fills `cache` if non-null.
+  void forward(std::span<const double> x, State& state, Cache* cache) const;
+
+  /// Backprop one step. `dh`/`dc` carry gradients flowing into this step's
+  /// outputs (dh includes the head gradient plus recurrent flow); on return
+  /// they hold gradients for the previous step's h/c. Accumulates into the
+  /// parameter gradients.
+  void backward(const Cache& cache, std::vector<double>& dh,
+                std::vector<double>& dc);
+
+  std::vector<ParamBuf*> params() noexcept { return {&wx_, &wh_, &b_}; }
+  void save(ByteWriter& w) const;
+  bool load(ByteReader& r);
+
+ private:
+  std::size_t d_, h_;
+  ParamBuf wx_;  // [4H x D]
+  ParamBuf wh_;  // [4H x H]
+  ParamBuf b_;   // [4H] (forget-gate bias initialised to 1)
+};
+
+}  // namespace murmur::rl

@@ -1,0 +1,78 @@
+#include "rl/param.h"
+
+#include <algorithm>
+
+namespace murmur::rl {
+
+ParamBuf::ParamBuf(std::size_t n, Rng& rng, double scale) {
+  value.resize(n);
+  grad.assign(n, 0.0);
+  m_.assign(n, 0.0);
+  v_.assign(n, 0.0);
+  if (scale > 0.0)
+    for (auto& x : value) x = rng.normal(0.0, scale);
+  else
+    std::fill(value.begin(), value.end(), 0.0);
+}
+
+void ParamBuf::zero_grad() noexcept { std::fill(grad.begin(), grad.end(), 0.0); }
+
+double ParamBuf::grad_sq() const noexcept {
+  double s = 0.0;
+  for (double g : grad) s += g * g;
+  return s;
+}
+
+void ParamBuf::scale_grad(double s) noexcept {
+  for (auto& g : grad) g *= s;
+}
+
+void ParamBuf::adam_step(const AdamConfig& cfg, long t) noexcept {
+  const double bc1 = 1.0 - std::pow(cfg.beta1, static_cast<double>(t));
+  const double bc2 = 1.0 - std::pow(cfg.beta2, static_cast<double>(t));
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    m_[i] = cfg.beta1 * m_[i] + (1.0 - cfg.beta1) * grad[i];
+    v_[i] = cfg.beta2 * v_[i] + (1.0 - cfg.beta2) * grad[i] * grad[i];
+    value[i] -= cfg.lr * (m_[i] / bc1) / (std::sqrt(v_[i] / bc2) + cfg.eps);
+  }
+}
+
+void ParamBuf::save(ByteWriter& w) const { w.write_f64_span(value); }
+
+bool ParamBuf::load(ByteReader& r) {
+  std::vector<double> v;
+  if (!r.read_f64_vec(v) || v.size() != value.size()) return false;
+  value = std::move(v);
+  std::fill(grad.begin(), grad.end(), 0.0);
+  std::fill(m_.begin(), m_.end(), 0.0);
+  std::fill(v_.begin(), v_.end(), 0.0);
+  return true;
+}
+
+void clipped_adam_step(std::vector<ParamBuf*> params, const AdamConfig& cfg,
+                       long t, double max_norm) noexcept {
+  double sq = 0.0;
+  for (const auto* p : params) sq += p->grad_sq();
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double s = max_norm / norm;
+    for (auto* p : params) p->scale_grad(s);
+  }
+  for (auto* p : params) {
+    p->adam_step(cfg, t);
+    p->zero_grad();
+  }
+}
+
+void softmax_inplace(std::vector<double>& logits) noexcept {
+  double mx = logits[0];
+  for (double v : logits) mx = std::max(mx, v);
+  double sum = 0.0;
+  for (auto& v : logits) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (auto& v : logits) v /= sum;
+}
+
+}  // namespace murmur::rl

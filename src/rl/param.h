@@ -1,0 +1,55 @@
+// Parameter buffer with gradient and Adam state — the unit of trainable
+// state for the hand-rolled policy network.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+
+namespace murmur::rl {
+
+struct AdamConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+};
+
+class ParamBuf {
+ public:
+  ParamBuf() = default;
+  /// Gaussian init with stddev `scale` (0 => zero init, used for biases).
+  ParamBuf(std::size_t n, Rng& rng, double scale);
+
+  std::size_t size() const noexcept { return value.size(); }
+  double& operator[](std::size_t i) noexcept { return value[i]; }
+  double operator[](std::size_t i) const noexcept { return value[i]; }
+
+  void zero_grad() noexcept;
+  /// Accumulate squared gradient norm (for global-norm clipping).
+  double grad_sq() const noexcept;
+  void scale_grad(double s) noexcept;
+  /// One Adam update; `t` is the 1-based global step for bias correction.
+  void adam_step(const AdamConfig& cfg, long t) noexcept;
+
+  void save(ByteWriter& w) const;
+  bool load(ByteReader& r);
+
+  std::vector<double> value, grad;
+
+ private:
+  std::vector<double> m_, v_;
+};
+
+/// Apply a clipped Adam step to a set of parameter buffers: gradients are
+/// rescaled so their global L2 norm is at most `max_norm` first.
+void clipped_adam_step(std::vector<ParamBuf*> params, const AdamConfig& cfg,
+                       long t, double max_norm = 5.0) noexcept;
+
+/// Softmax in place over a small logits vector.
+void softmax_inplace(std::vector<double>& logits) noexcept;
+
+}  // namespace murmur::rl

@@ -1,0 +1,178 @@
+#include "rl/policy.h"
+
+#include <cassert>
+#include <cmath>
+#include <fstream>
+
+namespace murmur::rl {
+
+PolicyNetwork::PolicyNetwork(std::size_t feature_dim,
+                             std::array<int, kNumHeads> head_options,
+                             PolicyOptions opts)
+    : feature_dim_(feature_dim),
+      head_options_(head_options),
+      opts_(opts),
+      rng_(opts.seed),
+      lstm_(feature_dim, opts.hidden, rng_) {
+  const double scale = 1.0 / std::sqrt(static_cast<double>(opts.hidden));
+  for (int h = 0; h < kNumHeads; ++h) {
+    const auto n = static_cast<std::size_t>(head_options_[static_cast<std::size_t>(h)]);
+    head_w_[static_cast<std::size_t>(h)] =
+        ParamBuf(n * opts.hidden, rng_, scale);
+    head_b_[static_cast<std::size_t>(h)] = ParamBuf(n, rng_, 0.0);
+  }
+}
+
+std::size_t PolicyNetwork::num_params() const noexcept {
+  std::size_t n = 4 * lstm_.hidden_dim() * (lstm_.input_dim() + lstm_.hidden_dim() + 1);
+  for (int h = 0; h < kNumHeads; ++h)
+    n += static_cast<std::size_t>(head_options_[static_cast<std::size_t>(h)]) *
+         (lstm_.hidden_dim() + 1);
+  return n;
+}
+
+std::vector<double> PolicyNetwork::head_logits(
+    Head head, std::span<const double> h) const {
+  const auto hi = static_cast<std::size_t>(head);
+  const auto n = static_cast<std::size_t>(head_options_[hi]);
+  const std::size_t hd = lstm_.hidden_dim();
+  std::vector<double> logits(n);
+  for (std::size_t o = 0; o < n; ++o) {
+    double s = head_b_[hi].value[o];
+    const double* w = &head_w_[hi].value[o * hd];
+    for (std::size_t j = 0; j < hd; ++j) s += w[j] * h[j];
+    logits[o] = s;
+  }
+  return logits;
+}
+
+int PolicyNetwork::Session::act(std::span<const double> features, Head head,
+                                Rng& rng, bool greedy, double epsilon) {
+  assert(features.size() == net_->feature_dim_);
+  net_->lstm_.forward(features, state_, nullptr);
+  probs_ = net_->head_logits(head, state_.h);
+  softmax_inplace(probs_);
+  int action;
+  if (greedy) {
+    action = 0;
+    for (std::size_t i = 1; i < probs_.size(); ++i)
+      if (probs_[i] > probs_[static_cast<std::size_t>(action)])
+        action = static_cast<int>(i);
+  } else if (epsilon > 0.0 && rng.bernoulli(epsilon)) {
+    action = static_cast<int>(rng.uniform_index(probs_.size()));
+  } else {
+    action = static_cast<int>(rng.categorical(probs_));
+  }
+  logprob_ = std::log(std::max(1e-12, probs_[static_cast<std::size_t>(action)]));
+  return action;
+}
+
+const std::vector<std::vector<double>>& PolicyNetwork::forward_episode(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<Head>& heads, EpisodeCache& cache) const {
+  assert(features.size() == heads.size());
+  const std::size_t T = features.size();
+  cache.lstm.resize(T);
+  cache.h.resize(T);
+  cache.probs.resize(T);
+  cache.heads = heads;
+  LstmCell::State state = lstm_.initial_state();
+  for (std::size_t t = 0; t < T; ++t) {
+    lstm_.forward(features[t], state, &cache.lstm[t]);
+    cache.h[t] = state.h;
+    cache.probs[t] = head_logits(heads[t], state.h);
+    softmax_inplace(cache.probs[t]);
+  }
+  return cache.probs;
+}
+
+void PolicyNetwork::backward_episode(
+    const EpisodeCache& cache, const std::vector<std::vector<double>>& dlogits) {
+  const std::size_t T = cache.lstm.size();
+  assert(dlogits.size() == T);
+  const std::size_t hd = lstm_.hidden_dim();
+  std::vector<double> dh(hd, 0.0), dc(hd, 0.0);
+  for (std::size_t t = T; t-- > 0;) {
+    const auto hi = static_cast<std::size_t>(cache.heads[t]);
+    const auto& dl = dlogits[t];
+    // Head backward: dW += dl * h^T; dh += W^T dl.
+    for (std::size_t o = 0; o < dl.size(); ++o) {
+      const double d = dl[o];
+      if (d == 0.0) continue;
+      double* gw = &head_w_[hi].grad[o * hd];
+      const double* w = &head_w_[hi].value[o * hd];
+      for (std::size_t j = 0; j < hd; ++j) {
+        gw[j] += d * cache.h[t][j];
+        dh[j] += d * w[j];
+      }
+      head_b_[hi].grad[o] += d;
+    }
+    lstm_.backward(cache.lstm[t], dh, dc);
+  }
+}
+
+std::vector<ParamBuf*> PolicyNetwork::parameters() {
+  std::vector<ParamBuf*> params = lstm_.params();
+  for (int h = 0; h < kNumHeads; ++h) {
+    params.push_back(&head_w_[static_cast<std::size_t>(h)]);
+    params.push_back(&head_b_[static_cast<std::size_t>(h)]);
+  }
+  return params;
+}
+
+void PolicyNetwork::apply_gradients() {
+  clipped_adam_step(parameters(), opts_.adam, ++adam_t_);
+}
+
+std::vector<std::uint8_t> PolicyNetwork::serialize() const {
+  ByteWriter w;
+  w.write_u32(0x4d505031u);  // "MPP1"
+  w.write_u64(feature_dim_);
+  w.write_u64(lstm_.hidden_dim());
+  for (int opt : head_options_) w.write_i32(opt);
+  lstm_.save(w);
+  for (int h = 0; h < kNumHeads; ++h) {
+    head_w_[static_cast<std::size_t>(h)].save(w);
+    head_b_[static_cast<std::size_t>(h)].save(w);
+  }
+  return w.take();
+}
+
+bool PolicyNetwork::deserialize(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  std::uint32_t magic = 0;
+  std::uint64_t fd = 0, hd = 0;
+  if (!r.read_u32(magic) || magic != 0x4d505031u) return false;
+  if (!r.read_u64(fd) || fd != feature_dim_) return false;
+  if (!r.read_u64(hd) || hd != lstm_.hidden_dim()) return false;
+  for (int h = 0; h < kNumHeads; ++h) {
+    std::int32_t opt = 0;
+    if (!r.read_i32(opt) || opt != head_options_[static_cast<std::size_t>(h)])
+      return false;
+  }
+  if (!lstm_.load(r)) return false;
+  for (int h = 0; h < kNumHeads; ++h) {
+    if (!head_w_[static_cast<std::size_t>(h)].load(r)) return false;
+    if (!head_b_[static_cast<std::size_t>(h)].load(r)) return false;
+  }
+  return r.ok();
+}
+
+bool PolicyNetwork::save_file(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  const auto bytes = serialize();
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(f);
+}
+
+bool PolicyNetwork::load_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
+                                  std::istreambuf_iterator<char>());
+  return deserialize(bytes);
+}
+
+}  // namespace murmur::rl

@@ -1,0 +1,100 @@
+// The Murmuration policy network (paper Fig 5): a 1-layer LSTM backbone
+// with one specialised fully-connected output head per action category
+// (resolution / depth / kernel / quantization / spatial grid / device
+// selection). Decisions are made sequentially; the LSTM hidden state
+// carries the decision context across steps.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "rl/env.h"
+#include "rl/lstm.h"
+
+namespace murmur::rl {
+
+struct PolicyOptions {
+  std::size_t hidden = 64;
+  std::uint64_t seed = 1234;
+  AdamConfig adam{};
+};
+
+class PolicyNetwork {
+ public:
+  PolicyNetwork(std::size_t feature_dim,
+                std::array<int, kNumHeads> head_options, PolicyOptions opts);
+  PolicyNetwork(std::size_t feature_dim,
+                std::array<int, kNumHeads> head_options)
+      : PolicyNetwork(feature_dim, head_options, PolicyOptions{}) {}
+
+  std::size_t feature_dim() const noexcept { return feature_dim_; }
+  std::size_t hidden_dim() const noexcept { return lstm_.hidden_dim(); }
+  int head_options(Head h) const noexcept {
+    return head_options_[static_cast<std::size_t>(h)];
+  }
+  std::size_t num_params() const noexcept;
+
+  // --- inference --------------------------------------------------------
+  /// Stateful decision session for one episode (cheap to create).
+  class Session {
+   public:
+    /// Choose an action. greedy => argmax; otherwise sample from the
+    /// categorical distribution, taking a uniform action with prob epsilon.
+    int act(std::span<const double> features, Head head, Rng& rng,
+            bool greedy = false, double epsilon = 0.0);
+    /// Probabilities of the most recent act() call.
+    const std::vector<double>& last_probs() const noexcept { return probs_; }
+    double last_logprob() const noexcept { return logprob_; }
+
+   private:
+    friend class PolicyNetwork;
+    explicit Session(const PolicyNetwork& net)
+        : net_(&net), state_(net.lstm_.initial_state()) {}
+    const PolicyNetwork* net_;
+    LstmCell::State state_;
+    std::vector<double> probs_;
+    double logprob_ = 0.0;
+  };
+  Session session() const { return Session(*this); }
+
+  // --- training ---------------------------------------------------------
+  struct EpisodeCache {
+    std::vector<LstmCell::Cache> lstm;
+    std::vector<std::vector<double>> h;      // hidden state after each step
+    std::vector<std::vector<double>> probs;  // per-step softmax
+    std::vector<Head> heads;
+  };
+  /// Forward a whole episode with gradient caches. Returns per-step probs.
+  const std::vector<std::vector<double>>& forward_episode(
+      const std::vector<std::vector<double>>& features,
+      const std::vector<Head>& heads, EpisodeCache& cache) const;
+  /// Accumulate gradients for per-step dL/dlogits (same shapes as probs).
+  void backward_episode(const EpisodeCache& cache,
+                        const std::vector<std::vector<double>>& dlogits);
+  /// Clipped Adam update using accumulated gradients, then zero them.
+  void apply_gradients();
+  /// All trainable parameter buffers (gradient checks, inspection).
+  std::vector<ParamBuf*> parameters();
+
+  // --- persistence --------------------------------------------------------
+  std::vector<std::uint8_t> serialize() const;
+  bool deserialize(std::span<const std::uint8_t> bytes);
+  bool save_file(const std::string& path) const;
+  bool load_file(const std::string& path);
+
+ private:
+  std::vector<double> head_logits(Head head,
+                                  std::span<const double> h) const;
+
+  std::size_t feature_dim_;
+  std::array<int, kNumHeads> head_options_;
+  PolicyOptions opts_;
+  Rng rng_;
+  LstmCell lstm_;
+  std::array<ParamBuf, kNumHeads> head_w_;  // [options x H]
+  std::array<ParamBuf, kNumHeads> head_b_;
+  long adam_t_ = 0;
+};
+
+}  // namespace murmur::rl

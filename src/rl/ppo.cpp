@@ -1,0 +1,102 @@
+#include "rl/ppo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rl/rollout.h"
+
+namespace murmur::rl {
+
+TrainingCurve PpoTrainer::train(PolicyNetwork& policy) {
+  Rng rng(opts_.seed);
+  Rng eval_rng(opts_.seed ^ 0xE7A1ull);
+  const auto validation = env_.validation_points(opts_.eval_points);
+  TrainingCurve curve;
+  double reward_baseline = 0.0;  // running mean baseline
+  bool baseline_init = false;
+
+  auto maybe_eval = [&](int step) {
+    if (step % opts_.eval_every != 0 && step != opts_.total_steps) return;
+    const EvalResult r = evaluate_policy(env_, policy, validation, eval_rng);
+    curve.push_back({step, r.avg_reward, r.compliance});
+  };
+  maybe_eval(0);
+
+  int step = 0;
+  while (step < opts_.total_steps) {
+    // --- collect a batch of on-policy episodes -------------------------
+    std::vector<Episode> batch;
+    batch.reserve(static_cast<std::size_t>(opts_.batch_size));
+    for (int i = 0; i < opts_.batch_size && step < opts_.total_steps; ++i) {
+      const ConstraintPoint c =
+          env_.sample_constraint(rng, env_.constraint_dims());
+      batch.push_back(rollout(env_, policy, c, rng, {}));
+      ++step;
+      maybe_eval(step);
+    }
+    // --- advantages ------------------------------------------------------
+    for (const auto& ep : batch) {
+      reward_baseline = baseline_init
+                            ? 0.95 * reward_baseline + 0.05 * ep.reward
+                            : ep.reward;
+      baseline_init = true;
+    }
+    std::vector<double> adv(batch.size());
+    double adv_sq = 0.0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      adv[i] = batch[i].reward - reward_baseline;
+      adv_sq += adv[i] * adv[i];
+    }
+    const double adv_norm =
+        std::sqrt(adv_sq / static_cast<double>(std::max<std::size_t>(1, batch.size())));
+    if (adv_norm > 1e-9)
+      for (auto& a : adv) a /= adv_norm;
+
+    // --- clipped surrogate epochs ---------------------------------------
+    for (int epoch = 0; epoch < ppo_.epochs; ++epoch) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Episode& ep = batch[i];
+        const ReplayedEpisode rep =
+            replay_features(env_, ep.constraint, ep.actions);
+        PolicyNetwork::EpisodeCache cache;
+        const auto& probs = policy.forward_episode(rep.features, rep.heads, cache);
+        std::vector<std::vector<double>> dlogits(probs.size());
+        const double scale =
+            1.0 / static_cast<double>(batch.size() * probs.size());
+        for (std::size_t t = 0; t < probs.size(); ++t) {
+          const auto a = static_cast<std::size_t>(ep.actions[t]);
+          const double pi_a = std::max(1e-12, probs[t][a]);
+          const double mu_a = std::exp(ep.logprobs[t]);
+          const double ratio = pi_a / std::max(1e-12, mu_a);
+          // Gradient of min(r*A, clip(r)*A): zero when the ratio is outside
+          // the trust region on the improving side.
+          const bool clipped = (adv[i] > 0 && ratio > 1.0 + ppo_.clip) ||
+                               (adv[i] < 0 && ratio < 1.0 - ppo_.clip);
+          dlogits[t].assign(probs[t].size(), 0.0);
+          if (!clipped) {
+            // d(-ratio*A)/dlogits = -A * ratio * (onehot - probs).
+            const double coef = -adv[i] * ratio * scale;
+            for (std::size_t o = 0; o < probs[t].size(); ++o)
+              dlogits[t][o] = coef * ((o == a ? 1.0 : 0.0) - probs[t][o]);
+          }
+          // Entropy bonus: d(-H)/dlogit_o = p_o * (log p_o + H).
+          if (ppo_.entropy_coef > 0) {
+            double entropy = 0.0;
+            for (double p : probs[t])
+              if (p > 1e-12) entropy -= p * std::log(p);
+            for (std::size_t o = 0; o < probs[t].size(); ++o) {
+              const double p = std::max(1e-12, probs[t][o]);
+              dlogits[t][o] += ppo_.entropy_coef * scale * p *
+                               (std::log(p) + entropy);
+            }
+          }
+        }
+        policy.backward_episode(cache, dlogits);
+      }
+      policy.apply_gradients();
+    }
+  }
+  return curve;
+}
+
+}  // namespace murmur::rl

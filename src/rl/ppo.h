@@ -1,0 +1,33 @@
+// Proximal Policy Optimization (Schulman et al. 2017) with a clipped
+// surrogate objective — the standard on-policy baseline of Figures 11-12.
+// Episodes have a single terminal reward (Eq. 2/3), so the advantage of
+// every step in an episode is the episode's centred reward.
+#pragma once
+
+#include "rl/algo.h"
+
+namespace murmur::rl {
+
+class PpoTrainer final : public Trainer {
+ public:
+  struct PpoOptions {
+    double clip = 0.2;
+    double entropy_coef = 0.01;
+    int epochs = 3;  // optimisation epochs per collected batch
+  };
+
+  PpoTrainer(const Env& env, TrainerOptions opts, PpoOptions ppo)
+      : env_(env), opts_(std::move(opts)), ppo_(ppo) {}
+  PpoTrainer(const Env& env, TrainerOptions opts)
+      : PpoTrainer(env, std::move(opts), PpoOptions{}) {}
+
+  std::string name() const override { return "PPO"; }
+  TrainingCurve train(PolicyNetwork& policy) override;
+
+ private:
+  const Env& env_;
+  TrainerOptions opts_;
+  PpoOptions ppo_;
+};
+
+}  // namespace murmur::rl

@@ -1,0 +1,55 @@
+#include "rl/rollout.h"
+
+namespace murmur::rl {
+
+Episode rollout(const Env& env, const PolicyNetwork& policy,
+                const ConstraintPoint& c, Rng& rng,
+                const RolloutOptions& opts) {
+  Episode ep;
+  ep.constraint = c;
+  auto session = policy.session();
+  while (!env.done(ep.actions)) {
+    const StepSpec spec = env.next_step(ep.actions);
+    const auto feats = env.features(c, ep.actions);
+    const int a =
+        session.act(feats, spec.head, rng, opts.greedy, opts.epsilon);
+    ep.actions.push_back(a);
+    ep.logprobs.push_back(session.last_logprob());
+  }
+  ep.outcome = env.evaluate(c, ep.actions);
+  ep.reward = env.reward(c, ep.outcome);
+  ep.satisfied = env.satisfies(c, ep.outcome);
+  return ep;
+}
+
+ReplayedEpisode replay_features(const Env& env, const ConstraintPoint& c,
+                                std::span<const int> actions) {
+  ReplayedEpisode out;
+  out.features.reserve(actions.size());
+  out.heads.reserve(actions.size());
+  std::vector<int> prefix;
+  prefix.reserve(actions.size());
+  for (int a : actions) {
+    const StepSpec spec = env.next_step(prefix);
+    out.features.push_back(env.features(c, prefix));
+    out.heads.push_back(spec.head);
+    prefix.push_back(a);
+  }
+  return out;
+}
+
+EvalResult evaluate_policy(const Env& env, const PolicyNetwork& policy,
+                           std::span<const ConstraintPoint> points, Rng& rng) {
+  EvalResult r;
+  if (points.empty()) return r;
+  for (const auto& c : points) {
+    const Episode ep = rollout(env, policy, c, rng, {.greedy = true});
+    r.avg_reward += ep.reward;
+    r.compliance += ep.satisfied ? 1.0 : 0.0;
+  }
+  r.avg_reward /= static_cast<double>(points.size());
+  r.compliance /= static_cast<double>(points.size());
+  return r;
+}
+
+}  // namespace murmur::rl

@@ -1,0 +1,37 @@
+// Policy rollout and episode replay utilities.
+#pragma once
+
+#include "rl/policy.h"
+#include "rl/trajectory.h"
+
+namespace murmur::rl {
+
+struct RolloutOptions {
+  bool greedy = false;
+  double epsilon = 0.0;  // epsilon-greedy exploration rate
+};
+
+/// Run one full episode of `policy` on `env` under constraint `c`.
+Episode rollout(const Env& env, const PolicyNetwork& policy,
+                const ConstraintPoint& c, Rng& rng,
+                const RolloutOptions& opts = {});
+
+/// Reconstruct the per-step (features, heads) sequence of a stored action
+/// sequence under constraint `c` — used to imitate relabelled trajectories
+/// and to recompute probabilities for PPO updates.
+struct ReplayedEpisode {
+  std::vector<std::vector<double>> features;
+  std::vector<Head> heads;
+};
+ReplayedEpisode replay_features(const Env& env, const ConstraintPoint& c,
+                                std::span<const int> actions);
+
+/// Average reward / SLO-compliance of greedy rollouts over a point set.
+struct EvalResult {
+  double avg_reward = 0.0;
+  double compliance = 0.0;  // fraction of points whose SLO was met
+};
+EvalResult evaluate_policy(const Env& env, const PolicyNetwork& policy,
+                           std::span<const ConstraintPoint> points, Rng& rng);
+
+}  // namespace murmur::rl

@@ -1,0 +1,213 @@
+#include "rl/supreme.h"
+
+#include <algorithm>
+
+#include "rl/gcsl.h"
+#include "rl/rollout.h"
+
+namespace murmur::rl {
+
+SupremeTrainer::SupremeTrainer(const Env& env, TrainerOptions opts,
+                               SupremeOptions sup)
+    : env_(env),
+      opts_(std::move(opts)),
+      sup_(sup),
+      // The bucket tree uses a 2x finer grid than the training constraint
+      // grid: training points stay as the paper's 10 discrete values, but
+      // conservative (round-up) filing loses half a bucket of goal
+      // resolution, which a finer tree wins back.
+      replay_(env.constraint_dims(), env.grid_points() * 2, sup.bucket_queue) {}
+
+int SupremeTrainer::active_dims(int step) const noexcept {
+  const int dims = env_.constraint_dims();
+  if (sup_.curriculum_steps <= 0) return dims;
+  // Start with the SLO + device-1 bandwidth, then unlock one dim at a time.
+  const int unlocked =
+      2 + static_cast<int>(static_cast<long>(step) * (dims - 2) /
+                           std::max(1, sup_.curriculum_steps));
+  return std::clamp(unlocked, std::min(2, dims), dims);
+}
+
+void SupremeTrainer::store(Episode ep) {
+  // Hindsight relabel first (paper §4.4.1: new trajectory data "undergoes a
+  // reward and state relabeling process" before the top-n filter): even an
+  // episode that missed its sampled SLO is optimal data for the goal it
+  // actually reached.
+  ReplayEntry entry;
+  entry.tight = env_.relabel(ep.constraint, ep.outcome);
+  entry.reward = env_.reward(entry.tight, ep.outcome);
+  if (entry.reward > 0.0) {
+    entry.actions = ep.actions;
+    entry.outcome = ep.outcome;
+    replay_.insert(entry);
+  }
+
+  // Worst-case filing: re-evaluate the same strategy under the *tightest*
+  // conditions. The latency measured there upper-bounds its latency under
+  // every condition vector, so the resulting bucket dominates the whole
+  // condition space — one evaluation turns a single trajectory into a
+  // lower bound for every task it can serve (the Fig 7 observation in its
+  // strongest form). All-local strategies land at the universal corner.
+  ConstraintPoint worst = ep.constraint;
+  for (std::size_t d = 1; d < worst.coords.size(); ++d) worst.coords[d] = 0.0;
+  const Outcome worst_outcome = env_.evaluate(worst, ep.actions);
+  ReplayEntry bound;
+  bound.tight = env_.relabel(worst, worst_outcome);
+  bound.reward = env_.reward(bound.tight, worst_outcome);
+  if (bound.reward > 0.0) {
+    bound.actions = std::move(ep.actions);
+    bound.outcome = worst_outcome;
+    replay_.insert(std::move(bound));
+  }
+}
+
+void SupremeTrainer::mutate_one(Rng& rng) {
+  const ReplayEntry* src = replay_.random_entry(rng);
+  if (!src) return;
+  const auto op = rng.uniform_index(4);
+  if (op == 2 && rng.bernoulli(0.5)) {
+    // Structural mutations work best from a high-accuracy source:
+    // partitioning a big submodel is how tight accuracy SLOs get their
+    // latency reduction (Fig 15/17). Base on the most accurate strategy.
+    for (const ReplayEntry* e : replay_.all_entries())
+      if (e->outcome.accuracy > src->outcome.accuracy) src = e;
+  }
+  std::vector<int> actions = src->actions;
+  switch (op) {
+    case 0: {
+      // Point mutation: re-roll one random decision.
+      actions[rng.uniform_index(actions.size())] =
+          static_cast<int>(rng.uniform_index(12));  // clamped on replay
+      actions = env_.complete_randomly(std::move(actions), rng);
+      break;
+    }
+    case 1: {
+      // Locality heuristic (paper: "improving execution locality"): copy
+      // the most recent earlier action — for device heads this pulls a
+      // tile onto the device already holding its neighbour's data.
+      const std::size_t idx = rng.uniform_index(actions.size());
+      actions[idx] = actions[idx > 0 ? idx - 1 : 0];
+      actions = env_.complete_randomly(std::move(actions), rng);
+      break;
+    }
+    case 2: {
+      // Structural placement/partitioning rewrite (consolidate or spread)
+      // delegated to the environment's domain heuristic.
+      actions = env_.heuristic_mutation(actions, rng);
+      break;
+    }
+    case 3: {
+      // Model-knob tweak: nudge one non-placement decision up or down a
+      // step (shrink or grow the submodel slightly).
+      std::vector<std::size_t> knob_steps;
+      std::vector<int> prefix;
+      prefix.reserve(actions.size());
+      for (std::size_t i = 0; i < actions.size(); ++i) {
+        if (env_.done(prefix)) break;
+        if (env_.next_step(prefix).head != Head::kDevice) knob_steps.push_back(i);
+        prefix.push_back(actions[i]);
+      }
+      if (!knob_steps.empty()) {
+        const std::size_t idx = knob_steps[rng.uniform_index(knob_steps.size())];
+        actions[idx] += rng.bernoulli(0.5) ? 1 : -1;
+        if (actions[idx] < 0) actions[idx] = 0;
+      }
+      actions = env_.complete_randomly(std::move(actions), rng);
+      break;
+    }
+  }
+  // Evaluate either under the source bucket's constraint (refinement) or a
+  // freshly sampled task (coverage of under-explored buckets — the paper's
+  // "updating suboptimal buckets" heuristic); relabel files the result
+  // wherever it actually lands.
+  Episode ep;
+  ep.constraint = rng.bernoulli(0.5)
+                      ? src->tight
+                      : env_.sample_constraint(rng, env_.constraint_dims());
+  ep.actions = std::move(actions);
+  ep.outcome = env_.evaluate(ep.constraint, ep.actions);
+  ep.reward = env_.reward(ep.constraint, ep.outcome);
+  store(std::move(ep));
+}
+
+TrainingCurve SupremeTrainer::train(PolicyNetwork& policy) {
+  Rng rng(opts_.seed);
+  Rng eval_rng(opts_.seed ^ 0xE7A1ull);
+  const auto validation = env_.validation_points(opts_.eval_points);
+  TrainingCurve curve;
+
+  for (const auto& boot : opts_.bootstrap) {
+    Episode ep = boot;
+    ep.reward = std::max(ep.reward, 1e-6);  // bootstrap entries always kept
+    store(std::move(ep));
+  }
+
+  // SUPREME's decision output is max(greedy policy, best bucket entry) —
+  // the bucketed store is part of the trained artifact (it feeds the
+  // runtime's strategy cache), so evaluation scores both together.
+  auto maybe_eval = [&](int step) {
+    if (step % opts_.eval_every != 0 && step != opts_.total_steps) return;
+    double reward_sum = 0.0, compliance_sum = 0.0;
+    for (const auto& c : validation) {
+      const Episode ep = rollout(env_, policy, c, eval_rng, {.greedy = true});
+      double best_reward = ep.reward;
+      bool satisfied = ep.satisfied;
+      if (const ReplayEntry* entry = replay_.best_for(c)) {
+        const Outcome o = env_.evaluate(c, entry->actions);
+        const double r = env_.reward(c, o);
+        if (r > best_reward) {
+          best_reward = r;
+          satisfied = env_.satisfies(c, o);
+        }
+      }
+      reward_sum += best_reward;
+      compliance_sum += satisfied ? 1.0 : 0.0;
+    }
+    const double n = static_cast<double>(validation.size());
+    curve.push_back({step, reward_sum / n, compliance_sum / n});
+  };
+  maybe_eval(0);
+
+  for (int step = 1; step <= opts_.total_steps; ++step) {
+    const int dims = active_dims(step);
+    // --- collection: epsilon-greedy policy episode or mutation ---------
+    if (sup_.enable_mutation && step % sup_.mutation_every == 0) {
+      mutate_one(rng);
+    }
+    const ConstraintPoint c = env_.sample_constraint(rng, dims);
+    store(rollout(env_, policy, c, rng, {.epsilon = opts_.epsilon}));
+
+    // --- policy training (GCSL on the bucketed buffer) -------------------
+    // Half the batch imitates reward-filtered entries on their own tight
+    // goal (goal calibration); the other half conditions on freshly
+    // sampled constraints served through dominance sharing, which is what
+    // spreads one discovered strategy across every task it lower-bounds.
+    std::vector<std::pair<ConstraintPoint, const std::vector<int>*>> batch;
+    batch.reserve(static_cast<std::size_t>(opts_.batch_size));
+    for (int i = 0; i < opts_.batch_size; ++i) {
+      if (i % 2 == 0) {
+        if (const ReplayEntry* entry = replay_.random_entry(rng))
+          batch.emplace_back(entry->tight, &entry->actions);
+        continue;
+      }
+      const ConstraintPoint target = env_.sample_constraint(rng, dims);
+      const ReplayEntry* entry = nullptr;
+      if (sup_.enable_share) {
+        entry = replay_.sample_for(target, rng);
+      } else {
+        // No sharing: only the exact bucket may serve the request.
+        const ReplayEntry* best = replay_.best_for(target);
+        if (best && replay_.key_of(best->tight) == replay_.key_of(target))
+          entry = best;
+      }
+      if (entry) batch.emplace_back(target, &entry->actions);
+    }
+    GcslTrainer::imitation_update(env_, policy, batch);
+
+    if (sup_.enable_prune && step % sup_.prune_every == 0) replay_.prune();
+    maybe_eval(step);
+  }
+  return curve;
+}
+
+}  // namespace murmur::rl

@@ -1,0 +1,55 @@
+// SUPREME: Share, bUcketed, PRunE, Epsilon-greedy, Mutation Exploration
+// (paper §4.4, Fig 6).
+//
+// Two coupled loops drive training:
+//   * the lower loop is conventional goal-conditioned policy training —
+//     GCSL imitation of replayed trajectories plus epsilon-greedy
+//     collection;
+//   * the upper loop optimises the replay buffer itself: relabelled
+//     trajectories are filed into the bucketed reward-filtered tree,
+//     shared across tasks along the dominance relation, pruned when a
+//     tighter bucket already holds a better strategy, and mutated to
+//     generate new candidate strategies.
+// A curriculum progressively unlocks constraint dimensions (SLO and device
+// 1 bandwidth first, then delays/bandwidths of further devices).
+#pragma once
+
+#include "rl/algo.h"
+#include "rl/replay_tree.h"
+
+namespace murmur::rl {
+
+struct SupremeOptions {
+  std::size_t bucket_queue = 4;  // top-n per bucket
+  int mutation_every = 2;        // one mutated episode every k steps
+  int prune_every = 400;
+  /// Steps over which the curriculum unlocks all constraint dims
+  /// (0 => no curriculum, all dims active from the start).
+  int curriculum_steps = 0;
+  // Ablation switches (bench_ablation_supreme).
+  bool enable_share = true;
+  bool enable_prune = true;
+  bool enable_mutation = true;
+};
+
+class SupremeTrainer final : public Trainer {
+ public:
+  SupremeTrainer(const Env& env, TrainerOptions opts, SupremeOptions sup = {});
+
+  std::string name() const override { return "SUPREME"; }
+  TrainingCurve train(PolicyNetwork& policy) override;
+
+  const BucketedReplayTree& replay() const noexcept { return replay_; }
+
+ private:
+  void store(Episode ep);
+  void mutate_one(Rng& rng);
+  int active_dims(int step) const noexcept;
+
+  const Env& env_;
+  TrainerOptions opts_;
+  SupremeOptions sup_;
+  BucketedReplayTree replay_;
+};
+
+}  // namespace murmur::rl

@@ -1,0 +1,22 @@
+// Episode record: everything needed to replay, relabel, mutate or imitate
+// one decision trajectory.
+#pragma once
+
+#include <vector>
+
+#include "rl/env.h"
+
+namespace murmur::rl {
+
+struct Episode {
+  ConstraintPoint constraint;  // goal+task the policy was conditioned on
+  std::vector<int> actions;
+  Outcome outcome;
+  double reward = 0.0;
+  bool satisfied = false;
+  /// Per-step behaviour log-probs (recorded by on-policy collectors; empty
+  /// for relabelled/mutated data).
+  std::vector<double> logprobs;
+};
+
+}  // namespace murmur::rl

@@ -1,0 +1,200 @@
+#include "runtime/executor.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace murmur::runtime {
+
+using supernet::SubnetConfig;
+
+namespace {
+
+/// Paste the intersection of `src` (at extent se) into `dst` (at extent de).
+void paste_overlap(const Tensor& src, const TileExtent& se, Tensor& dst,
+                   const TileExtent& de) {
+  const int h0 = std::max(se.h0, de.h0), h1 = std::min(se.h0 + se.h, de.h0 + de.h);
+  const int w0 = std::max(se.w0, de.w0), w1 = std::min(se.w0 + se.w, de.w0 + de.w);
+  for (int n = 0; n < dst.dim(0); ++n)
+    for (int c = 0; c < dst.dim(1); ++c)
+      for (int h = h0; h < h1; ++h)
+        for (int w = w0; w < w1; ++w)
+          dst.at(n, c, h - de.h0, w - de.w0) = src.at(n, c, h - se.h0, w - se.w0);
+}
+
+bool overlaps(const TileExtent& a, const TileExtent& b) {
+  return std::max(a.h0, b.h0) < std::min(a.h0 + a.h, b.h0 + b.h) &&
+         std::max(a.w0, b.w0) < std::min(a.w0 + a.w, b.w0 + b.w);
+}
+
+std::uint64_t make_tag(int block, int tile, int piece) {
+  return (static_cast<std::uint64_t>(block + 2) << 32) |
+         (static_cast<std::uint64_t>(tile) << 16) |
+         static_cast<std::uint64_t>(piece);
+}
+
+}  // namespace
+
+DistributedExecutor::DistributedExecutor(supernet::Supernet& supernet,
+                                         const netsim::Network& network)
+    : supernet_(supernet),
+      network_(network),
+      transport_(network),
+      pool_(std::max<std::size_t>(2, network.num_devices())) {}
+
+ExecutionReport DistributedExecutor::run(
+    const Tensor& image, const SubnetConfig& config,
+    const partition::PlacementPlan& plan) {
+  const auto t_start = std::chrono::steady_clock::now();
+  transport_.reset_stats();
+  supernet_.activate(config);
+
+  ExecutionReport report;
+
+  // Current full map plus ownership metadata per piece.
+  struct Piece {
+    TileExtent extent;
+    int device = 0;
+  };
+
+  // --- Stem (device 0 holds the image) --------------------------------
+  Tensor current;
+  {
+    const int stem_dev = plan.stem_device;
+    if (stem_dev != 0) {
+      // Ship the raw image (fp32) to the stem device.
+      auto payload = encode_activation(quantize(image, QuantBits::k32));
+      transport_.send(0, stem_dev, make_tag(-1, 0, 0), std::move(payload),
+                      image.bytes(), 0.0);
+      const auto msg = transport_.recv(stem_dev, make_tag(-1, 0, 0));
+      const auto qt = decode_activation(msg.payload);
+      assert(qt.has_value());
+      current = supernet_.forward_stem(dequantize(*qt));
+    } else {
+      current = supernet_.forward_stem(image);
+    }
+  }
+  std::vector<Piece> pieces{
+      {TileExtent{0, 0, current.dim(2), current.dim(3)}, plan.stem_device}};
+  QuantBits prev_quant = QuantBits::k32;  // stem output is fp32
+
+  // --- Blocks -----------------------------------------------------------
+  for (int b = 0; b < supernet::kMaxBlocks; ++b) {
+    if (!config.block_active(b)) continue;
+    const auto& bc = config.blocks[static_cast<std::size_t>(b)];
+    supernet_.prepare_block(b);
+
+    // Determine the tile layout actually executable for this tensor.
+    const bool tiled = supernet_.block_can_partition(b, current);
+    const auto extents =
+        tiled ? tile_extents(current.dim(2), current.dim(3), bc.grid)
+              : std::vector<TileExtent>{
+                    TileExtent{0, 0, current.dim(2), current.dim(3)}};
+    if (tiled) ++report.partitioned_blocks;
+
+    // Phase 1 (main thread): ship every cross-device overlap.
+    for (std::size_t t = 0; t < extents.size(); ++t) {
+      const int dev =
+          plan.device[static_cast<std::size_t>(b)][tiled ? t : 0];
+      for (std::size_t p = 0; p < pieces.size(); ++p) {
+        if (pieces[p].device == dev || !overlaps(extents[t], pieces[p].extent))
+          continue;
+        // Crop the needed region, quantize at the *previous* block's wire
+        // precision, serialize, send.
+        const auto& se = pieces[p].extent;
+        const auto& de = extents[t];
+        const int h0 = std::max(se.h0, de.h0), h1 = std::min(se.h0 + se.h, de.h0 + de.h);
+        const int w0 = std::max(se.w0, de.w0), w1 = std::min(se.w0 + se.w, de.w0 + de.w);
+        Tensor crop = current.crop(h0, w0, h1 - h0, w1 - w0);
+        const QuantizedTensor qt = quantize(crop, prev_quant);
+        const std::size_t wire = qt.wire_bytes();
+        transport_.send(pieces[p].device, dev,
+                        make_tag(b, static_cast<int>(t), static_cast<int>(p)),
+                        encode_activation(qt), wire, 0.0);
+      }
+    }
+
+    // Phase 2 (pooled): each tile assembles its input and runs.
+    std::vector<Tensor> outputs(extents.size());
+    pool_.parallel_for(extents.size(), [&](std::size_t t) {
+      const int dev =
+          plan.device[static_cast<std::size_t>(b)][tiled ? t : 0];
+      const auto& de = extents[t];
+      Tensor input({current.dim(0), current.dim(1), de.h, de.w});
+      for (std::size_t p = 0; p < pieces.size(); ++p) {
+        if (!overlaps(de, pieces[p].extent)) continue;
+        if (pieces[p].device == dev) {
+          paste_overlap(current, pieces[p].extent, input, de);
+        } else {
+          const auto msg = transport_.recv(
+              dev, make_tag(b, static_cast<int>(t), static_cast<int>(p)));
+          const auto qt = decode_activation(msg.payload);
+          assert(qt.has_value());
+          const Tensor got = dequantize(*qt);
+          const auto& se = pieces[p].extent;
+          const TileExtent ge{std::max(se.h0, de.h0), std::max(se.w0, de.w0),
+                              got.dim(2), got.dim(3)};
+          paste_overlap(got, ge, input, de);
+        }
+      }
+      outputs[t] = supernet_.forward_block_tile(static_cast<int>(b), input);
+    });
+
+    // Merge outputs into the next full map and update ownership.
+    const auto geo = supernet::CostModel::block_geometry(config, b);
+    std::vector<Piece> next_pieces;
+    std::vector<TileExtent> out_extents;
+    next_pieces.reserve(extents.size());
+    out_extents.reserve(extents.size());
+    for (std::size_t t = 0; t < extents.size(); ++t) {
+      const TileExtent oe{extents[t].h0 / geo.stride, extents[t].w0 / geo.stride,
+                          extents[t].h / geo.stride, extents[t].w / geo.stride};
+      out_extents.push_back(oe);
+      next_pieces.push_back(
+          Piece{oe, plan.device[static_cast<std::size_t>(b)][tiled ? t : 0]});
+    }
+    current = merge_tiles(outputs, out_extents, outputs.front().dim(1),
+                          current.dim(2) / geo.stride,
+                          current.dim(3) / geo.stride);
+    pieces = std::move(next_pieces);
+    prev_quant = bc.quant;
+  }
+
+  // --- Head: gather to the head device, classify, return logits. -------
+  {
+    const int head_dev = plan.head_device;
+    for (std::size_t p = 0; p < pieces.size(); ++p) {
+      if (pieces[p].device == head_dev) continue;
+      const auto& se = pieces[p].extent;
+      Tensor crop = current.crop(se.h0, se.w0, se.h, se.w);
+      const QuantizedTensor qt = quantize(crop, prev_quant);
+      transport_.send(pieces[p].device, head_dev, make_tag(1000, 0, static_cast<int>(p)),
+                      encode_activation(qt), qt.wire_bytes(), 0.0);
+      const auto msg =
+          transport_.recv(head_dev, make_tag(1000, 0, static_cast<int>(p)));
+      const auto back = decode_activation(msg.payload);
+      assert(back.has_value());
+      paste_overlap(dequantize(*back), se, current,
+                    TileExtent{0, 0, current.dim(2), current.dim(3)});
+    }
+    report.logits = supernet_.forward_head(current);
+    if (head_dev != 0) {
+      const QuantizedTensor qt = quantize(report.logits, QuantBits::k32);
+      transport_.send(head_dev, 0, make_tag(1001, 0, 0), encode_activation(qt),
+                      qt.wire_bytes(), 0.0);
+      const auto msg = transport_.recv(0, make_tag(1001, 0, 0));
+      report.logits = dequantize(*decode_activation(msg.payload));
+    }
+  }
+
+  // Simulated latency from the analytic evaluator (identical cost model).
+  const partition::SubnetLatencyEvaluator eval(network_);
+  report.sim_latency_ms = eval.latency_ms(config, plan);
+  report.transport = transport_.stats();
+  report.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t_start)
+          .count();
+  return report;
+}
+
+}  // namespace murmur::runtime

@@ -1,0 +1,47 @@
+// Distributed executor: runs one partitioned inference across the simulated
+// device fleet (paper §5: Scheduler + Executor + Remote Execution).
+//
+// Blocks execute in dependency order; the tiles of a spatially partitioned
+// block run concurrently on a thread-per-device pool. Activations crossing
+// a device boundary are quantized (per the block's configured bit-width),
+// serialized, shipped through the in-process transport and dequantized on
+// the receiving side — so quantization error genuinely propagates through
+// the rest of the network, exactly as it would over gRPC. Simulated
+// end-to-end latency is charged by the same analytic model the RL policy
+// was trained against.
+#pragma once
+
+#include "common/thread_pool.h"
+#include "partition/subnet_latency.h"
+#include "runtime/transport.h"
+#include "supernet/supernet.h"
+
+namespace murmur::runtime {
+
+struct ExecutionReport {
+  Tensor logits;
+  double sim_latency_ms = 0.0;  // simulated end-to-end latency
+  double wall_ms = 0.0;         // host wall-clock of this run
+  TransportStats transport;
+  int partitioned_blocks = 0;   // blocks that actually ran tiled
+};
+
+class DistributedExecutor {
+ public:
+  DistributedExecutor(supernet::Supernet& supernet,
+                      const netsim::Network& network);
+
+  /// Execute `image` (NCHW, spatial size == config.resolution) under the
+  /// given strategy. The supernet's active config is set to `config`.
+  ExecutionReport run(const Tensor& image,
+                      const supernet::SubnetConfig& config,
+                      const partition::PlacementPlan& plan);
+
+ private:
+  supernet::Supernet& supernet_;
+  const netsim::Network& network_;
+  Transport transport_;
+  ThreadPool pool_;
+};
+
+}  // namespace murmur::runtime

@@ -1,0 +1,47 @@
+#include "runtime/supernet_host.h"
+
+#include <chrono>
+
+namespace murmur::runtime {
+
+namespace {
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+SupernetHost::SupernetHost(supernet::SupernetOptions opts)
+    : net_(std::make_unique<supernet::Supernet>(opts)) {
+  opts.seed ^= 0xBEEF;
+  shadow_ = std::make_unique<supernet::Supernet>(opts);
+}
+
+double SupernetHost::switch_submodel(const supernet::SubnetConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  net_->activate(config);
+  return elapsed_ms(t0);
+}
+
+double SupernetHost::cold_model_load() {
+  const auto t0 = std::chrono::steady_clock::now();
+  net_->simulate_weight_reload(*shadow_);
+  std::swap(net_, shadow_);
+  return elapsed_ms(t0);
+}
+
+double SupernetHost::scale_to_device(double host_ms,
+                                     netsim::DeviceType t) noexcept {
+  // Approximate sustained memcpy bandwidth ratios vs a desktop host
+  // (~10 GB/s): RPi4 LPDDR4 ~3 GB/s, Jetson ~6 GB/s.
+  switch (t) {
+    case netsim::DeviceType::kRaspberryPi4: return host_ms * (10.0 / 3.0);
+    case netsim::DeviceType::kJetson: return host_ms * (10.0 / 6.0);
+    case netsim::DeviceType::kDesktopCpu: return host_ms;
+    case netsim::DeviceType::kDesktopGpu: return host_ms * 0.5;
+  }
+  return host_ms;
+}
+
+}  // namespace murmur::runtime

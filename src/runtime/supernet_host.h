@@ -1,0 +1,43 @@
+// In-memory supernet host + Model Reconfig module (paper §5.1).
+//
+// The full supernet stays resident; switching submodels is a metadata-only
+// activate() — no weight copies, no disk — which is what gives Murmuration
+// its millisecond model-switch time (Fig 19). For comparison the host can
+// also perform a "cold switch" that deep-copies every weight tensor, i.e.
+// what swapping to a *different* model under a memory budget would cost.
+#pragma once
+
+#include <memory>
+
+#include "netsim/device.h"
+#include "supernet/supernet.h"
+
+namespace murmur::runtime {
+
+class SupernetHost {
+ public:
+  explicit SupernetHost(supernet::SupernetOptions opts = {});
+
+  supernet::Supernet& supernet() noexcept { return *net_; }
+  const supernet::Supernet& supernet() const noexcept { return *net_; }
+
+  /// Warm switch: activate a submodel in the resident supernet.
+  /// Returns host wall time in ms (expected: microseconds).
+  double switch_submodel(const supernet::SubnetConfig& config);
+
+  /// Cold switch: simulate loading a different model of the supernet's
+  /// size into memory (deep weight copy). Returns host wall time in ms.
+  double cold_model_load();
+
+  /// Scale a host-measured duration to a target device class using
+  /// calibrated memory-bandwidth ratios (model switching is memcpy-bound).
+  static double scale_to_device(double host_ms, netsim::DeviceType t) noexcept;
+
+  std::size_t resident_bytes() const noexcept { return net_->param_bytes(); }
+
+ private:
+  std::unique_ptr<supernet::Supernet> net_;
+  std::unique_ptr<supernet::Supernet> shadow_;  // cold-load source
+};
+
+}  // namespace murmur::runtime

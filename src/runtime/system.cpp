@@ -1,0 +1,102 @@
+#include "runtime/system.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace murmur::runtime {
+
+namespace {
+double elapsed_ms(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+Tensor center_crop(const Tensor& image, int size) {
+  assert(image.rank() == 4);
+  if (image.dim(2) == size && image.dim(3) == size) return image;
+  assert(image.dim(2) >= size && image.dim(3) >= size);
+  const int h0 = (image.dim(2) - size) / 2;
+  const int w0 = (image.dim(3) - size) / 2;
+  return image.crop(h0, w0, size, size);
+}
+}  // namespace
+
+MurmurationSystem::MurmurationSystem(core::TrainedArtifacts artifacts,
+                                     SystemOptions opts)
+    : artifacts_(std::move(artifacts)),
+      opts_(opts),
+      network_(artifacts_.env->network()),
+      monitor_(network_, netsim::NetworkMonitor::Options{.seed = opts.seed}),
+      predictor_(monitor_),
+      engine_(*artifacts_.env, *artifacts_.policy, artifacts_.replay.get()),
+      cache_(*artifacts_.env),
+      host_(supernet::SupernetOptions{.width_mult = opts.exec_width_mult,
+                                      .classes = opts.classes,
+                                      .seed = opts.seed}),
+      rng_(opts.seed) {
+  executor_ = std::make_unique<DistributedExecutor>(host_.supernet(), network_);
+}
+
+core::Decision MurmurationSystem::decide(const rl::ConstraintPoint& c,
+                                         bool* cache_hit) {
+  if (opts_.use_cache) {
+    if (auto hit = cache_.get(c)) {
+      *cache_hit = true;
+      return *std::move(hit);
+    }
+  }
+  *cache_hit = false;
+  core::Decision d = engine_.decide(c, rng_);
+  if (opts_.use_cache) cache_.put(c, d);
+  return d;
+}
+
+InferenceResult MurmurationSystem::infer(const Tensor& image) {
+  InferenceResult result;
+
+  // 1. Monitoring: refresh estimates of every remote link.
+  sim_time_ms_ += 50.0;  // request inter-arrival advance
+  monitor_.probe_all(sim_time_ms_);
+  const netsim::NetworkConditions est = monitor_.estimate();
+
+  // 2. Decision (cache -> RL policy).
+  const auto t_dec = std::chrono::steady_clock::now();
+  const rl::ConstraintPoint c =
+      artifacts_.env->make_constraint(opts_.slo.value, est);
+  result.decision = decide(c, &result.cache_hit);
+  result.decision_wall_ms = elapsed_ms(t_dec);
+
+  // 3. Precompute for forecast conditions (fills the cache for where the
+  //    network is heading; paper §5.1).
+  if (opts_.use_predictor && opts_.use_cache) {
+    const netsim::NetworkConditions fc =
+        predictor_.forecast_all(opts_.precompute_horizon_ms);
+    const rl::ConstraintPoint cf =
+        artifacts_.env->make_constraint(opts_.slo.value, fc);
+    bool hit = false;
+    (void)decide(cf, &hit);
+  }
+
+  // 4. Model reconfig: in-memory submodel switch.
+  result.switch_wall_ms =
+      host_.switch_submodel(result.decision.strategy.config);
+
+  // 5. Distributed execution.
+  const Tensor input =
+      center_crop(image, result.decision.strategy.config.resolution);
+  ExecutionReport rep = executor_->run(input, result.decision.strategy.config,
+                                       result.decision.strategy.plan);
+  result.logits = std::move(rep.logits);
+  result.sim_latency_ms = rep.sim_latency_ms;
+  result.exec_wall_ms = rep.wall_ms;
+  result.predicted_class = 0;
+  for (int i = 1; i < result.logits.dim(1); ++i)
+    if (result.logits.at(0, i) > result.logits.at(0, result.predicted_class))
+      result.predicted_class = i;
+  result.slo_met = opts_.slo.satisfied_by(result.decision.predicted.accuracy,
+                                          result.sim_latency_ms);
+  return result;
+}
+
+}  // namespace murmur::runtime

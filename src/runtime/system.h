@@ -1,0 +1,83 @@
+// MurmurationSystem: the full online deployment (stage 3, paper Fig 10).
+//
+// Per inference request: the network monitor refreshes its estimates; the
+// monitoring-data predictor forecasts short-term conditions; the strategy
+// cache is consulted (precomputed or previously decided strategies); on a
+// miss, the Model Selection and Partition Decision module runs the RL
+// policy (plus the SUPREME bucket store); the Model Reconfig module
+// switches the resident supernet; and the Scheduler/Executor runs the
+// partitioned inference across the simulated devices.
+#pragma once
+
+#include <memory>
+
+#include "core/decision.h"
+#include "core/strategy_cache.h"
+#include "core/training.h"
+#include "netsim/monitor.h"
+#include "netsim/predictor.h"
+#include "runtime/executor.h"
+#include "runtime/supernet_host.h"
+
+namespace murmur::runtime {
+
+struct SystemOptions {
+  core::Slo slo = core::Slo::latency_ms(200.0);
+  bool use_cache = true;
+  bool use_predictor = true;      // precompute for forecast conditions
+  double precompute_horizon_ms = 200.0;
+  /// Width multiplier of the executable supernet instance (1.0 is the
+  /// paper architecture; smaller widths keep example runtimes small).
+  double exec_width_mult = 0.25;
+  int classes = 1000;
+  std::uint64_t seed = 2024;
+};
+
+struct InferenceResult {
+  Tensor logits;
+  int predicted_class = 0;
+  core::Decision decision;
+  double sim_latency_ms = 0.0;
+  double decision_wall_ms = 0.0;
+  double switch_wall_ms = 0.0;
+  double exec_wall_ms = 0.0;
+  bool cache_hit = false;
+  bool slo_met = false;
+};
+
+class MurmurationSystem {
+ public:
+  MurmurationSystem(core::TrainedArtifacts artifacts, SystemOptions opts);
+
+  void set_slo(const core::Slo& slo) noexcept { opts_.slo = slo; }
+  const core::Slo& slo() const noexcept { return opts_.slo; }
+
+  /// Mutable access to the simulated network (shape links to emulate
+  /// changing conditions between requests).
+  netsim::Network& network() noexcept { return network_; }
+
+  /// Serve one inference request on `image` (3 x R x R, R >= 224 works for
+  /// any configured resolution via center-crop).
+  InferenceResult infer(const Tensor& image);
+
+  const core::StrategyCache& cache() const noexcept { return cache_; }
+  const core::MurmurationEnv& env() const noexcept { return *artifacts_.env; }
+  SupernetHost& host() noexcept { return host_; }
+
+ private:
+  core::Decision decide(const rl::ConstraintPoint& c, bool* cache_hit);
+
+  core::TrainedArtifacts artifacts_;
+  SystemOptions opts_;
+  netsim::Network network_;
+  netsim::NetworkMonitor monitor_;
+  netsim::MonitorPredictor predictor_;
+  core::DecisionEngine engine_;
+  core::StrategyCache cache_;
+  SupernetHost host_;
+  std::unique_ptr<DistributedExecutor> executor_;
+  Rng rng_;
+  double sim_time_ms_ = 0.0;
+};
+
+}  // namespace murmur::runtime

@@ -1,0 +1,142 @@
+#include "runtime/transport.h"
+
+#include <algorithm>
+
+#include "common/serialize.h"
+
+namespace murmur::runtime {
+
+std::vector<std::uint8_t> encode_activation(const QuantizedTensor& qt) {
+  ByteWriter w;
+  w.write_u32(0x41435431u);  // "ACT1"
+  w.write_u32(static_cast<std::uint32_t>(qt.shape.size()));
+  for (int d : qt.shape) w.write_i32(d);
+  w.write_u32(static_cast<std::uint32_t>(bit_count(qt.bits)));
+  w.write_f32(qt.scale);
+  w.write_f32(qt.zero_point);
+  if (qt.bits == QuantBits::k32) {
+    w.write_f32_span(qt.passthrough);
+  } else {
+    // Bit-pack the codes at the configured width (sign-extended on read).
+    const int bits = bit_count(qt.bits);
+    w.write_u64(qt.q.size());
+    std::uint64_t acc = 0;
+    int filled = 0;
+    std::vector<std::uint8_t> packed;
+    packed.reserve(qt.q.size() * static_cast<std::size_t>(bits) / 8 + 8);
+    const std::uint64_t mask = (1ull << bits) - 1;
+    for (std::int32_t v : qt.q) {
+      acc |= (static_cast<std::uint64_t>(v) & mask) << filled;
+      filled += bits;
+      while (filled >= 8) {
+        packed.push_back(static_cast<std::uint8_t>(acc & 0xff));
+        acc >>= 8;
+        filled -= 8;
+      }
+    }
+    if (filled > 0) packed.push_back(static_cast<std::uint8_t>(acc & 0xff));
+    w.write_bytes(packed);
+  }
+  return w.take();
+}
+
+std::optional<QuantizedTensor> decode_activation(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  std::uint32_t magic = 0, rank = 0, bits = 0;
+  if (!r.read_u32(magic) || magic != 0x41435431u) return std::nullopt;
+  if (!r.read_u32(rank) || rank > 8) return std::nullopt;
+  QuantizedTensor qt;
+  qt.shape.resize(rank);
+  for (auto& d : qt.shape)
+    if (!r.read_i32(d)) return std::nullopt;
+  if (!r.read_u32(bits)) return std::nullopt;
+  qt.bits = static_cast<QuantBits>(bits);
+  if (!r.read_f32(qt.scale) || !r.read_f32(qt.zero_point)) return std::nullopt;
+  if (qt.bits == QuantBits::k32) {
+    if (!r.read_f32_vec(qt.passthrough)) return std::nullopt;
+    return qt;
+  }
+  std::uint64_t count = 0;
+  if (!r.read_u64(count)) return std::nullopt;
+  std::vector<std::uint8_t> packed;
+  if (!r.read_bytes(packed)) return std::nullopt;
+  const int b = bit_count(qt.bits);
+  qt.q.resize(count);
+  std::uint64_t acc = 0;
+  int filled = 0;
+  std::size_t byte_idx = 0;
+  const std::uint64_t mask = (1ull << b) - 1;
+  const std::int64_t sign_bit = 1ll << (b - 1);
+  for (auto& v : qt.q) {
+    while (filled < b) {
+      if (byte_idx >= packed.size()) return std::nullopt;
+      acc |= static_cast<std::uint64_t>(packed[byte_idx++]) << filled;
+      filled += 8;
+    }
+    std::int64_t raw = static_cast<std::int64_t>(acc & mask);
+    if (raw & sign_bit) raw -= (sign_bit << 1);  // sign extend
+    v = static_cast<std::int32_t>(raw);
+    acc >>= b;
+    filled -= b;
+  }
+  return qt;
+}
+
+Transport::Transport(const netsim::Network& network) : network_(network) {
+  mailboxes_.reserve(network.num_devices());
+  for (std::size_t i = 0; i < network.num_devices(); ++i)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+double Transport::send(int src, int dst, std::uint64_t tag,
+                       std::vector<std::uint8_t> payload,
+                       std::size_t wire_bytes, double sim_send_ms) {
+  const double xfer =
+      network_.transfer_ms(static_cast<std::size_t>(src),
+                           static_cast<std::size_t>(dst),
+                           static_cast<double>(wire_bytes));
+  const double arrival = sim_send_ms + xfer;
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.messages;
+    stats_.payload_bytes += payload.size();
+    stats_.wire_bytes += wire_bytes;
+    stats_.sim_transfer_ms += xfer;
+  }
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard lock(box.mutex);
+    box.messages.push_back(Message{src, tag, std::move(payload), arrival});
+  }
+  box.cv.notify_all();
+  return arrival;
+}
+
+Transport::Message Transport::recv(int dst, std::uint64_t tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    const auto it = std::find_if(
+        box.messages.begin(), box.messages.end(),
+        [tag](const Message& m) { return m.tag == tag; });
+    if (it != box.messages.end()) {
+      Message m = std::move(*it);
+      box.messages.erase(it);
+      return m;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+TransportStats Transport::stats() const {
+  std::lock_guard lock(stats_mutex_);
+  return stats_;
+}
+
+void Transport::reset_stats() {
+  std::lock_guard lock(stats_mutex_);
+  stats_ = TransportStats{};
+}
+
+}  // namespace murmur::runtime

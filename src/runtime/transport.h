@@ -1,0 +1,68 @@
+// In-process message transport standing in for the paper's gRPC channel
+// (DESIGN.md §2). Payloads really are serialized to bytes, shipped through
+// a per-destination mailbox, and deserialized on the receiving side;
+// simulated arrival time is charged from the network simulator so transfer
+// costs match the analytic latency evaluator.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "netsim/network.h"
+#include "tensor/quantize.h"
+
+namespace murmur::runtime {
+
+/// Wire codec for quantized activations.
+std::vector<std::uint8_t> encode_activation(const QuantizedTensor& qt);
+std::optional<QuantizedTensor> decode_activation(
+    std::span<const std::uint8_t> bytes);
+
+struct TransportStats {
+  std::uint64_t messages = 0;
+  std::uint64_t payload_bytes = 0;   // serialized bytes actually moved
+  std::uint64_t wire_bytes = 0;      // idealized (bit-packed) wire bytes
+  double sim_transfer_ms = 0.0;      // summed simulated transfer time
+};
+
+class Transport {
+ public:
+  explicit Transport(const netsim::Network& network);
+
+  struct Message {
+    int src = 0;
+    std::uint64_t tag = 0;
+    std::vector<std::uint8_t> payload;
+    double sim_arrival_ms = 0.0;
+  };
+
+  /// Ship `payload` from src to dst. `wire_bytes` is the idealized
+  /// bit-packed size used for simulated-time accounting; `sim_send_ms` is
+  /// the sender's simulated clock at send time. Returns simulated arrival.
+  double send(int src, int dst, std::uint64_t tag,
+              std::vector<std::uint8_t> payload, std::size_t wire_bytes,
+              double sim_send_ms);
+
+  /// Blocking receive of the message with `tag` addressed to `dst`.
+  Message recv(int dst, std::uint64_t tag);
+
+  TransportStats stats() const;
+  void reset_stats();
+
+ private:
+  const netsim::Network& network_;
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  mutable std::mutex stats_mutex_;
+  TransportStats stats_;
+};
+
+}  // namespace murmur::runtime

@@ -1,0 +1,64 @@
+#include "supernet/accuracy_model.h"
+
+#include <algorithm>
+#include <array>
+
+namespace murmur::supernet {
+
+namespace {
+
+// Penalty tables, indexed by option index in the search-space tables.
+constexpr std::array<double, 5> kResolutionPenalty = {2.1, 1.4, 0.8, 0.4, 0.0};
+// Removing a block costs more in later stages (higher-level features).
+// Every value exceeds the largest possible per-block penalty (kernel 0.06 +
+// quant 0.04 + grid 0.07 = 0.17) so that accuracy stays monotone in depth:
+// dropping a block always hurts even though it also removes that block's
+// kernel/quant/grid penalties.
+constexpr std::array<double, kNumStages> kDepthPenaltyPerBlock = {
+    0.20, 0.25, 0.30, 0.35, 0.40};
+// kernel index {3, 5, 7}.
+constexpr std::array<double, 3> kKernelPenalty = {0.06, 0.02, 0.0};
+// quant index {32, 16, 8}.
+constexpr std::array<double, 3> kQuantPenalty = {0.0, 0.01, 0.04};
+// grid index {1x1, 1x2, 2x1, 2x2}: FDSP zero padding perturbs activations.
+// Calibrated to ADCNN's finetuned FDSP (<~1% whole-network drop): a fully
+// 2x2-partitioned 20-block submodel loses 0.5 points.
+constexpr std::array<double, 4> kGridPenalty = {0.0, 0.01, 0.01, 0.025};
+
+}  // namespace
+
+double AccuracyModel::total_penalty(const SubnetConfig& config) noexcept {
+  double p = kResolutionPenalty[static_cast<std::size_t>(
+      resolution_index(config.resolution))];
+  for (int stage = 0; stage < kNumStages; ++stage) {
+    const int missing =
+        kMaxBlocksPerStage - config.stage_depth[static_cast<std::size_t>(stage)];
+    p += missing * kDepthPenaltyPerBlock[static_cast<std::size_t>(stage)];
+  }
+  for (int i = 0; i < kMaxBlocks; ++i) {
+    if (!config.block_active(i)) continue;
+    const auto& b = config.blocks[static_cast<std::size_t>(i)];
+    p += kKernelPenalty[static_cast<std::size_t>(kernel_index(b.kernel))];
+    p += kQuantPenalty[static_cast<std::size_t>(quant_index(b.quant))];
+    p += kGridPenalty[static_cast<std::size_t>(grid_index(b.grid))];
+  }
+  return p;
+}
+
+double AccuracyModel::accuracy(const SubnetConfig& config) noexcept {
+  const double p = total_penalty(config);
+  // Mild superlinear interaction: stacking many compressions hurts slightly
+  // more than their sum (matches OFA-style measurements qualitatively).
+  const double acc = kBaseAccuracy - p * (1.0 + 0.05 * p / 6.0);
+  return std::clamp(acc, 0.0, 100.0);
+}
+
+double AccuracyModel::max_accuracy() noexcept {
+  return accuracy(SubnetConfig::max_config());
+}
+
+double AccuracyModel::min_accuracy() noexcept {
+  return accuracy(SubnetConfig::min_config());
+}
+
+}  // namespace murmur::supernet

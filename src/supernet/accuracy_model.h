@@ -1,0 +1,34 @@
+// Calibrated analytic accuracy model for supernet submodels.
+//
+// Substitution (DESIGN.md §2): the paper trains the supernet on ImageNet
+// and fits an accuracy predictor for use during RL training. We cannot
+// train on ImageNet here, so ground-truth accuracy is this calibrated
+// closed-form model: top-1 accuracy at the max config matches the paper's
+// plotted ceiling (~78%), the min config lands near the plotted floor
+// (~72%), and each search-space axis contributes a monotone penalty with a
+// mild superlinear interaction. The *predictor* (accuracy_predictor.h) is
+// then trained against this model, exactly mirroring the paper's
+// predictor-in-the-loop setup.
+#pragma once
+
+#include "supernet/subnet_config.h"
+
+namespace murmur::supernet {
+
+class AccuracyModel {
+ public:
+  /// Top-1 accuracy (percent) of a submodel. Deterministic.
+  static double accuracy(const SubnetConfig& config) noexcept;
+
+  /// Accuracy of the largest / smallest submodels (the reachable range).
+  static double max_accuracy() noexcept;
+  static double min_accuracy() noexcept;
+
+  // Calibration constants (exposed for tests/benches).
+  static constexpr double kBaseAccuracy = 78.4;
+
+ private:
+  static double total_penalty(const SubnetConfig& config) noexcept;
+};
+
+}  // namespace murmur::supernet

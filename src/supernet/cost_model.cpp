@@ -1,0 +1,158 @@
+#include "supernet/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace murmur::supernet {
+
+namespace {
+
+/// Spatial size at the input of stage `stage` for a given resolution.
+int stage_in_spatial(int resolution, int stage) noexcept {
+  int s = resolution / 2;  // stem is stride 2
+  for (int i = 0; i < stage; ++i) s /= kStageStrides[static_cast<std::size_t>(i)];
+  return s;
+}
+
+}  // namespace
+
+BlockGeometry CostModel::block_geometry(const SubnetConfig& config,
+                                        int block) noexcept {
+  const int stage = block / kMaxBlocksPerStage;
+  const int pos = block % kMaxBlocksPerStage;
+  BlockGeometry g;
+  g.uses_se = kStageUsesSE[static_cast<std::size_t>(stage)];
+  g.out_channels = kStageChannels[static_cast<std::size_t>(stage)];
+  g.in_channels = pos == 0 ? (stage == 0 ? kStemChannels
+                                         : kStageChannels[static_cast<std::size_t>(stage - 1)])
+                           : g.out_channels;
+  g.stride = pos == 0 ? kStageStrides[static_cast<std::size_t>(stage)] : 1;
+  const int s_in_stage = stage_in_spatial(config.resolution, stage);
+  g.in_spatial = pos == 0
+                     ? s_in_stage
+                     : s_in_stage / kStageStrides[static_cast<std::size_t>(stage)];
+  g.out_spatial = g.in_spatial / g.stride;
+  return g;
+}
+
+double CostModel::block_flops(const SubnetConfig& config, int block) noexcept {
+  if (!config.block_active(block)) return 0.0;
+  const BlockGeometry g = block_geometry(config, block);
+  const auto& b = config.blocks[static_cast<std::size_t>(block)];
+  const double exp_ch = static_cast<double>(g.in_channels) * kExpansion;
+  const double s_in2 = static_cast<double>(g.in_spatial) * g.in_spatial;
+  const double s_out2 = static_cast<double>(g.out_spatial) * g.out_spatial;
+  // Expand (1x1), depthwise (k x k, stride), project (1x1).
+  double f = 2.0 * g.in_channels * exp_ch * s_in2;
+  f += 2.0 * b.kernel * b.kernel * exp_ch * s_out2;
+  f += 2.0 * exp_ch * g.out_channels * s_out2;
+  if (g.uses_se) f += 2.0 * exp_ch * (exp_ch / 4.0) * 2.0 + 2.0 * exp_ch * s_out2;
+  return f;
+}
+
+double CostModel::block_tile_flops(const SubnetConfig& config,
+                                   int block) noexcept {
+  if (!config.block_active(block)) return 0.0;
+  const auto& b = config.blocks[static_cast<std::size_t>(block)];
+  const int tiles = b.grid.tiles();
+  if (tiles == 1) return block_flops(config, block);
+  const BlockGeometry g = block_geometry(config, block);
+  const double exp_ch = static_cast<double>(g.in_channels) * kExpansion;
+  const double s_in2 = static_cast<double>(g.in_spatial) * g.in_spatial;
+  const double s_out2 = static_cast<double>(g.out_spatial) * g.out_spatial;
+  // The 1x1 expand/project convolutions (and SE) split exactly across
+  // tiles; only the depthwise stage sees FDSP zero padding, so only it
+  // pays the padded-tile overhead.
+  const int halo = b.kernel / 2;
+  const double th = static_cast<double>(g.out_spatial) / b.grid.rows;
+  const double tw = static_cast<double>(g.out_spatial) / b.grid.cols;
+  const double overhead =
+      ((th + 2 * halo) * (tw + 2 * halo)) / std::max(1.0, th * tw);
+  double f = 2.0 * g.in_channels * exp_ch * s_in2 / tiles;  // expand
+  f += 2.0 * b.kernel * b.kernel * exp_ch * s_out2 / tiles * overhead;  // dw
+  f += 2.0 * exp_ch * g.out_channels * s_out2 / tiles;  // project
+  if (g.uses_se)
+    f += (2.0 * exp_ch * (exp_ch / 4.0) * 2.0 + 2.0 * exp_ch * s_out2) / tiles;
+  return f;
+}
+
+std::size_t CostModel::block_out_elements(const SubnetConfig& config,
+                                          int block) noexcept {
+  if (!config.block_active(block)) return 0;
+  const BlockGeometry g = block_geometry(config, block);
+  return static_cast<std::size_t>(g.out_channels) * g.out_spatial *
+         g.out_spatial;
+}
+
+std::size_t CostModel::block_out_wire_bytes(const SubnetConfig& config,
+                                            int block) noexcept {
+  if (!config.block_active(block)) return 0;
+  return quantized_wire_bytes(block_out_elements(config, block),
+                              config.blocks[static_cast<std::size_t>(block)].quant);
+}
+
+std::size_t CostModel::block_tile_out_wire_bytes(const SubnetConfig& config,
+                                                 int block) noexcept {
+  if (!config.block_active(block)) return 0;
+  const auto& b = config.blocks[static_cast<std::size_t>(block)];
+  const std::size_t elems =
+      block_out_elements(config, block) /
+      static_cast<std::size_t>(std::max(1, b.grid.tiles()));
+  return quantized_wire_bytes(elems, b.quant);
+}
+
+double CostModel::stem_flops(const SubnetConfig& config) noexcept {
+  const double s_out = config.resolution / 2.0;
+  return 2.0 * 3.0 * kStemChannels * 9.0 * s_out * s_out;
+}
+
+std::size_t CostModel::stem_out_elements(const SubnetConfig& config) noexcept {
+  const int s = config.resolution / 2;
+  return static_cast<std::size_t>(kStemChannels) * s * s;
+}
+
+double CostModel::head_flops(const SubnetConfig& config, int classes) noexcept {
+  int s = config.resolution / 2;
+  for (int st : kStageStrides) s /= st;
+  const double last_ch = kStageChannels.back();
+  double f = 2.0 * last_ch * kHeadChannels * s * s;       // 1x1 conv
+  f += static_cast<double>(kHeadChannels) * s * s;        // global pool
+  f += 2.0 * kHeadChannels * static_cast<double>(classes);  // classifier
+  return f;
+}
+
+double CostModel::total_flops(const SubnetConfig& config, int classes) noexcept {
+  double f = stem_flops(config) + head_flops(config, classes);
+  for (int i = 0; i < kMaxBlocks; ++i) f += block_flops(config, i);
+  return f;
+}
+
+std::size_t CostModel::total_activation_bytes(const SubnetConfig& config) noexcept {
+  std::size_t b = stem_out_elements(config) * 4;
+  for (int i = 0; i < kMaxBlocks; ++i) b += block_out_wire_bytes(config, i);
+  return b;
+}
+
+std::size_t CostModel::input_bytes(const SubnetConfig& config) noexcept {
+  return static_cast<std::size_t>(3) * config.resolution * config.resolution * 4;
+}
+
+std::size_t CostModel::supernet_param_bytes(int classes) noexcept {
+  const SubnetConfig max = SubnetConfig::max_config();
+  double params = 3.0 * kStemChannels * 9.0;  // stem weights
+  for (int i = 0; i < kMaxBlocks; ++i) {
+    const BlockGeometry g = block_geometry(max, i);
+    const double exp_ch = static_cast<double>(g.in_channels) * kExpansion;
+    params += g.in_channels * exp_ch;              // expand 1x1
+    params += exp_ch * 7.0 * 7.0;                  // depthwise at max kernel
+    params += exp_ch * g.out_channels;             // project 1x1
+    if (g.uses_se) params += 2.0 * exp_ch * (exp_ch / 4.0);
+  }
+  int s = kResolutions.back() / 2;
+  for (int st : kStageStrides) s /= st;
+  params += static_cast<double>(kStageChannels.back()) * kHeadChannels;
+  params += static_cast<double>(kHeadChannels) * classes;
+  return static_cast<std::size_t>(params) * sizeof(float);
+}
+
+}  // namespace murmur::supernet

@@ -1,0 +1,70 @@
+// Analytic per-block cost model of the supernet architecture.
+//
+// The RL environment and the latency evaluator need compute (FLOPs) and
+// transfer (activation bytes) per decision layer *without* running tensors.
+// This model reproduces the arithmetic of the width-1.0 architecture in
+// closed form; the executable supernet (supernet.h) is checked against it
+// in tests at a reduced width.
+#pragma once
+
+#include <vector>
+
+#include "supernet/subnet_config.h"
+
+namespace murmur::supernet {
+
+/// Static geometry of one executable unit ("decision layer"): the stem, the
+/// 20 MBConv block slots and the head. Geometry depends only on the
+/// architecture constants plus the config's resolution/depth.
+struct BlockGeometry {
+  int in_channels = 0;
+  int out_channels = 0;
+  int stride = 1;
+  int in_spatial = 0;   // input H (== W)
+  int out_spatial = 0;  // output H (== W)
+  bool uses_se = false;
+};
+
+class CostModel {
+ public:
+  /// Geometry of MBConv block `block` (0..kMaxBlocks-1) under `config`.
+  /// Inactive blocks still get geometry (as if active) so the policy can be
+  /// evaluated slot-by-slot; their cost contribution is zero.
+  static BlockGeometry block_geometry(const SubnetConfig& config, int block) noexcept;
+
+  /// FLOPs of one MBConv block under the config (0 if inactive).
+  static double block_flops(const SubnetConfig& config, int block) noexcept;
+
+  /// FLOPs of the same block when executed as one tile of its partition
+  /// grid, including the FDSP zero-padding overhead on the depthwise stage.
+  static double block_tile_flops(const SubnetConfig& config, int block) noexcept;
+
+  /// Elements (floats before quantization) in the block's output map.
+  static std::size_t block_out_elements(const SubnetConfig& config, int block) noexcept;
+
+  /// Wire bytes of the block's output at its configured quantization.
+  static std::size_t block_out_wire_bytes(const SubnetConfig& config, int block) noexcept;
+
+  /// Wire bytes of one tile of the block's output (grid-partitioned).
+  static std::size_t block_tile_out_wire_bytes(const SubnetConfig& config,
+                                               int block) noexcept;
+
+  static double stem_flops(const SubnetConfig& config) noexcept;
+  static std::size_t stem_out_elements(const SubnetConfig& config) noexcept;
+  /// Head = 1x1 conv + global pool + classifier.
+  static double head_flops(const SubnetConfig& config, int classes = 1000) noexcept;
+
+  /// Whole-submodel totals.
+  static double total_flops(const SubnetConfig& config, int classes = 1000) noexcept;
+  static std::size_t total_activation_bytes(const SubnetConfig& config) noexcept;
+
+  /// Input image wire bytes at the config's resolution (3 channels, fp32 --
+  /// the paper quantizes *intermediate* features, not the camera input).
+  static std::size_t input_bytes(const SubnetConfig& config) noexcept;
+
+  /// Supernet parameter bytes (all weights at max settings, fp32) — the
+  /// in-memory footprint the runtime keeps resident for fast switching.
+  static std::size_t supernet_param_bytes(int classes = 1000) noexcept;
+};
+
+}  // namespace murmur::supernet

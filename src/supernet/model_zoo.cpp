@@ -1,0 +1,176 @@
+#include "supernet/model_zoo.h"
+
+namespace murmur::supernet {
+
+namespace {
+
+constexpr double kG = 1e9;
+constexpr std::size_t kMB = 1024ull * 1024ull;
+
+/// Helper: spatial activation map elements.
+constexpr std::size_t fmap(int c, int s) {
+  return static_cast<std::size_t>(c) * s * s;
+}
+
+FixedModelProfile make_mobilenet_v3() {
+  // MobileNetV3-Large 1.0: ~0.44 GFLOPs (2x219M MACs), 5.4M params, 75.2%.
+  FixedModelProfile m;
+  m.name = "MobileNetV3";
+  m.top1_accuracy = 75.2;
+  m.layers = {
+      {"stem", 0.012 * kG, fmap(16, 112), std::size_t(0.05 * kMB), true},
+      {"stage1", 0.050 * kG, fmap(24, 56), std::size_t(0.20 * kMB), true},
+      {"stage2", 0.062 * kG, fmap(40, 28), std::size_t(0.60 * kMB), true},
+      {"stage3a", 0.055 * kG, fmap(80, 14), std::size_t(1.20 * kMB), true},
+      {"stage3b", 0.050 * kG, fmap(80, 14), std::size_t(1.50 * kMB), true},
+      {"stage4", 0.090 * kG, fmap(112, 14), std::size_t(3.00 * kMB), true},
+      {"stage5", 0.082 * kG, fmap(160, 7), std::size_t(6.00 * kMB), true},
+      {"head_conv", 0.038 * kG, fmap(960, 7), std::size_t(4.60 * kMB), true},
+      {"pool_fc", 0.004 * kG, 1000, std::size_t(4.45 * kMB), false},
+  };
+  return m;
+}
+
+FixedModelProfile make_resnet50() {
+  // ResNet-50: ~8.2 GFLOPs (2x4.1 GMACs), 25.6M params, 76.1%.
+  FixedModelProfile m;
+  m.name = "Resnet50";
+  m.top1_accuracy = 76.1;
+  m.layers.push_back({"conv1", 0.240 * kG, fmap(64, 112), std::size_t(0.04 * kMB), true});
+  m.layers.push_back({"maxpool", 0.005 * kG, fmap(64, 56), 0, true});
+  for (int i = 0; i < 3; ++i)
+    m.layers.push_back({"layer1_" + std::to_string(i), 0.470 * kG,
+                        fmap(256, 56), std::size_t(0.9 * kMB), true});
+  for (int i = 0; i < 4; ++i)
+    m.layers.push_back({"layer2_" + std::to_string(i), 0.480 * kG,
+                        fmap(512, 28), std::size_t(3.1 * kMB), true});
+  for (int i = 0; i < 6; ++i)
+    m.layers.push_back({"layer3_" + std::to_string(i), 0.490 * kG,
+                        fmap(1024, 14), std::size_t(6.2 * kMB), true});
+  for (int i = 0; i < 3; ++i)
+    m.layers.push_back({"layer4_" + std::to_string(i), 0.500 * kG,
+                        fmap(2048, 7), std::size_t(14.6 * kMB), true});
+  m.layers.push_back({"pool_fc", 0.004 * kG, 1000, std::size_t(7.8 * kMB), false});
+  return m;
+}
+
+FixedModelProfile make_inception_v3() {
+  // Inception v3: ~11.4 GFLOPs (2x5.7 GMACs), 23.8M params, 77.3%.
+  FixedModelProfile m;
+  m.name = "Inception";
+  m.top1_accuracy = 77.3;
+  m.layers = {
+      {"stem", 0.900 * kG, fmap(192, 35), std::size_t(1.2 * kMB), true},
+      {"mixed5b", 0.720 * kG, fmap(256, 35), std::size_t(1.0 * kMB), true},
+      {"mixed5c", 0.760 * kG, fmap(288, 35), std::size_t(1.1 * kMB), true},
+      {"mixed5d", 0.780 * kG, fmap(288, 35), std::size_t(1.1 * kMB), true},
+      {"mixed6a", 0.900 * kG, fmap(768, 17), std::size_t(4.3 * kMB), true},
+      {"mixed6b", 1.120 * kG, fmap(768, 17), std::size_t(5.1 * kMB), true},
+      {"mixed6c", 1.180 * kG, fmap(768, 17), std::size_t(6.0 * kMB), true},
+      {"mixed6d", 1.180 * kG, fmap(768, 17), std::size_t(6.0 * kMB), true},
+      {"mixed6e", 1.200 * kG, fmap(768, 17), std::size_t(7.3 * kMB), true},
+      {"mixed7a", 0.860 * kG, fmap(1280, 8), std::size_t(6.6 * kMB), true},
+      {"mixed7b", 0.900 * kG, fmap(2048, 8), std::size_t(18.0 * kMB), true},
+      {"mixed7c", 0.890 * kG, fmap(2048, 8), std::size_t(25.0 * kMB), true},
+      {"pool_fc", 0.010 * kG, 1000, std::size_t(7.8 * kMB), false},
+  };
+  return m;
+}
+
+FixedModelProfile make_densenet161() {
+  // DenseNet-161: ~15.6 GFLOPs (2x7.8 GMACs), 28.7M params, 77.1%.
+  FixedModelProfile m;
+  m.name = "DenseNet161";
+  m.top1_accuracy = 77.1;
+  m.layers = {
+      {"stem", 0.650 * kG, fmap(96, 56), std::size_t(0.06 * kMB), true},
+      {"dense1", 2.100 * kG, fmap(384, 56), std::size_t(2.8 * kMB), true},
+      {"trans1", 0.450 * kG, fmap(192, 28), std::size_t(0.3 * kMB), true},
+      {"dense2", 3.400 * kG, fmap(768, 28), std::size_t(7.5 * kMB), true},
+      {"trans2", 0.350 * kG, fmap(384, 14), std::size_t(1.2 * kMB), true},
+      {"dense3", 5.200 * kG, fmap(2112, 14), std::size_t(32.0 * kMB), true},
+      {"trans3", 0.300 * kG, fmap(1056, 7), std::size_t(8.9 * kMB), true},
+      {"dense4", 3.100 * kG, fmap(2208, 7), std::size_t(48.0 * kMB), true},
+      {"pool_fc", 0.005 * kG, 1000, std::size_t(8.4 * kMB), false},
+  };
+  return m;
+}
+
+FixedModelProfile make_resnext101() {
+  // ResNeXt-101 32x8d: ~33 GFLOPs (2x16.5 GMACs), 88.8M params, 79.3%.
+  FixedModelProfile m;
+  m.name = "Resnext101";
+  m.top1_accuracy = 79.3;
+  m.layers.push_back({"conv1", 0.240 * kG, fmap(64, 112), std::size_t(0.04 * kMB), true});
+  m.layers.push_back({"maxpool", 0.005 * kG, fmap(64, 56), 0, true});
+  for (int i = 0; i < 3; ++i)
+    m.layers.push_back({"layer1_" + std::to_string(i), 1.500 * kG,
+                        fmap(256, 56), std::size_t(2.4 * kMB), true});
+  for (int i = 0; i < 4; ++i)
+    m.layers.push_back({"layer2_" + std::to_string(i), 1.700 * kG,
+                        fmap(512, 28), std::size_t(8.5 * kMB), true});
+  for (int i = 0; i < 23; ++i)
+    m.layers.push_back({"layer3_" + std::to_string(i), 0.760 * kG,
+                        fmap(1024, 14), std::size_t(10.2 * kMB), true});
+  for (int i = 0; i < 3; ++i)
+    m.layers.push_back({"layer4_" + std::to_string(i), 1.350 * kG,
+                        fmap(2048, 7), std::size_t(26.0 * kMB), true});
+  m.layers.push_back({"pool_fc", 0.004 * kG, 1000, std::size_t(7.8 * kMB), false});
+  return m;
+}
+
+}  // namespace
+
+double FixedModelProfile::total_flops() const noexcept {
+  double f = 0;
+  for (const auto& l : layers) f += l.flops;
+  return f;
+}
+
+std::size_t FixedModelProfile::total_param_bytes() const noexcept {
+  std::size_t b = 0;
+  for (const auto& l : layers) b += l.param_bytes;
+  return b;
+}
+
+std::size_t FixedModelProfile::out_bytes(std::size_t i) const noexcept {
+  return i < layers.size() ? layers[i].out_elements * sizeof(float) : 0;
+}
+
+std::size_t FixedModelProfile::input_bytes() noexcept {
+  return 3ull * 224 * 224 * sizeof(float);
+}
+
+const FixedModelProfile& mobilenet_v3_large() {
+  static const FixedModelProfile m = make_mobilenet_v3();
+  return m;
+}
+const FixedModelProfile& resnet50() {
+  static const FixedModelProfile m = make_resnet50();
+  return m;
+}
+const FixedModelProfile& inception_v3() {
+  static const FixedModelProfile m = make_inception_v3();
+  return m;
+}
+const FixedModelProfile& densenet161() {
+  static const FixedModelProfile m = make_densenet161();
+  return m;
+}
+const FixedModelProfile& resnext101_32x8d() {
+  static const FixedModelProfile m = make_resnext101();
+  return m;
+}
+
+std::vector<const FixedModelProfile*> model_zoo() {
+  return {&mobilenet_v3_large(), &resnet50(), &inception_v3(), &densenet161(),
+          &resnext101_32x8d()};
+}
+
+const FixedModelProfile* find_model(const std::string& name) {
+  for (const auto* m : model_zoo())
+    if (m->name == name) return m;
+  return nullptr;
+}
+
+}  // namespace murmur::supernet

@@ -1,0 +1,50 @@
+// Fixed DNN model profiles for the baseline systems.
+//
+// Neurosurgeon and ADCNN partition a *fixed* published model; what they
+// need from the model is its per-layer compute/activation profile and its
+// ImageNet top-1 accuracy. We ship profiles for the five models the paper's
+// figures use, with published top-1 accuracies and FLOP/parameter totals
+// matching the literature (per-layer splits are stage-granular, which is
+// the granularity Neurosurgeon split points actually matter at).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace murmur::supernet {
+
+struct ProfileLayer {
+  std::string name;
+  double flops = 0.0;           // forward FLOPs at 224x224 input
+  std::size_t out_elements = 0; // activation elements leaving this layer
+  std::size_t param_bytes = 0;  // fp32 weight bytes
+  /// True if the layer is a spatial (conv/pool) layer ADCNN can partition.
+  bool spatial = true;
+};
+
+struct FixedModelProfile {
+  std::string name;
+  double top1_accuracy = 0.0;  // percent
+  std::vector<ProfileLayer> layers;
+
+  double total_flops() const noexcept;
+  std::size_t total_param_bytes() const noexcept;
+  /// Activation bytes leaving layer i (fp32; baselines do not quantize).
+  std::size_t out_bytes(std::size_t i) const noexcept;
+  /// Bytes of a 3x224x224 fp32 input image.
+  static std::size_t input_bytes() noexcept;
+};
+
+/// The five fixed models used across Figures 13-16.
+const FixedModelProfile& mobilenet_v3_large();
+const FixedModelProfile& resnet50();
+const FixedModelProfile& inception_v3();
+const FixedModelProfile& densenet161();
+const FixedModelProfile& resnext101_32x8d();
+
+/// All zoo models, largest-accuracy last.
+std::vector<const FixedModelProfile*> model_zoo();
+/// Lookup by name; nullptr if unknown.
+const FixedModelProfile* find_model(const std::string& name);
+
+}  // namespace murmur::supernet

@@ -1,0 +1,33 @@
+#include "supernet/search_space.h"
+
+#include <cmath>
+
+namespace murmur::supernet {
+
+namespace {
+template <typename T, std::size_t N>
+int index_of(const std::array<T, N>& table, const T& v) noexcept {
+  for (std::size_t i = 0; i < N; ++i)
+    if (table[i] == v) return static_cast<int>(i);
+  return -1;
+}
+}  // namespace
+
+int kernel_index(int kernel) noexcept { return index_of(kKernelOptions, kernel); }
+int depth_index(int depth) noexcept { return index_of(kDepthOptions, depth); }
+int resolution_index(int resolution) noexcept {
+  return index_of(kResolutions, resolution);
+}
+int quant_index(QuantBits q) noexcept { return index_of(kQuantOptions, q); }
+int grid_index(PartitionGrid g) noexcept { return index_of(kGridOptions, g); }
+
+double search_space_size() noexcept {
+  // resolution * (depth choices per stage) * per-block (kernel*quant*grid).
+  const double per_block = static_cast<double>(kKernelOptions.size()) *
+                           kQuantOptions.size() * kGridOptions.size();
+  return static_cast<double>(kResolutions.size()) *
+         std::pow(static_cast<double>(kDepthOptions.size()), kNumStages) *
+         std::pow(per_block, kMaxBlocks);
+}
+
+}  // namespace murmur::supernet

@@ -1,0 +1,61 @@
+// The partition-ready one-shot NAS search space (paper §4.1, Figure 4).
+//
+// Six customizable settings per the paper's supernet: spatial partitioning
+// (1×1 … 2×2), input feature quantization (32 → 8 bits), image resolution
+// (224 → 160), block depth (4 → 2) and kernel size (7 → 3). Width is fixed
+// by the architecture (the paper's sixth axis, channel width, enters via
+// the elastic expansion — kept fixed at the MobileNetV3 ratios here and
+// noted in DESIGN.md).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "tensor/quantize.h"
+#include "tensor/tile.h"
+
+namespace murmur::supernet {
+
+inline constexpr int kNumStages = 5;
+inline constexpr int kMaxBlocksPerStage = 4;
+inline constexpr int kMinBlocksPerStage = 2;
+inline constexpr int kMaxBlocks = kNumStages * kMaxBlocksPerStage;
+
+inline constexpr std::array<int, 5> kResolutions = {160, 176, 192, 208, 224};
+inline constexpr std::array<int, 3> kKernelOptions = {3, 5, 7};
+inline constexpr std::array<int, 3> kDepthOptions = {2, 3, 4};
+inline constexpr std::array<QuantBits, 3> kQuantOptions = {
+    QuantBits::k32, QuantBits::k16, QuantBits::k8};
+inline constexpr std::array<PartitionGrid, 4> kGridOptions = {
+    PartitionGrid{1, 1}, PartitionGrid{1, 2}, PartitionGrid{2, 1},
+    PartitionGrid{2, 2}};
+
+/// Maximum number of spatial partitions any layer can have (grid 2×2).
+inline constexpr int kMaxPartitions = 4;
+
+// MobileNetV3-Large-flavoured backbone constants (width multiplier 1.0):
+// stage output channels, stage strides (first block of the stage), whether
+// the stage uses squeeze-excite, and the MBConv expansion ratio.
+inline constexpr std::array<int, kNumStages> kStageChannels = {24, 40, 80,
+                                                               112, 160};
+inline constexpr std::array<int, kNumStages> kStageStrides = {2, 2, 2, 1, 2};
+inline constexpr std::array<bool, kNumStages> kStageUsesSE = {false, true,
+                                                              false, true,
+                                                              true};
+inline constexpr int kExpansion = 4;
+inline constexpr int kStemChannels = 16;
+inline constexpr int kHeadChannels = 960;
+
+/// Index helpers over the option tables.
+int kernel_index(int kernel) noexcept;
+int depth_index(int depth) noexcept;
+int resolution_index(int resolution) noexcept;
+int quant_index(QuantBits q) noexcept;
+int grid_index(PartitionGrid g) noexcept;
+
+/// Total number of distinct submodels in the search space (for reporting;
+/// the paper quotes 10^19 for once-for-all — ours is smaller but still far
+/// beyond enumeration once placement is included).
+double search_space_size() noexcept;
+
+}  // namespace murmur::supernet

@@ -1,0 +1,81 @@
+#include "supernet/subnet_config.h"
+
+#include <sstream>
+
+namespace murmur::supernet {
+
+SubnetConfig SubnetConfig::max_config() noexcept {
+  SubnetConfig c;
+  c.resolution = kResolutions.back();
+  c.stage_depth.fill(kDepthOptions.back());
+  for (auto& b : c.blocks) b = BlockConfig{};  // kernel 7, fp32, 1x1
+  return c;
+}
+
+SubnetConfig SubnetConfig::min_config() noexcept {
+  SubnetConfig c;
+  c.resolution = kResolutions.front();
+  c.stage_depth.fill(kDepthOptions.front());
+  for (auto& b : c.blocks) {
+    b.kernel = kKernelOptions.front();
+    b.quant = QuantBits::k8;
+    b.grid = PartitionGrid{1, 1};
+  }
+  return c;
+}
+
+SubnetConfig SubnetConfig::random(Rng& rng) noexcept {
+  SubnetConfig c;
+  c.resolution =
+      kResolutions[rng.uniform_index(kResolutions.size())];
+  for (auto& d : c.stage_depth)
+    d = kDepthOptions[rng.uniform_index(kDepthOptions.size())];
+  for (auto& b : c.blocks) {
+    b.kernel = kKernelOptions[rng.uniform_index(kKernelOptions.size())];
+    b.quant = kQuantOptions[rng.uniform_index(kQuantOptions.size())];
+    b.grid = kGridOptions[rng.uniform_index(kGridOptions.size())];
+  }
+  return c;
+}
+
+bool SubnetConfig::valid() const noexcept {
+  if (resolution_index(resolution) < 0) return false;
+  for (int d : stage_depth)
+    if (depth_index(d) < 0) return false;
+  for (const auto& b : blocks) {
+    if (kernel_index(b.kernel) < 0) return false;
+    if (quant_index(b.quant) < 0) return false;
+    if (grid_index(b.grid) < 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t SubnetConfig::hash() const noexcept {
+  std::uint64_t h = 0x9E3779B97f4A7C15ULL ^ static_cast<std::uint64_t>(resolution);
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9E3779B97f4A7C15ULL + (h << 6) + (h >> 2);
+  };
+  for (int d : stage_depth) mix(static_cast<std::uint64_t>(d));
+  for (const auto& b : blocks) {
+    mix(static_cast<std::uint64_t>(b.kernel));
+    mix(static_cast<std::uint64_t>(bit_count(b.quant)));
+    mix(static_cast<std::uint64_t>(b.grid.rows * 16 + b.grid.cols));
+  }
+  return h;
+}
+
+std::string SubnetConfig::to_string() const {
+  std::ostringstream os;
+  os << "res" << resolution << " depth[";
+  for (int s = 0; s < kNumStages; ++s) os << (s ? "," : "") << stage_depth[s];
+  os << "]";
+  for (int i = 0; i < kMaxBlocks; ++i) {
+    if (!block_active(i)) continue;
+    const auto& b = blocks[static_cast<std::size_t>(i)];
+    os << " b" << i << "(k" << b.kernel << ",q" << bit_count(b.quant) << ","
+       << b.grid.rows << "x" << b.grid.cols << ")";
+  }
+  return os.str();
+}
+
+}  // namespace murmur::supernet

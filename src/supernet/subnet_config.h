@@ -1,0 +1,57 @@
+// Submodel configuration: one point of the NAS search space.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "supernet/search_space.h"
+
+namespace murmur::supernet {
+
+/// Per-block settings of a sampled submodel.
+struct BlockConfig {
+  int kernel = 7;
+  QuantBits quant = QuantBits::k32;  // output feature-map wire precision
+  PartitionGrid grid{1, 1};          // spatial partitioning of this block
+  bool operator==(const BlockConfig&) const = default;
+};
+
+/// Full submodel configuration. Blocks are indexed
+/// `stage * kMaxBlocksPerStage + i`; blocks with i >= stage_depth[stage] are
+/// inactive (skipped at execution and costed at zero).
+struct SubnetConfig {
+  int resolution = 224;
+  std::array<int, kNumStages> stage_depth{4, 4, 4, 4, 4};
+  std::array<BlockConfig, kMaxBlocks> blocks{};
+
+  bool operator==(const SubnetConfig&) const = default;
+
+  bool block_active(int block) const noexcept {
+    return block % kMaxBlocksPerStage <
+           stage_depth[static_cast<std::size_t>(block / kMaxBlocksPerStage)];
+  }
+  int active_blocks() const noexcept {
+    int n = 0;
+    for (int d : stage_depth) n += d;
+    return n;
+  }
+
+  /// Largest submodel: full resolution/depth/kernel, fp32, no partitioning.
+  static SubnetConfig max_config() noexcept;
+  /// Smallest submodel: min resolution/depth/kernel, int8, no partitioning.
+  static SubnetConfig min_config() noexcept;
+  /// Uniformly random valid config.
+  static SubnetConfig random(Rng& rng) noexcept;
+
+  /// True if every field is one of the allowed search-space options.
+  bool valid() const noexcept;
+
+  /// Stable 64-bit hash (strategy-cache key component).
+  std::uint64_t hash() const noexcept;
+
+  std::string to_string() const;
+};
+
+}  // namespace murmur::supernet

@@ -1,0 +1,127 @@
+// Executable partition-ready elastic supernet (MobileNetV3-Large-flavoured).
+//
+// The full supernet (all weights at maximum kernel/depth) lives in memory;
+// activating a submodel is a metadata-only operation — the key property
+// behind the paper's millisecond model switching (§5.1, Fig 19). Blocks can
+// be executed whole or tile-by-tile (FDSP spatial partitioning) so the
+// distributed executor can ship tiles to different simulated devices.
+//
+// Substitution note (DESIGN.md §2): weights are randomly initialised, not
+// ImageNet-trained; classification *accuracy* comes from the calibrated
+// accuracy model. Everything structural — shapes, FLOPs, partitioning,
+// quantization, reconfiguration — is real and exercised.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/se_block.h"
+#include "supernet/cost_model.h"
+#include "supernet/subnet_config.h"
+
+namespace murmur::supernet {
+
+struct SupernetOptions {
+  /// Channel width multiplier for the executable instance. 1.0 is the
+  /// architecture the cost model describes; tests use smaller widths so the
+  /// forward pass stays fast on a laptop.
+  double width_mult = 1.0;
+  int classes = 1000;
+  std::uint64_t seed = 42;
+};
+
+/// One inverted-residual (MBConv) block with elastic kernel and
+/// block-granular FDSP spatial partitioning.
+class MBConvBlock {
+ public:
+  MBConvBlock(int in_ch, int out_ch, int stride, bool use_se, Rng& rng);
+
+  /// Full-map forward. If cfg.grid has >1 tile and the geometry permits an
+  /// aligned split, the map is split, each tile run independently (FDSP)
+  /// and the results merged — numerically identical to what the
+  /// distributed executor produces across devices.
+  Tensor forward(const Tensor& x, const BlockConfig& cfg);
+
+  /// Select the elastic kernel for this block. Must be called before
+  /// forward_tile when tiles run on concurrent threads (forward() does it
+  /// internally); forward_tile itself never mutates shared state.
+  void prepare(const BlockConfig& cfg) { dw_.set_active_kernel(cfg.kernel); }
+
+  /// Forward of a single tile (what one remote device executes). Requires
+  /// a prior prepare() with the same config. Thread-safe across tiles.
+  Tensor forward_tile(const Tensor& tile, const BlockConfig& cfg);
+
+  /// True if the tile grid aligns with the block's stride for this input.
+  bool can_partition(const Tensor& x, PartitionGrid grid) const noexcept;
+
+  int in_channels() const noexcept { return in_ch_; }
+  int out_channels() const noexcept { return out_ch_; }
+  int stride() const noexcept { return stride_; }
+  std::size_t param_bytes() const noexcept;
+  /// Touch (copy) every weight, simulating a from-disk model reload.
+  void reload_weights(const MBConvBlock& src);
+
+ private:
+  int in_ch_, out_ch_, stride_;
+  nn::Conv2D expand_, dw_, project_;
+  nn::BatchNorm bn1_, bn2_, bn3_;
+  std::optional<nn::SEBlock> se_;
+  bool residual_;
+};
+
+class Supernet {
+ public:
+  explicit Supernet(SupernetOptions opts = {});
+
+  /// Activate a submodel: O(1) metadata update, no weight movement.
+  void activate(const SubnetConfig& config) noexcept { active_ = config; }
+  const SubnetConfig& active() const noexcept { return active_; }
+
+  /// End-to-end forward of the active submodel on an NCHW image whose
+  /// spatial size must equal active().resolution (scaled by width options).
+  Tensor forward(const Tensor& image);
+
+  // --- piecewise API for the distributed executor --------------------
+  Tensor forward_stem(const Tensor& image);
+  Tensor forward_block(int block, const Tensor& x);
+  /// Select the active kernel of `block` (call once before concurrent
+  /// forward_block_tile calls for that block).
+  void prepare_block(int block);
+  Tensor forward_block_tile(int block, const Tensor& tile);
+  bool block_can_partition(int block, const Tensor& x) const noexcept;
+  /// Logits from the final feature map.
+  Tensor forward_head(const Tensor& features);
+
+  int num_blocks() const noexcept { return kMaxBlocks; }
+  int classes() const noexcept { return opts_.classes; }
+  const SupernetOptions& options() const noexcept { return opts_; }
+  std::size_t param_bytes() const noexcept;
+
+  /// Simulate loading a different model of the same size into memory
+  /// (deep-copies every weight tensor) — the slow path Fig 19 compares
+  /// against.
+  void simulate_weight_reload(const Supernet& src);
+
+  /// Scaled channel count for this instance's width multiplier.
+  int scaled_channels(int ch) const noexcept;
+
+ private:
+  SupernetOptions opts_;
+  Rng rng_;
+  std::unique_ptr<nn::Conv2D> stem_;
+  std::unique_ptr<nn::BatchNorm> stem_bn_;
+  std::vector<std::unique_ptr<MBConvBlock>> blocks_;
+  std::unique_ptr<nn::Conv2D> head_conv_;
+  std::unique_ptr<nn::BatchNorm> head_bn_;
+  std::unique_ptr<nn::GlobalAvgPool> pool_;
+  std::unique_ptr<nn::Linear> classifier_;
+  SubnetConfig active_ = SubnetConfig::max_config();
+};
+
+}  // namespace murmur::supernet

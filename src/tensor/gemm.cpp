@@ -1,0 +1,49 @@
+#include "tensor/gemm.h"
+
+#include <cstring>
+
+namespace murmur {
+
+void gemm(int m, int k, int n, const float* a, const float* b, float* c) {
+  for (int i = 0; i < m; ++i) {
+    float* ci = c + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float aip = a[static_cast<std::size_t>(i) * k + p];
+      if (aip == 0.0f) continue;
+      const float* bp = b + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+void im2col(const float* input, int channels, int height, int width, int kh,
+            int kw, int stride, int pad, float* out) {
+  const int oh = conv_out_size(height, kh, stride, pad);
+  const int ow = conv_out_size(width, kw, stride, pad);
+  const std::size_t cols = static_cast<std::size_t>(oh) * ow;
+  std::size_t row = 0;
+  for (int c = 0; c < channels; ++c) {
+    const float* in_c = input + static_cast<std::size_t>(c) * height * width;
+    for (int ky = 0; ky < kh; ++ky) {
+      for (int kx = 0; kx < kw; ++kx, ++row) {
+        float* out_row = out + row * cols;
+        std::size_t idx = 0;
+        for (int oy = 0; oy < oh; ++oy) {
+          const int iy = oy * stride - pad + ky;
+          if (iy < 0 || iy >= height) {
+            std::memset(out_row + idx, 0, sizeof(float) * ow);
+            idx += ow;
+            continue;
+          }
+          const float* in_row = in_c + static_cast<std::size_t>(iy) * width;
+          for (int ox = 0; ox < ow; ++ox, ++idx) {
+            const int ix = ox * stride - pad + kx;
+            out_row[idx] = (ix < 0 || ix >= width) ? 0.0f : in_row[ix];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace murmur

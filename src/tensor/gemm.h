@@ -1,0 +1,25 @@
+// Minimal GEMM + im2col used by the convolution layers.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.h"
+
+namespace murmur {
+
+/// C(m×n) = A(m×k) · B(k×n), accumulating into C (caller zeroes C first if
+/// needed). Row-major, ikj loop order for streaming access to B and C.
+void gemm(int m, int k, int n, const float* a, const float* b, float* c);
+
+/// im2col for a single image: input (C,H,W) -> columns matrix of shape
+/// (C*kh*kw) × (oh*ow), with given stride and symmetric zero padding.
+/// `out` must hold (c*kh*kw) * (oh*ow) floats.
+void im2col(const float* input, int channels, int height, int width, int kh,
+            int kw, int stride, int pad, float* out);
+
+/// Output spatial size of a convolution along one dimension.
+constexpr int conv_out_size(int in, int kernel, int stride, int pad) noexcept {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace murmur

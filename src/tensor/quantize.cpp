@@ -1,0 +1,59 @@
+#include "tensor/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace murmur {
+
+std::size_t quantized_wire_bytes(std::size_t elements, QuantBits b) noexcept {
+  if (b == QuantBits::k32) return elements * 4;
+  const std::size_t payload = (elements * static_cast<std::size_t>(bit_count(b)) + 7) / 8;
+  return payload + 8;  // scale + zero-point header
+}
+
+std::size_t QuantizedTensor::wire_bytes() const noexcept {
+  return quantized_wire_bytes(shape_numel(shape), bits);
+}
+
+float quantization_step(const Tensor& t, QuantBits bits) noexcept {
+  if (bits == QuantBits::k32) return 0.0f;
+  const float amax = t.max_abs();
+  if (amax == 0.0f) return 0.0f;
+  const int levels = (1 << (bit_count(bits) - 1)) - 1;
+  return amax / static_cast<float>(levels);
+}
+
+QuantizedTensor quantize(const Tensor& t, QuantBits bits) {
+  QuantizedTensor out;
+  out.shape = t.shape();
+  out.bits = bits;
+  if (bits == QuantBits::k32) {
+    out.passthrough.assign(t.data().begin(), t.data().end());
+    return out;
+  }
+  const float amax = t.max_abs();
+  const int levels = (1 << (bit_count(bits) - 1)) - 1;  // e.g. 127 for int8
+  out.scale = amax > 0.0f ? amax / static_cast<float>(levels) : 1.0f;
+  out.zero_point = 0.0f;
+  out.q.resize(t.size());
+  const float inv = 1.0f / out.scale;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const float q = std::round(t[i] * inv);
+    out.q[i] = static_cast<std::int32_t>(
+        std::clamp(q, -static_cast<float>(levels), static_cast<float>(levels)));
+  }
+  return out;
+}
+
+Tensor dequantize(const QuantizedTensor& qt) {
+  Tensor t(qt.shape);
+  if (qt.bits == QuantBits::k32) {
+    std::copy(qt.passthrough.begin(), qt.passthrough.end(), t.data().begin());
+    return t;
+  }
+  for (std::size_t i = 0; i < qt.q.size(); ++i)
+    t[i] = qt.scale * (static_cast<float>(qt.q[i]) - qt.zero_point);
+  return t;
+}
+
+}  // namespace murmur

@@ -1,0 +1,48 @@
+// Uniform affine quantization of activation tensors.
+//
+// Murmuration's supernet search space includes per-layer *input feature
+// quantization* (32 → 8 bits): before an activation crosses a device
+// boundary it is quantized to reduce transfer volume, then dequantized on
+// the receiving side. We implement symmetric-range affine quantization with
+// a per-tensor scale, which is what edge inference stacks typically ship.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace murmur {
+
+/// Supported activation bit-widths in the NAS search space.
+enum class QuantBits : std::uint8_t { k32 = 32, k16 = 16, k8 = 8, k4 = 4 };
+
+inline int bit_count(QuantBits b) noexcept { return static_cast<int>(b); }
+
+/// Wire size in bytes of `elements` values at bit-width `b` (plus the
+/// 8-byte scale/zero-point header for sub-32-bit payloads).
+std::size_t quantized_wire_bytes(std::size_t elements, QuantBits b) noexcept;
+
+/// A quantized activation blob as it would travel over the network.
+struct QuantizedTensor {
+  std::vector<int> shape;
+  QuantBits bits = QuantBits::k32;
+  float scale = 1.0f;     // dequant: x = scale * (q - zero_point)
+  float zero_point = 0.0f;
+  std::vector<std::int32_t> q;   // storage codes (one per element)
+  std::vector<float> passthrough;  // used when bits == k32 (lossless)
+
+  std::size_t wire_bytes() const noexcept;
+};
+
+/// Quantize with a symmetric range derived from the tensor's max |x|.
+QuantizedTensor quantize(const Tensor& t, QuantBits bits);
+
+/// Inverse of quantize(); exact for k32, lossy otherwise.
+Tensor dequantize(const QuantizedTensor& qt);
+
+/// Worst-case absolute round-trip error for the given tensor/bit-width
+/// (half of one quantization step).
+float quantization_step(const Tensor& t, QuantBits bits) noexcept;
+
+}  // namespace murmur

@@ -1,0 +1,123 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace murmur {
+
+std::size_t shape_numel(std::span<const int> shape) noexcept {
+  std::size_t n = 1;
+  for (int d : shape) n *= static_cast<std::size_t>(d);
+  return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)) {
+  for ([[maybe_unused]] int d : shape_) assert(d > 0);
+  data_.assign(shape_numel(shape_), 0.0f);
+}
+
+Tensor Tensor::full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<int> shape, Rng& rng, float mean,
+                     float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_)
+    v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::kaiming(std::vector<int> shape, int fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(std::max(1, fan_in)));
+  return randn(std::move(shape), rng, 0.0f, stddev);
+}
+
+void Tensor::fill(float v) noexcept { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor Tensor::reshaped(std::vector<int> new_shape) const {
+  assert(shape_numel(new_shape) == size());
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+Tensor& Tensor::add_(const Tensor& other) {
+  assert(shape_ == other.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::scale_(float s) noexcept {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+float Tensor::sum() const noexcept {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return static_cast<float>(s);
+}
+
+float Tensor::max_abs() const noexcept {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const noexcept {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  return true;
+}
+
+Tensor Tensor::crop(int h0, int w0, int hh, int ww) const {
+  assert(rank() == 4);
+  assert(h0 >= 0 && w0 >= 0 && h0 + hh <= dim(2) && w0 + ww <= dim(3));
+  Tensor out({dim(0), dim(1), hh, ww});
+  for (int n = 0; n < dim(0); ++n)
+    for (int c = 0; c < dim(1); ++c)
+      for (int h = 0; h < hh; ++h)
+        for (int w = 0; w < ww; ++w)
+          out.at(n, c, h, w) = at(n, c, h0 + h, w0 + w);
+  return out;
+}
+
+Tensor Tensor::pad(int top, int bottom, int left, int right) const {
+  assert(rank() == 4);
+  Tensor out({dim(0), dim(1), dim(2) + top + bottom, dim(3) + left + right});
+  for (int n = 0; n < dim(0); ++n)
+    for (int c = 0; c < dim(1); ++c)
+      for (int h = 0; h < dim(2); ++h)
+        for (int w = 0; w < dim(3); ++w)
+          out.at(n, c, h + top, w + left) = at(n, c, h, w);
+  return out;
+}
+
+Tensor Tensor::slice_channels(int c0, int cc) const {
+  assert(rank() == 4);
+  assert(c0 >= 0 && c0 + cc <= dim(1));
+  Tensor out({dim(0), cc, dim(2), dim(3)});
+  for (int n = 0; n < dim(0); ++n)
+    for (int c = 0; c < cc; ++c)
+      for (int h = 0; h < dim(2); ++h)
+        for (int w = 0; w < dim(3); ++w)
+          out.at(n, c, h, w) = at(n, c0 + c, h, w);
+  return out;
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i)
+    os << (i ? "x" : "") << shape_[i];
+  os << ']';
+  return os.str();
+}
+
+}  // namespace murmur

@@ -1,0 +1,103 @@
+// Dense float tensor in NCHW layout.
+//
+// This is the numeric substrate for the executable supernet: rank 1, 2 or 4,
+// contiguous row-major storage, value semantics. It favours clarity over
+// peak throughput — the heavy path (convolution) goes through im2col + GEMM
+// in src/tensor/gemm.*.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace murmur {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Construct zero-filled tensor with the given shape (each dim > 0).
+  explicit Tensor(std::vector<int> shape);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int> shape, float value);
+  /// I.i.d. N(mean, stddev) entries.
+  static Tensor randn(std::vector<int> shape, Rng& rng, float mean = 0.f,
+                      float stddev = 1.f);
+  /// Kaiming-style init for a weight of `fan_in` inputs.
+  static Tensor kaiming(std::vector<int> shape, int fan_in, Rng& rng);
+
+  const std::vector<int>& shape() const noexcept { return shape_; }
+  int dim(std::size_t i) const noexcept {
+    return i < shape_.size() ? shape_[i] : 1;
+  }
+  std::size_t rank() const noexcept { return shape_.size(); }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+  std::size_t bytes() const noexcept { return data_.size() * sizeof(float); }
+
+  std::span<float> data() noexcept { return data_; }
+  std::span<const float> data() const noexcept { return data_; }
+  float* raw() noexcept { return data_.data(); }
+  const float* raw() const noexcept { return data_.data(); }
+
+  // --- element access -------------------------------------------------
+  float& operator[](std::size_t i) noexcept { return data_[i]; }
+  float operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// 4-D NCHW access.
+  float& at(int n, int c, int h, int w) noexcept {
+    assert(rank() == 4);
+    return data_[offset4(n, c, h, w)];
+  }
+  float at(int n, int c, int h, int w) const noexcept {
+    assert(rank() == 4);
+    return data_[offset4(n, c, h, w)];
+  }
+  /// 2-D (rows, cols) access.
+  float& at(int r, int c) noexcept {
+    assert(rank() == 2);
+    return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+  }
+  float at(int r, int c) const noexcept {
+    assert(rank() == 2);
+    return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+  }
+
+  // --- whole-tensor ops -----------------------------------------------
+  void fill(float v) noexcept;
+  Tensor reshaped(std::vector<int> new_shape) const;
+  /// Elementwise sum; shapes must match exactly.
+  Tensor& add_(const Tensor& other);
+  Tensor& scale_(float s) noexcept;
+  float sum() const noexcept;
+  float max_abs() const noexcept;
+  /// True if shapes equal and all entries within `tol`.
+  bool allclose(const Tensor& other, float tol = 1e-5f) const noexcept;
+
+  /// Crop NCHW spatially to rows [h0, h0+hh), cols [w0, w0+ww).
+  Tensor crop(int h0, int w0, int hh, int ww) const;
+  /// Zero-pad NCHW spatially by (top, bottom, left, right).
+  Tensor pad(int top, int bottom, int left, int right) const;
+  /// Slice channels [c0, c0+cc).
+  Tensor slice_channels(int c0, int cc) const;
+
+  std::string shape_str() const;
+
+ private:
+  std::size_t offset4(int n, int c, int h, int w) const noexcept {
+    return ((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+               shape_[3] +
+           w;
+  }
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Number of elements implied by a shape.
+std::size_t shape_numel(std::span<const int> shape) noexcept;
+
+}  // namespace murmur

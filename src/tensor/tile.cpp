@@ -1,0 +1,79 @@
+#include "tensor/tile.h"
+
+#include <cassert>
+
+namespace murmur {
+
+std::vector<TileExtent> tile_extents(int height, int width,
+                                     PartitionGrid grid) {
+  assert(grid.rows >= 1 && grid.cols >= 1);
+  std::vector<TileExtent> out;
+  out.reserve(static_cast<std::size_t>(grid.tiles()));
+  const int base_h = height / grid.rows;
+  const int base_w = width / grid.cols;
+  for (int r = 0; r < grid.rows; ++r) {
+    for (int c = 0; c < grid.cols; ++c) {
+      TileExtent e;
+      e.h0 = r * base_h;
+      e.w0 = c * base_w;
+      e.h = (r == grid.rows - 1) ? height - e.h0 : base_h;
+      e.w = (c == grid.cols - 1) ? width - e.w0 : base_w;
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::vector<Tensor> split_fdsp(const Tensor& input, PartitionGrid grid,
+                               int halo) {
+  assert(input.rank() == 4);
+  const auto extents = tile_extents(input.dim(2), input.dim(3), grid);
+  std::vector<Tensor> tiles;
+  tiles.reserve(extents.size());
+  for (const auto& e : extents) {
+    // FDSP: crop the tile, then zero-pad every side by `halo`. Sides facing
+    // the map border would have been zero-padded by the convolution anyway;
+    // interior sides get zeros instead of neighbour data.
+    Tensor t = input.crop(e.h0, e.w0, e.h, e.w);
+    if (halo > 0) t = t.pad(halo, halo, halo, halo);
+    tiles.push_back(std::move(t));
+  }
+  return tiles;
+}
+
+Tensor merge_tiles(const std::vector<Tensor>& tiles,
+                   const std::vector<TileExtent>& extents, int channels,
+                   int height, int width) {
+  assert(tiles.size() == extents.size());
+  assert(!tiles.empty());
+  const int n = tiles.front().dim(0);
+  Tensor out({n, channels, height, width});
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const auto& t = tiles[i];
+    const auto& e = extents[i];
+    assert(t.dim(2) == e.h && t.dim(3) == e.w);
+    for (int b = 0; b < n; ++b)
+      for (int c = 0; c < channels; ++c)
+        for (int h = 0; h < e.h; ++h)
+          for (int w = 0; w < e.w; ++w)
+            out.at(b, c, e.h0 + h, e.w0 + w) = t.at(b, c, h, w);
+  }
+  return out;
+}
+
+std::size_t halo_exchange_bytes(int height, int width, int channels,
+                                PartitionGrid grid, int halo) noexcept {
+  if (grid.tiles() <= 1 || halo <= 0) return 0;
+  // Interior horizontal edges: (rows-1) * cols edges, each moving
+  // 2 * halo * tile_width * channels floats (both directions).
+  const int tile_w = width / grid.cols;
+  const int tile_h = height / grid.rows;
+  std::size_t floats = 0;
+  floats += static_cast<std::size_t>(grid.rows - 1) * grid.cols * 2ull *
+            halo * tile_w * channels;
+  floats += static_cast<std::size_t>(grid.cols - 1) * grid.rows * 2ull *
+            halo * tile_h * channels;
+  return floats * sizeof(float);
+}
+
+}  // namespace murmur

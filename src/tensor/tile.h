@@ -1,0 +1,53 @@
+// Spatial tiling for FDSP-style partitioned convolution (ADCNN, ICPP'20).
+//
+// A feature map is split into an R×C grid of tiles. Under Fully Decomposable
+// Spatial Partition each tile is *zero-padded* at its interior edges instead
+// of exchanging halo rows with neighbours, which removes all inter-tile
+// communication at the cost of a small accuracy perturbation — exactly the
+// accuracy/latency trade-off Murmuration's NAS search space exposes.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace murmur {
+
+/// Partition grid. 1×1 means "not partitioned".
+struct PartitionGrid {
+  int rows = 1;
+  int cols = 1;
+  int tiles() const noexcept { return rows * cols; }
+  bool operator==(const PartitionGrid&) const = default;
+};
+
+/// Geometry of one tile inside the full map.
+struct TileExtent {
+  int h0 = 0, w0 = 0;  // top-left corner in the full map
+  int h = 0, w = 0;    // tile size (un-padded)
+};
+
+/// Compute the R×C tile extents covering an H×W map. Remainder rows/cols go
+/// to the last tile in each dimension.
+std::vector<TileExtent> tile_extents(int height, int width, PartitionGrid grid);
+
+/// Split an NCHW tensor into grid.tiles() tiles, each zero-padded by `halo`
+/// pixels on every side (FDSP: interior edges get zeros where a halo
+/// exchange would have provided neighbour data). Tiles are returned in
+/// row-major grid order.
+std::vector<Tensor> split_fdsp(const Tensor& input, PartitionGrid grid,
+                               int halo);
+
+/// Merge per-tile outputs (each already cropped of its padding) back into a
+/// full map. `extents` must describe the *output* geometry of each tile.
+Tensor merge_tiles(const std::vector<Tensor>& tiles,
+                   const std::vector<TileExtent>& extents, int channels,
+                   int height, int width);
+
+/// Bytes a halo-exchange implementation would move between neighbouring
+/// tiles per layer (for the FDSP-vs-halo ablation): each interior edge moves
+/// `halo` rows/cols of `channels` floats in both directions.
+std::size_t halo_exchange_bytes(int height, int width, int channels,
+                                PartitionGrid grid, int halo) noexcept;
+
+}  // namespace murmur

@@ -1,0 +1,90 @@
+#include "vit/vit.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace murmur::vit {
+
+VisionTransformer::VisionTransformer(VitOptions opts) : opts_(opts) {
+  assert(opts.image_size % opts.patch_size == 0);
+  const int per_side = opts.image_size / opts.patch_size;
+  tokens_ = per_side * per_side;
+  Rng rng(opts.seed);
+  const int patch_dim = 3 * opts.patch_size * opts.patch_size;
+  patch_embed_ = std::make_unique<TokenLinear>(patch_dim, opts.dim, rng);
+  pos_embed_ = Tensor::randn({tokens_, opts.dim}, rng, 0.0f, 0.02f);
+  for (int i = 0; i < opts.max_depth; ++i)
+    blocks_.push_back(std::make_unique<TransformerBlock>(
+        opts.dim, opts.heads, opts.mlp_ratio, rng));
+  final_ln_ = std::make_unique<LayerNorm>(opts.dim);
+  head_ = std::make_unique<TokenLinear>(opts.dim, opts.classes, rng);
+}
+
+Tensor VisionTransformer::embed(const Tensor& image) const {
+  assert(image.rank() == 4 && image.dim(0) == 1 && image.dim(1) == 3);
+  assert(image.dim(2) == opts_.image_size && image.dim(3) == opts_.image_size);
+  const int p = opts_.patch_size;
+  const int per_side = opts_.image_size / p;
+  const int patch_dim = 3 * p * p;
+  Tensor patches({tokens_, patch_dim});
+  for (int py = 0; py < per_side; ++py)
+    for (int px = 0; px < per_side; ++px) {
+      const int t = py * per_side + px;
+      int idx = 0;
+      for (int c = 0; c < 3; ++c)
+        for (int y = 0; y < p; ++y)
+          for (int x = 0; x < p; ++x, ++idx)
+            patches.at(t, idx) = image.at(0, c, py * p + y, px * p + x);
+    }
+  Tensor tokens = patch_embed_->forward(patches);
+  tokens.add_(pos_embed_);
+  return tokens;
+}
+
+Tensor VisionTransformer::forward_block(int i, const Tensor& tokens,
+                                        int groups) const {
+  assert(i >= 0 && i < static_cast<int>(blocks_.size()));
+  return blocks_[static_cast<std::size_t>(i)]->forward(tokens, groups);
+}
+
+Tensor VisionTransformer::classify(const Tensor& tokens) const {
+  const Tensor normed = final_ln_->forward(tokens);
+  Tensor pooled({1, opts_.dim});
+  for (int d = 0; d < opts_.dim; ++d) {
+    float s = 0.0f;
+    for (int t = 0; t < tokens_; ++t) s += normed.at(t, d);
+    pooled.at(0, d) = s / static_cast<float>(tokens_);
+  }
+  return head_->forward(pooled);
+}
+
+Tensor VisionTransformer::forward(const Tensor& image,
+                                  const VitConfig& config) const {
+  assert(config.depth >= 1 && config.depth <= opts_.max_depth);
+  Tensor tokens = embed(image);
+  for (int i = 0; i < config.depth; ++i)
+    tokens = forward_block(i, tokens, config.groups);
+  return classify(tokens);
+}
+
+double VisionTransformer::flops(const VitConfig& config) const noexcept {
+  const double patch_dim = 3.0 * opts_.patch_size * opts_.patch_size;
+  double f = 2.0 * tokens_ * patch_dim * opts_.dim;  // embed
+  f += config.depth * TransformerBlock::flops(tokens_, opts_.dim,
+                                              opts_.mlp_ratio, config.groups);
+  f += 2.0 * opts_.dim * opts_.classes;  // head
+  return f;
+}
+
+double vit_accuracy_proxy(const VitOptions& opts,
+                          const VitConfig& config) noexcept {
+  // Same calibration style as the CNN model: a base top-1, monotone
+  // penalties for removed depth and coarser attention locality.
+  const double base = 78.0;
+  const double depth_penalty = 0.6 * (opts.max_depth - config.depth);
+  const double group_penalty =
+      config.groups <= 1 ? 0.0 : (config.groups == 2 ? 0.5 : 1.1);
+  return base - depth_penalty - group_penalty;
+}
+
+}  // namespace murmur::vit

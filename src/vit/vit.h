@@ -1,0 +1,72 @@
+// A small elastic Vision Transformer with patch-group partitioned
+// attention — the paper's stated extension of Murmuration's spatial
+// partitioning beyond CNNs (§4.1).
+//
+// Search-space analogue of the CNN supernet:
+//   * elastic depth        (2..kMaxDepth encoder blocks)
+//   * patch-group count    (1, 2 or 4 device groups per attention block)
+// Patch-group attention restricts each attention block to the tokens of
+// one device's patches — zero cross-device traffic inside the block, at an
+// accuracy perturbation analogous to FDSP's.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "vit/vit_layers.h"
+
+namespace murmur::vit {
+
+struct VitOptions {
+  int image_size = 96;
+  int patch_size = 16;
+  int dim = 64;
+  int heads = 4;
+  int mlp_ratio = 4;
+  int max_depth = 6;
+  int classes = 10;
+  std::uint64_t seed = 77;
+};
+
+struct VitConfig {
+  int depth = 6;
+  int groups = 1;  // patch-group partitioning of every attention block
+};
+
+class VisionTransformer {
+ public:
+  explicit VisionTransformer(VitOptions opts);
+  VisionTransformer() : VisionTransformer(VitOptions{}) {}
+
+  /// Image (1,3,S,S) -> logits (1, classes) under the given config.
+  Tensor forward(const Tensor& image, const VitConfig& config) const;
+
+  /// Token embedding of the image (patch flatten + linear + pos embed).
+  Tensor embed(const Tensor& image) const;
+  /// Run block `i` on a token matrix.
+  Tensor forward_block(int i, const Tensor& tokens, int groups) const;
+  /// Mean-pool + classify.
+  Tensor classify(const Tensor& tokens) const;
+
+  int num_tokens() const noexcept { return tokens_; }
+  const VitOptions& options() const noexcept { return opts_; }
+
+  /// Analytic FLOPs of a config (for the cost model / latency evaluator).
+  double flops(const VitConfig& config) const noexcept;
+
+ private:
+  VitOptions opts_;
+  int tokens_;
+  std::unique_ptr<TokenLinear> patch_embed_;
+  Tensor pos_embed_;  // [tokens, dim]
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  std::unique_ptr<LayerNorm> final_ln_;
+  std::unique_ptr<TokenLinear> head_;
+};
+
+/// Accuracy proxy for ViT configs, mirroring the CNN accuracy model's
+/// calibration style: full depth / full attention is best; shallower depth
+/// and more patch groups cost accuracy.
+double vit_accuracy_proxy(const VitOptions& opts, const VitConfig& config) noexcept;
+
+}  // namespace murmur::vit

@@ -1,0 +1,61 @@
+#include "vit/vit_latency.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace murmur::vit {
+
+VitLatencyBreakdown vit_latency(const VisionTransformer& model,
+                                const VitStrategy& strategy,
+                                const netsim::Network& network) {
+  const auto& cfg = strategy.config;
+  assert(static_cast<int>(strategy.group_device.size()) == cfg.groups);
+  VitLatencyBreakdown out;
+
+  const auto& opts = model.options();
+  const int tokens = model.num_tokens();
+  const double token_bytes = static_cast<double>(opts.dim) * sizeof(float);
+  const double group_tokens =
+      static_cast<double>(tokens) / std::max(1, cfg.groups);
+
+  // Scatter: each remote group's raw patches leave the local device
+  // back-to-back over its access link.
+  const double patch_bytes =
+      3.0 * opts.patch_size * opts.patch_size * sizeof(float) * group_tokens;
+  for (int g = 0; g < cfg.groups; ++g) {
+    const int dev = strategy.group_device[static_cast<std::size_t>(g)];
+    if (dev != 0)
+      out.scatter_ms += network.transfer_ms(0, static_cast<std::size_t>(dev),
+                                            patch_bytes);
+  }
+
+  // Group-parallel blocks: embed + depth * block, each device handling its
+  // tokens; grouped attention needs no cross-device exchange.
+  const double patch_dim = 3.0 * opts.patch_size * opts.patch_size;
+  for (int g = 0; g < cfg.groups; ++g) {
+    const int dev = strategy.group_device[static_cast<std::size_t>(g)];
+    double flops = 2.0 * group_tokens * patch_dim * opts.dim;  // embed share
+    flops += cfg.depth *
+             TransformerBlock::flops(static_cast<int>(group_tokens), opts.dim,
+                                     opts.mlp_ratio, /*groups=*/1);
+    out.compute_ms =
+        std::max(out.compute_ms,
+                 network.device(static_cast<std::size_t>(dev))
+                     .throughput.compute_ms(flops));
+  }
+
+  // Gather the final token embeddings back to local for pooling + head.
+  for (int g = 0; g < cfg.groups; ++g) {
+    const int dev = strategy.group_device[static_cast<std::size_t>(g)];
+    if (dev != 0)
+      out.gather_ms += network.transfer_ms(static_cast<std::size_t>(dev), 0,
+                                           group_tokens * token_bytes);
+  }
+  const double head_flops = 2.0 * opts.dim * opts.classes +
+                            static_cast<double>(tokens) * opts.dim;
+  out.total_ms = out.scatter_ms + out.compute_ms + out.gather_ms +
+                 network.device(0).throughput.compute_ms(head_flops);
+  return out;
+}
+
+}  // namespace murmur::vit

@@ -1,0 +1,35 @@
+// Distributed-latency model for the ViT extension: patch groups are
+// scattered to devices once, every attention/MLP block runs group-parallel
+// with no cross-device traffic (grouped attention is device-local by
+// construction), and tokens gather back to the local device for the head.
+#pragma once
+
+#include <vector>
+
+#include "netsim/network.h"
+#include "vit/vit.h"
+
+namespace murmur::vit {
+
+struct VitStrategy {
+  VitConfig config;
+  /// Device executing each patch group; size must equal config.groups.
+  std::vector<int> group_device;
+
+  static VitStrategy all_local(int depth = 6) {
+    return {{depth, 1}, {0}};
+  }
+};
+
+struct VitLatencyBreakdown {
+  double total_ms = 0.0;
+  double scatter_ms = 0.0;
+  double compute_ms = 0.0;  // critical-path (slowest device) compute
+  double gather_ms = 0.0;
+};
+
+VitLatencyBreakdown vit_latency(const VisionTransformer& model,
+                                const VitStrategy& strategy,
+                                const netsim::Network& network);
+
+}  // namespace murmur::vit

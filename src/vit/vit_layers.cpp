@@ -1,0 +1,166 @@
+#include "vit/vit_layers.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace murmur::vit {
+
+LayerNorm::LayerNorm(int dim) : dim_(dim) {
+  gamma_.assign(static_cast<std::size_t>(dim), 1.0f);
+  beta_.assign(static_cast<std::size_t>(dim), 0.0f);
+}
+
+Tensor LayerNorm::forward(const Tensor& x) const {
+  assert(x.rank() == 2 && x.dim(1) == dim_);
+  Tensor out = x;
+  const int n = x.dim(0);
+  for (int t = 0; t < n; ++t) {
+    double mean = 0.0;
+    for (int d = 0; d < dim_; ++d) mean += x.at(t, d);
+    mean /= dim_;
+    double var = 0.0;
+    for (int d = 0; d < dim_; ++d) {
+      const double dd = x.at(t, d) - mean;
+      var += dd * dd;
+    }
+    var /= dim_;
+    const float inv = static_cast<float>(1.0 / std::sqrt(var + 1e-5));
+    for (int d = 0; d < dim_; ++d)
+      out.at(t, d) = gamma_[static_cast<std::size_t>(d)] *
+                         (x.at(t, d) - static_cast<float>(mean)) * inv +
+                     beta_[static_cast<std::size_t>(d)];
+  }
+  return out;
+}
+
+void gelu_inplace(Tensor& x) noexcept {
+  for (auto& v : x.data())
+    v = 0.5f * v * (1.0f + std::erf(v / std::sqrt(2.0f)));
+}
+
+TokenLinear::TokenLinear(int in, int out, Rng& rng) : in_(in), out_(out) {
+  w_ = Tensor::kaiming({out, in}, in, rng);
+  b_.assign(static_cast<std::size_t>(out), 0.0f);
+}
+
+Tensor TokenLinear::forward(const Tensor& x) const {
+  assert(x.rank() == 2 && x.dim(1) == in_);
+  const int n = x.dim(0);
+  Tensor out({n, out_});
+  for (int t = 0; t < n; ++t)
+    for (int o = 0; o < out_; ++o) {
+      float acc = b_[static_cast<std::size_t>(o)];
+      for (int i = 0; i < in_; ++i) acc += w_.at(o, i) * x.at(t, i);
+      out.at(t, o) = acc;
+    }
+  return out;
+}
+
+MultiHeadAttention::MultiHeadAttention(int dim, int heads, Rng& rng)
+    : dim_(dim),
+      heads_(heads),
+      head_dim_(dim / heads),
+      qkv_(dim, 3 * dim, rng),
+      proj_(dim, dim, rng) {
+  assert(dim % heads == 0);
+}
+
+Tensor MultiHeadAttention::attend(const Tensor& x, int t0, int t_count) const {
+  // Compute attention over tokens [t0, t0 + t_count).
+  Tensor slice({t_count, dim_});
+  for (int t = 0; t < t_count; ++t)
+    for (int d = 0; d < dim_; ++d) slice.at(t, d) = x.at(t0 + t, d);
+  const Tensor qkv = qkv_.forward(slice);  // [t_count, 3*dim]
+
+  Tensor out({t_count, dim_});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<float> scores(static_cast<std::size_t>(t_count));
+  for (int h = 0; h < heads_; ++h) {
+    const int q_off = h * head_dim_;
+    const int k_off = dim_ + h * head_dim_;
+    const int v_off = 2 * dim_ + h * head_dim_;
+    for (int i = 0; i < t_count; ++i) {
+      // Row-wise softmax(QK^T / sqrt(d)).
+      float mx = -1e30f;
+      for (int j = 0; j < t_count; ++j) {
+        float s = 0.0f;
+        for (int d = 0; d < head_dim_; ++d)
+          s += qkv.at(i, q_off + d) * qkv.at(j, k_off + d);
+        scores[static_cast<std::size_t>(j)] = s * scale;
+        mx = std::max(mx, scores[static_cast<std::size_t>(j)]);
+      }
+      float sum = 0.0f;
+      for (int j = 0; j < t_count; ++j) {
+        scores[static_cast<std::size_t>(j)] =
+            std::exp(scores[static_cast<std::size_t>(j)] - mx);
+        sum += scores[static_cast<std::size_t>(j)];
+      }
+      const float inv = 1.0f / sum;
+      for (int d = 0; d < head_dim_; ++d) {
+        float acc = 0.0f;
+        for (int j = 0; j < t_count; ++j)
+          acc += scores[static_cast<std::size_t>(j)] * inv * qkv.at(j, v_off + d);
+        out.at(i, q_off + d) = acc;
+      }
+    }
+  }
+  return proj_.forward(out);
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& x) const {
+  return attend(x, 0, x.dim(0));
+}
+
+Tensor MultiHeadAttention::forward_grouped(const Tensor& x, int groups) const {
+  assert(groups >= 1);
+  const int n = x.dim(0);
+  if (groups == 1 || groups > n) return forward(x);
+  Tensor out({n, dim_});
+  const int base = n / groups;
+  int t0 = 0;
+  for (int g = 0; g < groups; ++g) {
+    const int count = g == groups - 1 ? n - t0 : base;
+    const Tensor part = attend(x, t0, count);
+    for (int t = 0; t < count; ++t)
+      for (int d = 0; d < dim_; ++d) out.at(t0 + t, d) = part.at(t, d);
+    t0 += count;
+  }
+  return out;
+}
+
+double MultiHeadAttention::flops(int tokens, int dim, int groups) noexcept {
+  const double n = tokens;
+  const double d = dim;
+  const double g = std::max(1, groups);
+  // QKV + output projections are group-independent; the n^2 attention map
+  // shrinks to g * (n/g)^2 = n^2/g.
+  const double proj = 2.0 * n * d * (3.0 * d) + 2.0 * n * d * d;
+  const double attn = 2.0 * (n * n / g) * d * 2.0;  // QK^T and AV
+  return proj + attn;
+}
+
+TransformerBlock::TransformerBlock(int dim, int heads, int mlp_ratio, Rng& rng)
+    : ln1_(dim),
+      ln2_(dim),
+      attn_(dim, heads, rng),
+      fc1_(dim, dim * mlp_ratio, rng),
+      fc2_(dim * mlp_ratio, dim, rng) {}
+
+Tensor TransformerBlock::forward(const Tensor& x, int groups) const {
+  Tensor h = attn_.forward_grouped(ln1_.forward(x), groups);
+  h.add_(x);
+  Tensor m = fc1_.forward(ln2_.forward(h));
+  gelu_inplace(m);
+  Tensor out = fc2_.forward(m);
+  out.add_(h);
+  return out;
+}
+
+double TransformerBlock::flops(int tokens, int dim, int mlp_ratio,
+                               int groups) noexcept {
+  const double mlp = 2.0 * 2.0 * tokens * static_cast<double>(dim) * dim *
+                     mlp_ratio;
+  return MultiHeadAttention::flops(tokens, dim, groups) + mlp;
+}
+
+}  // namespace murmur::vit

@@ -1,0 +1,95 @@
+// Transformer building blocks for the Vision-Transformer extension.
+//
+// Paper §4.1: "this spatial partitioning strategy can also be applied to
+// other DNN models such as Vision Transformers, where different image
+// patches are sent to different devices for parallel attention
+// computation." This module provides the substrate: LayerNorm, GELU,
+// token-matrix linear maps and multi-head self-attention with an optional
+// *patch-group* restriction — attention computed within per-device token
+// groups only, the transformer analogue of FDSP (no cross-device traffic
+// inside the block, at a small accuracy perturbation).
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace murmur::vit {
+
+/// Token matrix convention: rank-2 Tensor [tokens, dim].
+
+/// LayerNorm over the feature dimension with learnable gain/bias.
+class LayerNorm {
+ public:
+  explicit LayerNorm(int dim);
+  Tensor forward(const Tensor& x) const;
+  int dim() const noexcept { return dim_; }
+
+ private:
+  int dim_;
+  std::vector<float> gamma_, beta_;
+};
+
+/// Exact GELU applied elementwise.
+void gelu_inplace(Tensor& x) noexcept;
+
+/// Dense map on token matrices: [n, in] -> [n, out].
+class TokenLinear {
+ public:
+  TokenLinear(int in, int out, Rng& rng);
+  Tensor forward(const Tensor& x) const;
+  int in() const noexcept { return in_; }
+  int out() const noexcept { return out_; }
+  std::size_t param_bytes() const noexcept {
+    return w_.bytes() + b_.size() * sizeof(float);
+  }
+
+ private:
+  int in_, out_;
+  Tensor w_;  // [out, in]
+  std::vector<float> b_;
+};
+
+/// Multi-head self-attention over [tokens, dim].
+class MultiHeadAttention {
+ public:
+  MultiHeadAttention(int dim, int heads, Rng& rng);
+
+  /// Full attention across all tokens.
+  Tensor forward(const Tensor& x) const;
+
+  /// Patch-group attention: tokens are split into `groups` contiguous
+  /// groups; attention runs independently within each group (what one
+  /// device computes for its patches). groups == 1 is full attention.
+  Tensor forward_grouped(const Tensor& x, int groups) const;
+
+  /// FLOPs of one pass over n tokens with the given grouping.
+  static double flops(int tokens, int dim, int groups = 1) noexcept;
+
+  int dim() const noexcept { return dim_; }
+  int heads() const noexcept { return heads_; }
+
+ private:
+  Tensor attend(const Tensor& x, int t0, int t_count) const;
+  int dim_, heads_, head_dim_;
+  TokenLinear qkv_;   // dim -> 3*dim
+  TokenLinear proj_;  // dim -> dim
+};
+
+/// Pre-norm transformer encoder block: x + MHA(LN(x)); x + MLP(LN(x)).
+class TransformerBlock {
+ public:
+  TransformerBlock(int dim, int heads, int mlp_ratio, Rng& rng);
+
+  /// `groups` — patch-group partitioning of the attention (1 = full).
+  Tensor forward(const Tensor& x, int groups = 1) const;
+
+  static double flops(int tokens, int dim, int mlp_ratio,
+                      int groups = 1) noexcept;
+
+ private:
+  LayerNorm ln1_, ln2_;
+  MultiHeadAttention attn_;
+  TokenLinear fc1_, fc2_;
+};
+
+}  // namespace murmur::vit

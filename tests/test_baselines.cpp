@@ -1,0 +1,159 @@
+// Tests for the Neurosurgeon / ADCNN / fixed-single-device baselines.
+#include <gtest/gtest.h>
+
+#include "baselines/adcnn.h"
+#include "baselines/fixed_single.h"
+#include "baselines/neurosurgeon.h"
+#include "netsim/scenario.h"
+
+namespace murmur::baselines {
+namespace {
+
+using murmur::Bandwidth;
+using murmur::Delay;
+
+netsim::Network augmented(double bw, double delay) {
+  auto net = netsim::make_augmented_computing();
+  netsim::shape_remotes(net, Bandwidth::from_mbps(bw), Delay::from_ms(delay));
+  return net;
+}
+
+TEST(Neurosurgeon, AllLocalIsPureCompute) {
+  const auto net = augmented(100, 10);
+  const Neurosurgeon ns(supernet::resnet50(), net);
+  const int last = static_cast<int>(supernet::resnet50().layers.size()) - 1;
+  const auto r = ns.latency_at_split(last);
+  EXPECT_DOUBLE_EQ(r.transfer_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.remote_compute_ms, 0.0);
+  EXPECT_NEAR(r.local_compute_ms,
+              net.device(0).throughput.compute_ms(
+                  supernet::resnet50().total_flops()),
+              1e-6);
+}
+
+TEST(Neurosurgeon, AllRemoteShipsInput) {
+  const auto net = augmented(100, 10);
+  const Neurosurgeon ns(supernet::resnet50(), net);
+  const auto r = ns.latency_at_split(-1);
+  EXPECT_DOUBLE_EQ(r.local_compute_ms, 0.0);
+  EXPECT_GT(r.transfer_ms, 0.0);
+  EXPECT_GT(r.remote_compute_ms, 0.0);
+}
+
+TEST(Neurosurgeon, BestSplitIsOptimal) {
+  const auto net = augmented(100, 10);
+  const Neurosurgeon ns(supernet::resnet50(), net);
+  const auto best = ns.best_split();
+  const int n = static_cast<int>(supernet::resnet50().layers.size());
+  for (int s = -1; s < n; ++s)
+    EXPECT_LE(best.latency_ms, ns.latency_at_split(s).latency_ms + 1e-9);
+}
+
+TEST(Neurosurgeon, OffloadsMoreWithFasterNetwork) {
+  // With a fat pipe the best split moves toward "everything remote".
+  const auto fat_net = augmented(1000, 1);
+  const auto thin_net = augmented(5, 100);
+  const Neurosurgeon fat(supernet::resnet50(), fat_net);
+  const Neurosurgeon thin(supernet::resnet50(), thin_net);
+  EXPECT_LE(fat.best_split().split_after, thin.best_split().split_after);
+  // Heavy model (ResNet50): the GPU is ~67x faster than the Pi, so even a
+  // thin pipe favours full offload.
+  EXPECT_EQ(fat.best_split().split_after, -1);
+  // Light model (MobileNetV3): on a thin pipe it stays fully local.
+  const Neurosurgeon light_thin(supernet::mobilenet_v3_large(), thin_net);
+  const int nm = static_cast<int>(supernet::mobilenet_v3_large().layers.size());
+  EXPECT_EQ(light_thin.best_split().split_after, nm - 1);
+}
+
+TEST(Neurosurgeon, BestLatencyMonotoneInBandwidth) {
+  double prev = 1e18;
+  for (double bw : {10.0, 50.0, 200.0, 1000.0}) {
+    const auto net = augmented(bw, 10);
+    const double ms = Neurosurgeon(supernet::resnet50(), net).best_split().latency_ms;
+    EXPECT_LE(ms, prev + 1e-9);
+    prev = ms;
+  }
+}
+
+TEST(Neurosurgeon, AccuracyIsModelAccuracy) {
+  const auto net = augmented(100, 10);
+  EXPECT_DOUBLE_EQ(Neurosurgeon(supernet::densenet161(), net).accuracy(), 77.1);
+}
+
+TEST(Adcnn, SingleDeviceIsComputeOnly) {
+  auto net = netsim::make_pi_swarm(1);
+  const Adcnn adcnn(supernet::mobilenet_v3_large(), net);
+  const auto r = adcnn.latency();
+  EXPECT_DOUBLE_EQ(r.scatter_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.gather_ms, 0.0);
+  EXPECT_GT(r.latency_ms, 0.0);
+}
+
+TEST(Adcnn, MoreDevicesFasterAtHighBandwidth) {
+  double prev = 1e18;
+  for (std::size_t n : {1u, 2u, 4u, 8u}) {
+    auto net = netsim::make_pi_swarm(n);
+    netsim::shape_remotes(net, Bandwidth::from_gbps(1), Delay::from_ms(2));
+    const double ms = Adcnn(supernet::resnet50(), net).latency().latency_ms;
+    EXPECT_LT(ms, prev);
+    prev = ms;
+  }
+}
+
+TEST(Adcnn, LowBandwidthHurts) {
+  auto fast = netsim::make_device_swarm();
+  netsim::shape_remotes(fast, Bandwidth::from_mbps(500), Delay::from_ms(20));
+  auto slow = netsim::make_device_swarm();
+  netsim::shape_remotes(slow, Bandwidth::from_mbps(5), Delay::from_ms(20));
+  EXPECT_LT(Adcnn(supernet::resnet50(), fast).latency().latency_ms,
+            Adcnn(supernet::resnet50(), slow).latency().latency_ms);
+}
+
+TEST(Adcnn, AccuracyDropsOnlyWhenDistributed) {
+  auto single = netsim::make_pi_swarm(1);
+  auto swarm = netsim::make_device_swarm();
+  EXPECT_DOUBLE_EQ(Adcnn(supernet::resnet50(), single).accuracy(), 76.1);
+  EXPECT_NEAR(Adcnn(supernet::resnet50(), swarm).accuracy(),
+              76.1 - Adcnn::kFdspAccuracyDrop, 1e-12);
+}
+
+TEST(Adcnn, BreakdownSumsToTotal) {
+  auto net = netsim::make_device_swarm();
+  netsim::shape_remotes(net, Bandwidth::from_mbps(100), Delay::from_ms(20));
+  const auto r = Adcnn(supernet::resnet50(), net).latency();
+  EXPECT_NEAR(r.latency_ms,
+              r.scatter_ms + r.parallel_compute_ms + r.gather_ms +
+                  r.tail_compute_ms,
+              1e-9);
+  EXPECT_EQ(r.devices, 5);
+}
+
+TEST(FixedSingle, LocalVsRemote) {
+  const auto net = augmented(100, 10);
+  const auto local =
+      fixed_single_device_latency(supernet::mobilenet_v3_large(), net, 0);
+  EXPECT_DOUBLE_EQ(local.transfer_ms, 0.0);
+  const auto remote =
+      fixed_single_device_latency(supernet::mobilenet_v3_large(), net, 1);
+  EXPECT_GT(remote.transfer_ms, 0.0);
+  // GPU compute is much faster even if transfers cost something.
+  EXPECT_LT(remote.compute_ms, local.compute_ms);
+}
+
+TEST(FixedSingle, CalibrationRegime) {
+  // Calibration sanity (DESIGN.md §2): fixed MobileNetV3 on the Pi cannot
+  // meet a 140 ms SLO; ResNeXt101 cannot meet it even on the GPU.
+  const auto net = augmented(400, 5);
+  EXPECT_GT(fixed_single_device_latency(supernet::mobilenet_v3_large(), net, 0)
+                .latency_ms,
+            140.0);
+  EXPECT_GT(fixed_single_device_latency(supernet::resnext101_32x8d(), net, 1)
+                .latency_ms,
+            140.0);
+  // ResNet50 offloaded to the GPU under a fat pipe does meet it.
+  EXPECT_LT(fixed_single_device_latency(supernet::resnet50(), net, 1).latency_ms,
+            140.0);
+}
+
+}  // namespace
+}  // namespace murmur::baselines

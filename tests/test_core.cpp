@@ -1,0 +1,351 @@
+// Tests for the Murmuration core: environment schema (encode/decode
+// round-trip properties), constraint normalization, rewards, relabelling,
+// decision engine, evolutionary search and the strategy cache.
+#include <gtest/gtest.h>
+
+#include "core/decision.h"
+#include "core/murmuration_env.h"
+#include "core/strategy_cache.h"
+#include "core/training.h"
+#include "netsim/scenario.h"
+
+namespace murmur::core {
+namespace {
+
+using rl::ConstraintPoint;
+using rl::Head;
+using supernet::SubnetConfig;
+
+MurmurationEnv make_aug_env(SloType t = SloType::kLatency) {
+  return MurmurationEnv(netsim::make_augmented_computing(), t);
+}
+
+MurmurationEnv make_swarm_env(SloType t = SloType::kLatency) {
+  return MurmurationEnv(netsim::make_device_swarm(), t);
+}
+
+TEST(Env, ConstraintDims) {
+  EXPECT_EQ(make_aug_env().constraint_dims(), 3);   // slo + bw1 + delay1
+  EXPECT_EQ(make_swarm_env().constraint_dims(), 9); // slo + 4*(bw,delay)
+}
+
+TEST(Env, SchemaWalksToCompletion) {
+  const auto env = make_aug_env();
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto actions = env.complete_randomly({}, rng);
+    EXPECT_TRUE(env.done(actions));
+    EXPECT_GE(static_cast<int>(actions.size()), 1 + 5 + 10 * 4);
+    EXPECT_LE(static_cast<int>(actions.size()), env.max_episode_len());
+  }
+}
+
+TEST(Env, FirstStepsAreResolutionThenDepth) {
+  const auto env = make_aug_env();
+  EXPECT_EQ(env.next_step({}).head, Head::kResolution);
+  EXPECT_EQ(env.next_step({}).num_options, 5);
+  const std::vector<int> one = {0};
+  EXPECT_EQ(env.next_step(one).head, Head::kDepth);
+  const std::vector<int> six = {0, 0, 0, 0, 0, 0};
+  EXPECT_EQ(env.next_step(six).head, Head::kKernel);
+}
+
+TEST(Env, DeviceStepsFollowGridChoice) {
+  const auto env = make_aug_env();
+  // resolution + 5 depths (all min=2 blocks) + block0: kernel, quant,
+  // grid=2x2 (index 3) -> expect 4 device decisions.
+  std::vector<int> a = {0, 0, 0, 0, 0, 0, 0, 0, 3};
+  for (int t = 0; t < 4; ++t) {
+    const auto spec = env.next_step(a);
+    EXPECT_EQ(spec.head, Head::kDevice) << t;
+    EXPECT_EQ(spec.num_options, 2);
+    a.push_back(1);
+  }
+  EXPECT_EQ(env.next_step(a).head, Head::kKernel);  // next block
+}
+
+/// Property: encode(decode(x)) reproduces the action sequence.
+TEST(Env, EncodeDecodeRoundTrip) {
+  const auto env = make_swarm_env();
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const auto actions = env.complete_randomly({}, rng);
+    const auto strategy = env.decode(actions);
+    EXPECT_TRUE(strategy.config.valid());
+    EXPECT_TRUE(strategy.plan.valid(strategy.config, env.num_devices()));
+    EXPECT_EQ(env.encode(strategy), actions);
+  }
+}
+
+TEST(Env, FeaturesHaveDeclaredDim) {
+  const auto env = make_swarm_env();
+  Rng rng(4);
+  const auto c = env.sample_constraint(rng, 9);
+  std::vector<int> actions;
+  while (!env.done(actions)) {
+    const auto f = env.features(c, actions);
+    ASSERT_EQ(f.size(), env.feature_dim());
+    for (double v : f) {
+      ASSERT_GE(v, -1.0);
+      ASSERT_LE(v, 1.5);
+    }
+    actions.push_back(0);
+  }
+}
+
+TEST(Env, CurriculumPinsInactiveDims) {
+  const auto env = make_swarm_env();
+  Rng rng(5);
+  const auto c = env.sample_constraint(rng, 2);
+  for (std::size_t d = 2; d < c.coords.size(); ++d)
+    EXPECT_DOUBLE_EQ(c.coords[d], 1.0);
+}
+
+TEST(Env, ConstraintRoundTrip) {
+  const auto env = make_aug_env();
+  netsim::NetworkConditions cond;
+  cond.bandwidth_mbps = {1000.0, 100.0};
+  cond.delay_ms = {0.05, 30.0};
+  const auto c = env.make_constraint(250.0, cond);
+  EXPECT_NEAR(env.slo_value(c), 250.0, 1.0);
+  const auto back = env.conditions(c);
+  EXPECT_NEAR(back.bandwidth_mbps[1], 100.0, 1.0);
+  EXPECT_NEAR(back.delay_ms[1], 30.0, 0.5);
+}
+
+TEST(Env, TightnessOrientation) {
+  const auto env = make_aug_env();
+  netsim::NetworkConditions good, bad;
+  good.bandwidth_mbps = {1000.0, 400.0};
+  good.delay_ms = {0.05, 5.0};
+  bad.bandwidth_mbps = {1000.0, 10.0};
+  bad.delay_ms = {0.05, 90.0};
+  const auto cg = env.make_constraint(300.0, good);
+  const auto cb = env.make_constraint(100.0, bad);
+  // Good conditions + loose SLO must dominate (be >=) in every coord.
+  for (std::size_t d = 0; d < cg.coords.size(); ++d)
+    EXPECT_GT(cg.coords[d], cb.coords[d]);
+}
+
+TEST(Env, EvaluateLatencyRespondsToConditions) {
+  const auto env = make_aug_env();
+  const MurmurationEnv::Strategy offload{
+      SubnetConfig::max_config(), [] {
+        partition::PlacementPlan p;
+        p.stem_device = 1;
+        p.head_device = 1;
+        for (auto& row : p.device) row.fill(1);
+        return p;
+      }()};
+  netsim::NetworkConditions fast, slow;
+  fast.bandwidth_mbps = {1000.0, 400.0};
+  fast.delay_ms = {0.05, 5.0};
+  slow.bandwidth_mbps = {1000.0, 10.0};
+  slow.delay_ms = {0.05, 90.0};
+  const auto of = env.evaluate_strategy(env.make_constraint(200, fast), offload);
+  const auto os = env.evaluate_strategy(env.make_constraint(200, slow), offload);
+  EXPECT_LT(of.latency_ms, os.latency_ms);
+  EXPECT_DOUBLE_EQ(of.accuracy, os.accuracy);  // accuracy is config-only
+}
+
+TEST(Env, RewardEquation2) {
+  const auto env = make_aug_env();
+  ConstraintPoint c;
+  c.coords = {0.5, 1.0, 1.0};
+  rl::Outcome ok{78.0, env.slo_value(c) - 1.0};
+  rl::Outcome miss{78.0, env.slo_value(c) + 1.0};
+  EXPECT_NEAR(env.reward(c, ok), 2.5 * 0.78 - 0.4, 1e-9);
+  EXPECT_DOUBLE_EQ(env.reward(c, miss), 0.0);
+  EXPECT_TRUE(env.satisfies(c, ok));
+  EXPECT_FALSE(env.satisfies(c, miss));
+}
+
+TEST(Env, RewardEquation3PrefersLowerLatency) {
+  const auto env = make_aug_env(SloType::kAccuracy);
+  ConstraintPoint c;
+  c.coords.assign(3, 0.5);
+  const double slo = env.slo_value(c);
+  rl::Outcome fast{slo + 1.0, 50.0};
+  rl::Outcome slow{slo + 1.0, 400.0};
+  rl::Outcome miss{slo - 1.0, 10.0};
+  EXPECT_GT(env.reward(c, fast), env.reward(c, slow));
+  EXPECT_GT(env.reward(c, slow), 0.0);
+  EXPECT_DOUBLE_EQ(env.reward(c, miss), 0.0);
+}
+
+TEST(Env, RelabelProducesSatisfiedTightPoint) {
+  const auto env = make_aug_env();
+  Rng rng(6);
+  int in_range = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto c = env.sample_constraint(rng, 3);
+    const auto actions = env.complete_randomly({}, rng);
+    const auto o = env.evaluate(c, actions);
+    const auto tight = env.relabel(c, o);
+    // Relabel contract: the tight point satisfies the outcome whenever the
+    // outcome is representable in the constraint range (outcomes beyond
+    // slo_max clamp and are filtered by the reward check downstream).
+    if (o.latency_ms <= env.options().slo_max) {
+      EXPECT_TRUE(env.satisfies(tight, o));
+      ++in_range;
+    }
+    // Condition dims unchanged either way.
+    for (std::size_t d = 1; d < c.coords.size(); ++d)
+      EXPECT_DOUBLE_EQ(tight.coords[d], c.coords[d]);
+  }
+  EXPECT_GT(in_range, 0);
+}
+
+TEST(Env, BootstrapEpisodesAreValid) {
+  const auto env = make_aug_env();
+  const auto boots = env.bootstrap_episodes();
+  ASSERT_EQ(boots.size(), 2u);
+  for (const auto& ep : boots) {
+    EXPECT_TRUE(env.done(ep.actions));
+    EXPECT_GT(ep.reward, 0.0);
+    EXPECT_TRUE(env.satisfies(ep.constraint, ep.outcome));
+  }
+  // First bootstrap = max config (higher accuracy), second = min config.
+  EXPECT_GT(boots[0].outcome.accuracy, boots[1].outcome.accuracy);
+  EXPECT_GT(boots[0].outcome.latency_ms, boots[1].outcome.latency_ms);
+}
+
+TEST(Env, AccuracyPredictorHookUsed) {
+  auto env = make_aug_env();
+  const double analytic = env.accuracy_of(SubnetConfig::max_config());
+  supernet::AccuracyPredictor pred(3);
+  supernet::AccuracyPredictor::TrainOptions topts;
+  topts.samples = 400;
+  topts.epochs = 10;
+  pred.train(topts);
+  env.set_accuracy_predictor(&pred);
+  const double predicted = env.accuracy_of(SubnetConfig::max_config());
+  EXPECT_NE(analytic, predicted);
+  EXPECT_NEAR(analytic, predicted, 3.0);
+  env.set_accuracy_predictor(nullptr);
+  EXPECT_DOUBLE_EQ(env.accuracy_of(SubnetConfig::max_config()), analytic);
+}
+
+TEST(Env, ReferenceLatencyMatchesAllLocalMax) {
+  const auto env = make_aug_env();
+  const auto o = env.evaluate_strategy(
+      ConstraintPoint{{1.0, 1.0, 1.0}},
+      {SubnetConfig::max_config(), partition::PlacementPlan::all_local()});
+  EXPECT_NEAR(env.reference_latency_ms(), o.latency_ms, 1e-6);
+  // The calibrated regime: max submodel locally takes ~0.3-1 s on the Pi.
+  EXPECT_GT(env.reference_latency_ms(), 250.0);
+  EXPECT_LT(env.reference_latency_ms(), 1200.0);
+}
+
+// ------------------------------------------------------------ decision ----
+
+TEST(DecisionEngine, ProducesValidStrategy) {
+  const auto env = make_aug_env();
+  rl::PolicyOptions popts;
+  popts.hidden = 16;
+  rl::PolicyNetwork policy(env.feature_dim(),
+                           {5, 3, 3, 3, 4, 2}, popts);
+  DecisionEngine engine(env, policy);
+  Rng rng(7);
+  const auto d = engine.decide(env.sample_constraint(rng, 3), rng);
+  EXPECT_TRUE(d.strategy.config.valid());
+  EXPECT_TRUE(d.strategy.plan.valid(d.strategy.config, 2));
+  EXPECT_GT(d.predicted.latency_ms, 0.0);
+}
+
+TEST(DecisionEngine, ReplayBeatsBadPolicy) {
+  const auto env = make_aug_env();
+  rl::PolicyOptions popts;
+  popts.hidden = 16;
+  rl::PolicyNetwork policy(env.feature_dim(), {5, 3, 3, 3, 4, 2}, popts);
+  // Seed a replay tree with the min-config all-local strategy (satisfies
+  // almost any SLO).
+  rl::BucketedReplayTree replay(env.constraint_dims(), env.grid_points());
+  const auto boots = env.bootstrap_episodes();
+  for (const auto& ep : boots) {
+    rl::ReplayEntry e;
+    e.actions = ep.actions;
+    e.outcome = ep.outcome;
+    e.reward = ep.reward;
+    e.tight = ep.constraint;
+    replay.insert(std::move(e));
+  }
+  DecisionEngine with(env, policy, &replay);
+  DecisionEngine without(env, policy);
+  Rng rng(8);
+  // Tight-ish SLO, relaxed conditions.
+  ConstraintPoint c;
+  c.coords = {0.3, 1.0, 1.0};
+  EXPECT_GE(with.decide(c, rng).reward, without.decide(c, rng).reward);
+}
+
+TEST(EvolutionarySearch, FindsSatisfyingStrategy) {
+  const auto env = make_aug_env();
+  EvolutionarySearch::Options opts;
+  opts.population = 24;
+  opts.generations = 8;
+  EvolutionarySearch evo(env, opts);
+  // Generous SLO with good network: must find a satisfying strategy.
+  ConstraintPoint c;
+  c.coords = {0.9, 0.9, 0.9};
+  const auto d = evo.search(c);
+  EXPECT_TRUE(d.satisfied);
+  EXPECT_GT(d.reward, 0.0);
+}
+
+// ------------------------------------------------------ strategy cache ----
+
+TEST(StrategyCache, HitAfterPut) {
+  const auto env = make_aug_env();
+  StrategyCache cache(env, 4);
+  ConstraintPoint c;
+  c.coords = {0.5, 0.5, 0.5};
+  EXPECT_FALSE(cache.get(c).has_value());
+  Decision d;
+  d.reward = 1.23;
+  cache.put(c, d);
+  const auto hit = cache.get(c);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->reward, 1.23);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(StrategyCache, NearbyPointsShareBucket) {
+  const auto env = make_aug_env();
+  StrategyCache cache(env);
+  ConstraintPoint a, b;
+  a.coords = {0.50, 0.50, 0.50};
+  b.coords = {0.52, 0.51, 0.53};  // same grid bucket at 10 points
+  cache.put(a, Decision{});
+  EXPECT_TRUE(cache.get(b).has_value());
+}
+
+TEST(StrategyCache, LruEviction) {
+  const auto env = make_aug_env();
+  StrategyCache cache(env, 2);
+  ConstraintPoint c1{{0.1, 0.1, 0.1}}, c2{{0.5, 0.5, 0.5}}, c3{{0.9, 0.9, 0.9}};
+  cache.put(c1, Decision{});
+  cache.put(c2, Decision{});
+  EXPECT_TRUE(cache.get(c1).has_value());  // refresh c1
+  cache.put(c3, Decision{});               // evicts c2
+  EXPECT_TRUE(cache.get(c1).has_value());
+  EXPECT_FALSE(cache.get(c2).has_value());
+  EXPECT_TRUE(cache.get(c3).has_value());
+}
+
+// ------------------------------------------------------------ training ----
+
+TEST(Training, EnvFactoryAndNames) {
+  TrainSetup setup;
+  setup.scenario = netsim::Scenario::kDeviceSwarm;
+  const auto env = make_env(setup);
+  EXPECT_EQ(env->num_devices(), 5u);
+  EXPECT_STREQ(algo_name(Algo::kSupreme), "supreme");
+  EXPECT_STREQ(algo_name(Algo::kGcsl), "gcsl");
+  EXPECT_STREQ(algo_name(Algo::kPpo), "ppo");
+  EXPECT_GT(default_train_steps(), 0);
+}
+
+}  // namespace
+}  // namespace murmur::core

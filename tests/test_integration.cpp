@@ -1,0 +1,165 @@
+// Cross-module integration tests: short SUPREME training on the real
+// Murmuration environment, decision quality against baselines, checkpoint
+// round-trips, and end-to-end adaptation under changing network conditions.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "baselines/fixed_single.h"
+#include "baselines/neurosurgeon.h"
+#include "core/training.h"
+#include "netsim/scenario.h"
+#include "rl/rollout.h"
+#include "runtime/system.h"
+
+namespace murmur {
+namespace {
+
+using core::Algo;
+using core::MurmurationEnv;
+using core::SloType;
+using core::TrainSetup;
+
+TrainSetup quick_setup(Algo algo, int steps) {
+  TrainSetup s;
+  s.scenario = netsim::Scenario::kAugmentedComputing;
+  s.slo_type = SloType::kLatency;
+  s.algo = algo;
+  s.trainer.total_steps = steps;
+  s.trainer.eval_every = steps;
+  s.trainer.eval_points = 32;
+  s.trainer.batch_size = 8;
+  s.trainer.seed = 5;
+  s.policy.hidden = 24;
+  return s;
+}
+
+TEST(Integration, SupremeImprovesComplianceOnRealEnv) {
+  const auto art = core::train(quick_setup(Algo::kSupreme, 500));
+  ASSERT_GE(art.curve.size(), 2u);
+  const auto& first = art.curve.front();
+  const auto& last = art.curve.back();
+  EXPECT_GT(last.avg_reward, first.avg_reward);
+  EXPECT_GT(last.compliance, 0.5)
+      << "SUPREME should satisfy most validation SLOs after 500 steps";
+  ASSERT_NE(art.replay, nullptr);
+  EXPECT_GT(art.replay->num_entries(), 10u);
+}
+
+TEST(Integration, SupremeBeatsPpoAtEqualBudget) {
+  const auto supreme = core::train(quick_setup(Algo::kSupreme, 400));
+  const auto ppo = core::train(quick_setup(Algo::kPpo, 400));
+  EXPECT_GT(supreme.curve.back().compliance, ppo.curve.back().compliance);
+}
+
+TEST(Integration, TrainedDecisionsSatisfyRelaxedSlos) {
+  const auto art = core::train(quick_setup(Algo::kSupreme, 500));
+  core::DecisionEngine engine(*art.env, *art.policy, art.replay.get());
+  Rng rng(6);
+  int satisfied = 0, total = 0;
+  for (const auto& c : art.env->validation_points(40)) {
+    // Only score points in the relaxed half of the constraint space.
+    if (c.coords[0] < 0.4) continue;
+    const auto d = engine.decide(c, rng);
+    satisfied += d.satisfied ? 1 : 0;
+    ++total;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(satisfied) / total, 0.7);
+}
+
+TEST(Integration, CheckpointRoundTrip) {
+  const std::string dir = "itest_ckpt_cache";
+  std::filesystem::remove_all(dir);
+  auto setup = quick_setup(Algo::kSupreme, 120);
+  const auto fresh = core::train_or_load(setup, dir);
+  ASSERT_TRUE(std::filesystem::exists(dir));
+  const auto loaded = core::train_or_load(setup, dir);
+  // Same curve restored from disk.
+  ASSERT_EQ(loaded.curve.size(), fresh.curve.size());
+  EXPECT_DOUBLE_EQ(loaded.curve.back().avg_reward,
+                   fresh.curve.back().avg_reward);
+  // Same greedy decisions.
+  Rng r1(7), r2(7);
+  const auto c = fresh.env->validation_points(1).front();
+  const auto e1 = rl::rollout(*fresh.env, *fresh.policy, c, r1, {.greedy = true});
+  const auto e2 = rl::rollout(*loaded.env, *loaded.policy, c, r2, {.greedy = true});
+  EXPECT_EQ(e1.actions, e2.actions);
+  if (fresh.replay)
+    EXPECT_EQ(loaded.replay->num_entries(), fresh.replay->num_entries());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Integration, MurmurationCoversTighterSlosThanFixedBaselines) {
+  // The headline behaviour behind Fig 16a: under a tight latency SLO and a
+  // poor network, fixed-model baselines fail while Murmuration adapts.
+  const auto art = core::train(quick_setup(Algo::kSupreme, 500));
+  auto net = netsim::make_augmented_computing();
+  netsim::shape_remotes(net, Bandwidth::from_mbps(50),
+                        Delay::from_ms(100));
+  const double slo_ms = 140.0;
+
+  const auto ns_best =
+      baselines::Neurosurgeon(supernet::resnet50(), net).best_split();
+  const auto mb_local =
+      baselines::fixed_single_device_latency(supernet::mobilenet_v3_large(),
+                                             net, 0);
+  EXPECT_GT(ns_best.latency_ms, slo_ms);
+  EXPECT_GT(mb_local.latency_ms, slo_ms);
+
+  core::DecisionEngine engine(*art.env, *art.policy, art.replay.get());
+  Rng rng(8);
+  const auto c = art.env->make_constraint(slo_ms, net.conditions());
+  const auto d = engine.decide(c, rng);
+  EXPECT_TRUE(d.satisfied)
+      << "Murmuration should adapt to a small submodel and meet 140 ms";
+}
+
+TEST(Integration, SystemAdaptsToNetworkDegradation) {
+  auto art = core::train(quick_setup(Algo::kSupreme, 400));
+  runtime::SystemOptions opts;
+  opts.slo = core::Slo::latency_ms(250.0);
+  opts.exec_width_mult = 0.1;
+  opts.classes = 10;
+  opts.use_predictor = false;
+  runtime::MurmurationSystem system(std::move(art), opts);
+
+  Rng rng(9);
+  Tensor img = Tensor::randn({1, 3, 224, 224}, rng, 0.0f, 0.5f);
+
+  // Several requests per regime so the monitor's EWMA converges to the new
+  // conditions before we inspect the decision.
+  netsim::shape_remotes(system.network(), Bandwidth::from_mbps(400),
+                        Delay::from_ms(5));
+  runtime::InferenceResult good;
+  for (int i = 0; i < 5; ++i) good = system.infer(img);
+  netsim::shape_remotes(system.network(), Bandwidth::from_mbps(8),
+                        Delay::from_ms(90));
+  runtime::InferenceResult bad;
+  for (int i = 0; i < 5; ++i) bad = system.infer(img);
+
+  // Strategies must differ between the two regimes (adaptation), and the
+  // bad-network strategy should lean local / smaller.
+  EXPECT_FALSE(good.decision.strategy.config == bad.decision.strategy.config &&
+               good.decision.strategy.plan == bad.decision.strategy.plan);
+  EXPECT_LE(bad.decision.predicted.latency_ms, 250.0 * 1.5);
+}
+
+TEST(Integration, AccuracySloModeTrains) {
+  auto setup = quick_setup(Algo::kSupreme, 300);
+  setup.slo_type = SloType::kAccuracy;
+  const auto art = core::train(setup);
+  EXPECT_GT(art.curve.back().compliance, 0.3);
+  // Decisions under an accuracy SLO must meet the accuracy bound.
+  core::DecisionEngine engine(*art.env, *art.policy, art.replay.get());
+  Rng rng(10);
+  rl::ConstraintPoint c;
+  c.coords.assign(static_cast<std::size_t>(art.env->constraint_dims()), 0.8);
+  const auto d = engine.decide(c, rng);
+  if (d.satisfied)
+    EXPECT_GE(d.predicted.accuracy, art.env->slo_value(c) - 1e-9);
+}
+
+}  // namespace
+}  // namespace murmur

@@ -1,0 +1,227 @@
+// Tests for the network/device simulator: shaping, path math, monitoring,
+// prediction, scenarios and dynamics.
+#include <gtest/gtest.h>
+
+#include "netsim/monitor.h"
+#include "netsim/network.h"
+#include "netsim/predictor.h"
+#include "netsim/scenario.h"
+#include "netsim/trace.h"
+
+namespace murmur::netsim {
+namespace {
+
+TEST(Device, TypesAndThroughputs) {
+  EXPECT_LT(device_throughput(DeviceType::kRaspberryPi4).gflops,
+            device_throughput(DeviceType::kDesktopCpu).gflops);
+  EXPECT_LT(device_throughput(DeviceType::kDesktopCpu).gflops,
+            device_throughput(DeviceType::kDesktopGpu).gflops);
+  const Device d = Device::make(3, DeviceType::kRaspberryPi4);
+  EXPECT_EQ(d.id, 3);
+  EXPECT_NE(d.name.find("RaspberryPi4"), std::string::npos);
+  EXPECT_GT(device_type_feature(DeviceType::kDesktopGpu),
+            device_type_feature(DeviceType::kRaspberryPi4));
+}
+
+Network two_node() {
+  return Network({Device::make(0, DeviceType::kRaspberryPi4),
+                  Device::make(1, DeviceType::kDesktopGpu)});
+}
+
+TEST(Network, ShapingAndConditions) {
+  Network net = two_node();
+  net.shape(1, Bandwidth::from_mbps(50), Delay::from_ms(10));
+  EXPECT_DOUBLE_EQ(net.link(1).bandwidth.mbps, 50.0);
+  EXPECT_DOUBLE_EQ(net.link(1).delay.ms, 10.0);
+  const auto cond = net.conditions();
+  EXPECT_EQ(cond.num_devices(), 2u);
+  EXPECT_DOUBLE_EQ(cond.bandwidth_mbps[1], 50.0);
+  Network net2 = two_node();
+  net2.apply(cond);
+  EXPECT_DOUBLE_EQ(net2.link(1).bandwidth.mbps, 50.0);
+}
+
+TEST(Network, TransferMath) {
+  Network net = two_node();
+  net.shape(0, Bandwidth::from_gbps(1), Delay::from_ms(1));
+  net.shape(1, Bandwidth::from_mbps(100), Delay::from_ms(10));
+  // Path delay = both access delays; bottleneck = 100 Mbps.
+  EXPECT_DOUBLE_EQ(net.path_delay_ms(0, 1), 11.0);
+  EXPECT_DOUBLE_EQ(net.path_bandwidth(0, 1).mbps, 100.0);
+  // 1 MB at 100 Mbps = 80 ms + 11 ms delay.
+  EXPECT_NEAR(net.transfer_ms(0, 1, 1e6), 91.0, 1e-9);
+  EXPECT_EQ(net.transfer_ms(1, 1, 1e9), 0.0);
+}
+
+TEST(Network, TransferMonotoneInBandwidthAndDelay) {
+  Network net = two_node();
+  net.shape(1, Bandwidth::from_mbps(10), Delay::from_ms(5));
+  const double slow = net.transfer_ms(0, 1, 1e6);
+  net.shape(1, Bandwidth::from_mbps(100), Delay::from_ms(5));
+  const double fast = net.transfer_ms(0, 1, 1e6);
+  EXPECT_LT(fast, slow);
+  net.shape(1, Bandwidth::from_mbps(100), Delay::from_ms(50));
+  EXPECT_GT(net.transfer_ms(0, 1, 1e6), fast);
+}
+
+TEST(Monitor, ProbesTrackGroundTruth) {
+  Network net = two_node();
+  net.shape(1, Bandwidth::from_mbps(200), Delay::from_ms(20));
+  NetworkMonitor mon(net, NetworkMonitor::Options{.seed = 1});
+  for (int i = 0; i < 50; ++i) mon.probe_all(i * 10.0);
+  EXPECT_NEAR(mon.bandwidth_estimate(1), 200.0, 20.0);
+  EXPECT_NEAR(mon.delay_estimate(1), 20.0, 3.0);
+  EXPECT_EQ(mon.history(1).size(), 50u);
+}
+
+TEST(Monitor, HistoryBounded) {
+  Network net = two_node();
+  NetworkMonitor::Options opts;
+  opts.history = 8;
+  NetworkMonitor mon(net, opts);
+  for (int i = 0; i < 100; ++i) mon.probe(1, i);
+  EXPECT_EQ(mon.history(1).size(), 8u);
+}
+
+TEST(Monitor, UnprobedFallsBackToGroundTruth) {
+  Network net = two_node();
+  net.shape(1, Bandwidth::from_mbps(123), Delay::from_ms(7));
+  NetworkMonitor mon(net);
+  EXPECT_DOUBLE_EQ(mon.bandwidth_estimate(1), 123.0);
+  const auto est = mon.estimate();
+  EXPECT_DOUBLE_EQ(est.bandwidth_mbps[1], 123.0);
+  EXPECT_DOUBLE_EQ(est.delay_ms[1], 7.0);
+}
+
+TEST(Monitor, PassiveObservationUpdatesBandwidth) {
+  Network net = two_node();
+  net.shape(1, Bandwidth::from_mbps(100), Delay::from_ms(0));
+  NetworkMonitor mon(net, NetworkMonitor::Options{.ewma_alpha = 1.0, .seed = 2});
+  // 1 MB moved in 80 ms (no delay) => 100 Mbps.
+  mon.observe_transfer(1, 1e6, 80.0, 0.0);
+  EXPECT_NEAR(mon.bandwidth_estimate(1), 100.0, 5.0);
+}
+
+TEST(Predictor, ExtrapolatesLinearTrend) {
+  Network net = two_node();
+  NetworkMonitor mon(net,
+                     NetworkMonitor::Options{.bandwidth_noise = 0.0,
+                                             .delay_noise = 0.0,
+                                             .seed = 3});
+  // Bandwidth ramps 100 -> 190 Mbps over 10 samples.
+  for (int i = 0; i < 10; ++i) {
+    net.shape(1, Bandwidth::from_mbps(100.0 + 10.0 * i), Delay::from_ms(10));
+    mon.probe(1, i * 100.0);
+  }
+  MonitorPredictor pred(mon);
+  const auto f = pred.forecast(1, 100.0);  // one step ahead => ~200
+  EXPECT_NEAR(f.bandwidth_mbps, 200.0, 5.0);
+  EXPECT_GT(f.confidence, 0.9);
+}
+
+TEST(Predictor, ShortHistoryFallsBack) {
+  Network net = two_node();
+  net.shape(1, Bandwidth::from_mbps(42), Delay::from_ms(4));
+  NetworkMonitor mon(net);
+  MonitorPredictor pred(mon);
+  const auto f = pred.forecast(1, 1000.0);
+  EXPECT_DOUBLE_EQ(f.bandwidth_mbps, 42.0);
+  EXPECT_EQ(f.confidence, 0.0);
+}
+
+TEST(Scenario, AugmentedComputingShape) {
+  const Network net = make_augmented_computing();
+  ASSERT_EQ(net.num_devices(), 2u);
+  EXPECT_EQ(net.device(0).type, DeviceType::kRaspberryPi4);
+  EXPECT_EQ(net.device(1).type, DeviceType::kDesktopGpu);
+}
+
+TEST(Scenario, DeviceSwarmShape) {
+  const Network net = make_device_swarm();
+  ASSERT_EQ(net.num_devices(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(net.device(i).type, DeviceType::kRaspberryPi4);
+  EXPECT_EQ(make_pi_swarm(9).num_devices(), 9u);
+}
+
+TEST(Scenario, ShapeRemotesLeavesLocalUnshaped) {
+  Network net = make_device_swarm();
+  shape_remotes(net, Bandwidth::from_mbps(5), Delay::from_ms(100));
+  EXPECT_DOUBLE_EQ(net.link(1).bandwidth.mbps, 5.0);
+  EXPECT_DOUBLE_EQ(net.link(4).delay.ms, 100.0);
+  EXPECT_GT(net.link(0).bandwidth.mbps, 500.0);
+}
+
+TEST(Dynamics, StaysWithinBounds) {
+  Network net = make_device_swarm();
+  shape_remotes(net, Bandwidth::from_mbps(100), Delay::from_ms(20));
+  NetworkDynamics::Options opts;
+  opts.seed = 4;
+  NetworkDynamics dyn(opts);
+  for (int i = 0; i < 500; ++i) {
+    dyn.step(net);
+    for (std::size_t d = 1; d < net.num_devices(); ++d) {
+      EXPECT_GE(net.link(d).bandwidth.mbps, opts.min_bandwidth_mbps);
+      EXPECT_LE(net.link(d).bandwidth.mbps, opts.max_bandwidth_mbps);
+      EXPECT_GE(net.link(d).delay.ms, opts.min_delay_ms);
+      EXPECT_LE(net.link(d).delay.ms, opts.max_delay_ms);
+    }
+  }
+}
+
+TEST(Dynamics, ActuallyMoves) {
+  Network net = make_augmented_computing();
+  shape_remotes(net, Bandwidth::from_mbps(100), Delay::from_ms(20));
+  NetworkDynamics dyn;
+  dyn.step(net);
+  EXPECT_NE(net.link(1).bandwidth.mbps, 100.0);
+}
+
+
+TEST(Trace, RecordReplayAndStepInterpolation) {
+  Network net = make_augmented_computing();
+  shape_remotes(net, Bandwidth::from_mbps(100), Delay::from_ms(20));
+  NetworkDynamics::Options dopts;
+  dopts.seed = 17;
+  const auto trace =
+      ConditionTrace::record_random_walk(net, dopts, /*frames=*/20,
+                                         /*dt_ms=*/100.0);
+  ASSERT_EQ(trace.size(), 20u);
+  EXPECT_EQ(trace.num_devices(), 2u);
+  EXPECT_DOUBLE_EQ(trace.duration_ms(), 1900.0);
+  // Frame 0 is the un-evolved starting state.
+  EXPECT_DOUBLE_EQ(trace.frame(0).conditions.bandwidth_mbps[1], 100.0);
+  // Step interpolation: t=150 uses frame at t=100; before start -> frame 0.
+  EXPECT_EQ(trace.at(150.0), trace.frame(1).conditions);
+  EXPECT_EQ(trace.at(-5.0), trace.frame(0).conditions);
+  EXPECT_EQ(trace.at(1e9), trace.frame(19).conditions);
+  // Replay applies the snapshot.
+  Network replayed = make_augmented_computing();
+  trace.replay_into(replayed, 500.0);
+  EXPECT_EQ(replayed.conditions(), trace.at(500.0));
+}
+
+TEST(Trace, CsvRoundTrip) {
+  Network net = make_device_swarm();
+  NetworkDynamics::Options dopts;
+  dopts.seed = 23;
+  const auto trace = ConditionTrace::record_random_walk(net, dopts, 7, 50.0);
+  const auto back = ConditionTrace::from_csv(trace.to_csv());
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back->frame(i).t_ms, trace.frame(i).t_ms);
+    for (std::size_t d = 0; d < 5; ++d)
+      EXPECT_NEAR(back->frame(i).conditions.bandwidth_mbps[d],
+                  trace.frame(i).conditions.bandwidth_mbps[d], 1e-6);
+  }
+}
+
+TEST(Trace, RejectsGarbageCsv) {
+  EXPECT_FALSE(ConditionTrace::from_csv("").has_value());
+  EXPECT_FALSE(ConditionTrace::from_csv("nonsense").has_value());
+  EXPECT_FALSE(ConditionTrace::from_csv("t_ms,bw_0\n1,2\n").has_value());
+}
+
+}  // namespace
+}  // namespace murmur::netsim

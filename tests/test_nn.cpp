@@ -1,0 +1,223 @@
+// Unit tests for src/nn layers: conv (vs naive reference), elastic kernels,
+// linear, batchnorm, pooling, SE, activations, sequential profiling.
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/se_block.h"
+#include "nn/sequential.h"
+#include "tensor/gemm.h"
+
+namespace murmur::nn {
+namespace {
+
+/// Naive reference convolution with same-padding.
+Tensor naive_conv(const Tensor& x, const Tensor& w, int stride, int groups) {
+  const int n = x.dim(0), ic = x.dim(1), h = x.dim(2), wd = x.dim(3);
+  const int oc = w.dim(0), k = w.dim(2);
+  const int pad = k / 2;
+  const int oh = conv_out_size(h, k, stride, pad);
+  const int ow = conv_out_size(wd, k, stride, pad);
+  const int cpg = ic / groups, opg = oc / groups;
+  Tensor out({n, oc, oh, ow});
+  for (int b = 0; b < n; ++b)
+    for (int o = 0; o < oc; ++o) {
+      const int g = o / opg;
+      for (int oy = 0; oy < oh; ++oy)
+        for (int ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (int c = 0; c < cpg; ++c)
+            for (int ky = 0; ky < k; ++ky)
+              for (int kx = 0; kx < k; ++kx) {
+                const int iy = oy * stride - pad + ky;
+                const int ix = ox * stride - pad + kx;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= wd) continue;
+                acc += w.at(o, c, ky, kx) * x.at(b, g * cpg + c, iy, ix);
+              }
+          out.at(b, o, oy, ox) = acc;
+        }
+    }
+  return out;
+}
+
+struct ConvCase {
+  int in_ch, out_ch, kernel, stride, groups;
+};
+
+class ConvVsNaive : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvVsNaive, Matches) {
+  const auto p = GetParam();
+  Rng rng(41);
+  Conv2D conv(p.in_ch, p.out_ch, p.kernel, p.stride, p.groups, rng,
+              /*bias=*/false);
+  Tensor x = Tensor::randn({2, p.in_ch, 8, 8}, rng);
+  const Tensor got = conv.forward(x);
+  const Tensor want = naive_conv(x, conv.weights(), p.stride, p.groups);
+  ASSERT_EQ(got.shape(), want.shape());
+  EXPECT_TRUE(got.allclose(want, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvVsNaive,
+    ::testing::Values(ConvCase{3, 8, 3, 1, 1}, ConvCase{4, 6, 3, 2, 1},
+                      ConvCase{8, 8, 3, 1, 8},   // depthwise
+                      ConvCase{8, 8, 5, 2, 8},   // strided depthwise
+                      ConvCase{8, 4, 1, 1, 1},   // pointwise
+                      ConvCase{8, 8, 3, 1, 2},   // grouped
+                      ConvCase{6, 6, 7, 1, 6}));
+
+TEST(Conv2D, ElasticKernelIsCenterCrop) {
+  Rng rng(43);
+  Conv2D conv(4, 4, 7, 1, 4, rng, false);
+  Tensor x = Tensor::randn({1, 4, 9, 9}, rng);
+  conv.set_active_kernel(3);
+  const Tensor got = conv.forward(x);
+  // Reference: naive conv with the centre 3x3 crop of the 7x7 weights.
+  Tensor w3({4, 1, 3, 3});
+  for (int o = 0; o < 4; ++o)
+    for (int y = 0; y < 3; ++y)
+      for (int z = 0; z < 3; ++z) w3.at(o, 0, y, z) = conv.weights().at(o, 0, y + 2, z + 2);
+  EXPECT_TRUE(got.allclose(naive_conv(x, w3, 1, 4), 1e-3f));
+  EXPECT_EQ(conv.active_kernel(), 3);
+  EXPECT_EQ(conv.max_kernel(), 7);
+}
+
+TEST(Conv2D, OutShapeAndFlops) {
+  Rng rng(47);
+  Conv2D conv(3, 16, 3, 2, 1, rng);
+  const auto s = conv.out_shape({1, 3, 224, 224});
+  EXPECT_EQ(s, (std::vector<int>{1, 16, 112, 112}));
+  // 2 * Cin * k^2 per output element.
+  EXPECT_NEAR(conv.flops({1, 3, 224, 224}), 2.0 * 3 * 9 * 16 * 112 * 112, 1.0);
+  EXPECT_GT(conv.param_bytes(), 0u);
+}
+
+TEST(Linear, MatchesManual) {
+  Rng rng(51);
+  Linear lin(3, 2, rng, false);
+  Tensor x({1, 3});
+  x.at(0, 0) = 1;
+  x.at(0, 1) = 2;
+  x.at(0, 2) = 3;
+  const Tensor y = lin.forward(x);
+  const auto& w = lin.weights();
+  EXPECT_NEAR(y.at(0, 0), w.at(0, 0) + 2 * w.at(0, 1) + 3 * w.at(0, 2), 1e-5f);
+  EXPECT_NEAR(y.at(0, 1), w.at(1, 0) + 2 * w.at(1, 1) + 3 * w.at(1, 2), 1e-5f);
+}
+
+TEST(Linear, AcceptsNc11) {
+  Rng rng(52);
+  Linear lin(4, 3, rng);
+  Tensor x = Tensor::randn({2, 4, 1, 1}, rng);
+  const Tensor y = lin.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 3}));
+}
+
+TEST(Softmax, NormalizedAndOrdered) {
+  Tensor logits({1, 3});
+  logits.at(0, 0) = 1.0f;
+  logits.at(0, 1) = 2.0f;
+  logits.at(0, 2) = 3.0f;
+  const Tensor p = softmax(logits);
+  EXPECT_NEAR(p.at(0, 0) + p.at(0, 1) + p.at(0, 2), 1.0f, 1e-5f);
+  EXPECT_LT(p.at(0, 0), p.at(0, 1));
+  EXPECT_LT(p.at(0, 1), p.at(0, 2));
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  Tensor logits({1, 2});
+  logits.at(0, 0) = 1000.0f;
+  logits.at(0, 1) = 1001.0f;
+  const Tensor p = softmax(logits);
+  EXPECT_FALSE(std::isnan(p.at(0, 0)));
+  EXPECT_NEAR(p.at(0, 0) + p.at(0, 1), 1.0f, 1e-5f);
+}
+
+TEST(BatchNorm, IdentityByDefault) {
+  Rng rng(53);
+  BatchNorm bn(4);
+  Tensor x = Tensor::randn({1, 4, 3, 3}, rng);
+  EXPECT_TRUE(bn.forward(x).allclose(x, 0.0f));
+}
+
+TEST(BatchNorm, FoldsStatistics) {
+  const std::vector<float> gamma = {2.0f}, beta = {1.0f}, mean = {3.0f},
+                           var = {4.0f};
+  BatchNorm bn(1, gamma, beta, mean, var, 0.0f);
+  Tensor x = Tensor::full({1, 1, 1, 1}, 5.0f);
+  // y = gamma * (x - mean)/sqrt(var) + beta = 2*(5-3)/2+1 = 3.
+  EXPECT_NEAR(bn.forward(x).at(0, 0, 0, 0), 3.0f, 1e-5f);
+}
+
+TEST(Pooling, GlobalAvg) {
+  Tensor x({1, 2, 2, 2});
+  for (int i = 0; i < 4; ++i) x.at(0, 0, i / 2, i % 2) = static_cast<float>(i);
+  x.at(0, 1, 0, 0) = 8.0f;
+  GlobalAvgPool gap;
+  const Tensor y = gap.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 2, 1, 1}));
+  EXPECT_NEAR(y.at(0, 0, 0, 0), 1.5f, 1e-6f);
+  EXPECT_NEAR(y.at(0, 1, 0, 0), 2.0f, 1e-6f);
+}
+
+TEST(Pooling, AvgPool2x2) {
+  Tensor x({1, 1, 4, 4});
+  x.fill(2.0f);
+  AvgPool pool(2);
+  const Tensor y = pool.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 1, 2, 2}));
+  EXPECT_NEAR(y.at(0, 0, 1, 1), 2.0f, 1e-6f);
+}
+
+TEST(Activations, Values) {
+  EXPECT_EQ(apply_activation(Activation::kRelu, -1.0f), 0.0f);
+  EXPECT_EQ(apply_activation(Activation::kRelu, 2.0f), 2.0f);
+  EXPECT_NEAR(apply_activation(Activation::kHardSwish, 3.0f), 3.0f, 1e-6f);
+  EXPECT_EQ(apply_activation(Activation::kHardSwish, -3.0f), 0.0f);
+  EXPECT_NEAR(apply_activation(Activation::kHardSwish, 0.0f), 0.0f, 1e-6f);
+  EXPECT_EQ(apply_activation(Activation::kHardSigmoid, 10.0f), 1.0f);
+  EXPECT_EQ(apply_activation(Activation::kHardSigmoid, -10.0f), 0.0f);
+  EXPECT_NEAR(apply_activation(Activation::kHardSigmoid, 0.0f), 0.5f, 1e-6f);
+  EXPECT_EQ(apply_activation(Activation::kIdentity, -7.0f), -7.0f);
+}
+
+TEST(SEBlock, GatesChannelsWithinUnit) {
+  Rng rng(57);
+  SEBlock se(8, 4, rng);
+  Tensor x = Tensor::randn({1, 8, 4, 4}, rng);
+  const Tensor y = se.forward(x);
+  ASSERT_EQ(y.shape(), x.shape());
+  // Gate is in [0, 1]: |y| <= |x| elementwise.
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_LE(std::fabs(y[i]), std::fabs(x[i]) + 1e-6f);
+}
+
+TEST(Sequential, ForwardAndProfile) {
+  Rng rng(61);
+  Sequential seq;
+  seq.emplace<Conv2D>(3, 8, 3, 2, 1, rng);
+  seq.emplace<BatchNorm>(8);
+  seq.emplace<ActivationLayer>(Activation::kRelu);
+  seq.emplace<GlobalAvgPool>();
+  seq.emplace<Linear>(8, 10, rng);
+  const std::vector<int> in = {1, 3, 32, 32};
+  EXPECT_EQ(seq.out_shape(in), (std::vector<int>{1, 10}));
+  const Tensor y = seq.forward(Tensor::randn({1, 3, 32, 32}, rng));
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 10}));
+  const auto prof = seq.profile(in);
+  ASSERT_EQ(prof.size(), 5u);
+  EXPECT_GT(prof[0].flops, 0.0);
+  EXPECT_EQ(prof[3].out_elements, 8u);
+  EXPECT_EQ(prof[4].out_elements, 10u);
+  EXPECT_NEAR(seq.flops(in),
+              prof[0].flops + prof[1].flops + prof[2].flops + prof[3].flops +
+                  prof[4].flops,
+              1.0);
+}
+
+}  // namespace
+}  // namespace murmur::nn

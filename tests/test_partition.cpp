@@ -1,0 +1,255 @@
+// Tests for placement plans and the event-driven latency evaluator.
+#include <gtest/gtest.h>
+
+#include "netsim/scenario.h"
+#include "partition/plan.h"
+#include "partition/subnet_latency.h"
+#include "supernet/cost_model.h"
+
+namespace murmur::partition {
+namespace {
+
+using murmur::Bandwidth;
+using murmur::Delay;
+using supernet::CostModel;
+using supernet::SubnetConfig;
+
+TEST(Plan, AllLocalValid) {
+  const auto plan = PlacementPlan::all_local();
+  EXPECT_TRUE(plan.valid(SubnetConfig::max_config(), 1));
+  EXPECT_EQ(plan.devices_used(SubnetConfig::max_config()), 1);
+}
+
+TEST(Plan, InvalidDeviceDetected) {
+  PlacementPlan plan;
+  plan.device[0][0] = 5;
+  EXPECT_FALSE(plan.valid(SubnetConfig::max_config(), 2));
+  EXPECT_TRUE(plan.valid(SubnetConfig::max_config(), 6));
+}
+
+TEST(Plan, InactiveBlockDeviceIgnored) {
+  SubnetConfig c = SubnetConfig::max_config();
+  c.stage_depth[0] = 2;  // blocks 2,3 inactive
+  PlacementPlan plan;
+  plan.device[2][0] = 200;
+  EXPECT_TRUE(plan.valid(c, 2));
+}
+
+TEST(Plan, DevicesUsedCountsTiles) {
+  SubnetConfig c = SubnetConfig::max_config();
+  c.blocks[5].grid = PartitionGrid{2, 2};
+  PlacementPlan plan;
+  plan.device[5] = {0, 1, 2, 3};
+  EXPECT_EQ(plan.devices_used(c), 4);
+}
+
+TEST(Plan, HashChangesWithPlacement) {
+  PlacementPlan a, b;
+  b.device[3][1] = 2;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(OverlapFraction, Geometry) {
+  const TileExtent a{0, 0, 4, 4};
+  EXPECT_DOUBLE_EQ(overlap_fraction(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(overlap_fraction(a, TileExtent{2, 2, 4, 4}), 0.25);
+  EXPECT_DOUBLE_EQ(overlap_fraction(a, TileExtent{4, 4, 4, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(overlap_fraction(TileExtent{1, 1, 2, 2}, TileExtent{0, 0, 4, 4}),
+                   1.0);
+}
+
+netsim::Network shaped_augmented(double bw, double delay) {
+  netsim::Network net = netsim::make_augmented_computing();
+  netsim::shape_remotes(net, Bandwidth::from_mbps(bw), Delay::from_ms(delay));
+  return net;
+}
+
+TEST(Latency, AllLocalEqualsComputeSum) {
+  const auto net = shaped_augmented(100, 10);
+  const SubnetLatencyEvaluator eval(net);
+  const SubnetConfig c = SubnetConfig::max_config();
+  const auto r = eval.evaluate(c, PlacementPlan::all_local());
+  const double expect_ms =
+      net.device(0).throughput.compute_ms(CostModel::total_flops(c));
+  EXPECT_NEAR(r.total_ms, expect_ms, expect_ms * 0.01);
+  EXPECT_EQ(r.messages, 0);
+  EXPECT_EQ(r.bytes_moved, 0u);
+}
+
+TEST(Latency, FullOffloadChargesTransfersAndGpuCompute) {
+  const auto net = shaped_augmented(100, 10);
+  const SubnetLatencyEvaluator eval(net);
+  const SubnetConfig c = SubnetConfig::max_config();
+  PlacementPlan plan;
+  plan.stem_device = 1;
+  plan.head_device = 1;
+  for (auto& row : plan.device) row.fill(1);
+  const auto r = eval.evaluate(c, plan);
+  EXPECT_GT(r.messages, 0);
+  // Compute on the GPU is far faster than local.
+  const auto local = eval.evaluate(c, PlacementPlan::all_local());
+  EXPECT_LT(r.compute_ms, local.compute_ms);
+  // Total includes the input upload (~600 KB at 100 Mbps ≈ 48 ms) + delays.
+  EXPECT_GT(r.total_ms, 48.0);
+}
+
+TEST(Latency, OffloadWinsWithFatPipeLosesWithThin) {
+  const SubnetConfig c = SubnetConfig::max_config();
+  PlacementPlan offload;
+  offload.stem_device = 1;
+  offload.head_device = 1;
+  for (auto& row : offload.device) row.fill(1);
+
+  const auto fat = shaped_augmented(400, 5);
+  const auto thin = shaped_augmented(5, 100);
+  const SubnetLatencyEvaluator fat_eval(fat), thin_eval(thin);
+  const double local_ms =
+      fat_eval.latency_ms(c, PlacementPlan::all_local());
+  EXPECT_LT(fat_eval.latency_ms(c, offload), local_ms);
+  EXPECT_GT(thin_eval.latency_ms(c, offload), local_ms);
+}
+
+TEST(Latency, MonotoneInBandwidth) {
+  const SubnetConfig c = SubnetConfig::max_config();
+  PlacementPlan offload;
+  for (auto& row : offload.device) row.fill(1);
+  double prev = 1e18;
+  for (double bw : {10.0, 50.0, 100.0, 400.0}) {
+    const auto net = shaped_augmented(bw, 10);
+    const double ms = SubnetLatencyEvaluator(net).latency_ms(c, offload);
+    EXPECT_LT(ms, prev);
+    prev = ms;
+  }
+}
+
+TEST(Latency, MonotoneInDelay) {
+  const SubnetConfig c = SubnetConfig::max_config();
+  PlacementPlan offload;
+  for (auto& row : offload.device) row.fill(1);
+  double prev = 0;
+  for (double delay : {5.0, 25.0, 50.0, 100.0}) {
+    const auto net = shaped_augmented(100, delay);
+    const double ms = SubnetLatencyEvaluator(net).latency_ms(c, offload);
+    EXPECT_GT(ms, prev);
+    prev = ms;
+  }
+}
+
+TEST(Latency, QuantizationReducesCommTime) {
+  SubnetConfig fp32 = SubnetConfig::max_config();
+  SubnetConfig int8 = fp32;
+  for (auto& b : int8.blocks) b.quant = QuantBits::k8;
+  PlacementPlan offload;  // stem local, blocks remote -> per-block transfers
+  for (auto& row : offload.device) row.fill(1);
+  offload.head_device = 0;
+  const auto net = shaped_augmented(50, 10);
+  const SubnetLatencyEvaluator eval(net);
+  EXPECT_LT(eval.evaluate(int8, offload).comm_ms,
+            eval.evaluate(fp32, offload).comm_ms);
+}
+
+TEST(Latency, SpatialPartitionSpeedsUpSwarm) {
+  // 4-way spatial partitioning across the swarm beats single-Pi execution
+  // at high bandwidth.
+  netsim::Network net = netsim::make_device_swarm();
+  netsim::shape_remotes(net, Bandwidth::from_gbps(1), Delay::from_ms(1));
+  const SubnetLatencyEvaluator eval(net);
+  SubnetConfig c = SubnetConfig::max_config();
+  PlacementPlan plan = PlacementPlan::all_local();
+  for (int b = 0; b < supernet::kMaxBlocks; ++b) {
+    c.blocks[static_cast<std::size_t>(b)].grid = PartitionGrid{2, 2};
+    plan.device[static_cast<std::size_t>(b)] = {1, 2, 3, 4};
+  }
+  const double partitioned = eval.latency_ms(c, plan);
+  const double local =
+      eval.latency_ms(SubnetConfig::max_config(), PlacementPlan::all_local());
+  EXPECT_LT(partitioned, local);
+  EXPECT_GT(partitioned, local / 4.0);  // FDSP overhead + comm
+}
+
+TEST(Latency, SameDeviceTilesSerialize) {
+  // Putting all 4 tiles on one remote device must not be faster than
+  // putting the whole block there unpartitioned (padding overhead).
+  netsim::Network net = shaped_augmented(1000, 1);
+  const SubnetLatencyEvaluator eval(net);
+  SubnetConfig part = SubnetConfig::max_config();
+  part.blocks[8].grid = PartitionGrid{2, 2};
+  PlacementPlan plan_part = PlacementPlan::all_local();
+  plan_part.device[8] = {1, 1, 1, 1};
+  SubnetConfig whole = SubnetConfig::max_config();
+  PlacementPlan plan_whole = PlacementPlan::all_local();
+  plan_whole.device[8] = {1, 1, 1, 1};
+  EXPECT_GE(eval.latency_ms(part, plan_part),
+            eval.latency_ms(whole, plan_whole) * 0.99);
+}
+
+TEST(Latency, BreakdownConsistent) {
+  const auto net = shaped_augmented(100, 10);
+  PlacementPlan offload;
+  for (auto& row : offload.device) row.fill(1);
+  const auto r = SubnetLatencyEvaluator(net).evaluate(
+      SubnetConfig::max_config(), offload);
+  EXPECT_GT(r.total_ms, 0.0);
+  EXPECT_GT(r.compute_ms, 0.0);
+  EXPECT_GT(r.comm_ms, 0.0);
+  EXPECT_GE(r.bytes_moved, 1000u);
+  EXPECT_GE(r.critical_comm_ms, 0.0);
+  EXPECT_LE(r.critical_comm_ms, r.comm_ms + 1e-9);
+}
+
+
+TEST(Timeline, EvaluatorFillsEventsConsistently) {
+  const auto net = shaped_augmented(100, 10);
+  const SubnetLatencyEvaluator eval(net);
+  SubnetConfig c = SubnetConfig::max_config();
+  PlacementPlan plan;
+  for (auto& row : plan.device) row.fill(1);
+  Timeline tl;
+  const auto r = eval.evaluate(c, plan, &tl);
+  ASSERT_GT(tl.size(), 0u);
+  // Makespan (minus the final logits return leg) is bounded by the total.
+  EXPECT_LE(tl.makespan_ms(), r.total_ms + 1e-6);
+  // Every event is well-formed.
+  for (const auto& e : tl.events()) {
+    EXPECT_LE(e.start_ms, e.end_ms);
+    EXPECT_GE(e.start_ms, 0.0);
+    EXPECT_GE(e.device, 0);
+    EXPECT_LT(e.device, 2);
+    EXPECT_FALSE(e.label.empty());
+  }
+  // Compute events on one device never overlap (serialized execution).
+  std::vector<std::pair<double, double>> intervals;
+  for (const auto& e : tl.events())
+    if (e.kind == TimelineEvent::Kind::kCompute && e.device == 1)
+      intervals.emplace_back(e.start_ms, e.end_ms);
+  std::sort(intervals.begin(), intervals.end());
+  for (std::size_t i = 1; i < intervals.size(); ++i)
+    EXPECT_GE(intervals[i].first, intervals[i - 1].second - 1e-9);
+}
+
+TEST(Timeline, BusyTimeMatchesComputeBreakdown) {
+  const auto net = shaped_augmented(200, 5);
+  const SubnetLatencyEvaluator eval(net);
+  const SubnetConfig c = SubnetConfig::max_config();
+  Timeline tl;
+  const auto r = eval.evaluate(c, PlacementPlan::all_local(), &tl);
+  EXPECT_NEAR(tl.device_busy_ms(0), r.compute_ms, 1e-6);
+  EXPECT_NEAR(tl.device_utilization(0), 1.0, 1e-6);  // no comm gaps
+  EXPECT_DOUBLE_EQ(tl.device_busy_ms(1), 0.0);
+}
+
+TEST(Timeline, RenderShowsLanes) {
+  Timeline tl;
+  tl.add_compute(0, 0.0, 5.0, "a");
+  tl.add_transfer(0, 1, 5.0, 8.0, "x");
+  tl.add_compute(1, 8.0, 10.0, "b");
+  const std::string out = tl.render(2, 40);
+  EXPECT_NE(out.find("dev0"), std::string::npos);
+  EXPECT_NE(out.find("dev1"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('~'), std::string::npos);
+  EXPECT_DOUBLE_EQ(tl.makespan_ms(), 10.0);
+}
+
+}  // namespace
+}  // namespace murmur::partition

@@ -1,0 +1,431 @@
+// Tests for the RL substrate: Adam, LSTM (numerical gradient check), the
+// policy network (gradient check + persistence), rollouts, the bucketed
+// replay tree (sharing/pruning dominance semantics) and the trainers on a
+// toy goal-conditioned environment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/gcsl.h"
+#include "rl/ppo.h"
+#include "rl/replay_tree.h"
+#include "rl/rollout.h"
+#include "rl/supreme.h"
+#include "toy_env.h"
+
+namespace murmur::rl {
+namespace {
+
+using testing::ToyEnv;
+using testing::toy_heads;
+
+// ---------------------------------------------------------------- adam ----
+
+TEST(ParamBuf, AdamMinimizesQuadratic) {
+  Rng rng(1);
+  ParamBuf p(1, rng, 1.0);
+  p.value[0] = 10.0;
+  AdamConfig cfg;
+  cfg.lr = 0.1;
+  for (long t = 1; t <= 500; ++t) {
+    p.grad[0] = 2.0 * (p.value[0] - 3.0);
+    p.adam_step(cfg, t);
+  }
+  EXPECT_NEAR(p.value[0], 3.0, 1e-3);
+}
+
+TEST(ParamBuf, GradClipScalesGlobally) {
+  Rng rng(2);
+  ParamBuf a(2, rng, 1.0), b(2, rng, 1.0);
+  a.grad = {3.0, 0.0};
+  b.grad = {0.0, 4.0};
+  // Global norm 5; clip to 1 => scale 0.2.
+  double sq = a.grad_sq() + b.grad_sq();
+  EXPECT_DOUBLE_EQ(sq, 25.0);
+  const double s = 1.0 / std::sqrt(sq);
+  a.scale_grad(s);
+  b.scale_grad(s);
+  EXPECT_NEAR(a.grad[0], 0.6, 1e-12);
+  EXPECT_NEAR(b.grad[1], 0.8, 1e-12);
+}
+
+TEST(Softmax, InPlace) {
+  std::vector<double> v = {0.0, std::log(3.0)};
+  softmax_inplace(v);
+  EXPECT_NEAR(v[0], 0.25, 1e-9);
+  EXPECT_NEAR(v[1], 0.75, 1e-9);
+}
+
+// ---------------------------------------------------------------- lstm ----
+
+TEST(Lstm, ForwardShapesAndDeterminism) {
+  Rng rng(3);
+  LstmCell cell(4, 8, rng);
+  auto s1 = cell.initial_state();
+  auto s2 = cell.initial_state();
+  std::vector<double> x = {0.1, -0.2, 0.3, 0.4};
+  cell.forward(x, s1, nullptr);
+  cell.forward(x, s2, nullptr);
+  EXPECT_EQ(s1.h, s2.h);
+  EXPECT_EQ(s1.c, s2.c);
+  EXPECT_EQ(s1.h.size(), 8u);
+}
+
+TEST(Lstm, StateEvolves) {
+  Rng rng(4);
+  LstmCell cell(2, 4, rng);
+  auto s = cell.initial_state();
+  std::vector<double> x = {1.0, -1.0};
+  cell.forward(x, s, nullptr);
+  const auto h1 = s.h;
+  cell.forward(x, s, nullptr);
+  EXPECT_NE(s.h, h1);
+}
+
+/// Numerical gradient check of the whole policy (LSTM + heads) through a
+/// 3-step cross-entropy loss.
+TEST(Policy, GradientCheck) {
+  Rng rng(5);
+  PolicyOptions popts;
+  popts.hidden = 6;
+  popts.seed = 5;
+  PolicyNetwork net(3, {2, 2, 2, 2, 2, 2}, popts);
+
+  const std::vector<std::vector<double>> feats = {
+      {0.1, 0.5, -0.3}, {0.7, -0.2, 0.0}, {-0.5, 0.4, 0.9}};
+  const std::vector<Head> heads = {Head::kResolution, Head::kKernel,
+                                   Head::kDevice};
+  const std::vector<int> actions = {1, 0, 1};
+
+  auto loss_fn = [&]() {
+    PolicyNetwork::EpisodeCache cache;
+    const auto& probs = net.forward_episode(feats, heads, cache);
+    double loss = 0.0;
+    for (std::size_t t = 0; t < probs.size(); ++t)
+      loss -= std::log(probs[t][static_cast<std::size_t>(actions[t])]);
+    return loss;
+  };
+
+  // Analytic gradients.
+  PolicyNetwork::EpisodeCache cache;
+  const auto& probs = net.forward_episode(feats, heads, cache);
+  std::vector<std::vector<double>> dlogits(probs.size());
+  for (std::size_t t = 0; t < probs.size(); ++t) {
+    dlogits[t] = probs[t];
+    dlogits[t][static_cast<std::size_t>(actions[t])] -= 1.0;
+  }
+  net.backward_episode(cache, dlogits);
+
+  // Compare against central finite differences on a sample of parameters.
+  const double eps = 1e-5;
+  int checked = 0;
+  for (ParamBuf* p : net.parameters()) {
+    for (std::size_t i = 0; i < p->size(); i += std::max<std::size_t>(1, p->size() / 5)) {
+      const double orig = p->value[i];
+      p->value[i] = orig + eps;
+      const double lp = loss_fn();
+      p->value[i] = orig - eps;
+      const double lm = loss_fn();
+      p->value[i] = orig;
+      const double numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(p->grad[i], numeric, 1e-4)
+          << "param buffer size " << p->size() << " index " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(Policy, SessionSamplingRespectsGreedy) {
+  Rng rng(6);
+  PolicyNetwork net(3, {4, 4, 4, 4, 4, 4});
+  auto session = net.session();
+  std::vector<double> f = {0.3, 0.1, -0.2};
+  const int a = session.act(f, Head::kGrid, rng, /*greedy=*/true);
+  const auto& probs = session.last_probs();
+  for (double p : probs) EXPECT_LE(p, probs[static_cast<std::size_t>(a)]);
+  EXPECT_NEAR(session.last_logprob(),
+              std::log(probs[static_cast<std::size_t>(a)]), 1e-9);
+}
+
+TEST(Policy, EpsilonOneIsUniform) {
+  Rng rng(7);
+  PolicyNetwork net(2, {3, 3, 3, 3, 3, 3});
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 3000; ++i) {
+    auto session = net.session();
+    std::vector<double> f = {0.0, 1.0};
+    ++counts[session.act(f, Head::kKernel, rng, false, 1.0)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(Policy, SerializeRoundTrip) {
+  PolicyOptions popts;
+  popts.hidden = 8;
+  popts.seed = 9;
+  PolicyNetwork a(4, toy_heads(), popts);
+  const auto bytes = a.serialize();
+  PolicyOptions popts2 = popts;
+  popts2.seed = 1000;  // different init
+  PolicyNetwork b(4, toy_heads(), popts2);
+  ASSERT_TRUE(b.deserialize(bytes));
+  // Identical behaviour after load.
+  Rng r1(1), r2(1);
+  auto s1 = a.session(), s2 = b.session();
+  std::vector<double> f = {0.2, 0.4, 0.6, 0.8};
+  EXPECT_EQ(s1.act(f, Head::kKernel, r1, true), s2.act(f, Head::kKernel, r2, true));
+  EXPECT_EQ(s1.last_probs(), s2.last_probs());
+}
+
+TEST(Policy, DeserializeRejectsMismatch) {
+  PolicyNetwork a(4, toy_heads());
+  PolicyNetwork b(5, toy_heads());
+  EXPECT_FALSE(b.deserialize(a.serialize()));
+}
+
+// ------------------------------------------------------------- rollout ----
+
+TEST(Rollout, ProducesCompleteEpisode) {
+  ToyEnv env;
+  PolicyNetwork net(env.feature_dim(), toy_heads());
+  Rng rng(10);
+  const auto c = env.sample_constraint(rng, 2);
+  const Episode ep = rollout(env, net, c, rng, {});
+  EXPECT_EQ(ep.actions.size(), static_cast<std::size_t>(ToyEnv::kSteps));
+  EXPECT_EQ(ep.logprobs.size(), ep.actions.size());
+  EXPECT_TRUE(env.done(ep.actions));
+  EXPECT_EQ(ep.satisfied, env.satisfies(c, ep.outcome));
+}
+
+TEST(Rollout, ReplayFeaturesMatchSchema) {
+  ToyEnv env;
+  const std::vector<int> actions = {0, 1, 2, 1};
+  ConstraintPoint c{{0.5, 0.5}};
+  const auto rep = replay_features(env, c, actions);
+  ASSERT_EQ(rep.features.size(), 4u);
+  EXPECT_EQ(rep.heads[0], Head::kKernel);
+  EXPECT_EQ(rep.heads[1], Head::kQuant);
+  EXPECT_EQ(rep.features[0].size(), env.feature_dim());
+}
+
+TEST(Env, CompleteRandomlyAlwaysValid) {
+  ToyEnv env;
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const auto actions = env.complete_randomly({7, -2}, rng);  // junk prefix
+    EXPECT_TRUE(env.done(actions));
+    for (int a : actions) {
+      EXPECT_GE(a, 0);
+      EXPECT_LT(a, ToyEnv::kOptions);
+    }
+  }
+}
+
+// ---------------------------------------------------------- replay tree ----
+
+ReplayEntry make_entry(std::vector<double> coords, double reward) {
+  ReplayEntry e;
+  e.tight.coords = std::move(coords);
+  e.reward = reward;
+  e.actions = {static_cast<int>(reward * 10)};
+  return e;
+}
+
+TEST(ReplayTree, KeyQuantization) {
+  BucketedReplayTree tree(2, 10);
+  EXPECT_EQ(tree.key_of(ConstraintPoint{{0.0, 0.0}}).coords,
+            (std::vector<std::int8_t>{0, 0}));
+  EXPECT_EQ(tree.key_of(ConstraintPoint{{0.95, 1.0}}).coords,
+            (std::vector<std::int8_t>{9, 9}));
+  EXPECT_EQ(tree.key_of(ConstraintPoint{{0.34, 0.36}}).coords,
+            (std::vector<std::int8_t>{3, 3}));
+}
+
+TEST(ReplayTree, TopNRewardFilter) {
+  BucketedReplayTree tree(1, 10, /*queue_size=*/2);
+  EXPECT_TRUE(tree.insert(make_entry({0.5}, 1.0)));
+  EXPECT_TRUE(tree.insert(make_entry({0.5}, 3.0)));
+  EXPECT_TRUE(tree.insert(make_entry({0.5}, 2.0)));   // evicts 1.0
+  EXPECT_FALSE(tree.insert(make_entry({0.5}, 0.5)));  // below the floor
+  EXPECT_EQ(tree.num_entries(), 2u);
+  const auto* best = tree.best_for(ConstraintPoint{{0.5}});
+  ASSERT_NE(best, nullptr);
+  EXPECT_DOUBLE_EQ(best->reward, 3.0);
+}
+
+TEST(ReplayTree, SharingFromTighterBucket) {
+  BucketedReplayTree tree(2, 10);
+  // Entry discovered under tight constraints (0.1, 0.1).
+  tree.insert(make_entry({0.1, 0.1}, 2.0));
+  // A relaxed constraint (0.8, 0.9) has an empty bucket -> shared.
+  const auto* e = tree.best_for(ConstraintPoint{{0.8, 0.9}});
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->reward, 2.0);
+  // But a *tighter* constraint must NOT receive it.
+  EXPECT_EQ(tree.best_for(ConstraintPoint{{0.0, 0.0}}), nullptr);
+}
+
+TEST(ReplayTree, SharingRequiresAllDimsDominated) {
+  BucketedReplayTree tree(2, 10);
+  tree.insert(make_entry({0.1, 0.9}, 2.0));
+  // Relaxed in dim0 but tighter in dim1 -> not usable.
+  EXPECT_EQ(tree.best_for(ConstraintPoint{{0.8, 0.1}}), nullptr);
+  EXPECT_NE(tree.best_for(ConstraintPoint{{0.8, 0.95}}), nullptr);
+}
+
+TEST(ReplayTree, SharingPicksBestReward) {
+  BucketedReplayTree tree(2, 10);
+  tree.insert(make_entry({0.1, 0.1}, 1.0));
+  tree.insert(make_entry({0.2, 0.2}, 5.0));
+  const auto* e = tree.best_for(ConstraintPoint{{0.9, 0.9}});
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->reward, 5.0);
+}
+
+TEST(ReplayTree, PruneRemovesDominatedEntries) {
+  BucketedReplayTree tree(1, 10);
+  tree.insert(make_entry({0.1}, 5.0));  // tight, strong
+  tree.insert(make_entry({0.8}, 2.0));  // relaxed, weaker -> dominated
+  tree.insert(make_entry({0.9}, 7.0));  // relaxed but stronger -> kept
+  EXPECT_EQ(tree.num_entries(), 3u);
+  const auto removed = tree.prune();
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(tree.num_entries(), 2u);
+  // The pruned bucket now resolves through sharing to the tight entry.
+  const auto* e = tree.best_for(ConstraintPoint{{0.8}});
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->reward, 5.0);
+}
+
+TEST(ReplayTree, RandomEntryAndSampleFor) {
+  BucketedReplayTree tree(1, 10);
+  Rng rng(12);
+  EXPECT_EQ(tree.random_entry(rng), nullptr);
+  tree.insert(make_entry({0.3}, 1.0));
+  tree.insert(make_entry({0.6}, 2.0));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_NE(tree.random_entry(rng), nullptr);
+    ASSERT_NE(tree.sample_for(ConstraintPoint{{0.95}}, rng), nullptr);
+  }
+  EXPECT_EQ(tree.sample_for(ConstraintPoint{{0.05}}, rng), nullptr);
+}
+
+TEST(ReplayTree, AllEntries) {
+  BucketedReplayTree tree(1, 10);
+  tree.insert(make_entry({0.3}, 1.0));
+  tree.insert(make_entry({0.6}, 2.0));
+  EXPECT_EQ(tree.all_entries().size(), 2u);
+}
+
+// ------------------------------------------------------------ trainers ----
+
+TrainerOptions fast_opts(int steps) {
+  TrainerOptions o;
+  o.total_steps = steps;
+  o.eval_every = steps;
+  o.eval_points = 32;
+  o.batch_size = 8;
+  o.seed = 21;
+  return o;
+}
+
+PolicyOptions small_policy() {
+  PolicyOptions p;
+  p.hidden = 16;
+  p.seed = 2;
+  return p;
+}
+
+TEST(Gcsl, LearnsGoalCalibration) {
+  // GCSL learns to *reach* the conditioned goal (hindsight imitation), so
+  // the signature of successful training is calibration: the achieved
+  // latency tracks the goal it is conditioned on. (It does not learn to
+  // exceed goals — that is exactly the gap SUPREME's reward-filtered
+  // buckets close, and why the paper's Fig 11/12 show GCSL << SUPREME.)
+  ToyEnv env;
+  PolicyNetwork policy(env.feature_dim(), toy_heads(), small_policy());
+
+  auto calibration_error = [&](PolicyNetwork& p) {
+    Rng rng(99);
+    double err = 0.0;
+    int n = 0;
+    for (double g : {0.3, 0.5, 0.7, 0.9}) {
+      ConstraintPoint c{{g, 1.0}};
+      const Episode ep = rollout(env, p, c, rng, {.greedy = true});
+      err += std::fabs(ep.outcome.latency_ms - env.slo_ms(c));
+      ++n;
+    }
+    return err / n;
+  };
+
+  const double before = calibration_error(policy);
+  GcslTrainer trainer(env, fast_opts(600));
+  const auto curve = trainer.train(policy);
+  ASSERT_GE(curve.size(), 2u);
+  const double after = calibration_error(policy);
+  EXPECT_LT(after, before) << "training should improve goal calibration";
+  EXPECT_LT(after, 25.0) << "achieved latency should track the goal";
+}
+
+TEST(Ppo, RunsAndReturnsCurve) {
+  ToyEnv env;
+  PolicyNetwork policy(env.feature_dim(), toy_heads(), small_policy());
+  PpoTrainer trainer(env, fast_opts(200));
+  const auto curve = trainer.train(policy);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_EQ(curve.front().step, 0);
+  EXPECT_EQ(curve.back().step, 200);
+  // Dense-ish toy rewards: PPO should make some progress.
+  EXPECT_GE(curve.back().avg_reward, curve.front().avg_reward * 0.8);
+}
+
+TEST(Supreme, LearnsToyTaskAndFillsBuffer) {
+  ToyEnv env;
+  PolicyNetwork policy(env.feature_dim(), toy_heads(), small_policy());
+  SupremeTrainer trainer(env, fast_opts(400), rl::SupremeOptions{});
+  const auto curve = trainer.train(policy);
+  EXPECT_GT(curve.back().compliance, 0.7);
+  EXPECT_GT(trainer.replay().num_entries(), 0u);
+}
+
+TEST(Supreme, AblationSwitchesStillTrain) {
+  ToyEnv env;
+  SupremeOptions sup;
+  sup.enable_share = false;
+  sup.enable_prune = false;
+  sup.enable_mutation = false;
+  PolicyNetwork policy(env.feature_dim(), toy_heads(), small_policy());
+  SupremeTrainer trainer(env, fast_opts(150), sup);
+  const auto curve = trainer.train(policy);
+  ASSERT_GE(curve.size(), 2u);
+}
+
+TEST(Supreme, BootstrapSeedsBuffer) {
+  ToyEnv env;
+  TrainerOptions opts = fast_opts(1);
+  Episode boot;
+  boot.actions = {2, 2, 2, 2};
+  boot.constraint = ConstraintPoint{{1.0, 1.0}};
+  boot.outcome = env.evaluate(boot.constraint, boot.actions);
+  boot.reward = env.reward(boot.constraint, boot.outcome);
+  opts.bootstrap.push_back(boot);
+  PolicyNetwork policy(env.feature_dim(), toy_heads(), small_policy());
+  SupremeTrainer trainer(env, opts, rl::SupremeOptions{});
+  trainer.train(policy);
+  EXPECT_GE(trainer.replay().num_entries(), 1u);
+}
+
+TEST(EvaluatePolicy, ComputesAverages) {
+  ToyEnv env;
+  PolicyNetwork policy(env.feature_dim(), toy_heads(), small_policy());
+  Rng rng(30);
+  const auto points = env.validation_points(16);
+  const auto r = evaluate_policy(env, policy, points, rng);
+  EXPECT_GE(r.avg_reward, 0.0);
+  EXPECT_GE(r.compliance, 0.0);
+  EXPECT_LE(r.compliance, 1.0);
+}
+
+}  // namespace
+}  // namespace murmur::rl

@@ -1,0 +1,385 @@
+// Tests for the elastic supernet: search space, configs, analytic cost
+// model, executable forward (incl. FDSP partitioned execution), accuracy
+// model monotonicity properties, the MLP accuracy predictor and model zoo.
+#include <gtest/gtest.h>
+
+#include "supernet/accuracy_model.h"
+#include "supernet/accuracy_predictor.h"
+#include "supernet/cost_model.h"
+#include "supernet/model_zoo.h"
+#include "supernet/supernet.h"
+
+namespace murmur::supernet {
+namespace {
+
+// -------------------------------------------------------- search space ----
+
+TEST(SearchSpace, IndexLookups) {
+  EXPECT_EQ(kernel_index(3), 0);
+  EXPECT_EQ(kernel_index(7), 2);
+  EXPECT_EQ(kernel_index(4), -1);
+  EXPECT_EQ(depth_index(2), 0);
+  EXPECT_EQ(resolution_index(224), 4);
+  EXPECT_EQ(quant_index(QuantBits::k8), 2);
+  EXPECT_EQ(grid_index(PartitionGrid{2, 2}), 3);
+  EXPECT_EQ(grid_index(PartitionGrid{3, 3}), -1);
+}
+
+TEST(SearchSpace, SizeIsAstronomical) {
+  EXPECT_GT(search_space_size(), 1e30);
+}
+
+// -------------------------------------------------------------- config ----
+
+TEST(SubnetConfig, MaxMinValid) {
+  EXPECT_TRUE(SubnetConfig::max_config().valid());
+  EXPECT_TRUE(SubnetConfig::min_config().valid());
+  EXPECT_EQ(SubnetConfig::max_config().active_blocks(), 20);
+  EXPECT_EQ(SubnetConfig::min_config().active_blocks(), 10);
+}
+
+TEST(SubnetConfig, RandomAlwaysValid) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i)
+    EXPECT_TRUE(SubnetConfig::random(rng).valid());
+}
+
+TEST(SubnetConfig, BlockActiveFollowsDepth) {
+  SubnetConfig c = SubnetConfig::max_config();
+  c.stage_depth[0] = 2;
+  EXPECT_TRUE(c.block_active(0));
+  EXPECT_TRUE(c.block_active(1));
+  EXPECT_FALSE(c.block_active(2));
+  EXPECT_FALSE(c.block_active(3));
+  EXPECT_TRUE(c.block_active(4));  // stage 1 unaffected
+}
+
+TEST(SubnetConfig, HashDistinguishes) {
+  SubnetConfig a = SubnetConfig::max_config();
+  SubnetConfig b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+  b.blocks[3].kernel = 3;
+  EXPECT_NE(a.hash(), b.hash());
+  b = a;
+  b.resolution = 160;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(SubnetConfig, ToStringMentionsSettings) {
+  const auto s = SubnetConfig::max_config().to_string();
+  EXPECT_NE(s.find("res224"), std::string::npos);
+  EXPECT_NE(s.find("k7"), std::string::npos);
+}
+
+// ---------------------------------------------------------- cost model ----
+
+TEST(CostModel, GeometryChainsCorrectly) {
+  const SubnetConfig c = SubnetConfig::max_config();
+  const auto g0 = CostModel::block_geometry(c, 0);
+  EXPECT_EQ(g0.in_channels, kStemChannels);
+  EXPECT_EQ(g0.out_channels, kStageChannels[0]);
+  EXPECT_EQ(g0.in_spatial, 112);
+  EXPECT_EQ(g0.out_spatial, 56);
+  const auto g1 = CostModel::block_geometry(c, 1);
+  EXPECT_EQ(g1.in_channels, kStageChannels[0]);
+  EXPECT_EQ(g1.stride, 1);
+  EXPECT_EQ(g1.in_spatial, 56);
+  const auto g_last = CostModel::block_geometry(c, kMaxBlocks - 1);
+  EXPECT_EQ(g_last.out_spatial, 7);
+}
+
+TEST(CostModel, InactiveBlockCostsZero) {
+  SubnetConfig c = SubnetConfig::max_config();
+  c.stage_depth[2] = 2;
+  EXPECT_EQ(CostModel::block_flops(c, 2 * kMaxBlocksPerStage + 3), 0.0);
+  EXPECT_EQ(CostModel::block_out_wire_bytes(c, 2 * kMaxBlocksPerStage + 3), 0u);
+}
+
+TEST(CostModel, TotalFlopsInExpectedRegime) {
+  const double max_f = CostModel::total_flops(SubnetConfig::max_config());
+  const double min_f = CostModel::total_flops(SubnetConfig::min_config());
+  // Max submodel in the hundreds of MFLOPs (MobileNetV3-variant supernet).
+  EXPECT_GT(max_f, 4e8);
+  EXPECT_LT(max_f, 3e9);
+  EXPECT_LT(min_f, max_f * 0.5);
+}
+
+TEST(CostModel, MonotoneInKnobs) {
+  const SubnetConfig base = SubnetConfig::max_config();
+  SubnetConfig smaller = base;
+  smaller.resolution = 160;
+  EXPECT_LT(CostModel::total_flops(smaller), CostModel::total_flops(base));
+  smaller = base;
+  smaller.blocks[5].kernel = 3;
+  EXPECT_LT(CostModel::total_flops(smaller), CostModel::total_flops(base));
+  smaller = base;
+  smaller.stage_depth[1] = 2;
+  EXPECT_LT(CostModel::total_flops(smaller), CostModel::total_flops(base));
+}
+
+TEST(CostModel, QuantizationShrinksWire) {
+  SubnetConfig c = SubnetConfig::max_config();
+  const auto fp32 = CostModel::block_out_wire_bytes(c, 0);
+  c.blocks[0].quant = QuantBits::k8;
+  const auto int8 = CostModel::block_out_wire_bytes(c, 0);
+  EXPECT_LT(int8, fp32 / 3);
+}
+
+TEST(CostModel, TileFlopsCarryFdspOverhead) {
+  SubnetConfig c = SubnetConfig::max_config();
+  c.blocks[1].grid = PartitionGrid{2, 2};
+  const double whole = CostModel::block_flops(c, 1);
+  const double tile = CostModel::block_tile_flops(c, 1);
+  EXPECT_GT(tile, whole / 4.0);        // padding overhead
+  EXPECT_LT(tile, whole / 4.0 * 1.5);  // but bounded
+}
+
+TEST(CostModel, SupernetParamBytesPlausible) {
+  const auto bytes = CostModel::supernet_param_bytes();
+  EXPECT_GT(bytes, 4u * 1024 * 1024);    // > 4 MB
+  EXPECT_LT(bytes, 256u * 1024 * 1024);  // < 256 MB
+}
+
+// ---------------------------------------------------- executable model ----
+
+SupernetOptions tiny_opts() {
+  SupernetOptions o;
+  o.width_mult = 0.1;
+  o.classes = 10;
+  o.seed = 7;
+  return o;
+}
+
+TEST(Supernet, ForwardShapesMaxConfig) {
+  Supernet net(tiny_opts());
+  net.activate(SubnetConfig::max_config());
+  Rng rng(5);
+  Tensor img = Tensor::randn({1, 3, 224, 224}, rng, 0.0f, 0.5f);
+  const Tensor logits = net.forward(img);
+  EXPECT_EQ(logits.shape(), (std::vector<int>{1, 10}));
+  for (float v : logits.data()) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(Supernet, ForwardShapesMinConfig) {
+  Supernet net(tiny_opts());
+  net.activate(SubnetConfig::min_config());
+  Rng rng(5);
+  Tensor img = Tensor::randn({1, 3, 160, 160}, rng, 0.0f, 0.5f);
+  const Tensor logits = net.forward(img);
+  EXPECT_EQ(logits.shape(), (std::vector<int>{1, 10}));
+}
+
+TEST(Supernet, ActivateIsMetadataOnly) {
+  Supernet net(tiny_opts());
+  const auto before = net.param_bytes();
+  net.activate(SubnetConfig::min_config());
+  EXPECT_EQ(net.param_bytes(), before);
+  EXPECT_EQ(net.active(), SubnetConfig::min_config());
+}
+
+TEST(Supernet, PartitionedBlockMatchesManualTiles) {
+  // Executing a block through forward() with a grid must equal manually
+  // running forward_tile per tile and merging.
+  Supernet net(tiny_opts());
+  SubnetConfig c = SubnetConfig::max_config();
+  c.blocks[1].grid = PartitionGrid{2, 2};
+  net.activate(c);
+  Rng rng(9);
+  const auto geo = CostModel::block_geometry(c, 1);
+  const int ch = net.scaled_channels(geo.in_channels);
+  Tensor x = Tensor::randn({1, ch, 16, 16}, rng, 0.0f, 0.5f);
+
+  const Tensor whole = net.forward_block(1, x);
+
+  net.prepare_block(1);
+  const auto extents = tile_extents(16, 16, PartitionGrid{2, 2});
+  std::vector<Tensor> tiles;
+  std::vector<TileExtent> out_extents;
+  for (const auto& e : extents) {
+    tiles.push_back(net.forward_block_tile(1, x.crop(e.h0, e.w0, e.h, e.w)));
+    out_extents.push_back(e);
+  }
+  const Tensor merged =
+      merge_tiles(tiles, out_extents, whole.dim(1), 16, 16);
+  EXPECT_TRUE(whole.allclose(merged, 1e-4f));
+}
+
+TEST(Supernet, FdspPerturbsButApproximates) {
+  // Partitioned execution (FDSP zero padding) differs from unpartitioned
+  // execution, but not wildly — that is the accuracy/latency dial.
+  Supernet net(tiny_opts());
+  SubnetConfig unpart = SubnetConfig::max_config();
+  SubnetConfig part = unpart;
+  part.blocks[1].grid = PartitionGrid{2, 2};
+  Rng rng(11);
+  const auto geo = CostModel::block_geometry(unpart, 1);
+  const int ch = net.scaled_channels(geo.in_channels);
+  Tensor x = Tensor::randn({1, ch, 16, 16}, rng, 0.0f, 0.5f);
+
+  net.activate(unpart);
+  const Tensor y0 = net.forward_block(1, x);
+  net.activate(part);
+  const Tensor y1 = net.forward_block(1, x);
+
+  ASSERT_EQ(y0.shape(), y1.shape());
+  EXPECT_FALSE(y0.allclose(y1, 1e-6f));  // FDSP really changes edges
+  // Relative Frobenius distance stays small.
+  double diff = 0, norm = 0;
+  for (std::size_t i = 0; i < y0.size(); ++i) {
+    diff += (y0[i] - y1[i]) * (y0[i] - y1[i]);
+    norm += y0[i] * y0[i];
+  }
+  EXPECT_LT(std::sqrt(diff / norm), 0.5);
+}
+
+TEST(Supernet, StridedBlockRefusesMisalignedGrid) {
+  Supernet net(tiny_opts());
+  SubnetConfig c = SubnetConfig::max_config();
+  c.blocks[0].grid = PartitionGrid{2, 2};  // block 0 has stride 2
+  net.activate(c);
+  Rng rng(13);
+  // 10x10 map: tiles of 5 are stride-misaligned -> must not partition.
+  const int ch = net.scaled_channels(kStemChannels);
+  Tensor bad = Tensor::randn({1, ch, 10, 10}, rng);
+  EXPECT_FALSE(net.block_can_partition(0, bad));
+  // 12x12: offsets/sizes divisible by 2 -> partitionable.
+  Tensor good = Tensor::randn({1, ch, 12, 12}, rng);
+  EXPECT_TRUE(net.block_can_partition(0, good));
+}
+
+TEST(Supernet, WeightReloadCopiesWeights) {
+  Supernet a(tiny_opts());
+  SupernetOptions other = tiny_opts();
+  other.seed = 999;
+  Supernet b(other);
+  b.simulate_weight_reload(a);
+  // After the reload both produce identical logits for the same input.
+  Rng rng(15);
+  Tensor img = Tensor::randn({1, 3, 160, 160}, rng, 0.0f, 0.5f);
+  a.activate(SubnetConfig::min_config());
+  b.activate(SubnetConfig::min_config());
+  EXPECT_TRUE(a.forward(img).allclose(b.forward(img), 1e-4f));
+}
+
+// ------------------------------------------------------ accuracy model ----
+
+TEST(AccuracyModel, CalibratedRange) {
+  EXPECT_NEAR(AccuracyModel::max_accuracy(), 78.4, 0.01);
+  EXPECT_GT(AccuracyModel::min_accuracy(), 71.0);
+  EXPECT_LT(AccuracyModel::min_accuracy(), 73.0);
+}
+
+/// Property: relaxing any single knob toward its cheaper option never
+/// increases accuracy.
+TEST(AccuracyModel, MonotoneInEveryKnob) {
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    SubnetConfig c = SubnetConfig::random(rng);
+    const double base = AccuracyModel::accuracy(c);
+
+    SubnetConfig mod = c;
+    if (resolution_index(c.resolution) > 0) {
+      mod.resolution = kResolutions[static_cast<std::size_t>(
+          resolution_index(c.resolution) - 1)];
+      EXPECT_LE(AccuracyModel::accuracy(mod), base);
+    }
+    mod = c;
+    for (int s = 0; s < kNumStages; ++s) {
+      if (c.stage_depth[static_cast<std::size_t>(s)] > kDepthOptions.front()) {
+        mod.stage_depth[static_cast<std::size_t>(s)] -= 1;
+        EXPECT_LE(AccuracyModel::accuracy(mod), base);
+        break;
+      }
+    }
+    mod = c;
+    for (int b = 0; b < kMaxBlocks; ++b) {
+      if (!c.block_active(b)) continue;
+      auto& bc = mod.blocks[static_cast<std::size_t>(b)];
+      if (kernel_index(bc.kernel) > 0) {
+        bc.kernel = kKernelOptions[static_cast<std::size_t>(
+            kernel_index(bc.kernel) - 1)];
+        EXPECT_LE(AccuracyModel::accuracy(mod), base);
+        break;
+      }
+    }
+  }
+}
+
+TEST(AccuracyModel, QuantAndPartitionPenalise) {
+  SubnetConfig c = SubnetConfig::max_config();
+  const double base = AccuracyModel::accuracy(c);
+  c.blocks[0].quant = QuantBits::k8;
+  const double q = AccuracyModel::accuracy(c);
+  EXPECT_LT(q, base);
+  c.blocks[0].grid = PartitionGrid{2, 2};
+  EXPECT_LT(AccuracyModel::accuracy(c), q);
+}
+
+// -------------------------------------------------- accuracy predictor ----
+
+TEST(AccuracyPredictor, EncodesFixedDim) {
+  const auto f = encode_config(SubnetConfig::max_config());
+  EXPECT_EQ(f.size(), config_feature_dim());
+  for (double v : f) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(AccuracyPredictor, LearnsAccuracyModel) {
+  AccuracyPredictor pred(7);
+  AccuracyPredictor::TrainOptions opts;
+  opts.samples = 1500;
+  opts.epochs = 40;
+  const double rmse = pred.train(opts);
+  EXPECT_TRUE(pred.trained());
+  EXPECT_LT(rmse, 0.35) << "held-out RMSE too high";
+  // Spot checks: ordering of max vs min configs is preserved.
+  const double pmax = pred.predict(SubnetConfig::max_config());
+  const double pmin = pred.predict(SubnetConfig::min_config());
+  EXPECT_GT(pmax, pmin);
+  EXPECT_NEAR(pmax, AccuracyModel::max_accuracy(), 1.0);
+  EXPECT_NEAR(pmin, AccuracyModel::min_accuracy(), 1.0);
+}
+
+// ----------------------------------------------------------- model zoo ----
+
+TEST(ModelZoo, FiveModelsWithPublishedAccuracies) {
+  const auto zoo = model_zoo();
+  ASSERT_EQ(zoo.size(), 5u);
+  EXPECT_DOUBLE_EQ(mobilenet_v3_large().top1_accuracy, 75.2);
+  EXPECT_DOUBLE_EQ(resnet50().top1_accuracy, 76.1);
+  EXPECT_DOUBLE_EQ(inception_v3().top1_accuracy, 77.3);
+  EXPECT_DOUBLE_EQ(densenet161().top1_accuracy, 77.1);
+  EXPECT_DOUBLE_EQ(resnext101_32x8d().top1_accuracy, 79.3);
+}
+
+TEST(ModelZoo, FlopTotalsMatchLiterature) {
+  EXPECT_NEAR(mobilenet_v3_large().total_flops() / 1e9, 0.44, 0.1);
+  EXPECT_NEAR(resnet50().total_flops() / 1e9, 8.2, 1.0);
+  EXPECT_NEAR(inception_v3().total_flops() / 1e9, 11.4, 1.5);
+  EXPECT_NEAR(densenet161().total_flops() / 1e9, 15.6, 2.0);
+  EXPECT_NEAR(resnext101_32x8d().total_flops() / 1e9, 33.0, 4.0);
+}
+
+TEST(ModelZoo, LookupByName) {
+  EXPECT_EQ(find_model("Resnet50"), &resnet50());
+  EXPECT_EQ(find_model("nope"), nullptr);
+}
+
+TEST(ModelZoo, ParamBytesOrdering) {
+  EXPECT_LT(mobilenet_v3_large().total_param_bytes(),
+            resnet50().total_param_bytes());
+  EXPECT_LT(resnet50().total_param_bytes(),
+            resnext101_32x8d().total_param_bytes());
+}
+
+TEST(ModelZoo, OutBytesAndInput) {
+  EXPECT_EQ(supernet::FixedModelProfile::input_bytes(), 3u * 224 * 224 * 4);
+  const auto& m = resnet50();
+  EXPECT_EQ(m.out_bytes(0), m.layers[0].out_elements * 4);
+  EXPECT_EQ(m.out_bytes(9999), 0u);
+}
+
+}  // namespace
+}  // namespace murmur::supernet

@@ -1,0 +1,259 @@
+// Unit + property tests for src/tensor: tensor ops, quantization, FDSP
+// tiling, im2col/GEMM.
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.h"
+#include "tensor/quantize.h"
+#include "tensor/tensor.h"
+#include "tensor/tile.h"
+
+namespace murmur {
+namespace {
+
+// -------------------------------------------------------------- tensor ----
+
+TEST(Tensor, ZerosAndShape) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.size(), 120u);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(3), 5);
+  EXPECT_EQ(t.rank(), 4u);
+  EXPECT_EQ(t.shape_str(), "[2x3x4x5]");
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, At4DLayout) {
+  Tensor t({1, 2, 3, 4});
+  t.at(0, 1, 2, 3) = 7.0f;
+  // NCHW: offset = ((0*2+1)*3+2)*4+3 = 23.
+  EXPECT_EQ(t[23], 7.0f);
+}
+
+TEST(Tensor, FullFillSumScale) {
+  Tensor t = Tensor::full({2, 2}, 3.0f);
+  EXPECT_EQ(t.sum(), 12.0f);
+  t.scale_(0.5f);
+  EXPECT_EQ(t.sum(), 6.0f);
+  t.fill(-1.0f);
+  EXPECT_EQ(t.max_abs(), 1.0f);
+}
+
+TEST(Tensor, AddElementwise) {
+  Tensor a = Tensor::full({3}, 1.0f);
+  Tensor b = Tensor::full({3}, 2.0f);
+  a.add_(b);
+  EXPECT_EQ(a.sum(), 9.0f);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(5);
+  Tensor t = Tensor::randn({10000}, rng, 1.0f, 2.0f);
+  double mean = 0;
+  for (float v : t.data()) mean += v;
+  mean /= static_cast<double>(t.size());
+  EXPECT_NEAR(mean, 1.0, 0.1);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t.at(1, 2) = 5.0f;
+  Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.at(2, 0), 5.0f);  // linear index 8
+}
+
+TEST(Tensor, CropAndPad) {
+  Tensor t({1, 1, 4, 4});
+  for (int h = 0; h < 4; ++h)
+    for (int w = 0; w < 4; ++w) t.at(0, 0, h, w) = static_cast<float>(h * 4 + w);
+  Tensor c = t.crop(1, 2, 2, 2);
+  EXPECT_EQ(c.dim(2), 2);
+  EXPECT_EQ(c.at(0, 0, 0, 0), 6.0f);
+  EXPECT_EQ(c.at(0, 0, 1, 1), 11.0f);
+  Tensor p = c.pad(1, 0, 0, 1);
+  EXPECT_EQ(p.dim(2), 3);
+  EXPECT_EQ(p.dim(3), 3);
+  EXPECT_EQ(p.at(0, 0, 0, 0), 0.0f);
+  EXPECT_EQ(p.at(0, 0, 1, 0), 6.0f);
+}
+
+TEST(Tensor, SliceChannels) {
+  Tensor t({1, 3, 2, 2});
+  t.at(0, 2, 1, 1) = 9.0f;
+  Tensor s = t.slice_channels(2, 1);
+  EXPECT_EQ(s.dim(1), 1);
+  EXPECT_EQ(s.at(0, 0, 1, 1), 9.0f);
+}
+
+TEST(Tensor, Allclose) {
+  Tensor a = Tensor::full({4}, 1.0f);
+  Tensor b = Tensor::full({4}, 1.0f + 5e-6f);
+  EXPECT_TRUE(a.allclose(b, 1e-4f));
+  EXPECT_FALSE(a.allclose(b, 1e-7f));
+  EXPECT_FALSE(a.allclose(Tensor::full({5}, 1.0f)));
+}
+
+// ------------------------------------------------------------ quantize ----
+
+class QuantizeRoundTrip : public ::testing::TestWithParam<QuantBits> {};
+
+TEST_P(QuantizeRoundTrip, ErrorWithinOneStep) {
+  Rng rng(33);
+  Tensor t = Tensor::randn({1, 4, 8, 8}, rng);
+  const QuantBits bits = GetParam();
+  const QuantizedTensor qt = quantize(t, bits);
+  const Tensor back = dequantize(qt);
+  const float step = quantization_step(t, bits);
+  ASSERT_EQ(back.shape(), t.shape());
+  for (std::size_t i = 0; i < t.size(); ++i)
+    EXPECT_LE(std::fabs(back[i] - t[i]), step * 0.5f + 1e-6f)
+        << "bits=" << bit_count(bits) << " i=" << i;
+}
+
+TEST_P(QuantizeRoundTrip, WireBytesShrinkWithBits) {
+  Tensor t = Tensor::full({1, 2, 4, 4}, 1.0f);
+  const QuantizedTensor qt = quantize(t, GetParam());
+  EXPECT_LE(qt.wire_bytes(), t.bytes() + 8);
+  if (GetParam() != QuantBits::k32)
+    EXPECT_LT(qt.wire_bytes(), t.bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, QuantizeRoundTrip,
+                         ::testing::Values(QuantBits::k32, QuantBits::k16,
+                                           QuantBits::k8, QuantBits::k4));
+
+TEST(Quantize, Fp32IsLossless) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({64}, rng);
+  EXPECT_TRUE(dequantize(quantize(t, QuantBits::k32)).allclose(t, 0.0f));
+}
+
+TEST(Quantize, ZeroTensorStaysZero) {
+  Tensor t({8});
+  const Tensor back = dequantize(quantize(t, QuantBits::k8));
+  EXPECT_EQ(back.sum(), 0.0f);
+}
+
+TEST(Quantize, WireBytesFormula) {
+  EXPECT_EQ(quantized_wire_bytes(100, QuantBits::k32), 400u);
+  EXPECT_EQ(quantized_wire_bytes(100, QuantBits::k8), 108u);
+  EXPECT_EQ(quantized_wire_bytes(100, QuantBits::k16), 208u);
+  EXPECT_EQ(quantized_wire_bytes(8, QuantBits::k4), 4u + 8u);
+}
+
+// ---------------------------------------------------------------- tile ----
+
+class TileGrids : public ::testing::TestWithParam<PartitionGrid> {};
+
+TEST_P(TileGrids, ExtentsCoverMapExactly) {
+  const PartitionGrid grid = GetParam();
+  const auto extents = tile_extents(14, 14, grid);
+  ASSERT_EQ(extents.size(), static_cast<std::size_t>(grid.tiles()));
+  int area = 0;
+  for (const auto& e : extents) {
+    EXPECT_GE(e.h, 1);
+    EXPECT_GE(e.w, 1);
+    area += e.h * e.w;
+  }
+  EXPECT_EQ(area, 14 * 14);
+}
+
+TEST_P(TileGrids, SplitMergeIdentity) {
+  Rng rng(71);
+  Tensor t = Tensor::randn({1, 3, 12, 12}, rng);
+  const PartitionGrid grid = GetParam();
+  const auto extents = tile_extents(12, 12, grid);
+  // halo = 0: split then merge must reproduce the input exactly.
+  const auto tiles = split_fdsp(t, grid, 0);
+  const Tensor merged = merge_tiles(tiles, extents, 3, 12, 12);
+  EXPECT_TRUE(merged.allclose(t, 0.0f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, TileGrids,
+                         ::testing::Values(PartitionGrid{1, 1},
+                                           PartitionGrid{1, 2},
+                                           PartitionGrid{2, 1},
+                                           PartitionGrid{2, 2},
+                                           PartitionGrid{3, 2}));
+
+TEST(Tile, FdspPaddingAddsZeros) {
+  Tensor t = Tensor::full({1, 1, 4, 4}, 1.0f);
+  const auto tiles = split_fdsp(t, PartitionGrid{2, 2}, 1);
+  ASSERT_EQ(tiles.size(), 4u);
+  for (const auto& tile : tiles) {
+    EXPECT_EQ(tile.dim(2), 4);  // 2 + 2*halo
+    EXPECT_EQ(tile.at(0, 0, 0, 0), 0.0f);   // padded corner
+    EXPECT_EQ(tile.at(0, 0, 1, 1), 1.0f);   // interior
+  }
+}
+
+TEST(Tile, RemainderGoesToLastTile) {
+  const auto extents = tile_extents(7, 7, PartitionGrid{2, 2});
+  EXPECT_EQ(extents[0].h, 3);
+  EXPECT_EQ(extents[3].h, 4);
+  EXPECT_EQ(extents[3].h0, 3);
+}
+
+TEST(Tile, HaloExchangeBytes) {
+  // 2x2 grid on 8x8x4 map, halo 1: 2 interior edges each direction.
+  const auto bytes = halo_exchange_bytes(8, 8, 4, PartitionGrid{2, 2}, 1);
+  // rows: 1*2 edges * 2 dirs * 1 halo * 4 wide * 4 ch = 64 floats; cols same.
+  EXPECT_EQ(bytes, 128u * sizeof(float));
+  EXPECT_EQ(halo_exchange_bytes(8, 8, 4, PartitionGrid{1, 1}, 1), 0u);
+}
+
+// ---------------------------------------------------------- im2col/gemm ----
+
+TEST(Gemm, MatchesNaive) {
+  Rng rng(19);
+  constexpr int m = 5, k = 7, n = 6;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  std::vector<float> c(m * n, 0.0f);
+  gemm(m, k, n, a.raw(), b.raw(), c.data());
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      float want = 0.0f;
+      for (int p = 0; p < k; ++p) want += a.at(i, p) * b.at(p, j);
+      EXPECT_NEAR(c[static_cast<std::size_t>(i) * n + j], want, 1e-4f);
+    }
+}
+
+TEST(Gemm, AccumulatesIntoC) {
+  const float a = 2.0f, b = 3.0f;
+  float c = 10.0f;
+  gemm(1, 1, 1, &a, &b, &c);
+  EXPECT_EQ(c, 16.0f);
+}
+
+TEST(Im2Col, MatchesDirectConvolution) {
+  Rng rng(23);
+  constexpr int C = 2, H = 5, W = 5, K = 3, S = 1, P = 1;
+  Tensor x = Tensor::randn({C, H, W}, rng);
+  const int oh = conv_out_size(H, K, S, P), ow = conv_out_size(W, K, S, P);
+  std::vector<float> col(static_cast<std::size_t>(C * K * K) * oh * ow);
+  im2col(x.raw(), C, H, W, K, K, S, P, col.data());
+  // Column for output (oy, ox) row (c, ky, kx) must equal padded input.
+  for (int c = 0; c < C; ++c)
+    for (int ky = 0; ky < K; ++ky)
+      for (int kx = 0; kx < K; ++kx)
+        for (int oy = 0; oy < oh; ++oy)
+          for (int ox = 0; ox < ow; ++ox) {
+            const int iy = oy * S - P + ky, ix = ox * S - P + kx;
+            const float want =
+                (iy < 0 || iy >= H || ix < 0 || ix >= W)
+                    ? 0.0f
+                    : x[static_cast<std::size_t>((c * H + iy) * W + ix)];
+            const std::size_t row = static_cast<std::size_t>((c * K + ky) * K + kx);
+            const std::size_t colidx = static_cast<std::size_t>(oy) * ow + ox;
+            EXPECT_EQ(col[row * (static_cast<std::size_t>(oh) * ow) + colidx], want);
+          }
+}
+
+TEST(Im2Col, StridedOutputSize) {
+  EXPECT_EQ(conv_out_size(10, 3, 2, 1), 5);
+  EXPECT_EQ(conv_out_size(224, 3, 2, 1), 112);
+  EXPECT_EQ(conv_out_size(7, 7, 1, 3), 7);
+}
+
+}  // namespace
+}  // namespace murmur

@@ -1,0 +1,156 @@
+// Tests for the Vision-Transformer extension: layer correctness, the
+// patch-group attention approximation, cost model and latency model.
+#include <gtest/gtest.h>
+
+#include "netsim/scenario.h"
+#include "vit/vit.h"
+#include "vit/vit_latency.h"
+
+namespace murmur::vit {
+namespace {
+
+TEST(LayerNormT, NormalizesRows) {
+  LayerNorm ln(8);
+  Rng rng(1);
+  Tensor x = Tensor::randn({4, 8}, rng, 3.0f, 2.0f);
+  const Tensor y = ln.forward(x);
+  for (int t = 0; t < 4; ++t) {
+    double mean = 0, var = 0;
+    for (int d = 0; d < 8; ++d) mean += y.at(t, d);
+    mean /= 8;
+    for (int d = 0; d < 8; ++d) var += (y.at(t, d) - mean) * (y.at(t, d) - mean);
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(Gelu, KnownValues) {
+  Tensor x({3});
+  x[0] = 0.0f;
+  x[1] = 1.0f;
+  x[2] = -10.0f;
+  gelu_inplace(x);
+  EXPECT_NEAR(x[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(x[1], 0.8413f, 1e-3f);
+  EXPECT_NEAR(x[2], 0.0f, 1e-5f);
+}
+
+TEST(TokenLinearT, Shapes) {
+  Rng rng(2);
+  TokenLinear lin(6, 10, rng);
+  Tensor x = Tensor::randn({5, 6}, rng);
+  const Tensor y = lin.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int>{5, 10}));
+  EXPECT_GT(lin.param_bytes(), 0u);
+}
+
+TEST(Attention, OutputShapeAndFiniteness) {
+  Rng rng(3);
+  MultiHeadAttention attn(16, 4, rng);
+  Tensor x = Tensor::randn({12, 16}, rng, 0.0f, 0.5f);
+  const Tensor y = attn.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  for (float v : y.data()) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(Attention, GroupedOneEqualsFull) {
+  Rng rng(4);
+  MultiHeadAttention attn(16, 2, rng);
+  Tensor x = Tensor::randn({8, 16}, rng, 0.0f, 0.5f);
+  EXPECT_TRUE(attn.forward_grouped(x, 1).allclose(attn.forward(x), 1e-6f));
+}
+
+TEST(Attention, GroupingPerturbsButApproximates) {
+  Rng rng(5);
+  MultiHeadAttention attn(16, 4, rng);
+  Tensor x = Tensor::randn({16, 16}, rng, 0.0f, 0.5f);
+  const Tensor full = attn.forward(x);
+  const Tensor g4 = attn.forward_grouped(x, 4);
+  EXPECT_FALSE(full.allclose(g4, 1e-6f));  // locality really bites
+  double diff = 0, norm = 0;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    diff += (full[i] - g4[i]) * (full[i] - g4[i]);
+    norm += full[i] * full[i];
+  }
+  // With random (untrained) weights the perturbation is large in relative
+  // terms; bounded means no blow-up, not similarity.
+  EXPECT_LT(std::sqrt(diff / norm), 5.0);
+}
+
+TEST(Attention, GroupedFlopsShrink) {
+  const double full = MultiHeadAttention::flops(196, 192, 1);
+  const double g4 = MultiHeadAttention::flops(196, 192, 4);
+  EXPECT_LT(g4, full);
+  // Only the n^2 term shrinks.
+  EXPECT_GT(g4, full / 4.0);
+}
+
+TEST(Vit, ForwardShapesAndDepthElasticity) {
+  VitOptions opts;
+  opts.image_size = 32;
+  opts.patch_size = 16;
+  opts.dim = 16;
+  opts.heads = 2;
+  opts.max_depth = 3;
+  opts.classes = 5;
+  VisionTransformer model(opts);
+  EXPECT_EQ(model.num_tokens(), 4);
+  Rng rng(6);
+  Tensor img = Tensor::randn({1, 3, 32, 32}, rng, 0.0f, 0.5f);
+  for (int depth : {1, 2, 3}) {
+    const Tensor logits = model.forward(img, {depth, 1});
+    EXPECT_EQ(logits.shape(), (std::vector<int>{1, 5}));
+  }
+}
+
+TEST(Vit, FlopsMonotoneInDepthAndGroups) {
+  VisionTransformer model;
+  EXPECT_LT(model.flops({3, 1}), model.flops({6, 1}));
+  EXPECT_LT(model.flops({6, 4}), model.flops({6, 1}));
+}
+
+TEST(Vit, AccuracyProxyMonotone) {
+  VitOptions opts;
+  EXPECT_GT(vit_accuracy_proxy(opts, {6, 1}), vit_accuracy_proxy(opts, {4, 1}));
+  EXPECT_GT(vit_accuracy_proxy(opts, {6, 1}), vit_accuracy_proxy(opts, {6, 2}));
+  EXPECT_GT(vit_accuracy_proxy(opts, {6, 2}), vit_accuracy_proxy(opts, {6, 4}));
+}
+
+TEST(VitLatency, AllLocalIsComputeOnly) {
+  VisionTransformer model;
+  auto net = netsim::make_device_swarm();
+  const auto r = vit_latency(model, VitStrategy::all_local(), net);
+  EXPECT_EQ(r.scatter_ms, 0.0);
+  EXPECT_EQ(r.gather_ms, 0.0);
+  EXPECT_GT(r.total_ms, 0.0);
+}
+
+TEST(VitLatency, GroupParallelismHelpsAtHighBandwidth) {
+  // A full-size ViT (196 tokens, dim 192) — the regime where the n^2
+  // attention term makes patch-group parallelism pay for its transfers.
+  VitOptions opts;
+  opts.image_size = 224;
+  opts.patch_size = 16;
+  opts.dim = 192;
+  opts.heads = 6;
+  VisionTransformer model(opts);
+  auto net = netsim::make_device_swarm();
+  netsim::shape_remotes(net, Bandwidth::from_gbps(1), Delay::from_ms(2));
+  const auto local = vit_latency(model, VitStrategy::all_local(), net);
+  const VitStrategy spread{{6, 4}, {1, 2, 3, 4}};
+  const auto partitioned = vit_latency(model, spread, net);
+  EXPECT_LT(partitioned.total_ms, local.total_ms);
+}
+
+TEST(VitLatency, ThinLinksFavourLocal) {
+  VisionTransformer model;
+  auto net = netsim::make_device_swarm();
+  netsim::shape_remotes(net, Bandwidth::from_mbps(2), Delay::from_ms(80));
+  const auto local = vit_latency(model, VitStrategy::all_local(), net);
+  const VitStrategy spread{{6, 4}, {1, 2, 3, 4}};
+  EXPECT_GT(vit_latency(model, spread, net).total_ms, local.total_ms);
+}
+
+}  // namespace
+}  // namespace murmur::vit

@@ -1,0 +1,94 @@
+// Minimal goal-conditioned environment for RL unit tests.
+//
+// Episode: 4 decisions, 3 options each (heads alternate kKernel/kQuant).
+// "Score" = sum of chosen options in [0, 8]. Outcome maps score to a toy
+// accuracy/latency pair: latency falls and accuracy rises with the score,
+// so the universally optimal strategy is all-max actions and hindsight
+// relabelling has a one-dimensional constraint to play with.
+#pragma once
+
+#include <algorithm>
+
+#include "rl/env.h"
+
+namespace murmur::rl::testing {
+
+class ToyEnv final : public Env {
+ public:
+  static constexpr int kSteps = 4;
+  static constexpr int kOptions = 3;
+  static constexpr double kMaxScore = (kOptions - 1) * kSteps;  // 8
+
+  int constraint_dims() const override { return 2; }
+  int grid_points() const override { return 10; }
+
+  ConstraintPoint sample_constraint(Rng& rng, int active_dims) const override {
+    ConstraintPoint c;
+    c.coords.resize(2);
+    for (int d = 0; d < 2; ++d)
+      c.coords[static_cast<std::size_t>(d)] =
+          d < active_dims
+              ? static_cast<double>(rng.uniform_index(10)) / 9.0
+              : 1.0;
+    return c;
+  }
+
+  std::vector<ConstraintPoint> validation_points(int count) const override {
+    std::vector<ConstraintPoint> out;
+    for (int i = 0; i < count; ++i)
+      out.push_back(ConstraintPoint{{(i % 10) / 9.0, ((i * 3) % 10) / 9.0}});
+    return out;
+  }
+
+  StepSpec next_step(std::span<const int> actions) const override {
+    return {actions.size() % 2 == 0 ? Head::kKernel : Head::kQuant, kOptions};
+  }
+  bool done(std::span<const int> actions) const override {
+    return actions.size() >= kSteps;
+  }
+  int max_episode_len() const override { return kSteps; }
+  std::size_t feature_dim() const override { return 4; }
+
+  std::vector<double> features(const ConstraintPoint& c,
+                               std::span<const int> actions) const override {
+    return {c.coords[0], c.coords[1],
+            static_cast<double>(actions.size()) / kSteps,
+            actions.empty() ? 0.0 : actions.back() / 2.0};
+  }
+
+  int head_options(Head) const override { return kOptions; }
+
+  Outcome evaluate(const ConstraintPoint&,
+                   std::span<const int> actions) const override {
+    double score = 0;
+    for (int a : actions) score += a;
+    Outcome o;
+    o.accuracy = score / kMaxScore * 100.0;
+    o.latency_ms = (kMaxScore - score) * 10.0;  // 0..80 ms
+    return o;
+  }
+
+  /// Latency SLO: coords[0]=1 allows 80 ms, coords[0]=0 allows 0 ms.
+  double slo_ms(const ConstraintPoint& c) const { return c.coords[0] * 80.0; }
+
+  bool satisfies(const ConstraintPoint& c, const Outcome& o) const override {
+    return o.latency_ms <= slo_ms(c) + 1e-9;
+  }
+  double reward(const ConstraintPoint& c, const Outcome& o) const override {
+    return satisfies(c, o) ? 0.5 + o.accuracy / 100.0 : 0.0;
+  }
+  ConstraintPoint relabel(const ConstraintPoint& c,
+                          const Outcome& o) const override {
+    ConstraintPoint tight = c;
+    tight.coords[0] = std::clamp(o.latency_ms / 80.0, 0.0, 1.0);
+    return tight;
+  }
+};
+
+inline std::array<int, kNumHeads> toy_heads() {
+  std::array<int, kNumHeads> heads{};
+  heads.fill(ToyEnv::kOptions);
+  return heads;
+}
+
+}  // namespace murmur::rl::testing

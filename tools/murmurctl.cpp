@@ -1,0 +1,208 @@
+// murmurctl — command-line front end for the Murmuration library.
+//
+//   murmurctl train  [--scenario aug|swarm] [--slo-type latency|accuracy]
+//                    [--algo supreme|gcsl|ppo] [--steps N] [--seed N]
+//   murmurctl decide --slo V [--scenario ...] [--slo-type ...]
+//                    [--bw MBPS] [--delay MS]
+//   murmurctl sweep  [--scenario ...] --slo V       (bandwidth sweep table)
+//   murmurctl trace  [--scenario ...] [--frames N] [--out trace.csv]
+//   murmurctl info                                   (search space / models)
+//
+// Trained policies are cached in .murmur_cache and shared with the
+// benchmarks.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "core/decision.h"
+#include "core/training.h"
+#include "netsim/scenario.h"
+#include "netsim/trace.h"
+#include "supernet/accuracy_model.h"
+#include "supernet/cost_model.h"
+#include "supernet/model_zoo.h"
+
+using namespace murmur;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string get(const std::string& key, const std::string& def) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? def : it->second;
+  }
+  double num(const std::string& key, double def) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? def : std::stod(it->second);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    args.flags[key] = argv[i + 1];
+  }
+  return args;
+}
+
+core::TrainSetup setup_from(const Args& args) {
+  core::TrainSetup s;
+  s.scenario = args.get("scenario", "aug") == "swarm"
+                   ? netsim::Scenario::kDeviceSwarm
+                   : netsim::Scenario::kAugmentedComputing;
+  s.slo_type = args.get("slo-type", "latency") == "accuracy"
+                   ? core::SloType::kAccuracy
+                   : core::SloType::kLatency;
+  const std::string algo = args.get("algo", "supreme");
+  s.algo = algo == "gcsl"  ? core::Algo::kGcsl
+           : algo == "ppo" ? core::Algo::kPpo
+                           : core::Algo::kSupreme;
+  s.trainer.total_steps = static_cast<int>(args.num("steps", 3000));
+  s.trainer.eval_every = std::max(1, s.trainer.total_steps / 10);
+  s.trainer.eval_points = 96;
+  s.trainer.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  return s;
+}
+
+core::Slo slo_from(const Args& args, core::SloType type) {
+  const double v = args.num("slo", type == core::SloType::kLatency ? 200 : 75);
+  return type == core::SloType::kLatency ? core::Slo::latency_ms(v)
+                                         : core::Slo::accuracy_pct(v);
+}
+
+int cmd_train(const Args& args) {
+  const auto art = core::train_or_load(setup_from(args));
+  Table t({"step", "avg_reward", "compliance"});
+  for (const auto& p : art.curve)
+    t.new_row().add(static_cast<double>(p.step)).add(p.avg_reward).add(
+        p.compliance);
+  t.print(std::cout);
+  if (art.replay)
+    std::printf("strategy store: %zu entries in %zu buckets\n",
+                art.replay->num_entries(), art.replay->num_buckets());
+  return 0;
+}
+
+int cmd_decide(const Args& args) {
+  const auto setup = setup_from(args);
+  const auto art = core::train_or_load(setup);
+  netsim::Network net = netsim::make_scenario(setup.scenario);
+  netsim::shape_remotes(net, Bandwidth::from_mbps(args.num("bw", 150)),
+                        Delay::from_ms(args.num("delay", 20)));
+  core::DecisionEngine engine(*art.env, *art.policy, art.replay.get());
+  Rng rng(1);
+  const auto slo = slo_from(args, setup.slo_type);
+  const auto d = engine.decide(slo, net.conditions(), rng);
+  std::printf("SLO %s under %.0f Mbps / %.0f ms\n", slo.to_string().c_str(),
+              args.num("bw", 150), args.num("delay", 20));
+  std::printf("  %s\n", d.satisfied ? "SATISFIED" : "NOT SATISFIABLE");
+  std::printf("  predicted: latency %.1f ms, accuracy %.2f%%, reward %.3f\n",
+              d.predicted.latency_ms, d.predicted.accuracy, d.reward);
+  std::printf("  config: %s\n", d.strategy.config.to_string().c_str());
+  std::printf("  plan:   %s\n",
+              d.strategy.plan.to_string(d.strategy.config).c_str());
+  if (args.num("timeline", 0) != 0) {
+    partition::Timeline tl;
+    const partition::SubnetLatencyEvaluator eval(net);
+    eval.evaluate(d.strategy.config, d.strategy.plan, &tl);
+    std::printf("%s", tl.render(net.num_devices()).c_str());
+  }
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const auto setup = setup_from(args);
+  const auto art = core::train_or_load(setup);
+  core::DecisionEngine engine(*art.env, *art.policy, art.replay.get());
+  Rng rng(1);
+  const auto slo = slo_from(args, setup.slo_type);
+  Table t({"bandwidth_mbps", "latency_ms", "accuracy_pct", "satisfied",
+           "devices_used"},
+          1);
+  for (double bw : {5.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0}) {
+    netsim::Network net = netsim::make_scenario(setup.scenario);
+    netsim::shape_remotes(net, Bandwidth::from_mbps(bw),
+                          Delay::from_ms(args.num("delay", 20)));
+    const auto d = engine.decide(slo, net.conditions(), rng);
+    t.new_row()
+        .add(bw)
+        .add(d.predicted.latency_ms)
+        .add(d.predicted.accuracy)
+        .add(d.satisfied ? "yes" : "no")
+        .add(static_cast<double>(d.strategy.plan.devices_used(d.strategy.config)));
+  }
+  std::printf("SLO %s, delay %.0f ms\n", slo.to_string().c_str(),
+              args.num("delay", 20));
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  const auto setup = setup_from(args);
+  netsim::Network net = netsim::make_scenario(setup.scenario);
+  netsim::shape_remotes(net, Bandwidth::from_mbps(args.num("bw", 150)),
+                        Delay::from_ms(args.num("delay", 20)));
+  netsim::NetworkDynamics::Options dopts;
+  dopts.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+  const auto trace = netsim::ConditionTrace::record_random_walk(
+      net, dopts, static_cast<int>(args.num("frames", 100)),
+      args.num("dt", 100.0));
+  const std::string out = args.get("out", "trace.csv");
+  if (!trace.save(out)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu frames (%.1f s) to %s\n", trace.size(),
+              trace.duration_ms() / 1e3, out.c_str());
+  return 0;
+}
+
+int cmd_info() {
+  std::printf("Murmuration supernet search space:\n");
+  std::printf("  submodels (excl. placement): %.3g\n",
+              supernet::search_space_size());
+  std::printf("  max submodel: %.0f MFLOPs, accuracy %.1f%%\n",
+              supernet::CostModel::total_flops(
+                  supernet::SubnetConfig::max_config()) / 1e6,
+              supernet::AccuracyModel::max_accuracy());
+  std::printf("  min submodel: %.0f MFLOPs, accuracy %.1f%%\n",
+              supernet::CostModel::total_flops(
+                  supernet::SubnetConfig::min_config()) / 1e6,
+              supernet::AccuracyModel::min_accuracy());
+  std::printf("  resident supernet: %.1f MB\n",
+              static_cast<double>(supernet::CostModel::supernet_param_bytes()) /
+                  (1024 * 1024));
+  std::printf("fixed-model zoo (baselines):\n");
+  for (const auto* m : supernet::model_zoo())
+    std::printf("  %-14s %6.1f GFLOPs  %6.1f MB  top-1 %.1f%%\n",
+                m->name.c_str(), m->total_flops() / 1e9,
+                static_cast<double>(m->total_param_bytes()) / (1024 * 1024),
+                m->top1_accuracy);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  const Args args = parse(argc, argv);
+  if (args.command == "train") return cmd_train(args);
+  if (args.command == "decide") return cmd_decide(args);
+  if (args.command == "sweep") return cmd_sweep(args);
+  if (args.command == "trace") return cmd_trace(args);
+  if (args.command == "info") return cmd_info();
+  std::fprintf(stderr,
+               "usage: murmurctl <train|decide|sweep|trace|info> [--flag "
+               "value ...]\n");
+  return args.command.empty() ? 1 : 2;
+}
