@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fdsp.dir/bench_ablation_fdsp.cpp.o"
+  "CMakeFiles/bench_ablation_fdsp.dir/bench_ablation_fdsp.cpp.o.d"
+  "bench_ablation_fdsp"
+  "bench_ablation_fdsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fdsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

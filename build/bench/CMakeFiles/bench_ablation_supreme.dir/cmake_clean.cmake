@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_supreme.dir/bench_ablation_supreme.cpp.o"
+  "CMakeFiles/bench_ablation_supreme.dir/bench_ablation_supreme.cpp.o.d"
+  "bench_ablation_supreme"
+  "bench_ablation_supreme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_supreme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

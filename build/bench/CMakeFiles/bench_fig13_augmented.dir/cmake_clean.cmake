@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_augmented.dir/bench_fig13_augmented.cpp.o"
+  "CMakeFiles/bench_fig13_augmented.dir/bench_fig13_augmented.cpp.o.d"
+  "bench_fig13_augmented"
+  "bench_fig13_augmented.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_augmented.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_switch_time.dir/bench_fig19_switch_time.cpp.o"
+  "CMakeFiles/bench_fig19_switch_time.dir/bench_fig19_switch_time.cpp.o.d"
+  "bench_fig19_switch_time"
+  "bench_fig19_switch_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_switch_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

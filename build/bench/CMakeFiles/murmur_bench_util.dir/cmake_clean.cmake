@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murmur_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/murmur_bench_util.dir/bench_util.cpp.o.d"
+  "libmurmur_bench_util.a"
+  "libmurmur_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murmur_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_headset.dir/ar_headset.cpp.o"
+  "CMakeFiles/ar_headset.dir/ar_headset.cpp.o.d"
+  "ar_headset"
+  "ar_headset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_headset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

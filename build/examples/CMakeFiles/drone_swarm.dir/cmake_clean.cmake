@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drone_swarm.dir/drone_swarm.cpp.o"
+  "CMakeFiles/drone_swarm.dir/drone_swarm.cpp.o.d"
+  "drone_swarm"
+  "drone_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drone_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_autopilot.dir/slo_autopilot.cpp.o"
+  "CMakeFiles/slo_autopilot.dir/slo_autopilot.cpp.o.d"
+  "slo_autopilot"
+  "slo_autopilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_autopilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/adcnn.cpp" "src/baselines/CMakeFiles/murmur_baselines.dir/adcnn.cpp.o" "gcc" "src/baselines/CMakeFiles/murmur_baselines.dir/adcnn.cpp.o.d"
+  "/root/repo/src/baselines/fixed_single.cpp" "src/baselines/CMakeFiles/murmur_baselines.dir/fixed_single.cpp.o" "gcc" "src/baselines/CMakeFiles/murmur_baselines.dir/fixed_single.cpp.o.d"
+  "/root/repo/src/baselines/neurosurgeon.cpp" "src/baselines/CMakeFiles/murmur_baselines.dir/neurosurgeon.cpp.o" "gcc" "src/baselines/CMakeFiles/murmur_baselines.dir/neurosurgeon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/supernet/CMakeFiles/murmur_supernet.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/murmur_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/murmur_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/murmur_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/murmur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murmur_baselines.dir/adcnn.cpp.o"
+  "CMakeFiles/murmur_baselines.dir/adcnn.cpp.o.d"
+  "CMakeFiles/murmur_baselines.dir/fixed_single.cpp.o"
+  "CMakeFiles/murmur_baselines.dir/fixed_single.cpp.o.d"
+  "CMakeFiles/murmur_baselines.dir/neurosurgeon.cpp.o"
+  "CMakeFiles/murmur_baselines.dir/neurosurgeon.cpp.o.d"
+  "libmurmur_baselines.a"
+  "libmurmur_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murmur_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

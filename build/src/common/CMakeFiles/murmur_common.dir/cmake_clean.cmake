@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murmur_common.dir/linreg.cpp.o"
+  "CMakeFiles/murmur_common.dir/linreg.cpp.o.d"
+  "CMakeFiles/murmur_common.dir/log.cpp.o"
+  "CMakeFiles/murmur_common.dir/log.cpp.o.d"
+  "CMakeFiles/murmur_common.dir/serialize.cpp.o"
+  "CMakeFiles/murmur_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/murmur_common.dir/stats.cpp.o"
+  "CMakeFiles/murmur_common.dir/stats.cpp.o.d"
+  "CMakeFiles/murmur_common.dir/table.cpp.o"
+  "CMakeFiles/murmur_common.dir/table.cpp.o.d"
+  "CMakeFiles/murmur_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/murmur_common.dir/thread_pool.cpp.o.d"
+  "libmurmur_common.a"
+  "libmurmur_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murmur_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

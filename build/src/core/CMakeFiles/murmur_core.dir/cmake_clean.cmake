@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murmur_core.dir/decision.cpp.o"
+  "CMakeFiles/murmur_core.dir/decision.cpp.o.d"
+  "CMakeFiles/murmur_core.dir/murmuration_env.cpp.o"
+  "CMakeFiles/murmur_core.dir/murmuration_env.cpp.o.d"
+  "CMakeFiles/murmur_core.dir/strategy_cache.cpp.o"
+  "CMakeFiles/murmur_core.dir/strategy_cache.cpp.o.d"
+  "CMakeFiles/murmur_core.dir/training.cpp.o"
+  "CMakeFiles/murmur_core.dir/training.cpp.o.d"
+  "libmurmur_core.a"
+  "libmurmur_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murmur_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/device.cpp" "src/netsim/CMakeFiles/murmur_netsim.dir/device.cpp.o" "gcc" "src/netsim/CMakeFiles/murmur_netsim.dir/device.cpp.o.d"
+  "/root/repo/src/netsim/monitor.cpp" "src/netsim/CMakeFiles/murmur_netsim.dir/monitor.cpp.o" "gcc" "src/netsim/CMakeFiles/murmur_netsim.dir/monitor.cpp.o.d"
+  "/root/repo/src/netsim/network.cpp" "src/netsim/CMakeFiles/murmur_netsim.dir/network.cpp.o" "gcc" "src/netsim/CMakeFiles/murmur_netsim.dir/network.cpp.o.d"
+  "/root/repo/src/netsim/predictor.cpp" "src/netsim/CMakeFiles/murmur_netsim.dir/predictor.cpp.o" "gcc" "src/netsim/CMakeFiles/murmur_netsim.dir/predictor.cpp.o.d"
+  "/root/repo/src/netsim/scenario.cpp" "src/netsim/CMakeFiles/murmur_netsim.dir/scenario.cpp.o" "gcc" "src/netsim/CMakeFiles/murmur_netsim.dir/scenario.cpp.o.d"
+  "/root/repo/src/netsim/trace.cpp" "src/netsim/CMakeFiles/murmur_netsim.dir/trace.cpp.o" "gcc" "src/netsim/CMakeFiles/murmur_netsim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/murmur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murmur_netsim.dir/device.cpp.o"
+  "CMakeFiles/murmur_netsim.dir/device.cpp.o.d"
+  "CMakeFiles/murmur_netsim.dir/monitor.cpp.o"
+  "CMakeFiles/murmur_netsim.dir/monitor.cpp.o.d"
+  "CMakeFiles/murmur_netsim.dir/network.cpp.o"
+  "CMakeFiles/murmur_netsim.dir/network.cpp.o.d"
+  "CMakeFiles/murmur_netsim.dir/predictor.cpp.o"
+  "CMakeFiles/murmur_netsim.dir/predictor.cpp.o.d"
+  "CMakeFiles/murmur_netsim.dir/scenario.cpp.o"
+  "CMakeFiles/murmur_netsim.dir/scenario.cpp.o.d"
+  "CMakeFiles/murmur_netsim.dir/trace.cpp.o"
+  "CMakeFiles/murmur_netsim.dir/trace.cpp.o.d"
+  "libmurmur_netsim.a"
+  "libmurmur_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murmur_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

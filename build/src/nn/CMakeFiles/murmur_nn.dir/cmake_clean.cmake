@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murmur_nn.dir/activations.cpp.o"
+  "CMakeFiles/murmur_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/murmur_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/murmur_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/murmur_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/murmur_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/murmur_nn.dir/linear.cpp.o"
+  "CMakeFiles/murmur_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/murmur_nn.dir/pooling.cpp.o"
+  "CMakeFiles/murmur_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/murmur_nn.dir/se_block.cpp.o"
+  "CMakeFiles/murmur_nn.dir/se_block.cpp.o.d"
+  "CMakeFiles/murmur_nn.dir/sequential.cpp.o"
+  "CMakeFiles/murmur_nn.dir/sequential.cpp.o.d"
+  "libmurmur_nn.a"
+  "libmurmur_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murmur_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

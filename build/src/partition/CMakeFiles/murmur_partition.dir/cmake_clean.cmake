@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murmur_partition.dir/plan.cpp.o"
+  "CMakeFiles/murmur_partition.dir/plan.cpp.o.d"
+  "CMakeFiles/murmur_partition.dir/subnet_latency.cpp.o"
+  "CMakeFiles/murmur_partition.dir/subnet_latency.cpp.o.d"
+  "CMakeFiles/murmur_partition.dir/timeline.cpp.o"
+  "CMakeFiles/murmur_partition.dir/timeline.cpp.o.d"
+  "libmurmur_partition.a"
+  "libmurmur_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murmur_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/env.cpp" "src/rl/CMakeFiles/murmur_rl.dir/env.cpp.o" "gcc" "src/rl/CMakeFiles/murmur_rl.dir/env.cpp.o.d"
+  "/root/repo/src/rl/gcsl.cpp" "src/rl/CMakeFiles/murmur_rl.dir/gcsl.cpp.o" "gcc" "src/rl/CMakeFiles/murmur_rl.dir/gcsl.cpp.o.d"
+  "/root/repo/src/rl/lstm.cpp" "src/rl/CMakeFiles/murmur_rl.dir/lstm.cpp.o" "gcc" "src/rl/CMakeFiles/murmur_rl.dir/lstm.cpp.o.d"
+  "/root/repo/src/rl/param.cpp" "src/rl/CMakeFiles/murmur_rl.dir/param.cpp.o" "gcc" "src/rl/CMakeFiles/murmur_rl.dir/param.cpp.o.d"
+  "/root/repo/src/rl/policy.cpp" "src/rl/CMakeFiles/murmur_rl.dir/policy.cpp.o" "gcc" "src/rl/CMakeFiles/murmur_rl.dir/policy.cpp.o.d"
+  "/root/repo/src/rl/ppo.cpp" "src/rl/CMakeFiles/murmur_rl.dir/ppo.cpp.o" "gcc" "src/rl/CMakeFiles/murmur_rl.dir/ppo.cpp.o.d"
+  "/root/repo/src/rl/replay_tree.cpp" "src/rl/CMakeFiles/murmur_rl.dir/replay_tree.cpp.o" "gcc" "src/rl/CMakeFiles/murmur_rl.dir/replay_tree.cpp.o.d"
+  "/root/repo/src/rl/rollout.cpp" "src/rl/CMakeFiles/murmur_rl.dir/rollout.cpp.o" "gcc" "src/rl/CMakeFiles/murmur_rl.dir/rollout.cpp.o.d"
+  "/root/repo/src/rl/supreme.cpp" "src/rl/CMakeFiles/murmur_rl.dir/supreme.cpp.o" "gcc" "src/rl/CMakeFiles/murmur_rl.dir/supreme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/murmur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murmur_rl.dir/env.cpp.o"
+  "CMakeFiles/murmur_rl.dir/env.cpp.o.d"
+  "CMakeFiles/murmur_rl.dir/gcsl.cpp.o"
+  "CMakeFiles/murmur_rl.dir/gcsl.cpp.o.d"
+  "CMakeFiles/murmur_rl.dir/lstm.cpp.o"
+  "CMakeFiles/murmur_rl.dir/lstm.cpp.o.d"
+  "CMakeFiles/murmur_rl.dir/param.cpp.o"
+  "CMakeFiles/murmur_rl.dir/param.cpp.o.d"
+  "CMakeFiles/murmur_rl.dir/policy.cpp.o"
+  "CMakeFiles/murmur_rl.dir/policy.cpp.o.d"
+  "CMakeFiles/murmur_rl.dir/ppo.cpp.o"
+  "CMakeFiles/murmur_rl.dir/ppo.cpp.o.d"
+  "CMakeFiles/murmur_rl.dir/replay_tree.cpp.o"
+  "CMakeFiles/murmur_rl.dir/replay_tree.cpp.o.d"
+  "CMakeFiles/murmur_rl.dir/rollout.cpp.o"
+  "CMakeFiles/murmur_rl.dir/rollout.cpp.o.d"
+  "CMakeFiles/murmur_rl.dir/supreme.cpp.o"
+  "CMakeFiles/murmur_rl.dir/supreme.cpp.o.d"
+  "libmurmur_rl.a"
+  "libmurmur_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murmur_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murmur_runtime.dir/executor.cpp.o"
+  "CMakeFiles/murmur_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/murmur_runtime.dir/supernet_host.cpp.o"
+  "CMakeFiles/murmur_runtime.dir/supernet_host.cpp.o.d"
+  "CMakeFiles/murmur_runtime.dir/system.cpp.o"
+  "CMakeFiles/murmur_runtime.dir/system.cpp.o.d"
+  "CMakeFiles/murmur_runtime.dir/transport.cpp.o"
+  "CMakeFiles/murmur_runtime.dir/transport.cpp.o.d"
+  "libmurmur_runtime.a"
+  "libmurmur_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murmur_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/supernet/accuracy_model.cpp" "src/supernet/CMakeFiles/murmur_supernet.dir/accuracy_model.cpp.o" "gcc" "src/supernet/CMakeFiles/murmur_supernet.dir/accuracy_model.cpp.o.d"
+  "/root/repo/src/supernet/accuracy_predictor.cpp" "src/supernet/CMakeFiles/murmur_supernet.dir/accuracy_predictor.cpp.o" "gcc" "src/supernet/CMakeFiles/murmur_supernet.dir/accuracy_predictor.cpp.o.d"
+  "/root/repo/src/supernet/cost_model.cpp" "src/supernet/CMakeFiles/murmur_supernet.dir/cost_model.cpp.o" "gcc" "src/supernet/CMakeFiles/murmur_supernet.dir/cost_model.cpp.o.d"
+  "/root/repo/src/supernet/model_zoo.cpp" "src/supernet/CMakeFiles/murmur_supernet.dir/model_zoo.cpp.o" "gcc" "src/supernet/CMakeFiles/murmur_supernet.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/supernet/search_space.cpp" "src/supernet/CMakeFiles/murmur_supernet.dir/search_space.cpp.o" "gcc" "src/supernet/CMakeFiles/murmur_supernet.dir/search_space.cpp.o.d"
+  "/root/repo/src/supernet/subnet_config.cpp" "src/supernet/CMakeFiles/murmur_supernet.dir/subnet_config.cpp.o" "gcc" "src/supernet/CMakeFiles/murmur_supernet.dir/subnet_config.cpp.o.d"
+  "/root/repo/src/supernet/supernet.cpp" "src/supernet/CMakeFiles/murmur_supernet.dir/supernet.cpp.o" "gcc" "src/supernet/CMakeFiles/murmur_supernet.dir/supernet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/murmur_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/murmur_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/murmur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

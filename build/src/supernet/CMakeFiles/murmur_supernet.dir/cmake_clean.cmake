@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murmur_supernet.dir/accuracy_model.cpp.o"
+  "CMakeFiles/murmur_supernet.dir/accuracy_model.cpp.o.d"
+  "CMakeFiles/murmur_supernet.dir/accuracy_predictor.cpp.o"
+  "CMakeFiles/murmur_supernet.dir/accuracy_predictor.cpp.o.d"
+  "CMakeFiles/murmur_supernet.dir/cost_model.cpp.o"
+  "CMakeFiles/murmur_supernet.dir/cost_model.cpp.o.d"
+  "CMakeFiles/murmur_supernet.dir/model_zoo.cpp.o"
+  "CMakeFiles/murmur_supernet.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/murmur_supernet.dir/search_space.cpp.o"
+  "CMakeFiles/murmur_supernet.dir/search_space.cpp.o.d"
+  "CMakeFiles/murmur_supernet.dir/subnet_config.cpp.o"
+  "CMakeFiles/murmur_supernet.dir/subnet_config.cpp.o.d"
+  "CMakeFiles/murmur_supernet.dir/supernet.cpp.o"
+  "CMakeFiles/murmur_supernet.dir/supernet.cpp.o.d"
+  "libmurmur_supernet.a"
+  "libmurmur_supernet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murmur_supernet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

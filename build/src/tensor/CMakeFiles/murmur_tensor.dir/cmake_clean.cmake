@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murmur_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/murmur_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/murmur_tensor.dir/quantize.cpp.o"
+  "CMakeFiles/murmur_tensor.dir/quantize.cpp.o.d"
+  "CMakeFiles/murmur_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/murmur_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/murmur_tensor.dir/tile.cpp.o"
+  "CMakeFiles/murmur_tensor.dir/tile.cpp.o.d"
+  "libmurmur_tensor.a"
+  "libmurmur_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murmur_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

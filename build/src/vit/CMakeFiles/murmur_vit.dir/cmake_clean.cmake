@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murmur_vit.dir/vit.cpp.o"
+  "CMakeFiles/murmur_vit.dir/vit.cpp.o.d"
+  "CMakeFiles/murmur_vit.dir/vit_latency.cpp.o"
+  "CMakeFiles/murmur_vit.dir/vit_latency.cpp.o.d"
+  "CMakeFiles/murmur_vit.dir/vit_layers.cpp.o"
+  "CMakeFiles/murmur_vit.dir/vit_layers.cpp.o.d"
+  "libmurmur_vit.a"
+  "libmurmur_vit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murmur_vit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/test_property.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/test_property.dir/test_property.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/murmur_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/murmur_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/murmur_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/murmur_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/supernet/CMakeFiles/murmur_supernet.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/murmur_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/murmur_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/murmur_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/murmur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_vit.cpp" "tests/CMakeFiles/test_vit.dir/test_vit.cpp.o" "gcc" "tests/CMakeFiles/test_vit.dir/test_vit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vit/CMakeFiles/murmur_vit.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/murmur_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/murmur_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/murmur_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vit.dir/test_vit.cpp.o"
+  "CMakeFiles/test_vit.dir/test_vit.cpp.o.d"
+  "test_vit"
+  "test_vit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

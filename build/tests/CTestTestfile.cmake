@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;murmur_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_tensor "/root/repo/build/tests/test_tensor")
+set_tests_properties(test_tensor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;murmur_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_nn "/root/repo/build/tests/test_nn")
+set_tests_properties(test_nn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;murmur_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_supernet "/root/repo/build/tests/test_supernet")
+set_tests_properties(test_supernet PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;murmur_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_netsim "/root/repo/build/tests/test_netsim")
+set_tests_properties(test_netsim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;murmur_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_partition "/root/repo/build/tests/test_partition")
+set_tests_properties(test_partition PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;murmur_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_rl "/root/repo/build/tests/test_rl")
+set_tests_properties(test_rl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;murmur_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_baselines "/root/repo/build/tests/test_baselines")
+set_tests_properties(test_baselines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;murmur_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;murmur_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_runtime "/root/repo/build/tests/test_runtime")
+set_tests_properties(test_runtime PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;murmur_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;murmur_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_vit "/root/repo/build/tests/test_vit")
+set_tests_properties(test_vit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;murmur_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_property "/root/repo/build/tests/test_property")
+set_tests_properties(test_property PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;murmur_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murmurctl.dir/murmurctl.cpp.o"
+  "CMakeFiles/murmurctl.dir/murmurctl.cpp.o.d"
+  "murmurctl"
+  "murmurctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murmurctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
