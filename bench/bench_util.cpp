@@ -4,7 +4,21 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "obs/metrics.h"
+
 namespace murmur::bench {
+
+namespace {
+// Flip the global telemetry switch before main() so every stage a bench
+// touches (training epochs included) is measured from the start.
+const struct TelemetryEnv {
+  TelemetryEnv() {
+    if (const char* e = std::getenv("MURMUR_TELEMETRY"))
+      if (e[0] != '\0' && !(e[0] == '0' && e[1] == '\0'))
+        obs::set_enabled(true);
+  }
+} g_telemetry_env;
+}  // namespace
 
 int train_steps() noexcept {
   if (const char* env = std::getenv("MURMUR_TRAIN_STEPS"))
@@ -27,6 +41,14 @@ void emit(const std::string& figure_id, const std::string& caption,
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     table.write_csv(std::string(dir) + "/" + figure_id + ".csv");
+  }
+  if (obs::enabled()) {
+    const char* dir = std::getenv("MURMUR_CSV_DIR");
+    const std::string path =
+        (dir ? std::string(dir) + "/" : std::string()) + figure_id +
+        ".metrics.json";
+    if (obs::MetricsRegistry::instance().write_json(path))
+      std::printf("[telemetry] metrics snapshot: %s\n", path.c_str());
   }
 }
 

@@ -10,6 +10,10 @@
 //   MURMUR_SEEDS        seeds averaged in Fig 11/12 (default 1; paper: 3)
 //   MURMUR_NO_CACHE     force retraining
 //   MURMUR_CSV_DIR      also write each table as CSV into this directory
+//   MURMUR_TELEMETRY    enable the obs telemetry layer for the whole bench;
+//                       emit() then writes a <figure_id>.metrics.json
+//                       snapshot (per-stage p50/p99, cache counters) next to
+//                       the CSVs (or into the working directory)
 #pragma once
 
 #include <string>

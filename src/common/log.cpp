@@ -1,13 +1,41 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
+#include <optional>
 
 namespace murmur {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::optional<LogLevel> level_from_env() {
+  const char* env = std::getenv("MURMUR_LOG_LEVEL");
+  if (!env || !*env) return std::nullopt;
+  std::string v;
+  for (const char* p = env; *p; ++p)
+    v += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  if (v == "debug" || v == "0") return LogLevel::kDebug;
+  if (v == "info" || v == "1") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning" || v == "2") return LogLevel::kWarn;
+  if (v == "error" || v == "3") return LogLevel::kError;
+  if (v == "off" || v == "none" || v == "4") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+bool env_override() {
+  static const bool overridden = level_from_env().has_value();
+  return overridden;
+}
+
+std::atomic<LogLevel>& global_level() {
+  static std::atomic<LogLevel> level{level_from_env().value_or(LogLevel::kInfo)};
+  return level;
+}
+
 std::mutex g_mutex;
 
 const char* level_name(LogLevel l) noexcept {
@@ -23,13 +51,34 @@ const char* level_name(LogLevel l) noexcept {
 
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level.store(level); }
-LogLevel log_level() noexcept { return g_level.load(); }
+void set_log_level(LogLevel level) noexcept {
+  if (env_override()) return;  // MURMUR_LOG_LEVEL wins
+  global_level().store(level);
+}
+
+LogLevel log_level() noexcept { return global_level().load(); }
+
+double monotonic_ms() noexcept {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::uint32_t current_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (level < g_level.load(std::memory_order_relaxed)) return;
+  if (level < global_level().load(std::memory_order_relaxed)) return;
+  const double t = monotonic_ms();
+  const std::uint32_t tid = current_thread_id();
   std::lock_guard lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  std::fprintf(stderr, "[%10.3f] [t%02u] [%s] %s\n", t, tid,
+               level_name(level), msg.c_str());
 }
 
 }  // namespace murmur

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "rl/rollout.h"
 
 namespace murmur::core {
 
 Decision DecisionEngine::decide(const rl::ConstraintPoint& c, Rng& rng) const {
+  MURMUR_SPAN("rl_decision", "decision",
+              obs::maybe_histogram("stage.rl_decision_ms"));
+  obs::add("decision.policy_rollouts");
   const rl::Episode ep =
       rl::rollout(env_, policy_, c, rng, {.greedy = true});
   Decision best;
@@ -21,6 +25,8 @@ Decision DecisionEngine::decide(const rl::ConstraintPoint& c, Rng& rng) const {
     // evaluation), so the engine also sweeps the store — decisions stay in
     // the low-millisecond range (Fig 18) and never regress below the best
     // known strategy for the current constraint.
+    MURMUR_SPAN("store_sweep", "decision",
+                obs::maybe_histogram("stage.store_sweep_ms"));
     std::vector<const rl::ReplayEntry*> candidates;
     if (const rl::ReplayEntry* primary = replay_->best_for(c))
       candidates.push_back(primary);

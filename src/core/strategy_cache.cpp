@@ -20,10 +20,12 @@ std::optional<Decision> StrategyCache::get(const rl::ConstraintPoint& c) {
   const auto key = key_of(c);
   const auto it = map_.find(key);
   if (it == map_.end()) {
-    ++misses_;
+    misses_.inc();
+    obs::add("cache.miss");
     return std::nullopt;
   }
-  ++hits_;
+  hits_.inc();
+  obs::add("cache.hit");
   lru_.splice(lru_.begin(), lru_, it->second);  // move to front
   return it->second->second;
 }
@@ -40,13 +42,17 @@ void StrategyCache::put(const rl::ConstraintPoint& c, Decision decision) {
   if (map_.size() > capacity_) {
     map_.erase(lru_.back().first);
     lru_.pop_back();
+    evictions_.inc();
+    obs::add("cache.evict");
   }
 }
 
 void StrategyCache::clear() {
   lru_.clear();
   map_.clear();
-  hits_ = misses_ = 0;
+  hits_.reset();
+  misses_.reset();
+  evictions_.reset();
 }
 
 }  // namespace murmur::core

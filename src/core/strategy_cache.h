@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "core/decision.h"
+#include "obs/metrics.h"
 
 namespace murmur::core {
 
@@ -24,12 +25,18 @@ class StrategyCache {
   void put(const rl::ConstraintPoint& c, Decision decision);
   void clear();
 
+  // Statistics. Per-instance obs counters: lock-free, always counting
+  // (independent of the global telemetry switch); get/put additionally
+  // mirror them into the global MetricsRegistry (cache.hit / cache.miss /
+  // cache.evict) when telemetry is enabled.
   std::size_t size() const noexcept { return map_.size(); }
-  std::uint64_t hits() const noexcept { return hits_; }
-  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t hits() const noexcept { return hits_.value(); }
+  std::uint64_t misses() const noexcept { return misses_.value(); }
+  std::uint64_t evictions() const noexcept { return evictions_.value(); }
   double hit_rate() const noexcept {
-    const auto total = hits_ + misses_;
-    return total ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+    const auto total = hits() + misses();
+    return total ? static_cast<double>(hits()) / static_cast<double>(total)
+                 : 0.0;
   }
 
  private:
@@ -40,7 +47,7 @@ class StrategyCache {
   // LRU: most-recent at front.
   std::list<std::pair<std::uint64_t, Decision>> lru_;
   std::unordered_map<std::uint64_t, decltype(lru_)::iterator> map_;
-  std::uint64_t hits_ = 0, misses_ = 0;
+  obs::Counter hits_, misses_, evictions_;
 };
 
 }  // namespace murmur::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace murmur::netsim {
 
 NetworkMonitor::NetworkMonitor(const Network& network, Options opts)
@@ -29,11 +31,16 @@ MonitorSample NetworkMonitor::probe(std::size_t device, double t_ms) {
 }
 
 void NetworkMonitor::probe_all(double t_ms) {
+  MURMUR_SPAN("monitor.probe_all", "netsim",
+              obs::maybe_histogram("stage.probe_all_ms"));
+  obs::add("monitor.probes",
+           network_.num_devices() > 0 ? network_.num_devices() - 1 : 0);
   for (std::size_t d = 1; d < network_.num_devices(); ++d) probe(d, t_ms);
 }
 
 void NetworkMonitor::observe_transfer(std::size_t device, double bytes,
                                       double elapsed_ms, double t_ms) {
+  obs::add("monitor.passive_observations");
   const double delay = delay_estimate(device);
   const double serialize_ms = std::max(0.1, elapsed_ms - delay);
   MonitorSample s;

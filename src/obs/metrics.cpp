@@ -1,0 +1,243 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace murmur::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+void atomic_fmax(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_fadd(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------- Histogram ----
+
+double Histogram::bucket_upper_ms(int i) noexcept {
+  return kMinMs * std::pow(kMaxMs / kMinMs,
+                           static_cast<double>(i + 1) / kBuckets);
+}
+
+int Histogram::bucket_index(double ms) noexcept {
+  if (!(ms > kMinMs)) return 0;
+  // Invert bucket_upper_ms: the first i with upper(i) >= ms.
+  const double x = std::log(ms / kMinMs) / std::log(kMaxMs / kMinMs);
+  int i = static_cast<int>(std::ceil(x * kBuckets)) - 1;
+  i = std::clamp(i, 0, kBuckets - 1);
+  // Guard against floating-point edge cases of the inversion.
+  while (i > 0 && bucket_upper_ms(i - 1) >= ms) --i;
+  while (i < kBuckets - 1 && bucket_upper_ms(i) < ms) ++i;
+  return i;
+}
+
+void Histogram::observe(double ms) noexcept {
+  if (!std::isfinite(ms)) return;
+  if (ms < 0.0) ms = 0.0;
+  buckets_[static_cast<std::size_t>(bucket_index(ms))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_fadd(sum_, ms);
+  atomic_fmax(max_, ms);
+}
+
+double Histogram::mean_ms() const noexcept {
+  const std::uint64_t n = count();
+  return n ? sum_ms() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::percentile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(n);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      const double lo = i == 0 ? 0.0 : bucket_upper_ms(i - 1);
+      const double hi = std::min(bucket_upper_ms(i), max_ms());
+      const double frac =
+          std::clamp((target - static_cast<double>(cum)) /
+                         static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      return lo + (hi - lo) * frac;
+    }
+    cum += in_bucket;
+  }
+  return max_ms();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------ MetricsRegistry ----
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) names.push_back(name);
+  return names;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  out.reserve(1024);
+  out += "{\"t_ms\":" + fmt_double(monotonic_ms());
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\":" + std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\":" + fmt_double(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, name);
+    out += "\":{\"count\":" + std::to_string(h->count());
+    out += ",\"sum_ms\":" + fmt_double(h->sum_ms());
+    out += ",\"mean_ms\":" + fmt_double(h->mean_ms());
+    out += ",\"p50_ms\":" + fmt_double(h->percentile(50));
+    out += ",\"p90_ms\":" + fmt_double(h->percentile(90));
+    out += ",\"p99_ms\":" + fmt_double(h->percentile(99));
+    out += ",\"max_ms\":" + fmt_double(h->max_ms());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  return ok;
+}
+
+bool MetricsRegistry::append_jsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (!f) return false;
+  const std::string json = to_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  return ok;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Counter* maybe_counter(const char* name) {
+  if (!enabled()) return nullptr;
+  return &MetricsRegistry::instance().counter(name);
+}
+
+Histogram* maybe_histogram(const char* name) {
+  if (!enabled()) return nullptr;
+  return &MetricsRegistry::instance().histogram(name);
+}
+
+}  // namespace murmur::obs

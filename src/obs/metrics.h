@@ -1,0 +1,156 @@
+// Telemetry metrics: a process-global, thread-safe registry of named
+// counters, gauges and fixed-bucket latency histograms.
+//
+// Design constraints (paper Fig 10 runtime: sub-millisecond stages):
+//   * The instruments themselves are lock-free atomics — safe to bump from
+//     the executor's thread pool and the transport's worker threads.
+//   * Registration (name -> instrument lookup) takes a mutex, so hot paths
+//     either cache the returned reference or go through the `maybe_*` /
+//     `add` / `observe` helpers, which are no-ops (one relaxed atomic load,
+//     no locks) while telemetry is disabled.
+//   * Histograms use log-spaced buckets covering 1 us .. 100 s, so one
+//     shape serves both microsecond cache lookups and second-scale training
+//     epochs; percentiles interpolate inside the matched bucket.
+//
+// The registry serializes to JSON (`to_json`/`write_json`) and appends
+// single-line snapshots to a JSONL file (`append_jsonl`) for trajectories.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace murmur::obs {
+
+/// Global telemetry switch. Default off: every MURMUR_SPAN and every
+/// `maybe_*`/`add`/`gauge_set`/`observe` helper reduces to one relaxed
+/// atomic load and a branch.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Monotonically increasing counter. Always counts (lock-free); gating on
+/// `enabled()` is the call site's choice — per-object counters such as the
+/// StrategyCache statistics stay correct with telemetry off.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins floating-point gauge.
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket latency histogram (milliseconds). Log-spaced bucket upper
+/// bounds from kMinMs to kMaxMs; observations below the range land in
+/// bucket 0, above it in the last bucket. Lock-free.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 96;
+  static constexpr double kMinMs = 1e-3;  // 1 us
+  static constexpr double kMaxMs = 1e5;   // 100 s
+
+  /// Inclusive upper bound of bucket `i`.
+  static double bucket_upper_ms(int i) noexcept;
+  /// Bucket index an observation of `ms` falls into.
+  static int bucket_index(double ms) noexcept;
+
+  void observe(double ms) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum_ms() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  double mean_ms() const noexcept;
+  double max_ms() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  /// Percentile estimate, `p` in [0, 100]. Linear interpolation within the
+  /// matched bucket; exact to within one bucket width (~10% relative).
+  /// Returns 0 for an empty histogram.
+  double percentile(double p) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Process-global named-instrument registry. Instrument references stay
+/// valid for the process lifetime (values held by unique_ptr; the registry
+/// never erases).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Sorted names of every registered histogram (for report tables).
+  std::vector<std::string> histogram_names() const;
+
+  /// Full snapshot: {"t_ms":..,"counters":{..},"gauges":{..},
+  /// "histograms":{name:{count,sum_ms,mean_ms,p50_ms,p90_ms,p99_ms,max_ms}}}.
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+  /// Append `to_json()` as one line (JSONL trajectory).
+  bool append_jsonl(const std::string& path) const;
+
+  /// Zero every instrument (names stay registered).
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// ---- disabled-path-free helpers for instrumentation sites -----------------
+
+/// Named counter when telemetry is on, nullptr (and no lock) when off.
+Counter* maybe_counter(const char* name);
+Histogram* maybe_histogram(const char* name);
+
+/// Bump `name` by `n` if telemetry is enabled.
+inline void add(const char* name, std::uint64_t n = 1) {
+  if (enabled()) MetricsRegistry::instance().counter(name).inc(n);
+}
+/// Set gauge `name` if telemetry is enabled.
+inline void gauge_set(const char* name, double v) {
+  if (enabled()) MetricsRegistry::instance().gauge(name).set(v);
+}
+/// Record `ms` into histogram `name` if telemetry is enabled.
+inline void observe(const char* name, double ms) {
+  if (enabled()) MetricsRegistry::instance().histogram(name).observe(ms);
+}
+
+}  // namespace murmur::obs

@@ -1,0 +1,105 @@
+// Per-request span tracing with Chrome trace-event export.
+//
+// `ScopedSpan` is the instrumentation primitive: RAII begin/end around one
+// runtime stage (monitor refresh, cache lookup, RL decision, supernet
+// reconfig, transport, tile execution, SUPREME epochs, ...). Spans record
+// into per-thread buffers — a recording thread only ever touches its own
+// buffer's mutex (uncontended except during export), so tile workers on the
+// executor's thread pool trace without cross-thread interference.
+//
+// Export is the Chrome trace-event JSON array format: load the file at
+// chrome://tracing or https://ui.perfetto.dev. Timestamps are microseconds
+// on the same monotonic epoch the logger prints, so log lines correlate
+// with spans by timestamp and thread id.
+//
+// When telemetry is disabled (obs::enabled() == false), constructing a
+// ScopedSpan is one relaxed atomic load and a branch: no clock read, no
+// lock, no allocation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace murmur::obs {
+
+/// One completed span ("ph":"X" in the Chrome format). Name/category are
+/// stored inline so events never dangle.
+struct TraceEvent {
+  char name[48] = {};
+  char cat[16] = {};
+  double ts_us = 0.0;   // start, us since process start
+  double dur_us = 0.0;  // duration, us
+  std::uint32_t tid = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Record one completed span on the calling thread's buffer. Buffers cap
+  /// at kMaxEventsPerThread; overflow increments dropped() instead of
+  /// growing without bound.
+  void record(const char* name, const char* cat, double ts_us, double dur_us);
+
+  /// Merged snapshot of every thread's buffer, sorted by start time.
+  std::vector<TraceEvent> events() const;
+  std::size_t event_count() const;
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Chrome trace-event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  std::string to_chrome_json() const;
+  bool write_chrome_trace(const std::string& path) const;
+
+  void clear();
+
+  static constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+ private:
+  Tracer() = default;
+
+  struct Buffer {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+  Buffer& local_buffer();
+
+  mutable std::mutex mutex_;  // guards buffers_ (the list, not the contents)
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// RAII span: records [construction, destruction) as one complete event.
+/// Optionally feeds the duration (in ms) into a histogram so the same
+/// instrumentation yields both the trace and the p50/p99 metrics.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* cat = "murmur",
+                      Histogram* hist = nullptr);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  Histogram* hist_ = nullptr;
+  double t0_us_ = 0.0;
+};
+
+}  // namespace murmur::obs
+
+// Span macro with a unique local name, for sites that never reference the
+// span object: MURMUR_SPAN("cache_lookup", "runtime").
+#define MURMUR_SPAN_CONCAT2(a, b) a##b
+#define MURMUR_SPAN_CONCAT(a, b) MURMUR_SPAN_CONCAT2(a, b)
+#define MURMUR_SPAN(...) \
+  ::murmur::obs::ScopedSpan MURMUR_SPAN_CONCAT(murmur_span_, __LINE__)(__VA_ARGS__)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "rl/gcsl.h"
 #include "rl/rollout.h"
 
@@ -62,6 +63,8 @@ void SupremeTrainer::store(Episode ep) {
 }
 
 void SupremeTrainer::mutate_one(Rng& rng) {
+  MURMUR_SPAN("supreme.mutate", "rl");
+  obs::add("supreme.mutations");
   const ReplayEntry* src = replay_.random_entry(rng);
   if (!src) return;
   const auto op = rng.uniform_index(4);
@@ -131,6 +134,7 @@ void SupremeTrainer::mutate_one(Rng& rng) {
 }
 
 TrainingCurve SupremeTrainer::train(PolicyNetwork& policy) {
+  MURMUR_SPAN("supreme.train", "rl");
   Rng rng(opts_.seed);
   Rng eval_rng(opts_.seed ^ 0xE7A1ull);
   const auto validation = env_.validation_points(opts_.eval_points);
@@ -147,6 +151,8 @@ TrainingCurve SupremeTrainer::train(PolicyNetwork& policy) {
   // runtime's strategy cache), so evaluation scores both together.
   auto maybe_eval = [&](int step) {
     if (step % opts_.eval_every != 0 && step != opts_.total_steps) return;
+    MURMUR_SPAN("supreme.eval", "rl",
+                obs::maybe_histogram("supreme.eval_ms"));
     double reward_sum = 0.0, compliance_sum = 0.0;
     for (const auto& c : validation) {
       const Episode ep = rollout(env_, policy, c, eval_rng, {.greedy = true});
@@ -165,6 +171,14 @@ TrainingCurve SupremeTrainer::train(PolicyNetwork& policy) {
     }
     const double n = static_cast<double>(validation.size());
     curve.push_back({step, reward_sum / n, compliance_sum / n});
+    if (obs::enabled()) {
+      obs::gauge_set("supreme.avg_reward", reward_sum / n);
+      obs::gauge_set("supreme.compliance", compliance_sum / n);
+      obs::gauge_set("supreme.replay_entries",
+                     static_cast<double>(replay_.num_entries()));
+      obs::gauge_set("supreme.replay_buckets",
+                     static_cast<double>(replay_.num_buckets()));
+    }
   };
   maybe_eval(0);
 
@@ -174,8 +188,13 @@ TrainingCurve SupremeTrainer::train(PolicyNetwork& policy) {
     if (sup_.enable_mutation && step % sup_.mutation_every == 0) {
       mutate_one(rng);
     }
-    const ConstraintPoint c = env_.sample_constraint(rng, dims);
-    store(rollout(env_, policy, c, rng, {.epsilon = opts_.epsilon}));
+    {
+      MURMUR_SPAN("supreme.rollout", "rl",
+                  obs::maybe_histogram("supreme.rollout_ms"));
+      obs::add("supreme.rollouts");
+      const ConstraintPoint c = env_.sample_constraint(rng, dims);
+      store(rollout(env_, policy, c, rng, {.epsilon = opts_.epsilon}));
+    }
 
     // --- policy training (GCSL on the bucketed buffer) -------------------
     // Half the batch imitates reward-filtered entries on their own tight
@@ -204,7 +223,11 @@ TrainingCurve SupremeTrainer::train(PolicyNetwork& policy) {
     }
     GcslTrainer::imitation_update(env_, policy, batch);
 
-    if (sup_.enable_prune && step % sup_.prune_every == 0) replay_.prune();
+    if (sup_.enable_prune && step % sup_.prune_every == 0) {
+      MURMUR_SPAN("supreme.prune", "rl");
+      obs::add("supreme.prunes");
+      replay_.prune();
+    }
     maybe_eval(step);
   }
   return curve;

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace murmur::runtime {
 
 using supernet::SubnetConfig;
@@ -44,6 +46,7 @@ DistributedExecutor::DistributedExecutor(supernet::Supernet& supernet,
 ExecutionReport DistributedExecutor::run(
     const Tensor& image, const SubnetConfig& config,
     const partition::PlacementPlan& plan) {
+  MURMUR_SPAN("exec.run", "exec", obs::maybe_histogram("stage.exec_run_ms"));
   const auto t_start = std::chrono::steady_clock::now();
   transport_.reset_stats();
   supernet_.activate(config);
@@ -116,6 +119,8 @@ ExecutionReport DistributedExecutor::run(
     // Phase 2 (pooled): each tile assembles its input and runs.
     std::vector<Tensor> outputs(extents.size());
     pool_.parallel_for(extents.size(), [&](std::size_t t) {
+      MURMUR_SPAN("exec.tile", "exec",
+                  obs::maybe_histogram("stage.tile_ms"));
       const int dev =
           plan.device[static_cast<std::size_t>(b)][tiled ? t : 0];
       const auto& de = extents[t];
@@ -190,6 +195,11 @@ ExecutionReport DistributedExecutor::run(
   const partition::SubnetLatencyEvaluator eval(network_);
   report.sim_latency_ms = eval.latency_ms(config, plan);
   report.transport = transport_.stats();
+  if (obs::enabled()) {
+    obs::add("exec.runs");
+    obs::add("exec.partitioned_blocks",
+             static_cast<std::uint64_t>(report.partitioned_blocks));
+  }
   report.wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t_start)

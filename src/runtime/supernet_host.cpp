@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace murmur::runtime {
 
 namespace {
@@ -19,12 +21,18 @@ SupernetHost::SupernetHost(supernet::SupernetOptions opts)
 }
 
 double SupernetHost::switch_submodel(const supernet::SubnetConfig& config) {
+  MURMUR_SPAN("reconfig", "runtime",
+              obs::maybe_histogram("stage.reconfig_ms"));
+  obs::add("reconfig.switches");
   const auto t0 = std::chrono::steady_clock::now();
   net_->activate(config);
   return elapsed_ms(t0);
 }
 
 double SupernetHost::cold_model_load() {
+  MURMUR_SPAN("model_reload", "runtime",
+              obs::maybe_histogram("stage.model_reload_ms"));
+  obs::add("reconfig.cold_reloads");
   const auto t0 = std::chrono::steady_clock::now();
   net_->simulate_weight_reload(*shadow_);
   std::swap(net_, shadow_);

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace murmur::runtime {
 
 namespace {
@@ -35,12 +37,15 @@ MurmurationSystem::MurmurationSystem(core::TrainedArtifacts artifacts,
                                       .classes = opts.classes,
                                       .seed = opts.seed}),
       rng_(opts.seed) {
+  if (opts_.telemetry) obs::set_enabled(true);
   executor_ = std::make_unique<DistributedExecutor>(host_.supernet(), network_);
 }
 
 core::Decision MurmurationSystem::decide(const rl::ConstraintPoint& c,
                                          bool* cache_hit) {
   if (opts_.use_cache) {
+    MURMUR_SPAN("cache_lookup", "runtime",
+                obs::maybe_histogram("stage.cache_lookup_ms"));
     if (auto hit = cache_.get(c)) {
       *cache_hit = true;
       return *std::move(hit);
@@ -53,23 +58,35 @@ core::Decision MurmurationSystem::decide(const rl::ConstraintPoint& c,
 }
 
 InferenceResult MurmurationSystem::infer(const Tensor& image) {
+  MURMUR_SPAN("infer", "runtime", obs::maybe_histogram("stage.request_ms"));
   InferenceResult result;
 
   // 1. Monitoring: refresh estimates of every remote link.
   sim_time_ms_ += 50.0;  // request inter-arrival advance
-  monitor_.probe_all(sim_time_ms_);
-  const netsim::NetworkConditions est = monitor_.estimate();
+  netsim::NetworkConditions est;
+  {
+    MURMUR_SPAN("monitor", "runtime",
+                obs::maybe_histogram("stage.monitor_ms"));
+    monitor_.probe_all(sim_time_ms_);
+    est = monitor_.estimate();
+  }
 
   // 2. Decision (cache -> RL policy).
   const auto t_dec = std::chrono::steady_clock::now();
-  const rl::ConstraintPoint c =
-      artifacts_.env->make_constraint(opts_.slo.value, est);
-  result.decision = decide(c, &result.cache_hit);
+  {
+    MURMUR_SPAN("decision", "runtime",
+                obs::maybe_histogram("stage.decision_ms"));
+    const rl::ConstraintPoint c =
+        artifacts_.env->make_constraint(opts_.slo.value, est);
+    result.decision = decide(c, &result.cache_hit);
+  }
   result.decision_wall_ms = elapsed_ms(t_dec);
 
   // 3. Precompute for forecast conditions (fills the cache for where the
   //    network is heading; paper §5.1).
   if (opts_.use_predictor && opts_.use_cache) {
+    MURMUR_SPAN("precompute", "runtime",
+                obs::maybe_histogram("stage.precompute_ms"));
     const netsim::NetworkConditions fc =
         predictor_.forecast_all(opts_.precompute_horizon_ms);
     const rl::ConstraintPoint cf =
@@ -83,19 +100,30 @@ InferenceResult MurmurationSystem::infer(const Tensor& image) {
       host_.switch_submodel(result.decision.strategy.config);
 
   // 5. Distributed execution.
-  const Tensor input =
-      center_crop(image, result.decision.strategy.config.resolution);
-  ExecutionReport rep = executor_->run(input, result.decision.strategy.config,
-                                       result.decision.strategy.plan);
-  result.logits = std::move(rep.logits);
-  result.sim_latency_ms = rep.sim_latency_ms;
-  result.exec_wall_ms = rep.wall_ms;
+  {
+    MURMUR_SPAN("execute", "runtime",
+                obs::maybe_histogram("stage.execute_ms"));
+    const Tensor input =
+        center_crop(image, result.decision.strategy.config.resolution);
+    ExecutionReport rep = executor_->run(input, result.decision.strategy.config,
+                                         result.decision.strategy.plan);
+    result.logits = std::move(rep.logits);
+    result.sim_latency_ms = rep.sim_latency_ms;
+    result.exec_wall_ms = rep.wall_ms;
+  }
   result.predicted_class = 0;
   for (int i = 1; i < result.logits.dim(1); ++i)
     if (result.logits.at(0, i) > result.logits.at(0, result.predicted_class))
       result.predicted_class = i;
   result.slo_met = opts_.slo.satisfied_by(result.decision.predicted.accuracy,
                                           result.sim_latency_ms);
+  if (obs::enabled()) {
+    obs::add("system.requests");
+    obs::add(result.slo_met ? "system.slo_met" : "system.slo_missed");
+    obs::observe("stage.sim_latency_ms", result.sim_latency_ms);
+    obs::gauge_set("cache.hit_rate", cache_.hit_rate());
+    obs::gauge_set("cache.size", static_cast<double>(cache_.size()));
+  }
   return result;
 }
 

@@ -31,6 +31,11 @@ struct SystemOptions {
   double exec_width_mult = 0.25;
   int classes = 1000;
   std::uint64_t seed = 2024;
+  /// Turn the process-global telemetry layer on (obs::set_enabled(true)) at
+  /// construction: per-stage spans + metrics for every infer(). `false`
+  /// leaves the global switch untouched (default off: the instrumented
+  /// paths cost one relaxed atomic load each, no locks).
+  bool telemetry = false;
 };
 
 struct InferenceResult {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/serialize.h"
+#include "obs/trace.h"
 
 namespace murmur::runtime {
 
@@ -92,6 +93,8 @@ Transport::Transport(const netsim::Network& network) : network_(network) {
 double Transport::send(int src, int dst, std::uint64_t tag,
                        std::vector<std::uint8_t> payload,
                        std::size_t wire_bytes, double sim_send_ms) {
+  MURMUR_SPAN("transport.send", "transport",
+              obs::maybe_histogram("stage.transport_send_ms"));
   const double xfer =
       network_.transfer_ms(static_cast<std::size_t>(src),
                            static_cast<std::size_t>(dst),
@@ -104,6 +107,11 @@ double Transport::send(int src, int dst, std::uint64_t tag,
     stats_.wire_bytes += wire_bytes;
     stats_.sim_transfer_ms += xfer;
   }
+  if (obs::enabled()) {
+    obs::add("transport.messages");
+    obs::add("transport.wire_bytes", wire_bytes);
+    obs::observe("transport.sim_transfer_ms", xfer);
+  }
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   {
     std::lock_guard lock(box.mutex);
@@ -114,6 +122,10 @@ double Transport::send(int src, int dst, std::uint64_t tag,
 }
 
 Transport::Message Transport::recv(int dst, std::uint64_t tag) {
+  // The recv span's duration is the wall time blocked waiting for the
+  // matching message — transport stalls show up directly in the trace.
+  MURMUR_SPAN("transport.recv", "transport",
+              obs::maybe_histogram("stage.transport_recv_ms"));
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   std::unique_lock lock(box.mutex);
   for (;;) {

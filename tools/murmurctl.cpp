@@ -6,6 +6,13 @@
 //                    [--bw MBPS] [--delay MS]
 //   murmurctl sweep  [--scenario ...] --slo V       (bandwidth sweep table)
 //   murmurctl trace  [--scenario ...] [--frames N] [--out trace.csv]
+//   murmurctl metrics [--requests N] [--scenario ...] [--slo V] [--bw MBPS]
+//                    [--delay MS] [--trace-out trace.json]
+//                    [--metrics-out metrics.json]
+//                     (serve N requests with telemetry on; report per-stage
+//                      p50/p90/p99 latencies and cache behaviour; optionally
+//                      export a chrome://tracing span trace and a metrics
+//                      JSON snapshot)
 //   murmurctl info                                   (search space / models)
 //
 // Trained policies are cached in .murmur_cache and shared with the
@@ -22,6 +29,9 @@
 #include "core/training.h"
 #include "netsim/scenario.h"
 #include "netsim/trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/system.h"
 #include "supernet/accuracy_model.h"
 #include "supernet/cost_model.h"
 #include "supernet/model_zoo.h"
@@ -167,6 +177,74 @@ int cmd_trace(const Args& args) {
   return 0;
 }
 
+int cmd_metrics(const Args& args) {
+  const auto setup = setup_from(args);
+  auto artifacts = core::train_or_load(setup);
+
+  runtime::SystemOptions opts;
+  opts.slo = slo_from(args, setup.slo_type);
+  opts.exec_width_mult = args.num("width", 0.15);
+  opts.classes = 100;
+  opts.telemetry = true;
+  // Fresh collection window: prior registration (e.g. during training)
+  // must not pollute the per-request report.
+  obs::MetricsRegistry::instance().reset();
+  obs::Tracer::instance().clear();
+  runtime::MurmurationSystem system(std::move(artifacts), opts);
+  netsim::shape_remotes(system.network(),
+                        Bandwidth::from_mbps(args.num("bw", 150)),
+                        Delay::from_ms(args.num("delay", 20)));
+
+  const int requests = std::max(1, static_cast<int>(args.num("requests", 20)));
+  Rng rng(static_cast<std::uint64_t>(args.num("seed", 1)) ^ 0xC11u);
+  Tensor image = Tensor::randn({1, 3, 224, 224}, rng, 0.0f, 0.5f);
+  int met = 0;
+  for (int i = 0; i < requests; ++i) met += system.infer(image).slo_met ? 1 : 0;
+
+  auto& reg = obs::MetricsRegistry::instance();
+  Table t({"stage", "count", "p50_ms", "p90_ms", "p99_ms", "max_ms"});
+  for (const auto& name : reg.histogram_names()) {
+    const auto& h = reg.histogram(name);
+    if (h.count() == 0) continue;
+    t.new_row()
+        .add(name)
+        .add(static_cast<double>(h.count()))
+        .add(h.percentile(50))
+        .add(h.percentile(90))
+        .add(h.percentile(99))
+        .add(h.max_ms());
+  }
+  std::printf("%d requests, SLO %s: %d met (%.0f%%)\n", requests,
+              system.slo().to_string().c_str(), met,
+              100.0 * met / requests);
+  std::printf("strategy cache: %llu hits / %llu misses / %llu evictions "
+              "(hit rate %.0f%%, %zu entries)\n",
+              static_cast<unsigned long long>(system.cache().hits()),
+              static_cast<unsigned long long>(system.cache().misses()),
+              static_cast<unsigned long long>(system.cache().evictions()),
+              100.0 * system.cache().hit_rate(), system.cache().size());
+  t.print(std::cout);
+
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    if (!reg.write_json(metrics_out)) {
+      std::fprintf(stderr, "failed to write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot: %s\n", metrics_out.c_str());
+  }
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) {
+    if (!obs::Tracer::instance().write_chrome_trace(trace_out)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("chrome trace (%zu spans): %s — open at chrome://tracing\n",
+                obs::Tracer::instance().event_count(), trace_out.c_str());
+  }
+  return 0;
+}
+
 int cmd_info() {
   std::printf("Murmuration supernet search space:\n");
   std::printf("  submodels (excl. placement): %.3g\n",
@@ -200,9 +278,10 @@ int main(int argc, char** argv) {
   if (args.command == "decide") return cmd_decide(args);
   if (args.command == "sweep") return cmd_sweep(args);
   if (args.command == "trace") return cmd_trace(args);
+  if (args.command == "metrics") return cmd_metrics(args);
   if (args.command == "info") return cmd_info();
   std::fprintf(stderr,
-               "usage: murmurctl <train|decide|sweep|trace|info> [--flag "
-               "value ...]\n");
+               "usage: murmurctl <train|decide|sweep|trace|metrics|info> "
+               "[--flag value ...]\n");
   return args.command.empty() ? 1 : 2;
 }
