@@ -1,16 +1,62 @@
-// google-benchmark microbenchmarks of the hot kernels: GEMM-based
-// convolution, depthwise convolution, activation quantization, the LSTM
-// policy step and the supernet submodel switch.
+// google-benchmark microbenchmarks of the hot kernels: packed vs. naive
+// GEMM over real supernet layer shapes, GEMM-based convolution, depthwise
+// convolution, activation quantization, the LSTM policy step and the
+// supernet submodel switch.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "nn/conv2d.h"
 #include "rl/lstm.h"
 #include "runtime/supernet_host.h"
+#include "tensor/gemm.h"
 #include "tensor/quantize.h"
 
 using namespace murmur;
 
 namespace {
+
+// GEMM shapes taken from real supernet layers at 14×14 / 7×7 feature maps:
+// MBConv expand (320×80·196), project (80×320·196), stem-adjacent
+// (64×16·196), deep stage (160×640·49), and a square cache-stressing shape.
+const int kGemmShapes[][3] = {
+    {320, 80, 196}, {80, 320, 196}, {64, 16, 196},
+    {160, 640, 49}, {256, 256, 256},
+};
+
+template <typename F>
+void gemm_shape_bench(benchmark::State& state, F&& fn) {
+  Rng rng(7);
+  const auto& s = kGemmShapes[state.range(0)];
+  const int m = s[0], k = s[1], n = s[2];
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  for (auto _ : state) {
+    fn(m, k, n, a.raw(), b.raw(), c.data());
+    benchmark::DoNotOptimize(c.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(std::to_string(m) + "x" + std::to_string(k) + "x" +
+                 std::to_string(n));
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<std::int64_t>(m) *
+                          k * n);
+}
+
+void BM_GemmPacked(benchmark::State& state) {
+  gemm_shape_bench(state, [](int m, int k, int n, const float* a,
+                             const float* b, float* c) { gemm(m, k, n, a, b, c); });
+}
+BENCHMARK(BM_GemmPacked)->DenseRange(0, 4);
+
+void BM_GemmNaive(benchmark::State& state) {
+  gemm_shape_bench(state,
+                   [](int m, int k, int n, const float* a, const float* b,
+                      float* c) { gemm_ref(m, k, n, a, b, c); });
+}
+BENCHMARK(BM_GemmNaive)->DenseRange(0, 4);
 
 void BM_Conv2dPointwise(benchmark::State& state) {
   Rng rng(1);

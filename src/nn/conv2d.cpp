@@ -1,9 +1,13 @@
 #include "nn/conv2d.h"
 
 #include <cassert>
+#include <cstring>
 #include <sstream>
 
+#include "obs/trace.h"
+#include "tensor/conv_kernels.h"
 #include "tensor/gemm.h"
+#include "tensor/workspace.h"
 
 namespace murmur::nn {
 
@@ -21,24 +25,39 @@ Conv2D::Conv2D(int in_channels, int out_channels, int max_kernel, int stride,
   weight_ = Tensor::kaiming({out_channels, cpg, max_kernel, max_kernel},
                             cpg * max_kernel * max_kernel, rng);
   if (bias) bias_.assign(static_cast<std::size_t>(out_channels), 0.0f);
+  crop_cache_.resize(static_cast<std::size_t>((max_kernel + 1) / 2));
 }
 
 void Conv2D::set_active_kernel(int k) {
   assert(k % 2 == 1 && k >= 1 && k <= max_kernel_);
   active_kernel_ = k;
+  // Build/refresh the crop eagerly: switching is the cheap, serial phase
+  // (SupernetHost::switch_submodel); forwards may run concurrently later.
+  if (k != max_kernel_) (void)cropped_weight();
 }
 
-Tensor Conv2D::cropped_weight() const {
+const Tensor& Conv2D::cropped_weight() {
   if (active_kernel_ == max_kernel_) return weight_;
-  const int off = (max_kernel_ - active_kernel_) / 2;
+  const int k = active_kernel_;
+  CropSlot& slot = crop_cache_[static_cast<std::size_t>((k - 1) / 2)];
+  std::lock_guard lock(crop_mutex_);
+  if (slot.ready && slot.version == weights_version_) {
+    ++crop_hits_;
+    return slot.w;
+  }
+  const int off = (max_kernel_ - k) / 2;
   const int cpg = in_channels_ / groups_;
-  Tensor w({out_channels_, cpg, active_kernel_, active_kernel_});
+  if (slot.w.empty()) slot.w = Tensor({out_channels_, cpg, k, k});
+  const std::size_t row = static_cast<std::size_t>(k);
   for (int o = 0; o < out_channels_; ++o)
     for (int c = 0; c < cpg; ++c)
-      for (int y = 0; y < active_kernel_; ++y)
-        for (int x = 0; x < active_kernel_; ++x)
-          w.at(o, c, y, x) = weight_.at(o, c, y + off, x + off);
-  return w;
+      for (int y = 0; y < k; ++y)
+        std::memcpy(&slot.w.at(o, c, y, 0), &weight_.at(o, c, y + off, off),
+                    row * sizeof(float));
+  slot.version = weights_version_;
+  slot.ready = true;
+  ++crop_builds_;
+  return slot.w;
 }
 
 std::vector<int> Conv2D::out_shape(const std::vector<int>& in) const {
@@ -69,12 +88,21 @@ std::string Conv2D::name() const {
 }
 
 Tensor Conv2D::forward(const Tensor& input) {
-  assert(input.rank() == 4);
-  assert(input.dim(1) == in_channels_);
-  return forward_grouped(input, cropped_weight());
+  Tensor out(out_shape(input.shape()));
+  forward_into(input, out);
+  return out;
 }
 
-Tensor Conv2D::forward_grouped(const Tensor& input, const Tensor& w) const {
+void Conv2D::forward_into(const Tensor& input, Tensor& out) {
+  assert(input.rank() == 4);
+  assert(input.dim(1) == in_channels_);
+  assert(out.rank() == 4 && out.dim(0) == input.dim(0) &&
+         out.dim(1) == out_channels_);
+  forward_grouped(input, cropped_weight(), out);
+}
+
+void Conv2D::forward_grouped(const Tensor& input, const Tensor& w,
+                             Tensor& out) {
   const int n = input.dim(0);
   const int h = input.dim(2);
   const int wd = input.dim(3);
@@ -84,61 +112,63 @@ Tensor Conv2D::forward_grouped(const Tensor& input, const Tensor& w) const {
   const int ow = conv_out_size(wd, k, stride_, pad);
   const int cpg = in_channels_ / groups_;   // input channels per group
   const int opg = out_channels_ / groups_;  // output channels per group
-  Tensor out({n, out_channels_, oh, ow});
+  assert(out.dim(2) == oh && out.dim(3) == ow);
 
   if (depthwise()) {
-    // Direct loop: im2col buys nothing for 1-channel groups.
-    for (int b = 0; b < n; ++b) {
-      for (int c = 0; c < in_channels_; ++c) {
-        for (int oy = 0; oy < oh; ++oy) {
-          for (int ox = 0; ox < ow; ++ox) {
-            float acc = bias_.empty() ? 0.0f : bias_[c];
-            for (int ky = 0; ky < k; ++ky) {
-              const int iy = oy * stride_ - pad + ky;
-              if (iy < 0 || iy >= h) continue;
-              for (int kx = 0; kx < k; ++kx) {
-                const int ix = ox * stride_ - pad + kx;
-                if (ix < 0 || ix >= wd) continue;
-                acc += w.at(c, 0, ky, kx) * input.at(b, c, iy, ix);
-              }
-            }
-            out.at(b, c, oy, ox) = acc;
-          }
-        }
-      }
-    }
-    return out;
+    MURMUR_SPAN("kernel.dwconv", "kernel",
+                obs::maybe_histogram("kernel.dwconv_ms"));
+    const std::size_t in_img = static_cast<std::size_t>(in_channels_) * h * wd;
+    const std::size_t out_img =
+        static_cast<std::size_t>(out_channels_) * oh * ow;
+    for (int b = 0; b < n; ++b)
+      kernels::depthwise_conv2d(input.raw() + b * in_img, in_channels_, h, wd,
+                                w.raw(), bias_.empty() ? nullptr : bias_.data(),
+                                k, stride_, pad, out.raw() + b * out_img);
+    return;
   }
 
-  // Grouped/standard conv via im2col + GEMM per (image, group).
+  // Grouped/standard conv: packed GEMM over im2col columns per (image,
+  // group). For 1×1 stride-1 convs the input layout already *is* the
+  // column matrix, so the GEMM reads it in place.
+  MURMUR_SPAN("kernel.conv", "kernel",
+              obs::maybe_histogram("kernel.conv_ms"));
   const std::size_t col_rows = static_cast<std::size_t>(cpg) * k * k;
   const std::size_t col_cols = static_cast<std::size_t>(oh) * ow;
-  std::vector<float> col(col_rows * col_cols);
+  const bool direct = (k == 1 && stride_ == 1);
+  Workspace& ws = Workspace::tls();
+  Workspace::Frame frame(ws);
+  float* col = direct ? nullptr : ws.alloc(col_rows * col_cols);
   for (int b = 0; b < n; ++b) {
     for (int g = 0; g < groups_; ++g) {
       const float* in_ptr =
           input.raw() + ((static_cast<std::size_t>(b) * in_channels_ +
                           static_cast<std::size_t>(g) * cpg) *
                          h * wd);
-      im2col(in_ptr, cpg, h, wd, k, k, stride_, pad, col.data());
+      const float* col_ptr = in_ptr;
+      if (!direct) {
+        im2col(in_ptr, cpg, h, wd, k, k, stride_, pad, col);
+        col_ptr = col;
+      }
       const float* w_ptr =
           w.raw() + static_cast<std::size_t>(g) * opg * cpg * k * k;
       float* out_ptr =
           out.raw() + ((static_cast<std::size_t>(b) * out_channels_ +
                         static_cast<std::size_t>(g) * opg) *
                        oh * ow);
-      gemm(opg, static_cast<int>(col_rows), static_cast<int>(col_cols), w_ptr,
-           col.data(), out_ptr);
-      if (!bias_.empty()) {
+      // GEMM accumulates, so seed the output with the bias (or zero).
+      if (bias_.empty()) {
+        std::memset(out_ptr, 0, sizeof(float) * opg * col_cols);
+      } else {
         for (int o = 0; o < opg; ++o) {
           const float bval = bias_[static_cast<std::size_t>(g) * opg + o];
-          float* row = out_ptr + static_cast<std::size_t>(o) * oh * ow;
-          for (std::size_t i = 0; i < col_cols; ++i) row[i] += bval;
+          float* row = out_ptr + static_cast<std::size_t>(o) * col_cols;
+          for (std::size_t i = 0; i < col_cols; ++i) row[i] = bval;
         }
       }
+      gemm(opg, static_cast<int>(col_rows), static_cast<int>(col_cols), w_ptr,
+           col_ptr, out_ptr);
     }
   }
-  return out;
 }
 
 }  // namespace murmur::nn

@@ -3,8 +3,21 @@
 // Weights are stored at the supernet's *maximum* kernel size; an elastic
 // convolution can execute with a centre-cropped smaller kernel — the
 // weight-sharing trick used by once-for-all style supernets — via
-// `set_active_kernel`.
+// `set_active_kernel`. Cropped weights are cached per kernel size (and
+// invalidated when `weights()` hands out mutable access), so NAS kernel
+// switching costs a lookup, not a copy, in steady state.
+//
+// The heavy lifting happens in src/tensor kernels: pointwise/grouped convs
+// run packed GEMM over im2col columns (the k=1 stride-1 case skips im2col
+// entirely — the input already is the column matrix), depthwise convs take
+// the direct border/interior-split kernel. All scratch comes from the
+// calling thread's Workspace, so `forward_into` performs no heap
+// allocation once caches and arenas are warm.
 #pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
 
 #include "common/rng.h"
 #include "nn/layer.h"
@@ -20,7 +33,8 @@ class Conv2D final : public Layer {
          int groups, Rng& rng, bool bias = true);
 
   /// Select the kernel size to execute with (odd, <= max kernel). The
-  /// active kernel uses the centre crop of the stored max-size weights.
+  /// active kernel uses the centre crop of the stored max-size weights;
+  /// the crop is built (or revalidated) here, off the forward path.
   void set_active_kernel(int k);
   int active_kernel() const noexcept { return active_kernel_; }
   int max_kernel() const noexcept { return max_kernel_; }
@@ -31,23 +45,52 @@ class Conv2D final : public Layer {
   bool depthwise() const noexcept { return groups_ == in_channels_; }
 
   Tensor forward(const Tensor& input) override;
+  /// Forward into a caller-owned output tensor shaped `out_shape(input)`.
+  /// Steady state (warm crop cache + workspace) performs no heap
+  /// allocation. Thread-safe for concurrent calls on the same layer.
+  void forward_into(const Tensor& input, Tensor& out);
   std::vector<int> out_shape(const std::vector<int>& in) const override;
   double flops(const std::vector<int>& in) const override;
   std::size_t param_bytes() const noexcept override;
   std::string name() const override;
 
-  /// Direct access for weight-reload benchmarks (Fig 19).
-  Tensor& weights() noexcept { return weight_; }
+  /// Direct access for weight-reload benchmarks (Fig 19). The non-const
+  /// overload assumes the caller may mutate and invalidates the cropped
+  /// weight cache.
+  Tensor& weights() noexcept {
+    ++weights_version_;
+    return weight_;
+  }
   const Tensor& weights() const noexcept { return weight_; }
 
+  /// Cropped-weight cache statistics (for tests and telemetry).
+  std::uint64_t crop_cache_hits() const noexcept { return crop_hits_; }
+  std::uint64_t crop_cache_builds() const noexcept { return crop_builds_; }
+
  private:
-  Tensor cropped_weight() const;
-  Tensor forward_grouped(const Tensor& input, const Tensor& w) const;
+  /// Cached centre crop of `weight_` at the active kernel size. The
+  /// returned reference stays valid until `weights()` is mutated.
+  const Tensor& cropped_weight();
+  void forward_grouped(const Tensor& input, const Tensor& w, Tensor& out);
 
   int in_channels_, out_channels_, max_kernel_, stride_, groups_;
   int active_kernel_;
   Tensor weight_;  // [out, in/groups, max_k, max_k]
   std::vector<float> bias_;
+
+  // Crop cache: one slot per odd kernel size (index (k-1)/2), fixed length
+  // so cached Tensor references never move. `version` tracks the weight
+  // epoch the crop was built from.
+  struct CropSlot {
+    Tensor w;
+    std::uint64_t version = 0;
+    bool ready = false;
+  };
+  std::mutex crop_mutex_;
+  std::vector<CropSlot> crop_cache_;
+  std::uint64_t weights_version_ = 1;
+  std::uint64_t crop_hits_ = 0;
+  std::uint64_t crop_builds_ = 0;
 };
 
 }  // namespace murmur::nn

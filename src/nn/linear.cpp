@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/gemm.h"
+
 namespace murmur::nn {
 
 Linear::Linear(int in_features, int out_features, Rng& rng, bool bias)
@@ -13,22 +15,18 @@ Linear::Linear(int in_features, int out_features, Rng& rng, bool bias)
 }
 
 Tensor Linear::forward(const Tensor& input) {
-  Tensor x = input;
-  if (x.rank() == 4) {
-    assert(x.dim(2) == 1 && x.dim(3) == 1);
-    x = x.reshaped({x.dim(0), x.dim(1)});
-  }
-  assert(x.rank() == 2 && x.dim(1) == in_features_);
-  const int n = x.dim(0);
+  // NCHW with 1x1 spatial is the same memory layout as NC — read in place
+  // instead of copying through reshaped().
+  if (input.rank() == 4) assert(input.dim(2) == 1 && input.dim(3) == 1);
+  assert(input.rank() == 2 || input.rank() == 4);
+  assert(input.dim(1) == in_features_);
+  const int n = input.dim(0);
   Tensor out({n, out_features_});
-  for (int b = 0; b < n; ++b) {
-    for (int o = 0; o < out_features_; ++o) {
-      float acc = bias_.empty() ? 0.0f : bias_[o];
-      for (int i = 0; i < in_features_; ++i)
-        acc += weight_.at(o, i) * x.at(b, i);
-      out.at(b, o) = acc;
-    }
-  }
+  const float* bias = bias_.empty() ? nullptr : bias_.data();
+  for (int b = 0; b < n; ++b)
+    gemv(out_features_, in_features_, weight_.raw(),
+         input.raw() + static_cast<std::size_t>(b) * in_features_, bias,
+         out.raw() + static_cast<std::size_t>(b) * out_features_);
   return out;
 }
 

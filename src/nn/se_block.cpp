@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "nn/activations.h"
+#include "tensor/gemm.h"
+#include "tensor/workspace.h"
 
 namespace murmur::nn {
 
@@ -18,30 +20,44 @@ Tensor SEBlock::forward(const Tensor& input) {
   assert(input.rank() == 4 && input.dim(1) == channels_);
   const int n = input.dim(0), h = input.dim(2), w = input.dim(3);
   Tensor out = input;
-  std::vector<float> pooled(static_cast<std::size_t>(channels_));
-  std::vector<float> hid(static_cast<std::size_t>(hidden_));
-  std::vector<float> gate(static_cast<std::size_t>(channels_));
-  const float inv = 1.0f / static_cast<float>(h * w);
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  const float inv = 1.0f / static_cast<float>(plane);
+  // Scratch from the thread-local arena: forward may run concurrently on
+  // the same block from the executor's tile workers.
+  Workspace& ws = Workspace::tls();
+  Workspace::Frame frame(ws);
+  float* pooled = ws.alloc(static_cast<std::size_t>(channels_));
+  float* hid = ws.alloc(static_cast<std::size_t>(hidden_));
+  float* gate = ws.alloc(static_cast<std::size_t>(channels_));
   for (int b = 0; b < n; ++b) {
+    const float* in_b = input.raw() +
+                        static_cast<std::size_t>(b) * channels_ * plane;
+    // Squeeze: per-channel mean over a contiguous plane.
     for (int c = 0; c < channels_; ++c) {
+      const float* p = in_b + static_cast<std::size_t>(c) * plane;
+      float lanes[8] = {};
+      std::size_t i = 0;
+      for (; i + 8 <= plane; i += 8)
+        for (int l = 0; l < 8; ++l) lanes[l] += p[i + l];
       float s = 0.0f;
-      for (int y = 0; y < h; ++y)
-        for (int x = 0; x < w; ++x) s += input.at(b, c, y, x);
+      for (int l = 0; l < 8; ++l) s += lanes[l];
+      for (; i < plane; ++i) s += p[i];
       pooled[c] = s * inv;
     }
-    for (int i = 0; i < hidden_; ++i) {
-      float s = 0.0f;
-      for (int c = 0; c < channels_; ++c) s += w1_.at(i, c) * pooled[c];
-      hid[i] = apply_activation(Activation::kRelu, s);
-    }
-    for (int c = 0; c < channels_; ++c) {
-      float s = 0.0f;
-      for (int i = 0; i < hidden_; ++i) s += w2_.at(c, i) * hid[i];
-      gate[c] = apply_activation(Activation::kHardSigmoid, s);
-    }
+    // Excite: two small FCs.
+    gemv(hidden_, channels_, w1_.raw(), pooled, nullptr, hid);
+    for (int i = 0; i < hidden_; ++i)
+      hid[i] = apply_activation(Activation::kRelu, hid[i]);
+    gemv(channels_, hidden_, w2_.raw(), hid, nullptr, gate);
     for (int c = 0; c < channels_; ++c)
-      for (int y = 0; y < h; ++y)
-        for (int x = 0; x < w; ++x) out.at(b, c, y, x) *= gate[c];
+      gate[c] = apply_activation(Activation::kHardSigmoid, gate[c]);
+    // Scale: channel-wise multiply over contiguous planes.
+    float* out_b = out.raw() + static_cast<std::size_t>(b) * channels_ * plane;
+    for (int c = 0; c < channels_; ++c) {
+      const float g = gate[c];
+      float* p = out_b + static_cast<std::size_t>(c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) p[i] *= g;
+    }
   }
   return out;
 }

@@ -2,8 +2,10 @@
 
 #include <cassert>
 #include <chrono>
+#include <cstring>
 
 #include "obs/trace.h"
+#include "tensor/workspace.h"
 
 namespace murmur::runtime {
 
@@ -12,15 +14,29 @@ using supernet::SubnetConfig;
 namespace {
 
 /// Paste the intersection of `src` (at extent se) into `dst` (at extent de).
+/// Rows of the overlap are contiguous in both tensors, so each copies with
+/// one memcpy instead of per-element at() walks.
 void paste_overlap(const Tensor& src, const TileExtent& se, Tensor& dst,
                    const TileExtent& de) {
   const int h0 = std::max(se.h0, de.h0), h1 = std::min(se.h0 + se.h, de.h0 + de.h);
   const int w0 = std::max(se.w0, de.w0), w1 = std::min(se.w0 + se.w, de.w0 + de.w);
-  for (int n = 0; n < dst.dim(0); ++n)
-    for (int c = 0; c < dst.dim(1); ++c)
-      for (int h = h0; h < h1; ++h)
-        for (int w = w0; w < w1; ++w)
-          dst.at(n, c, h - de.h0, w - de.w0) = src.at(n, c, h - se.h0, w - se.w0);
+  const int wlen = w1 - w0;
+  if (wlen <= 0 || h1 <= h0) return;
+  const std::size_t sw = static_cast<std::size_t>(src.dim(3));
+  const std::size_t dw = static_cast<std::size_t>(dst.dim(3));
+  const std::size_t splane = static_cast<std::size_t>(src.dim(2)) * sw;
+  const std::size_t dplane = static_cast<std::size_t>(dst.dim(2)) * dw;
+  const int nc = dst.dim(0) * dst.dim(1);
+  const float* sp = src.raw() +
+                    static_cast<std::size_t>(h0 - se.h0) * sw + (w0 - se.w0);
+  float* dp = dst.raw() +
+              static_cast<std::size_t>(h0 - de.h0) * dw + (w0 - de.w0);
+  for (int p = 0; p < nc; ++p, sp += splane, dp += dplane) {
+    const float* s = sp;
+    float* d = dp;
+    for (int h = h0; h < h1; ++h, s += sw, d += dw)
+      std::memcpy(d, s, static_cast<std::size_t>(wlen) * sizeof(float));
+  }
 }
 
 bool overlaps(const TileExtent& a, const TileExtent& b) {
@@ -199,6 +215,8 @@ ExecutionReport DistributedExecutor::run(
     obs::add("exec.runs");
     obs::add("exec.partitioned_blocks",
              static_cast<std::uint64_t>(report.partitioned_blocks));
+    obs::gauge_set("kernel.workspace_bytes",
+                   static_cast<double>(Workspace::tls().capacity_bytes()));
   }
   report.wall_ms =
       std::chrono::duration<double, std::milli>(

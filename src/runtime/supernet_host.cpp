@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/trace.h"
+#include "tensor/workspace.h"
 
 namespace murmur::runtime {
 
@@ -26,6 +27,10 @@ double SupernetHost::switch_submodel(const supernet::SubnetConfig& config) {
   obs::add("reconfig.switches");
   const auto t0 = std::chrono::steady_clock::now();
   net_->activate(config);
+  // Kernel-layer health alongside the reconfig metrics: a stable scratch
+  // footprint here means steady-state forwards allocate nothing.
+  obs::gauge_set("kernel.workspace_bytes",
+                 static_cast<double>(Workspace::tls().capacity_bytes()));
   return elapsed_ms(t0);
 }
 

@@ -1,0 +1,189 @@
+#include "tensor/conv_kernels.h"
+
+#include <algorithm>
+
+#include "tensor/gemm.h"
+
+#if defined(_MSC_VER)
+#define MURMUR_RESTRICT __restrict
+#else
+#define MURMUR_RESTRICT __restrict__
+#endif
+
+namespace murmur::kernels {
+
+namespace {
+
+/// Accumulate one bounds-checked output pixel (border path).
+inline float border_pixel(const float* MURMUR_RESTRICT ic,
+                          const float* MURMUR_RESTRICT wc, int w, int k,
+                          int iy0, int ix0, int ky_lo, int ky_hi) {
+  const int kx_lo = std::max(0, -ix0);
+  const int kx_hi = std::min(k, w - ix0);
+  float acc = 0.0f;
+  for (int ky = ky_lo; ky < ky_hi; ++ky) {
+    const float* MURMUR_RESTRICT row =
+        ic + static_cast<std::size_t>(iy0 + ky) * w + ix0;
+    const float* MURMUR_RESTRICT wrow = wc + static_cast<std::size_t>(ky) * k;
+    for (int kx = kx_lo; kx < kx_hi; ++kx) acc += wrow[kx] * row[kx];
+  }
+  return acc;
+}
+
+}  // namespace
+
+namespace {
+
+/// Stride-1 depthwise: for each weight tap (ky,kx), the set of outputs the
+/// tap touches is a contiguous sub-rectangle of the plane, so the whole
+/// convolution decomposes into k·k shifted axpy sweeps — unit-stride,
+/// branch-free, fully vectorizable, borders included.
+void depthwise_stride1(const float* MURMUR_RESTRICT ic,
+                       const float* MURMUR_RESTRICT wc, int h, int w, int k,
+                       int pad, float bias_v, int oh, int ow,
+                       float* MURMUR_RESTRICT oc) {
+  for (int i = 0; i < oh * ow; ++i) oc[i] = bias_v;
+  for (int ky = 0; ky < k; ++ky) {
+    // oy values with iy = oy - pad + ky inside [0, h).
+    const int oy_lo = std::max(0, pad - ky);
+    const int oy_hi = std::min(oh, h + pad - ky);
+    for (int kx = 0; kx < k; ++kx) {
+      const int ox_lo = std::max(0, pad - kx);
+      const int ox_hi = std::min(ow, w + pad - kx);
+      const int span = ox_hi - ox_lo;
+      if (span <= 0 || oy_hi <= oy_lo) continue;
+      const float wv = wc[ky * k + kx];
+      const float* MURMUR_RESTRICT ip =
+          ic + static_cast<std::size_t>(oy_lo - pad + ky) * w +
+          (ox_lo - pad + kx);
+      float* MURMUR_RESTRICT op =
+          oc + static_cast<std::size_t>(oy_lo) * ow + ox_lo;
+      for (int oy = oy_lo; oy < oy_hi; ++oy, ip += w, op += ow)
+        for (int x = 0; x < span; ++x) op[x] += wv * ip[x];
+    }
+  }
+}
+
+}  // namespace
+
+void depthwise_conv2d(const float* in, int channels, int h, int w,
+                      const float* weights, const float* bias, int k,
+                      int stride, int pad, float* out) {
+  const int oh = conv_out_size(h, k, stride, pad);
+  const int ow = conv_out_size(w, k, stride, pad);
+  if (stride == 1) {
+    for (int c = 0; c < channels; ++c)
+      depthwise_stride1(in + static_cast<std::size_t>(c) * h * w,
+                        weights + static_cast<std::size_t>(c) * k * k, h, w, k,
+                        pad, bias ? bias[c] : 0.0f, oh, ow,
+                        out + static_cast<std::size_t>(c) * oh * ow);
+    return;
+  }
+  // Interior output range along x: every kx tap lands inside [0, w).
+  const int x_lo = std::min((pad + stride - 1) / stride, ow);
+  const int x_hi =
+      std::clamp(w - k + pad >= 0 ? (w - k + pad) / stride + 1 : 0, x_lo, ow);
+
+  for (int c = 0; c < channels; ++c) {
+    const float* MURMUR_RESTRICT ic =
+        in + static_cast<std::size_t>(c) * h * w;
+    const float* MURMUR_RESTRICT wc =
+        weights + static_cast<std::size_t>(c) * k * k;
+    float* MURMUR_RESTRICT oc = out + static_cast<std::size_t>(c) * oh * ow;
+    const float b = bias ? bias[c] : 0.0f;
+
+    for (int oy = 0; oy < oh; ++oy) {
+      float* MURMUR_RESTRICT orow = oc + static_cast<std::size_t>(oy) * ow;
+      const int iy0 = oy * stride - pad;
+      const int ky_lo = std::max(0, -iy0);
+      const int ky_hi = std::min(k, h - iy0);
+      for (int ox = 0; ox < ow; ++ox) orow[ox] = b;
+
+      // Left/right borders: clamped kx range per pixel, no inner-loop ifs.
+      for (int ox = 0; ox < x_lo; ++ox)
+        orow[ox] +=
+            border_pixel(ic, wc, w, k, iy0, ox * stride - pad, ky_lo, ky_hi);
+      for (int ox = x_hi; ox < ow; ++ox)
+        orow[ox] +=
+            border_pixel(ic, wc, w, k, iy0, ox * stride - pad, ky_lo, ky_hi);
+
+      // Interior: full kx range guaranteed in bounds, no per-tap checks.
+      for (int ox = x_lo; ox < x_hi; ++ox) {
+        const int ix0 = ox * stride - pad;
+        float acc = 0.0f;
+        for (int ky = ky_lo; ky < ky_hi; ++ky) {
+          const float* MURMUR_RESTRICT row =
+              ic + static_cast<std::size_t>(iy0 + ky) * w + ix0;
+          const float* MURMUR_RESTRICT wrow =
+              wc + static_cast<std::size_t>(ky) * k;
+          for (int kx = 0; kx < k; ++kx) acc += wrow[kx] * row[kx];
+        }
+        orow[ox] += acc;
+      }
+    }
+  }
+}
+
+void depthwise_conv2d_ref(const float* in, int channels, int h, int w,
+                          const float* weights, const float* bias, int k,
+                          int stride, int pad, float* out) {
+  const int oh = conv_out_size(h, k, stride, pad);
+  const int ow = conv_out_size(w, k, stride, pad);
+  for (int c = 0; c < channels; ++c) {
+    const float* ic = in + static_cast<std::size_t>(c) * h * w;
+    const float* wc = weights + static_cast<std::size_t>(c) * k * k;
+    float* oc = out + static_cast<std::size_t>(c) * oh * ow;
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        float acc = bias ? bias[c] : 0.0f;
+        for (int ky = 0; ky < k; ++ky) {
+          const int iy = oy * stride - pad + ky;
+          if (iy < 0 || iy >= h) continue;
+          for (int kx = 0; kx < k; ++kx) {
+            const int ix = ox * stride - pad + kx;
+            if (ix < 0 || ix >= w) continue;
+            acc += wc[ky * k + kx] * ic[static_cast<std::size_t>(iy) * w + ix];
+          }
+        }
+        oc[static_cast<std::size_t>(oy) * ow + ox] = acc;
+      }
+    }
+  }
+}
+
+void conv2d_ref(const float* in, int c_in, int h, int w, const float* weights,
+                const float* bias, int c_out, int k, int stride, int pad,
+                int groups, float* out) {
+  const int oh = conv_out_size(h, k, stride, pad);
+  const int ow = conv_out_size(w, k, stride, pad);
+  const int cpg = c_in / groups;
+  const int opg = c_out / groups;
+  for (int o = 0; o < c_out; ++o) {
+    const int g = o / opg;
+    float* oc = out + static_cast<std::size_t>(o) * oh * ow;
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        float acc = bias ? bias[o] : 0.0f;
+        for (int c = 0; c < cpg; ++c) {
+          const float* ic =
+              in + static_cast<std::size_t>(g * cpg + c) * h * w;
+          const float* wc = weights + (static_cast<std::size_t>(o) * cpg + c) *
+                                          k * k;
+          for (int ky = 0; ky < k; ++ky) {
+            const int iy = oy * stride - pad + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (int kx = 0; kx < k; ++kx) {
+              const int ix = ox * stride - pad + kx;
+              if (ix < 0 || ix >= w) continue;
+              acc +=
+                  wc[ky * k + kx] * ic[static_cast<std::size_t>(iy) * w + ix];
+            }
+          }
+        }
+        oc[static_cast<std::size_t>(oy) * ow + ox] = acc;
+      }
+    }
+  }
+}
+
+}  // namespace murmur::kernels

@@ -1,0 +1,36 @@
+// Direct convolution kernels: a fast depthwise path and naive references.
+//
+// The depthwise kernel is the supernet's second-hottest operation (every
+// MBConv block runs one at the elastic kernel size). `depthwise_conv2d`
+// splits each output row into border and interior segments so all bounds
+// checks hoist out of the inner loop; the stride-1 interior reduces to
+// unit-stride multiply-accumulate sweeps that auto-vectorize. The `_ref`
+// variants are the original checked quad-loops, kept for differential
+// testing.
+//
+// All kernels operate on a single image in CHW layout with square kernels,
+// symmetric zero padding and row-major contiguous storage.
+#pragma once
+
+namespace murmur::kernels {
+
+/// Depthwise convolution: in (C,H,W), weights (C,k,k), optional bias (C),
+/// out (C,oh,ow) fully overwritten. `pad` is the symmetric zero padding.
+void depthwise_conv2d(const float* in, int channels, int h, int w,
+                      const float* weights, const float* bias, int k,
+                      int stride, int pad, float* out);
+
+/// Reference depthwise convolution (per-element bounds checks).
+void depthwise_conv2d_ref(const float* in, int channels, int h, int w,
+                          const float* weights, const float* bias, int k,
+                          int stride, int pad, float* out);
+
+/// Reference grouped convolution for a single image: in (Cin,H,W), weights
+/// (Cout, Cin/groups, k, k), optional bias (Cout), out (Cout,oh,ow) fully
+/// overwritten. Covers standard (groups=1), grouped and depthwise
+/// (groups=Cin) shapes; used to differentially test the im2col+GEMM path.
+void conv2d_ref(const float* in, int c_in, int h, int w, const float* weights,
+                const float* bias, int c_out, int k, int stride, int pad,
+                int groups, float* out);
+
+}  // namespace murmur::kernels

@@ -1,19 +1,52 @@
-// Minimal GEMM + im2col used by the convolution layers.
+// GEMM + im2col kernels used by the convolution and linear layers.
+//
+// `gemm` is a cache-blocked, register-tiled SGEMM: A and B are repacked
+// into contiguous micro-panels sized for the vector registers, a fixed
+// MR×NR micro-kernel accumulates over the packed panels, and — above a
+// flop threshold — row bands are dispatched across a process-wide kernel
+// thread pool. The naive triple-loop version survives as `gemm_ref` for
+// differential testing and packed-vs-naive benchmarks.
 #pragma once
 
-#include <span>
+#include <cstddef>
 
 #include "tensor/tensor.h"
 
 namespace murmur {
 
-/// C(m×n) = A(m×k) · B(k×n), accumulating into C (caller zeroes C first if
-/// needed). Row-major, ikj loop order for streaming access to B and C.
+/// C(m×n) += A(m×k) · B(k×n). Row-major, contiguous. Blocked/packed with an
+/// explicit micro-kernel; scratch comes from the calling thread's
+/// Workspace; dispatches row bands over the kernel pool when the problem
+/// exceeds `gemm_parallel_flops()` and more than one kernel thread is
+/// configured.
 void gemm(int m, int k, int n, const float* a, const float* b, float* c);
+
+/// Reference triple-loop GEMM (ikj order), same accumulate-into-C contract.
+/// Kept for differential tests and benchmarks; not used on the hot path.
+void gemm_ref(int m, int k, int n, const float* a, const float* b, float* c);
+
+/// y(m) = A(m×k) · x(k) [+ bias(m) when non-null]. Row-major matrix-vector
+/// product with multi-accumulator inner loops (the Linear/SE fast path).
+void gemv(int m, int k, const float* a, const float* x, const float* bias,
+          float* y);
+
+/// Flop count (2·m·k·n) above which `gemm` considers parallel dispatch.
+std::size_t gemm_parallel_flops() noexcept;
+
+/// Number of kernel-pool threads `gemm` may use. Defaults to the hardware
+/// concurrency; override with MURMUR_KERNEL_THREADS (1 disables the
+/// parallel path). Read once, at first use.
+int gemm_kernel_threads() noexcept;
+
+/// Test hook: force the kernel thread count (0 restores the default).
+/// Call before the first over-threshold gemm so the pool is sized to
+/// match; intended for differential tests of the parallel dispatch path.
+void gemm_override_threads(int n) noexcept;
 
 /// im2col for a single image: input (C,H,W) -> columns matrix of shape
 /// (C*kh*kw) × (oh*ow), with given stride and symmetric zero padding.
-/// `out` must hold (c*kh*kw) * (oh*ow) floats.
+/// `out` must hold (c*kh*kw) * (oh*ow) floats. Bounds handling is hoisted
+/// out of the inner loop; the stride-1 interior is a straight memcpy.
 void im2col(const float* input, int channels, int height, int width, int kh,
             int kw, int stride, int pad, float* out);
 

@@ -3,7 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace murmur {
+
+namespace {
+
+/// Single-pass max|x| over a contiguous buffer. Max-reductions vectorize
+/// without float-reassociation flags, unlike sum-reductions.
+float abs_max(const float* p, std::size_t n) noexcept {
+  float m = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(p[i]));
+  return m;
+}
+
+}  // namespace
 
 std::size_t quantized_wire_bytes(std::size_t elements, QuantBits b) noexcept {
   if (b == QuantBits::k32) return elements * 4;
@@ -24,6 +38,8 @@ float quantization_step(const Tensor& t, QuantBits bits) noexcept {
 }
 
 QuantizedTensor quantize(const Tensor& t, QuantBits bits) {
+  MURMUR_SPAN("kernel.quantize", "kernel",
+              obs::maybe_histogram("kernel.quantize_ms"));
   QuantizedTensor out;
   out.shape = t.shape();
   out.bits = bits;
@@ -31,16 +47,24 @@ QuantizedTensor quantize(const Tensor& t, QuantBits bits) {
     out.passthrough.assign(t.data().begin(), t.data().end());
     return out;
   }
-  const float amax = t.max_abs();
+  const float* p = t.raw();
+  const std::size_t n = t.size();
+  const float amax = abs_max(p, n);
   const int levels = (1 << (bit_count(bits) - 1)) - 1;  // e.g. 127 for int8
   out.scale = amax > 0.0f ? amax / static_cast<float>(levels) : 1.0f;
   out.zero_point = 0.0f;
-  out.q.resize(t.size());
+  out.q.resize(n);
   const float inv = 1.0f / out.scale;
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    const float q = std::round(t[i] * inv);
-    out.q[i] = static_cast<std::int32_t>(
-        std::clamp(q, -static_cast<float>(levels), static_cast<float>(levels)));
+  const float lim = static_cast<float>(levels);
+  std::int32_t* q = out.q.data();
+  // Scale, clamp, round-to-nearest-even via the 1.5·2^23 magic-number
+  // trick: exact for |v| <= 2^22, and every step (mul, min/max, add, sub,
+  // truncating convert) maps to one packed instruction, so the loop
+  // vectorizes. lrintf/round would pin the loop to scalar libm calls.
+  constexpr float kRound = 12582912.0f;  // 1.5 * 2^23
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = std::clamp(p[i] * inv, -lim, lim);
+    q[i] = static_cast<std::int32_t>((v + kRound) - kRound);
   }
   return out;
 }
@@ -51,8 +75,17 @@ Tensor dequantize(const QuantizedTensor& qt) {
     std::copy(qt.passthrough.begin(), qt.passthrough.end(), t.data().begin());
     return t;
   }
-  for (std::size_t i = 0; i < qt.q.size(); ++i)
-    t[i] = qt.scale * (static_cast<float>(qt.q[i]) - qt.zero_point);
+  const float scale = qt.scale;
+  const float zp = qt.zero_point;
+  const std::int32_t* q = qt.q.data();
+  float* p = t.raw();
+  const std::size_t n = qt.q.size();
+  if (zp == 0.0f) {
+    for (std::size_t i = 0; i < n; ++i) p[i] = scale * static_cast<float>(q[i]);
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      p[i] = scale * (static_cast<float>(q[i]) - zp);
+  }
   return t;
 }
 

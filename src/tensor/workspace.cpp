@@ -1,0 +1,69 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+#include <new>
+
+namespace murmur {
+
+namespace {
+constexpr std::size_t round_up(std::size_t n, std::size_t mult) noexcept {
+  return (n + mult - 1) / mult * mult;
+}
+}  // namespace
+
+Workspace::~Workspace() { release(); }
+
+Workspace& Workspace::tls() {
+  static thread_local Workspace ws;
+  return ws;
+}
+
+float* Workspace::alloc(std::size_t n) {
+  // Keep every allocation a multiple of the alignment so successive bumps
+  // stay aligned.
+  n = round_up(std::max<std::size_t>(n, 1), kAlign / sizeof(float));
+  for (;;) {
+    if (active_ < chunks_.size()) {
+      Chunk& c = chunks_[active_];
+      if (c.cap - c.used >= n) {
+        float* p = c.data + c.used;
+        c.used += n;
+        return p;
+      }
+      ++active_;  // tail of this chunk is wasted until the frame rewinds
+      continue;
+    }
+    const std::size_t cap = std::max(n, kMinChunkFloats);
+    float* data = static_cast<float*>(
+        ::operator new(cap * sizeof(float), std::align_val_t{kAlign}));
+    chunks_.push_back(Chunk{data, cap, 0});
+    ++chunk_allocs_;
+  }
+}
+
+void Workspace::rewind(std::size_t chunk, std::size_t used) noexcept {
+  for (std::size_t i = chunk + 1; i < chunks_.size(); ++i) chunks_[i].used = 0;
+  if (chunk < chunks_.size()) chunks_[chunk].used = used;
+  active_ = chunk;
+}
+
+std::size_t Workspace::capacity_bytes() const noexcept {
+  std::size_t b = 0;
+  for (const Chunk& c : chunks_) b += c.cap * sizeof(float);
+  return b;
+}
+
+std::size_t Workspace::used_bytes() const noexcept {
+  std::size_t b = 0;
+  for (const Chunk& c : chunks_) b += c.used * sizeof(float);
+  return b;
+}
+
+void Workspace::release() {
+  for (Chunk& c : chunks_)
+    ::operator delete(c.data, std::align_val_t{kAlign});
+  chunks_.clear();
+  active_ = 0;
+}
+
+}  // namespace murmur

@@ -1,0 +1,88 @@
+// Per-thread, grow-only scratch arena for kernel temporaries.
+//
+// The compute kernels (im2col columns, packed GEMM panels, pooled SE
+// vectors) need short-lived float buffers on every forward pass. Heap
+// allocating them per call dominates small-layer latency and defeats the
+// paper's millisecond-switching story, so scratch comes from a bump arena
+// instead: each thread owns a chain of chunks, allocation is a pointer
+// bump, and a RAII `Frame` rewinds everything on scope exit. Chunks are
+// never freed while the thread lives, so after the first forward pass of a
+// given shape the steady state performs zero heap allocations.
+//
+// Thread safety: `Workspace::tls()` hands every thread (executor tile
+// workers, the GEMM kernel pool, the main thread) its own arena, so no
+// synchronization is needed. Pointers returned by `alloc` are stable until
+// the enclosing Frame unwinds; frames nest LIFO like the call stack.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace murmur {
+
+class Workspace {
+ public:
+  /// Alignment of every returned pointer (AVX-512 friendly).
+  static constexpr std::size_t kAlign = 64;
+  /// Floats in the first chunk; later chunks double.
+  static constexpr std::size_t kMinChunkFloats = 1u << 16;  // 256 KiB
+
+  Workspace() = default;
+  ~Workspace();
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// The calling thread's arena.
+  static Workspace& tls();
+
+  /// RAII mark/rewind: everything alloc'd after construction is released
+  /// (made reusable, not freed) when the frame is destroyed.
+  class Frame {
+   public:
+    explicit Frame(Workspace& ws) noexcept
+        : ws_(ws), chunk_(ws.active_), used_(ws.active_used()) {}
+    ~Frame() { ws_.rewind(chunk_, used_); }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+   private:
+    Workspace& ws_;
+    std::size_t chunk_;
+    std::size_t used_;
+  };
+
+  /// 64-byte-aligned buffer of `n` floats, valid until the enclosing Frame
+  /// rewinds. Contents are uninitialized.
+  float* alloc(std::size_t n);
+
+  /// Number of chunk mallocs performed so far (monotone). A steady-state
+  /// workload keeps this constant — the hook the zero-allocation tests use.
+  std::uint64_t chunk_allocations() const noexcept { return chunk_allocs_; }
+  /// Total bytes of backing storage currently held.
+  std::size_t capacity_bytes() const noexcept;
+  /// Bytes currently handed out (inside live frames).
+  std::size_t used_bytes() const noexcept;
+
+  /// Free every chunk (for tests; invalidates outstanding pointers).
+  void release();
+
+ private:
+  struct Chunk {
+    float* data = nullptr;
+    std::size_t cap = 0;   // floats
+    std::size_t used = 0;  // floats
+  };
+
+  std::size_t active_used() const noexcept {
+    return active_ < chunks_.size() ? chunks_[active_].used : 0;
+  }
+  void rewind(std::size_t chunk, std::size_t used) noexcept;
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;
+  std::uint64_t chunk_allocs_ = 0;
+};
+
+}  // namespace murmur

@@ -1,0 +1,438 @@
+// Differential tests for the optimized compute kernels: every fast path
+// (packed GEMM, parallel GEMM dispatch, gemv, im2col, depthwise conv,
+// grouped conv, quantize) is checked against its naive `_ref`
+// counterpart across awkward shapes — odd H/W, pad > 0, stride 2,
+// groups > 1, elastic kernel crops, and sizes straddling the parallel
+// threshold. Also covers Workspace reuse (zero steady-state heap
+// allocation) and the cropped-weight cache.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/conv2d.h"
+#include "tensor/conv_kernels.h"
+#include "tensor/gemm.h"
+#include "tensor/quantize.h"
+#include "tensor/tensor.h"
+#include "tensor/workspace.h"
+
+namespace murmur {
+namespace {
+
+constexpr float kTol = 1e-4f;
+
+std::vector<float> random_vec(std::size_t n, Rng& rng, float stddev = 0.25f) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal(0.0, stddev));
+  return v;
+}
+
+void expect_close(const float* got, const float* want, std::size_t n,
+                  const char* what) {
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(got[i], want[i], kTol) << what << " mismatch at index " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+void check_gemm(int m, int k, int n, Rng& rng) {
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+  // Non-zero initial C exercises the accumulate-into contract.
+  const auto c0 = random_vec(static_cast<std::size_t>(m) * n, rng);
+  auto c_fast = c0;
+  auto c_ref = c0;
+  gemm(m, k, n, a.data(), b.data(), c_fast.data());
+  gemm_ref(m, k, n, a.data(), b.data(), c_ref.data());
+  SCOPED_TRACE(::testing::Message() << "m=" << m << " k=" << k << " n=" << n);
+  expect_close(c_fast.data(), c_ref.data(), c_fast.size(), "gemm");
+}
+
+TEST(Gemm, MatchesReferenceAcrossAwkwardShapes) {
+  Rng rng(41);
+  // Degenerate, sub-tile, exact-tile, and remainder-heavy shapes. kMR=6,
+  // kNR is 2x the vector width, KC=256 — shapes straddle all of them.
+  const int shapes[][3] = {
+      {1, 1, 1},    {1, 7, 1},     {3, 5, 7},    {6, 16, 16},
+      {6, 256, 32}, {7, 17, 33},   {13, 64, 196}, {37, 23, 5},
+      {100, 3, 50}, {96, 257, 31}, {5, 300, 97},  {64, 80, 196},
+  };
+  for (const auto& s : shapes) check_gemm(s[0], s[1], s[2], rng);
+}
+
+TEST(Gemm, MatchesReferenceAcrossParallelThreshold) {
+  // Force a multi-thread kernel pool even on 1-core CI so the banded
+  // parallel dispatch path actually runs; sizes sit just below and well
+  // above the flop threshold (2*m*k*n vs gemm_parallel_flops()).
+  Rng rng(43);
+  gemm_override_threads(3);
+  ASSERT_EQ(gemm_kernel_threads(), 3);
+  const std::size_t thr = gemm_parallel_flops();
+  ASSERT_LT(2ull * 48 * 64 * 128, thr);   // serial
+  ASSERT_GE(2ull * 64 * 128 * 512, thr);  // parallel
+  check_gemm(48, 64, 128, rng);
+  check_gemm(64, 128, 512, rng);
+  check_gemm(97, 130, 509, rng);  // parallel + ragged band/tile remainders
+  gemm_override_threads(0);
+}
+
+TEST(Gemv, MatchesGemmReference) {
+  Rng rng(47);
+  const int shapes[][2] = {{1, 1}, {3, 17}, {8, 64}, {13, 100}, {640, 160}};
+  for (const auto& s : shapes) {
+    const int m = s[0], k = s[1];
+    const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+    const auto x = random_vec(static_cast<std::size_t>(k), rng);
+    const auto bias = random_vec(static_cast<std::size_t>(m), rng);
+    std::vector<float> y(m), want(m);
+    // Reference: y = A.x + bias via gemm_ref with n=1.
+    for (int i = 0; i < m; ++i) want[i] = bias[i];
+    gemm_ref(m, k, 1, a.data(), x.data(), want.data());
+    gemv(m, k, a.data(), x.data(), bias.data(), y.data());
+    SCOPED_TRACE(::testing::Message() << "m=" << m << " k=" << k);
+    expect_close(y.data(), want.data(), y.size(), "gemv");
+    // And the bias == nullptr branch.
+    std::fill(want.begin(), want.end(), 0.0f);
+    gemm_ref(m, k, 1, a.data(), x.data(), want.data());
+    gemv(m, k, a.data(), x.data(), nullptr, y.data());
+    expect_close(y.data(), want.data(), y.size(), "gemv-nobias");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// im2col
+// ---------------------------------------------------------------------------
+
+/// Element-by-element im2col reference.
+void im2col_ref(const float* input, int c, int h, int w, int kh, int kw,
+                int stride, int pad, float* out) {
+  const int oh = conv_out_size(h, kh, stride, pad);
+  const int ow = conv_out_size(w, kw, stride, pad);
+  std::size_t r = 0;
+  for (int ch = 0; ch < c; ++ch)
+    for (int ky = 0; ky < kh; ++ky)
+      for (int kx = 0; kx < kw; ++kx, ++r)
+        for (int oy = 0; oy < oh; ++oy)
+          for (int ox = 0; ox < ow; ++ox) {
+            const int iy = oy * stride - pad + ky;
+            const int ix = ox * stride - pad + kx;
+            const bool in_bounds = iy >= 0 && iy < h && ix >= 0 && ix < w;
+            out[r * static_cast<std::size_t>(oh) * ow +
+                static_cast<std::size_t>(oy) * ow + ox] =
+                in_bounds
+                    ? input[(static_cast<std::size_t>(ch) * h + iy) * w + ix]
+                    : 0.0f;
+          }
+}
+
+TEST(Im2col, MatchesReference) {
+  Rng rng(53);
+  struct Case {
+    int c, h, w, kh, kw, stride, pad;
+  };
+  const Case cases[] = {
+      {1, 5, 5, 3, 3, 1, 1},  {3, 7, 9, 3, 3, 1, 0},  {2, 14, 14, 5, 5, 1, 2},
+      {4, 11, 13, 7, 7, 1, 3}, {2, 9, 7, 3, 3, 2, 1},  {3, 15, 11, 5, 5, 2, 2},
+      {1, 3, 3, 7, 7, 1, 3},   {2, 8, 6, 1, 1, 1, 0},  {2, 10, 10, 3, 5, 1, 1},
+      {1, 2, 2, 7, 7, 2, 3},
+  };
+  for (const auto& cs : cases) {
+    const int oh = conv_out_size(cs.h, cs.kh, cs.stride, cs.pad);
+    const int ow = conv_out_size(cs.w, cs.kw, cs.stride, cs.pad);
+    ASSERT_GT(oh, 0);
+    ASSERT_GT(ow, 0);
+    const auto in =
+        random_vec(static_cast<std::size_t>(cs.c) * cs.h * cs.w, rng);
+    const std::size_t cols =
+        static_cast<std::size_t>(cs.c) * cs.kh * cs.kw * oh * ow;
+    std::vector<float> got(cols, -99.0f), want(cols, 99.0f);
+    im2col(in.data(), cs.c, cs.h, cs.w, cs.kh, cs.kw, cs.stride, cs.pad,
+           got.data());
+    im2col_ref(in.data(), cs.c, cs.h, cs.w, cs.kh, cs.kw, cs.stride, cs.pad,
+               want.data());
+    SCOPED_TRACE(::testing::Message()
+                 << "c=" << cs.c << " h=" << cs.h << " w=" << cs.w
+                 << " k=" << cs.kh << "x" << cs.kw << " s=" << cs.stride
+                 << " p=" << cs.pad);
+    // im2col is pure data movement: exact, not approximate.
+    for (std::size_t i = 0; i < cols; ++i)
+      ASSERT_EQ(got[i], want[i]) << "im2col mismatch at " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Depthwise convolution
+// ---------------------------------------------------------------------------
+
+TEST(DepthwiseConv, MatchesReference) {
+  Rng rng(59);
+  struct Case {
+    int c, h, w, k, stride;
+  };
+  const Case cases[] = {
+      {1, 5, 5, 3, 1},   {3, 7, 9, 3, 1},   {8, 14, 14, 5, 1},
+      {4, 11, 13, 7, 1}, {5, 9, 7, 3, 2},   {8, 15, 11, 5, 2},
+      {2, 14, 14, 7, 2}, {1, 3, 3, 7, 1},   {2, 2, 2, 7, 1},
+      {3, 2, 3, 7, 2},   {16, 1, 1, 3, 1},  {7, 28, 28, 7, 2},
+  };
+  for (const auto& cs : cases) {
+    const int pad = cs.k / 2;
+    const int oh = conv_out_size(cs.h, cs.k, cs.stride, pad);
+    const int ow = conv_out_size(cs.w, cs.k, cs.stride, pad);
+    ASSERT_GT(oh, 0);
+    ASSERT_GT(ow, 0);
+    const auto in =
+        random_vec(static_cast<std::size_t>(cs.c) * cs.h * cs.w, rng);
+    const auto wts =
+        random_vec(static_cast<std::size_t>(cs.c) * cs.k * cs.k, rng);
+    const auto bias = random_vec(static_cast<std::size_t>(cs.c), rng);
+    const std::size_t on = static_cast<std::size_t>(cs.c) * oh * ow;
+    std::vector<float> got(on, -99.0f), want(on, 99.0f);
+    for (const float* b : {bias.data(), static_cast<const float*>(nullptr)}) {
+      kernels::depthwise_conv2d(in.data(), cs.c, cs.h, cs.w, wts.data(), b,
+                                cs.k, cs.stride, pad, got.data());
+      kernels::depthwise_conv2d_ref(in.data(), cs.c, cs.h, cs.w, wts.data(), b,
+                                    cs.k, cs.stride, pad, want.data());
+      SCOPED_TRACE(::testing::Message()
+                   << "c=" << cs.c << " h=" << cs.h << " w=" << cs.w
+                   << " k=" << cs.k << " s=" << cs.stride
+                   << " bias=" << (b != nullptr));
+      expect_close(got.data(), want.data(), on, "depthwise");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conv2D layer vs conv2d_ref (covers im2col+GEMM, grouped, pointwise
+// direct path, and elastic kernel crops)
+// ---------------------------------------------------------------------------
+
+/// Centre crop of [out, in/g, maxk, maxk] weights down to k×k.
+std::vector<float> crop_weights(const Tensor& w, int k) {
+  const int oc = w.dim(0), ic = w.dim(1), mk = w.dim(2);
+  const int off = (mk - k) / 2;
+  std::vector<float> out(static_cast<std::size_t>(oc) * ic * k * k);
+  std::size_t r = 0;
+  for (int o = 0; o < oc; ++o)
+    for (int c = 0; c < ic; ++c)
+      for (int ky = 0; ky < k; ++ky)
+        for (int kx = 0; kx < k; ++kx, ++r)
+          out[r] = w.raw()[((static_cast<std::size_t>(o) * ic + c) * mk +
+                            off + ky) *
+                               mk +
+                           off + kx];
+  return out;
+}
+
+void check_conv_layer(int in_c, int out_c, int max_k, int active_k, int stride,
+                      int groups, int batch, int h, int w, Rng& rng) {
+  SCOPED_TRACE(::testing::Message()
+               << "in=" << in_c << " out=" << out_c << " maxk=" << max_k
+               << " k=" << active_k << " s=" << stride << " g=" << groups
+               << " n=" << batch << " h=" << h << " w=" << w);
+  nn::Conv2D conv(in_c, out_c, max_k, stride, groups, rng);
+  conv.set_active_kernel(active_k);
+  const Tensor input = Tensor::randn({batch, in_c, h, w}, rng, 0.0f, 0.25f);
+  const Tensor out = conv.forward(input);
+
+  const int pad = active_k / 2;
+  const int oh = conv_out_size(h, active_k, stride, pad);
+  const int ow = conv_out_size(w, active_k, stride, pad);
+  ASSERT_EQ(out.dim(2), oh);
+  ASSERT_EQ(out.dim(3), ow);
+
+  const auto wk = crop_weights(conv.weights(), active_k);
+  // conv2d_ref has no bias pointer access to the layer's bias; reconstruct
+  // it by probing a zero input: out(0) = bias broadcast over the plane.
+  const Tensor zero({1, in_c, h, w});
+  const Tensor bias_map = conv.forward(zero);
+  std::vector<float> bias(static_cast<std::size_t>(out_c));
+  for (int o = 0; o < out_c; ++o)
+    bias[o] = bias_map.raw()[static_cast<std::size_t>(o) * oh * ow];
+
+  std::vector<float> want(static_cast<std::size_t>(out_c) * oh * ow);
+  for (int b = 0; b < batch; ++b) {
+    kernels::conv2d_ref(input.raw() + static_cast<std::size_t>(b) * in_c * h * w,
+                        in_c, h, w, wk.data(), bias.data(), out_c, active_k,
+                        stride, pad, groups, want.data());
+    expect_close(out.raw() + static_cast<std::size_t>(b) * out_c * oh * ow,
+                 want.data(), want.size(), "conv2d");
+  }
+}
+
+TEST(Conv2DLayer, MatchesReferenceAcrossShapes) {
+  Rng rng(61);
+  // {in_c, out_c, max_k, active_k, stride, groups, batch, h, w}
+  const int cases[][9] = {
+      {3, 8, 3, 3, 1, 1, 1, 7, 9},     // odd H/W, pad 1
+      {4, 12, 5, 5, 1, 1, 2, 14, 14},  // batch 2
+      {8, 16, 7, 7, 2, 1, 1, 15, 11},  // stride 2, pad 3, odd dims
+      {8, 8, 3, 3, 1, 2, 1, 9, 9},     // groups 2
+      {12, 24, 5, 5, 2, 4, 1, 13, 7},  // groups 4, stride 2
+      {16, 32, 1, 1, 1, 1, 1, 14, 14}, // pointwise direct (no im2col)
+      {16, 32, 1, 1, 2, 1, 1, 14, 14}, // pointwise stride 2 (im2col path)
+      {8, 8, 7, 7, 1, 8, 1, 10, 10},   // depthwise via the layer
+  };
+  for (const auto& c : cases)
+    check_conv_layer(c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7], c[8], rng);
+}
+
+TEST(Conv2DLayer, ElasticKernelCropsMatchReference) {
+  Rng rng(67);
+  // One layer with max kernel 7 executed at every elastic crop.
+  for (int k : {3, 5, 7}) {
+    check_conv_layer(6, 10, 7, k, 1, 1, 1, 11, 13, rng);
+    check_conv_layer(8, 8, 7, k, 2, 8, 1, 14, 14, rng);  // depthwise crops
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantize
+// ---------------------------------------------------------------------------
+
+TEST(Quantize, VectorizedRoundingMatchesScalarReference) {
+  Rng rng(71);
+  Tensor t = Tensor::randn({2, 3, 9, 7}, rng, 0.0f, 2.0f);
+  // Include exact halfway points and extremes to stress the rounding path.
+  t.raw()[0] = 0.5f * t.max_abs() / 127.0f;
+  t.raw()[1] = -t.max_abs();
+  for (QuantBits bits : {QuantBits::k8, QuantBits::k4, QuantBits::k16}) {
+    const QuantizedTensor qt = quantize(t, bits);
+    const int levels = (1 << (bit_count(bits) - 1)) - 1;
+    ASSERT_EQ(qt.q.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const float v = t.raw()[i] / qt.scale;
+      // Codes stay in range and within 0.5+eps of the exact quotient
+      // (round-to-nearest-even can differ from nearbyintf by at most the
+      // tie-breaking direction, still within half a step).
+      ASSERT_LE(std::abs(qt.q[i]), levels);
+      ASSERT_LE(std::abs(static_cast<float>(qt.q[i]) -
+                         std::clamp(v, -static_cast<float>(levels),
+                                    static_cast<float>(levels))),
+                0.5f + 1e-3f)
+          << "bits=" << bit_count(bits) << " i=" << i;
+    }
+    // Round trip error bounded by half a quantization step.
+    const Tensor back = dequantize(qt);
+    for (std::size_t i = 0; i < t.size(); ++i)
+      ASSERT_LE(std::abs(back.raw()[i] - t.raw()[i]), 0.5f * qt.scale + 1e-5f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace + zero-allocation steady state
+// ---------------------------------------------------------------------------
+
+TEST(Workspace, FrameRewindReusesChunks) {
+  Workspace& ws = Workspace::tls();
+  ws.release();
+  const std::uint64_t base = ws.chunk_allocations();
+  {
+    Workspace::Frame f(ws);
+    float* a = ws.alloc(1000);
+    float* b = ws.alloc(5000);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_EQ(reinterpret_cast<std::uintptr_t>(a) % Workspace::kAlign, 0u);
+    ASSERT_EQ(reinterpret_cast<std::uintptr_t>(b) % Workspace::kAlign, 0u);
+  }
+  const std::uint64_t warm = ws.chunk_allocations();
+  ASSERT_GT(warm, base);
+  float* prev = nullptr;
+  for (int iter = 0; iter < 10; ++iter) {
+    Workspace::Frame f(ws);
+    float* a = ws.alloc(1000);
+    float* b = ws.alloc(5000);
+    ASSERT_NE(b, nullptr);
+    if (prev) {
+      ASSERT_EQ(a, prev);  // same buffer handed back after rewind
+    }
+    prev = a;
+  }
+  ASSERT_EQ(ws.chunk_allocations(), warm);  // no new chunks in steady state
+  ASSERT_EQ(ws.used_bytes(), 0u);
+}
+
+TEST(Workspace, NestedFramesUnwindLifo) {
+  Workspace& ws = Workspace::tls();
+  Workspace::Frame outer(ws);
+  float* a = ws.alloc(128);
+  a[0] = 1.0f;
+  {
+    Workspace::Frame inner(ws);
+    float* b = ws.alloc(1 << 18);  // forces a fresh chunk
+    b[0] = 2.0f;
+  }
+  float* c = ws.alloc(64);
+  ASSERT_NE(c, a);          // outer allocation still live
+  ASSERT_EQ(a[0], 1.0f);
+}
+
+TEST(Conv2D, SteadyStateForwardIsAllocationFree) {
+  Rng rng(73);
+  nn::Conv2D conv(16, 32, 5, 1, 1, rng);
+  conv.set_active_kernel(5);
+  const Tensor input = Tensor::randn({1, 16, 14, 14}, rng);
+  Tensor out(conv.out_shape(input.shape()));
+
+  Workspace& ws = Workspace::tls();
+  conv.forward_into(input, out);  // warm the arena + crop cache
+  conv.forward_into(input, out);
+  const std::uint64_t chunks = ws.chunk_allocations();
+  const std::size_t cap = ws.capacity_bytes();
+  const std::uint64_t builds = conv.crop_cache_builds();
+  for (int i = 0; i < 20; ++i) conv.forward_into(input, out);
+  EXPECT_EQ(ws.chunk_allocations(), chunks)
+      << "steady-state forward grew the workspace";
+  EXPECT_EQ(ws.capacity_bytes(), cap);
+  EXPECT_EQ(conv.crop_cache_builds(), builds)
+      << "steady-state forward rebuilt the cropped weights";
+}
+
+TEST(Conv2D, KernelSwitchesReuseCropCache) {
+  Rng rng(79);
+  nn::Conv2D conv(8, 8, 7, 1, 8, rng);  // depthwise, elastic 3/5/7
+  const Tensor input = Tensor::randn({1, 8, 10, 10}, rng);
+
+  // First pass over each crop builds it once.
+  for (int k : {3, 5, 7}) {
+    conv.set_active_kernel(k);
+    (void)conv.forward(input);
+  }
+  const std::uint64_t builds = conv.crop_cache_builds();
+  EXPECT_EQ(builds, 2u);  // k=7 is the stored max size, no crop needed
+
+  // 30 more switches: all hits, zero builds.
+  const std::uint64_t hits0 = conv.crop_cache_hits();
+  for (int i = 0; i < 10; ++i)
+    for (int k : {5, 3, 7}) {
+      conv.set_active_kernel(k);
+      (void)conv.forward(input);
+    }
+  EXPECT_EQ(conv.crop_cache_builds(), builds);
+  EXPECT_GT(conv.crop_cache_hits(), hits0);
+
+  // Mutating the weights invalidates the cache: next crop rebuilds and the
+  // output tracks the new weights.
+  conv.weights().raw()[0] += 1.0f;
+  conv.set_active_kernel(7);
+  const Tensor before = conv.forward(input);
+  conv.weights().fill(0.0f);
+  conv.set_active_kernel(3);
+  const Tensor after = conv.forward(input);
+  EXPECT_GT(conv.crop_cache_builds(), builds);
+  // All-zero weights => output is pure bias, constant over each plane.
+  const int plane = after.dim(2) * after.dim(3);
+  for (int c = 0; c < after.dim(1); ++c)
+    for (int i = 1; i < plane; ++i)
+      ASSERT_EQ(after.raw()[c * plane + i], after.raw()[c * plane]);
+}
+
+}  // namespace
+}  // namespace murmur

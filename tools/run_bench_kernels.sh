@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Run the micro-kernel benchmarks and record the results in
+# BENCH_kernels.json at the repo root.
+#
+# Usage:  tools/run_bench_kernels.sh [build-dir] [output-json]
+#
+# The output file keeps a "baseline" section (the pre-optimization seed
+# numbers, captured once) and refreshes the "current" section plus a
+# per-benchmark "speedup" table on every run. Requires python3 for the
+# JSON merge; the raw google-benchmark JSON is left next to the output as
+# <output>.raw in case the merge is not wanted.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_kernels.json}
+BENCH="$BUILD_DIR/bench/bench_micro_kernels"
+FILTER=${BENCH_FILTER:-'Conv2d|Quantize|Gemm'}
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "error: $BENCH not built (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+"$BENCH" --benchmark_filter="$FILTER" \
+         --benchmark_format=json \
+         --benchmark_min_time=0.2 > "$OUT.raw"
+
+python3 - "$OUT.raw" "$OUT" <<'PY'
+import json, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+raw = json.load(open(raw_path))
+
+current = {
+    b["name"]: {"real_time_ns": round(b["real_time"], 1),
+                "cpu_time_ns": round(b["cpu_time"], 1)}
+    for b in raw["benchmarks"]
+}
+
+try:
+    doc = json.load(open(out_path))
+except (FileNotFoundError, json.JSONDecodeError):
+    doc = {}
+
+# Preserve the recorded baseline; seed it from this run if absent.
+baseline = doc.get("baseline") or current
+speedup = {
+    name: round(baseline[name]["real_time_ns"] / v["real_time_ns"], 2)
+    for name, v in current.items()
+    if name in baseline and v["real_time_ns"] > 0
+}
+
+json.dump(
+    {
+        "context": {
+            "host": raw.get("context", {}).get("host_name", ""),
+            "num_cpus": raw.get("context", {}).get("num_cpus", 0),
+            "mhz_per_cpu": raw.get("context", {}).get("mhz_per_cpu", 0),
+        },
+        "baseline": baseline,
+        "current": current,
+        "speedup_vs_baseline": speedup,
+    },
+    open(out_path, "w"),
+    indent=2,
+)
+print(f"wrote {out_path}")
+for name, s in sorted(speedup.items()):
+    print(f"  {name:32s} {s:6.2f}x")
+PY
