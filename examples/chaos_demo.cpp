@@ -1,0 +1,96 @@
+// Fault-injection demo (DESIGN.md §5.8): the same partitioned inference on
+// a 5-Pi device swarm, first fault-free, then under chaos — 5% packet loss
+// on every remote link plus a device crash landing mid-request. Failover
+// keeps every request completing; the table shows what it cost.
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.h"
+#include "netsim/faults.h"
+#include "netsim/scenario.h"
+#include "partition/subnet_latency.h"
+#include "runtime/executor.h"
+
+using namespace murmur;
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+
+  supernet::SupernetOptions sopts;
+  sopts.width_mult = 0.25;
+  sopts.classes = 10;
+  sopts.seed = 3;
+  supernet::Supernet net(sopts);
+  netsim::Network network = netsim::make_device_swarm();
+
+  // A deliberately spread strategy: every block tiled 2x2 across the four
+  // remote Pis, head on device 1 — maximum wire exposure to faults.
+  supernet::SubnetConfig config = supernet::SubnetConfig::min_config();
+  config.resolution = 192;
+  for (auto& b : config.blocks) {
+    b.quant = QuantBits::k8;
+    b.grid = PartitionGrid{2, 2};
+  }
+  partition::PlacementPlan plan = partition::PlacementPlan::all_local();
+  for (auto& row : plan.device) row = {1, 2, 3, 4};
+  plan.head_device = 1;
+
+  const partition::SubnetLatencyEvaluator eval(network);
+  const double clean_latency = eval.latency_ms(config, plan);
+  std::printf("plan: %s\n", plan.to_string(config).c_str());
+  std::printf("analytic fault-free latency: %.1f ms\n\n", clean_latency);
+
+  runtime::DistributedExecutor exec(net, network);
+  Rng rng(7);
+  const Tensor img = Tensor::randn({1, 3, 192, 192}, rng, 0.0f, 0.5f);
+
+  constexpr int kRequests = 8;
+  std::printf("%-10s %-4s %10s %6s %6s %7s %6s %5s %9s\n", "phase", "req",
+              "sim_ms", "redis", "fallbk", "retries", "drops", "t/o",
+              "penalty");
+
+  // Phase 1: fault-free baseline.
+  double base_logit0 = 0.0;
+  for (int r = 0; r < kRequests / 2; ++r) {
+    const auto rep = exec.run(img, config, plan);
+    if (r == 0) base_logit0 = rep.logits.at(0, 0);
+    std::printf("%-10s %-4d %10.1f %6d %6d %7llu %6llu %5llu %9.1f\n",
+                "clean", r, rep.sim_latency_ms, rep.redispatched_tiles,
+                rep.local_fallbacks,
+                static_cast<unsigned long long>(rep.transport.retries),
+                static_cast<unsigned long long>(rep.transport.drops),
+                static_cast<unsigned long long>(rep.transport.timeouts),
+                rep.failover_penalty_ms);
+  }
+
+  // Phase 2: chaos. Device 3 dies halfway through each request's
+  // execution window; every remote link drops 5% of messages.
+  netsim::FaultPlan fp;
+  for (std::size_t d = 1; d < network.num_devices(); ++d)
+    fp.packet_loss(d, 0.05);
+  fp.crash(3, clean_latency / 2.0);
+  netsim::FaultInjector inj(fp, /*seed=*/2024);
+  runtime::FailoverOptions fo;
+  fo.injector = &inj;
+  exec.set_failover(fo);
+
+  int completed = 0;
+  for (int r = 0; r < kRequests / 2; ++r) {
+    const auto rep = exec.run(img, config, plan, /*sim_start_ms=*/0.0);
+    completed += std::isfinite(rep.logits.at(0, 0)) ? 1 : 0;
+    std::printf("%-10s %-4d %10.1f %6d %6d %7llu %6llu %5llu %9.1f\n",
+                rep.degraded ? "chaos*" : "chaos", r, rep.sim_latency_ms,
+                rep.redispatched_tiles, rep.local_fallbacks,
+                static_cast<unsigned long long>(rep.transport.retries),
+                static_cast<unsigned long long>(rep.transport.drops),
+                static_cast<unsigned long long>(rep.transport.timeouts),
+                rep.failover_penalty_ms);
+    if (r == 0)
+      std::printf("  (logit[0] clean %.4f vs chaos %.4f — redispatch "
+                  "preserves the computation)\n",
+                  base_logit0, rep.logits.at(0, 0));
+  }
+  std::printf("\n%d/%d chaos requests completed; * = failover engaged\n",
+              completed, kRequests / 2);
+  return completed == kRequests / 2 ? 0 : 1;
+}

@@ -47,12 +47,32 @@ void StrategyCache::put(const rl::ConstraintPoint& c, Decision decision) {
   }
 }
 
+std::size_t StrategyCache::invalidate_if(
+    const std::function<bool(const Decision&)>& pred) {
+  std::size_t removed = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (pred(it->second)) {
+      map_.erase(it->first);
+      it = lru_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  if (removed > 0) {
+    invalidations_.inc(removed);
+    obs::add("cache.invalidate", removed);
+  }
+  return removed;
+}
+
 void StrategyCache::clear() {
   lru_.clear();
   map_.clear();
   hits_.reset();
   misses_.reset();
   evictions_.reset();
+  invalidations_.reset();
 }
 
 }  // namespace murmur::core

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <optional>
 #include <unordered_map>
@@ -25,6 +26,12 @@ class StrategyCache {
   void put(const rl::ConstraintPoint& c, Decision decision);
   void clear();
 
+  /// Purge every entry whose decision matches `pred` (e.g. strategies that
+  /// place work on a device now known dead). Survivors keep their relative
+  /// LRU order; purges count into `invalidations()`, not `evictions()`.
+  /// Returns the number of entries removed.
+  std::size_t invalidate_if(const std::function<bool(const Decision&)>& pred);
+
   // Statistics. Per-instance obs counters: lock-free, always counting
   // (independent of the global telemetry switch); get/put additionally
   // mirror them into the global MetricsRegistry (cache.hit / cache.miss /
@@ -33,6 +40,7 @@ class StrategyCache {
   std::uint64_t hits() const noexcept { return hits_.value(); }
   std::uint64_t misses() const noexcept { return misses_.value(); }
   std::uint64_t evictions() const noexcept { return evictions_.value(); }
+  std::uint64_t invalidations() const noexcept { return invalidations_.value(); }
   double hit_rate() const noexcept {
     const auto total = hits() + misses();
     return total ? static_cast<double>(hits()) / static_cast<double>(total)
@@ -47,7 +55,7 @@ class StrategyCache {
   // LRU: most-recent at front.
   std::list<std::pair<std::uint64_t, Decision>> lru_;
   std::unordered_map<std::uint64_t, decltype(lru_)::iterator> map_;
-  obs::Counter hits_, misses_, evictions_;
+  obs::Counter hits_, misses_, evictions_, invalidations_;
 };
 
 }  // namespace murmur::core

@@ -1,0 +1,106 @@
+#include "netsim/faults.h"
+
+#include <algorithm>
+
+namespace murmur::netsim {
+
+namespace {
+inline bool in_window(double t, double start, double end) noexcept {
+  return t >= start && t < end;
+}
+}  // namespace
+
+FaultPlan& FaultPlan::blackout(std::size_t device, double t_start_ms,
+                               double t_end_ms) {
+  blackouts_.push_back(LinkBlackout{device, t_start_ms, t_end_ms});
+  return *this;
+}
+
+FaultPlan& FaultPlan::packet_loss(std::size_t device, double probability,
+                                  double t_start_ms, double t_end_ms) {
+  losses_.push_back(
+      PacketLoss{device, std::clamp(probability, 0.0, 1.0), t_start_ms,
+                 t_end_ms});
+  return *this;
+}
+
+FaultPlan& FaultPlan::straggler(std::size_t device, double slowdown,
+                                double t_start_ms, double t_end_ms) {
+  stragglers_.push_back(
+      Straggler{device, std::max(1.0, slowdown), t_start_ms, t_end_ms});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(std::size_t device, double t_crash_ms,
+                            double t_recover_ms) {
+  crashes_.push_back(DeviceCrash{device, t_crash_ms, t_recover_ms});
+  return *this;
+}
+
+FaultPlan FaultPlan::chaos(std::size_t num_devices, const ChaosOptions& opts,
+                           Rng& rng) {
+  FaultPlan plan;
+  for (std::size_t d = 1; d < num_devices; ++d) {
+    if (opts.loss_probability > 0.0)
+      plan.packet_loss(d, opts.loss_probability, 0.0, kNever);
+    if (rng.uniform() < opts.blackout_rate) {
+      const double start = rng.uniform(0.0, opts.horizon_ms);
+      plan.blackout(d, start, start + rng.uniform(0.5, 1.5) *
+                                          opts.blackout_mean_ms);
+    }
+    if (rng.uniform() < opts.straggler_rate) {
+      const double start = rng.uniform(0.0, opts.horizon_ms);
+      plan.straggler(d, opts.straggler_slowdown, start,
+                     start + rng.uniform(0.5, 1.5) * opts.straggler_mean_ms);
+    }
+    if (rng.uniform() < opts.crash_rate) {
+      const double t = rng.uniform(0.0, opts.horizon_ms);
+      // Half the crashes recover after a reboot-scale pause, half are final.
+      plan.crash(d, t, rng.uniform() < 0.5 ? t + opts.horizon_ms * 0.25
+                                           : kNever);
+    }
+  }
+  return plan;
+}
+
+bool FaultInjector::device_up(std::size_t device, double t_ms) const noexcept {
+  for (const auto& c : plan_.crashes())
+    if (c.device == device && in_window(t_ms, c.t_crash_ms, c.t_recover_ms))
+      return false;
+  return true;
+}
+
+bool FaultInjector::link_up(std::size_t device, double t_ms) const noexcept {
+  if (!device_up(device, t_ms)) return false;
+  for (const auto& b : plan_.blackouts())
+    if (b.device == device && in_window(t_ms, b.t_start_ms, b.t_end_ms))
+      return false;
+  return true;
+}
+
+double FaultInjector::loss_probability(std::size_t device,
+                                       double t_ms) const noexcept {
+  // Independent loss processes compose: P = 1 - prod(1 - p_i).
+  double keep = 1.0;
+  for (const auto& l : plan_.losses())
+    if (l.device == device && in_window(t_ms, l.t_start_ms, l.t_end_ms))
+      keep *= 1.0 - l.probability;
+  return 1.0 - keep;
+}
+
+double FaultInjector::slowdown(std::size_t device, double t_ms) const noexcept {
+  double s = 1.0;
+  for (const auto& st : plan_.stragglers())
+    if (st.device == device && in_window(t_ms, st.t_start_ms, st.t_end_ms))
+      s = std::max(s, st.slowdown);
+  return s;
+}
+
+bool FaultInjector::drop_message(std::size_t a, std::size_t b, double t_ms) {
+  const double p = path_loss(a, b, t_ms);
+  if (p <= 0.0) return false;
+  std::lock_guard lock(rng_mutex_);
+  return rng_.uniform() < p;
+}
+
+}  // namespace murmur::netsim

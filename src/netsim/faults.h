@@ -1,0 +1,149 @@
+// Fault injection for the simulated edge fleet.
+//
+// Real edge swarms churn: links black out, packets drop, devices straggle
+// under thermal throttling and crash outright. A FaultPlan schedules such
+// events against the simulated clock; a FaultInjector answers point-in-time
+// availability/loss/slowdown queries for the transport, the executor and
+// the system facade. The injector is composable with NetworkDynamics —
+// dynamics mutates link *quality*, faults gate link/device *availability* —
+// and both are driven from the same deterministic seeded Rng discipline.
+//
+// Everything is opt-in: code paths that hold no injector behave (and cost)
+// exactly as before, mirroring the telemetry switch.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace murmur::netsim {
+
+inline constexpr double kNever = std::numeric_limits<double>::infinity();
+
+/// A device's access link carries no traffic during [t_start, t_end).
+struct LinkBlackout {
+  std::size_t device = 0;
+  double t_start_ms = 0.0;
+  double t_end_ms = kNever;
+};
+
+/// Each message crossing the device's access link during the window is lost
+/// independently with `probability`.
+struct PacketLoss {
+  std::size_t device = 0;
+  double probability = 0.0;
+  double t_start_ms = 0.0;
+  double t_end_ms = kNever;
+};
+
+/// The device runs `slowdown`x slower (compute and serialization) during
+/// the window — thermal throttling, a co-tenant burst, a failing SD card.
+struct Straggler {
+  std::size_t device = 0;
+  double slowdown = 1.0;
+  double t_start_ms = 0.0;
+  double t_end_ms = kNever;
+};
+
+/// The device is gone from t_crash until t_recover (kNever = permanent).
+struct DeviceCrash {
+  std::size_t device = 0;
+  double t_crash_ms = 0.0;
+  double t_recover_ms = kNever;
+};
+
+/// Declarative schedule of fault events. Builder-style; order-independent.
+class FaultPlan {
+ public:
+  FaultPlan& blackout(std::size_t device, double t_start_ms,
+                      double t_end_ms = kNever);
+  FaultPlan& packet_loss(std::size_t device, double probability,
+                         double t_start_ms = 0.0, double t_end_ms = kNever);
+  FaultPlan& straggler(std::size_t device, double slowdown,
+                       double t_start_ms = 0.0, double t_end_ms = kNever);
+  FaultPlan& crash(std::size_t device, double t_crash_ms,
+                   double t_recover_ms = kNever);
+
+  bool empty() const noexcept {
+    return blackouts_.empty() && losses_.empty() && stragglers_.empty() &&
+           crashes_.empty();
+  }
+
+  const std::vector<LinkBlackout>& blackouts() const noexcept {
+    return blackouts_;
+  }
+  const std::vector<PacketLoss>& losses() const noexcept { return losses_; }
+  const std::vector<Straggler>& stragglers() const noexcept {
+    return stragglers_;
+  }
+  const std::vector<DeviceCrash>& crashes() const noexcept { return crashes_; }
+
+  /// Randomized chaos schedule over `horizon_ms` for a fleet of
+  /// `num_devices` (device 0 — the request origin — is never faulted).
+  struct ChaosOptions {
+    double horizon_ms = 10'000.0;
+    double loss_probability = 0.05;     // steady loss on every remote link
+    double blackout_rate = 0.2;         // expected blackouts per device
+    double blackout_mean_ms = 500.0;
+    double crash_rate = 0.2;            // expected crashes per device
+    double straggler_rate = 0.3;        // expected straggle windows per device
+    double straggler_slowdown = 3.0;
+    double straggler_mean_ms = 1'000.0;
+  };
+  static FaultPlan chaos(std::size_t num_devices, const ChaosOptions& opts,
+                         Rng& rng);
+
+ private:
+  std::vector<LinkBlackout> blackouts_;
+  std::vector<PacketLoss> losses_;
+  std::vector<Straggler> stragglers_;
+  std::vector<DeviceCrash> crashes_;
+};
+
+/// Point-in-time oracle over a FaultPlan. Const queries are pure functions
+/// of (plan, device, t); `drop_message` additionally samples the loss
+/// process from an internal seeded Rng (mutex-guarded: the transport calls
+/// it from executor worker threads).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan, std::uint64_t seed = 1337)
+      : plan_(std::move(plan)), rng_(seed) {}
+
+  /// False while the device is crashed.
+  bool device_up(std::size_t device, double t_ms) const noexcept;
+  /// False while the device is crashed OR its access link is blacked out.
+  bool link_up(std::size_t device, double t_ms) const noexcept;
+  /// Per-message loss probability on the device's access link.
+  double loss_probability(std::size_t device, double t_ms) const noexcept;
+  /// Compute/serialization slowdown factor (>= 1).
+  double slowdown(std::size_t device, double t_ms) const noexcept;
+
+  /// Path-level composites (both endpoints' access links).
+  bool path_up(std::size_t a, std::size_t b, double t_ms) const noexcept {
+    return link_up(a, t_ms) && link_up(b, t_ms);
+  }
+  double path_loss(std::size_t a, std::size_t b, double t_ms) const noexcept {
+    const double pa = loss_probability(a, t_ms), pb = loss_probability(b, t_ms);
+    return 1.0 - (1.0 - pa) * (1.0 - pb);
+  }
+  double path_slowdown(std::size_t a, std::size_t b,
+                       double t_ms) const noexcept {
+    return std::max(slowdown(a, t_ms), slowdown(b, t_ms));
+  }
+
+  /// Sample whether one message sent a -> b at `t_ms` is lost to packet
+  /// loss (blackouts/crashes are checked separately via path_up).
+  bool drop_message(std::size_t a, std::size_t b, double t_ms);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::mutex rng_mutex_;
+  Rng rng_;
+};
+
+}  // namespace murmur::netsim

@@ -42,6 +42,60 @@ std::uint64_t PlacementPlan::hash() const noexcept {
   return h;
 }
 
+namespace {
+inline bool healthy_at(const std::vector<bool>& healthy,
+                       std::uint8_t device) noexcept {
+  return device < healthy.size() && healthy[device];
+}
+}  // namespace
+
+bool plan_uses_unhealthy(const PlacementPlan& plan,
+                         const supernet::SubnetConfig& config,
+                         const std::vector<bool>& healthy) noexcept {
+  if (!healthy_at(healthy, plan.stem_device) ||
+      !healthy_at(healthy, plan.head_device))
+    return true;
+  for (int b = 0; b < kMaxBlocks; ++b) {
+    if (!config.block_active(b)) continue;
+    const int tiles = config.blocks[static_cast<std::size_t>(b)].grid.tiles();
+    for (int t = 0; t < tiles; ++t)
+      if (!healthy_at(healthy,
+                      plan.device[static_cast<std::size_t>(b)]
+                                 [static_cast<std::size_t>(t)]))
+        return true;
+  }
+  return false;
+}
+
+int remap_unhealthy(PlacementPlan& plan, const supernet::SubnetConfig& config,
+                    const std::vector<bool>& healthy) noexcept {
+  std::vector<std::uint8_t> survivors;
+  for (std::size_t d = 0; d < healthy.size(); ++d)
+    if (healthy[d]) survivors.push_back(static_cast<std::uint8_t>(d));
+  if (survivors.empty()) return 0;
+  int remapped = 0;
+  if (!healthy_at(healthy, plan.stem_device)) {
+    plan.stem_device = survivors.front();
+    ++remapped;
+  }
+  if (!healthy_at(healthy, plan.head_device)) {
+    plan.head_device = survivors.front();
+    ++remapped;
+  }
+  for (int b = 0; b < kMaxBlocks; ++b) {
+    if (!config.block_active(b)) continue;
+    const int tiles = config.blocks[static_cast<std::size_t>(b)].grid.tiles();
+    for (int t = 0; t < tiles; ++t) {
+      auto& dev = plan.device[static_cast<std::size_t>(b)]
+                             [static_cast<std::size_t>(t)];
+      if (healthy_at(healthy, dev)) continue;
+      dev = survivors[static_cast<std::size_t>(b + t) % survivors.size()];
+      ++remapped;
+    }
+  }
+  return remapped;
+}
+
 std::string PlacementPlan::to_string(
     const supernet::SubnetConfig& config) const {
   std::ostringstream os;

@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "supernet/subnet_config.h"
 
@@ -39,5 +40,20 @@ struct PlacementPlan {
   std::uint64_t hash() const noexcept;
   std::string to_string(const supernet::SubnetConfig& config) const;
 };
+
+/// True if the plan places any work (stem, head, or a tile of an active
+/// block) on a device whose `healthy` entry is false. Device ids beyond
+/// `healthy.size()` count as unhealthy.
+bool plan_uses_unhealthy(const PlacementPlan& plan,
+                         const supernet::SubnetConfig& config,
+                         const std::vector<bool>& healthy) noexcept;
+
+/// Failover re-planning: rewrite every reference to an unhealthy device —
+/// stem/head fall back to the first healthy device, tiles deal round-robin
+/// across the healthy set so spatial spread survives where possible.
+/// Returns the number of entries rewritten (0 if the plan was clean or no
+/// healthy device exists).
+int remap_unhealthy(PlacementPlan& plan, const supernet::SubnetConfig& config,
+                    const std::vector<bool>& healthy) noexcept;
 
 }  // namespace murmur::partition

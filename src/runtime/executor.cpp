@@ -3,8 +3,11 @@
 #include <cassert>
 #include <chrono>
 #include <cstring>
+#include <mutex>
+#include <optional>
 
 #include "obs/trace.h"
+#include "supernet/cost_model.h"
 #include "tensor/workspace.h"
 
 namespace murmur::runtime {
@@ -59,15 +62,49 @@ DistributedExecutor::DistributedExecutor(supernet::Supernet& supernet,
       transport_(network),
       pool_(std::max<std::size_t>(2, network.num_devices())) {}
 
+void DistributedExecutor::set_failover(const FailoverOptions& failover) {
+  failover_ = failover;
+  transport_.set_fault_injector(failover_.injector);
+  transport_.set_retry_policy(failover_.retry);
+}
+
 ExecutionReport DistributedExecutor::run(
     const Tensor& image, const SubnetConfig& config,
-    const partition::PlacementPlan& plan) {
+    const partition::PlacementPlan& plan_in, double sim_start_ms) {
   MURMUR_SPAN("exec.run", "exec", obs::maybe_histogram("stage.exec_run_ms"));
   const auto t_start = std::chrono::steady_clock::now();
   transport_.reset_stats();
   supernet_.activate(config);
 
   ExecutionReport report;
+  partition::PlacementPlan plan = plan_in;  // failover may rewrite entries
+
+  // Failover state. `sim_now` tracks the request's position on the
+  // simulated clock (first-order: per-block compute advances it) so
+  // scheduled faults hit the blocks executing inside their window.
+  netsim::FaultInjector* const inj = failover_.injector;
+  double sim_now = sim_start_ms;
+  std::mutex fo_mutex;  // guards the two counters below from pool threads
+  double fo_penalty_ms = 0.0;
+  int fo_fallbacks = 0;
+
+  // Move a stem/head/tile assignment off a dead device: deal across the
+  // currently-healthy set (device 0 — the request origin — as a last
+  // resort, collapsing to local-only execution).
+  const auto pick_survivor = [&](int salt) -> int {
+    std::vector<int> up;
+    for (std::size_t d = 0; d < network_.num_devices(); ++d)
+      if (inj->device_up(d, sim_now)) up.push_back(static_cast<int>(d));
+    if (up.empty()) return 0;
+    return up[static_cast<std::size_t>(salt) % up.size()];
+  };
+  const auto redispatch = [&](std::uint8_t& dev, int salt) {
+    if (inj->device_up(dev, sim_now)) return;
+    dev = static_cast<std::uint8_t>(pick_survivor(salt));
+    ++report.redispatched_tiles;
+    fo_penalty_ms += failover_.redispatch_penalty_ms;
+    obs::add("runtime.failover.redispatch");
+  };
 
   // Current full map plus ownership metadata per piece.
   struct Piece {
@@ -78,19 +115,45 @@ ExecutionReport DistributedExecutor::run(
   // --- Stem (device 0 holds the image) --------------------------------
   Tensor current;
   {
+    if (inj) redispatch(plan.stem_device, 0);
     const int stem_dev = plan.stem_device;
     if (stem_dev != 0) {
       // Ship the raw image (fp32) to the stem device.
       auto payload = encode_activation(quantize(image, QuantBits::k32));
-      transport_.send(0, stem_dev, make_tag(-1, 0, 0), std::move(payload),
-                      image.bytes(), 0.0);
-      const auto msg = transport_.recv(stem_dev, make_tag(-1, 0, 0));
-      const auto qt = decode_activation(msg.payload);
-      assert(qt.has_value());
-      current = supernet_.forward_stem(dequantize(*qt));
+      const double arrival =
+          transport_.send(0, stem_dev, make_tag(-1, 0, 0), std::move(payload),
+                          image.bytes(), inj ? sim_now : 0.0);
+      if (inj) {
+        const auto msg = transport_.recv_for(
+            stem_dev, make_tag(-1, 0, 0), arrival + failover_.recv_slack_ms);
+        std::optional<QuantizedTensor> qt;
+        if (msg) qt = decode_activation(msg->payload);
+        if (qt) {
+          current = supernet_.forward_stem(dequantize(*qt));
+        } else {
+          // Image lost in flight: collapse the stem back to device 0,
+          // charging the wait the receiver burned before giving up.
+          ++report.local_fallbacks;
+          fo_penalty_ms += arrival - sim_now + failover_.recv_slack_ms;
+          obs::add("runtime.failover.local_fallback");
+          plan.stem_device = 0;
+          current = supernet_.forward_stem(image);
+        }
+      } else {
+        const auto msg = transport_.recv(stem_dev, make_tag(-1, 0, 0));
+        const auto qt = decode_activation(msg.payload);
+        assert(qt.has_value());
+        current = supernet_.forward_stem(dequantize(*qt));
+      }
     } else {
       current = supernet_.forward_stem(image);
     }
+    if (inj)
+      sim_now += network_.device(static_cast<std::size_t>(plan.stem_device))
+                     .throughput.compute_ms(
+                         supernet::CostModel::stem_flops(config)) *
+                 inj->slowdown(
+                     static_cast<std::size_t>(plan.stem_device), sim_now);
   }
   std::vector<Piece> pieces{
       {TileExtent{0, 0, current.dim(2), current.dim(3)}, plan.stem_device}};
@@ -110,7 +173,15 @@ ExecutionReport DistributedExecutor::run(
                     TileExtent{0, 0, current.dim(2), current.dim(3)}};
     if (tiled) ++report.partitioned_blocks;
 
+    // Failover: move tiles assigned to dead devices onto survivors BEFORE
+    // any data ships, so phase 1 routes to the effective placement.
+    if (inj)
+      for (std::size_t t = 0; t < extents.size(); ++t)
+        redispatch(plan.device[static_cast<std::size_t>(b)][tiled ? t : 0],
+                   b + static_cast<int>(t));
+
     // Phase 1 (main thread): ship every cross-device overlap.
+    double block_arrival_ms = sim_now;
     for (std::size_t t = 0; t < extents.size(); ++t) {
       const int dev =
           plan.device[static_cast<std::size_t>(b)][tiled ? t : 0];
@@ -126,11 +197,16 @@ ExecutionReport DistributedExecutor::run(
         Tensor crop = current.crop(h0, w0, h1 - h0, w1 - w0);
         const QuantizedTensor qt = quantize(crop, prev_quant);
         const std::size_t wire = qt.wire_bytes();
-        transport_.send(pieces[p].device, dev,
-                        make_tag(b, static_cast<int>(t), static_cast<int>(p)),
-                        encode_activation(qt), wire, 0.0);
+        const double arrival = transport_.send(
+            pieces[p].device, dev,
+            make_tag(b, static_cast<int>(t), static_cast<int>(p)),
+            encode_activation(qt), wire, inj ? sim_now : 0.0);
+        block_arrival_ms = std::max(block_arrival_ms, arrival);
       }
     }
+    // Receivers wait until the last expected arrival plus slack before
+    // declaring a message lost.
+    const double recv_deadline_ms = block_arrival_ms + failover_.recv_slack_ms;
 
     // Phase 2 (pooled): each tile assembles its input and runs.
     std::vector<Tensor> outputs(extents.size());
@@ -145,17 +221,49 @@ ExecutionReport DistributedExecutor::run(
         if (!overlaps(de, pieces[p].extent)) continue;
         if (pieces[p].device == dev) {
           paste_overlap(current, pieces[p].extent, input, de);
-        } else {
-          const auto msg = transport_.recv(
-              dev, make_tag(b, static_cast<int>(t), static_cast<int>(p)));
-          const auto qt = decode_activation(msg.payload);
-          assert(qt.has_value());
-          const Tensor got = dequantize(*qt);
-          const auto& se = pieces[p].extent;
-          const TileExtent ge{std::max(se.h0, de.h0), std::max(se.w0, de.w0),
-                              got.dim(2), got.dim(3)};
-          paste_overlap(got, ge, input, de);
+          continue;
         }
+        const auto tag =
+            make_tag(b, static_cast<int>(t), static_cast<int>(p));
+        std::optional<QuantizedTensor> qt;
+        if (inj) {
+          const auto msg = transport_.recv_for(dev, tag, recv_deadline_ms);
+          if (msg) qt = decode_activation(msg->payload);
+          if (!qt) {
+            // The region never arrived (or arrived corrupt/late): fall
+            // back to the previous map, charging the burned wait plus one
+            // re-fetch of the region at current conditions.
+            const auto& se = pieces[p].extent;
+            const int h = std::min(se.h0 + se.h, de.h0 + de.h) -
+                          std::max(se.h0, de.h0);
+            const int w = std::min(se.w0 + se.w, de.w0 + de.w) -
+                          std::max(se.w0, de.w0);
+            const double bytes = static_cast<double>(std::max(0, h)) *
+                                 std::max(0, w) * current.dim(1) *
+                                 sizeof(float);
+            {
+              std::lock_guard lock(fo_mutex);
+              ++fo_fallbacks;
+              fo_penalty_ms +=
+                  recv_deadline_ms - sim_now +
+                  network_.transfer_ms(
+                      static_cast<std::size_t>(pieces[p].device),
+                      static_cast<std::size_t>(dev), bytes);
+            }
+            obs::add("runtime.failover.local_fallback");
+            paste_overlap(current, pieces[p].extent, input, de);
+            continue;
+          }
+        } else {
+          const auto msg = transport_.recv(dev, tag);
+          qt = decode_activation(msg.payload);
+          assert(qt.has_value());
+        }
+        const Tensor got = dequantize(*qt);
+        const auto& se = pieces[p].extent;
+        const TileExtent ge{std::max(se.h0, de.h0), std::max(se.w0, de.w0),
+                            got.dim(2), got.dim(3)};
+        paste_overlap(got, ge, input, de);
       }
       outputs[t] = supernet_.forward_block_tile(static_cast<int>(b), input);
     });
@@ -178,39 +286,100 @@ ExecutionReport DistributedExecutor::run(
                           current.dim(3) / geo.stride);
     pieces = std::move(next_pieces);
     prev_quant = bc.quant;
+
+    // Advance the request's simulated clock past this block (first-order:
+    // slowest tile, straggler-adjusted) so later blocks see faults whose
+    // windows open mid-request.
+    if (inj) {
+      double block_ms = 0.0;
+      for (std::size_t t = 0; t < extents.size(); ++t) {
+        const auto dev = static_cast<std::size_t>(
+            plan.device[static_cast<std::size_t>(b)][tiled ? t : 0]);
+        block_ms = std::max(
+            block_ms, network_.device(dev).throughput.compute_ms(
+                          supernet::CostModel::block_tile_flops(config, b)) *
+                          inj->slowdown(dev, sim_now));
+      }
+      sim_now = std::max(sim_now, block_arrival_ms) + block_ms;
+    }
   }
 
   // --- Head: gather to the head device, classify, return logits. -------
   {
+    if (inj) redispatch(plan.head_device, 0);
     const int head_dev = plan.head_device;
     for (std::size_t p = 0; p < pieces.size(); ++p) {
       if (pieces[p].device == head_dev) continue;
       const auto& se = pieces[p].extent;
       Tensor crop = current.crop(se.h0, se.w0, se.h, se.w);
       const QuantizedTensor qt = quantize(crop, prev_quant);
-      transport_.send(pieces[p].device, head_dev, make_tag(1000, 0, static_cast<int>(p)),
-                      encode_activation(qt), qt.wire_bytes(), 0.0);
-      const auto msg =
-          transport_.recv(head_dev, make_tag(1000, 0, static_cast<int>(p)));
-      const auto back = decode_activation(msg.payload);
-      assert(back.has_value());
+      const double arrival = transport_.send(
+          pieces[p].device, head_dev, make_tag(1000, 0, static_cast<int>(p)),
+          encode_activation(qt), qt.wire_bytes(), inj ? sim_now : 0.0);
+      std::optional<QuantizedTensor> back;
+      if (inj) {
+        const auto msg =
+            transport_.recv_for(head_dev, make_tag(1000, 0, static_cast<int>(p)),
+                                arrival + failover_.recv_slack_ms);
+        if (msg) back = decode_activation(msg->payload);
+        if (!back) {
+          // Piece lost on the way to the head: the fp32 region already in
+          // `current` serves (skipping the wire's quantization error);
+          // charge the wait plus a re-fetch.
+          ++report.local_fallbacks;
+          fo_penalty_ms += arrival - sim_now + failover_.recv_slack_ms;
+          obs::add("runtime.failover.local_fallback");
+          continue;
+        }
+      } else {
+        const auto msg =
+            transport_.recv(head_dev, make_tag(1000, 0, static_cast<int>(p)));
+        back = decode_activation(msg.payload);
+        assert(back.has_value());
+      }
       paste_overlap(dequantize(*back), se, current,
                     TileExtent{0, 0, current.dim(2), current.dim(3)});
     }
     report.logits = supernet_.forward_head(current);
     if (head_dev != 0) {
       const QuantizedTensor qt = quantize(report.logits, QuantBits::k32);
-      transport_.send(head_dev, 0, make_tag(1001, 0, 0), encode_activation(qt),
-                      qt.wire_bytes(), 0.0);
-      const auto msg = transport_.recv(0, make_tag(1001, 0, 0));
-      report.logits = dequantize(*decode_activation(msg.payload));
+      const double arrival = transport_.send(
+          head_dev, 0, make_tag(1001, 0, 0), encode_activation(qt),
+          qt.wire_bytes(), inj ? sim_now : 0.0);
+      if (inj) {
+        const auto msg = transport_.recv_for(0, make_tag(1001, 0, 0),
+                                             arrival + failover_.recv_slack_ms);
+        std::optional<QuantizedTensor> got;
+        if (msg) got = decode_activation(msg->payload);
+        if (got) {
+          report.logits = dequantize(*got);
+        } else {
+          // Logits lost on the return hop; the locally computed copy is
+          // identical (k32 wire), so serve it and charge the wait.
+          ++report.local_fallbacks;
+          fo_penalty_ms += arrival - sim_now + failover_.recv_slack_ms;
+          obs::add("runtime.failover.local_fallback");
+        }
+      } else {
+        const auto msg = transport_.recv(0, make_tag(1001, 0, 0));
+        report.logits = dequantize(*decode_activation(msg.payload));
+      }
     }
   }
 
-  // Simulated latency from the analytic evaluator (identical cost model).
+  // Simulated latency from the analytic evaluator (identical cost model),
+  // evaluated on the *effective* plan (post-redispatch) plus the honest
+  // failover surcharge: burned waits, re-dispatch detection, retry backoff.
   const partition::SubnetLatencyEvaluator eval(network_);
-  report.sim_latency_ms = eval.latency_ms(config, plan);
   report.transport = transport_.stats();
+  report.local_fallbacks += fo_fallbacks;
+  report.failover_penalty_ms = fo_penalty_ms + report.transport.backoff_ms;
+  report.sim_latency_ms =
+      eval.latency_ms(config, plan) + report.failover_penalty_ms;
+  report.degraded = report.redispatched_tiles > 0 ||
+                    report.local_fallbacks > 0 ||
+                    report.transport.drops > 0 ||
+                    report.transport.timeouts > 0;
   if (obs::enabled()) {
     obs::add("exec.runs");
     obs::add("exec.partitioned_blocks",

@@ -12,11 +12,25 @@
 #pragma once
 
 #include "common/thread_pool.h"
+#include "netsim/faults.h"
 #include "partition/subnet_latency.h"
 #include "runtime/transport.h"
 #include "supernet/supernet.h"
 
 namespace murmur::runtime {
+
+/// Fault-tolerance knobs for the executor (DESIGN.md §5.8). Attaching an
+/// injector turns failover on; without one the executor behaves (and
+/// costs) exactly as the fault-free original.
+struct FailoverOptions {
+  netsim::FaultInjector* injector = nullptr;  // not owned; nullptr = off
+  /// Sim-time a receiver waits beyond the last expected arrival before
+  /// declaring the message lost and falling back.
+  double recv_slack_ms = 100.0;
+  /// Charge for detecting a dead device and re-dispatching its tile.
+  double redispatch_penalty_ms = 5.0;
+  Transport::RetryPolicy retry{};
+};
 
 struct ExecutionReport {
   Tensor logits;
@@ -24,6 +38,11 @@ struct ExecutionReport {
   double wall_ms = 0.0;         // host wall-clock of this run
   TransportStats transport;
   int partitioned_blocks = 0;   // blocks that actually ran tiled
+  // Failover accounting (all zero without an injector):
+  int redispatched_tiles = 0;   // stem/head/tile assignments moved off dead devices
+  int local_fallbacks = 0;      // receives that timed out and re-read locally
+  double failover_penalty_ms = 0.0;  // extra simulated latency charged
+  bool degraded = false;        // any fault handled during this run
 };
 
 class DistributedExecutor {
@@ -31,17 +50,27 @@ class DistributedExecutor {
   DistributedExecutor(supernet::Supernet& supernet,
                       const netsim::Network& network);
 
+  /// Attach (or clear, with a default-constructed value) fault tolerance;
+  /// forwards the injector and retry policy to the transport.
+  void set_failover(const FailoverOptions& failover);
+  const FailoverOptions& failover() const noexcept { return failover_; }
+
   /// Execute `image` (NCHW, spatial size == config.resolution) under the
   /// given strategy. The supernet's active config is set to `config`.
+  /// `sim_start_ms` anchors the request on the simulated clock so
+  /// scheduled faults (crash at t, blackout window) line up with the
+  /// blocks executing at that time.
   ExecutionReport run(const Tensor& image,
                       const supernet::SubnetConfig& config,
-                      const partition::PlacementPlan& plan);
+                      const partition::PlacementPlan& plan,
+                      double sim_start_ms = 0.0);
 
  private:
   supernet::Supernet& supernet_;
   const netsim::Network& network_;
   Transport transport_;
   ThreadPool pool_;
+  FailoverOptions failover_;
 };
 
 }  // namespace murmur::runtime

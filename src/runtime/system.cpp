@@ -24,6 +24,28 @@ Tensor center_crop(const Tensor& image, int size) {
 }
 }  // namespace
 
+const char* to_string(RequestOutcome outcome) noexcept {
+  switch (outcome) {
+    case RequestOutcome::kCompleted: return "completed";
+    case RequestOutcome::kDegraded: return "degraded";
+    case RequestOutcome::kSloViolated: return "slo_violated";
+    case RequestOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+namespace {
+const char* outcome_metric(RequestOutcome outcome) noexcept {
+  switch (outcome) {
+    case RequestOutcome::kCompleted: return "system.outcome.completed";
+    case RequestOutcome::kDegraded: return "system.outcome.degraded";
+    case RequestOutcome::kSloViolated: return "system.outcome.slo_violated";
+    case RequestOutcome::kFailed: return "system.outcome.failed";
+  }
+  return "system.outcome.unknown";
+}
+}  // namespace
+
 MurmurationSystem::MurmurationSystem(core::TrainedArtifacts artifacts,
                                      SystemOptions opts)
     : artifacts_(std::move(artifacts)),
@@ -39,6 +61,19 @@ MurmurationSystem::MurmurationSystem(core::TrainedArtifacts artifacts,
       rng_(opts.seed) {
   if (opts_.telemetry) obs::set_enabled(true);
   executor_ = std::make_unique<DistributedExecutor>(host_.supernet(), network_);
+}
+
+void MurmurationSystem::set_failover(const FailoverOptions& failover) {
+  executor_->set_failover(failover);
+  last_health_.clear();  // force a fresh health comparison next request
+}
+
+std::vector<bool> MurmurationSystem::health_mask() const {
+  std::vector<bool> healthy(network_.num_devices(), true);
+  if (const auto* inj = executor_->failover().injector)
+    for (std::size_t d = 0; d < healthy.size(); ++d)
+      healthy[d] = inj->device_up(d, sim_time_ms_);
+  return healthy;
 }
 
 core::Decision MurmurationSystem::decide(const rl::ConstraintPoint& c,
@@ -61,14 +96,51 @@ InferenceResult MurmurationSystem::infer(const Tensor& image) {
   MURMUR_SPAN("infer", "runtime", obs::maybe_histogram("stage.request_ms"));
   InferenceResult result;
 
-  // 1. Monitoring: refresh estimates of every remote link.
+  // 0. Device health (fault-aware deployments only): refresh the mask,
+  //    purge cached strategies that place work on newly dead devices.
   sim_time_ms_ += 50.0;  // request inter-arrival advance
+  netsim::FaultInjector* const inj = executor_->failover().injector;
+  std::vector<bool> healthy;
+  if (inj) {
+    healthy = health_mask();
+    if (!healthy[0]) {
+      // The local (serving) device itself is down: the request cannot be
+      // accepted, let alone degraded.
+      result.outcome = RequestOutcome::kFailed;
+      if (obs::enabled()) {
+        obs::add("system.requests");
+        obs::add(outcome_metric(result.outcome));
+      }
+      return result;
+    }
+    if (healthy != last_health_) {
+      result.cache_purged = cache_.invalidate_if([&](const core::Decision& d) {
+        return partition::plan_uses_unhealthy(d.strategy.plan,
+                                              d.strategy.config, healthy);
+      });
+      if (result.cache_purged > 0 && obs::enabled())
+        obs::add("runtime.failover.cache_purged", result.cache_purged);
+      last_health_ = healthy;
+    }
+  }
+
+  // 1. Monitoring: refresh estimates of every remote link.
   netsim::NetworkConditions est;
   {
     MURMUR_SPAN("monitor", "runtime",
                 obs::maybe_histogram("stage.monitor_ms"));
     monitor_.probe_all(sim_time_ms_);
     est = monitor_.estimate();
+  }
+  if (inj) {
+    // Dead devices look like worst-case links to the decision module, so
+    // the policy steers work away from them without a bespoke action mask.
+    const auto& eo = artifacts_.env->options();
+    for (std::size_t d = 1; d < est.num_devices(); ++d)
+      if (!healthy[d]) {
+        est.bandwidth_mbps[d] = eo.bw_min_mbps;
+        est.delay_ms[d] = eo.delay_max_ms;
+      }
   }
 
   // 2. Decision (cache -> RL policy).
@@ -95,21 +167,40 @@ InferenceResult MurmurationSystem::infer(const Tensor& image) {
     (void)decide(cf, &hit);
   }
 
+  // 3b. Pre-dispatch re-planning: even a cached/fresh decision may place
+  //     work on devices the health mask says are dead — move those entries
+  //     to survivors before the executor ever sends to them.
+  if (inj) {
+    result.replanned_entries = partition::remap_unhealthy(
+        result.decision.strategy.plan, result.decision.strategy.config,
+        healthy);
+    if (result.replanned_entries > 0 && obs::enabled())
+      obs::add("runtime.failover.replanned",
+               static_cast<std::uint64_t>(result.replanned_entries));
+  }
+
   // 4. Model reconfig: in-memory submodel switch.
   result.switch_wall_ms =
       host_.switch_submodel(result.decision.strategy.config);
 
   // 5. Distributed execution.
+  bool exec_degraded = false;
   {
     MURMUR_SPAN("execute", "runtime",
                 obs::maybe_histogram("stage.execute_ms"));
     const Tensor input =
         center_crop(image, result.decision.strategy.config.resolution);
-    ExecutionReport rep = executor_->run(input, result.decision.strategy.config,
-                                         result.decision.strategy.plan);
+    ExecutionReport rep =
+        executor_->run(input, result.decision.strategy.config,
+                       result.decision.strategy.plan, sim_time_ms_);
     result.logits = std::move(rep.logits);
     result.sim_latency_ms = rep.sim_latency_ms;
     result.exec_wall_ms = rep.wall_ms;
+    result.transport = rep.transport;
+    result.redispatched_tiles = rep.redispatched_tiles;
+    result.local_fallbacks = rep.local_fallbacks;
+    result.failover_penalty_ms = rep.failover_penalty_ms;
+    exec_degraded = rep.degraded;
   }
   result.predicted_class = 0;
   for (int i = 1; i < result.logits.dim(1); ++i)
@@ -117,9 +208,18 @@ InferenceResult MurmurationSystem::infer(const Tensor& image) {
       result.predicted_class = i;
   result.slo_met = opts_.slo.satisfied_by(result.decision.predicted.accuracy,
                                           result.sim_latency_ms);
+  const bool degraded = exec_degraded || result.replanned_entries > 0 ||
+                        result.cache_purged > 0;
+  if (!result.slo_met)
+    result.outcome = RequestOutcome::kSloViolated;
+  else if (degraded)
+    result.outcome = RequestOutcome::kDegraded;
+  else
+    result.outcome = RequestOutcome::kCompleted;
   if (obs::enabled()) {
     obs::add("system.requests");
     obs::add(result.slo_met ? "system.slo_met" : "system.slo_missed");
+    obs::add(outcome_metric(result.outcome));
     obs::observe("stage.sim_latency_ms", result.sim_latency_ms);
     obs::gauge_set("cache.hit_rate", cache_.hit_rate());
     obs::gauge_set("cache.size", static_cast<double>(cache_.size()));

@@ -9,7 +9,9 @@
 // partitioned inference across the simulated devices.
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "core/decision.h"
 #include "core/strategy_cache.h"
@@ -38,6 +40,18 @@ struct SystemOptions {
   bool telemetry = false;
 };
 
+/// Per-request outcome under faults (DESIGN.md §5.8). Precedence when
+/// several apply: kFailed > kSloViolated > kDegraded > kCompleted.
+enum class RequestOutcome {
+  kCompleted,    // no fault touched this request
+  kDegraded,     // served correctly, but failover paths ran
+  kSloViolated,  // served, but the (possibly fault-inflated) latency or
+                 // accuracy misses the SLO
+  kFailed,       // could not be served (e.g. the local device is down)
+};
+
+const char* to_string(RequestOutcome outcome) noexcept;
+
 struct InferenceResult {
   Tensor logits;
   int predicted_class = 0;
@@ -48,6 +62,14 @@ struct InferenceResult {
   double exec_wall_ms = 0.0;
   bool cache_hit = false;
   bool slo_met = false;
+  // Fault handling (defaults describe the fault-free path):
+  RequestOutcome outcome = RequestOutcome::kCompleted;
+  TransportStats transport;
+  int redispatched_tiles = 0;
+  int local_fallbacks = 0;
+  int replanned_entries = 0;       // plan entries moved before dispatch
+  std::size_t cache_purged = 0;    // strategies invalidated by the health mask
+  double failover_penalty_ms = 0.0;
 };
 
 class MurmurationSystem {
@@ -60,6 +82,21 @@ class MurmurationSystem {
   /// Mutable access to the simulated network (shape links to emulate
   /// changing conditions between requests).
   netsim::Network& network() noexcept { return network_; }
+
+  /// Attach fault tolerance: the injector drives both the executor's
+  /// failover paths and the per-request device-health mask (strategy-cache
+  /// invalidation, decision masking, pre-dispatch re-planning). Pass a
+  /// default-constructed value to turn it all back off.
+  void set_failover(const FailoverOptions& failover);
+  const FailoverOptions& failover() const noexcept {
+    return executor_->failover();
+  }
+
+  /// Health of every device at the current simulated time (all-true
+  /// without an injector).
+  std::vector<bool> health_mask() const;
+
+  double sim_time_ms() const noexcept { return sim_time_ms_; }
 
   /// Serve one inference request on `image` (3 x R x R, R >= 224 works for
   /// any configured resolution via center-crop).
@@ -83,6 +120,9 @@ class MurmurationSystem {
   std::unique_ptr<DistributedExecutor> executor_;
   Rng rng_;
   double sim_time_ms_ = 0.0;
+  // Health mask of the previous request; a change invalidates cached
+  // strategies that place work on newly dead devices.
+  std::vector<bool> last_health_;
 };
 
 }  // namespace murmur::runtime

@@ -3,15 +3,26 @@
 // a per-destination mailbox, and deserialized on the receiving side;
 // simulated arrival time is charged from the network simulator so transfer
 // costs match the analytic latency evaluator.
+//
+// Fault tolerance (DESIGN.md §5.8): an optional FaultInjector (or a
+// per-message hook, for tests) can drop or duplicate messages. Sends retry
+// with exponential backoff against the simulated clock; a message lost
+// after every retry leaves a tombstone in the mailbox so the receiver's
+// deadline wait resolves immediately in wall time instead of hanging.
+// Without an injector/hook attached the transport behaves bit-for-bit as
+// the fault-free original.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <vector>
 
+#include "netsim/faults.h"
 #include "netsim/network.h"
 #include "tensor/quantize.h"
 
@@ -27,27 +38,75 @@ struct TransportStats {
   std::uint64_t payload_bytes = 0;   // serialized bytes actually moved
   std::uint64_t wire_bytes = 0;      // idealized (bit-packed) wire bytes
   double sim_transfer_ms = 0.0;      // summed simulated transfer time
+  // Fault accounting (all zero unless an injector/hook is attached):
+  std::uint64_t drops = 0;       // messages lost after exhausting retries
+  std::uint64_t retries = 0;     // resend attempts after a lost send
+  std::uint64_t timeouts = 0;    // recv_for waits that expired
+  std::uint64_t duplicates = 0;  // duplicate deliveries discarded on recv
+  double backoff_ms = 0.0;       // summed simulated retry backoff
 };
 
 class Transport {
  public:
   explicit Transport(const netsim::Network& network);
 
+  /// Sim-time deadline meaning "wait forever" (the blocking recv default).
+  static constexpr double kNoDeadline =
+      std::numeric_limits<double>::infinity();
+  /// Wall-clock wait after which a blocking recv logs an error: nothing in
+  /// this in-process transport legitimately blocks this long, so exceeding
+  /// it means a lost/never-sent message (the bug recv_for exists to fix).
+  static constexpr double kRecvSanityWallMs = 2'000.0;
+
   struct Message {
     int src = 0;
     std::uint64_t tag = 0;
     std::vector<std::uint8_t> payload;
     double sim_arrival_ms = 0.0;
+    bool dropped = false;  // tombstone: the real message was lost in flight
   };
+
+  /// Bounded retransmission of lost sends, charged in simulated time:
+  /// attempt k (1-based) retries after backoff_ms * factor^(k-1).
+  struct RetryPolicy {
+    int max_attempts = 4;
+    double backoff_ms = 2.0;
+    double backoff_factor = 2.0;
+  };
+
+  /// Per-message fault decision for deterministic tests; overrides the
+  /// injector when set. Called once per send attempt.
+  enum class MessageFate { kDeliver, kDrop, kDuplicate };
+  using MessageHook =
+      std::function<MessageFate(int src, int dst, std::uint64_t tag,
+                                int attempt)>;
+
+  /// Attach/detach fault sources (not owned; must outlive the transport).
+  void set_fault_injector(netsim::FaultInjector* injector) noexcept;
+  void set_message_hook(MessageHook hook);
+  void set_retry_policy(const RetryPolicy& policy) noexcept;
 
   /// Ship `payload` from src to dst. `wire_bytes` is the idealized
   /// bit-packed size used for simulated-time accounting; `sim_send_ms` is
-  /// the sender's simulated clock at send time. Returns simulated arrival.
+  /// the sender's simulated clock at send time. Returns simulated arrival
+  /// (or, for a message lost after all retries, the time the sender gave
+  /// up — a tombstone is left so the receiver's wait resolves).
   double send(int src, int dst, std::uint64_t tag,
               std::vector<std::uint8_t> payload, std::size_t wire_bytes,
               double sim_send_ms);
 
+  /// Deadline-aware receive: the message with `tag` addressed to `dst`, or
+  /// nullopt if it was dropped in flight, arrives after `sim_deadline_ms`
+  /// (simulated), or fails to show up within `wall_budget_ms` (host wall
+  /// clock — a backstop against waiting on a send that never happened).
+  /// Expired waits count into TransportStats::timeouts.
+  std::optional<Message> recv_for(int dst, std::uint64_t tag,
+                                  double sim_deadline_ms,
+                                  double wall_budget_ms = 1'000.0);
+
   /// Blocking receive of the message with `tag` addressed to `dst`.
+  /// Implemented as recv_for with no deadline; logs an error (and keeps
+  /// waiting) once the wait exceeds kRecvSanityWallMs.
   Message recv(int dst, std::uint64_t tag);
 
   TransportStats stats() const;
@@ -61,6 +120,9 @@ class Transport {
     std::deque<Message> messages;
   };
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  netsim::FaultInjector* injector_ = nullptr;
+  MessageHook hook_;
+  RetryPolicy retry_;
   mutable std::mutex stats_mutex_;
   TransportStats stats_;
 };

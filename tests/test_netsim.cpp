@@ -2,6 +2,8 @@
 // prediction, scenarios and dynamics.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "netsim/monitor.h"
 #include "netsim/network.h"
 #include "netsim/predictor.h"
@@ -175,6 +177,54 @@ TEST(Dynamics, ActuallyMoves) {
   NetworkDynamics dyn;
   dyn.step(net);
   EXPECT_NE(net.link(1).bandwidth.mbps, 100.0);
+}
+
+TEST(Dynamics, BoundsHoldOverLongAggressiveRuns) {
+  // Large sigmas + a link started at each extreme: 10k steps must never
+  // escape [min, max] and must produce finite values throughout.
+  Network net = make_device_swarm();
+  net.shape(1, Bandwidth::from_mbps(5), Delay::from_ms(1));     // at minimum
+  net.shape(2, Bandwidth::from_mbps(500), Delay::from_ms(100)); // at maximum
+  NetworkDynamics::Options opts;
+  opts.sigma_bw = 1.5;
+  opts.sigma_delay_ms = 40.0;
+  opts.seed = 77;
+  NetworkDynamics dyn(opts);
+  for (int i = 0; i < 10000; ++i) {
+    dyn.step(net);
+    for (std::size_t d = 1; d < net.num_devices(); ++d) {
+      const double bw = net.link(d).bandwidth.mbps;
+      const double delay = net.link(d).delay.ms;
+      ASSERT_TRUE(std::isfinite(bw));
+      ASSERT_TRUE(std::isfinite(delay));
+      ASSERT_GE(bw, opts.min_bandwidth_mbps);
+      ASSERT_LE(bw, opts.max_bandwidth_mbps);
+      ASSERT_GE(delay, opts.min_delay_ms);
+      ASSERT_LE(delay, opts.max_delay_ms);
+    }
+  }
+}
+
+TEST(Dynamics, SeedDeterminism) {
+  NetworkDynamics::Options opts;
+  opts.seed = 1234;
+  Network a = make_device_swarm();
+  Network b = make_device_swarm();
+  shape_remotes(a, Bandwidth::from_mbps(100), Delay::from_ms(20));
+  shape_remotes(b, Bandwidth::from_mbps(100), Delay::from_ms(20));
+  NetworkDynamics da(opts), db(opts);
+  for (int i = 0; i < 200; ++i) {
+    da.step(a);
+    db.step(b);
+    ASSERT_EQ(a.conditions(), b.conditions()) << "diverged at step " << i;
+  }
+  // A different seed must produce a different walk.
+  Network c = make_device_swarm();
+  shape_remotes(c, Bandwidth::from_mbps(100), Delay::from_ms(20));
+  opts.seed = 4321;
+  NetworkDynamics dc(opts);
+  dc.step(c);
+  EXPECT_NE(a.conditions(), c.conditions());
 }
 
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Chaos sweep: build the fault-injection/failover test suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer and run every test carrying
+# the `faults` ctest label (tests/test_faults.cpp).
+#
+# Usage:  tools/run_chaos_tests.sh [build-dir]
+#
+# The default build dir is build-chaos so the sanitized configuration never
+# collides with a plain `build/`. Set MURMUR_CHAOS_LABEL to run a different
+# label through the same sanitized build (e.g. MURMUR_CHAOS_LABEL=obs).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build-chaos}
+LABEL=${MURMUR_CHAOS_LABEL:-faults}
+
+cmake -B "$BUILD_DIR" -S . -DMURMUR_SANITIZE=address,undefined \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" -L "$LABEL" --output-on-failure
+echo "chaos suite ($LABEL) clean under address,undefined"
