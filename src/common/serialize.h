@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -57,5 +58,34 @@ class ByteReader {
   std::size_t pos_ = 0;
   bool ok_ = true;
 };
+
+// ---- checked checkpoint container -----------------------------------------
+//
+// On-disk framing for checkpoints (policy weights, strategy stores):
+//
+//   u32 magic "MCKF" | u32 format version | u64 payload length
+//   | payload bytes  | u64 FNV-1a checksum over everything before it
+//
+// `load_checked_file` validates magic, version, declared length against the
+// actual file size and the trailing checksum before returning the payload,
+// so a truncated or bit-flipped checkpoint rejects cleanly instead of
+// feeding garbage into the deserializer (same discipline as the transport's
+// decode_activation). `save_checked_file` writes to `<path>.tmp` and
+// renames into place, so a crash mid-write never leaves a half-written
+// checkpoint under the final name.
+
+/// FNV-1a over a byte span (the checkpoint trailer hash).
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Atomically write `payload` framed as a checked checkpoint. Returns false
+/// on any I/O failure (the destination is left untouched).
+bool save_checked_file(const std::string& path,
+                       std::span<const std::uint8_t> payload,
+                       std::uint32_t version);
+
+/// Read and validate a checked checkpoint; nullopt if the file is missing,
+/// truncated, the wrong magic/version, or fails the checksum.
+std::optional<std::vector<std::uint8_t>> load_checked_file(
+    const std::string& path, std::uint32_t version);
 
 }  // namespace murmur

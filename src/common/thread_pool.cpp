@@ -32,7 +32,9 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    active_.fetch_add(1, std::memory_order_relaxed);
     task();
+    active_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

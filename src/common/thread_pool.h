@@ -6,6 +6,7 @@
 // mutable state.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -26,6 +27,18 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Tasks enqueued but not yet picked up by a worker (snapshot; the
+  /// serving layer exports this as its queue-depth gauge).
+  std::size_t pending() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+  /// Tasks currently executing on workers (snapshot).
+  std::size_t active() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
 
   /// Enqueue a task; the future resolves with its result (or exception).
   template <typename F>
@@ -49,8 +62,9 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
+  std::atomic<std::size_t> active_{0};
   bool stop_ = false;
 };
 

@@ -46,6 +46,19 @@ Decision DecisionEngine::decide(const rl::ConstraintPoint& c, Rng& rng) const {
   return best;
 }
 
+int DegradationLadder::rung_for(double pressure) const noexcept {
+  if (opts_.rungs <= 0) return 0;
+  const double p = std::clamp(pressure, 0.0, 1.0);
+  return std::min(opts_.rungs, static_cast<int>(p * (opts_.rungs + 1)));
+}
+
+double DegradationLadder::factor(int rung) const noexcept {
+  if (opts_.rungs <= 0 || rung <= 0) return 1.0;
+  const int r = std::min(rung, opts_.rungs);
+  return 1.0 + (opts_.min_factor - 1.0) * static_cast<double>(r) /
+                   static_cast<double>(opts_.rungs);
+}
+
 Decision EvolutionarySearch::search(const rl::ConstraintPoint& c) const {
   Rng rng(opts_.seed);
   struct Candidate {

@@ -39,6 +39,43 @@ class DecisionEngine {
   const rl::BucketedReplayTree* replay_;
 };
 
+/// Graceful-degradation ladder (DESIGN.md §5.9): under load the serving
+/// layer steers the Model Selection module toward cheaper submodels
+/// *before* it ever sheds a request, by tightening the SLO value handed to
+/// `MurmurationEnv::make_constraint`. A tighter latency budget makes the
+/// policy pick lower resolution / shallower depth / coarser quantization;
+/// a lowered accuracy floor does the same in accuracy-SLO mode. Rung 0 is
+/// the honest SLO; each deeper rung scales the value linearly down to
+/// `min_factor` at the deepest rung.
+class DegradationLadder {
+ public:
+  struct Options {
+    int rungs = 3;             // degradation steps past the honest SLO
+    double min_factor = 0.4;   // SLO scaling at the deepest rung
+  };
+
+  DegradationLadder() : opts_() {}
+  explicit DegradationLadder(Options opts) : opts_(opts) {}
+
+  int rungs() const noexcept { return opts_.rungs; }
+
+  /// Rung for queue pressure in [0, 1] (0 = idle, 1 = admission queue
+  /// full). Pressure p maps to floor(p * rungs), clamped.
+  int rung_for(double pressure) const noexcept;
+
+  /// SLO-value multiplier at `rung`: 1.0 at rung 0, `min_factor` at the
+  /// deepest rung, linear in between.
+  double factor(int rung) const noexcept;
+
+  /// The degraded SLO the decision module should plan against at `rung`.
+  Slo effective(const Slo& slo, int rung) const noexcept {
+    return Slo{slo.type, slo.value * factor(rung)};
+  }
+
+ private:
+  Options opts_;
+};
+
 /// Evolutionary submodel search (the once-for-all-style baseline of Fig 18):
 /// population of action sequences, tournament selection, one-point
 /// crossover, per-gene mutation.

@@ -18,6 +18,7 @@ std::uint64_t StrategyCache::key_of(const rl::ConstraintPoint& c) const noexcept
 
 std::optional<Decision> StrategyCache::get(const rl::ConstraintPoint& c) {
   const auto key = key_of(c);
+  std::lock_guard lock(mutex_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
     misses_.inc();
@@ -32,6 +33,7 @@ std::optional<Decision> StrategyCache::get(const rl::ConstraintPoint& c) {
 
 void StrategyCache::put(const rl::ConstraintPoint& c, Decision decision) {
   const auto key = key_of(c);
+  std::lock_guard lock(mutex_);
   if (const auto it = map_.find(key); it != map_.end()) {
     it->second->second = std::move(decision);
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -49,6 +51,7 @@ void StrategyCache::put(const rl::ConstraintPoint& c, Decision decision) {
 
 std::size_t StrategyCache::invalidate_if(
     const std::function<bool(const Decision&)>& pred) {
+  std::lock_guard lock(mutex_);
   std::size_t removed = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (pred(it->second)) {
@@ -67,6 +70,7 @@ std::size_t StrategyCache::invalidate_if(
 }
 
 void StrategyCache::clear() {
+  std::lock_guard lock(mutex_);
   lru_.clear();
   map_.clear();
   hits_.reset();

@@ -2,11 +2,17 @@
 // previously computed strategies so the RL policy is not re-run for every
 // inference request. Keys are the same grid quantization the replay tree
 // uses; eviction is LRU.
+//
+// Thread safety: the serving layer (DESIGN.md §5.9) looks strategies up
+// from concurrent worker threads, so the LRU structures are guarded by an
+// internal mutex — every public member is safe to call concurrently.
+// Lookups return copies; the statistics counters are lock-free atomics.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -29,14 +35,18 @@ class StrategyCache {
   /// Purge every entry whose decision matches `pred` (e.g. strategies that
   /// place work on a device now known dead). Survivors keep their relative
   /// LRU order; purges count into `invalidations()`, not `evictions()`.
-  /// Returns the number of entries removed.
+  /// Returns the number of entries removed. The lock is held across the
+  /// sweep: `pred` must not re-enter the cache.
   std::size_t invalidate_if(const std::function<bool(const Decision&)>& pred);
 
   // Statistics. Per-instance obs counters: lock-free, always counting
   // (independent of the global telemetry switch); get/put additionally
   // mirror them into the global MetricsRegistry (cache.hit / cache.miss /
   // cache.evict) when telemetry is enabled.
-  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t size() const noexcept {
+    std::lock_guard lock(mutex_);
+    return map_.size();
+  }
   std::uint64_t hits() const noexcept { return hits_.value(); }
   std::uint64_t misses() const noexcept { return misses_.value(); }
   std::uint64_t evictions() const noexcept { return evictions_.value(); }
@@ -52,6 +62,7 @@ class StrategyCache {
 
   const MurmurationEnv& env_;
   std::size_t capacity_;
+  mutable std::mutex mutex_;  // guards lru_ and map_
   // LRU: most-recent at front.
   std::list<std::pair<std::uint64_t, Decision>> lru_;
   std::unordered_map<std::uint64_t, decltype(lru_)::iterator> map_;

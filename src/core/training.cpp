@@ -2,7 +2,6 @@
 
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 
 #include "common/log.h"
@@ -13,6 +12,9 @@ namespace murmur::core {
 namespace {
 
 constexpr std::uint32_t kCheckpointMagic = 0x4d435031u;  // "MCP1"
+// Bump when the checkpoint payload layout changes: old files then reject at
+// the container level and training re-runs instead of misparsing.
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 std::array<int, rl::kNumHeads> head_options_of(const MurmurationEnv& env) {
   std::array<int, rl::kNumHeads> heads{};
@@ -58,19 +60,18 @@ void save_checkpoint(const std::string& path, const TrainedArtifacts& art) {
   const auto policy_bytes = art.policy->serialize();
   w.write_bytes(policy_bytes);
 
-  std::ofstream f(path, std::ios::binary);
-  const auto& buf = w.data();
-  f.write(reinterpret_cast<const char*>(buf.data()),
-          static_cast<std::streamsize>(buf.size()));
+  // Checked container: magic/version/length framing, trailing checksum,
+  // atomic write-then-rename (common/serialize.h) — a crash mid-save or a
+  // corrupted file rejects at load instead of feeding garbage to the policy.
+  if (!save_checked_file(path, w.data(), kCheckpointVersion))
+    MURMUR_LOG_WARN << "failed to write checkpoint " << path;
 }
 
 bool load_checkpoint(const std::string& path, TrainedArtifacts& art,
                      const rl::SupremeOptions& sup) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) return false;
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
-                                  std::istreambuf_iterator<char>());
-  ByteReader r(bytes);
+  const auto bytes = load_checked_file(path, kCheckpointVersion);
+  if (!bytes) return false;
+  ByteReader r(*bytes);
   std::uint32_t magic = 0;
   if (!r.read_u32(magic) || magic != kCheckpointMagic) return false;
   std::uint64_t n = 0;

@@ -1,0 +1,86 @@
+#include "runtime/breaker.h"
+
+namespace murmur::runtime {
+
+BreakerBoard::BreakerBoard(std::size_t num_devices, BreakerOptions opts)
+    : opts_(opts), breakers_(num_devices) {}
+
+void BreakerBoard::trip(Breaker& b, double sim_now_ms) {
+  b.state = State::kOpen;
+  b.opened_at_ms = sim_now_ms;
+  b.consecutive_failures = 0;
+  trips_.inc();
+  obs::add("runtime.breaker.trip");
+}
+
+std::vector<bool> BreakerBoard::admitted_mask(double sim_now_ms) {
+  std::lock_guard lock(mutex_);
+  std::vector<bool> admitted(breakers_.size(), true);
+  for (std::size_t d = 1; d < breakers_.size(); ++d) {
+    Breaker& b = breakers_[d];
+    if (b.state == State::kOpen &&
+        sim_now_ms - b.opened_at_ms >= opts_.open_cooldown_ms) {
+      b.state = State::kHalfOpen;
+      half_opens_.inc();
+      obs::add("runtime.breaker.half_open");
+    }
+    admitted[d] = b.state != State::kOpen;
+  }
+  return admitted;
+}
+
+void BreakerBoard::record(std::size_t device, bool failed, double sim_now_ms) {
+  if (device == 0 || device >= breakers_.size()) return;
+  std::lock_guard lock(mutex_);
+  Breaker& b = breakers_[device];
+  switch (b.state) {
+    case State::kClosed:
+      if (failed) {
+        if (++b.consecutive_failures >= opts_.failure_threshold)
+          trip(b, sim_now_ms);
+      } else {
+        b.consecutive_failures = 0;
+      }
+      break;
+    case State::kHalfOpen:
+      // The probe request decides: success closes, failure reopens (and
+      // the cooldown restarts from now).
+      if (failed) {
+        trip(b, sim_now_ms);
+      } else {
+        b.state = State::kClosed;
+        b.consecutive_failures = 0;
+        closes_.inc();
+        obs::add("runtime.breaker.close");
+      }
+      break;
+    case State::kOpen:
+      // No traffic should reach an open breaker; a straggling report from
+      // a request admitted before the trip is ignored.
+      break;
+  }
+}
+
+BreakerBoard::State BreakerBoard::state(std::size_t device) const {
+  std::lock_guard lock(mutex_);
+  return breakers_[device].state;
+}
+
+const char* BreakerBoard::state_name(std::size_t device) const {
+  switch (state(device)) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+std::size_t BreakerBoard::open_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const Breaker& b : breakers_)
+    if (b.state != State::kClosed) ++n;
+  return n;
+}
+
+}  // namespace murmur::runtime

@@ -1,0 +1,84 @@
+// Per-device circuit breakers (DESIGN.md §5.9).
+//
+// PR 3's health mask only knew about devices the *fault plan* says are
+// crashed. Breakers extend it to devices *observed misbehaving*: each
+// request reports per-device failover events (ExecutionReport::
+// device_failures), and a device that fails on enough consecutive requests
+// is tripped out of the plan entirely — no more sends to it, no more
+// burned recv waits — until a sim-time cooldown elapses and a half-open
+// probe readmits it.
+//
+// State machine (classic):
+//
+//   closed ──(consecutive failures >= threshold)──> open
+//   open   ──(cooldown elapsed on the sim clock)──> half-open
+//   half-open ──(probe request succeeds)──> closed
+//   half-open ──(probe request fails)────> open (cooldown restarts)
+//
+// Transitions are counted per board (trips/half_opens/closes) and mirrored
+// into the global registry as runtime.breaker.{trip,half_open,close} when
+// telemetry is on. All methods are thread-safe: the serving layer's workers
+// consult and feed the board concurrently.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace murmur::runtime {
+
+struct BreakerOptions {
+  /// Consecutive requests with a failure attributed to the device before
+  /// the breaker trips.
+  int failure_threshold = 3;
+  /// Sim-time the breaker stays open before allowing a half-open probe.
+  double open_cooldown_ms = 1'000.0;
+};
+
+/// Board of one breaker per device. Device 0 (the request origin) is never
+/// broken: a dead local device is a terminal kFailed, not a breaker case.
+class BreakerBoard {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  BreakerBoard(std::size_t num_devices, BreakerOptions opts);
+
+  /// Mask of devices the breakers currently admit to plans, evaluated at
+  /// `sim_now_ms`. Open breakers whose cooldown has elapsed transition to
+  /// half-open here (and report true: the probe request is how a device
+  /// earns readmission).
+  std::vector<bool> admitted_mask(double sim_now_ms);
+
+  /// Record one request's observation of `device`: `failed` is true when
+  /// any failover event was attributed to it. Only call for devices that
+  /// actually participated in (or were redispatched out of) the request.
+  void record(std::size_t device, bool failed, double sim_now_ms);
+
+  State state(std::size_t device) const;
+  const char* state_name(std::size_t device) const;
+
+  // Lifetime transition counters (lock-free reads).
+  std::uint64_t trips() const noexcept { return trips_.value(); }
+  std::uint64_t half_opens() const noexcept { return half_opens_.value(); }
+  std::uint64_t closes() const noexcept { return closes_.value(); }
+  /// Number of breakers currently not closed.
+  std::size_t open_count() const;
+
+ private:
+  struct Breaker {
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    double opened_at_ms = 0.0;
+  };
+
+  void trip(Breaker& b, double sim_now_ms);
+
+  BreakerOptions opts_;
+  mutable std::mutex mutex_;
+  std::vector<Breaker> breakers_;
+  obs::Counter trips_, half_opens_, closes_;
+};
+
+}  // namespace murmur::runtime

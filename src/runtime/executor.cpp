@@ -84,9 +84,16 @@ ExecutionReport DistributedExecutor::run(
   // scheduled faults hit the blocks executing inside their window.
   netsim::FaultInjector* const inj = failover_.injector;
   double sim_now = sim_start_ms;
-  std::mutex fo_mutex;  // guards the two counters below from pool threads
+  std::mutex fo_mutex;  // guards the counters below from pool threads
   double fo_penalty_ms = 0.0;
   int fo_fallbacks = 0;
+  if (inj) report.device_failures.assign(network_.num_devices(), 0);
+  // Attribute a lost in-flight message to the remote endpoint of its path
+  // (device 0, the request origin, is never blamed: its link is loopback).
+  const auto blame = [&](int src, int dst) {
+    const int culprit = src != 0 ? src : dst;
+    if (culprit != 0) ++report.device_failures[static_cast<std::size_t>(culprit)];
+  };
 
   // Move a stem/head/tile assignment off a dead device: deal across the
   // currently-healthy set (device 0 — the request origin — as a last
@@ -100,6 +107,7 @@ ExecutionReport DistributedExecutor::run(
   };
   const auto redispatch = [&](std::uint8_t& dev, int salt) {
     if (inj->device_up(dev, sim_now)) return;
+    if (dev != 0) ++report.device_failures[dev];  // observed dead
     dev = static_cast<std::uint8_t>(pick_survivor(salt));
     ++report.redispatched_tiles;
     fo_penalty_ms += failover_.redispatch_penalty_ms;
@@ -135,6 +143,7 @@ ExecutionReport DistributedExecutor::run(
           // charging the wait the receiver burned before giving up.
           ++report.local_fallbacks;
           fo_penalty_ms += arrival - sim_now + failover_.recv_slack_ms;
+          blame(0, stem_dev);
           obs::add("runtime.failover.local_fallback");
           plan.stem_device = 0;
           current = supernet_.forward_stem(image);
@@ -249,6 +258,7 @@ ExecutionReport DistributedExecutor::run(
                   network_.transfer_ms(
                       static_cast<std::size_t>(pieces[p].device),
                       static_cast<std::size_t>(dev), bytes);
+              blame(pieces[p].device, dev);
             }
             obs::add("runtime.failover.local_fallback");
             paste_overlap(current, pieces[p].extent, input, de);
@@ -328,6 +338,7 @@ ExecutionReport DistributedExecutor::run(
           // charge the wait plus a re-fetch.
           ++report.local_fallbacks;
           fo_penalty_ms += arrival - sim_now + failover_.recv_slack_ms;
+          blame(pieces[p].device, head_dev);
           obs::add("runtime.failover.local_fallback");
           continue;
         }
@@ -358,6 +369,7 @@ ExecutionReport DistributedExecutor::run(
           // identical (k32 wire), so serve it and charge the wait.
           ++report.local_fallbacks;
           fo_penalty_ms += arrival - sim_now + failover_.recv_slack_ms;
+          blame(head_dev, 0);
           obs::add("runtime.failover.local_fallback");
         }
       } else {

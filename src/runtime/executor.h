@@ -43,6 +43,11 @@ struct ExecutionReport {
   int local_fallbacks = 0;      // receives that timed out and re-read locally
   double failover_penalty_ms = 0.0;  // extra simulated latency charged
   bool degraded = false;        // any fault handled during this run
+  /// device_failures[d]: failover events this run attributable to device d
+  /// (its tile was redispatched off it, or a message it sent never arrived).
+  /// Feeds the per-device circuit breakers (DESIGN.md §5.9). Sized
+  /// num_devices when an injector is attached, empty otherwise.
+  std::vector<int> device_failures;
 };
 
 class DistributedExecutor {
@@ -54,6 +59,12 @@ class DistributedExecutor {
   /// forwards the injector and retry policy to the transport.
   void set_failover(const FailoverOptions& failover);
   const FailoverOptions& failover() const noexcept { return failover_; }
+
+  /// Forward SystemOptions::transport_wall_budget_ms to the transport's
+  /// recv backstop (non-positive resets to the default).
+  void set_transport_wall_budget(double ms) noexcept {
+    transport_.set_wall_budget_ms(ms);
+  }
 
   /// Execute `image` (NCHW, spatial size == config.resolution) under the
   /// given strategy. The supernet's active config is set to `config`.

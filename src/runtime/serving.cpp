@@ -1,0 +1,173 @@
+#include "runtime/serving.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace murmur::runtime {
+
+namespace {
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t seq) {
+  std::uint64_t z = base + 0x9E3779B97f4A7C15ULL * (seq + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+const char* to_string(ServeOutcome outcome) noexcept {
+  switch (outcome) {
+    case ServeOutcome::kCompleted: return "completed";
+    case ServeOutcome::kDegraded: return "degraded";
+    case ServeOutcome::kShed: return "shed";
+    case ServeOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+ServingLayer::ServingLayer(MurmurationSystem& system, ServingOptions opts)
+    : system_(system),
+      opts_(opts),
+      ladder_(opts.ladder),
+      pool_(static_cast<std::size_t>(std::max(1, opts.workers))) {
+  if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
+}
+
+double ServingLayer::latency_estimate_ms() const {
+  std::lock_guard lock(estimate_mutex_);
+  return have_estimate_ ? ewma_latency_ms_ : 0.0;
+}
+
+void ServingLayer::note_completion(double sim_latency_ms) {
+  std::lock_guard lock(estimate_mutex_);
+  if (have_estimate_) {
+    ewma_latency_ms_ += opts_.ewma_alpha * (sim_latency_ms - ewma_latency_ms_);
+  } else {
+    ewma_latency_ms_ = sim_latency_ms;
+    have_estimate_ = true;
+  }
+}
+
+void ServingLayer::count(ServeOutcome outcome) {
+  switch (outcome) {
+    case ServeOutcome::kCompleted: completed_.fetch_add(1); break;
+    case ServeOutcome::kDegraded: degraded_.fetch_add(1); break;
+    case ServeOutcome::kShed: shed_.fetch_add(1); break;
+    case ServeOutcome::kFailed: failed_.fetch_add(1); break;
+  }
+  if (obs::enabled()) {
+    switch (outcome) {
+      case ServeOutcome::kCompleted: obs::add("serving.completed"); break;
+      case ServeOutcome::kDegraded: obs::add("serving.degraded"); break;
+      case ServeOutcome::kShed: obs::add("serving.shed"); break;
+      case ServeOutcome::kFailed: obs::add("serving.failed"); break;
+    }
+  }
+}
+
+ServingLayer::Admission ServingLayer::admit(double sim_arrival_ms,
+                                            const core::Slo& slo) {
+  std::lock_guard lock(admission_mutex_);
+  Admission a;
+  a.seq = next_seq_++;
+
+  // Retire requests the sim clock says have finished by this arrival.
+  std::erase_if(in_system_,
+                [&](double finish) { return finish <= sim_arrival_ms; });
+  const std::size_t depth = in_system_.size();
+  if (obs::enabled())
+    obs::gauge_set("serving.queue_depth", static_cast<double>(depth));
+
+  if (depth >= opts_.queue_capacity) {
+    a.shed_reason = "queue_full";
+    return a;
+  }
+
+  const double latency_est = latency_estimate_ms();
+  a.est_start_ms = std::max(sim_arrival_ms, busy_until_ms_);
+  a.queue_wait_ms = a.est_start_ms - sim_arrival_ms;
+
+  // Deadline feasibility: even at the deepest degradation rung, could this
+  // request meet its real SLO? Optimistic before the first completion
+  // (latency_est == 0): admit and learn. Only latency SLOs have a deadline
+  // to be infeasible against.
+  if (slo.type == core::SloType::kLatency && latency_est > 0.0) {
+    const double best_case =
+        a.queue_wait_ms + latency_est * ladder_.factor(ladder_.rungs());
+    if (best_case > slo.value) {
+      a.shed_reason = "deadline_infeasible";
+      return a;
+    }
+  }
+
+  a.admit = true;
+  a.rung = ladder_.rung_for(static_cast<double>(depth) /
+                            static_cast<double>(opts_.queue_capacity));
+  // Reserve the serial-execution slot this request is estimated to occupy.
+  busy_until_ms_ = a.est_start_ms + latency_est;
+  in_system_.push_back(busy_until_ms_);
+  return a;
+}
+
+std::future<ServeResult> ServingLayer::submit(const Tensor& image,
+                                              double sim_arrival_ms) {
+  return submit(image, sim_arrival_ms, system_.slo());
+}
+
+std::future<ServeResult> ServingLayer::submit(const Tensor& image,
+                                              double sim_arrival_ms,
+                                              const core::Slo& slo) {
+  submitted_.fetch_add(1);
+  if (obs::enabled()) obs::add("serving.submitted");
+  const Admission a = admit(sim_arrival_ms, slo);
+
+  if (!a.admit) {
+    ServeResult r;
+    r.outcome = ServeOutcome::kShed;
+    r.shed_reason = a.shed_reason;
+    r.sim_start_ms = sim_arrival_ms;
+    count(r.outcome);
+    std::promise<ServeResult> p;
+    p.set_value(std::move(r));
+    return p.get_future();
+  }
+
+  RequestContext ctx;
+  ctx.slo = slo;
+  ctx.plan_slo = ladder_.effective(slo, a.rung);
+  ctx.sim_now_ms = a.est_start_ms;
+  ctx.queue_wait_ms = a.queue_wait_ms;
+  ctx.seed = mix_seed(opts_.seed, a.seq);
+
+  return pool_.submit([this, image, ctx, a]() -> ServeResult {
+    ServeResult r;
+    r.rung = a.rung;
+    r.queue_wait_ms = a.queue_wait_ms;
+    r.sim_start_ms = a.est_start_ms;
+    r.inference = system_.infer(image, ctx);
+    switch (r.inference.outcome) {
+      case RequestOutcome::kFailed:
+        r.outcome = ServeOutcome::kFailed;
+        break;
+      case RequestOutcome::kSloViolated:
+      case RequestOutcome::kDegraded:
+        r.outcome = ServeOutcome::kDegraded;
+        break;
+      case RequestOutcome::kCompleted:
+        r.outcome = a.rung > 0 ? ServeOutcome::kDegraded
+                               : ServeOutcome::kCompleted;
+        break;
+    }
+    if (r.outcome != ServeOutcome::kFailed)
+      note_completion(r.inference.sim_latency_ms);
+    count(r.outcome);
+    if (obs::enabled()) {
+      obs::observe("serving.queue_wait_ms", r.queue_wait_ms);
+      obs::observe("serving.rung", static_cast<double>(r.rung));
+    }
+    return r;
+  });
+}
+
+}  // namespace murmur::runtime

@@ -1,0 +1,140 @@
+// Concurrent, self-protecting serving layer on top of MurmurationSystem
+// (DESIGN.md §5.9).
+//
+// A bounded admission queue fronts a worker pool. At submit time — before
+// any work is spent — the layer estimates where the request would start on
+// the simulated clock (a serial busy-until model: execution is serialized
+// on the single resident supernet) and what it would cost (an EWMA of
+// observed sim latencies). Requests the estimate says cannot possibly meet
+// their SLO, and requests arriving to a full queue, are shed immediately.
+// Between "fine" and "shed" sits the graceful-degradation ladder: rising
+// queue pressure tightens the SLO the decision module plans against, so
+// the policy picks cheaper submodels and the system sheds load by serving
+// worse before it sheds load by serving nothing.
+//
+// Admission bookkeeping runs entirely on the simulated clock and is
+// updated sequentially under the admission mutex, so for a fixed arrival
+// sequence the admit/degrade/shed decisions are deterministic regardless
+// of worker interleaving.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/decision.h"
+#include "runtime/system.h"
+
+namespace murmur::runtime {
+
+struct ServingOptions {
+  /// Worker threads driving concurrent infer() calls.
+  int workers = 4;
+  /// Maximum requests in the system (queued + executing) on the simulated
+  /// clock; arrivals beyond this are shed with reason "queue_full".
+  std::size_t queue_capacity = 16;
+  /// Degradation ladder applied as queue pressure rises.
+  core::DegradationLadder::Options ladder{};
+  /// Smoothing for the per-request sim-latency estimate.
+  double ewma_alpha = 0.3;
+  /// Base for per-request RNG streams.
+  std::uint64_t seed = 2024;
+};
+
+/// What the serving layer owed the caller in the end. Exactly one per
+/// submitted request.
+enum class ServeOutcome {
+  kCompleted,  // served within the honest SLO, at the honest rung
+  kDegraded,   // served, but at a degraded rung or past the SLO
+  kShed,       // rejected at admission (queue full / deadline infeasible)
+  kFailed,     // accepted but unservable (e.g. local device down)
+};
+
+const char* to_string(ServeOutcome outcome) noexcept;
+
+struct ServeResult {
+  ServeOutcome outcome = ServeOutcome::kCompleted;
+  /// Ladder rung the request was planned at (0 = honest SLO).
+  int rung = 0;
+  /// Estimated sim-time spent queued (charged into the SLO check).
+  double queue_wait_ms = 0.0;
+  /// Position on the simulated clock where execution was estimated to
+  /// start (arrival + queue_wait_ms).
+  double sim_start_ms = 0.0;
+  /// Why the request was shed ("" when it was not).
+  const char* shed_reason = "";
+  /// Full pipeline result; default-constructed for shed requests.
+  InferenceResult inference;
+};
+
+class ServingLayer {
+ public:
+  ServingLayer(MurmurationSystem& system, ServingOptions opts);
+
+  /// Destruction drains: queued requests still run to completion.
+  ~ServingLayer() = default;
+
+  ServingLayer(const ServingLayer&) = delete;
+  ServingLayer& operator=(const ServingLayer&) = delete;
+
+  /// Submit one request arriving at `sim_arrival_ms` under the system SLO.
+  /// Always returns a future that resolves to exactly one ServeOutcome;
+  /// shed requests resolve immediately without touching the pipeline.
+  std::future<ServeResult> submit(const Tensor& image, double sim_arrival_ms);
+
+  /// Same, with a per-request SLO.
+  std::future<ServeResult> submit(const Tensor& image, double sim_arrival_ms,
+                                  const core::Slo& slo);
+
+  // Lifetime counters (every submitted request lands in exactly one of
+  // completed/degraded/shed/failed once its future resolves).
+  std::uint64_t submitted() const noexcept { return submitted_.load(); }
+  std::uint64_t completed() const noexcept { return completed_.load(); }
+  std::uint64_t degraded() const noexcept { return degraded_.load(); }
+  std::uint64_t shed() const noexcept { return shed_.load(); }
+  std::uint64_t failed() const noexcept { return failed_.load(); }
+
+  /// Current smoothed sim-latency estimate (0 before any completion).
+  double latency_estimate_ms() const;
+
+  const ServingOptions& options() const noexcept { return opts_; }
+
+ private:
+  struct Admission {
+    bool admit = false;
+    const char* shed_reason = "";
+    int rung = 0;
+    double est_start_ms = 0.0;
+    double queue_wait_ms = 0.0;
+    std::uint64_t seq = 0;
+  };
+
+  /// Sim-clock admission decision; sequential under admission_mutex_.
+  Admission admit(double sim_arrival_ms, const core::Slo& slo);
+  void note_completion(double sim_latency_ms);
+  void count(ServeOutcome outcome);
+
+  MurmurationSystem& system_;
+  ServingOptions opts_;
+  core::DegradationLadder ladder_;
+  ThreadPool pool_;
+
+  std::mutex admission_mutex_;
+  // est_finish sim-times of admitted requests; entries <= the next arrival
+  // are retired at its admission. Size == sim-clock queue depth.
+  std::vector<double> in_system_;
+  double busy_until_ms_ = 0.0;  // serial-execution reservation clock
+  std::uint64_t next_seq_ = 0;
+
+  mutable std::mutex estimate_mutex_;
+  double ewma_latency_ms_ = 0.0;
+  bool have_estimate_ = false;
+
+  std::atomic<std::uint64_t> submitted_{0}, completed_{0}, degraded_{0},
+      shed_{0}, failed_{0};
+};
+
+}  // namespace murmur::runtime

@@ -22,6 +22,26 @@ Tensor center_crop(const Tensor& image, int size) {
   const int w0 = (image.dim(3) - size) / 2;
   return image.crop(h0, w0, size, size);
 }
+
+/// used[d]: the (post-remap) plan places the stem, head, or any active tile
+/// on device d.
+std::vector<bool> plan_participants(const partition::PlacementPlan& plan,
+                                    const supernet::SubnetConfig& config,
+                                    std::size_t num_devices) {
+  std::vector<bool> used(num_devices, false);
+  const auto mark = [&](std::uint8_t d) {
+    if (d < used.size()) used[d] = true;
+  };
+  mark(plan.stem_device);
+  mark(plan.head_device);
+  for (int b = 0; b < partition::kMaxBlocks; ++b) {
+    if (!config.block_active(b)) continue;
+    const int tiles = config.blocks[static_cast<std::size_t>(b)].grid.tiles();
+    for (int t = 0; t < tiles; ++t)
+      mark(plan.device[static_cast<std::size_t>(b)][static_cast<std::size_t>(t)]);
+  }
+  return used;
+}
 }  // namespace
 
 const char* to_string(RequestOutcome outcome) noexcept {
@@ -58,26 +78,37 @@ MurmurationSystem::MurmurationSystem(core::TrainedArtifacts artifacts,
       host_(supernet::SupernetOptions{.width_mult = opts.exec_width_mult,
                                       .classes = opts.classes,
                                       .seed = opts.seed}),
+      breakers_(artifacts_.env->network().num_devices(), opts.breaker),
       rng_(opts.seed) {
   if (opts_.telemetry) obs::set_enabled(true);
   executor_ = std::make_unique<DistributedExecutor>(host_.supernet(), network_);
+  executor_->set_transport_wall_budget(opts_.transport_wall_budget_ms);
 }
 
 void MurmurationSystem::set_failover(const FailoverOptions& failover) {
   executor_->set_failover(failover);
+  std::lock_guard lock(health_mutex_);
   last_health_.clear();  // force a fresh health comparison next request
 }
 
-std::vector<bool> MurmurationSystem::health_mask() const {
+std::vector<bool> MurmurationSystem::health_mask_at(
+    double sim_now_ms, const netsim::FaultInjector* inj) const {
   std::vector<bool> healthy(network_.num_devices(), true);
-  if (const auto* inj = executor_->failover().injector)
-    for (std::size_t d = 0; d < healthy.size(); ++d)
-      healthy[d] = inj->device_up(d, sim_time_ms_);
+  if (!inj) return healthy;
+  for (std::size_t d = 0; d < healthy.size(); ++d)
+    healthy[d] = inj->device_up(d, sim_now_ms);
+  const std::vector<bool> admitted = breakers_.admitted_mask(sim_now_ms);
+  for (std::size_t d = 0; d < healthy.size(); ++d)
+    healthy[d] = healthy[d] && admitted[d];
   return healthy;
 }
 
+std::vector<bool> MurmurationSystem::health_mask() const {
+  return health_mask_at(sim_time_ms_, executor_->failover().injector);
+}
+
 core::Decision MurmurationSystem::decide(const rl::ConstraintPoint& c,
-                                         bool* cache_hit) {
+                                         bool* cache_hit, Rng& rng) {
   if (opts_.use_cache) {
     MURMUR_SPAN("cache_lookup", "runtime",
                 obs::maybe_histogram("stage.cache_lookup_ms"));
@@ -87,22 +118,46 @@ core::Decision MurmurationSystem::decide(const rl::ConstraintPoint& c,
     }
   }
   *cache_hit = false;
-  core::Decision d = engine_.decide(c, rng_);
+  core::Decision d;
+  {
+    // The RL engine's evaluations re-apply conditions to the env's shared
+    // network model; serialize decisions across serving workers.
+    std::lock_guard lock(decision_mutex_);
+    d = engine_.decide(c, rng);
+  }
   if (opts_.use_cache) cache_.put(c, d);
   return d;
 }
 
 InferenceResult MurmurationSystem::infer(const Tensor& image) {
+  RequestContext ctx;
+  ctx.slo = opts_.slo;
+  ctx.plan_slo = opts_.slo;
+  sim_time_ms_ += 50.0;  // request inter-arrival advance
+  ctx.sim_now_ms = sim_time_ms_;
+  return infer_impl(image, ctx, rng_);
+}
+
+InferenceResult MurmurationSystem::infer(const Tensor& image,
+                                         const RequestContext& ctx) {
+  Rng rng(ctx.seed);
+  return infer_impl(image, ctx, rng);
+}
+
+InferenceResult MurmurationSystem::infer_impl(const Tensor& image,
+                                              const RequestContext& ctx,
+                                              Rng& rng) {
   MURMUR_SPAN("infer", "runtime", obs::maybe_histogram("stage.request_ms"));
   InferenceResult result;
+  const double sim_now = ctx.sim_now_ms;
 
-  // 0. Device health (fault-aware deployments only): refresh the mask,
-  //    purge cached strategies that place work on newly dead devices.
-  sim_time_ms_ += 50.0;  // request inter-arrival advance
+  // 0. Device health (fault-aware deployments only): refresh the mask
+  //    (fault plan AND breaker admission), purge cached strategies that
+  //    place work on newly dead devices.
   netsim::FaultInjector* const inj = executor_->failover().injector;
   std::vector<bool> healthy;
   if (inj) {
-    healthy = health_mask();
+    healthy = health_mask_at(sim_now, inj);
     if (!healthy[0]) {
       // The local (serving) device itself is down: the request cannot be
       // accepted, let alone degraded.
@@ -113,6 +168,7 @@ InferenceResult MurmurationSystem::infer(const Tensor& image) {
       }
       return result;
     }
+    std::lock_guard lock(health_mutex_);
     if (healthy != last_health_) {
       result.cache_purged = cache_.invalidate_if([&](const core::Decision& d) {
         return partition::plan_uses_unhealthy(d.strategy.plan,
@@ -129,7 +185,8 @@ InferenceResult MurmurationSystem::infer(const Tensor& image) {
   {
     MURMUR_SPAN("monitor", "runtime",
                 obs::maybe_histogram("stage.monitor_ms"));
-    monitor_.probe_all(sim_time_ms_);
+    std::lock_guard lock(decision_mutex_);
+    monitor_.probe_all(sim_now);
     est = monitor_.estimate();
   }
   if (inj) {
@@ -143,14 +200,15 @@ InferenceResult MurmurationSystem::infer(const Tensor& image) {
       }
   }
 
-  // 2. Decision (cache -> RL policy).
+  // 2. Decision (cache -> RL policy), planned against the (possibly
+  //    ladder-degraded) plan_slo.
   const auto t_dec = std::chrono::steady_clock::now();
   {
     MURMUR_SPAN("decision", "runtime",
                 obs::maybe_histogram("stage.decision_ms"));
     const rl::ConstraintPoint c =
-        artifacts_.env->make_constraint(opts_.slo.value, est);
-    result.decision = decide(c, &result.cache_hit);
+        artifacts_.env->make_constraint(ctx.plan_slo.value, est);
+    result.decision = decide(c, &result.cache_hit, rng);
   }
   result.decision_wall_ms = elapsed_ms(t_dec);
 
@@ -159,12 +217,15 @@ InferenceResult MurmurationSystem::infer(const Tensor& image) {
   if (opts_.use_predictor && opts_.use_cache) {
     MURMUR_SPAN("precompute", "runtime",
                 obs::maybe_histogram("stage.precompute_ms"));
-    const netsim::NetworkConditions fc =
-        predictor_.forecast_all(opts_.precompute_horizon_ms);
+    netsim::NetworkConditions fc;
+    {
+      std::lock_guard lock(decision_mutex_);
+      fc = predictor_.forecast_all(opts_.precompute_horizon_ms);
+    }
     const rl::ConstraintPoint cf =
-        artifacts_.env->make_constraint(opts_.slo.value, fc);
+        artifacts_.env->make_constraint(ctx.plan_slo.value, fc);
     bool hit = false;
-    (void)decide(cf, &hit);
+    (void)decide(cf, &hit, rng);
   }
 
   // 3b. Pre-dispatch re-planning: even a cached/fresh decision may place
@@ -179,20 +240,20 @@ InferenceResult MurmurationSystem::infer(const Tensor& image) {
                static_cast<std::uint64_t>(result.replanned_entries));
   }
 
-  // 4. Model reconfig: in-memory submodel switch.
-  result.switch_wall_ms =
-      host_.switch_submodel(result.decision.strategy.config);
-
-  // 5. Distributed execution.
+  // 4+5. Model reconfig + distributed execution. One resident supernet:
+  //      the switch and the run it serves must be a single critical section.
   bool exec_degraded = false;
   {
+    std::lock_guard lock(exec_mutex_);
+    result.switch_wall_ms =
+        host_.switch_submodel(result.decision.strategy.config);
     MURMUR_SPAN("execute", "runtime",
                 obs::maybe_histogram("stage.execute_ms"));
     const Tensor input =
         center_crop(image, result.decision.strategy.config.resolution);
     ExecutionReport rep =
         executor_->run(input, result.decision.strategy.config,
-                       result.decision.strategy.plan, sim_time_ms_);
+                       result.decision.strategy.plan, sim_now);
     result.logits = std::move(rep.logits);
     result.sim_latency_ms = rep.sim_latency_ms;
     result.exec_wall_ms = rep.wall_ms;
@@ -201,13 +262,29 @@ InferenceResult MurmurationSystem::infer(const Tensor& image) {
     result.local_fallbacks = rep.local_fallbacks;
     result.failover_penalty_ms = rep.failover_penalty_ms;
     exec_degraded = rep.degraded;
+
+    // Feed the breakers: every remote device that participated in (or was
+    // failed out of) this request reports success or failure.
+    if (inj && !rep.device_failures.empty()) {
+      const std::vector<bool> used =
+          plan_participants(result.decision.strategy.plan,
+                            result.decision.strategy.config,
+                            rep.device_failures.size());
+      for (std::size_t d = 1; d < rep.device_failures.size(); ++d) {
+        const bool failed = rep.device_failures[d] > 0;
+        if (used[d] || failed) breakers_.record(d, failed, sim_now);
+      }
+    }
   }
   result.predicted_class = 0;
   for (int i = 1; i < result.logits.dim(1); ++i)
     if (result.logits.at(0, i) > result.logits.at(0, result.predicted_class))
       result.predicted_class = i;
-  result.slo_met = opts_.slo.satisfied_by(result.decision.predicted.accuracy,
-                                          result.sim_latency_ms);
+  // The SLO check is honest: judged against the caller's real SLO, with
+  // sim-time burned in the admission queue charged to the latency side.
+  result.slo_met = ctx.slo.satisfied_by(
+      result.decision.predicted.accuracy,
+      ctx.queue_wait_ms + result.sim_latency_ms);
   const bool degraded = exec_degraded || result.replanned_entries > 0 ||
                         result.cache_purged > 0;
   if (!result.slo_met)

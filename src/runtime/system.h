@@ -7,10 +7,19 @@
 // policy (plus the SUPREME bucket store); the Model Reconfig module
 // switches the resident supernet; and the Scheduler/Executor runs the
 // partitioned inference across the simulated devices.
+//
+// Concurrency (DESIGN.md §5.9): infer(image, RequestContext) is safe to
+// call from multiple serving workers at once. The strategy cache takes
+// concurrent lookups lock-free of the rest of the pipeline; monitoring +
+// RL decision serialize on a decision mutex (the env re-applies conditions
+// to a shared network model per evaluation); model switch + distributed
+// execution serialize on an execution mutex (one resident supernet).
+// Workers therefore pipeline: one request plans while another executes.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/decision.h"
@@ -18,6 +27,7 @@
 #include "core/training.h"
 #include "netsim/monitor.h"
 #include "netsim/predictor.h"
+#include "runtime/breaker.h"
 #include "runtime/executor.h"
 #include "runtime/supernet_host.h"
 
@@ -38,6 +48,14 @@ struct SystemOptions {
   /// leaves the global switch untouched (default off: the instrumented
   /// paths cost one relaxed atomic load each, no locks).
   bool telemetry = false;
+  /// Wall-clock backstop for the transport's deadline-aware receives
+  /// (Transport::set_wall_budget_ms; see TransportStats::timeouts docs).
+  /// Non-positive keeps the transport default.
+  double transport_wall_budget_ms = Transport::kDefaultWallBudgetMs;
+  /// Per-device circuit breakers fed by observed failover events
+  /// (runtime/breaker.h). Breakers only act when a FaultInjector is
+  /// attached — without one no failures are ever observed.
+  BreakerOptions breaker{};
 };
 
 /// Per-request outcome under faults (DESIGN.md §5.8). Precedence when
@@ -51,6 +69,26 @@ enum class RequestOutcome {
 };
 
 const char* to_string(RequestOutcome outcome) noexcept;
+
+/// Serving context for the thread-safe infer overload: where the request
+/// sits on the simulated clock, what it is entitled to, and how much of
+/// its budget the admission queue already burned.
+struct RequestContext {
+  /// The SLO the caller is owed; outcome accounting judges against this
+  /// (with queue_wait_ms added to the latency side).
+  core::Slo slo = core::Slo::latency_ms(200.0);
+  /// The (possibly degraded) SLO the decision module plans against — the
+  /// serving layer's ladder tightens this under load so the policy picks
+  /// cheaper submodels. Defaults to `slo` when left value-equal.
+  core::Slo plan_slo = core::Slo::latency_ms(200.0);
+  /// The request's position on the simulated clock (arrival + queue wait).
+  double sim_now_ms = 0.0;
+  /// Sim-time spent queued before this call; charged into the SLO check.
+  double queue_wait_ms = 0.0;
+  /// Per-request RNG stream for policy sampling (keeps concurrent requests
+  /// deterministic independent of worker interleaving).
+  std::uint64_t seed = 0;
+};
 
 struct InferenceResult {
   Tensor logits;
@@ -92,22 +130,37 @@ class MurmurationSystem {
     return executor_->failover();
   }
 
-  /// Health of every device at the current simulated time (all-true
-  /// without an injector).
+  /// Health of every device at the current simulated time: fault-plan
+  /// availability AND breaker admission (all-true without an injector).
   std::vector<bool> health_mask() const;
 
   double sim_time_ms() const noexcept { return sim_time_ms_; }
 
   /// Serve one inference request on `image` (3 x R x R, R >= 224 works for
-  /// any configured resolution via center-crop).
+  /// any configured resolution via center-crop). Single-caller setup: uses
+  /// the system SLO and advances the internal request clock.
   InferenceResult infer(const Tensor& image);
+
+  /// Thread-safe serving path: everything per-request (SLO, sim clock,
+  /// RNG stream, degraded planning target) comes from `ctx`. Safe to call
+  /// from concurrent workers; see the concurrency note atop this file.
+  InferenceResult infer(const Tensor& image, const RequestContext& ctx);
 
   const core::StrategyCache& cache() const noexcept { return cache_; }
   const core::MurmurationEnv& env() const noexcept { return *artifacts_.env; }
   SupernetHost& host() noexcept { return host_; }
+  const BreakerBoard& breakers() const noexcept { return breakers_; }
+  /// Mutable board access (tests feed observations directly; production
+  /// feeding happens inside infer from ExecutionReport::device_failures).
+  BreakerBoard& breakers() noexcept { return breakers_; }
 
  private:
-  core::Decision decide(const rl::ConstraintPoint& c, bool* cache_hit);
+  core::Decision decide(const rl::ConstraintPoint& c, bool* cache_hit,
+                        Rng& rng);
+  InferenceResult infer_impl(const Tensor& image, const RequestContext& ctx,
+                             Rng& rng);
+  std::vector<bool> health_mask_at(double sim_now_ms,
+                                   const netsim::FaultInjector* inj) const;
 
   core::TrainedArtifacts artifacts_;
   SystemOptions opts_;
@@ -118,8 +171,16 @@ class MurmurationSystem {
   core::StrategyCache cache_;
   SupernetHost host_;
   std::unique_ptr<DistributedExecutor> executor_;
+  mutable BreakerBoard breakers_;  // admitted_mask transitions open->half-open
   Rng rng_;
   double sim_time_ms_ = 0.0;
+  // Decision pipeline lock: monitor_/predictor_ state and the RL engine
+  // (its evaluations mutate the env's shared network model).
+  std::mutex decision_mutex_;
+  // Execution lock: one resident supernet => one switch+run at a time.
+  std::mutex exec_mutex_;
+  // Guards last_health_ (mask-change cache purges).
+  std::mutex health_mutex_;
   // Health mask of the previous request; a change invalidates cached
   // strategies that place work on newly dead devices.
   std::vector<bool> last_health_;

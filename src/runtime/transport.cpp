@@ -120,6 +120,10 @@ void Transport::set_retry_policy(const RetryPolicy& policy) noexcept {
   retry_ = policy;
 }
 
+void Transport::set_wall_budget_ms(double ms) noexcept {
+  wall_budget_ms_ = ms > 0.0 ? ms : kDefaultWallBudgetMs;
+}
+
 double Transport::send(int src, int dst, std::uint64_t tag,
                        std::vector<std::uint8_t> payload,
                        std::size_t wire_bytes, double sim_send_ms) {
@@ -214,6 +218,7 @@ std::optional<Transport::Message> Transport::recv_for(int dst,
   // matching message — transport stalls show up directly in the trace.
   MURMUR_SPAN("transport.recv", "transport",
               obs::maybe_histogram("stage.transport_recv_ms"));
+  if (wall_budget_ms <= 0.0) wall_budget_ms = wall_budget_ms_;
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   const auto wall_deadline =
       std::chrono::steady_clock::now() +
@@ -264,10 +269,11 @@ Transport::Message Transport::recv(int dst, std::uint64_t tag) {
   // Blocking API on top of the bounded one: wait in slices so a wait that
   // exceeds the sanity threshold is loudly reported (the legacy behavior
   // was to hang forever on a message that never arrives).
+  const double sanity_ms = std::max(kRecvSanityWallMs, 2.0 * wall_budget_ms_);
   double waited_ms = 0.0;
   bool warned = false;
   for (;;) {
-    if (auto m = recv_for(dst, tag, kNoDeadline, kRecvSanityWallMs)) {
+    if (auto m = recv_for(dst, tag, kNoDeadline, sanity_ms)) {
       // A wall-budget expiry above was counted as a timeout; blocking recv
       // keeps waiting, so those slices are not receiver-visible timeouts.
       return *std::move(m);
@@ -276,7 +282,7 @@ Transport::Message Transport::recv(int dst, std::uint64_t tag) {
       std::lock_guard lock(stats_mutex_);
       --stats_.timeouts;
     }
-    waited_ms += kRecvSanityWallMs;
+    waited_ms += sanity_ms;
     if (!warned) {
       warned = true;
       MURMUR_LOG_ERROR << "transport.recv blocked > " << waited_ms

@@ -41,7 +41,13 @@ struct TransportStats {
   // Fault accounting (all zero unless an injector/hook is attached):
   std::uint64_t drops = 0;       // messages lost after exhausting retries
   std::uint64_t retries = 0;     // resend attempts after a lost send
-  std::uint64_t timeouts = 0;    // recv_for waits that expired
+  /// recv_for waits that expired — either the simulated deadline passed
+  /// (late/tombstoned message) or the *wall-clock* backstop elapsed with no
+  /// message at all. The backstop defaults to kDefaultWallBudgetMs and is
+  /// configurable per transport via set_wall_budget_ms() /
+  /// SystemOptions::transport_wall_budget_ms, so deployments can trade
+  /// fail-fast detection against patience on slow hosts.
+  std::uint64_t timeouts = 0;
   std::uint64_t duplicates = 0;  // duplicate deliveries discarded on recv
   double backoff_ms = 0.0;       // summed simulated retry backoff
 };
@@ -53,9 +59,17 @@ class Transport {
   /// Sim-time deadline meaning "wait forever" (the blocking recv default).
   static constexpr double kNoDeadline =
       std::numeric_limits<double>::infinity();
-  /// Wall-clock wait after which a blocking recv logs an error: nothing in
-  /// this in-process transport legitimately blocks this long, so exceeding
-  /// it means a lost/never-sent message (the bug recv_for exists to fix).
+  /// Default wall-clock backstop for recv_for: a bound on waiting for a
+  /// message that was never sent. Configure per transport with
+  /// set_wall_budget_ms() (surfaced as SystemOptions::transport_wall_budget_ms).
+  static constexpr double kDefaultWallBudgetMs = 1'000.0;
+  /// recv_for sentinel: "use the configured wall budget".
+  static constexpr double kConfiguredWallBudget = -1.0;
+  /// Floor of the wall-clock wait after which a *blocking* recv logs an
+  /// error: nothing in this in-process transport legitimately blocks this
+  /// long, so exceeding it means a lost/never-sent message (the bug
+  /// recv_for exists to fix). The effective threshold is
+  /// max(kRecvSanityWallMs, 2 * wall_budget_ms()).
   static constexpr double kRecvSanityWallMs = 2'000.0;
 
   struct Message {
@@ -86,6 +100,11 @@ class Transport {
   void set_message_hook(MessageHook hook);
   void set_retry_policy(const RetryPolicy& policy) noexcept;
 
+  /// Configure the wall-clock backstop used when recv_for is called with
+  /// kConfiguredWallBudget (non-positive values reset to the default).
+  void set_wall_budget_ms(double ms) noexcept;
+  double wall_budget_ms() const noexcept { return wall_budget_ms_; }
+
   /// Ship `payload` from src to dst. `wire_bytes` is the idealized
   /// bit-packed size used for simulated-time accounting; `sim_send_ms` is
   /// the sender's simulated clock at send time. Returns simulated arrival
@@ -98,11 +117,13 @@ class Transport {
   /// Deadline-aware receive: the message with `tag` addressed to `dst`, or
   /// nullopt if it was dropped in flight, arrives after `sim_deadline_ms`
   /// (simulated), or fails to show up within `wall_budget_ms` (host wall
-  /// clock — a backstop against waiting on a send that never happened).
-  /// Expired waits count into TransportStats::timeouts.
+  /// clock — a backstop against waiting on a send that never happened;
+  /// kConfiguredWallBudget resolves to wall_budget_ms()). Expired waits
+  /// count into TransportStats::timeouts.
   std::optional<Message> recv_for(int dst, std::uint64_t tag,
                                   double sim_deadline_ms,
-                                  double wall_budget_ms = 1'000.0);
+                                  double wall_budget_ms =
+                                      kConfiguredWallBudget);
 
   /// Blocking receive of the message with `tag` addressed to `dst`.
   /// Implemented as recv_for with no deadline; logs an error (and keeps
@@ -123,6 +144,7 @@ class Transport {
   netsim::FaultInjector* injector_ = nullptr;
   MessageHook hook_;
   RetryPolicy retry_;
+  double wall_budget_ms_ = kDefaultWallBudgetMs;
   mutable std::mutex stats_mutex_;
   TransportStats stats_;
 };

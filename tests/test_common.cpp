@@ -3,7 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <fstream>
+#include <future>
 #include <set>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/linreg.h"
 #include "common/rng.h"
@@ -326,6 +332,114 @@ TEST(Serialize, BytesRoundTrip) {
   std::vector<std::uint8_t> out;
   ASSERT_TRUE(r.read_bytes(out));
   EXPECT_EQ(out, payload);
+}
+
+// ------------------------------------------- checked checkpoint container ----
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+std::vector<std::uint8_t> demo_payload() {
+  std::vector<std::uint8_t> p(257);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  return p;
+}
+
+TEST(CheckedFile, RoundTripsAndLeavesNoTempFile) {
+  const std::string path = temp_path("checked_roundtrip.bin");
+  const auto payload = demo_payload();
+  ASSERT_TRUE(save_checked_file(path, payload, /*version=*/3));
+  const auto loaded = load_checked_file(path, 3);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, payload);
+  // Write-then-rename: the temporary staging file must be gone.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  // An empty payload is a valid frame too.
+  ASSERT_TRUE(save_checked_file(path, std::span<const std::uint8_t>{}, 3));
+  const auto empty = load_checked_file(path, 3);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(CheckedFile, RejectsWrongVersionAndMissingFile) {
+  const std::string path = temp_path("checked_version.bin");
+  ASSERT_TRUE(save_checked_file(path, demo_payload(), 3));
+  EXPECT_FALSE(load_checked_file(path, 4).has_value());
+  EXPECT_TRUE(load_checked_file(path, 3).has_value());
+  EXPECT_FALSE(load_checked_file(temp_path("no_such_file.bin"), 3));
+}
+
+TEST(CheckedFile, EveryTruncationRejected) {
+  const std::string path = temp_path("checked_trunc.bin");
+  const auto payload = demo_payload();
+  ASSERT_TRUE(save_checked_file(path, payload, 1));
+  std::vector<std::uint8_t> bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(f),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), payload.size());
+  const std::string cut = temp_path("checked_cut.bin");
+  for (std::size_t n = 0; n < bytes.size(); n += 13) {
+    std::ofstream f(cut, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(n));
+    f.close();
+    EXPECT_FALSE(load_checked_file(cut, 1).has_value())
+        << "truncated to " << n << " bytes but accepted";
+  }
+}
+
+TEST(CheckedFile, EveryBitFlipRejected) {
+  const std::string path = temp_path("checked_flip.bin");
+  ASSERT_TRUE(save_checked_file(path, demo_payload(), 1));
+  std::vector<std::uint8_t> clean;
+  {
+    std::ifstream f(path, std::ios::binary);
+    clean.assign(std::istreambuf_iterator<char>(f),
+                 std::istreambuf_iterator<char>());
+  }
+  const std::string bad = temp_path("checked_bad.bin");
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    auto bytes = clean;
+    bytes[i] ^= static_cast<std::uint8_t>(1u << (i % 8));
+    std::ofstream f(bad, std::ios::binary | std::ios::trunc);
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    f.close();
+    EXPECT_FALSE(load_checked_file(bad, 1).has_value())
+        << "bit flip at byte " << i << " accepted";
+  }
+}
+
+TEST(CheckedFile, Fnv1aMatchesReference) {
+  // Reference vectors for 64-bit FNV-1a.
+  EXPECT_EQ(fnv1a64({}), 0xcbf29ce484222325ULL);
+  const std::uint8_t a[] = {'a'};
+  EXPECT_EQ(fnv1a64(a), 0xaf63dc4c8601ec8cULL);
+}
+
+// ------------------------------------------------- thread pool visibility ----
+
+TEST(ThreadPool, PendingAndActiveObservable) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.pending(), 0u);
+  EXPECT_EQ(pool.active(), 0u);
+  std::promise<void> gate;
+  auto release = gate.get_future().share();
+  auto first = pool.submit([release] { release.wait(); });
+  auto second = pool.submit([] {});
+  // The single worker is stuck in the first task; the second waits.
+  while (pool.active() == 0) std::this_thread::yield();
+  EXPECT_EQ(pool.active(), 1u);
+  EXPECT_EQ(pool.pending(), 1u);
+  gate.set_value();
+  first.get();
+  second.get();
+  EXPECT_EQ(pool.pending(), 0u);
 }
 
 // ----------------------------------------------------------- sim clock ----

@@ -373,6 +373,29 @@ TEST(StrategyCacheInvalidate, SurvivorsKeepLruOrder) {
   EXPECT_TRUE(cache.get(c3).has_value());
 }
 
+TEST(StrategyCacheInvalidate, EmptyCacheAndRemoveAllEdgeCases) {
+  const auto env = make_aug_env();
+  core::StrategyCache cache(env, 8);
+  // Empty cache: any predicate removes nothing and is never a crash.
+  EXPECT_EQ(cache.invalidate_if([](const core::Decision&) { return true; }),
+            0u);
+  EXPECT_EQ(cache.invalidations(), 0u);
+  // Remove-all predicate drains the cache completely.
+  rl::ConstraintPoint c0{{0.1, 0.1, 0.1}}, c1{{0.5, 0.5, 0.5}},
+      c2{{0.9, 0.9, 0.9}};
+  cache.put(c0, decision_on(0));
+  cache.put(c1, decision_on(1));
+  cache.put(c2, decision_on(2));
+  EXPECT_EQ(cache.invalidate_if([](const core::Decision&) { return true; }),
+            3u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.invalidations(), 3u);
+  EXPECT_FALSE(cache.get(c0).has_value());
+  // The drained cache accepts new entries as usual.
+  cache.put(c0, decision_on(0));
+  EXPECT_TRUE(cache.get(c0).has_value());
+}
+
 // -------------------------------------------------------- plan re-mapping ----
 
 TEST(PlanHealth, DetectsAndRemapsUnhealthyEntries) {
@@ -399,6 +422,39 @@ TEST(PlanHealth, DetectsAndRemapsUnhealthyEntries) {
   EXPECT_EQ(partition::remap_unhealthy(hopeless, c,
                                        std::vector<bool>(5, false)),
             0);
+}
+
+TEST(PlanHealth, AllButOneDeviceDeadCollapsesToSurvivor) {
+  SubnetConfig c = SubnetConfig::min_config();
+  for (auto& b : c.blocks) b.grid = PartitionGrid{2, 2};
+  partition::PlacementPlan plan = partition::PlacementPlan::all_local();
+  for (auto& row : plan.device) row = {1, 2, 3, 4};
+  plan.stem_device = 3;
+  plan.head_device = 4;
+  // Only device 2 survives: every entry must land there.
+  std::vector<bool> only_two = {false, false, true, false, false};
+  const int moved = partition::remap_unhealthy(plan, c, only_two);
+  EXPECT_GT(moved, 0);
+  EXPECT_FALSE(partition::plan_uses_unhealthy(plan, c, only_two));
+  EXPECT_EQ(plan.stem_device, 2);
+  EXPECT_EQ(plan.head_device, 2);
+  EXPECT_EQ(plan.devices_used(c), 1);
+}
+
+TEST(PlanHealth, OnlyLocalDeviceHealthyMeansAllLocal) {
+  SubnetConfig c = SubnetConfig::min_config();
+  for (auto& b : c.blocks) b.grid = PartitionGrid{2, 2};
+  partition::PlacementPlan plan = partition::PlacementPlan::all_local();
+  for (auto& row : plan.device) row = {1, 2, 3, 4};
+  plan.head_device = 1;
+  std::vector<bool> only_local = {true, false, false, false, false};
+  EXPECT_GT(partition::remap_unhealthy(plan, c, only_local), 0);
+  EXPECT_FALSE(partition::plan_uses_unhealthy(plan, c, only_local));
+  EXPECT_EQ(plan.stem_device, 0);
+  EXPECT_EQ(plan.head_device, 0);
+  EXPECT_EQ(plan.devices_used(c), 1);
+  // Re-running on the already-clean plan is a no-op.
+  EXPECT_EQ(partition::remap_unhealthy(plan, c, only_local), 0);
 }
 
 // ------------------------------------------------------ executor failover ----

@@ -13,24 +13,34 @@
 //                      p50/p90/p99 latencies and cache behaviour; optionally
 //                      export a chrome://tracing span trace and a metrics
 //                      JSON snapshot)
+//   murmurctl overload [--requests N] [--spacing MS] [--workers N]
+//                    [--queue N] [--rungs N] [--chaos 0|1] [--scenario ...]
+//                    [--slo V] [--seed N]
+//                     (replay a seeded burst through the concurrent serving
+//                      layer; report the completed/degraded/shed/failed
+//                      partition, shed reasons, and breaker transitions)
 //   murmurctl info                                   (search space / models)
 //
 // Trained policies are cached in .murmur_cache and shared with the
 // benchmarks.
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/log.h"
 #include "common/table.h"
 #include "core/decision.h"
 #include "core/training.h"
+#include "netsim/faults.h"
 #include "netsim/scenario.h"
 #include "netsim/trace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/serving.h"
 #include "runtime/system.h"
 #include "supernet/accuracy_model.h"
 #include "supernet/cost_model.h"
@@ -245,6 +255,102 @@ int cmd_metrics(const Args& args) {
   return 0;
 }
 
+int cmd_overload(const Args& args) {
+  auto setup = setup_from(args);
+  // The burst is a swarm workload by default: 1 local + 4 remote devices.
+  if (args.flags.find("scenario") == args.flags.end())
+    setup.scenario = netsim::Scenario::kDeviceSwarm;
+  auto artifacts = core::train_or_load(setup);
+
+  runtime::SystemOptions sys_opts;
+  sys_opts.slo = slo_from(args, setup.slo_type);
+  sys_opts.exec_width_mult = args.num("width", 0.15);
+  sys_opts.classes = 100;
+  sys_opts.telemetry = true;
+  sys_opts.use_predictor = false;  // burst serving: no precompute detour
+  obs::MetricsRegistry::instance().reset();
+  obs::Tracer::instance().clear();
+  runtime::MurmurationSystem system(std::move(artifacts), sys_opts);
+  netsim::shape_remotes(system.network(),
+                        Bandwidth::from_mbps(args.num("bw", 150)),
+                        Delay::from_ms(args.num("delay", 20)));
+
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.num("seed", 7));
+  const bool chaos = args.num("chaos", 1) != 0;
+  netsim::FaultPlan plan;
+  if (chaos) {
+    Rng chaos_rng(seed);
+    netsim::FaultPlan::ChaosOptions copts;
+    // Default the fault horizon to the burst's sim-time span so the chaos
+    // schedule actually overlaps the workload.
+    copts.horizon_ms = args.num(
+        "horizon", std::max(1'000.0, args.num("requests", 64) *
+                                         args.num("spacing", 5.0) * 2.0));
+    plan = netsim::FaultPlan::chaos(system.network().num_devices(), copts,
+                                    chaos_rng);
+  }
+  netsim::FaultInjector injector(std::move(plan), seed);
+  if (chaos)
+    system.set_failover({.injector = &injector, .recv_slack_ms = 50.0});
+
+  runtime::ServingOptions serve_opts;
+  serve_opts.workers = static_cast<int>(args.num("workers", 4));
+  serve_opts.queue_capacity =
+      static_cast<std::size_t>(args.num("queue", 16));
+  serve_opts.ladder.rungs = static_cast<int>(args.num("rungs", 3));
+  serve_opts.seed = seed;
+  runtime::ServingLayer serving(system, serve_opts);
+
+  const int requests = std::max(1, static_cast<int>(args.num("requests", 64)));
+  const double spacing = args.num("spacing", 5.0);
+  Rng rng(seed ^ 0x0eedu);
+  Tensor image = Tensor::randn({1, 3, 224, 224}, rng, 0.0f, 0.5f);
+
+  std::vector<std::future<runtime::ServeResult>> futures;
+  futures.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i)
+    futures.push_back(serving.submit(image, i * spacing));
+
+  int by_outcome[4] = {0, 0, 0, 0};
+  int degraded_rungs = 0, queue_full = 0, infeasible = 0;
+  double max_wait = 0.0;
+  for (auto& f : futures) {
+    const runtime::ServeResult r = f.get();
+    ++by_outcome[static_cast<int>(r.outcome)];
+    if (r.rung > 0) ++degraded_rungs;
+    if (std::strcmp(r.shed_reason, "queue_full") == 0) ++queue_full;
+    if (std::strcmp(r.shed_reason, "deadline_infeasible") == 0) ++infeasible;
+    max_wait = std::max(max_wait, r.queue_wait_ms);
+  }
+
+  std::printf("%d requests, spacing %.1f ms sim, SLO %s, %d workers, "
+              "queue %zu\n",
+              requests, spacing, system.slo().to_string().c_str(),
+              serve_opts.workers, serve_opts.queue_capacity);
+  Table t({"outcome", "count", "share"});
+  for (int o = 0; o < 4; ++o)
+    t.new_row()
+        .add(runtime::to_string(static_cast<runtime::ServeOutcome>(o)))
+        .add(static_cast<double>(by_outcome[o]))
+        .add(100.0 * by_outcome[o] / requests);
+  t.print(std::cout);
+  std::printf("shed: %d queue_full, %d deadline_infeasible; "
+              "%d served at a degraded rung; max queue wait %.0f ms sim\n",
+              queue_full, infeasible, degraded_rungs, max_wait);
+  std::printf("latency estimate (EWMA): %.1f ms sim\n",
+              serving.latency_estimate_ms());
+  const auto& breakers = system.breakers();
+  std::printf("breakers: %llu trips, %llu half-opens, %llu closes; "
+              "%zu currently not closed\n",
+              static_cast<unsigned long long>(breakers.trips()),
+              static_cast<unsigned long long>(breakers.half_opens()),
+              static_cast<unsigned long long>(breakers.closes()),
+              breakers.open_count());
+  for (std::size_t d = 1; d < system.network().num_devices(); ++d)
+    std::printf("  device %zu: %s\n", d, breakers.state_name(d));
+  return 0;
+}
+
 int cmd_info() {
   std::printf("Murmuration supernet search space:\n");
   std::printf("  submodels (excl. placement): %.3g\n",
@@ -279,9 +385,10 @@ int main(int argc, char** argv) {
   if (args.command == "sweep") return cmd_sweep(args);
   if (args.command == "trace") return cmd_trace(args);
   if (args.command == "metrics") return cmd_metrics(args);
+  if (args.command == "overload") return cmd_overload(args);
   if (args.command == "info") return cmd_info();
   std::fprintf(stderr,
-               "usage: murmurctl <train|decide|sweep|trace|metrics|info> "
-               "[--flag value ...]\n");
+               "usage: murmurctl <train|decide|sweep|trace|metrics|overload|"
+               "info> [--flag value ...]\n");
   return args.command.empty() ? 1 : 2;
 }

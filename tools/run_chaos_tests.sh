@@ -1,21 +1,34 @@
 #!/usr/bin/env bash
-# Chaos sweep: build the fault-injection/failover test suite under
-# AddressSanitizer + UndefinedBehaviorSanitizer and run every test carrying
-# the `faults` ctest label (tests/test_faults.cpp).
+# Chaos + concurrency sweep, two sanitized configurations:
 #
-# Usage:  tools/run_chaos_tests.sh [build-dir]
+#   1. AddressSanitizer + UndefinedBehaviorSanitizer over every test carrying
+#      the `faults` or `serving` ctest label (tests/test_faults.cpp,
+#      tests/test_serving.cpp).
+#   2. ThreadSanitizer over the concurrency-heavy `serving` label. TSan
+#      cannot be combined with ASan, so it gets its own build dir.
 #
-# The default build dir is build-chaos so the sanitized configuration never
-# collides with a plain `build/`. Set MURMUR_CHAOS_LABEL to run a different
-# label through the same sanitized build (e.g. MURMUR_CHAOS_LABEL=obs).
+# Usage:  tools/run_chaos_tests.sh [asan-build-dir] [tsan-build-dir]
+#
+# The default build dirs are build-chaos / build-tsan so the sanitized
+# configurations never collide with a plain `build/`. Set MURMUR_CHAOS_LABEL
+# / MURMUR_TSAN_LABEL (ctest -L regexes) to run different labels through the
+# same sanitized builds.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${1:-build-chaos}
-LABEL=${MURMUR_CHAOS_LABEL:-faults}
+TSAN_BUILD_DIR=${2:-build-tsan}
+LABEL=${MURMUR_CHAOS_LABEL:-faults|serving}
+TSAN_LABEL=${MURMUR_TSAN_LABEL:-serving}
 
 cmake -B "$BUILD_DIR" -S . -DMURMUR_SANITIZE=address,undefined \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" -L "$LABEL" --output-on-failure
 echo "chaos suite ($LABEL) clean under address,undefined"
+
+cmake -B "$TSAN_BUILD_DIR" -S . -DMURMUR_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$TSAN_BUILD_DIR" -j
+ctest --test-dir "$TSAN_BUILD_DIR" -L "$TSAN_LABEL" --output-on-failure
+echo "concurrency suite ($TSAN_LABEL) clean under thread sanitizer"
