@@ -60,7 +60,10 @@ class DegradationLadder {
   int rungs() const noexcept { return opts_.rungs; }
 
   /// Rung for queue pressure in [0, 1] (0 = idle, 1 = admission queue
-  /// full). Pressure p maps to floor(p * rungs), clamped.
+  /// full). Pressure partitions into `rungs + 1` equal buckets:
+  /// p maps to min(rungs, floor(p * (rungs + 1))), so rung 0 covers
+  /// p < 1/(rungs+1) and the deepest rung engages at
+  /// p >= rungs/(rungs+1) — before the queue is completely full.
   int rung_for(double pressure) const noexcept;
 
   /// SLO-value multiplier at `rung`: 1.0 at rung 0, `min_factor` at the

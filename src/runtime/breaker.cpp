@@ -63,6 +63,9 @@ void BreakerBoard::record(std::size_t device, bool failed, double sim_now_ms) {
 
 BreakerBoard::State BreakerBoard::state(std::size_t device) const {
   std::lock_guard lock(mutex_);
+  // Mirror record()'s guard: an out-of-range device id from tooling or
+  // tests reads as a healthy (closed) breaker instead of UB.
+  if (device >= breakers_.size()) return State::kClosed;
   return breakers_[device].state;
 }
 

@@ -56,6 +56,7 @@ class BreakerBoard {
   /// actually participated in (or were redispatched out of) the request.
   void record(std::size_t device, bool failed, double sim_now_ms);
 
+  /// Out-of-range device ids read as kClosed / "closed".
   State state(std::size_t device) const;
   const char* state_name(std::size_t device) const;
 

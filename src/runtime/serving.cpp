@@ -32,6 +32,7 @@ ServingLayer::ServingLayer(MurmurationSystem& system, ServingOptions opts)
       ladder_(opts.ladder),
       pool_(static_cast<std::size_t>(std::max(1, opts.workers))) {
   if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
+  opts_.cold_start_latency_ms = std::max(0.0, opts_.cold_start_latency_ms);
 }
 
 double ServingLayer::latency_estimate_ms() const {
@@ -105,7 +106,12 @@ ServingLayer::Admission ServingLayer::admit(double sim_arrival_ms,
   a.rung = ladder_.rung_for(static_cast<double>(depth) /
                             static_cast<double>(opts_.queue_capacity));
   // Reserve the serial-execution slot this request is estimated to occupy.
-  busy_until_ms_ = a.est_start_ms + latency_est;
+  // Before the EWMA's first sample a conservative prior keeps reservations
+  // nonzero-width, so a cold-start burst still fills in_system_ and the
+  // queue_capacity bound holds from request zero.
+  const double reserve_ms =
+      latency_est > 0.0 ? latency_est : opts_.cold_start_latency_ms;
+  busy_until_ms_ = a.est_start_ms + reserve_ms;
   in_system_.push_back(busy_until_ms_);
   return a;
 }

@@ -40,6 +40,13 @@ struct ServingOptions {
   core::DegradationLadder::Options ladder{};
   /// Smoothing for the per-request sim-latency estimate.
   double ewma_alpha = 0.3;
+  /// Conservative reservation width (sim-ms) used on the busy-until clock
+  /// before the first completion seeds the EWMA. Without it, cold-start
+  /// reservations would be zero-width and a burst would never see a full
+  /// queue; with it, `queue_capacity` binds from request zero. Does not
+  /// participate in the deadline-feasibility check (cold admission stays
+  /// optimistic: admit and learn).
+  double cold_start_latency_ms = 50.0;
   /// Base for per-request RNG streams.
   std::uint64_t seed = 2024;
 };
@@ -120,7 +127,6 @@ class ServingLayer {
   MurmurationSystem& system_;
   ServingOptions opts_;
   core::DegradationLadder ladder_;
-  ThreadPool pool_;
 
   std::mutex admission_mutex_;
   // est_finish sim-times of admitted requests; entries <= the next arrival
@@ -135,6 +141,12 @@ class ServingLayer {
 
   std::atomic<std::uint64_t> submitted_{0}, completed_{0}, degraded_{0},
       shed_{0}, failed_{0};
+
+  // Last member on purpose: members are destroyed in reverse declaration
+  // order, so the pool's destructor — which drains the queue and joins
+  // workers whose tasks still call note_completion() and count() — runs
+  // while the mutexes, admission state, and counters above are alive.
+  ThreadPool pool_;
 };
 
 }  // namespace murmur::runtime

@@ -112,6 +112,15 @@ TEST(Breaker, StragglerReportsIgnoredWhileOpen) {
   EXPECT_EQ(board.open_count(), 1u);
 }
 
+TEST(Breaker, OutOfRangeDeviceReadsAsClosed) {
+  BreakerBoard board(2, fast_breaker());
+  EXPECT_EQ(board.state(99), BreakerBoard::State::kClosed);
+  EXPECT_STREQ(board.state_name(99), "closed");
+  // record() already guarded; reads and writes agree on out-of-range ids.
+  board.record(99, true, 0.0);
+  EXPECT_EQ(board.trips(), 0u);
+}
+
 TEST(Breaker, TransitionsVisibleInRuntimeBreakerMetrics) {
   obs::set_enabled(true);
   auto& reg = obs::MetricsRegistry::instance();
@@ -303,6 +312,60 @@ TEST(ServingAdmission, QueueFullShedsImmediately) {
   EXPECT_EQ(shed, 4);  // capacity 4 admitted, 4 shed
   EXPECT_EQ(serving.shed(), 4u);
   EXPECT_EQ(serving.submitted(), 9u);
+}
+
+TEST(ServingAdmission, ColdStartBurstStillHitsQueueCapacity) {
+  // No warm-up: the EWMA has no sample, so reservations fall back to the
+  // conservative cold-start prior. The bounded queue must hold anyway —
+  // a same-instant burst beyond capacity sheds with queue_full instead of
+  // flooding the pool through zero-width reservations.
+  auto system = runtime::MurmurationSystem(
+      tiny_artifacts(netsim::Scenario::kAugmentedComputing),
+      tiny_system_opts());
+  runtime::ServingOptions so;
+  so.workers = 2;
+  so.queue_capacity = 4;
+  runtime::ServingLayer serving(system, so);
+  ASSERT_DOUBLE_EQ(serving.latency_estimate_ms(), 0.0);
+  const Tensor img = test_image(58);
+
+  const core::Slo roomy = core::Slo::latency_ms(1e9);
+  std::vector<std::future<runtime::ServeResult>> futs;
+  for (int i = 0; i < 8; ++i)
+    futs.push_back(serving.submit(img, 100.0, roomy));
+  int shed = 0;
+  for (auto& f : futs) {
+    const auto r = f.get();
+    if (r.outcome == ServeOutcome::kShed) {
+      ++shed;
+      EXPECT_STREQ(r.shed_reason, "queue_full");
+    }
+  }
+  EXPECT_EQ(shed, 4);  // capacity 4 admitted, 4 shed — even stone cold
+}
+
+TEST(ServingAdmission, DestructionDrainsInFlightRequests) {
+  // Submit a burst and destroy the layer without waiting: the pool must
+  // drain (tasks still touch the estimator, counters, and metrics) and
+  // every future must resolve. Destruction-order bugs here show up as
+  // use-after-free under ASan/TSan.
+  auto system = runtime::MurmurationSystem(
+      tiny_artifacts(netsim::Scenario::kAugmentedComputing),
+      tiny_system_opts());
+  const Tensor img = test_image(59);
+  std::vector<std::future<runtime::ServeResult>> futs;
+  {
+    runtime::ServingOptions so;
+    so.workers = 4;
+    so.queue_capacity = 16;
+    runtime::ServingLayer serving(system, so);
+    for (int i = 0; i < 12; ++i)
+      futs.push_back(serving.submit(img, 100.0 + 5.0 * i));
+  }  // ~ServingLayer: queued requests still run to completion
+  for (auto& f : futs) {
+    const auto r = f.get();
+    EXPECT_NE(r.outcome, ServeOutcome::kFailed);
+  }
 }
 
 TEST(ServingAdmission, InfeasibleDeadlineShedsInsteadOfServingLate) {
