@@ -1,0 +1,280 @@
+// Serving-layer sustained throughput: serial workers vs strategy-coalesced
+// batching (DESIGN.md §5.10).
+//
+// Workload: augmented computing (Pi 4 + desktop GPU) with the remote link
+// shaped to a metro-edge profile (1 Gbps / 10 ms one-way delay, the
+// tc-style shaping the paper's testbed applies), one latency SLO, static
+// conditions — so every request's decision resolves to the same warm
+// distributed strategy and the workload is maximally strategy-skewed.
+//
+// Metric: sustained throughput at a fixed shed-rate ceiling, on the
+// simulated clock that admission control actually runs on. For each mode
+// the bench sweeps the arrival spacing downward (rate upward) and replays
+// a 64-request burst per point through one long-lived system + serving
+// pair; a point "sustains" if at most 5% of its arrivals are shed. The
+// reported throughput is the highest sustained arrival rate. Serial
+// serving reserves each request's full critical-path latency on the
+// busy-until clock; fused batches pay per-message path delays and
+// envelope scaffolding once per batch, so each member reserves only its
+// occupancy share (InferenceResult::sim_occupancy_ms) and the admissible
+// rate rises. Wall-clock numbers for the same points are reported as a
+// secondary table (on a single host the per-sample tensor compute floor
+// dominates wall time; the capacity claim lives on the sim clock).
+//
+// Prints both tables (bench::emit) and writes BENCH_serving.json into the
+// working directory (override with MURMUR_SERVING_JSON).
+//
+// Knobs: MURMUR_SERVING_REQUESTS (default 64 per point),
+// MURMUR_SERVING_BATCH (default 8), plus the shared MURMUR_TRAIN_STEPS /
+// MURMUR_NO_CACHE.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "netsim/scenario.h"
+#include "runtime/serving.h"
+#include "runtime/system.h"
+
+namespace murmur::bench {
+namespace {
+
+int env_int(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+
+constexpr double kSloMs = 50.0;
+constexpr double kShedCeiling = 0.05;
+
+struct PointStats {
+  double spacing_ms = 0.0;
+  double rate_per_s = 0.0;  // arrival rate on the sim clock (1000/spacing)
+  std::uint64_t shed = 0;
+  double wall_s = 0.0;
+  double wall_req_per_sec = 0.0;
+  bool sustained = false;
+};
+
+struct RunStats {
+  std::vector<PointStats> points;
+  PointStats best;  // highest sustained-rate point
+  std::uint64_t switches = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t coalesced = 0;
+  double ewma_latency_ms = 0.0;
+  double ewma_occupancy_ms = 0.0;
+};
+
+/// Sweep arrival spacing through one long-lived system + serving pair so
+/// the latency/occupancy EWMAs carry steady state from point to point.
+RunStats run_mode(std::size_t max_batch, int requests) {
+  auto artifacts = murmuration_artifacts(netsim::Scenario::kAugmentedComputing,
+                                         core::SloType::kLatency);
+  netsim::shape_remotes(artifacts.env->mutable_network(),
+                        Bandwidth::from_mbps(1000), Delay::from_ms(10));
+  runtime::SystemOptions sys_opts;
+  sys_opts.slo = core::Slo::latency_ms(kSloMs);
+  sys_opts.exec_width_mult = 0.25;
+  sys_opts.classes = 100;
+  sys_opts.use_predictor = false;
+  runtime::MurmurationSystem system(std::move(artifacts), sys_opts);
+
+  runtime::ServingOptions serve_opts;
+  serve_opts.workers = 4;
+  serve_opts.queue_capacity = 8;
+  serve_opts.seed = 17;
+  serve_opts.max_batch = max_batch;
+  // The group's sim-clock span covers max_batch arrivals at the sustained
+  // spacing; the wall-clock grace keeps a steady trickle from fragmenting
+  // groups the instant the dispatch queue momentarily runs dry.
+  serve_opts.batch_window_ms = 400.0;
+  serve_opts.drain_grace_ms = 5.0;
+
+  Rng rng(41);
+  const Tensor image = Tensor::randn({1, 3, 224, 224}, rng, 0.0f, 0.5f);
+
+  RunStats stats;
+  {
+    runtime::ServingLayer serving(system, serve_opts);
+    // Warm-up: seeds both EWMAs and the strategy cache outside the sweep.
+    (void)serving.submit(image, 0.0).get();
+    const double warm_latency_ms = serving.latency_estimate_ms();
+
+    // Convergence pre-pass (unrecorded): two easy-paced bursts let the
+    // occupancy EWMA reach steady state — under batching it has to learn
+    // down from the single-request warm-up before admission reserves the
+    // amortized width — so the recorded sweep judges every point against
+    // converged estimates.
+    double base_ms = 1e4;
+    for (int pass = 0; pass < 2; ++pass) {
+      std::vector<std::future<runtime::ServeResult>> warm;
+      warm.reserve(static_cast<std::size_t>(requests));
+      for (int i = 0; i < requests; ++i)
+        warm.push_back(
+            serving.submit(image, base_ms + 1.3 * warm_latency_ms * i));
+      for (auto& f : warm) (void)f.get();
+      base_ms += 1.3 * warm_latency_ms * requests + 5e3;
+    }
+    const std::uint64_t switches_before = system.host().switch_count();
+
+    double spacing = 1.3 * warm_latency_ms;
+    for (int point = 0; point < 16; ++point, spacing *= 0.91) {
+      const std::uint64_t shed_before = serving.shed();
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<std::future<runtime::ServeResult>> futures;
+      futures.reserve(static_cast<std::size_t>(requests));
+      for (int i = 0; i < requests; ++i)
+        futures.push_back(serving.submit(image, base_ms + spacing * i));
+      for (auto& f : futures) (void)f.get();
+      const auto t1 = std::chrono::steady_clock::now();
+
+      PointStats p;
+      p.spacing_ms = spacing;
+      p.rate_per_s = 1000.0 / spacing;
+      p.shed = serving.shed() - shed_before;
+      p.wall_s = std::chrono::duration<double>(t1 - t0).count();
+      p.wall_req_per_sec = requests / p.wall_s;
+      p.sustained = p.shed <=
+                    static_cast<std::uint64_t>(kShedCeiling * requests);
+      if (p.sustained && p.rate_per_s > stats.best.rate_per_s) stats.best = p;
+      stats.points.push_back(p);
+      // Idle gap before the next point: the sim backlog drains fully, so
+      // each point starts from an empty queue (only the EWMAs carry over).
+      base_ms += spacing * requests + 5e3;
+    }
+    stats.switches = system.host().switch_count() - switches_before;
+    stats.batches = serving.batches();
+    stats.coalesced = serving.coalesced();
+    stats.ewma_latency_ms = serving.latency_estimate_ms();
+    stats.ewma_occupancy_ms = serving.occupancy_estimate_ms();
+  }
+  return stats;
+}
+
+void write_json(const char* path, int requests, std::size_t max_batch,
+                const RunStats& serial, const RunStats& batched,
+                double speedup) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"bench\": \"serving_throughput\",\n"
+      "  \"workload\": {\n"
+      "    \"scenario\": \"augmented_computing\",\n"
+      "    \"link_shaping\": \"1 Gbps / 10 ms to the remote GPU\",\n"
+      "    \"slo_ms\": %.0f,\n"
+      "    \"strategy_skew\": \"single warm distributed strategy\",\n"
+      "    \"requests_per_point\": %d,\n"
+      "    \"shed_rate_ceiling\": %.2f,\n"
+      "    \"max_batch\": %zu\n"
+      "  },\n"
+      "  \"serial\": {\n"
+      "    \"sustained_req_per_s\": %.2f,\n"
+      "    \"spacing_ms\": %.2f,\n"
+      "    \"shed_at_point\": %llu,\n"
+      "    \"wall_req_per_sec\": %.2f,\n"
+      "    \"ewma_latency_ms\": %.2f,\n"
+      "    \"ewma_occupancy_ms\": %.2f\n"
+      "  },\n"
+      "  \"batched\": {\n"
+      "    \"sustained_req_per_s\": %.2f,\n"
+      "    \"spacing_ms\": %.2f,\n"
+      "    \"shed_at_point\": %llu,\n"
+      "    \"wall_req_per_sec\": %.2f,\n"
+      "    \"ewma_latency_ms\": %.2f,\n"
+      "    \"ewma_occupancy_ms\": %.2f,\n"
+      "    \"batches\": %llu,\n"
+      "    \"coalesced\": %llu,\n"
+      "    \"supernet_switches\": %llu\n"
+      "  },\n"
+      "  \"speedup\": %.2f\n"
+      "}\n",
+      kSloMs, requests, kShedCeiling, max_batch,
+      serial.best.rate_per_s, serial.best.spacing_ms,
+      static_cast<unsigned long long>(serial.best.shed),
+      serial.best.wall_req_per_sec, serial.ewma_latency_ms,
+      serial.ewma_occupancy_ms, batched.best.rate_per_s,
+      batched.best.spacing_ms,
+      static_cast<unsigned long long>(batched.best.shed),
+      batched.best.wall_req_per_sec, batched.ewma_latency_ms,
+      batched.ewma_occupancy_ms,
+      static_cast<unsigned long long>(batched.batches),
+      static_cast<unsigned long long>(batched.coalesced),
+      static_cast<unsigned long long>(batched.switches), speedup);
+  std::fclose(f);
+  std::printf("wrote %s (sustained throughput %.2fx at shed rate <= %.0f%%)\n",
+              path, speedup, kShedCeiling * 100.0);
+}
+
+}  // namespace
+}  // namespace murmur::bench
+
+int main() {
+  using namespace murmur;
+  using namespace murmur::bench;
+
+  const int requests = env_int("MURMUR_SERVING_REQUESTS", 64);
+  const std::size_t max_batch =
+      static_cast<std::size_t>(env_int("MURMUR_SERVING_BATCH", 8));
+
+  const RunStats serial = run_mode(/*max_batch=*/1, requests);
+  const RunStats batched = run_mode(max_batch, requests);
+  const double speedup = serial.best.rate_per_s > 0.0
+                             ? batched.best.rate_per_s / serial.best.rate_per_s
+                             : 0.0;
+
+  Table t({"mode", "sustained req/s", "spacing_ms", "shed", "ewma_lat_ms",
+           "ewma_occ_ms", "batches", "coalesced"});
+  t.new_row()
+      .add("serial")
+      .add(serial.best.rate_per_s)
+      .add(serial.best.spacing_ms)
+      .add(static_cast<double>(serial.best.shed))
+      .add(serial.ewma_latency_ms)
+      .add(serial.ewma_occupancy_ms)
+      .add(static_cast<double>(serial.batches))
+      .add(static_cast<double>(serial.coalesced));
+  t.new_row()
+      .add("batched")
+      .add(batched.best.rate_per_s)
+      .add(batched.best.spacing_ms)
+      .add(static_cast<double>(batched.best.shed))
+      .add(batched.ewma_latency_ms)
+      .add(batched.ewma_occupancy_ms)
+      .add(static_cast<double>(batched.batches))
+      .add(static_cast<double>(batched.coalesced));
+  emit("serving_throughput",
+       "Sustained sim-clock serving throughput at a 5% shed-rate ceiling, "
+       "serial vs strategy-coalesced batching",
+       t);
+
+  Table w({"mode", "spacing_ms", "rate req/s", "shed", "wall req/s"});
+  for (const auto* rs : {&serial, &batched}) {
+    const char* mode = rs == &serial ? "serial" : "batched";
+    for (const auto& p : rs->points)
+      w.new_row()
+          .add(mode)
+          .add(p.spacing_ms)
+          .add(p.rate_per_s)
+          .add(static_cast<double>(p.shed))
+          .add(p.wall_req_per_sec);
+  }
+  emit("serving_throughput_sweep",
+       "Arrival-spacing sweep detail (wall-clock req/s is secondary: the "
+       "single-host tensor compute floor is shared by both modes)",
+       w);
+
+  const char* out = std::getenv("MURMUR_SERVING_JSON");
+  write_json(out != nullptr ? out : "BENCH_serving.json", requests, max_batch,
+             serial, batched, speedup);
+  return 0;
+}

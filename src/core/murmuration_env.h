@@ -102,6 +102,11 @@ class MurmurationEnv final : public rl::Env {
   SloType slo_type() const noexcept { return opts_.slo_type; }
   const EnvOptions& options() const noexcept { return opts_; }
   const netsim::Network& network() const noexcept { return network_; }
+  /// Mutable access for deployment-time link shaping (tc-style, e.g.
+  /// netsim::shape_remotes) before a runtime system starts monitoring.
+  /// Evaluations re-apply constraint conditions on top, so this sets the
+  /// state monitors probe, not a permanent floor.
+  netsim::Network& mutable_network() noexcept { return network_; }
   std::size_t num_devices() const noexcept { return network_.num_devices(); }
   /// Latency of the max submodel fully local (reward normalizer).
   double reference_latency_ms() const noexcept { return ref_latency_ms_; }

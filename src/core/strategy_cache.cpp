@@ -5,6 +5,14 @@
 
 namespace murmur::core {
 
+std::uint64_t strategy_fingerprint(
+    const supernet::SubnetConfig& config,
+    const partition::PlacementPlan& plan) noexcept {
+  std::uint64_t h = config.hash();
+  h ^= plan.hash() + 0x9E3779B97f4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
 std::uint64_t StrategyCache::key_of(const rl::ConstraintPoint& c) const noexcept {
   const int g = env_.grid_points();
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -19,6 +27,7 @@ std::uint64_t StrategyCache::key_of(const rl::ConstraintPoint& c) const noexcept
 std::optional<Decision> StrategyCache::get(const rl::ConstraintPoint& c) {
   const auto key = key_of(c);
   std::lock_guard lock(mutex_);
+  lookups_.inc();
   const auto it = map_.find(key);
   if (it == map_.end()) {
     misses_.inc();
@@ -77,6 +86,7 @@ void StrategyCache::clear() {
   misses_.reset();
   evictions_.reset();
   invalidations_.reset();
+  lookups_.reset();
 }
 
 }  // namespace murmur::core

@@ -21,6 +21,15 @@
 
 namespace murmur::core {
 
+/// Coalescing key for batched serving (DESIGN.md §5.10): two requests whose
+/// decisions resolve to the same (SubnetConfig, PlacementPlan) strategy
+/// share this fingerprint — the same equivalence class the cache's stored
+/// decisions represent. A 64-bit fingerprint can collide, so group members
+/// additionally compare config/plan for exact equality before coalescing.
+std::uint64_t strategy_fingerprint(
+    const supernet::SubnetConfig& config,
+    const partition::PlacementPlan& plan) noexcept;
+
 class StrategyCache {
  public:
   explicit StrategyCache(const MurmurationEnv& env,
@@ -49,6 +58,11 @@ class StrategyCache {
   }
   std::uint64_t hits() const noexcept { return hits_.value(); }
   std::uint64_t misses() const noexcept { return misses_.value(); }
+  /// Total get() calls. Every lookup resolves to exactly one of hit or
+  /// miss, both counted under the same lock as the lookup itself, so
+  /// lookups() == hits() + misses() holds at any observation point — the
+  /// invariant the concurrency hammer test asserts.
+  std::uint64_t lookups() const noexcept { return lookups_.value(); }
   std::uint64_t evictions() const noexcept { return evictions_.value(); }
   std::uint64_t invalidations() const noexcept { return invalidations_.value(); }
   double hit_rate() const noexcept {
@@ -66,7 +80,7 @@ class StrategyCache {
   // LRU: most-recent at front.
   std::list<std::pair<std::uint64_t, Decision>> lru_;
   std::unordered_map<std::uint64_t, decltype(lru_)::iterator> map_;
-  obs::Counter hits_, misses_, evictions_, invalidations_;
+  obs::Counter hits_, misses_, evictions_, invalidations_, lookups_;
 };
 
 }  // namespace murmur::core

@@ -60,6 +60,16 @@ const Tensor& Conv2D::cropped_weight() {
   return slot.w;
 }
 
+const PackedGemmA& Conv2D::packed_pointwise(const Tensor& w) {
+  std::lock_guard lock(crop_mutex_);
+  if (packed_pw_version_ != weights_version_ ||
+      !packed_pw_.matches(out_channels_, in_channels_)) {
+    packed_pw_.pack(out_channels_, in_channels_, w.raw());
+    packed_pw_version_ = weights_version_;
+  }
+  return packed_pw_;
+}
+
 std::vector<int> Conv2D::out_shape(const std::vector<int>& in) const {
   assert(in.size() == 4);
   const int pad = active_kernel_ / 2;
@@ -135,6 +145,32 @@ void Conv2D::forward_grouped(const Tensor& input, const Tensor& w,
   const std::size_t col_rows = static_cast<std::size_t>(cpg) * k * k;
   const std::size_t col_cols = static_cast<std::size_t>(oh) * ow;
   const bool direct = (k == 1 && stride_ == 1);
+
+  // Batched pointwise fast path: one weight matrix serves every sample, so
+  // pack it once and run the packed GEMM per sample. gemm_packed is
+  // bit-identical to gemm, which keeps batched execution bitwise equal to
+  // running the samples one at a time.
+  if (direct && groups_ == 1 && n > 1) {
+    const PackedGemmA& pw = packed_pointwise(w);
+    for (int b = 0; b < n; ++b) {
+      const float* in_ptr =
+          input.raw() + static_cast<std::size_t>(b) * in_channels_ * h * wd;
+      float* out_ptr =
+          out.raw() + static_cast<std::size_t>(b) * out_channels_ * oh * ow;
+      if (bias_.empty()) {
+        std::memset(out_ptr, 0, sizeof(float) * out_channels_ * col_cols);
+      } else {
+        for (int o = 0; o < out_channels_; ++o) {
+          const float bval = bias_[static_cast<std::size_t>(o)];
+          float* row = out_ptr + static_cast<std::size_t>(o) * col_cols;
+          for (std::size_t i = 0; i < col_cols; ++i) row[i] = bval;
+        }
+      }
+      gemm_packed(pw, static_cast<int>(col_cols), in_ptr, out_ptr);
+    }
+    return;
+  }
+
   Workspace& ws = Workspace::tls();
   Workspace::Frame frame(ws);
   float* col = direct ? nullptr : ws.alloc(col_rows * col_cols);

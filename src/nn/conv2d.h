@@ -21,6 +21,7 @@
 
 #include "common/rng.h"
 #include "nn/layer.h"
+#include "tensor/gemm.h"
 
 namespace murmur::nn {
 
@@ -71,6 +72,9 @@ class Conv2D final : public Layer {
   /// Cached centre crop of `weight_` at the active kernel size. The
   /// returned reference stays valid until `weights()` is mutated.
   const Tensor& cropped_weight();
+  /// Cached packed form of the (cropped) pointwise weight matrix for the
+  /// batched 1×1 fast path: pack once per weight epoch, reuse per sample.
+  const PackedGemmA& packed_pointwise(const Tensor& w);
   void forward_grouped(const Tensor& input, const Tensor& w, Tensor& out);
 
   int in_channels_, out_channels_, max_kernel_, stride_, groups_;
@@ -88,6 +92,8 @@ class Conv2D final : public Layer {
   };
   std::mutex crop_mutex_;
   std::vector<CropSlot> crop_cache_;
+  PackedGemmA packed_pw_;  // guarded by crop_mutex_, like the crop slots
+  std::uint64_t packed_pw_version_ = 0;
   std::uint64_t weights_version_ = 1;
   std::uint64_t crop_hits_ = 0;
   std::uint64_t crop_builds_ = 0;

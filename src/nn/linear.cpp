@@ -15,19 +15,25 @@ Linear::Linear(int in_features, int out_features, Rng& rng, bool bias)
 }
 
 Tensor Linear::forward(const Tensor& input) {
+  Tensor out({input.dim(0), out_features_});
+  forward_into(input, out);
+  return out;
+}
+
+void Linear::forward_into(const Tensor& input, Tensor& out) {
   // NCHW with 1x1 spatial is the same memory layout as NC — read in place
   // instead of copying through reshaped().
   if (input.rank() == 4) assert(input.dim(2) == 1 && input.dim(3) == 1);
   assert(input.rank() == 2 || input.rank() == 4);
   assert(input.dim(1) == in_features_);
+  assert(out.rank() == 2 && out.dim(0) == input.dim(0) &&
+         out.dim(1) == out_features_);
   const int n = input.dim(0);
-  Tensor out({n, out_features_});
   const float* bias = bias_.empty() ? nullptr : bias_.data();
   for (int b = 0; b < n; ++b)
     gemv(out_features_, in_features_, weight_.raw(),
          input.raw() + static_cast<std::size_t>(b) * in_features_, bias,
          out.raw() + static_cast<std::size_t>(b) * out_features_);
-  return out;
 }
 
 std::vector<int> Linear::out_shape(const std::vector<int>& in) const {

@@ -12,6 +12,10 @@ class Linear final : public Layer {
   Linear(int in_features, int out_features, Rng& rng, bool bias = true);
 
   Tensor forward(const Tensor& input) override;
+  /// Forward into a caller-owned `{n, out_features}` tensor; no heap
+  /// allocation. The batch dimension is processed per sample, so batched
+  /// output is bitwise equal to running the samples one at a time.
+  void forward_into(const Tensor& input, Tensor& out);
   std::vector<int> out_shape(const std::vector<int>& in) const override;
   double flops(const std::vector<int>& in) const override;
   std::size_t param_bytes() const noexcept override;

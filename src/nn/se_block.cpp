@@ -17,9 +17,15 @@ SEBlock::SEBlock(int channels, int reduction, Rng& rng)
 }
 
 Tensor SEBlock::forward(const Tensor& input) {
-  assert(input.rank() == 4 && input.dim(1) == channels_);
-  const int n = input.dim(0), h = input.dim(2), w = input.dim(3);
   Tensor out = input;
+  forward_into(input, out);
+  return out;
+}
+
+void SEBlock::forward_into(const Tensor& input, Tensor& out) {
+  assert(input.rank() == 4 && input.dim(1) == channels_);
+  assert(out.shape() == input.shape());
+  const int n = input.dim(0), h = input.dim(2), w = input.dim(3);
   const std::size_t plane = static_cast<std::size_t>(h) * w;
   const float inv = 1.0f / static_cast<float>(plane);
   // Scratch from the thread-local arena: forward may run concurrently on
@@ -51,15 +57,16 @@ Tensor SEBlock::forward(const Tensor& input) {
     gemv(channels_, hidden_, w2_.raw(), hid, nullptr, gate);
     for (int c = 0; c < channels_; ++c)
       gate[c] = apply_activation(Activation::kHardSigmoid, gate[c]);
-    // Scale: channel-wise multiply over contiguous planes.
+    // Scale: channel-wise multiply over contiguous planes (reads the
+    // input, writes the output, so `out` may alias `input`'s storage).
     float* out_b = out.raw() + static_cast<std::size_t>(b) * channels_ * plane;
     for (int c = 0; c < channels_; ++c) {
       const float g = gate[c];
-      float* p = out_b + static_cast<std::size_t>(c) * plane;
-      for (std::size_t i = 0; i < plane; ++i) p[i] *= g;
+      const float* p = in_b + static_cast<std::size_t>(c) * plane;
+      float* q = out_b + static_cast<std::size_t>(c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) q[i] = p[i] * g;
     }
   }
-  return out;
 }
 
 double SEBlock::flops(const std::vector<int>& in) const {

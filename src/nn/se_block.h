@@ -12,6 +12,10 @@ class SEBlock final : public Layer {
   SEBlock(int channels, int reduction, Rng& rng);
 
   Tensor forward(const Tensor& input) override;
+  /// Forward into a caller-owned tensor shaped like the input (may alias
+  /// it). Per-sample processing keeps batched output bitwise equal to
+  /// running the samples one at a time.
+  void forward_into(const Tensor& input, Tensor& out);
   std::vector<int> out_shape(const std::vector<int>& in) const override {
     return in;
   }

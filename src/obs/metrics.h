@@ -92,6 +92,21 @@ class Histogram {
   /// Returns 0 for an empty histogram.
   double percentile(double p) const noexcept;
 
+  /// One-call summary for benches and CLI reporting. Fields read with
+  /// relaxed ordering — consistent enough for reporting, not a barrier.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double mean_ms = 0.0;
+    double p50_ms = 0.0;
+    double p90_ms = 0.0;
+    double p99_ms = 0.0;
+    double max_ms = 0.0;
+  };
+  Snapshot snapshot() const noexcept {
+    return Snapshot{count(),        mean_ms(),       percentile(50.0),
+                    percentile(90.0), percentile(99.0), max_ms()};
+  }
+
   void reset() noexcept;
 
  private:

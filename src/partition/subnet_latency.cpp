@@ -20,10 +20,14 @@ double overlap_fraction(const TileExtent& a, const TileExtent& b) noexcept {
   return area > 0 ? (static_cast<double>(h) * w) / area : 0.0;
 }
 
-LatencyBreakdown SubnetLatencyEvaluator::evaluate(
-    const SubnetConfig& config, const PlacementPlan& plan,
+LatencyBreakdown SubnetLatencyEvaluator::evaluate_batch(
+    const SubnetConfig& config, const PlacementPlan& plan, int batch,
     Timeline* timeline) const {
   LatencyBreakdown out;
+  // Fused-batch scaling: payload bytes and device busy time grow with the
+  // batch; message count, path delays, and the event structure do not.
+  // bn == 1.0 reproduces the single-request playout bit for bit.
+  const double bn = static_cast<double>(std::max(1, batch));
   const std::size_t n_dev = network_.num_devices();
   std::vector<double> device_free(n_dev, 0.0);
 
@@ -50,12 +54,13 @@ LatencyBreakdown SubnetLatencyEvaluator::evaluate(
 
   // --- Stem: image lives on device 0. --------------------------------
   const int stem_dev = plan.stem_device;
-  double t0 = charge_transfer(0, stem_dev,
-                              static_cast<double>(CostModel::input_bytes(config)),
-                              0.0, "input");
+  double t0 = charge_transfer(
+      0, stem_dev, static_cast<double>(CostModel::input_bytes(config)) * bn,
+      0.0, "input");
   const double stem_compute =
       network_.device(static_cast<std::size_t>(stem_dev))
-          .throughput.compute_ms(CostModel::stem_flops(config));
+          .throughput.compute_ms(CostModel::stem_flops(config)) *
+      bn;
   out.compute_ms += stem_compute;
   const double stem_start =
       std::max(t0, device_free[static_cast<std::size_t>(stem_dev)]);
@@ -95,7 +100,7 @@ LatencyBreakdown SubnetLatencyEvaluator::evaluate(
             (static_cast<double>(in_extents[t].h) * in_extents[t].w) /
             full_area;
         if (frac_of_map <= 0.0) continue;
-        const double bytes = current_wire_bytes * frac_of_map;
+        const double bytes = current_wire_bytes * frac_of_map * bn;
         const double xfer =
             charge_transfer(p.device, dev, bytes, p.ready, label);
         arrival = std::max(arrival, p.ready + xfer);
@@ -106,7 +111,8 @@ LatencyBreakdown SubnetLatencyEvaluator::evaluate(
           std::max(arrival, device_free[static_cast<std::size_t>(dev)]);
       const double compute =
           network_.device(static_cast<std::size_t>(dev))
-              .throughput.compute_ms(tile_flops);
+              .throughput.compute_ms(tile_flops) *
+          bn;
       out.compute_ms += compute;
       const double finish = start + compute;
       if (timeline) timeline->add_compute(dev, start, finish, label);
@@ -132,13 +138,14 @@ LatencyBreakdown SubnetLatencyEvaluator::evaluate(
     const double frac = (static_cast<double>(p.extent.h) * p.extent.w) /
                         std::max(1.0, total_area);
     const double xfer = charge_transfer(p.device, head_dev,
-                                        current_wire_bytes * frac, p.ready,
-                                        "gather");
+                                        current_wire_bytes * frac * bn,
+                                        p.ready, "gather");
     head_input_ready = std::max(head_input_ready, p.ready + xfer);
   }
   const double head_compute =
       network_.device(static_cast<std::size_t>(head_dev))
-          .throughput.compute_ms(CostModel::head_flops(config));
+          .throughput.compute_ms(CostModel::head_flops(config)) *
+      bn;
   out.compute_ms += head_compute;
   const double head_start =
       std::max(head_input_ready,
@@ -146,7 +153,7 @@ LatencyBreakdown SubnetLatencyEvaluator::evaluate(
   double finish = head_start + head_compute;
   if (timeline) timeline->add_compute(head_dev, head_start, finish, "head");
   // Logits back to the local device (1000 fp32 values).
-  finish += charge_transfer(head_dev, 0, 1000.0 * 4.0, finish, "logits");
+  finish += charge_transfer(head_dev, 0, 1000.0 * 4.0 * bn, finish, "logits");
   out.total_ms = finish;
   return out;
 }

@@ -35,12 +35,31 @@ class SubnetLatencyEvaluator {
   /// event per compute/transfer for Gantt rendering.
   LatencyBreakdown evaluate(const supernet::SubnetConfig& config,
                             const PlacementPlan& plan,
-                            Timeline* timeline = nullptr) const;
+                            Timeline* timeline = nullptr) const {
+    return evaluate_batch(config, plan, 1, timeline);
+  }
+
+  /// Latency of a strategy-coalesced micro-batch of `batch` same-strategy
+  /// inferences executed as one fused pass (DESIGN.md §5.10): every tile's
+  /// compute and every message's payload scale with the batch size, but
+  /// each message's fixed path delay — and the per-block scaffolding the
+  /// event playout models — is paid once per batch. `batch == 1` is
+  /// bitwise identical to evaluate(). Dividing total_ms by `batch` gives
+  /// the per-member executor occupancy used by serving admission.
+  LatencyBreakdown evaluate_batch(const supernet::SubnetConfig& config,
+                                  const PlacementPlan& plan, int batch,
+                                  Timeline* timeline = nullptr) const;
 
   /// Convenience: total milliseconds only.
   double latency_ms(const supernet::SubnetConfig& config,
                     const PlacementPlan& plan) const {
     return evaluate(config, plan).total_ms;
+  }
+
+  /// Convenience: fused-batch total milliseconds only.
+  double batch_latency_ms(const supernet::SubnetConfig& config,
+                          const PlacementPlan& plan, int batch) const {
+    return evaluate_batch(config, plan, batch).total_ms;
   }
 
  private:

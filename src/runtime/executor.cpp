@@ -53,6 +53,35 @@ std::uint64_t make_tag(int block, int tile, int piece) {
          static_cast<std::uint64_t>(piece);
 }
 
+/// Stack same-shaped single-sample tensors (leading dim 1) along the batch
+/// dimension. Row-major layout makes each sample a contiguous span, so the
+/// stacked tensor holds every sample's bytes unchanged.
+Tensor stack_samples(const std::vector<Tensor>& samples) {
+  assert(!samples.empty());
+  const auto& shape0 = samples.front().shape();
+  assert(shape0[0] == 1);
+  std::vector<int> shape = shape0;
+  shape[0] = static_cast<int>(samples.size());
+  Tensor out(shape);
+  const std::size_t per = samples.front().size();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    assert(samples[i].shape() == shape0);
+    std::memcpy(out.raw() + i * per, samples[i].raw(), per * sizeof(float));
+  }
+  return out;
+}
+
+/// Copy sample `i` of a batched tensor back out as a leading-dim-1 tensor.
+Tensor slice_sample(const Tensor& batch, int i) {
+  assert(batch.dim(0) > i);
+  std::vector<int> shape = batch.shape();
+  shape[0] = 1;
+  Tensor out(shape);
+  std::memcpy(out.raw(), batch.raw() + static_cast<std::size_t>(i) * out.size(),
+              out.size() * sizeof(float));
+  return out;
+}
+
 }  // namespace
 
 DistributedExecutor::DistributedExecutor(supernet::Supernet& supernet,
@@ -388,6 +417,7 @@ ExecutionReport DistributedExecutor::run(
   report.failover_penalty_ms = fo_penalty_ms + report.transport.backoff_ms;
   report.sim_latency_ms =
       eval.latency_ms(config, plan) + report.failover_penalty_ms;
+  report.sim_occupancy_ms = report.sim_latency_ms;
   report.degraded = report.redispatched_tiles > 0 ||
                     report.local_fallbacks > 0 ||
                     report.transport.drops > 0 ||
@@ -404,6 +434,221 @@ ExecutionReport DistributedExecutor::run(
           std::chrono::steady_clock::now() - t_start)
           .count();
   return report;
+}
+
+BatchExecutionReport DistributedExecutor::run_batch(
+    const std::vector<Tensor>& images, const SubnetConfig& config,
+    const partition::PlacementPlan& plan, const std::vector<double>& sim_start_ms) {
+  assert(!images.empty());
+  assert(sim_start_ms.size() == images.size());
+  BatchExecutionReport out;
+  const auto t_start = std::chrono::steady_clock::now();
+
+  // Failover is a per-request protocol (per-request sim anchors, per-device
+  // blame), so under fault injection the batch decomposes to serial runs.
+  // Single-member batches take the serial path too: it is the same work.
+  if (failover_.injector != nullptr || images.size() == 1) {
+    out.reports.reserve(images.size());
+    for (std::size_t i = 0; i < images.size(); ++i)
+      out.reports.push_back(run(images[i], config, plan, sim_start_ms[i]));
+    out.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t_start)
+                      .count();
+    return out;
+  }
+
+  MURMUR_SPAN("exec.batch", "exec",
+              obs::maybe_histogram("stage.exec_batch_ms"));
+  transport_.reset_stats();
+  supernet_.activate(config);
+  const int n = static_cast<int>(images.size());
+  // Disjoint tag namespace per batch: the per-destination mailboxes act as
+  // double-buffered queues — a new batch's scatter can stage while the
+  // previous batch's receives drain, with no tag aliasing between them.
+  const std::uint64_t epoch =
+      (batch_epoch_.fetch_add(1, std::memory_order_relaxed) & 0x7fffull) << 48;
+  const auto btag = [epoch](int block, int tile, int piece) {
+    return epoch | make_tag(block, tile, piece);
+  };
+  // Per-sample quantize + one ACTB envelope: each member's wire content is
+  // identical to what its serial run would have shipped (per-tensor scales
+  // are computed per sample, never across the batch).
+  const auto send_batch = [&](const Tensor& region, QuantBits bits, int src,
+                              int dst, std::uint64_t tag) {
+    std::vector<QuantizedTensor> qts;
+    qts.reserve(static_cast<std::size_t>(n));
+    std::size_t wire = 0;
+    for (int i = 0; i < n; ++i) {
+      qts.push_back(quantize(slice_sample(region, i), bits));
+      wire += qts.back().wire_bytes();
+    }
+    transport_.send(src, dst, tag, encode_activation_batch(qts), wire, 0.0);
+  };
+  const auto recv_batch = [&](int dst, std::uint64_t tag) {
+    const auto msg = transport_.recv(dst, tag);
+    const auto qts = decode_activation_batch(msg.payload);
+    assert(qts.has_value());
+    std::vector<Tensor> deq;
+    deq.reserve(qts->size());
+    for (const auto& qt : *qts) deq.push_back(dequantize(qt));
+    return stack_samples(deq);
+  };
+
+  int partitioned_blocks = 0;
+
+  // --- Stem (device 0 holds the images) --------------------------------
+  Tensor current;
+  {
+    const int stem_dev = plan.stem_device;
+    if (stem_dev != 0) {
+      send_batch(stack_samples(images), QuantBits::k32, 0, stem_dev,
+                 btag(-1, 0, 0));
+      current = supernet_.forward_stem(recv_batch(stem_dev, btag(-1, 0, 0)));
+    } else {
+      current = supernet_.forward_stem(stack_samples(images));
+    }
+  }
+  std::vector<std::pair<TileExtent, int>> pieces{
+      {TileExtent{0, 0, current.dim(2), current.dim(3)}, plan.stem_device}};
+  QuantBits prev_quant = QuantBits::k32;  // stem output is fp32
+
+  // --- Blocks -----------------------------------------------------------
+  for (int b = 0; b < supernet::kMaxBlocks; ++b) {
+    if (!config.block_active(b)) continue;
+    const auto& bc = config.blocks[static_cast<std::size_t>(b)];
+    supernet_.prepare_block(b);
+
+    const bool tiled = supernet_.block_can_partition(b, current);
+    const auto extents =
+        tiled ? tile_extents(current.dim(2), current.dim(3), bc.grid)
+              : std::vector<TileExtent>{
+                    TileExtent{0, 0, current.dim(2), current.dim(3)}};
+    if (tiled) ++partitioned_blocks;
+
+    // Tile assembly/compute is dispatched FIRST so the scatter below
+    // overlaps it: workers assemble local pieces and block in recv for
+    // remote ones while this thread is still quantizing and sending.
+    std::vector<Tensor> outputs(extents.size());
+    std::vector<std::future<void>> tile_futs;
+    tile_futs.reserve(extents.size());
+    for (std::size_t t = 0; t < extents.size(); ++t) {
+      tile_futs.push_back(pool_.submit([&, t] {
+        MURMUR_SPAN("exec.tile", "exec", obs::maybe_histogram("stage.tile_ms"));
+        const int dev = plan.device[static_cast<std::size_t>(b)][tiled ? t : 0];
+        const auto& de = extents[t];
+        Tensor input({current.dim(0), current.dim(1), de.h, de.w});
+        for (std::size_t p = 0; p < pieces.size(); ++p) {
+          const auto& se = pieces[p].first;
+          if (!overlaps(de, se)) continue;
+          if (pieces[p].second == dev) {
+            paste_overlap(current, se, input, de);
+            continue;
+          }
+          const Tensor got = recv_batch(
+              dev, btag(b, static_cast<int>(t), static_cast<int>(p)));
+          const TileExtent ge{std::max(se.h0, de.h0), std::max(se.w0, de.w0),
+                              got.dim(2), got.dim(3)};
+          paste_overlap(got, ge, input, de);
+        }
+        outputs[t] = supernet_.forward_block_tile(static_cast<int>(b), input);
+      }));
+    }
+
+    // Scatter (this thread): ship every cross-device overlap.
+    for (std::size_t t = 0; t < extents.size(); ++t) {
+      const int dev = plan.device[static_cast<std::size_t>(b)][tiled ? t : 0];
+      for (std::size_t p = 0; p < pieces.size(); ++p) {
+        const auto& se = pieces[p].first;
+        if (pieces[p].second == dev || !overlaps(extents[t], se)) continue;
+        const auto& de = extents[t];
+        const int h0 = std::max(se.h0, de.h0);
+        const int h1 = std::min(se.h0 + se.h, de.h0 + de.h);
+        const int w0 = std::max(se.w0, de.w0);
+        const int w1 = std::min(se.w0 + se.w, de.w0 + de.w);
+        send_batch(current.crop(h0, w0, h1 - h0, w1 - w0), prev_quant,
+                   pieces[p].second, dev,
+                   btag(b, static_cast<int>(t), static_cast<int>(p)));
+      }
+    }
+    for (auto& f : tile_futs) f.get();
+
+    const auto geo = supernet::CostModel::block_geometry(config, b);
+    std::vector<std::pair<TileExtent, int>> next_pieces;
+    std::vector<TileExtent> out_extents;
+    next_pieces.reserve(extents.size());
+    out_extents.reserve(extents.size());
+    for (std::size_t t = 0; t < extents.size(); ++t) {
+      const TileExtent oe{extents[t].h0 / geo.stride, extents[t].w0 / geo.stride,
+                          extents[t].h / geo.stride, extents[t].w / geo.stride};
+      out_extents.push_back(oe);
+      next_pieces.emplace_back(
+          oe, plan.device[static_cast<std::size_t>(b)][tiled ? t : 0]);
+    }
+    current = merge_tiles(outputs, out_extents, outputs.front().dim(1),
+                          current.dim(2) / geo.stride,
+                          current.dim(3) / geo.stride);
+    pieces = std::move(next_pieces);
+    prev_quant = bc.quant;
+  }
+
+  // --- Head: gather to the head device, classify, return logits. -------
+  Tensor logits;
+  {
+    const int head_dev = plan.head_device;
+    for (std::size_t p = 0; p < pieces.size(); ++p) {
+      if (pieces[p].second == head_dev) continue;
+      const auto& se = pieces[p].first;
+      send_batch(current.crop(se.h0, se.w0, se.h, se.w), prev_quant,
+                 pieces[p].second, head_dev,
+                 btag(1000, 0, static_cast<int>(p)));
+      paste_overlap(recv_batch(head_dev, btag(1000, 0, static_cast<int>(p))),
+                    se, current,
+                    TileExtent{0, 0, current.dim(2), current.dim(3)});
+    }
+    logits = supernet_.forward_head(current);
+    if (head_dev != 0) {
+      send_batch(logits, QuantBits::k32, head_dev, 0, btag(1001, 0, 0));
+      logits = recv_batch(0, btag(1001, 0, 0));
+    }
+  }
+
+  // Per-member accounting: simulated latency comes from the same analytic
+  // evaluator as the serial path (it depends only on the strategy, so the
+  // batch changes nothing); transport stats are batch-level aggregates and
+  // wall time is split evenly — batching is a wall-clock optimization, the
+  // simulated-time model is untouched.
+  const partition::SubnetLatencyEvaluator eval(network_);
+  const TransportStats tstats = transport_.stats();
+  const double sim_lat = eval.latency_ms(config, plan);
+  // Occupancy: the fused pass keeps the executor busy for the batch's
+  // evaluated latency (bytes and compute scale with n, per-message delays
+  // are amortized); each member owns an equal share of it.
+  const double sim_occ = eval.batch_latency_ms(config, plan, n) / n;
+  out.batched = true;
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t_start)
+                    .count();
+  out.reports.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ExecutionReport r;
+    r.logits = slice_sample(logits, i);
+    r.sim_latency_ms = sim_lat;
+    r.sim_occupancy_ms = sim_occ;
+    r.wall_ms = out.wall_ms / n;
+    r.transport = tstats;
+    r.partitioned_blocks = partitioned_blocks;
+    out.reports.push_back(std::move(r));
+  }
+  if (obs::enabled()) {
+    obs::add("exec.runs", static_cast<std::uint64_t>(n));
+    obs::add("exec.batch.runs");
+    obs::add("exec.batch.requests", static_cast<std::uint64_t>(n));
+    obs::add("exec.partitioned_blocks",
+             static_cast<std::uint64_t>(partitioned_blocks));
+    obs::gauge_set("kernel.workspace_bytes",
+                   static_cast<double>(Workspace::tls().capacity_bytes()));
+  }
+  return out;
 }
 
 }  // namespace murmur::runtime

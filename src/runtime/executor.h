@@ -11,6 +11,8 @@
 // was trained against.
 #pragma once
 
+#include <atomic>
+
 #include "common/thread_pool.h"
 #include "netsim/faults.h"
 #include "partition/subnet_latency.h"
@@ -35,6 +37,12 @@ struct FailoverOptions {
 struct ExecutionReport {
   Tensor logits;
   double sim_latency_ms = 0.0;  // simulated end-to-end latency
+  /// Simulated executor time this request keeps the pipeline busy. Equals
+  /// sim_latency_ms for a standalone run; for a member of a fused batch it
+  /// is the batch's evaluated latency divided by the batch size — payload
+  /// bytes and compute scale with the batch while per-message path delays
+  /// are paid once — which is what serving admission reserves per request.
+  double sim_occupancy_ms = 0.0;
   double wall_ms = 0.0;         // host wall-clock of this run
   TransportStats transport;
   int partitioned_blocks = 0;   // blocks that actually ran tiled
@@ -48,6 +56,20 @@ struct ExecutionReport {
   /// Feeds the per-device circuit breakers (DESIGN.md §5.9). Sized
   /// num_devices when an injector is attached, empty otherwise.
   std::vector<int> device_failures;
+};
+
+/// Result of a strategy-coalesced batch (DESIGN.md §5.10). Per-request
+/// reports stay individual — logits and simulated latency are identical to
+/// what a serial run would produce — while wall-clock costs (activation,
+/// per-block scaffolding, transport envelopes) are paid once per batch.
+struct BatchExecutionReport {
+  std::vector<ExecutionReport> reports;  // one per batch member, in order
+  /// True when the members executed as a single fused pass; false when the
+  /// batch was decomposed to per-request run() calls (fault injection is
+  /// attached, or the batch has one member). Transport stats in the fused
+  /// case are batch-level aggregates shared by every member's report.
+  bool batched = false;
+  double wall_ms = 0.0;  // wall-clock of the whole batch
 };
 
 class DistributedExecutor {
@@ -76,12 +98,29 @@ class DistributedExecutor {
                       const partition::PlacementPlan& plan,
                       double sim_start_ms = 0.0);
 
+  /// Execute a strategy-coalesced batch: every image runs under the SAME
+  /// (config, plan), activated once. Samples are quantized individually at
+  /// tile boundaries and shipped in one ACTB envelope per (tile, piece), so
+  /// each member's logits are bitwise identical to a serial run() of that
+  /// member. Tile scatter overlaps tile compute: assembly tasks are
+  /// dispatched to the device pool before the send loop runs, and tag
+  /// epochs give consecutive batches disjoint mailbox namespaces so a
+  /// batch's trailing receives never alias the next batch's leading sends.
+  /// With a fault injector attached (failover is a per-request protocol)
+  /// or a single-member batch, the batch decomposes to per-request run()
+  /// calls with per-member sim anchors.
+  BatchExecutionReport run_batch(const std::vector<Tensor>& images,
+                                 const supernet::SubnetConfig& config,
+                                 const partition::PlacementPlan& plan,
+                                 const std::vector<double>& sim_start_ms);
+
  private:
   supernet::Supernet& supernet_;
   const netsim::Network& network_;
   Transport transport_;
   ThreadPool pool_;
   FailoverOptions failover_;
+  std::atomic<std::uint64_t> batch_epoch_{1};  // tag namespace per batch
 };
 
 }  // namespace murmur::runtime

@@ -1,6 +1,7 @@
 #include "runtime/serving.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -33,6 +34,25 @@ ServingLayer::ServingLayer(MurmurationSystem& system, ServingOptions opts)
       pool_(static_cast<std::size_t>(std::max(1, opts.workers))) {
   if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
   opts_.cold_start_latency_ms = std::max(0.0, opts_.cold_start_latency_ms);
+  if (opts_.max_batch == 0) opts_.max_batch = 1;
+  opts_.batch_window_ms = std::max(0.0, opts_.batch_window_ms);
+  opts_.drain_grace_ms = std::max(0.0, opts_.drain_grace_ms);
+  if (opts_.max_batch > 1)
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+ServingLayer::~ServingLayer() {
+  if (dispatcher_.joinable()) {
+    {
+      std::lock_guard lock(dispatch_mutex_);
+      stop_ = true;
+    }
+    dispatch_cv_.notify_all();
+    // The dispatcher drains its queue and flushes any open group into the
+    // pool before exiting; the pool's own destructor then drains those
+    // executing groups, so every submitted future still resolves.
+    dispatcher_.join();
+  }
 }
 
 double ServingLayer::latency_estimate_ms() const {
@@ -40,14 +60,25 @@ double ServingLayer::latency_estimate_ms() const {
   return have_estimate_ ? ewma_latency_ms_ : 0.0;
 }
 
-void ServingLayer::note_completion(double sim_latency_ms) {
+double ServingLayer::occupancy_estimate_ms() const {
+  std::lock_guard lock(estimate_mutex_);
+  return have_estimate_ ? ewma_occupancy_ms_ : 0.0;
+}
+
+void ServingLayer::note_completion(double sim_latency_ms,
+                                   double sim_occupancy_ms) {
   std::lock_guard lock(estimate_mutex_);
   if (have_estimate_) {
     ewma_latency_ms_ += opts_.ewma_alpha * (sim_latency_ms - ewma_latency_ms_);
+    ewma_occupancy_ms_ +=
+        opts_.ewma_alpha * (sim_occupancy_ms - ewma_occupancy_ms_);
   } else {
     ewma_latency_ms_ = sim_latency_ms;
+    ewma_occupancy_ms_ = sim_occupancy_ms;
     have_estimate_ = true;
   }
+  if (obs::enabled())
+    obs::gauge_set("serving.batch.occupancy_ms", ewma_occupancy_ms_);
 }
 
 void ServingLayer::count(ServeOutcome outcome) {
@@ -86,6 +117,7 @@ ServingLayer::Admission ServingLayer::admit(double sim_arrival_ms,
   }
 
   const double latency_est = latency_estimate_ms();
+  const double occupancy_est = occupancy_estimate_ms();
   a.est_start_ms = std::max(sim_arrival_ms, busy_until_ms_);
   a.queue_wait_ms = a.est_start_ms - sim_arrival_ms;
 
@@ -105,12 +137,15 @@ ServingLayer::Admission ServingLayer::admit(double sim_arrival_ms,
   a.admit = true;
   a.rung = ladder_.rung_for(static_cast<double>(depth) /
                             static_cast<double>(opts_.queue_capacity));
-  // Reserve the serial-execution slot this request is estimated to occupy.
-  // Before the EWMA's first sample a conservative prior keeps reservations
-  // nonzero-width, so a cold-start burst still fills in_system_ and the
-  // queue_capacity bound holds from request zero.
+  // Reserve the executor slot this request is estimated to occupy: the
+  // occupancy EWMA, which equals the latency EWMA under serial serving and
+  // shrinks below it once fused batches amortize per-message delays — so
+  // batching raises admissible sustained load without touching the
+  // deadline check above. Before the EWMA's first sample a conservative
+  // prior keeps reservations nonzero-width, so a cold-start burst still
+  // fills in_system_ and the queue_capacity bound holds from request zero.
   const double reserve_ms =
-      latency_est > 0.0 ? latency_est : opts_.cold_start_latency_ms;
+      occupancy_est > 0.0 ? occupancy_est : opts_.cold_start_latency_ms;
   busy_until_ms_ = a.est_start_ms + reserve_ms;
   in_system_.push_back(busy_until_ms_);
   return a;
@@ -146,34 +181,156 @@ std::future<ServeResult> ServingLayer::submit(const Tensor& image,
   ctx.queue_wait_ms = a.queue_wait_ms;
   ctx.seed = mix_seed(opts_.seed, a.seq);
 
+  if (opts_.max_batch > 1) {
+    Pending p;
+    p.image = image;
+    p.ctx = ctx;
+    p.adm = a;
+    std::future<ServeResult> fut = p.promise.get_future();
+    {
+      std::lock_guard lock(dispatch_mutex_);
+      dispatch_queue_.push_back(std::move(p));
+    }
+    dispatch_cv_.notify_one();
+    return fut;
+  }
+
   return pool_.submit([this, image, ctx, a]() -> ServeResult {
-    ServeResult r;
-    r.rung = a.rung;
-    r.queue_wait_ms = a.queue_wait_ms;
-    r.sim_start_ms = a.est_start_ms;
-    r.inference = system_.infer(image, ctx);
-    switch (r.inference.outcome) {
-      case RequestOutcome::kFailed:
-        r.outcome = ServeOutcome::kFailed;
-        break;
-      case RequestOutcome::kSloViolated:
-      case RequestOutcome::kDegraded:
-        r.outcome = ServeOutcome::kDegraded;
-        break;
-      case RequestOutcome::kCompleted:
-        r.outcome = a.rung > 0 ? ServeOutcome::kDegraded
-                               : ServeOutcome::kCompleted;
-        break;
-    }
-    if (r.outcome != ServeOutcome::kFailed)
-      note_completion(r.inference.sim_latency_ms);
-    count(r.outcome);
-    if (obs::enabled()) {
-      obs::observe("serving.queue_wait_ms", r.queue_wait_ms);
-      obs::observe("serving.rung", static_cast<double>(r.rung));
-    }
-    return r;
+    return finalize(a, system_.infer(image, ctx));
   });
+}
+
+ServeResult ServingLayer::finalize(const Admission& a,
+                                   InferenceResult&& inference) {
+  ServeResult r;
+  r.rung = a.rung;
+  r.queue_wait_ms = a.queue_wait_ms;
+  r.sim_start_ms = a.est_start_ms;
+  r.inference = std::move(inference);
+  switch (r.inference.outcome) {
+    case RequestOutcome::kFailed:
+      r.outcome = ServeOutcome::kFailed;
+      break;
+    case RequestOutcome::kSloViolated:
+    case RequestOutcome::kDegraded:
+      r.outcome = ServeOutcome::kDegraded;
+      break;
+    case RequestOutcome::kCompleted:
+      r.outcome = a.rung > 0 ? ServeOutcome::kDegraded
+                             : ServeOutcome::kCompleted;
+      break;
+  }
+  if (r.outcome != ServeOutcome::kFailed)
+    note_completion(r.inference.sim_latency_ms, r.inference.sim_occupancy_ms);
+  count(r.outcome);
+  if (obs::enabled()) {
+    obs::observe("serving.queue_wait_ms", r.queue_wait_ms);
+    obs::observe("serving.rung", static_cast<double>(r.rung));
+  }
+  return r;
+}
+
+void ServingLayer::dispatcher_loop() {
+  std::vector<Member> group;
+  double window_open_ms = 0.0;
+
+  const auto flush = [&](std::atomic<std::uint64_t>& reason,
+                         const char* reason_metric) {
+    if (group.empty()) return;
+    reason.fetch_add(1);
+    batches_.fetch_add(1);
+    batched_requests_.fetch_add(group.size());
+    coalesced_.fetch_add(group.size() - 1);
+    if (obs::enabled()) {
+      obs::observe("serving.batch.size", static_cast<double>(group.size()));
+      obs::add("serving.batch.batches");
+      if (group.size() > 1)
+        obs::add("serving.batch.coalesced", group.size() - 1);
+      obs::add(reason_metric);
+    }
+    pool_.submit(
+        [this, g = std::move(group)]() mutable { execute_group(std::move(g)); });
+    group.clear();  // moved-from: make the empty state explicit
+  };
+
+  for (;;) {
+    Pending p;
+    {
+      std::unique_lock lock(dispatch_mutex_);
+      if (dispatch_queue_.empty() && !stop_) {
+        // Drain grace: with an open, non-full group, wait a beat for more
+        // arrivals before giving up on coalescing — a steady trickle of
+        // submissions would otherwise fragment every group the instant the
+        // queue momentarily runs dry.
+        if (!group.empty() && opts_.drain_grace_ms > 0.0 &&
+            group.size() < opts_.max_batch) {
+          dispatch_cv_.wait_for(
+              lock, std::chrono::duration<double, std::milli>(
+                        opts_.drain_grace_ms),
+              [&] { return stop_ || !dispatch_queue_.empty(); });
+        }
+        if (dispatch_queue_.empty() && !stop_) {
+          // Idle flush: nothing left to coalesce with, so an open group
+          // runs now rather than waiting out its window — light load pays
+          // no added batching latency.
+          if (!group.empty()) {
+            lock.unlock();
+            flush(drain_flushes_, "serving.batch.flush.drain");
+            lock.lock();
+          }
+          dispatch_cv_.wait(lock,
+                            [&] { return stop_ || !dispatch_queue_.empty(); });
+        }
+      }
+      if (dispatch_queue_.empty()) break;  // stop requested and fully drained
+      p = std::move(dispatch_queue_.front());
+      dispatch_queue_.pop_front();
+    }
+
+    // Plan in submission (= admission) order: the monitor/decision pipeline
+    // sees the same request sequence as single-worker serial serving.
+    PlannedRequest plan = system_.plan_request(p.ctx);
+    if (plan.failed_fast) {
+      p.promise.set_value(finalize(p.adm, std::move(plan.result)));
+      continue;
+    }
+
+    if (!group.empty()) {
+      const PlannedRequest& head = group.front().plan;
+      // The fingerprint is the fast path; equality of the actual strategy
+      // is what execute_batch requires, so verify it outright.
+      const bool same_strategy =
+          plan.strategy_key == head.strategy_key &&
+          plan.result.decision.strategy.config ==
+              head.result.decision.strategy.config &&
+          plan.result.decision.strategy.plan ==
+              head.result.decision.strategy.plan;
+      if (!same_strategy)
+        flush(key_flushes_, "serving.batch.flush.key");
+      else if (plan.ctx.sim_now_ms > window_open_ms + opts_.batch_window_ms)
+        flush(window_flushes_, "serving.batch.flush.window");
+    }
+    if (group.empty()) window_open_ms = plan.ctx.sim_now_ms;
+    group.push_back(Member{std::move(p), std::move(plan)});
+    if (group.size() >= opts_.max_batch)
+      flush(full_flushes_, "serving.batch.flush.full");
+  }
+  flush(drain_flushes_, "serving.batch.flush.drain");
+}
+
+void ServingLayer::execute_group(std::vector<Member> group) {
+  std::vector<Tensor> images;
+  std::vector<PlannedRequest> batch;
+  images.reserve(group.size());
+  batch.reserve(group.size());
+  for (Member& m : group) {
+    images.push_back(std::move(m.pending.image));
+    batch.push_back(std::move(m.plan));
+  }
+  system_.execute_batch(images, batch);
+  for (std::size_t i = 0; i < group.size(); ++i)
+    group[i].pending.promise.set_value(
+        finalize(group[i].pending.adm, std::move(batch[i].result)));
 }
 
 }  // namespace murmur::runtime

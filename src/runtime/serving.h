@@ -16,12 +16,22 @@
 // updated sequentially under the admission mutex, so for a fixed arrival
 // sequence the admit/degrade/shed decisions are deterministic regardless
 // of worker interleaving.
+//
+// Strategy-coalesced batching (DESIGN.md §5.10): with max_batch > 1 a
+// dispatcher thread plans admitted requests in submission order and groups
+// consecutive requests whose decisions resolve to the same strategy
+// (config + placement plan) into micro-batches. Each group reconfigures
+// the resident supernet once and runs the executor's fused batch path;
+// SLO judgment and outcomes stay strictly per-request.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -49,6 +59,23 @@ struct ServingOptions {
   double cold_start_latency_ms = 50.0;
   /// Base for per-request RNG streams.
   std::uint64_t seed = 2024;
+  /// Upper bound on strategy-coalesced micro-batch size. 1 (default)
+  /// serves every request individually on the worker pool — the exact
+  /// pre-batching pipeline. > 1 routes admitted requests through the
+  /// dispatcher thread (see batching note atop this file).
+  std::size_t max_batch = 1;
+  /// Sim-clock width of an open batch group: a newly planned request whose
+  /// estimated start lies more than this past the group's first member
+  /// flushes the group first (bounds added batching latency on the sim
+  /// clock; the group also flushes when full or when the dispatcher runs
+  /// dry, so light load pays no window wait at all).
+  double batch_window_ms = 25.0;
+  /// Wall-clock grace (ms) the dispatcher waits for further arrivals
+  /// before drain-flushing an open, non-full group. 0 (default) flushes
+  /// the instant the queue runs dry — the lowest-latency choice, but under
+  /// a steady trickle it fragments groups; throughput-oriented deployments
+  /// (the serving bench, murmurctl overload) set a few milliseconds.
+  double drain_grace_ms = 0.0;
 };
 
 /// What the serving layer owed the caller in the end. Exactly one per
@@ -81,8 +108,9 @@ class ServingLayer {
  public:
   ServingLayer(MurmurationSystem& system, ServingOptions opts);
 
-  /// Destruction drains: queued requests still run to completion.
-  ~ServingLayer() = default;
+  /// Destruction drains: queued requests still run to completion (the
+  /// dispatcher flushes open groups before the worker pool joins).
+  ~ServingLayer();
 
   ServingLayer(const ServingLayer&) = delete;
   ServingLayer& operator=(const ServingLayer&) = delete;
@@ -107,7 +135,38 @@ class ServingLayer {
   /// Current smoothed sim-latency estimate (0 before any completion).
   double latency_estimate_ms() const;
 
+  /// Current smoothed per-request executor-occupancy estimate (0 before
+  /// any completion). Tracks InferenceResult::sim_occupancy_ms, so it
+  /// equals latency_estimate_ms() under serial serving and falls below it
+  /// once fused batches amortize per-message delays; admission reserves
+  /// this on the busy-until clock while deadline feasibility stays on the
+  /// latency estimate.
+  double occupancy_estimate_ms() const;
+
   const ServingOptions& options() const noexcept { return opts_; }
+
+  // Batching statistics (all zero when max_batch == 1).
+  /// Micro-batches executed (groups handed to execute_batch).
+  std::uint64_t batches() const noexcept { return batches_.load(); }
+  /// Requests served through the batched path.
+  std::uint64_t batched_requests() const noexcept {
+    return batched_requests_.load();
+  }
+  /// Requests that rode along in a batch (sum over batches of size - 1):
+  /// each saved a supernet reconfiguration and a standalone executor run.
+  std::uint64_t coalesced() const noexcept { return coalesced_.load(); }
+  /// Group flushes because the group hit max_batch.
+  std::uint64_t full_flushes() const noexcept { return full_flushes_.load(); }
+  /// Group flushes because the sim-clock batching window closed.
+  std::uint64_t window_flushes() const noexcept {
+    return window_flushes_.load();
+  }
+  /// Group flushes because the next request resolved to a new strategy.
+  std::uint64_t key_flushes() const noexcept { return key_flushes_.load(); }
+  /// Group flushes because the dispatcher ran out of queued requests.
+  std::uint64_t drain_flushes() const noexcept {
+    return drain_flushes_.load();
+  }
 
  private:
   struct Admission {
@@ -119,10 +178,32 @@ class ServingLayer {
     std::uint64_t seq = 0;
   };
 
+  /// An admitted request parked on the dispatcher queue (batching path).
+  struct Pending {
+    Tensor image;
+    RequestContext ctx;
+    Admission adm;
+    std::promise<ServeResult> promise;
+  };
+  /// A planned group member awaiting execution.
+  struct Member {
+    Pending pending;
+    PlannedRequest plan;
+  };
+
   /// Sim-clock admission decision; sequential under admission_mutex_.
   Admission admit(double sim_arrival_ms, const core::Slo& slo);
-  void note_completion(double sim_latency_ms);
+  void note_completion(double sim_latency_ms, double sim_occupancy_ms);
   void count(ServeOutcome outcome);
+  /// Map a finished pipeline result to the caller-facing ServeResult:
+  /// outcome mapping, EWMA update, lifetime counters, per-request metrics.
+  /// Shared by the serial worker path and the batched path.
+  ServeResult finalize(const Admission& a, InferenceResult&& inference);
+  /// Dispatcher thread body: plan in submission order, coalesce by
+  /// strategy, flush on full/window/key-change/drain.
+  void dispatcher_loop();
+  /// Run one coalesced group on a pool worker and resolve its promises.
+  void execute_group(std::vector<Member> group);
 
   MurmurationSystem& system_;
   ServingOptions opts_;
@@ -137,16 +218,28 @@ class ServingLayer {
 
   mutable std::mutex estimate_mutex_;
   double ewma_latency_ms_ = 0.0;
+  double ewma_occupancy_ms_ = 0.0;
   bool have_estimate_ = false;
 
   std::atomic<std::uint64_t> submitted_{0}, completed_{0}, degraded_{0},
       shed_{0}, failed_{0};
+  std::atomic<std::uint64_t> batches_{0}, batched_requests_{0}, coalesced_{0},
+      full_flushes_{0}, window_flushes_{0}, key_flushes_{0}, drain_flushes_{0};
 
-  // Last member on purpose: members are destroyed in reverse declaration
+  // Dispatcher state (batching path only; untouched when max_batch == 1).
+  std::mutex dispatch_mutex_;
+  std::condition_variable dispatch_cv_;
+  std::deque<Pending> dispatch_queue_;
+  bool stop_ = false;
+
+  // Last members on purpose: members are destroyed in reverse declaration
   // order, so the pool's destructor — which drains the queue and joins
   // workers whose tasks still call note_completion() and count() — runs
-  // while the mutexes, admission state, and counters above are alive.
+  // while the mutexes, admission state, and counters above are alive. The
+  // ~ServingLayer body joins dispatcher_ (after flushing open groups into
+  // the pool) before any member is destroyed.
   ThreadPool pool_;
+  std::thread dispatcher_;
 };
 
 }  // namespace murmur::runtime

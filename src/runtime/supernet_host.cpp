@@ -25,6 +25,7 @@ double SupernetHost::switch_submodel(const supernet::SubnetConfig& config) {
   MURMUR_SPAN("reconfig", "runtime",
               obs::maybe_histogram("stage.reconfig_ms"));
   obs::add("reconfig.switches");
+  switch_count_.fetch_add(1, std::memory_order_relaxed);
   const auto t0 = std::chrono::steady_clock::now();
   net_->activate(config);
   // Kernel-layer health alongside the reconfig metrics: a stable scratch

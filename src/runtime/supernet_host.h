@@ -7,6 +7,8 @@
 // what swapping to a *different* model under a memory budget would cost.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 
 #include "netsim/device.h"
@@ -35,9 +37,17 @@ class SupernetHost {
 
   std::size_t resident_bytes() const noexcept { return net_->param_bytes(); }
 
+  /// Warm switches performed since construction. Strategy-coalesced
+  /// serving reconfigures once per batch, so the throughput bench reads
+  /// this to show reconfig cost amortized across batch members.
+  std::uint64_t switch_count() const noexcept {
+    return switch_count_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::unique_ptr<supernet::Supernet> net_;
   std::unique_ptr<supernet::Supernet> shadow_;  // cold-load source
+  std::atomic<std::uint64_t> switch_count_{0};
 };
 
 }  // namespace murmur::runtime

@@ -148,35 +148,53 @@ InferenceResult MurmurationSystem::infer_impl(const Tensor& image,
                                               const RequestContext& ctx,
                                               Rng& rng) {
   MURMUR_SPAN("infer", "runtime", obs::maybe_histogram("stage.request_ms"));
-  InferenceResult result;
+  PlannedRequest pr = plan_request_impl(ctx, rng);
+  if (pr.failed_fast) return std::move(pr.result);
+  // One-member batch: run_batch decomposes it to the serial executor path,
+  // so this is behaviorally identical to the pre-batching pipeline.
+  execute_batch(std::span<const Tensor>(&image, 1),
+                std::span<PlannedRequest>(&pr, 1));
+  return std::move(pr.result);
+}
+
+PlannedRequest MurmurationSystem::plan_request(const RequestContext& ctx) {
+  Rng rng(ctx.seed);
+  return plan_request_impl(ctx, rng);
+}
+
+PlannedRequest MurmurationSystem::plan_request_impl(const RequestContext& ctx,
+                                                    Rng& rng) {
+  PlannedRequest pr;
+  pr.ctx = ctx;
+  InferenceResult& result = pr.result;
   const double sim_now = ctx.sim_now_ms;
 
   // 0. Device health (fault-aware deployments only): refresh the mask
   //    (fault plan AND breaker admission), purge cached strategies that
   //    place work on newly dead devices.
   netsim::FaultInjector* const inj = executor_->failover().injector;
-  std::vector<bool> healthy;
   if (inj) {
-    healthy = health_mask_at(sim_now, inj);
-    if (!healthy[0]) {
+    pr.healthy = health_mask_at(sim_now, inj);
+    if (!pr.healthy[0]) {
       // The local (serving) device itself is down: the request cannot be
       // accepted, let alone degraded.
       result.outcome = RequestOutcome::kFailed;
+      pr.failed_fast = true;
       if (obs::enabled()) {
         obs::add("system.requests");
         obs::add(outcome_metric(result.outcome));
       }
-      return result;
+      return pr;
     }
     std::lock_guard lock(health_mutex_);
-    if (healthy != last_health_) {
+    if (pr.healthy != last_health_) {
       result.cache_purged = cache_.invalidate_if([&](const core::Decision& d) {
         return partition::plan_uses_unhealthy(d.strategy.plan,
-                                              d.strategy.config, healthy);
+                                              d.strategy.config, pr.healthy);
       });
       if (result.cache_purged > 0 && obs::enabled())
         obs::add("runtime.failover.cache_purged", result.cache_purged);
-      last_health_ = healthy;
+      last_health_ = pr.healthy;
     }
   }
 
@@ -194,7 +212,7 @@ InferenceResult MurmurationSystem::infer_impl(const Tensor& image,
     // the policy steers work away from them without a bespoke action mask.
     const auto& eo = artifacts_.env->options();
     for (std::size_t d = 1; d < est.num_devices(); ++d)
-      if (!healthy[d]) {
+      if (!pr.healthy[d]) {
         est.bandwidth_mbps[d] = eo.bw_min_mbps;
         est.delay_ms[d] = eo.delay_max_ms;
       }
@@ -234,57 +252,103 @@ InferenceResult MurmurationSystem::infer_impl(const Tensor& image,
   if (inj) {
     result.replanned_entries = partition::remap_unhealthy(
         result.decision.strategy.plan, result.decision.strategy.config,
-        healthy);
+        pr.healthy);
     if (result.replanned_entries > 0 && obs::enabled())
       obs::add("runtime.failover.replanned",
                static_cast<std::uint64_t>(result.replanned_entries));
   }
 
+  // The coalescing key is taken post-remap: two requests batch together
+  // only if the strategies they will actually execute are the same.
+  pr.strategy_key = core::strategy_fingerprint(result.decision.strategy.config,
+                                               result.decision.strategy.plan);
+  return pr;
+}
+
+void MurmurationSystem::execute_batch(std::span<const Tensor> images,
+                                      std::span<PlannedRequest> batch) {
+  assert(images.size() == batch.size());
+  std::vector<std::size_t> live;
+  live.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    if (!batch[i].failed_fast) live.push_back(i);
+  if (live.empty()) return;
+
+  const auto& strategy = batch[live.front()].result.decision.strategy;
+#ifndef NDEBUG
+  for (const std::size_t i : live) {
+    assert(batch[i].result.decision.strategy.config == strategy.config);
+    assert(batch[i].result.decision.strategy.plan == strategy.plan);
+  }
+#endif
+  netsim::FaultInjector* const inj = executor_->failover().injector;
+  std::vector<bool> exec_degraded(live.size(), false);
+
   // 4+5. Model reconfig + distributed execution. One resident supernet:
-  //      the switch and the run it serves must be a single critical section.
-  bool exec_degraded = false;
+  //      the switch and the batch it serves are a single critical section.
+  //      The switch happens ONCE per batch — its measured wall time is
+  //      carried by the first member, the rest report 0 (amortized).
   {
     std::lock_guard lock(exec_mutex_);
-    result.switch_wall_ms =
-        host_.switch_submodel(result.decision.strategy.config);
+    const double switch_wall_ms =
+        host_.switch_submodel(strategy.config);
     MURMUR_SPAN("execute", "runtime",
                 obs::maybe_histogram("stage.execute_ms"));
-    const Tensor input =
-        center_crop(image, result.decision.strategy.config.resolution);
-    ExecutionReport rep =
-        executor_->run(input, result.decision.strategy.config,
-                       result.decision.strategy.plan, sim_now);
-    result.logits = std::move(rep.logits);
-    result.sim_latency_ms = rep.sim_latency_ms;
-    result.exec_wall_ms = rep.wall_ms;
-    result.transport = rep.transport;
-    result.redispatched_tiles = rep.redispatched_tiles;
-    result.local_fallbacks = rep.local_fallbacks;
-    result.failover_penalty_ms = rep.failover_penalty_ms;
-    exec_degraded = rep.degraded;
+    std::vector<Tensor> crops;
+    std::vector<double> sim_starts;
+    crops.reserve(live.size());
+    sim_starts.reserve(live.size());
+    for (const std::size_t i : live) {
+      crops.push_back(center_crop(images[i], strategy.config.resolution));
+      sim_starts.push_back(batch[i].ctx.sim_now_ms);
+    }
+    BatchExecutionReport brep =
+        executor_->run_batch(crops, strategy.config, strategy.plan, sim_starts);
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      PlannedRequest& pr = batch[live[k]];
+      InferenceResult& result = pr.result;
+      ExecutionReport& rep = brep.reports[k];
+      result.switch_wall_ms = k == 0 ? switch_wall_ms : 0.0;
+      result.logits = std::move(rep.logits);
+      result.sim_latency_ms = rep.sim_latency_ms;
+      result.sim_occupancy_ms = rep.sim_occupancy_ms;
+      result.exec_wall_ms = rep.wall_ms;
+      result.transport = rep.transport;
+      result.redispatched_tiles = rep.redispatched_tiles;
+      result.local_fallbacks = rep.local_fallbacks;
+      result.failover_penalty_ms = rep.failover_penalty_ms;
+      exec_degraded[k] = rep.degraded;
 
-    // Feed the breakers: every remote device that participated in (or was
-    // failed out of) this request reports success or failure.
-    if (inj && !rep.device_failures.empty()) {
-      const std::vector<bool> used =
-          plan_participants(result.decision.strategy.plan,
-                            result.decision.strategy.config,
-                            rep.device_failures.size());
-      for (std::size_t d = 1; d < rep.device_failures.size(); ++d) {
-        const bool failed = rep.device_failures[d] > 0;
-        if (used[d] || failed) breakers_.record(d, failed, sim_now);
+      // Feed the breakers: every remote device that participated in (or
+      // was failed out of) this member reports success or failure. The
+      // fused batch path never produces device_failures (no injector).
+      if (inj && !rep.device_failures.empty()) {
+        const std::vector<bool> used =
+            plan_participants(result.decision.strategy.plan,
+                              result.decision.strategy.config,
+                              rep.device_failures.size());
+        for (std::size_t d = 1; d < rep.device_failures.size(); ++d) {
+          const bool failed = rep.device_failures[d] > 0;
+          if (used[d] || failed) breakers_.record(d, failed, pr.ctx.sim_now_ms);
+        }
       }
     }
   }
+  for (std::size_t k = 0; k < live.size(); ++k)
+    finish_request(batch[live[k]], exec_degraded[k]);
+}
+
+void MurmurationSystem::finish_request(PlannedRequest& pr, bool exec_degraded) {
+  InferenceResult& result = pr.result;
   result.predicted_class = 0;
   for (int i = 1; i < result.logits.dim(1); ++i)
     if (result.logits.at(0, i) > result.logits.at(0, result.predicted_class))
       result.predicted_class = i;
   // The SLO check is honest: judged against the caller's real SLO, with
   // sim-time burned in the admission queue charged to the latency side.
-  result.slo_met = ctx.slo.satisfied_by(
+  result.slo_met = pr.ctx.slo.satisfied_by(
       result.decision.predicted.accuracy,
-      ctx.queue_wait_ms + result.sim_latency_ms);
+      pr.ctx.queue_wait_ms + result.sim_latency_ms);
   const bool degraded = exec_degraded || result.replanned_entries > 0 ||
                         result.cache_purged > 0;
   if (!result.slo_met)
@@ -301,7 +365,6 @@ InferenceResult MurmurationSystem::infer_impl(const Tensor& image,
     obs::gauge_set("cache.hit_rate", cache_.hit_rate());
     obs::gauge_set("cache.size", static_cast<double>(cache_.size()));
   }
-  return result;
 }
 
 }  // namespace murmur::runtime

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "core/decision.h"
@@ -95,6 +96,12 @@ struct InferenceResult {
   int predicted_class = 0;
   core::Decision decision;
   double sim_latency_ms = 0.0;
+  /// Sim-clock executor occupancy attributed to this request: equals
+  /// sim_latency_ms when it ran standalone; a fused-batch member's equal
+  /// share of the batch's evaluated latency otherwise (DESIGN.md §5.10).
+  /// Serving admission reserves this, while SLO judgment stays on
+  /// sim_latency_ms.
+  double sim_occupancy_ms = 0.0;
   double decision_wall_ms = 0.0;
   double switch_wall_ms = 0.0;
   double exec_wall_ms = 0.0;
@@ -108,6 +115,25 @@ struct InferenceResult {
   int replanned_entries = 0;       // plan entries moved before dispatch
   std::size_t cache_purged = 0;    // strategies invalidated by the health mask
   double failover_penalty_ms = 0.0;
+};
+
+/// A request that has run the planning half of the pipeline (health mask,
+/// monitoring, decision, precompute, pre-dispatch re-planning) but not yet
+/// executed. The serving layer groups planned requests by `strategy_key`
+/// and hands same-strategy groups to execute_batch (DESIGN.md §5.10).
+struct PlannedRequest {
+  RequestContext ctx;
+  /// Decision/cache/health fields are filled by plan_request; the
+  /// execution fields (logits, latencies, outcome) by execute_batch.
+  InferenceResult result;
+  /// Plan-time device-health mask (empty without a fault injector).
+  std::vector<bool> healthy;
+  /// Device 0 was down at plan time: result is final (kFailed) and the
+  /// request must not be executed.
+  bool failed_fast = false;
+  /// core::strategy_fingerprint of the post-remap decision — the batching
+  /// coalescing key.
+  std::uint64_t strategy_key = 0;
 };
 
 class MurmurationSystem {
@@ -144,7 +170,27 @@ class MurmurationSystem {
   /// Thread-safe serving path: everything per-request (SLO, sim clock,
   /// RNG stream, degraded planning target) comes from `ctx`. Safe to call
   /// from concurrent workers; see the concurrency note atop this file.
+  /// Equivalent to plan_request(ctx) followed by a one-member
+  /// execute_batch — the serial and batched paths share this code.
   InferenceResult infer(const Tensor& image, const RequestContext& ctx);
+
+  /// Planning half of infer (stages: health mask, monitoring, decision,
+  /// precompute, pre-dispatch re-planning). Thread-safe like infer. When
+  /// the returned request has `failed_fast` set, its result is final and
+  /// it must not be passed to execute_batch.
+  PlannedRequest plan_request(const RequestContext& ctx);
+
+  /// Execution half: run planned requests as ONE strategy-coalesced batch.
+  /// Every non-failed member must carry the same strategy (config + plan);
+  /// the serving layer guarantees this by grouping on strategy_key and
+  /// verifying equality. Reconfigures the supernet once (the first live
+  /// member's result carries the measured switch wall time, the rest 0),
+  /// executes the fused batch, then finishes each member individually:
+  /// argmax, honest per-request SLO judgment against its own ctx, outcome
+  /// precedence, metrics. `images[i]` belongs to `batch[i]`; failed-fast
+  /// members are skipped. Results land in batch[i].result.
+  void execute_batch(std::span<const Tensor> images,
+                     std::span<PlannedRequest> batch);
 
   const core::StrategyCache& cache() const noexcept { return cache_; }
   const core::MurmurationEnv& env() const noexcept { return *artifacts_.env; }
@@ -159,6 +205,8 @@ class MurmurationSystem {
                         Rng& rng);
   InferenceResult infer_impl(const Tensor& image, const RequestContext& ctx,
                              Rng& rng);
+  PlannedRequest plan_request_impl(const RequestContext& ctx, Rng& rng);
+  void finish_request(PlannedRequest& pr, bool exec_degraded);
   std::vector<bool> health_mask_at(double sim_now_ms,
                                    const netsim::FaultInjector* inj) const;
 

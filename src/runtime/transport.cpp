@@ -102,6 +102,35 @@ std::optional<QuantizedTensor> decode_activation(
   return qt;
 }
 
+std::vector<std::uint8_t> encode_activation_batch(
+    std::span<const QuantizedTensor> batch) {
+  ByteWriter w;
+  w.write_u32(0x41435442u);  // "ACTB"
+  w.write_u32(static_cast<std::uint32_t>(batch.size()));
+  for (const QuantizedTensor& qt : batch) w.write_bytes(encode_activation(qt));
+  return w.take();
+}
+
+std::optional<std::vector<QuantizedTensor>> decode_activation_batch(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  std::uint32_t magic = 0, count = 0;
+  if (!r.read_u32(magic) || magic != 0x41435442u) return std::nullopt;
+  if (!r.read_u32(count) || count == 0 || count > kMaxWireBatch)
+    return std::nullopt;
+  std::vector<QuantizedTensor> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::vector<std::uint8_t> member;
+    if (!r.read_bytes(member)) return std::nullopt;
+    auto qt = decode_activation(member);
+    if (!qt) return std::nullopt;
+    out.push_back(*std::move(qt));
+  }
+  if (r.remaining() != 0) return std::nullopt;  // trailing junk
+  return out;
+}
+
 Transport::Transport(const netsim::Network& network) : network_(network) {
   mailboxes_.reserve(network.num_devices());
   for (std::size_t i = 0; i < network.num_devices(); ++i)

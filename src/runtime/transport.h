@@ -33,6 +33,22 @@ std::vector<std::uint8_t> encode_activation(const QuantizedTensor& qt);
 std::optional<QuantizedTensor> decode_activation(
     std::span<const std::uint8_t> bytes);
 
+/// Largest batch count decode_activation_batch will accept; a corrupted
+/// header can never drive an unbounded allocation.
+constexpr std::uint32_t kMaxWireBatch = 256;
+
+/// Batched wire envelope ("ACTB"): a batch count in the header followed by
+/// length-prefixed single-sample ACT1 payloads, one per batch member.
+/// Members are quantized individually before encoding, so coalescing
+/// requests into one message never changes any member's wire content
+/// relative to a serial send. Decode validates the envelope (magic, count
+/// bounds, per-member framing, no trailing bytes) and runs every member
+/// through the hardened single-sample decoder.
+std::vector<std::uint8_t> encode_activation_batch(
+    std::span<const QuantizedTensor> batch);
+std::optional<std::vector<QuantizedTensor>> decode_activation_batch(
+    std::span<const std::uint8_t> bytes);
+
 struct TransportStats {
   std::uint64_t messages = 0;
   std::uint64_t payload_bytes = 0;   // serialized bytes actually moved

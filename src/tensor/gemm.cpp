@@ -245,6 +245,74 @@ void gemm(int m, int k, int n, const float* a, const float* b, float* c) {
   gemm_band(0, m, k, n, a, b, c);
 }
 
+void PackedGemmA::pack(int m, int k, const float* a) {
+  m_ = m;
+  k_ = k;
+  packed_ = false;
+  if (m <= 0 || k <= 0 || a == nullptr) return;
+  // Same (pc, ic) traversal as gemm_band over the full row range, so the
+  // stored panels are byte-identical to what pack_a would produce inline.
+  offs_.clear();
+  std::size_t total = 0;
+  for (int pc = 0; pc < k; pc += kKC) {
+    const int kc = std::min(kKC, k - pc);
+    for (int ic = 0; ic < m; ic += kMC) {
+      const int mc = std::min(kMC, m - ic);
+      offs_.push_back(total);
+      total += static_cast<std::size_t>((mc + kMR - 1) / kMR) * kc * kMR;
+    }
+  }
+  panels_.resize(total);
+  std::size_t idx = 0;
+  for (int pc = 0; pc < k; pc += kKC) {
+    const int kc = std::min(kKC, k - pc);
+    for (int ic = 0; ic < m; ic += kMC) {
+      const int mc = std::min(kMC, m - ic);
+      pack_a(mc, kc, a + static_cast<std::size_t>(ic) * k + pc, k,
+             panels_.data() + offs_[idx++]);
+    }
+  }
+  packed_ = true;
+}
+
+void gemm_packed(const PackedGemmA& a, int n, const float* b, float* c) {
+  const int m = a.m_, k = a.k_;
+  if (!a.packed_ || m <= 0 || k <= 0 || n <= 0) return;
+  MURMUR_SPAN("kernel.gemm", "kernel", obs::maybe_histogram("kernel.gemm_ms"));
+  Workspace& ws = Workspace::tls();
+  Workspace::Frame frame(ws);
+  const int kcap = std::min(kKC, k);
+  const int ncap = std::min(kNC, (n + kNR - 1) / kNR * kNR);
+  float* bpack = ws.alloc(static_cast<std::size_t>(kcap) * ncap);
+
+  // gemm_band's jc → pc → ic → jr → ir loop nest with the A packs hoisted:
+  // per-element accumulation order is untouched, which is what makes this
+  // path bit-compatible with the unpacked gemm.
+  for (int jc = 0; jc < n; jc += kNC) {
+    const int nc = std::min(kNC, n - jc);
+    const int npanels = (nc + kNR - 1) / kNR;
+    std::size_t pidx = 0;
+    for (int pc = 0; pc < k; pc += kKC) {
+      const int kc = std::min(kKC, k - pc);
+      pack_b(kc, nc, b + static_cast<std::size_t>(pc) * n + jc, n, bpack);
+      for (int ic = 0; ic < m; ic += kMC, ++pidx) {
+        const int mc = std::min(kMC, m - ic);
+        const float* apack = a.panels_.data() + a.offs_[pidx];
+        for (int jr = 0; jr < npanels; ++jr) {
+          const float* bp = bpack + static_cast<std::size_t>(jr) * kc * kNR;
+          const int nr = std::min(kNR, nc - jr * kNR);
+          for (int ir = 0; ir < mc; ir += kMR) {
+            micro_kernel(
+                kc, apack + static_cast<std::size_t>(ir / kMR) * kc * kMR, bp,
+                c + static_cast<std::size_t>(ic + ir) * n + jc + jr * kNR, n,
+                std::min(kMR, mc - ir), nr);
+          }
+        }
+      }
+    }
+  }
+}
+
 void gemm_ref(int m, int k, int n, const float* a, const float* b, float* c) {
   for (int i = 0; i < m; ++i) {
     float* ci = c + static_cast<std::size_t>(i) * n;

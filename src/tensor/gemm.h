@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "tensor/tensor.h"
 
@@ -20,6 +21,39 @@ namespace murmur {
 /// exceeds `gemm_parallel_flops()` and more than one kernel thread is
 /// configured.
 void gemm(int m, int k, int n, const float* a, const float* b, float* c);
+
+/// A(m×k) repacked once into `gemm`'s internal micro-panel layout so the
+/// pack cost is paid a single time and amortized across many products that
+/// reuse the same A (the batched pointwise-convolution fast path packs the
+/// weight matrix once and multiplies per sample). `gemm_packed` reproduces
+/// `gemm`'s cache blocking and per-element accumulation order exactly, so
+/// results are bit-identical to the unpacked call on the same operands.
+class PackedGemmA {
+ public:
+  /// Repack `a` (row-major m×k, contiguous). Safe to call again to re-pack
+  /// different contents or a different shape.
+  void pack(int m, int k, const float* a);
+
+  bool matches(int m, int k) const noexcept {
+    return packed_ && m_ == m && k_ == k;
+  }
+  int m() const noexcept { return m_; }
+  int k() const noexcept { return k_; }
+
+ private:
+  friend void gemm_packed(const PackedGemmA& a, int n, const float* b,
+                          float* c);
+  int m_ = 0;
+  int k_ = 0;
+  bool packed_ = false;
+  std::vector<float> panels_;       // concatenated (pc, ic) micro-panel runs
+  std::vector<std::size_t> offs_;   // start of each (pc, ic) run in panels_
+};
+
+/// C(m×n) += Apacked(m×k) · B(k×n); bit-identical to `gemm(m,k,n,...)` on
+/// the same operands. Single-threaded by design: the batched callers run
+/// many independent products and parallelize above this call.
+void gemm_packed(const PackedGemmA& a, int n, const float* b, float* c);
 
 /// Reference triple-loop GEMM (ikj order), same accumulate-into-C contract.
 /// Kept for differential tests and benchmarks; not used on the hot path.

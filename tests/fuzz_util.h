@@ -1,0 +1,128 @@
+// Shared byte-level fuzzing helpers for parser/container hardening tests
+// (wire codecs in runtime/transport.h, the MCKF checkpoint container in
+// common/serialize.h).
+//
+// Everything is expressed against a single `Accepts` callback — "did the
+// decoder accept these bytes?" — so the same sweeps drive in-memory codecs
+// and file-based loaders alike (the caller wraps file I/O in the lambda).
+// All randomness comes from explicitly seeded murmur::Rng streams, so a
+// surviving mutant reproduces from the test's seed alone.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace murmur::testfuzz {
+
+/// Decoder under test: true means the bytes were ACCEPTED.
+using Accepts = std::function<bool(std::span<const std::uint8_t>)>;
+
+/// Feed every strict prefix of `clean` (stride `step`) to the decoder.
+/// Returns how many were accepted — 0 on a correctly strict format.
+inline std::size_t count_truncation_survivors(
+    std::span<const std::uint8_t> clean, const Accepts& accepts,
+    std::size_t step = 1) {
+  std::size_t survivors = 0;
+  for (std::size_t n = 0; n < clean.size(); n += std::max<std::size_t>(1, step))
+    if (accepts({clean.data(), n})) ++survivors;
+  return survivors;
+}
+
+/// Flip every bit of every byte (8 * size mutants) and count how many the
+/// decoder still accepts. 0 is only reachable for formats whose integrity
+/// check covers every byte (e.g. the MCKF checksum frame); header-plus-raw
+/// payload codecs legitimately accept payload-bit flips.
+inline std::size_t count_bit_flip_survivors(
+    std::span<const std::uint8_t> clean, const Accepts& accepts) {
+  std::size_t survivors = 0;
+  std::vector<std::uint8_t> bytes(clean.begin(), clean.end());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      const auto mask = static_cast<std::uint8_t>(1u << b);
+      bytes[i] ^= mask;
+      if (accepts(bytes)) ++survivors;
+      bytes[i] ^= mask;  // restore
+    }
+  }
+  return survivors;
+}
+
+/// Outcome of one fuzz_corruption_corpus sweep.
+struct CorpusStats {
+  std::size_t mutants = 0;   // mutants actually fed (identity mutations skipped)
+  std::size_t accepted = 0;  // mutants the decoder accepted
+};
+
+/// Seeded random corruption corpus over `clean`: truncations, bit flips,
+/// byte splats, oversized little-endian u32 header patches, trailing-junk
+/// extensions, and byte swaps. Mutations that happen to reproduce `clean`
+/// byte-for-byte are SKIPPED (not fed, not counted), so `accepted == 0`
+/// is a meaningful assertion for checksummed containers. The decoder must
+/// never crash, over-read, or over-allocate on any mutant — that part is
+/// enforced by running the sweep under the sanitizer passes
+/// (tools/run_tier1.sh / run_chaos_tests.sh).
+inline CorpusStats fuzz_corruption_corpus(std::span<const std::uint8_t> clean,
+                                          const Accepts& accepts,
+                                          std::uint64_t seed,
+                                          int trials = 300) {
+  CorpusStats stats;
+  Rng rng(seed);
+  const std::vector<std::uint8_t> base(clean.begin(), clean.end());
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<std::uint8_t> bytes = base;
+    switch (rng.uniform_index(6)) {
+      case 0:  // truncation (strict prefix, possibly empty)
+        bytes.resize(rng.uniform_index(std::max<std::size_t>(1, bytes.size())));
+        break;
+      case 1: {  // 1..16 random bit flips
+        const auto flips = 1 + rng.uniform_index(16);
+        for (std::uint64_t f = 0; f < flips && !bytes.empty(); ++f)
+          bytes[rng.uniform_index(bytes.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.uniform_index(8));
+        break;
+      }
+      case 2:  // splat one random byte
+        if (!bytes.empty())
+          bytes[rng.uniform_index(bytes.size())] =
+              static_cast<std::uint8_t>(rng.uniform_index(256));
+        break;
+      case 3: {  // oversized u32 header-field patch (little-endian)
+        if (bytes.size() >= 4) {
+          const auto at = rng.uniform_index(bytes.size() - 3);
+          const std::uint32_t huge =
+              rng.bernoulli(0.5) ? 0xFFFFFFFFu : 0x7FFFFFFFu;
+          for (int k = 0; k < 4; ++k)
+            bytes[at + static_cast<std::size_t>(k)] =
+                static_cast<std::uint8_t>(huge >> (8 * k));
+        }
+        break;
+      }
+      case 4: {  // trailing junk extension
+        const auto extra = 1 + rng.uniform_index(64);
+        for (std::uint64_t k = 0; k < extra; ++k)
+          bytes.push_back(static_cast<std::uint8_t>(rng.uniform_index(256)));
+        break;
+      }
+      case 5:  // swap two random bytes
+        if (bytes.size() >= 2) {
+          const auto i = rng.uniform_index(bytes.size());
+          const auto j = rng.uniform_index(bytes.size());
+          std::swap(bytes[i], bytes[j]);
+        }
+        break;
+    }
+    if (bytes.size() == base.size() &&
+        std::equal(bytes.begin(), bytes.end(), base.begin()))
+      continue;  // identity mutation: the decoder SHOULD accept it — skip
+    ++stats.mutants;
+    if (accepts(bytes)) ++stats.accepted;
+  }
+  return stats;
+}
+
+}  // namespace murmur::testfuzz

@@ -19,6 +19,7 @@
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "common/units.h"
+#include "fuzz_util.h"
 
 namespace murmur {
 namespace {
@@ -371,48 +372,54 @@ TEST(CheckedFile, RejectsWrongVersionAndMissingFile) {
   EXPECT_FALSE(load_checked_file(temp_path("no_such_file.bin"), 3));
 }
 
-TEST(CheckedFile, EveryTruncationRejected) {
-  const std::string path = temp_path("checked_trunc.bin");
-  const auto payload = demo_payload();
-  ASSERT_TRUE(save_checked_file(path, payload, 1));
-  std::vector<std::uint8_t> bytes;
-  {
-    std::ifstream f(path, std::ios::binary);
-    bytes.assign(std::istreambuf_iterator<char>(f),
-                 std::istreambuf_iterator<char>());
-  }
-  ASSERT_GT(bytes.size(), payload.size());
-  const std::string cut = temp_path("checked_cut.bin");
-  for (std::size_t n = 0; n < bytes.size(); n += 13) {
-    std::ofstream f(cut, std::ios::binary | std::ios::trunc);
-    f.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(n));
-    f.close();
-    EXPECT_FALSE(load_checked_file(cut, 1).has_value())
-        << "truncated to " << n << " bytes but accepted";
-  }
+/// Raw bytes of a freshly saved MCKF frame around `payload`.
+std::vector<std::uint8_t> mckf_frame_bytes(
+    const std::vector<std::uint8_t>& payload, std::uint32_t version) {
+  const std::string path = temp_path("checked_frame.bin");
+  EXPECT_TRUE(save_checked_file(path, payload, version));
+  std::ifstream f(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
 }
 
-TEST(CheckedFile, EveryBitFlipRejected) {
-  const std::string path = temp_path("checked_flip.bin");
-  ASSERT_TRUE(save_checked_file(path, demo_payload(), 1));
-  std::vector<std::uint8_t> clean;
-  {
-    std::ifstream f(path, std::ios::binary);
-    clean.assign(std::istreambuf_iterator<char>(f),
-                 std::istreambuf_iterator<char>());
-  }
-  const std::string bad = temp_path("checked_bad.bin");
-  for (std::size_t i = 0; i < clean.size(); ++i) {
-    auto bytes = clean;
-    bytes[i] ^= static_cast<std::uint8_t>(1u << (i % 8));
-    std::ofstream f(bad, std::ios::binary | std::ios::trunc);
+/// load_checked_file adapter for the shared fuzz sweeps: stage the mutant
+/// bytes as a file, report whether the loader accepted it.
+testfuzz::Accepts mckf_accepts(std::uint32_t version) {
+  return [version](std::span<const std::uint8_t> bytes) {
+    const std::string path = temp_path("checked_mutant.bin");
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
     f.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
     f.close();
-    EXPECT_FALSE(load_checked_file(bad, 1).has_value())
-        << "bit flip at byte " << i << " accepted";
-  }
+    return load_checked_file(path, version).has_value();
+  };
+}
+
+TEST(CheckedFile, EveryTruncationRejected) {
+  const auto payload = demo_payload();
+  const auto bytes = mckf_frame_bytes(payload, 1);
+  ASSERT_GT(bytes.size(), payload.size());
+  EXPECT_EQ(testfuzz::count_truncation_survivors(bytes, mckf_accepts(1),
+                                                 /*step=*/13),
+            0u);
+}
+
+TEST(CheckedFile, EveryBitFlipRejected) {
+  // The FNV-1a checksum covers magic through payload, and the loader
+  // rejects length mismatches and trailing bytes — so EVERY single-bit
+  // mutant of the frame must be rejected, not just most.
+  const auto bytes = mckf_frame_bytes(demo_payload(), 1);
+  EXPECT_EQ(testfuzz::count_bit_flip_survivors(bytes, mckf_accepts(1)), 0u);
+}
+
+TEST(CheckedFile, CorruptionCorpusHasZeroSurvivors) {
+  const auto bytes = mckf_frame_bytes(demo_payload(), 1);
+  const auto stats = testfuzz::fuzz_corruption_corpus(bytes, mckf_accepts(1),
+                                                      /*seed=*/41,
+                                                      /*trials=*/400);
+  EXPECT_GT(stats.mutants, 0u);
+  EXPECT_EQ(stats.accepted, 0u)
+      << stats.accepted << " corrupted frames of " << stats.mutants
+      << " accepted";
 }
 
 TEST(CheckedFile, Fnv1aMatchesReference) {

@@ -4,6 +4,10 @@
 // error ordering, convolution linearity.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "core/murmuration_env.h"
 #include "supernet/cost_model.h"
 #include "netsim/scenario.h"
@@ -125,6 +129,147 @@ TEST(Property, ReplayTreeQueuesBoundedAndSorted) {
     EXPECT_GE(best->reward, e->reward - 1e-12);
   }
   EXPECT_LE(tree.num_entries(), tree.num_buckets() * 3);
+}
+
+// ----------------------- SUPREME replay-tree interleaving properties ----
+
+/// Synthetic entry with grid-uniform tight point and reward in (0, 1).
+rl::ReplayEntry random_replay_entry(Rng& rng, int dims, int tag) {
+  rl::ReplayEntry e;
+  e.tight.coords.resize(static_cast<std::size_t>(dims));
+  for (auto& c : e.tight.coords) c = rng.uniform();
+  e.reward = rng.uniform();
+  e.actions = {tag, static_cast<int>(rng.uniform_index(100))};
+  return e;
+}
+
+/// Value snapshot of the buffer contents, order-independent.
+std::vector<std::pair<double, std::vector<int>>> replay_snapshot(
+    const rl::BucketedReplayTree& tree) {
+  std::vector<std::pair<double, std::vector<int>>> s;
+  for (const auto* e : tree.all_entries()) s.emplace_back(e->reward, e->actions);
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+/// Pruning to fixed point leaves no dominated trajectory: for any two
+/// surviving entries where f's filing bucket strictly dominates e's, e must
+/// out-reward f (else the sweep would have dropped e). prune() computes
+/// ancestor rewards against the live, mid-sweep bucket map, so a single
+/// call need not reach the fixed point — the loop is part of the contract.
+TEST(Property, ReplayTreeNoDominatedSurvivorAfterPruneFixedPoint) {
+  for (const std::uint64_t seed : {201u, 202u, 203u, 204u}) {
+    Rng rng(seed);
+    rl::BucketedReplayTree tree(3, 6, /*queue_size=*/2);
+    for (int i = 0; i < 400; ++i)
+      tree.insert(random_replay_entry(rng, 3, i));
+    int sweeps = 0;
+    while (tree.prune() > 0) ASSERT_LT(++sweeps, 100) << "prune diverges";
+    const auto entries = tree.all_entries();
+    for (const auto* e : entries) {
+      const auto ke = tree.filing_key_of(e->tight);
+      for (const auto* f : entries) {
+        if (e == f) continue;
+        const auto kf = tree.filing_key_of(f->tight);
+        if (kf == ke) continue;
+        bool dominates = true;
+        for (std::size_t d = 0; d < kf.coords.size(); ++d)
+          if (kf.coords[d] > ke.coords[d]) {
+            dominates = false;
+            break;
+          }
+        if (!dominates) continue;
+        EXPECT_GT(e->reward, f->reward)
+            << "seed " << seed
+            << ": dominated entry survived the prune fixed point";
+      }
+    }
+  }
+}
+
+/// Sharing is a read: any volume of cross-bucket lookups (best_for /
+/// sample_for / random_entry) leaves the stored multiset of trajectories —
+/// and the bucket count — untouched. A sharing implementation that copied
+/// entries into the queried bucket would trip this.
+TEST(Property, ReplayTreeSharingNeverDuplicatesEntries) {
+  Rng rng(210);
+  rl::BucketedReplayTree tree(3, 6, /*queue_size=*/3);
+  for (int i = 0; i < 200; ++i) tree.insert(random_replay_entry(rng, 3, i));
+  const std::size_t entries_before = tree.num_entries();
+  const std::size_t buckets_before = tree.num_buckets();
+  const auto before = replay_snapshot(tree);
+  ASSERT_FALSE(before.empty());
+  for (int i = 0; i < 300; ++i) {
+    rl::ConstraintPoint q{{rng.uniform(), rng.uniform(), rng.uniform()}};
+    (void)tree.best_for(q);
+    (void)tree.sample_for(q, rng);
+    (void)tree.random_entry(rng);
+  }
+  EXPECT_EQ(tree.num_entries(), entries_before);
+  EXPECT_EQ(tree.num_buckets(), buckets_before);
+  EXPECT_EQ(replay_snapshot(tree), before);
+}
+
+/// Seeded interleavings of insert / share / prune / mutate are fully
+/// deterministic: two trees driven by the same seed agree on every lookup
+/// result along the way and on the final buffer contents; a different seed
+/// diverges. This pins down hidden nondeterminism (e.g. container
+/// iteration order leaking into prune or sharing decisions).
+TEST(Property, ReplayTreeInterleavedOpsSeedDeterministic) {
+  struct Trace {
+    std::vector<double> lookups;   // rewards served (sentinel -1 for null)
+    std::vector<std::size_t> pruned;
+    std::vector<std::pair<double, std::vector<int>>> final_snapshot;
+    bool operator==(const Trace&) const = default;
+  };
+  const auto run = [](std::uint64_t seed) {
+    Rng rng(seed);
+    rl::BucketedReplayTree tree(3, 8, /*queue_size=*/3);
+    Trace tr;
+    for (int i = 0; i < 600; ++i) {
+      switch (rng.uniform_index(5)) {
+        case 0:
+        case 1:
+          tree.insert(random_replay_entry(rng, 3, i));
+          break;
+        case 2: {  // share
+          rl::ConstraintPoint q{{rng.uniform(), rng.uniform(), rng.uniform()}};
+          const auto* e = tree.best_for(q);
+          tr.lookups.push_back(e ? e->reward : -1.0);
+          break;
+        }
+        case 3: {  // sampled share
+          rl::ConstraintPoint q{{rng.uniform(), rng.uniform(), rng.uniform()}};
+          const auto* e = tree.sample_for(q, rng);
+          tr.lookups.push_back(e ? e->reward : -1.0);
+          break;
+        }
+        case 4:
+          if (i % 5 == 0) {
+            tr.pruned.push_back(tree.prune());
+          } else if (const auto* src = tree.random_entry(rng)) {
+            // Mutate: perturb a stored trajectory and reinsert it, the
+            // SUPREME mutation loop in miniature.
+            rl::ReplayEntry m = *src;
+            const auto d = rng.uniform_index(m.tight.coords.size());
+            m.tight.coords[d] =
+                std::clamp(m.tight.coords[d] + rng.uniform(-0.2, 0.2), 0.0,
+                           1.0);
+            m.reward = std::clamp(m.reward + rng.uniform(-0.1, 0.1), 0.0, 1.0);
+            m.actions.push_back(i);
+            tree.insert(std::move(m));
+          }
+          break;
+      }
+      // Standing invariant: bounded queues.
+      EXPECT_LE(tree.num_entries(), tree.num_buckets() * 3);
+    }
+    tr.final_snapshot = replay_snapshot(tree);
+    return tr;
+  };
+  const Trace a1 = run(301), a2 = run(301), b = run(302);
+  EXPECT_EQ(a1, a2);
+  EXPECT_FALSE(a1 == b) << "different seeds produced identical traces";
 }
 
 /// Quantization round-trip error shrinks as bit width grows.

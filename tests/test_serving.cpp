@@ -222,6 +222,10 @@ TEST(StrategyCacheConcurrency, HammeredFromManyThreadsStaysConsistent) {
   EXPECT_LE(cache.size(), 32u);
   EXPECT_EQ(cache.hits() + cache.misses(),
             static_cast<std::uint64_t>(kThreads) * kOps / 4);
+  // The lookups counter is bumped with the hit/miss classification under
+  // the same lock, so the ledger balances at any observation point — not
+  // just after quiescence.
+  EXPECT_EQ(cache.lookups(), cache.hits() + cache.misses());
   // Still fully operational after the storm.
   rl::ConstraintPoint probe{{0.5, 0.5, 0.5}};
   cache.put(probe, core::Decision{});

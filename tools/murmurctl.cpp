@@ -15,10 +15,14 @@
 //                      JSON snapshot)
 //   murmurctl overload [--requests N] [--spacing MS] [--workers N]
 //                    [--queue N] [--rungs N] [--chaos 0|1] [--scenario ...]
-//                    [--slo V] [--seed N]
+//                    [--slo V] [--seed N] [--batch N] [--window MS]
+//                    [--drain-grace MS]
 //                     (replay a seeded burst through the concurrent serving
 //                      layer; report the completed/degraded/shed/failed
-//                      partition, shed reasons, and breaker transitions)
+//                      partition, shed reasons, and breaker transitions.
+//                      --batch N > 1 turns on strategy-coalesced batching,
+//                      DESIGN.md §5.10, and reports group/flush/occupancy
+//                      stats)
 //   murmurctl info                                   (search space / models)
 //
 // Trained policies are cached in .murmur_cache and shared with the
@@ -299,6 +303,14 @@ int cmd_overload(const Args& args) {
       static_cast<std::size_t>(args.num("queue", 16));
   serve_opts.ladder.rungs = static_cast<int>(args.num("rungs", 3));
   serve_opts.seed = seed;
+  // Batching is opt-in: --batch 1 (the default) reproduces serial serving
+  // bit for bit (one-member groups, occupancy == latency).
+  serve_opts.max_batch =
+      static_cast<std::size_t>(std::max(1.0, args.num("batch", 1)));
+  serve_opts.batch_window_ms =
+      args.num("window", serve_opts.batch_window_ms);
+  serve_opts.drain_grace_ms =
+      args.num("drain-grace", serve_opts.max_batch > 1 ? 5.0 : 0.0);
   runtime::ServingLayer serving(system, serve_opts);
 
   const int requests = std::max(1, static_cast<int>(args.num("requests", 64)));
@@ -339,6 +351,29 @@ int cmd_overload(const Args& args) {
               queue_full, infeasible, degraded_rungs, max_wait);
   std::printf("latency estimate (EWMA): %.1f ms sim\n",
               serving.latency_estimate_ms());
+  if (serve_opts.max_batch > 1) {
+    std::printf(
+        "batching (max %zu, window %.0f ms sim, drain grace %.0f ms wall): "
+        "%llu batches, %llu coalesced, avg group %.2f\n",
+        serve_opts.max_batch, serve_opts.batch_window_ms,
+        serve_opts.drain_grace_ms,
+        static_cast<unsigned long long>(serving.batches()),
+        static_cast<unsigned long long>(serving.coalesced()),
+        serving.batches() > 0
+            ? static_cast<double>(serving.batched_requests()) /
+                  static_cast<double>(serving.batches())
+            : 0.0);
+    std::printf(
+        "  flushes: %llu full, %llu window, %llu key, %llu drain\n",
+        static_cast<unsigned long long>(serving.full_flushes()),
+        static_cast<unsigned long long>(serving.window_flushes()),
+        static_cast<unsigned long long>(serving.key_flushes()),
+        static_cast<unsigned long long>(serving.drain_flushes()));
+    std::printf(
+        "  occupancy estimate (EWMA): %.1f ms sim (admission reserves this; "
+        "latency estimate still judges deadlines)\n",
+        serving.occupancy_estimate_ms());
+  }
   const auto& breakers = system.breakers();
   std::printf("breakers: %llu trips, %llu half-opens, %llu closes; "
               "%zu currently not closed\n",

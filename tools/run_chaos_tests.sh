@@ -2,10 +2,12 @@
 # Chaos + concurrency sweep, two sanitized configurations:
 #
 #   1. AddressSanitizer + UndefinedBehaviorSanitizer over every test carrying
-#      the `faults` or `serving` ctest label (tests/test_faults.cpp,
-#      tests/test_serving.cpp).
-#   2. ThreadSanitizer over the concurrency-heavy `serving` label. TSan
-#      cannot be combined with ASan, so it gets its own build dir.
+#      the `faults`, `serving`, or `batching` ctest label
+#      (tests/test_faults.cpp, tests/test_serving.cpp,
+#      tests/test_batching.cpp).
+#   2. ThreadSanitizer over the concurrency-heavy `serving` and `batching`
+#      labels. TSan cannot be combined with ASan, so it gets its own build
+#      dir.
 #
 # Usage:  tools/run_chaos_tests.sh [asan-build-dir] [tsan-build-dir]
 #
@@ -18,8 +20,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR=${1:-build-chaos}
 TSAN_BUILD_DIR=${2:-build-tsan}
-LABEL=${MURMUR_CHAOS_LABEL:-faults|serving}
-TSAN_LABEL=${MURMUR_TSAN_LABEL:-serving}
+LABEL=${MURMUR_CHAOS_LABEL:-faults|serving|batching}
+TSAN_LABEL=${MURMUR_TSAN_LABEL:-serving|batching}
 
 cmake -B "$BUILD_DIR" -S . -DMURMUR_SANITIZE=address,undefined \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo

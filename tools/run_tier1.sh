@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Canonical pre-PR gate. Three stages, all of which must come back clean:
+#
+#   1. Tier-1: configure + build the default tree and run the full ctest
+#      suite verbosely (so every test's stderr is captured, not just the
+#      failures').
+#   2. Log scrub: any `[ERROR]`-level line emitted by the runtime during
+#      the tier-1 run fails the gate, even if every test passed — tests
+#      that provoke the error path assert on counters, so an ERROR line in
+#      a green run means something broke silently.
+#   3. Sanitizer sweep: delegates to tools/run_chaos_tests.sh with the
+#      full chaos-relevant label set — ASan+UBSan over
+#      obs|kernels|faults|serving|batching, TSan over serving|batching —
+#      and applies the same log scrub to its output.
+#
+# Usage:  tools/run_tier1.sh [build-dir]
+#
+# The default build dir is `build`; the sanitized stages use the chaos
+# script's own build-chaos / build-tsan dirs. MURMUR_LOG_LEVEL is forced
+# to `info` for the gate so error-level lines cannot be suppressed by an
+# inherited environment.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build}
+LOG=$(mktemp)
+trap 'rm -f "$LOG"' EXIT
+export MURMUR_LOG_LEVEL=info
+
+scrub_log() { # <stage name>
+  if grep -F '[ERROR]' "$LOG" >/dev/null; then
+    echo "FAIL: error-level log output during $1:" >&2
+    grep -F '[ERROR]' "$LOG" >&2
+    exit 1
+  fi
+}
+
+echo "== tier-1: build + full ctest =="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j
+if ! ctest --test-dir "$BUILD_DIR" -V >"$LOG" 2>&1; then
+  tail -n 100 "$LOG"
+  echo "FAIL: tier-1 ctest" >&2
+  exit 1
+fi
+grep -E '^[0-9]+% tests passed|^Total Test time' "$LOG" || true
+scrub_log "tier-1 ctest"
+
+echo "== sanitizer sweep (ASan+UBSan + TSan) =="
+MURMUR_CHAOS_LABEL='obs|kernels|faults|serving|batching' \
+MURMUR_TSAN_LABEL='serving|batching' \
+  tools/run_chaos_tests.sh 2>&1 | tee "$LOG"
+scrub_log "sanitizer sweep"
+
+echo "tier-1 gate clean: full suite green, no error-level log output," \
+     "sanitized labels obs|kernels|faults|serving|batching pass"
