@@ -28,6 +28,7 @@
 // MURMUR_SERVING_BATCH (default 8), plus the shared MURMUR_TRAIN_STEPS /
 // MURMUR_NO_CACHE.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
@@ -37,6 +38,8 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "netsim/scenario.h"
+#include "obs/attrib.h"
+#include "obs/metrics.h"
 #include "runtime/serving.h"
 #include "runtime/system.h"
 
@@ -60,6 +63,13 @@ struct PointStats {
   bool sustained = false;
 };
 
+/// One phase's tail triple from the attribution histograms.
+struct PhaseQuant {
+  const char* name = "";
+  std::uint64_t count = 0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+};
+
 struct RunStats {
   std::vector<PointStats> points;
   PointStats best;  // highest sustained-rate point
@@ -68,7 +78,57 @@ struct RunStats {
   std::uint64_t coalesced = 0;
   double ewma_latency_ms = 0.0;
   double ewma_occupancy_ms = 0.0;
+  /// Recorded-sweep phase attribution (DESIGN.md §5.11): where each
+  /// request's sim latency went, and the wall-clock phases (decision,
+  /// switch, executor, batch coalescing wait) that explain why batched
+  /// wall throughput trails serial on a single host even as the sim-clock
+  /// capacity rises.
+  std::vector<PhaseQuant> sim_phases;
+  std::vector<PhaseQuant> wall_phases;
 };
+
+std::vector<PhaseQuant> collect_phases(const std::string& prefix) {
+  std::vector<PhaseQuant> out;
+  auto& reg = obs::MetricsRegistry::instance();
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+    const char* name = obs::phase_name(static_cast<obs::Phase>(p));
+    const auto& h = reg.histogram(prefix + name);
+    if (h.count() == 0) continue;
+    const auto q = h.quantiles();
+    out.push_back(PhaseQuant{name, h.count(), q.p50_ms, q.p95_ms, q.p99_ms});
+  }
+  return out;
+}
+
+/// `"attribution": {...}` fragment for one mode (no trailing newline).
+std::string attribution_json(const RunStats& rs, const char* indent) {
+  std::string s = "\"attribution\": {\n";
+  const auto emit_map = [&](const char* key, const std::vector<PhaseQuant>& v,
+                            bool last) {
+    s += indent;
+    s += "  \"";
+    s += key;
+    s += "\": {";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      char buf[192];
+      std::snprintf(buf, sizeof buf,
+                    "%s\n%s    \"%s\": {\"count\": %llu, \"p50_ms\": %.3f, "
+                    "\"p95_ms\": %.3f, \"p99_ms\": %.3f}",
+                    i > 0 ? "," : "", indent, v[i].name,
+                    static_cast<unsigned long long>(v[i].count), v[i].p50_ms,
+                    v[i].p95_ms, v[i].p99_ms);
+      s += buf;
+    }
+    s += "\n";
+    s += indent;
+    s += last ? "  }\n" : "  },\n";
+  };
+  emit_map("sim_phase_ms", rs.sim_phases, false);
+  emit_map("wall_phase_ms", rs.wall_phases, true);
+  s += indent;
+  s += "}";
+  return s;
+}
 
 /// Sweep arrival spacing through one long-lived system + serving pair so
 /// the latency/occupancy EWMAs carry steady state from point to point.
@@ -82,6 +142,9 @@ RunStats run_mode(std::size_t max_batch, int requests) {
   sys_opts.exec_width_mult = 0.25;
   sys_opts.classes = 100;
   sys_opts.use_predictor = false;
+  // Attribution snapshots ride along in the report; sim-clock throughput —
+  // the primary metric — is unaffected by the telemetry switch.
+  sys_opts.telemetry = true;
   runtime::MurmurationSystem system(std::move(artifacts), sys_opts);
 
   runtime::ServingOptions serve_opts;
@@ -121,6 +184,9 @@ RunStats run_mode(std::size_t max_batch, int requests) {
       base_ms += 1.3 * warm_latency_ms * requests + 5e3;
     }
     const std::uint64_t switches_before = system.host().switch_count();
+    // Attribution describes the recorded sweep only: drop warm-up and
+    // convergence samples so the phase quantiles reflect steady state.
+    obs::MetricsRegistry::instance().reset();
 
     double spacing = 1.3 * warm_latency_ms;
     for (int point = 0; point < 16; ++point, spacing *= 0.91) {
@@ -152,6 +218,8 @@ RunStats run_mode(std::size_t max_batch, int requests) {
     stats.coalesced = serving.coalesced();
     stats.ewma_latency_ms = serving.latency_estimate_ms();
     stats.ewma_occupancy_ms = serving.occupancy_estimate_ms();
+    stats.sim_phases = collect_phases("attrib.phase.");
+    stats.wall_phases = collect_phases("attrib.wall.");
   }
   return stats;
 }
@@ -183,7 +251,8 @@ void write_json(const char* path, int requests, std::size_t max_batch,
       "    \"shed_at_point\": %llu,\n"
       "    \"wall_req_per_sec\": %.2f,\n"
       "    \"ewma_latency_ms\": %.2f,\n"
-      "    \"ewma_occupancy_ms\": %.2f\n"
+      "    \"ewma_occupancy_ms\": %.2f,\n"
+      "    %s\n"
       "  },\n"
       "  \"batched\": {\n"
       "    \"sustained_req_per_s\": %.2f,\n"
@@ -194,7 +263,8 @@ void write_json(const char* path, int requests, std::size_t max_batch,
       "    \"ewma_occupancy_ms\": %.2f,\n"
       "    \"batches\": %llu,\n"
       "    \"coalesced\": %llu,\n"
-      "    \"supernet_switches\": %llu\n"
+      "    \"supernet_switches\": %llu,\n"
+      "    %s\n"
       "  },\n"
       "  \"speedup\": %.2f\n"
       "}\n",
@@ -202,14 +272,15 @@ void write_json(const char* path, int requests, std::size_t max_batch,
       serial.best.rate_per_s, serial.best.spacing_ms,
       static_cast<unsigned long long>(serial.best.shed),
       serial.best.wall_req_per_sec, serial.ewma_latency_ms,
-      serial.ewma_occupancy_ms, batched.best.rate_per_s,
-      batched.best.spacing_ms,
+      serial.ewma_occupancy_ms, attribution_json(serial, "    ").c_str(),
+      batched.best.rate_per_s, batched.best.spacing_ms,
       static_cast<unsigned long long>(batched.best.shed),
       batched.best.wall_req_per_sec, batched.ewma_latency_ms,
       batched.ewma_occupancy_ms,
       static_cast<unsigned long long>(batched.batches),
       static_cast<unsigned long long>(batched.coalesced),
-      static_cast<unsigned long long>(batched.switches), speedup);
+      static_cast<unsigned long long>(batched.switches),
+      attribution_json(batched, "    ").c_str(), speedup);
   std::fclose(f);
   std::printf("wrote %s (sustained throughput %.2fx at shed rate <= %.0f%%)\n",
               path, speedup, kShedCeiling * 100.0);
@@ -272,6 +343,36 @@ int main() {
        "Arrival-spacing sweep detail (wall-clock req/s is secondary: the "
        "single-host tensor compute floor is shared by both modes)",
        w);
+
+  Table a({"mode", "clock", "phase", "count", "p50_ms", "p95_ms", "p99_ms"});
+  for (const auto* rs : {&serial, &batched}) {
+    const char* mode = rs == &serial ? "serial" : "batched";
+    for (const auto& ph : rs->sim_phases)
+      a.new_row()
+          .add(mode)
+          .add("sim")
+          .add(ph.name)
+          .add(static_cast<double>(ph.count))
+          .add(ph.p50_ms)
+          .add(ph.p95_ms)
+          .add(ph.p99_ms);
+    for (const auto& ph : rs->wall_phases)
+      a.new_row()
+          .add(mode)
+          .add("wall")
+          .add(ph.name)
+          .add(static_cast<double>(ph.count))
+          .add(ph.p50_ms)
+          .add(ph.p95_ms)
+          .add(ph.p99_ms);
+  }
+  emit("serving_phase_attribution",
+       "Per-request phase attribution (DESIGN.md §5.11). Sim rows show "
+       "where the simulated latency budget goes; wall rows show host-side "
+       "cost — the batched mode's wall batch_window (coalescing wait) is "
+       "the time serial serving does not pay, which is why batched wall "
+       "req/s trails serial while sim-clock capacity rises",
+       a);
 
   const char* out = std::getenv("MURMUR_SERVING_JSON");
   write_json(out != nullptr ? out : "BENCH_serving.json", requests, max_batch,

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <optional>
 
@@ -70,6 +71,36 @@ std::uint32_t current_thread_id() noexcept {
   thread_local const std::uint32_t id =
       next.fetch_add(1, std::memory_order_relaxed);
   return id;
+}
+
+namespace {
+struct ThreadNames {
+  std::mutex mutex;
+  std::map<std::uint32_t, std::string> names;
+};
+ThreadNames& thread_name_registry() {
+  static ThreadNames* names = new ThreadNames;  // never destroyed: threads
+  return *names;                                // may outlive static dtors
+}
+}  // namespace
+
+void set_thread_name(const std::string& name) {
+  auto& reg = thread_name_registry();
+  std::lock_guard lock(reg.mutex);
+  reg.names[current_thread_id()] = name;
+}
+
+std::string thread_name(std::uint32_t tid) {
+  auto& reg = thread_name_registry();
+  std::lock_guard lock(reg.mutex);
+  const auto it = reg.names.find(tid);
+  return it == reg.names.end() ? std::string() : it->second;
+}
+
+std::vector<std::pair<std::uint32_t, std::string>> thread_names() {
+  auto& reg = thread_name_registry();
+  std::lock_guard lock(reg.mutex);
+  return {reg.names.begin(), reg.names.end()};
 }
 
 void log_line(LogLevel level, const std::string& msg) {

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace murmur {
 
@@ -33,6 +35,16 @@ double monotonic_ms() noexcept;
 /// Small dense id of the calling thread (1, 2, ...), stable for the
 /// thread's lifetime. Used by log prefixes and trace events alike.
 std::uint32_t current_thread_id() noexcept;
+
+/// Register a human-readable name for the calling thread (worker pools name
+/// their workers, the serving dispatcher names itself). Read back by the
+/// trace exporter as Chrome `thread_name` metadata so exported traces show
+/// "device-pool/w2" instead of an anonymous tid.
+void set_thread_name(const std::string& name);
+/// Name registered for `tid`, or "" if the thread never named itself.
+std::string thread_name(std::uint32_t tid);
+/// Every (tid, name) pair registered so far, tid-ascending.
+std::vector<std::pair<std::uint32_t, std::string>> thread_names();
 
 namespace detail {
 class LogStream {

@@ -3,14 +3,19 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/log.h"
+
 namespace murmur {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, std::string name) {
   if (threads == 0)
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, name, i] {
+      if (!name.empty()) set_thread_name(name + "/w" + std::to_string(i));
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {

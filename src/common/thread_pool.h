@@ -12,6 +12,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,7 +21,10 @@ namespace murmur {
 class ThreadPool {
  public:
   /// `threads == 0` means std::thread::hardware_concurrency() (min 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  /// A non-empty `name` registers each worker as "<name>/w<i>" in the
+  /// thread-name registry (common/log.h) so trace exports label pool
+  /// threads instead of showing anonymous tids.
+  explicit ThreadPool(std::size_t threads = 0, std::string name = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

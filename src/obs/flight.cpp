@@ -1,0 +1,247 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace murmur::obs {
+
+const char* to_string(FlightOutcome o) noexcept {
+  switch (o) {
+    case FlightOutcome::kCompleted: return "completed";
+    case FlightOutcome::kDegraded: return "degraded";
+    case FlightOutcome::kShed: return "shed";
+    case FlightOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+void FlightRecord::set_shed_reason(const char* reason) noexcept {
+  if (!reason) reason = "";
+  std::snprintf(shed_reason, sizeof(shed_reason), "%s", reason);
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* recorder = new FlightRecorder;  // never destroyed:
+  return *recorder;  // serving workers may record during static teardown
+}
+
+FlightRecorder::FlightRecorder() : ring_(4096) {}
+
+void FlightRecorder::record(const FlightRecord& r) {
+  if (!enabled()) return;
+  std::shared_lock resize(resize_mutex_);
+  if (ring_.empty()) return;
+  const std::uint64_t slot64 = next_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t slot = static_cast<std::size_t>(slot64 % ring_.size());
+  std::lock_guard lock(shard_mutexes_[slot % kShards]);
+  ring_[slot] = r;
+}
+
+void FlightRecorder::set_capacity(std::size_t capacity) {
+  std::unique_lock resize(resize_mutex_);
+  ring_.assign(std::max<std::size_t>(1, capacity), FlightRecord{});
+  next_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t FlightRecorder::capacity() const {
+  std::shared_lock resize(resize_mutex_);
+  return ring_.size();
+}
+
+std::uint64_t FlightRecorder::total() const noexcept {
+  return next_.load(std::memory_order_relaxed);
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  std::shared_lock resize(resize_mutex_);
+  std::array<std::unique_lock<std::mutex>, kShards> locks;
+  for (std::size_t i = 0; i < kShards; ++i)
+    locks[i] = std::unique_lock(shard_mutexes_[i]);
+  const std::uint64_t written = next_.load(std::memory_order_relaxed);
+  const std::uint64_t n = std::min<std::uint64_t>(written, ring_.size());
+  std::vector<FlightRecord> out;
+  out.reserve(static_cast<std::size_t>(n));
+  // Oldest live record sits at written - n (mod capacity).
+  for (std::uint64_t i = written - n; i < written; ++i)
+    out.push_back(ring_[static_cast<std::size_t>(i % ring_.size())]);
+  return out;
+}
+
+void FlightRecorder::reset() {
+  std::unique_lock resize(resize_mutex_);
+  for (auto& r : ring_) r = FlightRecord{};
+  next_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void append_phase_object(std::string& out, const float* phases) {
+  out += '{';
+  bool first = true;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    if (phases[i] == 0.0f) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += phase_name(static_cast<Phase>(i));
+    out += "\":";
+    out += fmt(phases[i]);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string to_json(const FlightRecord& r) {
+  std::string out;
+  out.reserve(512);
+  out += "{\"seq\":" + std::to_string(r.seq);
+  out += ",\"outcome\":\"";
+  out += to_string(r.outcome);
+  out += '"';
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"strategy\":\"%016llx\"",
+                static_cast<unsigned long long>(r.strategy_key));
+  out += buf;
+  out += ",\"rung\":" + std::to_string(r.rung);
+  out += ",\"device_mask\":" + std::to_string(r.device_mask);
+  out += ",\"breaker_open_mask\":" + std::to_string(r.breaker_open_mask);
+  out += ",\"sim_arrival_ms\":" + fmt(r.sim_arrival_ms);
+  out += ",\"sim_start_ms\":" + fmt(r.sim_start_ms);
+  out += ",\"sim_latency_ms\":" + fmt(r.sim_latency_ms);
+  out += std::string(",\"cache_hit\":") + (r.cache_hit ? "true" : "false");
+  out += std::string(",\"slo_met\":") + (r.slo_met ? "true" : "false");
+  out += std::string(",\"batched\":") + (r.batched ? "true" : "false");
+  if (r.shed_reason[0]) {
+    out += ",\"shed_reason\":\"";
+    out += r.shed_reason;
+    out += '"';
+  }
+  out += ",\"sim_phases_ms\":";
+  append_phase_object(out, r.sim_phase_ms);
+  out += ",\"wall_phases_ms\":";
+  append_phase_object(out, r.wall_phase_ms);
+  out += ",\"devices\":[";
+  bool first = true;
+  for (const auto& d : r.dev) {
+    if (d.device < 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"device\":" + std::to_string(d.device);
+    out += ",\"send_ms\":" + fmt(d.send_ms);
+    out += ",\"recv_ms\":" + fmt(d.recv_ms);
+    out += ",\"compute_ms\":" + fmt(d.compute_ms);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool FlightRecorder::write_jsonl(const std::string& path) const {
+  const auto records = snapshot();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  bool ok = true;
+  for (const auto& r : records) {
+    const std::string line = to_json(r);
+    ok = ok && std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
+         std::fputc('\n', f) != EOF;
+  }
+  std::fclose(f);
+  return ok;
+}
+
+bool FlightRecorder::write_chrome(const std::string& path) const {
+  const auto records = snapshot();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::string out;
+  out.reserve(records.size() * 640 + 256);
+  out += "[\n";
+  // Process metadata: pid 1 is the serving/admission plane, pid 100+d is
+  // simulated device d. Emitted for every device any record touched.
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"serving/admission\"}}";
+  std::uint64_t devices_seen = 0;
+  for (const auto& r : records) devices_seen |= r.device_mask;
+  for (int d = 0; d < 64; ++d) {
+    if (!(devices_seen >> d & 1)) continue;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"tid\":0,\"args\":{\"name\":\"device %d\"}}",
+                  100 + d, d);
+    out += buf;
+  }
+  // Spans on the sim clock, 1 sim-ms = 1000 trace-us.
+  const auto us = [](double sim_ms) {
+    return static_cast<long long>(sim_ms * 1000.0);
+  };
+  for (const auto& r : records) {
+    char buf[256];
+    const long long arrival = us(r.sim_arrival_ms);
+    const long long start = us(r.sim_start_ms);
+    const long long queue_dur = std::max<long long>(0, start - arrival);
+    // Admission/queue span (pid 1). Shed requests only ever get this span.
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"name\":\"req %llu %s\",\"cat\":\"request\","
+                  "\"ph\":\"X\",\"ts\":%lld,\"dur\":%lld,\"pid\":1,"
+                  "\"tid\":1,\"args\":{\"outcome\":\"%s\",\"rung\":%d",
+                  static_cast<unsigned long long>(r.seq), "queue",
+                  arrival, std::max<long long>(queue_dur, 1), to_string(r.outcome),
+                  static_cast<int>(r.rung));
+    out += buf;
+    if (r.shed_reason[0]) {
+      out += ",\"shed_reason\":\"";
+      out += r.shed_reason;
+      out += '"';
+    }
+    std::snprintf(buf, sizeof(buf), ",\"strategy\":\"%016llx\"}}",
+                  static_cast<unsigned long long>(r.strategy_key));
+    out += buf;
+    if (r.outcome == FlightOutcome::kShed) continue;
+    // Flow origin at the end of the queue span...
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"name\":\"dispatch\",\"cat\":\"flow\",\"ph\":\"s\","
+                  "\"id\":%llu,\"ts\":%lld,\"pid\":1,\"tid\":1}",
+                  static_cast<unsigned long long>(r.seq), start);
+    out += buf;
+    // ...binding to an execution span on every participating device.
+    const long long exec_end = us(r.sim_arrival_ms + r.sim_latency_ms);
+    const long long exec_dur = std::max<long long>(1, exec_end - start);
+    for (const auto& d : r.dev) {
+      if (d.device < 0) continue;
+      const int pid = 100 + d.device;
+      std::snprintf(
+          buf, sizeof(buf),
+          ",\n{\"name\":\"req %llu exec\",\"cat\":\"exec\",\"ph\":\"X\","
+          "\"ts\":%lld,\"dur\":%lld,\"pid\":%d,\"tid\":1,\"args\":{"
+          "\"send_ms\":%.6g,\"recv_ms\":%.6g,\"compute_ms\":%.6g}}",
+          static_cast<unsigned long long>(r.seq), start, exec_dur, pid,
+          static_cast<double>(d.send_ms), static_cast<double>(d.recv_ms),
+          static_cast<double>(d.compute_ms));
+      out += buf;
+      std::snprintf(buf, sizeof(buf),
+                    ",\n{\"name\":\"dispatch\",\"cat\":\"flow\",\"ph\":\"f\","
+                    "\"bp\":\"e\",\"id\":%llu,\"ts\":%lld,\"pid\":%d,"
+                    "\"tid\":1}",
+                    static_cast<unsigned long long>(r.seq), start, pid);
+      out += buf;
+    }
+  }
+  out += "\n]\n";
+  const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace murmur::obs

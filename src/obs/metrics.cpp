@@ -195,6 +195,7 @@ std::string MetricsRegistry::to_json() const {
     out += ",\"mean_ms\":" + fmt_double(h->mean_ms());
     out += ",\"p50_ms\":" + fmt_double(h->percentile(50));
     out += ",\"p90_ms\":" + fmt_double(h->percentile(90));
+    out += ",\"p95_ms\":" + fmt_double(h->percentile(95));
     out += ",\"p99_ms\":" + fmt_double(h->percentile(99));
     out += ",\"max_ms\":" + fmt_double(h->max_ms());
     out += '}';

@@ -92,6 +92,18 @@ class Histogram {
   /// Returns 0 for an empty histogram.
   double percentile(double p) const noexcept;
 
+  /// The tail triple CLI tables and attribution snapshots report. One
+  /// relaxed pass per percentile; fields are mutually consistent only to
+  /// the extent concurrent writers allow (reporting-grade, not a barrier).
+  struct Quantiles {
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+  };
+  Quantiles quantiles() const noexcept {
+    return Quantiles{percentile(50.0), percentile(95.0), percentile(99.0)};
+  }
+
   /// One-call summary for benches and CLI reporting. Fields read with
   /// relaxed ordering — consistent enough for reporting, not a barrier.
   struct Snapshot {
@@ -99,12 +111,14 @@ class Histogram {
     double mean_ms = 0.0;
     double p50_ms = 0.0;
     double p90_ms = 0.0;
+    double p95_ms = 0.0;
     double p99_ms = 0.0;
     double max_ms = 0.0;
   };
   Snapshot snapshot() const noexcept {
-    return Snapshot{count(),        mean_ms(),       percentile(50.0),
-                    percentile(90.0), percentile(99.0), max_ms()};
+    return Snapshot{count(),          mean_ms(),        percentile(50.0),
+                    percentile(90.0), percentile(95.0), percentile(99.0),
+                    max_ms()};
   }
 
   void reset() noexcept;

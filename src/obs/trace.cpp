@@ -89,6 +89,22 @@ std::string Tracer::to_chrome_json() const {
   out += "{\"traceEvents\":[";
   char buf[256];
   bool first = true;
+  // Metadata first: one process_name, plus a thread_name for every tid
+  // that registered one (common/log thread-name registry) — pool workers
+  // and the serving dispatcher name themselves, so exported traces show
+  // "serving/w2" instead of an anonymous tid.
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+                "\"tid\":0,\"args\":{\"name\":\"murmuration\"}}");
+  out += buf;
+  first = false;
+  for (const auto& [tid, name] : thread_names()) {
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%u,\"args\":{\"name\":\"%s\"}}",
+                  tid, name.c_str());
+    out += buf;
+  }
   for (const auto& e : evs) {
     if (!first) out += ',';
     first = false;

@@ -25,6 +25,36 @@ struct LatencyBreakdown {
   std::size_t bytes_moved = 0;
 };
 
+/// Exact decomposition of the critical path for per-request latency
+/// attribution (obs phase ledger; DESIGN.md §5.11). The four scalar fields
+/// partition total_ms: the evaluator carries a component vector through the
+/// same max() chains that produce the scalar total, so
+/// `send + recv + compute + gather == total_ms` to within accumulated
+/// floating-point rounding (far inside the 1e-6 ms invariant tolerance).
+///
+/// Classification: every inter-device transfer feeding the stem or a block
+/// tile splits into a serialization leg (`send_ms`, the bandwidth component)
+/// and a propagation leg (`recv_ms`, the path-delay component); transfers
+/// into the head plus the final logits return are `gather_ms` whole; device
+/// busy time on the path is `compute_ms`.
+///
+/// The per-device vectors are playout-wide (every event, not just the
+/// critical path): indexed by device, serialization charged to the sender,
+/// propagation to the receiver, compute to the busy device.
+struct PhaseBreakdown {
+  double send_ms = 0.0;
+  double recv_ms = 0.0;
+  double compute_ms = 0.0;
+  double gather_ms = 0.0;
+  std::vector<double> device_send_ms;
+  std::vector<double> device_recv_ms;
+  std::vector<double> device_compute_ms;
+
+  double critical_total_ms() const noexcept {
+    return send_ms + recv_ms + compute_ms + gather_ms;
+  }
+};
+
 class SubnetLatencyEvaluator {
  public:
   explicit SubnetLatencyEvaluator(const netsim::Network& network)
@@ -35,8 +65,9 @@ class SubnetLatencyEvaluator {
   /// event per compute/transfer for Gantt rendering.
   LatencyBreakdown evaluate(const supernet::SubnetConfig& config,
                             const PlacementPlan& plan,
-                            Timeline* timeline = nullptr) const {
-    return evaluate_batch(config, plan, 1, timeline);
+                            Timeline* timeline = nullptr,
+                            PhaseBreakdown* phases = nullptr) const {
+    return evaluate_batch(config, plan, 1, timeline, phases);
   }
 
   /// Latency of a strategy-coalesced micro-batch of `batch` same-strategy
@@ -46,9 +77,16 @@ class SubnetLatencyEvaluator {
   /// event playout models — is paid once per batch. `batch == 1` is
   /// bitwise identical to evaluate(). Dividing total_ms by `batch` gives
   /// the per-member executor occupancy used by serving admission.
+  ///
+  /// `phases`, when non-null, receives the critical-path decomposition
+  /// (see PhaseBreakdown). The scalar playout is byte-identical with or
+  /// without it — attribution rides alongside, it never re-derives — but
+  /// the decomposition costs a parallel component chain, so the RL hot
+  /// path (decision evaluations) passes nullptr.
   LatencyBreakdown evaluate_batch(const supernet::SubnetConfig& config,
                                   const PlacementPlan& plan, int batch,
-                                  Timeline* timeline = nullptr) const;
+                                  Timeline* timeline = nullptr,
+                                  PhaseBreakdown* phases = nullptr) const;
 
   /// Convenience: total milliseconds only.
   double latency_ms(const supernet::SubnetConfig& config,

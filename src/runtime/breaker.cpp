@@ -5,7 +5,18 @@ namespace murmur::runtime {
 BreakerBoard::BreakerBoard(std::size_t num_devices, BreakerOptions opts)
     : opts_(opts), breakers_(num_devices) {}
 
+void BreakerBoard::log_transition(std::size_t device, State from, State to,
+                                  double sim_ms) {
+  if (transition_log_.size() >= kMaxTransitionLog) {
+    transition_log_.erase(transition_log_.begin());
+    ++transition_drop_;
+  }
+  transition_log_.push_back(Transition{device, from, to, sim_ms});
+}
+
 void BreakerBoard::trip(Breaker& b, double sim_now_ms) {
+  log_transition(static_cast<std::size_t>(&b - breakers_.data()), b.state,
+                 State::kOpen, sim_now_ms);
   b.state = State::kOpen;
   b.opened_at_ms = sim_now_ms;
   b.consecutive_failures = 0;
@@ -20,6 +31,7 @@ std::vector<bool> BreakerBoard::admitted_mask(double sim_now_ms) {
     Breaker& b = breakers_[d];
     if (b.state == State::kOpen &&
         sim_now_ms - b.opened_at_ms >= opts_.open_cooldown_ms) {
+      log_transition(d, b.state, State::kHalfOpen, sim_now_ms);
       b.state = State::kHalfOpen;
       half_opens_.inc();
       obs::add("runtime.breaker.half_open");
@@ -48,6 +60,7 @@ void BreakerBoard::record(std::size_t device, bool failed, double sim_now_ms) {
       if (failed) {
         trip(b, sim_now_ms);
       } else {
+        log_transition(device, b.state, State::kClosed, sim_now_ms);
         b.state = State::kClosed;
         b.consecutive_failures = 0;
         closes_.inc();
@@ -69,13 +82,17 @@ BreakerBoard::State BreakerBoard::state(std::size_t device) const {
   return breakers_[device].state;
 }
 
-const char* BreakerBoard::state_name(std::size_t device) const {
-  switch (state(device)) {
-    case State::kClosed: return "closed";
-    case State::kOpen: return "open";
-    case State::kHalfOpen: return "half-open";
+const char* to_string(BreakerBoard::State state) noexcept {
+  switch (state) {
+    case BreakerBoard::State::kClosed: return "closed";
+    case BreakerBoard::State::kOpen: return "open";
+    case BreakerBoard::State::kHalfOpen: return "half-open";
   }
   return "unknown";
+}
+
+const char* BreakerBoard::state_name(std::size_t device) const {
+  return to_string(state(device));
 }
 
 std::size_t BreakerBoard::open_count() const {
@@ -84,6 +101,19 @@ std::size_t BreakerBoard::open_count() const {
   for (const Breaker& b : breakers_)
     if (b.state != State::kClosed) ++n;
   return n;
+}
+
+std::uint64_t BreakerBoard::open_mask() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t mask = 0;
+  for (std::size_t d = 0; d < breakers_.size() && d < 64; ++d)
+    if (breakers_[d].state != State::kClosed) mask |= std::uint64_t{1} << d;
+  return mask;
+}
+
+std::vector<BreakerBoard::Transition> BreakerBoard::transitions() const {
+  std::lock_guard lock(mutex_);
+  return transition_log_;
 }
 
 }  // namespace murmur::runtime

@@ -67,6 +67,22 @@ class BreakerBoard {
   /// Number of breakers currently not closed.
   std::size_t open_count() const;
 
+  /// Bit d set: breaker d is currently NOT closed (open or half-open).
+  /// Devices >= 64 are not representable and never set in practice.
+  std::uint64_t open_mask() const;
+
+  /// One state-machine transition, for the observability event log.
+  struct Transition {
+    std::size_t device = 0;
+    State from = State::kClosed;
+    State to = State::kClosed;
+    double sim_ms = 0.0;
+  };
+  /// The most recent transitions, oldest first (bounded ring of
+  /// kMaxTransitionLog; older entries are dropped).
+  std::vector<Transition> transitions() const;
+  static constexpr std::size_t kMaxTransitionLog = 256;
+
  private:
   struct Breaker {
     State state = State::kClosed;
@@ -75,11 +91,18 @@ class BreakerBoard {
   };
 
   void trip(Breaker& b, double sim_now_ms);
+  /// Append to the bounded transition log; caller holds mutex_.
+  void log_transition(std::size_t device, State from, State to,
+                      double sim_ms);
 
   BreakerOptions opts_;
   mutable std::mutex mutex_;
   std::vector<Breaker> breakers_;
+  std::vector<Transition> transition_log_;
+  std::size_t transition_drop_ = 0;  // entries evicted from the front
   obs::Counter trips_, half_opens_, closes_;
 };
+
+const char* to_string(BreakerBoard::State state) noexcept;
 
 }  // namespace murmur::runtime

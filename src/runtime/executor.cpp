@@ -89,7 +89,7 @@ DistributedExecutor::DistributedExecutor(supernet::Supernet& supernet,
     : supernet_(supernet),
       network_(network),
       transport_(network),
-      pool_(std::max<std::size_t>(2, network.num_devices())) {}
+      pool_(std::max<std::size_t>(2, network.num_devices()), "device-pool") {}
 
 void DistributedExecutor::set_failover(const FailoverOptions& failover) {
   failover_ = failover;
@@ -416,7 +416,10 @@ ExecutionReport DistributedExecutor::run(
   report.local_fallbacks += fo_fallbacks;
   report.failover_penalty_ms = fo_penalty_ms + report.transport.backoff_ms;
   report.sim_latency_ms =
-      eval.latency_ms(config, plan) + report.failover_penalty_ms;
+      eval.evaluate(config, plan, nullptr,
+                    obs::enabled() ? &report.attrib : nullptr)
+          .total_ms +
+      report.failover_penalty_ms;
   report.sim_occupancy_ms = report.sim_latency_ms;
   report.degraded = report.redispatched_tiles > 0 ||
                     report.local_fallbacks > 0 ||
@@ -619,7 +622,13 @@ BatchExecutionReport DistributedExecutor::run_batch(
   // simulated-time model is untouched.
   const partition::SubnetLatencyEvaluator eval(network_);
   const TransportStats tstats = transport_.stats();
-  const double sim_lat = eval.latency_ms(config, plan);
+  // Every fused member's sim latency is its standalone (batch == 1)
+  // evaluation, so all members share one attribution breakdown too.
+  partition::PhaseBreakdown batch_attrib;
+  const double sim_lat =
+      eval.evaluate(config, plan, nullptr,
+                    obs::enabled() ? &batch_attrib : nullptr)
+          .total_ms;
   // Occupancy: the fused pass keeps the executor busy for the batch's
   // evaluated latency (bytes and compute scale with n, per-message delays
   // are amortized); each member owns an equal share of it.
@@ -637,6 +646,7 @@ BatchExecutionReport DistributedExecutor::run_batch(
     r.wall_ms = out.wall_ms / n;
     r.transport = tstats;
     r.partitioned_blocks = partitioned_blocks;
+    r.attrib = batch_attrib;
     out.reports.push_back(std::move(r));
   }
   if (obs::enabled()) {

@@ -56,6 +56,13 @@ struct ExecutionReport {
   /// Feeds the per-device circuit breakers (DESIGN.md §5.9). Sized
   /// num_devices when an injector is attached, empty otherwise.
   std::vector<int> device_failures;
+  /// Critical-path decomposition of the evaluated sim latency (per-request
+  /// phase ledger input; DESIGN.md §5.11). Filled only while telemetry is
+  /// enabled — the evaluator skips the component chain otherwise — so
+  /// check `device_compute_ms.empty()` before reading. For a fused-batch
+  /// member this decomposes the member's standalone (batch == 1)
+  /// evaluation, matching sim_latency_ms.
+  partition::PhaseBreakdown attrib;
 };
 
 /// Result of a strategy-coalesced batch (DESIGN.md §5.10). Per-request

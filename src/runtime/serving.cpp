@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "common/log.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 namespace murmur::runtime {
@@ -14,6 +16,16 @@ std::uint64_t mix_seed(std::uint64_t base, std::uint64_t seq) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
+}
+
+obs::FlightOutcome flight_outcome(ServeOutcome o) noexcept {
+  switch (o) {
+    case ServeOutcome::kCompleted: return obs::FlightOutcome::kCompleted;
+    case ServeOutcome::kDegraded: return obs::FlightOutcome::kDegraded;
+    case ServeOutcome::kShed: return obs::FlightOutcome::kShed;
+    case ServeOutcome::kFailed: return obs::FlightOutcome::kFailed;
+  }
+  return obs::FlightOutcome::kFailed;
 }
 }  // namespace
 
@@ -31,14 +43,17 @@ ServingLayer::ServingLayer(MurmurationSystem& system, ServingOptions opts)
     : system_(system),
       opts_(opts),
       ladder_(opts.ladder),
-      pool_(static_cast<std::size_t>(std::max(1, opts.workers))) {
+      pool_(static_cast<std::size_t>(std::max(1, opts.workers)), "serving") {
   if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
   opts_.cold_start_latency_ms = std::max(0.0, opts_.cold_start_latency_ms);
   if (opts_.max_batch == 0) opts_.max_batch = 1;
   opts_.batch_window_ms = std::max(0.0, opts_.batch_window_ms);
   opts_.drain_grace_ms = std::max(0.0, opts_.drain_grace_ms);
   if (opts_.max_batch > 1)
-    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+    dispatcher_ = std::thread([this] {
+      set_thread_name("serving/dispatcher");
+      dispatcher_loop();
+    });
 }
 
 ServingLayer::~ServingLayer() {
@@ -168,12 +183,29 @@ std::future<ServeResult> ServingLayer::submit(const Tensor& image,
     r.outcome = ServeOutcome::kShed;
     r.shed_reason = a.shed_reason;
     r.sim_start_ms = sim_arrival_ms;
+    // Shed-reason attribution: admit() only ever sheds for these two.
+    if (a.shed_reason[0] == 'q')
+      shed_queue_full_.fetch_add(1);
+    else
+      shed_infeasible_.fetch_add(1);
+    window_.record(/*slo_met=*/false, /*shed=*/true);
     count(r.outcome);
+    if (obs::enabled()) {
+      obs::FlightRecord fr;
+      fr.seq = a.seq;
+      fr.outcome = obs::FlightOutcome::kShed;
+      fr.sim_arrival_ms = sim_arrival_ms;
+      fr.sim_start_ms = sim_arrival_ms;
+      fr.set_shed_reason(a.shed_reason);
+      obs::FlightRecorder::instance().record(fr);
+      obs::gauge_set("serving.slo.shed_rate", window_.shed_rate());
+    }
     std::promise<ServeResult> p;
     p.set_value(std::move(r));
     return p.get_future();
   }
 
+  last_rung_.store(a.rung, std::memory_order_relaxed);
   RequestContext ctx;
   ctx.slo = slo;
   ctx.plan_slo = ladder_.effective(slo, a.rung);
@@ -186,6 +218,7 @@ std::future<ServeResult> ServingLayer::submit(const Tensor& image,
     p.image = image;
     p.ctx = ctx;
     p.adm = a;
+    p.enqueue_wall_ms = monotonic_ms();
     std::future<ServeResult> fut = p.promise.get_future();
     {
       std::lock_guard lock(dispatch_mutex_);
@@ -222,10 +255,49 @@ ServeResult ServingLayer::finalize(const Admission& a,
   }
   if (r.outcome != ServeOutcome::kFailed)
     note_completion(r.inference.sim_latency_ms, r.inference.sim_occupancy_ms);
+  window_.record(r.inference.slo_met, /*shed=*/false);
   count(r.outcome);
   if (obs::enabled()) {
     obs::observe("serving.queue_wait_ms", r.queue_wait_ms);
     obs::observe("serving.rung", static_cast<double>(r.rung));
+    obs::gauge_set("serving.slo.compliance", window_.compliance());
+    obs::gauge_set("serving.slo.shed_rate", window_.shed_rate());
+    obs::gauge_set("serving.slo.burn_rate", window_.burn_rate());
+    obs::gauge_set("serving.last_rung", static_cast<double>(r.rung));
+
+    obs::FlightRecord fr;
+    fr.seq = a.seq;
+    fr.strategy_key = r.inference.strategy_key;
+    fr.device_mask = r.inference.device_mask;
+    fr.breaker_open_mask = system_.breakers().open_mask();
+    fr.sim_arrival_ms = a.est_start_ms - a.queue_wait_ms;
+    fr.sim_start_ms = a.est_start_ms;
+    fr.sim_latency_ms = a.queue_wait_ms + r.inference.sim_latency_ms;
+    for (std::size_t i = 0; i < obs::kPhaseCount; ++i) {
+      fr.sim_phase_ms[i] = static_cast<float>(r.inference.ledger.sim_ms[i]);
+      fr.wall_phase_ms[i] = static_cast<float>(r.inference.ledger.wall_ms[i]);
+    }
+    const auto& at = r.inference.attrib;
+    int slot = 0;
+    for (std::size_t d = 0;
+         d < at.device_compute_ms.size() &&
+         slot < obs::FlightRecord::kMaxDeviceSlices;
+         ++d) {
+      if (at.device_send_ms[d] <= 0.0 && at.device_recv_ms[d] <= 0.0 &&
+          at.device_compute_ms[d] <= 0.0)
+        continue;
+      fr.dev[slot++] = obs::FlightRecord::DevicePhase{
+          static_cast<std::int16_t>(d),
+          static_cast<float>(at.device_send_ms[d]),
+          static_cast<float>(at.device_recv_ms[d]),
+          static_cast<float>(at.device_compute_ms[d])};
+    }
+    fr.outcome = flight_outcome(r.outcome);
+    fr.rung = static_cast<std::int16_t>(r.rung);
+    fr.cache_hit = r.inference.cache_hit;
+    fr.slo_met = r.inference.slo_met;
+    fr.batched = opts_.max_batch > 1;
+    obs::FlightRecorder::instance().record(fr);
   }
   return r;
 }
@@ -328,9 +400,27 @@ void ServingLayer::execute_group(std::vector<Member> group) {
     batch.push_back(std::move(m.plan));
   }
   system_.execute_batch(images, batch);
-  for (std::size_t i = 0; i < group.size(); ++i)
+  const double done_wall_ms = monotonic_ms();
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    // Wall-side batching-window phase: how long this member sat between
+    // enqueue and batch completion beyond its own execution share. The sim
+    // clock charges nothing here by construction (occupancy amortizes
+    // coalescing), so this is the wall-only explanation of the batching
+    // latency trade (BENCH_serving.json sim/wall gap).
+    if (obs::enabled()) {
+      const double parked_ms =
+          std::max(0.0, done_wall_ms - group[i].pending.enqueue_wall_ms -
+                            batch[i].result.exec_wall_ms);
+      batch[i].result.ledger.charge_wall(obs::Phase::kBatchWindow,
+                                         parked_ms);
+      // note_request already aggregated this request's ledger inside
+      // execute_batch, before the group-level wait was known — feed the
+      // late wall-only phase to its histogram directly.
+      obs::observe("attrib.wall.batch_window", parked_ms);
+    }
     group[i].pending.promise.set_value(
         finalize(group[i].pending.adm, std::move(batch[i].result)));
+  }
 }
 
 }  // namespace murmur::runtime

@@ -36,6 +36,7 @@
 
 #include "common/thread_pool.h"
 #include "core/decision.h"
+#include "obs/attrib.h"
 #include "runtime/system.h"
 
 namespace murmur::runtime {
@@ -168,6 +169,24 @@ class ServingLayer {
     return drain_flushes_.load();
   }
 
+  // Observability plane (DESIGN.md §5.11).
+  /// Sheds by reason (queue_full + deadline_infeasible == shed()).
+  std::uint64_t shed_queue_full() const noexcept {
+    return shed_queue_full_.load();
+  }
+  std::uint64_t shed_infeasible() const noexcept {
+    return shed_infeasible_.load();
+  }
+  /// Ladder rung of the most recently admitted request.
+  int last_rung() const noexcept { return last_rung_.load(); }
+  /// Rolling-window SLO compliance / shed rate / burn rate over the most
+  /// recent requests (window size 512; see obs::RollingOutcomeWindow).
+  double slo_compliance() const { return window_.compliance(); }
+  double slo_shed_rate() const { return window_.shed_rate(); }
+  double slo_burn_rate(double target = 0.95) const {
+    return window_.burn_rate(target);
+  }
+
  private:
   struct Admission {
     bool admit = false;
@@ -184,6 +203,9 @@ class ServingLayer {
     RequestContext ctx;
     Admission adm;
     std::promise<ServeResult> promise;
+    /// Wall clock at enqueue (monotonic_ms): execute_group charges the
+    /// elapsed coalescing delay to the wall-side batch-window phase.
+    double enqueue_wall_ms = 0.0;
   };
   /// A planned group member awaiting execution.
   struct Member {
@@ -225,6 +247,11 @@ class ServingLayer {
       shed_{0}, failed_{0};
   std::atomic<std::uint64_t> batches_{0}, batched_requests_{0}, coalesced_{0},
       full_flushes_{0}, window_flushes_{0}, key_flushes_{0}, drain_flushes_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0}, shed_infeasible_{0};
+  std::atomic<int> last_rung_{0};
+  /// Rolling SLO/shed window; internally mutex-protected (finalize runs on
+  /// pool workers concurrently).
+  obs::RollingOutcomeWindow window_{512};
 
   // Dispatcher state (batching path only; untouched when max_batch == 1).
   std::mutex dispatch_mutex_;

@@ -317,6 +317,7 @@ void MurmurationSystem::execute_batch(std::span<const Tensor> images,
       result.redispatched_tiles = rep.redispatched_tiles;
       result.local_fallbacks = rep.local_fallbacks;
       result.failover_penalty_ms = rep.failover_penalty_ms;
+      result.attrib = std::move(rep.attrib);
       exec_degraded[k] = rep.degraded;
 
       // Feed the breakers: every remote device that participated in (or
@@ -357,6 +358,7 @@ void MurmurationSystem::finish_request(PlannedRequest& pr, bool exec_degraded) {
     result.outcome = RequestOutcome::kDegraded;
   else
     result.outcome = RequestOutcome::kCompleted;
+  result.strategy_key = pr.strategy_key;
   if (obs::enabled()) {
     obs::add("system.requests");
     obs::add(result.slo_met ? "system.slo_met" : "system.slo_missed");
@@ -364,6 +366,53 @@ void MurmurationSystem::finish_request(PlannedRequest& pr, bool exec_degraded) {
     obs::observe("stage.sim_latency_ms", result.sim_latency_ms);
     obs::gauge_set("cache.hit_rate", cache_.hit_rate());
     obs::gauge_set("cache.size", static_cast<double>(cache_.size()));
+
+    // Phase ledger (DESIGN.md §5.11): attribute every sim-clock ms of the
+    // observed latency. Sim side: queue wait + the evaluator's critical-
+    // path decomposition + the failover surcharge; the batching window is
+    // free on the sim clock by construction (the occupancy model amortizes
+    // coalescing instead of charging a wait). Wall side: the per-stage
+    // wall timers already measured along the pipeline.
+    obs::PhaseLedger& led = result.ledger;
+    led.charge(obs::Phase::kQueueWait, pr.ctx.queue_wait_ms);
+    if (!result.attrib.device_compute_ms.empty()) {
+      led.charge(obs::Phase::kTransportSend, result.attrib.send_ms);
+      led.charge(obs::Phase::kTransportRecv, result.attrib.recv_ms);
+      led.charge(obs::Phase::kCompute, result.attrib.compute_ms);
+      led.charge(obs::Phase::kGather, result.attrib.gather_ms);
+    } else {
+      // Telemetry flipped on mid-request: the executor skipped the
+      // decomposition. Lump the evaluated latency into compute so the
+      // phase-sum invariant still holds.
+      led.charge(obs::Phase::kCompute,
+                 result.sim_latency_ms - result.failover_penalty_ms);
+    }
+    led.charge(obs::Phase::kFailover, result.failover_penalty_ms);
+    led.charge_wall(obs::Phase::kDecision, result.decision_wall_ms);
+    led.charge_wall(obs::Phase::kSwitch, result.switch_wall_ms);
+    led.charge_wall(obs::Phase::kCompute, result.exec_wall_ms);
+
+    const std::vector<bool> used =
+        plan_participants(result.decision.strategy.plan,
+                          result.decision.strategy.config,
+                          network_.num_devices());
+    for (std::size_t d = 0; d < used.size() && d < 64; ++d)
+      if (used[d]) result.device_mask |= std::uint64_t{1} << d;
+
+    std::vector<obs::DeviceSlice> slices;
+    const auto& at = result.attrib;
+    for (std::size_t d = 0; d < at.device_compute_ms.size(); ++d) {
+      if (at.device_send_ms[d] <= 0.0 && at.device_recv_ms[d] <= 0.0 &&
+          at.device_compute_ms[d] <= 0.0)
+        continue;
+      slices.push_back(obs::DeviceSlice{static_cast<int>(d),
+                                        at.device_send_ms[d],
+                                        at.device_recv_ms[d],
+                                        at.device_compute_ms[d]});
+    }
+    const double observed = pr.ctx.queue_wait_ms + result.sim_latency_ms;
+    obs::note_request(led, slices, result.strategy_key, observed);
+    obs::check_invariant(led.sim_total(), observed);
   }
 }
 

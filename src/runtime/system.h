@@ -28,6 +28,7 @@
 #include "core/training.h"
 #include "netsim/monitor.h"
 #include "netsim/predictor.h"
+#include "obs/attrib.h"
 #include "runtime/breaker.h"
 #include "runtime/executor.h"
 #include "runtime/supernet_host.h"
@@ -115,6 +116,18 @@ struct InferenceResult {
   int replanned_entries = 0;       // plan entries moved before dispatch
   std::size_t cache_purged = 0;    // strategies invalidated by the health mask
   double failover_penalty_ms = 0.0;
+  // Attribution (DESIGN.md §5.11); populated only while telemetry is on.
+  /// Dual-clock phase ledger. Sim phases sum to the observed sim latency
+  /// (ctx.queue_wait_ms + sim_latency_ms) to within 1e-6 ms; wall phases
+  /// are informational (threads overlap, they do not sum to anything).
+  obs::PhaseLedger ledger;
+  /// Evaluator critical-path decomposition incl. per-device slices.
+  partition::PhaseBreakdown attrib;
+  /// Coalescing fingerprint of the executed strategy (copied from the
+  /// plan so single-result callers — the serving serial path — see it).
+  std::uint64_t strategy_key = 0;
+  /// Bit d set: device d participated in the executed plan.
+  std::uint64_t device_mask = 0;
 };
 
 /// A request that has run the planning half of the pipeline (health mask,

@@ -1,0 +1,475 @@
+// Per-request latency attribution and the flight recorder (DESIGN.md
+// §5.11). The suite carries the `obs` ctest label and runs in both the
+// ASan/UBSan and TSan passes of tools/run_chaos_tests.sh — the
+// concurrent-writer hammer and the serving-integration tests are the TSan
+// targets.
+//
+// The load-bearing assertion is the phase-sum invariant: every request's
+// sim-clock phases sum to its observed latency (queue wait + executor sim
+// latency) to within 1e-6 ms, across serial, batched and fault-injected
+// serving. The runtime checks it per request (obs::check_invariant bumps
+// attrib.invariant_violations); the tests assert the counter stays zero
+// and re-derive the sum from the flight records independently.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/training.h"
+#include "netsim/faults.h"
+#include "netsim/scenario.h"
+#include "obs/attrib.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
+#include "partition/subnet_latency.h"
+#include "runtime/breaker.h"
+#include "runtime/serving.h"
+#include "runtime/system.h"
+#include "supernet/cost_model.h"
+
+namespace murmur {
+namespace {
+
+using netsim::FaultInjector;
+using netsim::FaultPlan;
+using obs::FlightOutcome;
+using obs::FlightRecord;
+using obs::FlightRecorder;
+using obs::Phase;
+using partition::PlacementPlan;
+using partition::SubnetLatencyEvaluator;
+using supernet::SubnetConfig;
+
+// ------------------------------------------------------- ledger basics ----
+
+TEST(PhaseLedger, ChargesAccumulateAndSum) {
+  obs::PhaseLedger led;
+  led.charge(Phase::kQueueWait, 10.0);
+  led.charge(Phase::kCompute, 5.0);
+  led.charge(Phase::kCompute, 2.5);
+  led.charge_wall(Phase::kDecision, 1.0);
+  EXPECT_DOUBLE_EQ(led.sim(Phase::kQueueWait), 10.0);
+  EXPECT_DOUBLE_EQ(led.sim(Phase::kCompute), 7.5);
+  EXPECT_DOUBLE_EQ(led.sim_total(), 17.5);
+  EXPECT_DOUBLE_EQ(led.wall(Phase::kDecision), 1.0);
+  EXPECT_DOUBLE_EQ(led.wall_total(), 1.0);
+}
+
+TEST(PhaseLedger, PhaseNamesAreUniqueAndStable) {
+  std::vector<std::string> names;
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+    names.emplace_back(obs::phase_name(static_cast<Phase>(p)));
+    EXPECT_FALSE(names.back().empty());
+  }
+  for (std::size_t i = 0; i < names.size(); ++i)
+    for (std::size_t j = i + 1; j < names.size(); ++j)
+      EXPECT_NE(names[i], names[j]);
+  EXPECT_STREQ(obs::phase_name(Phase::kQueueWait), "queue_wait");
+  EXPECT_STREQ(obs::phase_name(Phase::kFailover), "failover");
+}
+
+TEST(Attrib, CheckInvariantToleratesOnlyTinyError) {
+  obs::set_enabled(false);  // violations must not need a live registry
+  EXPECT_FALSE(obs::check_invariant(100.0, 100.0));
+  EXPECT_FALSE(obs::check_invariant(100.0, 100.0 + 5e-7));
+  // The provoked violation logs at warn (not error) level by design: the
+  // tier-1 gate scrubs error-level lines, and this test exists precisely
+  // to exercise the violation branch.
+  EXPECT_TRUE(obs::check_invariant(100.0, 100.1));
+}
+
+// ------------------------------------------------------ quantile helper ----
+
+TEST(Quantiles, OrderedTailTripleFromUniformSamples) {
+  obs::Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(static_cast<double>(i));
+  const auto q = h.quantiles();
+  EXPECT_GT(q.p50_ms, 0.0);
+  EXPECT_LE(q.p50_ms, q.p95_ms);
+  EXPECT_LE(q.p95_ms, q.p99_ms);
+  // Log-bucket interpolation is exact to within one bucket (~10%).
+  EXPECT_NEAR(q.p50_ms, 500.0, 75.0);
+  EXPECT_NEAR(q.p95_ms, 950.0, 120.0);
+  EXPECT_NEAR(q.p99_ms, 990.0, 130.0);
+}
+
+// ------------------------------------------------------- rolling window ----
+
+TEST(RollingOutcomeWindow, ComplianceShedAndBurnMath) {
+  obs::RollingOutcomeWindow w(8);
+  EXPECT_DOUBLE_EQ(w.compliance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.burn_rate(), 0.0);  // empty window burns nothing
+  for (int i = 0; i < 6; ++i) w.record(/*slo_met=*/true, /*shed=*/false);
+  w.record(false, false);
+  w.record(false, true);  // shed counts against compliance
+  EXPECT_EQ(w.size(), 8u);
+  EXPECT_DOUBLE_EQ(w.compliance(), 6.0 / 8.0);
+  EXPECT_DOUBLE_EQ(w.shed_rate(), 1.0 / 8.0);
+  // (1 - 0.75) / (1 - 0.95) = 5x budget burn.
+  EXPECT_NEAR(w.burn_rate(0.95), 5.0, 1e-9);
+}
+
+TEST(RollingOutcomeWindow, OldOutcomesFallOutOfTheWindow) {
+  obs::RollingOutcomeWindow w(4);
+  for (int i = 0; i < 4; ++i) w.record(false, true);
+  EXPECT_DOUBLE_EQ(w.compliance(), 0.0);
+  for (int i = 0; i < 4; ++i) w.record(true, false);
+  EXPECT_DOUBLE_EQ(w.compliance(), 1.0);
+  EXPECT_DOUBLE_EQ(w.shed_rate(), 0.0);
+}
+
+// ------------------------------------------- evaluator decomposition ----
+
+netsim::Network shaped_swarm() {
+  netsim::Network net = netsim::make_scenario(netsim::Scenario::kDeviceSwarm);
+  netsim::shape_remotes(net, Bandwidth::from_mbps(120), Delay::from_ms(15));
+  return net;
+}
+
+TEST(PhaseBreakdown, ComponentsSumToCriticalPathAcrossPlans) {
+  const auto net = shaped_swarm();
+  const SubnetLatencyEvaluator eval(net);
+  const SubnetConfig c = SubnetConfig::max_config();
+
+  std::vector<PlacementPlan> plans;
+  plans.push_back(PlacementPlan::all_local());
+  {
+    PlacementPlan offload;  // everything on remote device 1
+    offload.stem_device = 1;
+    offload.head_device = 1;
+    for (auto& row : offload.device) row.fill(1);
+    plans.push_back(offload);
+  }
+  {
+    PlacementPlan scatter;  // tiles striped across the swarm
+    scatter.stem_device = 0;
+    scatter.head_device = 0;
+    int d = 0;
+    for (auto& row : scatter.device)
+      for (auto& cell : row) cell = d++ % static_cast<int>(net.num_devices());
+    plans.push_back(scatter);
+  }
+
+  for (const auto& plan : plans) {
+    partition::PhaseBreakdown ph;
+    const auto r = eval.evaluate(c, plan, nullptr, &ph);
+    // The decomposition replays the exact max() chain of the evaluator:
+    // the components must reproduce the critical path to float identity
+    // scale, not just approximately.
+    EXPECT_NEAR(ph.critical_total_ms(), r.total_ms, 1e-9);
+    EXPECT_GE(ph.compute_ms, 0.0);
+    EXPECT_GE(ph.send_ms, 0.0);
+    EXPECT_GE(ph.recv_ms, 0.0);
+    EXPECT_GE(ph.gather_ms, 0.0);
+    // Per-device slices exist for every device the plan touches.
+    ASSERT_EQ(ph.device_compute_ms.size(), net.num_devices());
+  }
+}
+
+TEST(PhaseBreakdown, AllLocalIsPureComputeAndGatherFree) {
+  const auto net = shaped_swarm();
+  const SubnetLatencyEvaluator eval(net);
+  partition::PhaseBreakdown ph;
+  const auto r =
+      eval.evaluate(SubnetConfig::min_config(), PlacementPlan::all_local(),
+                    nullptr, &ph);
+  EXPECT_NEAR(ph.compute_ms + ph.gather_ms, r.total_ms, 1e-9);
+  EXPECT_DOUBLE_EQ(ph.send_ms, 0.0);
+  EXPECT_DOUBLE_EQ(ph.recv_ms, 0.0);
+}
+
+// ------------------------------------------------------ flight recorder ----
+
+FlightRecord make_record(std::uint64_t seq) {
+  FlightRecord r;
+  r.seq = seq;
+  r.strategy_key = 0xABCDu;
+  r.sim_arrival_ms = static_cast<double>(seq);
+  r.sim_start_ms = static_cast<double>(seq) + 1.0;
+  r.sim_latency_ms = 42.0;
+  r.sim_phase_ms[static_cast<std::size_t>(Phase::kQueueWait)] = 1.0f;
+  r.sim_phase_ms[static_cast<std::size_t>(Phase::kCompute)] = 41.0f;
+  r.dev[0] = {0, 0.0f, 0.0f, 41.0f};
+  r.device_mask = 1;
+  r.outcome = FlightOutcome::kCompleted;
+  r.slo_met = true;
+  return r;
+}
+
+TEST(FlightRecorder, RingWrapsKeepingTheMostRecentRecords) {
+  obs::set_enabled(true);
+  auto& fr = FlightRecorder::instance();
+  fr.set_capacity(8);
+  for (std::uint64_t s = 0; s < 20; ++s) fr.record(make_record(s));
+  EXPECT_EQ(fr.total(), 20u);
+  const auto snap = fr.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  for (std::size_t i = 0; i < snap.size(); ++i)
+    EXPECT_EQ(snap[i].seq, 12u + i);  // oldest first
+  fr.set_capacity(4096);
+  obs::set_enabled(false);
+}
+
+TEST(FlightRecorder, DisabledTelemetryDropsRecords) {
+  obs::set_enabled(false);
+  auto& fr = FlightRecorder::instance();
+  fr.reset();
+  fr.record(make_record(1));
+  EXPECT_EQ(fr.total(), 0u);
+  EXPECT_TRUE(fr.snapshot().empty());
+}
+
+TEST(FlightRecorder, ConcurrentWriterHammer) {
+  obs::set_enabled(true);
+  auto& fr = FlightRecorder::instance();
+  fr.set_capacity(64);  // force heavy wraparound contention
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([t, &fr] {
+      for (int i = 0; i < kPerThread; ++i)
+        fr.record(make_record(static_cast<std::uint64_t>(t) * kPerThread +
+                              static_cast<std::uint64_t>(i)));
+    });
+  // Concurrent snapshots while writers run: must stay well-formed.
+  for (int i = 0; i < 50; ++i) {
+    const auto snap = fr.snapshot();
+    EXPECT_LE(snap.size(), 64u);
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(fr.total(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(fr.snapshot().size(), 64u);
+  fr.set_capacity(4096);
+  obs::set_enabled(false);
+}
+
+TEST(FlightRecorder, JsonlAndChromeExportsAreWellFormed) {
+  obs::set_enabled(true);
+  auto& fr = FlightRecorder::instance();
+  fr.set_capacity(16);
+  for (std::uint64_t s = 0; s < 5; ++s) fr.record(make_record(s));
+  FlightRecord shed = make_record(5);
+  shed.outcome = FlightOutcome::kShed;
+  shed.set_shed_reason("queue_full");
+  shed.sim_latency_ms = 0.0;
+  fr.record(shed);
+
+  const std::string jsonl = "test_attrib_flight.jsonl";
+  const std::string chrome = "test_attrib_flight_trace.json";
+  ASSERT_TRUE(fr.write_jsonl(jsonl));
+  ASSERT_TRUE(fr.write_chrome(chrome));
+
+  std::ifstream jf(jsonl);
+  std::string line;
+  int lines = 0;
+  while (std::getline(jf, line)) {
+    ++lines;
+    EXPECT_NE(line.find("\"seq\""), std::string::npos);
+    EXPECT_NE(line.find("\"sim_phases_ms\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, 6);
+
+  std::ifstream cf(chrome);
+  std::stringstream buf;
+  buf << cf.rdbuf();
+  const std::string trace = buf.str();
+  // Metadata naming, spans, and causal flow arrows must all be present.
+  EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(trace.find("serving/admission"), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(trace.find("queue_full"), std::string::npos);
+
+  std::remove(jsonl.c_str());
+  std::remove(chrome.c_str());
+  fr.set_capacity(4096);
+  obs::set_enabled(false);
+}
+
+// ------------------------------------------------- breaker transition log ----
+
+TEST(BreakerBoard, TransitionLogAndOpenMask) {
+  runtime::BreakerOptions bo;
+  bo.failure_threshold = 2;
+  bo.open_cooldown_ms = 100.0;
+  runtime::BreakerBoard board(3, bo);
+  board.record(1, true, 10.0);
+  board.record(1, true, 20.0);  // trip: closed -> open
+  EXPECT_EQ(board.open_mask(), 0b010u);
+  (void)board.admitted_mask(200.0);  // open -> half-open
+  board.record(1, false, 210.0);     // probe success: half-open -> closed
+  EXPECT_EQ(board.open_mask(), 0u);
+
+  const auto log = board.transitions();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].device, 1u);
+  EXPECT_EQ(log[0].from, runtime::BreakerBoard::State::kClosed);
+  EXPECT_EQ(log[0].to, runtime::BreakerBoard::State::kOpen);
+  EXPECT_DOUBLE_EQ(log[0].sim_ms, 20.0);
+  EXPECT_EQ(log[1].to, runtime::BreakerBoard::State::kHalfOpen);
+  EXPECT_EQ(log[2].to, runtime::BreakerBoard::State::kClosed);
+  EXPECT_STREQ(runtime::to_string(log[0].to), "open");
+}
+
+// --------------------------------------------- serving-layer invariant ----
+
+core::TrainedArtifacts tiny_artifacts(netsim::Scenario scenario) {
+  core::TrainSetup setup;
+  setup.scenario = scenario;
+  setup.trainer.total_steps = 10;
+  setup.trainer.eval_every = 10;
+  setup.trainer.eval_points = 2;
+  setup.policy.hidden = 16;
+  return core::train(setup);
+}
+
+runtime::SystemOptions attrib_system_opts() {
+  runtime::SystemOptions opts;
+  opts.slo = core::Slo::latency_ms(400.0);
+  opts.exec_width_mult = 0.1;
+  opts.classes = 10;
+  opts.use_predictor = false;
+  opts.telemetry = true;
+  return opts;
+}
+
+Tensor test_image(std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn({1, 3, 224, 224}, rng, 0.0f, 0.5f);
+}
+
+/// Drive `requests` arrivals through a serving layer and assert the
+/// phase-sum invariant held for every one: the runtime's own per-request
+/// check must count zero violations, and each non-shed flight record's
+/// float phases must re-sum to its observed latency.
+void run_burst_and_check(runtime::ServingLayer& serving, int requests,
+                         double spacing) {
+  const Tensor img = test_image(77);
+  std::vector<std::future<runtime::ServeResult>> futs;
+  futs.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i)
+    futs.push_back(serving.submit(img, 100.0 + i * spacing));
+  int resolved = 0;
+  for (auto& f : futs) {
+    const auto r = f.get();
+    ++resolved;
+    if (r.outcome == runtime::ServeOutcome::kShed) continue;
+    // The double-precision ledger holds the 1e-6 invariant directly.
+    const double observed = r.inference.ledger.sim_total();
+    const double expect = r.queue_wait_ms + r.inference.sim_latency_ms;
+    EXPECT_NEAR(observed, expect, 1e-6)
+        << "rung " << r.rung << " outcome " << runtime::to_string(r.outcome);
+  }
+  EXPECT_EQ(resolved, requests);
+
+  EXPECT_EQ(
+      obs::MetricsRegistry::instance().counter("attrib.invariant_violations")
+          .value(),
+      0u);
+
+  // Independent re-derivation from the flight ring (float precision).
+  for (const auto& rec : FlightRecorder::instance().snapshot()) {
+    if (rec.outcome == FlightOutcome::kShed) continue;
+    double sum = 0.0;
+    for (float v : rec.sim_phase_ms) sum += static_cast<double>(v);
+    const double tol = 1e-3 + 1e-5 * std::abs(rec.sim_latency_ms);
+    EXPECT_NEAR(sum, rec.sim_latency_ms, tol) << "seq " << rec.seq;
+  }
+}
+
+TEST(AttribServing, PhaseSumInvariantUnderSerialServing) {
+  obs::MetricsRegistry::instance().reset();
+  FlightRecorder::instance().reset();
+  auto system = runtime::MurmurationSystem(
+      tiny_artifacts(netsim::Scenario::kAugmentedComputing),
+      attrib_system_opts());
+  runtime::ServingOptions so;
+  so.workers = 2;
+  so.queue_capacity = 8;
+  so.seed = 31;
+  runtime::ServingLayer serving(system, so);
+  run_burst_and_check(serving, 24, 20.0);
+  obs::set_enabled(false);
+}
+
+TEST(AttribServing, PhaseSumInvariantUnderBatchedServing) {
+  obs::MetricsRegistry::instance().reset();
+  FlightRecorder::instance().reset();
+  auto system = runtime::MurmurationSystem(
+      tiny_artifacts(netsim::Scenario::kAugmentedComputing),
+      attrib_system_opts());
+  runtime::ServingOptions so;
+  so.workers = 4;
+  so.queue_capacity = 16;
+  so.seed = 32;
+  so.max_batch = 4;
+  so.drain_grace_ms = 2.0;
+  runtime::ServingLayer serving(system, so);
+  run_burst_and_check(serving, 32, 10.0);
+  obs::set_enabled(false);
+}
+
+TEST(AttribServing, PhaseSumInvariantUnderChaosServing) {
+  obs::MetricsRegistry::instance().reset();
+  FlightRecorder::instance().reset();
+  auto system = runtime::MurmurationSystem(
+      tiny_artifacts(netsim::Scenario::kDeviceSwarm), attrib_system_opts());
+  Rng chaos_rng(23);
+  FaultPlan::ChaosOptions copts;
+  copts.horizon_ms = 2'000.0;
+  copts.loss_probability = 0.05;
+  FaultInjector inj(
+      FaultPlan::chaos(system.network().num_devices(), copts, chaos_rng),
+      /*seed=*/23);
+  system.set_failover({.injector = &inj, .recv_slack_ms = 50.0});
+  runtime::ServingOptions so;
+  so.workers = 4;
+  so.queue_capacity = 8;
+  so.seed = 33;
+  runtime::ServingLayer serving(system, so);
+  run_burst_and_check(serving, 32, 15.0);
+  obs::set_enabled(false);
+}
+
+TEST(AttribServing, AggregatesAndGaugesPopulate) {
+  obs::MetricsRegistry::instance().reset();
+  FlightRecorder::instance().reset();
+  auto system = runtime::MurmurationSystem(
+      tiny_artifacts(netsim::Scenario::kAugmentedComputing),
+      attrib_system_opts());
+  runtime::ServingOptions so;
+  so.workers = 2;
+  so.queue_capacity = 8;
+  so.seed = 34;
+  runtime::ServingLayer serving(system, so);
+  const Tensor img = test_image(78);
+  std::vector<std::future<runtime::ServeResult>> futs;
+  for (int i = 0; i < 12; ++i)
+    futs.push_back(serving.submit(img, 100.0 + i * 30.0));
+  for (auto& f : futs) (void)f.get();
+
+  auto& reg = obs::MetricsRegistry::instance();
+  // Every attributed request charges its queue wait, so the queue_wait
+  // histogram carries one sample per served request.
+  EXPECT_GT(reg.histogram("attrib.phase.queue_wait").count(), 0u);
+  EXPECT_GT(reg.histogram("attrib.phase.compute").count(), 0u);
+  EXPECT_GT(serving.slo_compliance(), 0.0);
+  EXPECT_GE(FlightRecorder::instance().total(), 12u);
+  // Flight records carry the strategy fingerprint for coalescing forensics.
+  bool any_strategy = false;
+  for (const auto& rec : FlightRecorder::instance().snapshot())
+    any_strategy |= rec.strategy_key != 0;
+  EXPECT_TRUE(any_strategy);
+  obs::set_enabled(false);
+}
+
+}  // namespace
+}  // namespace murmur

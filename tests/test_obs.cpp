@@ -339,17 +339,27 @@ TEST_F(ObsTest, ChromeTraceJsonParsesBack) {
     ScopedSpan inner("inner", "test",
                      &MetricsRegistry::instance().histogram("test.inner_ms"));
   }
-  ThreadPool pool(4);
+  ThreadPool pool(4, "testpool");
   pool.parallel_for(8, [&](std::size_t) { ScopedSpan s("pooled", "test"); });
 
   const std::string json = Tracer::instance().to_chrome_json();
   const JsonValue root = JsonParser(json).parse();
   const auto& events = root.at("traceEvents").arr();
-  EXPECT_EQ(events.size(), 10u);
   std::set<std::string> names;
+  std::set<std::string> thread_names;
   std::set<double> tids;
+  std::size_t spans = 0, process_meta = 0;
   double prev_ts = -1.0;
   for (const auto& e : events) {
+    if (e.at("ph").str() == "M") {
+      // Metadata (process_name / thread_name) precedes every span.
+      EXPECT_EQ(spans, 0u);
+      if (e.at("name").str() == "process_name") ++process_meta;
+      if (e.at("name").str() == "thread_name")
+        thread_names.insert(e.at("args").at("name").str());
+      continue;
+    }
+    ++spans;
     EXPECT_EQ(e.at("ph").str(), "X");
     EXPECT_GE(e.at("ts").num(), prev_ts);  // exporter sorts by start time
     prev_ts = e.at("ts").num();
@@ -357,6 +367,10 @@ TEST_F(ObsTest, ChromeTraceJsonParsesBack) {
     names.insert(e.at("name").str());
     tids.insert(e.at("tid").num());
   }
+  EXPECT_EQ(spans, 10u);
+  EXPECT_EQ(process_meta, 1u);  // one process_name metadata event
+  // The named pool registered its workers; the exporter labels their tids.
+  EXPECT_TRUE(thread_names.count("testpool/w0"));
   EXPECT_EQ(names, (std::set<std::string>{"outer", "inner", "pooled"}));
   EXPECT_GE(tids.size(), 2u);  // pooled spans ran on other threads
   // The inner span fed its histogram.

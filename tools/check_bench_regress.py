@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Diff BENCH_*.json against the committed baseline and fail on regressions.
+
+Usage:
+    tools/check_bench_regress.py [--threshold 0.10] [--baseline-ref HEAD]
+                                 [BENCH_serving.json ...]
+
+With no file arguments, checks every BENCH_*.json tracked at the repo root.
+The baseline for each file is the committed copy (`git show <ref>:<file>`);
+the current side is the working-tree file — regenerate it with the bench
+binary before running this gate.
+
+Regression policy (both sides compared leaf-by-leaf on matching JSON paths):
+  * higher-is-better keys (sustained_req_per_s, wall_req_per_sec, speedup)
+    fail when the current value drops more than `threshold` below baseline;
+  * lower-is-better tail keys (p99_ms, p99, max_ms) fail when the current
+    value rises more than `threshold` above baseline.
+Keys present on only one side are reported but never fail the gate, so
+adding new report sections (e.g. attribution snapshots) does not trip it.
+Tiny absolute values (< 1e-6) are skipped: their ratios are noise.
+
+Exit status: 0 clean, 1 regression(s), 2 usage / I/O error.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+HIGHER_BETTER = ("sustained_req_per_s", "wall_req_per_sec", "speedup")
+LOWER_BETTER = ("p99_ms", "p99", "max_ms")
+
+
+def flatten(node, prefix=""):
+    """Yield (dotted-path, number) for every numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from flatten(value, f"{prefix}{key}." if prefix or key else key)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from flatten(value, f"{prefix}{i}.")
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        yield prefix.rstrip("."), float(node)
+
+
+def leaf_key(path):
+    return path.rsplit(".", 1)[-1]
+
+
+def classify(path):
+    key = leaf_key(path)
+    if key in HIGHER_BETTER:
+        return "higher"
+    if key in LOWER_BETTER:
+        return "lower"
+    return None
+
+
+def load_baseline(path, ref):
+    """Committed copy of `path` at `ref`, or None when it is not tracked."""
+    rel = os.path.relpath(path, start=repo_root())
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{rel}"],
+        cwd=repo_root(),
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def repo_root():
+    if not hasattr(repo_root, "cached"):
+        proc = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+        )
+        repo_root.cached = (
+            proc.stdout.strip() if proc.returncode == 0 else os.getcwd()
+        )
+    return repo_root.cached
+
+
+def check_file(path, ref, threshold):
+    """Returns (regressions, notes); regressions is a list of strings."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: cannot read current side: {e}"], []
+
+    baseline = load_baseline(path, ref)
+    if baseline is None:
+        return [], [f"{path}: no committed baseline at {ref} — skipped"]
+
+    base_leaves = dict(flatten(baseline))
+    cur_leaves = dict(flatten(current))
+    regressions, notes = [], []
+    for dotted, base in sorted(base_leaves.items()):
+        direction = classify(dotted)
+        if direction is None:
+            continue
+        if dotted not in cur_leaves:
+            notes.append(f"{path}: {dotted} missing from current side")
+            continue
+        cur = cur_leaves[dotted]
+        if abs(base) < 1e-6:
+            continue
+        delta = (cur - base) / abs(base)
+        if direction == "higher" and delta < -threshold:
+            regressions.append(
+                f"{path}: {dotted} fell {-delta:.1%} "
+                f"({base:.3f} -> {cur:.3f}, limit {threshold:.0%})"
+            )
+        elif direction == "lower" and delta > threshold:
+            regressions.append(
+                f"{path}: {dotted} rose {delta:.1%} "
+                f"({base:.3f} -> {cur:.3f}, limit {threshold:.0%})"
+            )
+    for dotted in sorted(set(cur_leaves) - set(base_leaves)):
+        if classify(dotted) is not None:
+            notes.append(f"{path}: {dotted} is new (no baseline) — not gated")
+    return regressions, notes
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail on >threshold bench regressions vs the committed "
+        "baseline."
+    )
+    parser.add_argument("files", nargs="*", help="BENCH_*.json files to check")
+    parser.add_argument("--threshold", type=float, default=0.10)
+    parser.add_argument("--baseline-ref", default="HEAD")
+    args = parser.parse_args()
+
+    files = args.files
+    if not files:
+        root = repo_root()
+        files = sorted(
+            os.path.join(root, name)
+            for name in os.listdir(root)
+            if name.startswith("BENCH_") and name.endswith(".json")
+        )
+    if not files:
+        print("check_bench_regress: no BENCH_*.json files found", file=sys.stderr)
+        return 2
+
+    all_regressions, all_notes = [], []
+    for path in files:
+        regressions, notes = check_file(path, args.baseline_ref, args.threshold)
+        all_regressions.extend(regressions)
+        all_notes.extend(notes)
+
+    for note in all_notes:
+        print(f"note: {note}")
+    if all_regressions:
+        print(f"FAIL: {len(all_regressions)} bench regression(s):")
+        for r in all_regressions:
+            print(f"  {r}")
+        return 1
+    print(
+        f"OK: {len(files)} bench file(s) within {args.threshold:.0%} of "
+        f"{args.baseline_ref}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,23 +16,37 @@
 //   murmurctl overload [--requests N] [--spacing MS] [--workers N]
 //                    [--queue N] [--rungs N] [--chaos 0|1] [--scenario ...]
 //                    [--slo V] [--seed N] [--batch N] [--window MS]
-//                    [--drain-grace MS]
+//                    [--drain-grace MS] [--attrib-out flight.jsonl]
+//                    [--attrib-trace-out flight_trace.json]
 //                     (replay a seeded burst through the concurrent serving
 //                      layer; report the completed/degraded/shed/failed
-//                      partition, shed reasons, and breaker transitions.
+//                      partition, shed reasons, breaker transitions, and the
+//                      per-phase latency-attribution table, DESIGN.md §5.11.
 //                      --batch N > 1 turns on strategy-coalesced batching,
 //                      DESIGN.md §5.10, and reports group/flush/occupancy
-//                      stats)
+//                      stats. --attrib-out dumps the flight-recorder ring as
+//                      JSONL; --attrib-trace-out exports it as a Chrome
+//                      trace with cross-device causal flow arrows)
+//   murmurctl top   [--frames N] [--refresh-ms MS] [--plain 0|1]
+//                    [+ all overload flags]
+//                     (live terminal view of the same burst: SLO compliance
+//                      / shed / burn-rate gauges, ladder rung, breaker
+//                      board, phase p50/p95/p99 table, batch occupancy —
+//                      redrawn every frame; --plain 1 appends frames
+//                      instead of redrawing, for logs and CI)
 //   murmurctl info                                   (search space / models)
 //
 // Trained policies are cached in .murmur_cache and shared with the
 // benchmarks.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <future>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/log.h"
@@ -42,6 +56,8 @@
 #include "netsim/faults.h"
 #include "netsim/scenario.h"
 #include "netsim/trace.h"
+#include "obs/attrib.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/serving.h"
@@ -216,16 +232,17 @@ int cmd_metrics(const Args& args) {
   for (int i = 0; i < requests; ++i) met += system.infer(image).slo_met ? 1 : 0;
 
   auto& reg = obs::MetricsRegistry::instance();
-  Table t({"stage", "count", "p50_ms", "p90_ms", "p99_ms", "max_ms"});
+  Table t({"stage", "count", "p50_ms", "p95_ms", "p99_ms", "max_ms"});
   for (const auto& name : reg.histogram_names()) {
     const auto& h = reg.histogram(name);
     if (h.count() == 0) continue;
+    const auto q = h.quantiles();
     t.new_row()
         .add(name)
         .add(static_cast<double>(h.count()))
-        .add(h.percentile(50))
-        .add(h.percentile(90))
-        .add(h.percentile(99))
+        .add(q.p50_ms)
+        .add(q.p95_ms)
+        .add(q.p99_ms)
         .add(h.max_ms());
   }
   std::printf("%d requests, SLO %s: %d met (%.0f%%)\n", requests,
@@ -259,7 +276,20 @@ int cmd_metrics(const Args& args) {
   return 0;
 }
 
-int cmd_overload(const Args& args) {
+// Shared burst harness for `overload` and `top`: a trained system under
+// (optional) chaos faults fronted by the concurrent serving layer, built
+// from the common flag set. Member order matters for destruction: the
+// serving layer drains before the injector and system go away.
+struct BurstRig {
+  std::unique_ptr<runtime::MurmurationSystem> system;
+  std::unique_ptr<netsim::FaultInjector> injector;
+  std::unique_ptr<runtime::ServingLayer> serving;
+  runtime::ServingOptions serve_opts;
+  std::uint64_t seed = 0;
+  bool chaos = false;
+};
+
+BurstRig make_burst_rig(const Args& args) {
   auto setup = setup_from(args);
   // The burst is a swarm workload by default: 1 local + 4 remote devices.
   if (args.flags.find("scenario") == args.flags.end())
@@ -272,50 +302,118 @@ int cmd_overload(const Args& args) {
   sys_opts.classes = 100;
   sys_opts.telemetry = true;
   sys_opts.use_predictor = false;  // burst serving: no precompute detour
+  // Fresh collection window: training-time registration and any prior
+  // burst's flight records must not pollute this run's attribution.
   obs::MetricsRegistry::instance().reset();
   obs::Tracer::instance().clear();
-  runtime::MurmurationSystem system(std::move(artifacts), sys_opts);
-  netsim::shape_remotes(system.network(),
+  obs::FlightRecorder::instance().reset();
+
+  BurstRig rig;
+  rig.system = std::make_unique<runtime::MurmurationSystem>(
+      std::move(artifacts), sys_opts);
+  netsim::shape_remotes(rig.system->network(),
                         Bandwidth::from_mbps(args.num("bw", 150)),
                         Delay::from_ms(args.num("delay", 20)));
 
-  const std::uint64_t seed = static_cast<std::uint64_t>(args.num("seed", 7));
-  const bool chaos = args.num("chaos", 1) != 0;
+  rig.seed = static_cast<std::uint64_t>(args.num("seed", 7));
+  rig.chaos = args.num("chaos", 1) != 0;
   netsim::FaultPlan plan;
-  if (chaos) {
-    Rng chaos_rng(seed);
+  if (rig.chaos) {
+    Rng chaos_rng(rig.seed);
     netsim::FaultPlan::ChaosOptions copts;
     // Default the fault horizon to the burst's sim-time span so the chaos
     // schedule actually overlaps the workload.
     copts.horizon_ms = args.num(
         "horizon", std::max(1'000.0, args.num("requests", 64) *
                                          args.num("spacing", 5.0) * 2.0));
-    plan = netsim::FaultPlan::chaos(system.network().num_devices(), copts,
-                                    chaos_rng);
+    plan = netsim::FaultPlan::chaos(rig.system->network().num_devices(),
+                                    copts, chaos_rng);
   }
-  netsim::FaultInjector injector(std::move(plan), seed);
-  if (chaos)
-    system.set_failover({.injector = &injector, .recv_slack_ms = 50.0});
+  rig.injector =
+      std::make_unique<netsim::FaultInjector>(std::move(plan), rig.seed);
+  if (rig.chaos)
+    rig.system->set_failover(
+        {.injector = rig.injector.get(), .recv_slack_ms = 50.0});
 
-  runtime::ServingOptions serve_opts;
-  serve_opts.workers = static_cast<int>(args.num("workers", 4));
-  serve_opts.queue_capacity =
+  rig.serve_opts.workers = static_cast<int>(args.num("workers", 4));
+  rig.serve_opts.queue_capacity =
       static_cast<std::size_t>(args.num("queue", 16));
-  serve_opts.ladder.rungs = static_cast<int>(args.num("rungs", 3));
-  serve_opts.seed = seed;
+  rig.serve_opts.ladder.rungs = static_cast<int>(args.num("rungs", 3));
+  rig.serve_opts.seed = rig.seed;
   // Batching is opt-in: --batch 1 (the default) reproduces serial serving
   // bit for bit (one-member groups, occupancy == latency).
-  serve_opts.max_batch =
+  rig.serve_opts.max_batch =
       static_cast<std::size_t>(std::max(1.0, args.num("batch", 1)));
-  serve_opts.batch_window_ms =
-      args.num("window", serve_opts.batch_window_ms);
-  serve_opts.drain_grace_ms =
-      args.num("drain-grace", serve_opts.max_batch > 1 ? 5.0 : 0.0);
-  runtime::ServingLayer serving(system, serve_opts);
+  rig.serve_opts.batch_window_ms =
+      args.num("window", rig.serve_opts.batch_window_ms);
+  rig.serve_opts.drain_grace_ms =
+      args.num("drain-grace", rig.serve_opts.max_batch > 1 ? 5.0 : 0.0);
+  rig.serving =
+      std::make_unique<runtime::ServingLayer>(*rig.system, rig.serve_opts);
+  return rig;
+}
+
+/// Per-phase sim-latency attribution table (p50/p95/p99 from the
+/// attrib.phase.* histograms). Returns false when no phase has samples
+/// (telemetry off or no requests finished).
+bool print_phase_attribution() {
+  auto& reg = obs::MetricsRegistry::instance();
+  Table t({"phase", "count", "p50_ms", "p95_ms", "p99_ms"});
+  std::size_t rows = 0;
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+    const char* name = obs::phase_name(static_cast<obs::Phase>(p));
+    const auto& h = reg.histogram(std::string("attrib.phase.") + name);
+    if (h.count() == 0) continue;
+    const auto q = h.quantiles();
+    t.new_row()
+        .add(name)
+        .add(static_cast<double>(h.count()))
+        .add(q.p50_ms)
+        .add(q.p95_ms)
+        .add(q.p99_ms);
+    ++rows;
+  }
+  if (rows == 0) return false;
+  t.print(std::cout);
+  return true;
+}
+
+/// `--attrib-out` / `--attrib-trace-out` handling shared by overload and
+/// top. Returns false (after printing to stderr) on I/O failure.
+bool export_flight_records(const Args& args) {
+  auto& flight = obs::FlightRecorder::instance();
+  const std::string attrib_out = args.get("attrib-out", "");
+  if (!attrib_out.empty()) {
+    if (!flight.write_jsonl(attrib_out)) {
+      std::fprintf(stderr, "failed to write %s\n", attrib_out.c_str());
+      return false;
+    }
+    std::printf("flight records (%llu requests): %s\n",
+                static_cast<unsigned long long>(flight.total()),
+                attrib_out.c_str());
+  }
+  const std::string trace_out = args.get("attrib-trace-out", "");
+  if (!trace_out.empty()) {
+    if (!flight.write_chrome(trace_out)) {
+      std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+      return false;
+    }
+    std::printf("attribution trace: %s — open at chrome://tracing "
+                "(pid 1 = serving, pid 100+d = device d)\n",
+                trace_out.c_str());
+  }
+  return true;
+}
+
+int cmd_overload(const Args& args) {
+  BurstRig rig = make_burst_rig(args);
+  runtime::MurmurationSystem& system = *rig.system;
+  runtime::ServingLayer& serving = *rig.serving;
+  const runtime::ServingOptions& serve_opts = rig.serve_opts;
 
   const int requests = std::max(1, static_cast<int>(args.num("requests", 64)));
   const double spacing = args.num("spacing", 5.0);
-  Rng rng(seed ^ 0x0eedu);
+  Rng rng(rig.seed ^ 0x0eedu);
   Tensor image = Tensor::randn({1, 3, 224, 224}, rng, 0.0f, 0.5f);
 
   std::vector<std::future<runtime::ServeResult>> futures;
@@ -383,6 +481,102 @@ int cmd_overload(const Args& args) {
               breakers.open_count());
   for (std::size_t d = 1; d < system.network().num_devices(); ++d)
     std::printf("  device %zu: %s\n", d, breakers.state_name(d));
+  const auto transitions = breakers.transitions();
+  if (!transitions.empty()) {
+    std::printf("  transition log (%zu events):\n", transitions.size());
+    for (const auto& tr : transitions)
+      std::printf("    t=%7.1f ms  device %zu  %s -> %s\n", tr.sim_ms,
+                  tr.device, runtime::to_string(tr.from),
+                  runtime::to_string(tr.to));
+  }
+  std::printf("rolling SLO window (%d most recent): compliance %.1f%%, "
+              "shed rate %.1f%%, burn rate %.2fx (target 95%%)\n",
+              512, 100.0 * serving.slo_compliance(),
+              100.0 * serving.slo_shed_rate(), serving.slo_burn_rate());
+  std::printf("per-phase latency attribution (sim ms):\n");
+  if (!print_phase_attribution())
+    std::printf("  (no attributed requests)\n");
+  if (!export_flight_records(args)) return 1;
+  return 0;
+}
+
+int cmd_top(const Args& args) {
+  BurstRig rig = make_burst_rig(args);
+  runtime::ServingLayer& serving = *rig.serving;
+
+  const int requests =
+      std::max(1, static_cast<int>(args.num("requests", 128)));
+  const double spacing = args.num("spacing", 5.0);
+  const int frames =
+      std::max(1, std::min(requests, static_cast<int>(args.num("frames", 8))));
+  const double refresh_ms = args.num("refresh-ms", 0.0);
+  const bool plain = args.num("plain", 0) != 0;
+
+  Rng rng(rig.seed ^ 0x0eedu);
+  Tensor image = Tensor::randn({1, 3, 224, 224}, rng, 0.0f, 0.5f);
+
+  int by_outcome[4] = {0, 0, 0, 0};
+  int submitted = 0;
+  // Each frame submits its slice of the burst, waits for the slice to
+  // resolve (frames are progress checkpoints on the sim clock, not wall
+  // samples), then redraws the dashboard from the live gauges.
+  for (int frame = 1; frame <= frames; ++frame) {
+    const int target = requests * frame / frames;
+    std::vector<std::future<runtime::ServeResult>> slice;
+    slice.reserve(static_cast<std::size_t>(target - submitted));
+    for (; submitted < target; ++submitted)
+      slice.push_back(serving.submit(image, submitted * spacing));
+    for (auto& f : slice)
+      ++by_outcome[static_cast<int>(f.get().outcome)];
+
+    if (!plain) std::printf("\x1b[H\x1b[2J");  // home + clear
+    std::printf("murmurctl top — frame %d/%d — %d/%d submitted — SLO %s\n",
+                frame, frames, submitted, requests,
+                rig.system->slo().to_string().c_str());
+    std::printf("slo window: compliance %5.1f%%  shed %5.1f%%  "
+                "burn %5.2fx  |  ladder rung %d\n",
+                100.0 * serving.slo_compliance(),
+                100.0 * serving.slo_shed_rate(), serving.slo_burn_rate(),
+                serving.last_rung());
+    std::printf("outcomes: %d completed, %d degraded, %d shed "
+                "(%llu queue_full, %llu infeasible), %d failed\n",
+                by_outcome[0], by_outcome[1], by_outcome[2],
+                static_cast<unsigned long long>(serving.shed_queue_full()),
+                static_cast<unsigned long long>(serving.shed_infeasible()),
+                by_outcome[3]);
+    std::printf("estimates: latency %.1f ms sim, occupancy %.1f ms sim",
+                serving.latency_estimate_ms(),
+                serving.occupancy_estimate_ms());
+    if (rig.serve_opts.max_batch > 1)
+      std::printf("  |  batching: %llu batches, avg group %.2f",
+                  static_cast<unsigned long long>(serving.batches()),
+                  serving.batches() > 0
+                      ? static_cast<double>(serving.batched_requests()) /
+                            static_cast<double>(serving.batches())
+                      : 0.0);
+    std::printf("\n");
+    const auto& breakers = rig.system->breakers();
+    std::printf("breakers:");
+    for (std::size_t d = 1; d < rig.system->network().num_devices(); ++d)
+      std::printf("  [%zu %s]", d, breakers.state_name(d));
+    const auto transitions = breakers.transitions();
+    std::printf("  (%llu trips, %zu transitions)\n",
+                static_cast<unsigned long long>(breakers.trips()),
+                transitions.size());
+    for (std::size_t i = transitions.size() > 3 ? transitions.size() - 3 : 0;
+         i < transitions.size(); ++i)
+      std::printf("  t=%7.1f ms  device %zu  %s -> %s\n",
+                  transitions[i].sim_ms, transitions[i].device,
+                  runtime::to_string(transitions[i].from),
+                  runtime::to_string(transitions[i].to));
+    std::printf("phase attribution (sim ms):\n");
+    if (!print_phase_attribution()) std::printf("  (no samples yet)\n");
+    std::fflush(stdout);
+    if (refresh_ms > 0 && frame < frames)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(refresh_ms));
+  }
+  if (!export_flight_records(args)) return 1;
   return 0;
 }
 
@@ -421,9 +615,10 @@ int main(int argc, char** argv) {
   if (args.command == "trace") return cmd_trace(args);
   if (args.command == "metrics") return cmd_metrics(args);
   if (args.command == "overload") return cmd_overload(args);
+  if (args.command == "top") return cmd_top(args);
   if (args.command == "info") return cmd_info();
   std::fprintf(stderr,
                "usage: murmurctl <train|decide|sweep|trace|metrics|overload|"
-               "info> [--flag value ...]\n");
+               "top|info> [--flag value ...]\n");
   return args.command.empty() ? 1 : 2;
 }

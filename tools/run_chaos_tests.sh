@@ -5,9 +5,10 @@
 #      the `faults`, `serving`, or `batching` ctest label
 #      (tests/test_faults.cpp, tests/test_serving.cpp,
 #      tests/test_batching.cpp).
-#   2. ThreadSanitizer over the concurrency-heavy `serving` and `batching`
-#      labels. TSan cannot be combined with ASan, so it gets its own build
-#      dir.
+#   2. ThreadSanitizer over the concurrency-heavy `obs`, `serving` and
+#      `batching` labels (the obs suite hammers the flight-recorder ring
+#      from 8 writer threads). TSan cannot be combined with ASan, so it
+#      gets its own build dir.
 #
 # Usage:  tools/run_chaos_tests.sh [asan-build-dir] [tsan-build-dir]
 #
@@ -21,7 +22,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${1:-build-chaos}
 TSAN_BUILD_DIR=${2:-build-tsan}
 LABEL=${MURMUR_CHAOS_LABEL:-faults|serving|batching}
-TSAN_LABEL=${MURMUR_TSAN_LABEL:-serving|batching}
+TSAN_LABEL=${MURMUR_TSAN_LABEL:-obs|serving|batching}
 
 cmake -B "$BUILD_DIR" -S . -DMURMUR_SANITIZE=address,undefined \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo

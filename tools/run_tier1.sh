@@ -10,8 +10,13 @@
 #      a green run means something broke silently.
 #   3. Sanitizer sweep: delegates to tools/run_chaos_tests.sh with the
 #      full chaos-relevant label set — ASan+UBSan over
-#      obs|kernels|faults|serving|batching, TSan over serving|batching —
+#      obs|kernels|faults|serving|batching, TSan over obs|serving|batching
+#      (the obs label carries the flight-recorder concurrency hammer) —
 #      and applies the same log scrub to its output.
+#   4. Bench-regression gate: tools/check_bench_regress.py diffs the
+#      working-tree BENCH_*.json files against the committed baselines and
+#      fails on a >10% sustained-throughput drop or p99 rise. Skipped
+#      per-file when there is no committed baseline.
 #
 # Usage:  tools/run_tier1.sh [build-dir]
 #
@@ -48,9 +53,13 @@ scrub_log "tier-1 ctest"
 
 echo "== sanitizer sweep (ASan+UBSan + TSan) =="
 MURMUR_CHAOS_LABEL='obs|kernels|faults|serving|batching' \
-MURMUR_TSAN_LABEL='serving|batching' \
+MURMUR_TSAN_LABEL='obs|serving|batching' \
   tools/run_chaos_tests.sh 2>&1 | tee "$LOG"
 scrub_log "sanitizer sweep"
 
+echo "== bench-regression gate =="
+tools/check_bench_regress.py
+
 echo "tier-1 gate clean: full suite green, no error-level log output," \
-     "sanitized labels obs|kernels|faults|serving|batching pass"
+     "sanitized labels obs|kernels|faults|serving|batching pass," \
+     "benches within 10% of the committed baseline"
