@@ -68,6 +68,21 @@ void BM_Conv2dPointwise(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dPointwise)->Arg(16)->Arg(40)->Arg(80);
 
+// Same shapes as BM_Conv2dPointwise, through the int8 VNNI GEMM path.
+// real_time(Int8)/real_time(fp32) per shape is the measured per-MAC ratio
+// recorded in BENCH_kernels.json's `quantized` block and calibrated into
+// CostModel::mac_cost_factor.
+void BM_Conv2dPointwiseInt8(benchmark::State& state) {
+  Rng rng(1);
+  const int ch = static_cast<int>(state.range(0));
+  nn::Conv2D conv(ch, ch * 4, 1, 1, 1, rng);
+  conv.set_compute_precision(QuantBits::k8);
+  Tensor x = Tensor::randn({1, ch, 14, 14}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Conv2dPointwiseInt8)->Arg(16)->Arg(40)->Arg(80);
+
 void BM_Conv2dDepthwise(benchmark::State& state) {
   Rng rng(2);
   const int k = static_cast<int>(state.range(0));
@@ -77,6 +92,18 @@ void BM_Conv2dDepthwise(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
 }
 BENCHMARK(BM_Conv2dDepthwise)->Arg(3)->Arg(5)->Arg(7);
+
+// Int8 depthwise (VBMI sliding-window kernel) over the same shapes.
+void BM_Conv2dDepthwiseInt8(benchmark::State& state) {
+  Rng rng(2);
+  const int k = static_cast<int>(state.range(0));
+  nn::Conv2D conv(64, 64, 7, 1, 64, rng);
+  conv.set_active_kernel(k);
+  conv.set_compute_precision(QuantBits::k8);
+  Tensor x = Tensor::randn({1, 64, 14, 14}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x));
+}
+BENCHMARK(BM_Conv2dDepthwiseInt8)->Arg(3)->Arg(5)->Arg(7);
 
 void BM_QuantizeInt8(benchmark::State& state) {
   Rng rng(3);

@@ -26,6 +26,7 @@ Conv2D::Conv2D(int in_channels, int out_channels, int max_kernel, int stride,
                             cpg * max_kernel * max_kernel, rng);
   if (bias) bias_.assign(static_cast<std::size_t>(out_channels), 0.0f);
   crop_cache_.resize(static_cast<std::size_t>((max_kernel + 1) / 2));
+  qdw_cache_.resize(crop_cache_.size());
 }
 
 void Conv2D::set_active_kernel(int k) {
@@ -34,6 +35,19 @@ void Conv2D::set_active_kernel(int k) {
   // Build/refresh the crop eagerly: switching is the cheap, serial phase
   // (SupernetHost::switch_submodel); forwards may run concurrently later.
   if (k != max_kernel_) (void)cropped_weight();
+  if (compute_bits_ == QuantBits::k8 && depthwise())
+    (void)quant_dw_weights(cropped_weight());
+}
+
+void Conv2D::set_compute_precision(QuantBits bits) {
+  compute_bits_ = bits;
+  if (bits != QuantBits::k8) return;
+  // Warm the quantized caches off the forward path, mirroring the eager
+  // crop build above — switching is serial, forwards may be concurrent.
+  if (depthwise())
+    (void)quant_dw_weights(cropped_weight());
+  else if (active_kernel_ == 1 && stride_ == 1 && groups_ == 1)
+    (void)packed_pointwise_int8(cropped_weight());
 }
 
 const Tensor& Conv2D::cropped_weight() {
@@ -68,6 +82,32 @@ const PackedGemmA& Conv2D::packed_pointwise(const Tensor& w) {
     packed_pw_version_ = weights_version_;
   }
   return packed_pw_;
+}
+
+const PackedGemmInt8& Conv2D::packed_pointwise_int8(const Tensor& w) {
+  std::lock_guard lock(crop_mutex_);
+  if (packed_pw_i8_version_ != weights_version_ ||
+      !packed_pw_i8_.matches(out_channels_, in_channels_)) {
+    packed_pw_i8_.pack(out_channels_, in_channels_, w.raw());
+    packed_pw_i8_version_ = weights_version_;
+    ++int8_builds_;
+  }
+  return packed_pw_i8_;
+}
+
+const kernels::QuantDwWeights& Conv2D::quant_dw_weights(const Tensor& w) {
+  QuantDwSlot& slot =
+      qdw_cache_[static_cast<std::size_t>((active_kernel_ - 1) / 2)];
+  std::lock_guard lock(crop_mutex_);
+  if (slot.ready && slot.version == weights_version_ &&
+      slot.qw.matches(out_channels_, active_kernel_))
+    return slot.qw;
+  kernels::quantize_dw_weights(w.raw(), out_channels_, active_kernel_,
+                               slot.qw);
+  slot.version = weights_version_;
+  slot.ready = true;
+  ++int8_builds_;
+  return slot.qw;
 }
 
 std::vector<int> Conv2D::out_shape(const std::vector<int>& in) const {
@@ -125,11 +165,24 @@ void Conv2D::forward_grouped(const Tensor& input, const Tensor& w,
   assert(out.dim(2) == oh && out.dim(3) == ow);
 
   if (depthwise()) {
-    MURMUR_SPAN("kernel.dwconv", "kernel",
-                obs::maybe_histogram("kernel.dwconv_ms"));
     const std::size_t in_img = static_cast<std::size_t>(in_channels_) * h * wd;
     const std::size_t out_img =
         static_cast<std::size_t>(out_channels_) * oh * ow;
+    if (compute_bits_ == QuantBits::k8) {
+      MURMUR_SPAN("kernel.int8.dwconv", "kernel",
+                  obs::maybe_histogram("kernel.int8.dwconv_ms"));
+      const kernels::QuantDwWeights& qw = quant_dw_weights(w);
+      // Per sample, so activation scales — and therefore bits — are
+      // independent of how requests were batched together.
+      for (int b = 0; b < n; ++b)
+        kernels::depthwise_conv2d_int8(
+            input.raw() + b * in_img, in_channels_, h, wd, qw,
+            bias_.empty() ? nullptr : bias_.data(), stride_, pad,
+            out.raw() + b * out_img);
+      return;
+    }
+    MURMUR_SPAN("kernel.dwconv", "kernel",
+                obs::maybe_histogram("kernel.dwconv_ms"));
     for (int b = 0; b < n; ++b)
       kernels::depthwise_conv2d(input.raw() + b * in_img, in_channels_, h, wd,
                                 w.raw(), bias_.empty() ? nullptr : bias_.data(),
@@ -146,17 +199,73 @@ void Conv2D::forward_grouped(const Tensor& input, const Tensor& w,
   const std::size_t col_cols = static_cast<std::size_t>(oh) * ow;
   const bool direct = (k == 1 && stride_ == 1);
 
+  // Int8 pointwise: the input already is the column matrix, so each sample
+  // is one dequant-fused int8 GEMM against the cached s8 weight pack. Runs
+  // per sample — activation quantization parameters must depend only on
+  // the sample itself so batched and serial execution agree bitwise.
+  if (direct && groups_ == 1 && compute_bits_ == QuantBits::k8) {
+    MURMUR_SPAN("kernel.int8.gemm", "kernel",
+                obs::maybe_histogram("kernel.int8.gemm_ms"));
+    const PackedGemmInt8& pw = packed_pointwise_int8(w);
+    for (int b = 0; b < n; ++b)
+      gemm_int8(pw, static_cast<int>(col_cols),
+                input.raw() + static_cast<std::size_t>(b) * in_channels_ * h * wd,
+                bias_.empty() ? nullptr : bias_.data(),
+                out.raw() + static_cast<std::size_t>(b) * out_channels_ * oh * ow);
+    return;
+  }
+
   // Batched pointwise fast path: one weight matrix serves every sample, so
-  // pack it once and run the packed GEMM per sample. gemm_packed is
-  // bit-identical to gemm, which keeps batched execution bitwise equal to
+  // pack it once per weight epoch. gemm's per-element accumulation order
+  // depends only on the k blocking — never on N or column position — so
+  // folding the batch into the GEMM N dimension is bitwise identical to
   // running the samples one at a time.
   if (direct && groups_ == 1 && n > 1) {
     const PackedGemmA& pw = packed_pointwise(w);
+    const std::size_t in_img = static_cast<std::size_t>(in_channels_) * h * wd;
+    const std::size_t out_img =
+        static_cast<std::size_t>(out_channels_) * col_cols;
+    // Below gemm's column-block width the packed A panels are re-streamed
+    // per call, so fusing the batch into one wide product amortizes them
+    // (and the micro-panel padding) across every member; above it each
+    // sample already fills whole column blocks and fusing would only add
+    // the gather/scatter copies.
+    constexpr std::size_t kFuseMaxCols = 1024;  // gemm.cpp kNC
+    if (col_cols < kFuseMaxCols) {
+      Workspace& ws = Workspace::tls();
+      Workspace::Frame frame(ws);
+      const std::size_t fused_cols = static_cast<std::size_t>(n) * col_cols;
+      float* bf = ws.alloc(static_cast<std::size_t>(in_channels_) * fused_cols);
+      for (int c = 0; c < in_channels_; ++c)
+        for (int b = 0; b < n; ++b)
+          std::memcpy(bf + static_cast<std::size_t>(c) * fused_cols +
+                          static_cast<std::size_t>(b) * col_cols,
+                      input.raw() + static_cast<std::size_t>(b) * in_img +
+                          static_cast<std::size_t>(c) * col_cols,
+                      col_cols * sizeof(float));
+      float* cf = ws.alloc(static_cast<std::size_t>(out_channels_) * fused_cols);
+      if (bias_.empty()) {
+        std::memset(cf, 0, sizeof(float) * out_channels_ * fused_cols);
+      } else {
+        for (int o = 0; o < out_channels_; ++o) {
+          const float bval = bias_[static_cast<std::size_t>(o)];
+          float* row = cf + static_cast<std::size_t>(o) * fused_cols;
+          for (std::size_t i = 0; i < fused_cols; ++i) row[i] = bval;
+        }
+      }
+      gemm_packed(pw, static_cast<int>(fused_cols), bf, cf);
+      for (int b = 0; b < n; ++b)
+        for (int o = 0; o < out_channels_; ++o)
+          std::memcpy(out.raw() + static_cast<std::size_t>(b) * out_img +
+                          static_cast<std::size_t>(o) * col_cols,
+                      cf + static_cast<std::size_t>(o) * fused_cols +
+                          static_cast<std::size_t>(b) * col_cols,
+                      col_cols * sizeof(float));
+      return;
+    }
     for (int b = 0; b < n; ++b) {
-      const float* in_ptr =
-          input.raw() + static_cast<std::size_t>(b) * in_channels_ * h * wd;
-      float* out_ptr =
-          out.raw() + static_cast<std::size_t>(b) * out_channels_ * oh * ow;
+      const float* in_ptr = input.raw() + static_cast<std::size_t>(b) * in_img;
+      float* out_ptr = out.raw() + static_cast<std::size_t>(b) * out_img;
       if (bias_.empty()) {
         std::memset(out_ptr, 0, sizeof(float) * out_channels_ * col_cols);
       } else {

@@ -21,7 +21,10 @@
 
 #include "common/rng.h"
 #include "nn/layer.h"
+#include "tensor/conv_kernels.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
+#include "tensor/quantize.h"
 
 namespace murmur::nn {
 
@@ -37,6 +40,14 @@ class Conv2D final : public Layer {
   /// active kernel uses the centre crop of the stored max-size weights;
   /// the crop is built (or revalidated) here, off the forward path.
   void set_active_kernel(int k);
+
+  /// Execute-precision knob for the NAS quantization axis: k8 routes the
+  /// depthwise and direct-pointwise paths through the int8 kernels (per-
+  /// channel s8 weights, per-call u8 activations); every other width runs
+  /// fp32. Quantized weight caches are built (or revalidated) here, off
+  /// the forward path, and versioned like the cropped-weight cache.
+  void set_compute_precision(QuantBits bits);
+  QuantBits compute_precision() const noexcept { return compute_bits_; }
   int active_kernel() const noexcept { return active_kernel_; }
   int max_kernel() const noexcept { return max_kernel_; }
   int in_channels() const noexcept { return in_channels_; }
@@ -67,6 +78,8 @@ class Conv2D final : public Layer {
   /// Cropped-weight cache statistics (for tests and telemetry).
   std::uint64_t crop_cache_hits() const noexcept { return crop_hits_; }
   std::uint64_t crop_cache_builds() const noexcept { return crop_builds_; }
+  /// Quantized-weight cache rebuilds (int8 path; for tests and telemetry).
+  std::uint64_t int8_cache_builds() const noexcept { return int8_builds_; }
 
  private:
   /// Cached centre crop of `weight_` at the active kernel size. The
@@ -75,6 +88,9 @@ class Conv2D final : public Layer {
   /// Cached packed form of the (cropped) pointwise weight matrix for the
   /// batched 1×1 fast path: pack once per weight epoch, reuse per sample.
   const PackedGemmA& packed_pointwise(const Tensor& w);
+  /// Int8 analogues, same locking and versioning discipline.
+  const PackedGemmInt8& packed_pointwise_int8(const Tensor& w);
+  const kernels::QuantDwWeights& quant_dw_weights(const Tensor& w);
   void forward_grouped(const Tensor& input, const Tensor& w, Tensor& out);
 
   int in_channels_, out_channels_, max_kernel_, stride_, groups_;
@@ -90,13 +106,26 @@ class Conv2D final : public Layer {
     std::uint64_t version = 0;
     bool ready = false;
   };
+  // Int8 weight caches, versioned on the same weight epoch as the crop
+  // slots. Depthwise gets one slot per odd kernel size (quantized from the
+  // matching crop); pointwise gets one packed s8 matrix.
+  struct QuantDwSlot {
+    kernels::QuantDwWeights qw;
+    std::uint64_t version = 0;
+    bool ready = false;
+  };
   std::mutex crop_mutex_;
   std::vector<CropSlot> crop_cache_;
   PackedGemmA packed_pw_;  // guarded by crop_mutex_, like the crop slots
   std::uint64_t packed_pw_version_ = 0;
+  PackedGemmInt8 packed_pw_i8_;  // guarded by crop_mutex_
+  std::uint64_t packed_pw_i8_version_ = 0;
+  std::vector<QuantDwSlot> qdw_cache_;  // guarded by crop_mutex_
+  QuantBits compute_bits_ = QuantBits::k32;
   std::uint64_t weights_version_ = 1;
   std::uint64_t crop_hits_ = 0;
   std::uint64_t crop_builds_ = 0;
+  std::uint64_t int8_builds_ = 0;
 };
 
 }  // namespace murmur::nn

@@ -130,7 +130,11 @@ LatencyBreakdown SubnetLatencyEvaluator::evaluate_batch(
     const auto geo = CostModel::block_geometry(config, b);
     const auto in_extents =
         tile_extents(geo.in_spatial, geo.in_spatial, bc.grid);
-    const double tile_flops = CostModel::block_tile_flops(config, b);
+    // Effective fp32 FLOPs: int8-quantized blocks execute their conv
+    // stages at the calibrated int8 per-MAC rate (CostModel::
+    // mac_cost_factor), so cheaper compute shows up in planned latency —
+    // and, via the occupancy model, in admission reservations.
+    const double tile_flops = CostModel::block_tile_effective_flops(config, b);
     const double full_area =
         static_cast<double>(geo.in_spatial) * geo.in_spatial;
 

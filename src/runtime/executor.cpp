@@ -335,9 +335,10 @@ ExecutionReport DistributedExecutor::run(
         const auto dev = static_cast<std::size_t>(
             plan.device[static_cast<std::size_t>(b)][tiled ? t : 0]);
         block_ms = std::max(
-            block_ms, network_.device(dev).throughput.compute_ms(
-                          supernet::CostModel::block_tile_flops(config, b)) *
-                          inj->slowdown(dev, sim_now));
+            block_ms,
+            network_.device(dev).throughput.compute_ms(
+                supernet::CostModel::block_tile_effective_flops(config, b)) *
+                inj->slowdown(dev, sim_now));
       }
       sim_now = std::max(sim_now, block_arrival_ms) + block_ms;
     }

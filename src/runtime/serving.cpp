@@ -399,18 +399,21 @@ void ServingLayer::execute_group(std::vector<Member> group) {
     images.push_back(std::move(m.pending.image));
     batch.push_back(std::move(m.plan));
   }
+  const double exec_start_wall_ms = monotonic_ms();
   system_.execute_batch(images, batch);
-  const double done_wall_ms = monotonic_ms();
   for (std::size_t i = 0; i < group.size(); ++i) {
-    // Wall-side batching-window phase: how long this member sat between
-    // enqueue and batch completion beyond its own execution share. The sim
-    // clock charges nothing here by construction (occupancy amortizes
-    // coalescing), so this is the wall-only explanation of the batching
-    // latency trade (BENCH_serving.json sim/wall gap).
+    // Wall-side batching-window phase: how long this member sat parked in
+    // the dispatcher between enqueue and the moment the batch *started*
+    // executing. The group's execution span is already attributed once,
+    // through each member's exec_wall_ms share — charging completion-time
+    // deltas here would bill that span to every member again (the
+    // (n-1)/n-inflated 288 ms p50 PR 6's attribution table surfaced). The
+    // sim clock charges nothing by construction (occupancy amortizes
+    // coalescing); this wall-only phase explains the batching latency
+    // trade (BENCH_serving.json sim/wall gap).
     if (obs::enabled()) {
-      const double parked_ms =
-          std::max(0.0, done_wall_ms - group[i].pending.enqueue_wall_ms -
-                            batch[i].result.exec_wall_ms);
+      const double parked_ms = std::max(
+          0.0, exec_start_wall_ms - group[i].pending.enqueue_wall_ms);
       batch[i].result.ledger.charge_wall(obs::Phase::kBatchWindow,
                                          parked_ms);
       // note_request already aggregated this request's ledger inside

@@ -35,45 +35,75 @@ BlockGeometry CostModel::block_geometry(const SubnetConfig& config,
   return g;
 }
 
-double CostModel::block_flops(const SubnetConfig& config, int block) noexcept {
-  if (!config.block_active(block)) return 0.0;
-  const BlockGeometry g = block_geometry(config, block);
-  const auto& b = config.blocks[static_cast<std::size_t>(block)];
-  const double exp_ch = static_cast<double>(g.in_channels) * kExpansion;
-  const double s_in2 = static_cast<double>(g.in_spatial) * g.in_spatial;
-  const double s_out2 = static_cast<double>(g.out_spatial) * g.out_spatial;
-  // Expand (1x1), depthwise (k x k, stride), project (1x1).
-  double f = 2.0 * g.in_channels * exp_ch * s_in2;
-  f += 2.0 * b.kernel * b.kernel * exp_ch * s_out2;
-  f += 2.0 * exp_ch * g.out_channels * s_out2;
-  if (g.uses_se) f += 2.0 * exp_ch * (exp_ch / 4.0) * 2.0 + 2.0 * exp_ch * s_out2;
-  return f;
-}
+namespace {
 
-double CostModel::block_tile_flops(const SubnetConfig& config,
-                                   int block) noexcept {
+/// Shared arithmetic of block_flops / block_tile_flops, with the conv
+/// stages (expand, depthwise, project) scaled by `conv_factor`. The SE
+/// stage always executes fp32 (gemv path), so it is never scaled.
+double block_flops_scaled(const SubnetConfig& config, int block,
+                          double conv_factor, bool tiled) noexcept {
   if (!config.block_active(block)) return 0.0;
+  const BlockGeometry g = CostModel::block_geometry(config, block);
   const auto& b = config.blocks[static_cast<std::size_t>(block)];
-  const int tiles = b.grid.tiles();
-  if (tiles == 1) return block_flops(config, block);
-  const BlockGeometry g = block_geometry(config, block);
+  const int tiles = tiled ? b.grid.tiles() : 1;
   const double exp_ch = static_cast<double>(g.in_channels) * kExpansion;
   const double s_in2 = static_cast<double>(g.in_spatial) * g.in_spatial;
   const double s_out2 = static_cast<double>(g.out_spatial) * g.out_spatial;
   // The 1x1 expand/project convolutions (and SE) split exactly across
   // tiles; only the depthwise stage sees FDSP zero padding, so only it
   // pays the padded-tile overhead.
-  const int halo = b.kernel / 2;
-  const double th = static_cast<double>(g.out_spatial) / b.grid.rows;
-  const double tw = static_cast<double>(g.out_spatial) / b.grid.cols;
-  const double overhead =
-      ((th + 2 * halo) * (tw + 2 * halo)) / std::max(1.0, th * tw);
+  double overhead = 1.0;
+  if (tiles > 1) {
+    const int halo = b.kernel / 2;
+    const double th = static_cast<double>(g.out_spatial) / b.grid.rows;
+    const double tw = static_cast<double>(g.out_spatial) / b.grid.cols;
+    overhead = ((th + 2 * halo) * (tw + 2 * halo)) / std::max(1.0, th * tw);
+  }
+  // Expand (1x1), depthwise (k x k, stride), project (1x1).
   double f = 2.0 * g.in_channels * exp_ch * s_in2 / tiles;  // expand
   f += 2.0 * b.kernel * b.kernel * exp_ch * s_out2 / tiles * overhead;  // dw
   f += 2.0 * exp_ch * g.out_channels * s_out2 / tiles;  // project
+  f *= conv_factor;
   if (g.uses_se)
     f += (2.0 * exp_ch * (exp_ch / 4.0) * 2.0 + 2.0 * exp_ch * s_out2) / tiles;
   return f;
+}
+
+}  // namespace
+
+double CostModel::block_flops(const SubnetConfig& config, int block) noexcept {
+  return block_flops_scaled(config, block, 1.0, /*tiled=*/false);
+}
+
+double CostModel::block_tile_flops(const SubnetConfig& config,
+                                   int block) noexcept {
+  return block_flops_scaled(config, block, 1.0, /*tiled=*/true);
+}
+
+double CostModel::mac_cost_factor(QuantBits bits) noexcept {
+  // Calibrated from bench/bench_micro_kernels.cpp on the reference build
+  // host (AVX512-VNNI): per-shape int8/fp32 wall-time ratios over the
+  // BENCH_kernels.json conv shapes are 0.37-0.41 (pointwise 16/40/80ch)
+  // and 0.18-0.43 (depthwise k=3/5/7), geometric mean 0.32. Rounded up
+  // toward the worst shape so the planner never over-promises.
+  constexpr double kInt8MacRatio = 0.42;
+  return bits == QuantBits::k8 ? kInt8MacRatio : 1.0;
+}
+
+double CostModel::block_effective_flops(const SubnetConfig& config,
+                                        int block) noexcept {
+  if (!config.block_active(block)) return 0.0;
+  const auto& b = config.blocks[static_cast<std::size_t>(block)];
+  return block_flops_scaled(config, block, mac_cost_factor(b.quant),
+                            /*tiled=*/false);
+}
+
+double CostModel::block_tile_effective_flops(const SubnetConfig& config,
+                                             int block) noexcept {
+  if (!config.block_active(block)) return 0.0;
+  const auto& b = config.blocks[static_cast<std::size_t>(block)];
+  return block_flops_scaled(config, block, mac_cost_factor(b.quant),
+                            /*tiled=*/true);
 }
 
 std::size_t CostModel::block_out_elements(const SubnetConfig& config,

@@ -39,6 +39,23 @@ class CostModel {
   /// grid, including the FDSP zero-padding overhead on the depthwise stage.
   static double block_tile_flops(const SubnetConfig& config, int block) noexcept;
 
+  /// Relative per-MAC wall cost of executing at the given precision,
+  /// normalized to fp32 == 1. Only k8 has a real compute path (the VNNI
+  /// int8 kernels); its ratio is calibrated against the fp32 packed path
+  /// on the bench conv shapes (BENCH_kernels.json `quantized` block).
+  /// Other widths quantize the wire only and execute fp32.
+  static double mac_cost_factor(QuantBits bits) noexcept;
+
+  /// `block_flops` / `block_tile_flops` with the expand/depthwise/project
+  /// stages scaled by the block's per-MAC cost factor — "effective fp32
+  /// FLOPs", so device Throughput (calibrated in fp32 GFLOP/s) prices an
+  /// int8 block at its measured rate. The SE stage always runs fp32 and
+  /// is left unscaled. Equal to the nominal counts for fp32 blocks.
+  static double block_effective_flops(const SubnetConfig& config,
+                                      int block) noexcept;
+  static double block_tile_effective_flops(const SubnetConfig& config,
+                                           int block) noexcept;
+
   /// Elements (floats before quantization) in the block's output map.
   static std::size_t block_out_elements(const SubnetConfig& config, int block) noexcept;
 

@@ -51,7 +51,15 @@ class MBConvBlock {
   /// Select the elastic kernel for this block. Must be called before
   /// forward_tile when tiles run on concurrent threads (forward() does it
   /// internally); forward_tile itself never mutates shared state.
-  void prepare(const BlockConfig& cfg) { dw_.set_active_kernel(cfg.kernel); }
+  /// Bind the elastic kernel crop AND the execute precision for the
+  /// block's quantization axis: k8 runs the three convolutions through the
+  /// int8 kernels (BN, activations, SE and the residual stay fp32).
+  void prepare(const BlockConfig& cfg) {
+    dw_.set_active_kernel(cfg.kernel);
+    expand_.set_compute_precision(cfg.quant);
+    dw_.set_compute_precision(cfg.quant);
+    project_.set_compute_precision(cfg.quant);
+  }
 
   /// Forward of a single tile (what one remote device executes). Requires
   /// a prior prepare() with the same config. Thread-safe across tiles.

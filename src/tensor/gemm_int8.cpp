@@ -1,0 +1,319 @@
+#include "tensor/gemm_int8.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "tensor/workspace.h"
+
+#if defined(__AVX512F__) && defined(__AVX512BW__) && defined(__AVX512VNNI__)
+#include <immintrin.h>
+#define MURMUR_INT8_VNNI 1
+#else
+#define MURMUR_INT8_VNNI 0
+#endif
+
+namespace murmur {
+namespace {
+
+// Register tile: 8 output channels × 32 pixels (two 16-lane i32 vectors),
+// 16 live accumulators + 2 activation vectors + 1 weight broadcast.
+constexpr int kMR8 = 8;
+constexpr int kNR8 = 32;
+
+// Round-to-nearest-even via the float magic number (1.5 * 2^23): adding it
+// pushes the value into the ulp==1 range, so the add itself performs the
+// rounding and the subtract is exact. Same idiom as tensor/quantize.cpp.
+constexpr float kRound = 12582912.0f;
+
+inline std::uint8_t* alloc_bytes(Workspace& ws, std::size_t bytes) {
+  return reinterpret_cast<std::uint8_t*>(ws.alloc((bytes + 3) / 4));
+}
+
+}  // namespace
+
+ActQuantU8 choose_act_quant_u8(const float* x, std::size_t n) noexcept {
+  float lo = 0.0f, hi = 0.0f;  // widened to include 0: padding stays exact
+  std::size_t i = 0;
+#if MURMUR_INT8_VNNI
+  // Masked min/max scan: non-finite lanes (NaN, +-inf) are simply excluded
+  // from the running bounds, matching the scalar `isfinite` skip.
+  if (n >= 16) {
+    __m512 vlo = _mm512_setzero_ps(), vhi = _mm512_setzero_ps();
+    const __m512 vinf = _mm512_set1_ps(std::numeric_limits<float>::infinity());
+    for (; i + 16 <= n; i += 16) {
+      const __m512 v = _mm512_loadu_ps(x + i);
+      const __mmask16 fin =
+          _mm512_cmp_ps_mask(_mm512_abs_ps(v), vinf, _CMP_LT_OQ);
+      vlo = _mm512_mask_min_ps(vlo, fin, vlo, v);
+      vhi = _mm512_mask_max_ps(vhi, fin, vhi, v);
+    }
+    lo = _mm512_reduce_min_ps(vlo);
+    hi = _mm512_reduce_max_ps(vhi);
+  }
+#endif
+  for (; i < n; ++i) {
+    const float v = x[i];
+    if (!std::isfinite(v)) continue;
+    if (v < lo) lo = v;
+    if (v > hi) hi = v;
+  }
+  ActQuantU8 aq;
+  const float range = hi - lo;
+  if (!(range > 0.0f) || !std::isfinite(range)) return aq;  // scale 1, zp 0
+  aq.scale = range / 255.0f;
+  const float zp = (-lo / aq.scale + kRound) - kRound;
+  aq.zero_point = std::clamp(static_cast<std::int32_t>(zp), 0, 255);
+  return aq;
+}
+
+void quantize_u8(const float* x, std::size_t n, const ActQuantU8& aq,
+                 std::uint8_t* q) noexcept {
+  const float inv = 1.0f / aq.scale;
+  const float zp = static_cast<float>(aq.zero_point);
+#if MURMUR_INT8_VNNI
+  // Vector path: fused multiply-add, clamp, round-to-nearest-even via
+  // CVTPS2DQ (the default rounding mode — same result as the magic-number
+  // idiom for values already clamped to [0, 255]). maxps with the clamp
+  // bound in the FIRST operand maps NaN inputs to 0.
+  const __m512 vinv = _mm512_set1_ps(inv), vzp = _mm512_set1_ps(zp);
+  const __m512 vmax = _mm512_set1_ps(255.0f), vzero = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512 v = _mm512_fmadd_ps(_mm512_loadu_ps(x + i), vinv, vzp);
+    v = _mm512_min_ps(_mm512_max_ps(vzero, v), vmax);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(q + i),
+                     _mm512_cvtepi32_epi8(_mm512_cvtps_epi32(v)));
+  }
+  if (i < n) {
+    const __mmask16 m =
+        static_cast<__mmask16>((1u << (n - i)) - 1u);
+    __m512 v = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(m, x + i), vinv, vzp);
+    v = _mm512_min_ps(_mm512_max_ps(vzero, v), vmax);
+    _mm512_mask_cvtepi32_storeu_epi8(q + i, m, _mm512_cvtps_epi32(v));
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) {
+    float v = x[i] * inv + zp;
+    v = std::min(std::max(0.0f, v), 255.0f);
+    q[i] = static_cast<std::uint8_t>((v + kRound) - kRound);
+  }
+#endif
+}
+
+void PackedGemmInt8::pack(int m, int k, const float* a) {
+  assert(m > 0 && k > 0);
+  m_ = m;
+  k_ = k;
+  kp_ = (k + 3) & ~3;
+  codes_.assign(static_cast<std::size_t>(m) * kp_, 0);
+  scale_.assign(static_cast<std::size_t>(m), 1.0f);
+  sum_.assign(static_cast<std::size_t>(m), 0);
+  for (int o = 0; o < m; ++o) {
+    const float* row = a + static_cast<std::size_t>(o) * k;
+    float amax = 0.0f;
+    for (int i = 0; i < k; ++i) {
+      const float v = std::fabs(row[i]);
+      if (std::isfinite(v) && v > amax) amax = v;
+    }
+    const float s = amax / 127.0f;
+    // Rows whose magnitude underflows quantize to all-zero codes with a
+    // benign scale of 1 — their true contribution is below any tolerance.
+    if (!(s > 1e-35f) || !std::isfinite(s)) continue;
+    scale_[static_cast<std::size_t>(o)] = s;
+    const float inv = 127.0f / amax;
+    std::int8_t* dst = codes_.data() + static_cast<std::size_t>(o) * kp_;
+    std::int32_t rs = 0;
+    for (int i = 0; i < k; ++i) {
+      float v = row[i] * inv;
+      v = std::min(std::max(v, -127.0f), 127.0f);
+      const auto q = static_cast<std::int32_t>((v + kRound) - kRound);
+      dst[i] = static_cast<std::int8_t>(q);
+      rs += q;
+    }
+    sum_[static_cast<std::size_t>(o)] = rs;
+  }
+  packed_ = true;
+}
+
+#if MURMUR_INT8_VNNI
+
+namespace {
+
+/// MR×32 VNNI micro-kernel over one packed column panel, dequant epilogue
+/// fused. The panel holds [kg][2][16 lanes][4 k-bytes] (one aligned
+/// 64-byte vector per k-group per 16-pixel half); weights broadcast one s8
+/// dword (4 k-values of one output channel) per VPDPBUSD. `scale` and
+/// `corr` are the per-row premultiplied dequant factors (row_scale *
+/// act_scale and zp * row_sum); `bs` is the bias (zeros when absent). The
+/// accumulators dequantize straight out of registers — full tiles store to
+/// C directly, remainder tiles (jw < 32) bounce through a local spill.
+template <int MR>
+void kernel_i8(const std::int8_t* arow, int kp, int kg,
+               const std::uint8_t* panel, const float* scale,
+               const float* corr, const float* bs, float* c, int ldc,
+               int jw) {
+  __m512i acc[MR][2];
+  for (int r = 0; r < MR; ++r)
+    acc[r][0] = acc[r][1] = _mm512_setzero_si512();
+  for (int g = 0; g < kg; ++g) {
+    const __m512i b0 =
+        _mm512_load_si512(panel + static_cast<std::size_t>(g) * 128);
+    const __m512i b1 =
+        _mm512_load_si512(panel + static_cast<std::size_t>(g) * 128 + 64);
+    for (int r = 0; r < MR; ++r) {
+      std::int32_t wdw;
+      std::memcpy(&wdw, arow + static_cast<std::size_t>(r) * kp + 4 * g, 4);
+      const __m512i wv = _mm512_set1_epi32(wdw);
+      acc[r][0] = _mm512_dpbusd_epi32(acc[r][0], b0, wv);
+      acc[r][1] = _mm512_dpbusd_epi32(acc[r][1], b1, wv);
+    }
+  }
+  alignas(64) float tail[kNR8];
+  for (int r = 0; r < MR; ++r) {
+    const __m512 scv = _mm512_set1_ps(scale[r]);
+    const __m512 corrv = _mm512_set1_ps(corr[r]);
+    const __m512 bsv = _mm512_set1_ps(bs[r]);
+    const __m512 v0 = _mm512_fmadd_ps(
+        _mm512_sub_ps(_mm512_cvtepi32_ps(acc[r][0]), corrv), scv, bsv);
+    const __m512 v1 = _mm512_fmadd_ps(
+        _mm512_sub_ps(_mm512_cvtepi32_ps(acc[r][1]), corrv), scv, bsv);
+    float* crow = c + static_cast<std::size_t>(r) * ldc;
+    if (jw == kNR8) {
+      _mm512_storeu_ps(crow, v0);
+      _mm512_storeu_ps(crow + 16, v1);
+    } else {
+      _mm512_store_ps(tail, v0);
+      _mm512_store_ps(tail + 16, v1);
+      std::memcpy(crow, tail, static_cast<std::size_t>(jw) * sizeof(float));
+    }
+  }
+}
+
+using KernelFn = void (*)(const std::int8_t*, int, int, const std::uint8_t*,
+                          const float*, const float*, const float*, float*,
+                          int, int);
+constexpr KernelFn kKernels[kMR8] = {
+    kernel_i8<1>, kernel_i8<2>, kernel_i8<3>, kernel_i8<4>,
+    kernel_i8<5>, kernel_i8<6>, kernel_i8<7>, kernel_i8<8>,
+};
+
+}  // namespace
+
+void gemm_int8(const PackedGemmInt8& a, int n, const float* b,
+               const float* bias, float* c) {
+  assert(a.packed_);
+  const int m = a.m_, k = a.k_, kp = a.kp_;
+  const int kg = kp / 4;
+  if (m <= 0 || n <= 0) return;
+
+  Workspace& ws = Workspace::tls();
+  Workspace::Frame frame(ws);
+
+  // The quantized B matrix carries enough slack past its k*n payload that
+  // the packing transpose can always issue full 32-byte row loads: bytes
+  // read past a row's end land in a panel column >= jw whose accumulator
+  // is never stored, and bytes read from k-padding rows pair with zero
+  // weight codes — stray values are arithmetically inert either way.
+  const std::size_t bn = static_cast<std::size_t>(k) * n;
+  const std::size_t slack = static_cast<std::size_t>(kp - k) * n + kNR8;
+  const ActQuantU8 aq = choose_act_quant_u8(b, bn);
+  std::uint8_t* bq = alloc_bytes(ws, bn + slack);
+  quantize_u8(b, bn, aq, bq);
+
+  std::uint8_t* panel = alloc_bytes(ws, static_cast<std::size_t>(kg) * 128);
+
+  // Premultiply the per-row dequant factors once so the fused kernel
+  // epilogue is three broadcast loads per row: combined scale
+  // (row_scale * act_scale), zero-point correction (zp * row_sum), bias.
+  const float zp = static_cast<float>(aq.zero_point);
+  float* sc = ws.alloc(static_cast<std::size_t>(m) * 3);
+  float* corr = sc + m;
+  float* bs = corr + m;
+  for (int o = 0; o < m; ++o) {
+    sc[o] = a.scale_[static_cast<std::size_t>(o)] * aq.scale;
+    corr[o] = zp * static_cast<float>(a.sum_[static_cast<std::size_t>(o)]);
+    bs[o] = bias ? bias[o] : 0.0f;
+  }
+
+  for (int jc = 0; jc < n; jc += kNR8) {
+    const int jw = std::min(kNR8, n - jc);
+    // Pack the column block pixel-major in 4-deep k groups: a 4x32 byte
+    // transpose per group (unpack bytes/words, then recombine the 128-bit
+    // lanes so panel bytes run in column order).
+    for (int g = 0; g < kg; ++g) {
+      std::uint8_t* dst = panel + static_cast<std::size_t>(g) * 128;
+      const std::uint8_t* r0 = bq + static_cast<std::size_t>(4 * g) * n + jc;
+      const __m256i a0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r0));
+      const __m256i a1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r0 + n));
+      const __m256i a2 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r0 + 2 * static_cast<std::size_t>(n)));
+      const __m256i a3 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r0 + 3 * static_cast<std::size_t>(n)));
+      const __m256i t0 = _mm256_unpacklo_epi8(a0, a1);
+      const __m256i t1 = _mm256_unpackhi_epi8(a0, a1);
+      const __m256i t2 = _mm256_unpacklo_epi8(a2, a3);
+      const __m256i t3 = _mm256_unpackhi_epi8(a2, a3);
+      const __m256i u0 = _mm256_unpacklo_epi16(t0, t2);  // cols 0-3 | 16-19
+      const __m256i u1 = _mm256_unpackhi_epi16(t0, t2);  // cols 4-7 | 20-23
+      const __m256i u2 = _mm256_unpacklo_epi16(t1, t3);  // cols 8-11 | 24-27
+      const __m256i u3 = _mm256_unpackhi_epi16(t1, t3);  // cols 12-15 | 28-31
+      _mm256_store_si256(reinterpret_cast<__m256i*>(dst),
+                         _mm256_permute2x128_si256(u0, u1, 0x20));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(dst + 32),
+                         _mm256_permute2x128_si256(u2, u3, 0x20));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(dst + 64),
+                         _mm256_permute2x128_si256(u0, u1, 0x31));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(dst + 96),
+                         _mm256_permute2x128_si256(u2, u3, 0x31));
+    }
+    for (int ir = 0; ir < m; ir += kMR8) {
+      const int mr = std::min(kMR8, m - ir);
+      kKernels[mr - 1](a.codes_.data() + static_cast<std::size_t>(ir) * kp,
+                       kp, kg, panel, sc + ir, corr + ir, bs + ir,
+                       c + static_cast<std::size_t>(ir) * n + jc, n, jw);
+    }
+  }
+}
+
+#else  // !MURMUR_INT8_VNNI
+
+void gemm_int8(const PackedGemmInt8& a, int n, const float* b,
+               const float* bias, float* c) {
+  assert(a.packed_);
+  const int m = a.m_, k = a.k_, kp = a.kp_;
+  if (m <= 0 || n <= 0) return;
+
+  Workspace& ws = Workspace::tls();
+  Workspace::Frame frame(ws);
+
+  const std::size_t bn = static_cast<std::size_t>(k) * n;
+  const ActQuantU8 aq = choose_act_quant_u8(b, bn);
+  std::uint8_t* bq = alloc_bytes(ws, bn);
+  quantize_u8(b, bn, aq, bq);
+
+  const float zp = static_cast<float>(aq.zero_point);
+  for (int o = 0; o < m; ++o) {
+    const std::int8_t* arow = a.codes_.data() + static_cast<std::size_t>(o) * kp;
+    const float sc = a.scale_[static_cast<std::size_t>(o)] * aq.scale;
+    const float corr =
+        zp * static_cast<float>(a.sum_[static_cast<std::size_t>(o)]);
+    const float bs = bias ? bias[o] : 0.0f;
+    float* crow = c + static_cast<std::size_t>(o) * n;
+    for (int j = 0; j < n; ++j) {
+      std::int32_t s32 = 0;
+      for (int i = 0; i < k; ++i)
+        s32 += static_cast<std::int32_t>(arow[i]) *
+               static_cast<std::int32_t>(bq[static_cast<std::size_t>(i) * n + j]);
+      crow[j] = (static_cast<float>(s32) - corr) * sc + bs;
+    }
+  }
+}
+
+#endif  // MURMUR_INT8_VNNI
+
+}  // namespace murmur

@@ -1,0 +1,87 @@
+// Int8 GEMM micro-kernel: the compute side of the 8-bit quantization axis.
+//
+// The wire codec (tensor/quantize.h) already makes 8-bit activations cheap
+// to *ship*; this kernel makes them cheap to *run*. Weights are quantized
+// symmetrically to s8 with a per-output-channel scale (packed once per
+// weight epoch, like PackedGemmA), activations are quantized per call to
+// asymmetric u8 whose range is widened to include zero — so conv zero
+// padding maps to the zero point exactly — and the contraction accumulates
+// u8×s8 products into s32. On AVX512-VNNI machines the inner loop is
+// VPDPBUSD (4 MACs per lane per instruction, 4× the fp32 FMA rate); a
+// plain integer fallback produces bit-identical accumulators elsewhere.
+//
+// Dequantization is fused into the epilogue:
+//
+//   C[o][j] = bias[o] + row_scale[o] * act_scale * (acc[o][j]
+//                                                   - zp * row_sum[o])
+//
+// where row_sum[o] is the precomputed sum of the row's s8 codes — the
+// standard zero-point correction, which also cancels the contribution of
+// padded (zero) activations. Integer accumulation is exact and therefore
+// independent of evaluation order, so results are reproducible across
+// column blocking and batching — the property the batched-serving bitwise
+// differentials rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace murmur {
+
+/// Per-tensor asymmetric u8 activation quantization: x ≈ scale * (q - zp).
+/// zp lies in [0, 255] and x == 0 always maps to q == zp exactly.
+struct ActQuantU8 {
+  float scale = 1.0f;
+  std::int32_t zero_point = 0;
+};
+
+/// Derive scale/zero-point from the data range, widened to include 0.
+/// Non-finite values are ignored; degenerate ranges (empty, constant,
+/// overflowing) collapse to scale = 1 so the mapping stays well defined.
+ActQuantU8 choose_act_quant_u8(const float* x, std::size_t n) noexcept;
+
+/// q = clamp(round(x / scale) + zero_point, 0, 255), elementwise.
+void quantize_u8(const float* x, std::size_t n, const ActQuantU8& aq,
+                 std::uint8_t* q) noexcept;
+
+/// A weight matrix quantized to s8 with per-row (= per-output-channel)
+/// symmetric scales, k padded to a multiple of 4 so the kernel can consume
+/// whole VNNI dwords. Pack once per weight epoch; reuse across calls.
+class PackedGemmInt8 {
+ public:
+  /// Quantize + repack `a` (row-major m×k, contiguous, fp32).
+  void pack(int m, int k, const float* a);
+
+  bool matches(int m, int k) const noexcept {
+    return packed_ && m_ == m && k_ == k;
+  }
+  int m() const noexcept { return m_; }
+  int k() const noexcept { return k_; }
+  /// Per-row dequantization scale (w ≈ row_scale[o] * code).
+  const float* row_scale() const noexcept { return scale_.data(); }
+  /// Per-row sum of s8 codes (the zero-point correction term).
+  const std::int32_t* row_sum() const noexcept { return sum_.data(); }
+
+ private:
+  friend void gemm_int8(const PackedGemmInt8& a, int n, const float* b,
+                        const float* bias, float* c);
+  int m_ = 0;
+  int k_ = 0;
+  int kp_ = 0;  // k rounded up to a multiple of 4 (zero-padded codes)
+  bool packed_ = false;
+  std::vector<std::int8_t> codes_;     // [m][kp_], row-major
+  std::vector<float> scale_;           // [m]
+  std::vector<std::int32_t> sum_;      // [m]
+};
+
+/// C(m×n) = bias ⊕ dequant(Aq(m×k) · quant(B(k×n))). B is row-major fp32;
+/// it is quantized to u8 inside the call (per-call scale/zero-point from
+/// its own range) and C is fully overwritten — unlike `gemm`, there is no
+/// accumulate-into contract, because the dequant epilogue owns the output.
+/// `bias` may be null (treated as zero). Scratch comes from the calling
+/// thread's Workspace arena: zero heap allocation in steady state.
+void gemm_int8(const PackedGemmInt8& a, int n, const float* b,
+               const float* bias, float* c);
+
+}  // namespace murmur

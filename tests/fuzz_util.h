@@ -60,7 +60,10 @@ struct CorpusStats {
 
 /// Seeded random corruption corpus over `clean`: truncations, bit flips,
 /// byte splats, oversized little-endian u32 header patches, trailing-junk
-/// extensions, and byte swaps. Mutations that happen to reproduce `clean`
+/// extensions, byte swaps, and degenerate-float patches (zero, denormal,
+/// negative bit patterns — aimed at quant-scale fields, which decoders
+/// must reject or clamp rather than divide by). Mutations that happen to
+/// reproduce `clean`
 /// byte-for-byte are SKIPPED (not fed, not counted), so `accepted == 0`
 /// is a meaningful assertion for checksummed containers. The decoder must
 /// never crash, over-read, or over-allocate on any mutant — that part is
@@ -75,7 +78,7 @@ inline CorpusStats fuzz_corruption_corpus(std::span<const std::uint8_t> clean,
   const std::vector<std::uint8_t> base(clean.begin(), clean.end());
   for (int trial = 0; trial < trials; ++trial) {
     std::vector<std::uint8_t> bytes = base;
-    switch (rng.uniform_index(6)) {
+    switch (rng.uniform_index(7)) {
       case 0:  // truncation (strict prefix, possibly empty)
         bytes.resize(rng.uniform_index(std::max<std::size_t>(1, bytes.size())));
         break;
@@ -115,6 +118,23 @@ inline CorpusStats fuzz_corruption_corpus(std::span<const std::uint8_t> clean,
           std::swap(bytes[i], bytes[j]);
         }
         break;
+      case 6: {  // degenerate float patch: zero / denormal / negative
+        if (bytes.size() >= 4) {
+          static constexpr std::uint32_t kPatterns[] = {
+              0x00000000u,  // +0.0f
+              0x80000000u,  // -0.0f
+              0x00000001u,  // smallest positive denormal
+              0x80000001u,  // smallest negative denormal
+              0xBF800000u,  // -1.0f
+          };
+          const auto at = rng.uniform_index(bytes.size() - 3);
+          const std::uint32_t pat = kPatterns[rng.uniform_index(5)];
+          for (int k = 0; k < 4; ++k)
+            bytes[at + static_cast<std::size_t>(k)] =
+                static_cast<std::uint8_t>(pat >> (8 * k));
+        }
+        break;
+      }
     }
     if (bytes.size() == base.size() &&
         std::equal(bytes.begin(), bytes.end(), base.begin()))

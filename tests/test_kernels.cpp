@@ -9,12 +9,14 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
 #include "nn/conv2d.h"
 #include "tensor/conv_kernels.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
 #include "tensor/quantize.h"
 #include "tensor/tensor.h"
 #include "tensor/workspace.h"
@@ -393,6 +395,301 @@ TEST(Conv2D, SteadyStateForwardIsAllocationFree) {
   EXPECT_EQ(ws.capacity_bytes(), cap);
   EXPECT_EQ(conv.crop_cache_builds(), builds)
       << "steady-state forward rebuilt the cropped weights";
+}
+
+// ---------------------------------------------------------------------------
+// Int8 compute path (VNNI GEMM, quantized pointwise/depthwise conv)
+// ---------------------------------------------------------------------------
+
+// The int8 result differs from the fp32 reference by at most the quant
+// noise both operands carry: writing w = w_hat + e_w, x = x_hat + e_x with
+// |e_w| <= ws_o/2 (symmetric per-channel weight step) and |e_x| <= as (the
+// activation step; the zero point itself is rounded, so the safe bound is
+// one full step), the per-output error telescopes to
+//   |err| <= as * sum|w| + ws_o/2 * sum|x| + taps * ws_o * as
+// plus float-epilogue slop. Everything in the bound is computable from the
+// same tensors the kernel saw, so the tolerance tracks the data instead of
+// being a magic constant.
+float int8_tol(float act_scale, float w_scale, float abs_w_sum,
+               float abs_x_sum, int taps) {
+  return act_scale * abs_w_sum + 0.5f * w_scale * abs_x_sum +
+         static_cast<float>(taps) * w_scale * act_scale + 1e-3f;
+}
+
+/// Per-output-channel symmetric weight scale, mirroring the kernels'
+/// quantization rule (amax / 127, underflow rows -> scale 1, codes 0).
+float weight_row_scale(const float* row, int taps) {
+  float amax = 0.0f;
+  for (int i = 0; i < taps; ++i) {
+    const float v = std::fabs(row[i]);
+    if (std::isfinite(v) && v > amax) amax = v;
+  }
+  const float s = amax / 127.0f;
+  return (s > 1e-35f && std::isfinite(s)) ? s : 1.0f;
+}
+
+void check_gemm_int8(int m, int k, int n, bool with_bias, Rng& rng) {
+  SCOPED_TRACE(::testing::Message()
+               << "m=" << m << " k=" << k << " n=" << n
+               << " bias=" << with_bias);
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+  const auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+  const auto bias = random_vec(static_cast<std::size_t>(m), rng);
+  const float* bias_ptr = with_bias ? bias.data() : nullptr;
+
+  PackedGemmInt8 pa;
+  pa.pack(m, k, a.data());
+  std::vector<float> got(static_cast<std::size_t>(m) * n, -77.0f);
+  gemm_int8(pa, n, b.data(), bias_ptr, got.data());
+
+  // fp32 reference (gemm_ref accumulates, so seed with the bias).
+  std::vector<float> want(static_cast<std::size_t>(m) * n, 0.0f);
+  if (with_bias)
+    for (int o = 0; o < m; ++o)
+      std::fill_n(want.begin() + static_cast<std::size_t>(o) * n, n, bias[o]);
+  gemm_ref(m, k, n, a.data(), b.data(), want.data());
+
+  const ActQuantU8 aq = choose_act_quant_u8(b.data(), b.size());
+  for (int o = 0; o < m; ++o) {
+    const float* arow = a.data() + static_cast<std::size_t>(o) * k;
+    const float ws = weight_row_scale(arow, k);
+    float aw = 0.0f;
+    for (int i = 0; i < k; ++i) aw += std::fabs(arow[i]);
+    for (int j = 0; j < n; ++j) {
+      float ax = 0.0f;
+      for (int i = 0; i < k; ++i)
+        ax += std::fabs(b[static_cast<std::size_t>(i) * n + j]);
+      const float tol = int8_tol(aq.scale, ws, aw, ax, k);
+      const std::size_t at = static_cast<std::size_t>(o) * n + j;
+      ASSERT_NEAR(got[at], want[at], tol) << "o=" << o << " j=" << j;
+    }
+  }
+}
+
+TEST(GemmInt8, MatchesFp32WithinQuantTolerance) {
+  Rng rng(83);
+  // Shapes straddle the 8x32 register tile, the 4-deep k groups, and the
+  // column-panel remainder handling (n % 32, m % 8, k % 4 all nonzero).
+  const int shapes[][3] = {
+      {1, 1, 1},   {1, 7, 3},    {8, 4, 32},   {8, 16, 196},
+      {5, 9, 33},  {13, 21, 67}, {64, 16, 196}, {320, 80, 196},
+      {17, 30, 49},
+  };
+  for (const auto& s : shapes) {
+    check_gemm_int8(s[0], s[1], s[2], true, rng);
+    check_gemm_int8(s[0], s[1], s[2], false, rng);
+  }
+}
+
+TEST(GemmInt8, DegenerateScalesProduceBiasExactly) {
+  Rng rng(89);
+  const int m = 6, k = 20, n = 40;
+  const auto bias = random_vec(static_cast<std::size_t>(m), rng);
+  auto b = random_vec(static_cast<std::size_t>(k) * n, rng);
+  std::vector<float> got(static_cast<std::size_t>(m) * n);
+
+  // Zero and denormal-magnitude weights: every row hits the underflow
+  // guard, codes are all zero, output collapses to the bias exactly.
+  for (const float wval : {0.0f, 1e-40f, -1e-40f}) {
+    std::vector<float> a(static_cast<std::size_t>(m) * k, wval);
+    PackedGemmInt8 pa;
+    pa.pack(m, k, a.data());
+    gemm_int8(pa, n, b.data(), bias.data(), got.data());
+    for (int o = 0; o < m; ++o)
+      for (int j = 0; j < n; ++j)
+        ASSERT_EQ(got[static_cast<std::size_t>(o) * n + j], bias[o])
+            << "wval=" << wval << " o=" << o << " j=" << j;
+  }
+
+  // Degenerate activations: all-zero (range 0 -> scale 1, zp 0) and
+  // all-equal-negative inputs must stay finite and bias-exact / bounded.
+  const auto a = random_vec(static_cast<std::size_t>(m) * k, rng);
+  PackedGemmInt8 pa;
+  pa.pack(m, k, a.data());
+  std::fill(b.begin(), b.end(), 0.0f);
+  gemm_int8(pa, n, b.data(), bias.data(), got.data());
+  for (int o = 0; o < m; ++o)
+    for (int j = 0; j < n; ++j)
+      ASSERT_EQ(got[static_cast<std::size_t>(o) * n + j], bias[o]);
+
+  std::fill(b.begin(), b.end(), -0.75f);
+  gemm_int8(pa, n, b.data(), bias.data(), got.data());
+  const ActQuantU8 aq = choose_act_quant_u8(b.data(), b.size());
+  for (int o = 0; o < m; ++o) {
+    const float* arow = a.data() + static_cast<std::size_t>(o) * k;
+    const float ws = weight_row_scale(arow, k);
+    float aw = 0.0f, want = bias[o];
+    for (int i = 0; i < k; ++i) {
+      aw += std::fabs(arow[i]);
+      want += arow[i] * -0.75f;
+    }
+    const float tol = int8_tol(aq.scale, ws, aw, 0.75f * k, k);
+    for (int j = 0; j < n; ++j)
+      ASSERT_NEAR(got[static_cast<std::size_t>(o) * n + j], want, tol);
+  }
+
+  // Non-finite activations quantize to *some* in-range code; the result
+  // must at least come back finite (no NaN poisoning the accumulators).
+  b = random_vec(static_cast<std::size_t>(k) * n, rng);
+  b[3] = std::numeric_limits<float>::quiet_NaN();
+  b[17] = std::numeric_limits<float>::infinity();
+  b[29] = -std::numeric_limits<float>::infinity();
+  gemm_int8(pa, n, b.data(), bias.data(), got.data());
+  for (const float v : got) ASSERT_TRUE(std::isfinite(v));
+}
+
+void check_conv_int8(int in_c, int out_c, int max_k, int active_k, int stride,
+                     int groups, int batch, int h, int w, Rng& rng) {
+  SCOPED_TRACE(::testing::Message()
+               << "in=" << in_c << " out=" << out_c << " k=" << active_k
+               << " s=" << stride << " g=" << groups << " n=" << batch);
+  nn::Conv2D conv(in_c, out_c, max_k, stride, groups, rng);
+  conv.set_active_kernel(active_k);
+  const Tensor input = Tensor::randn({batch, in_c, h, w}, rng, 0.0f, 0.25f);
+  const Tensor want = conv.forward(input);  // fp32 reference path
+  conv.set_compute_precision(QuantBits::k8);
+  ASSERT_EQ(conv.compute_precision(), QuantBits::k8);
+  const Tensor got = conv.forward(input);
+  ASSERT_EQ(got.shape(), want.shape());
+
+  const int pad = active_k / 2;
+  const int oh = got.dim(2), ow = got.dim(3);
+  const auto wk = crop_weights(conv.weights(), active_k);
+  const int cpg = in_c / groups;
+  const int taps = cpg * active_k * active_k;
+  const std::size_t in_img = static_cast<std::size_t>(in_c) * h * w;
+  const std::size_t out_img = static_cast<std::size_t>(out_c) * oh * ow;
+
+  for (int b = 0; b < batch; ++b) {
+    const float* x = input.raw() + static_cast<std::size_t>(b) * in_img;
+    const ActQuantU8 aq = choose_act_quant_u8(x, in_img);
+    for (int o = 0; o < out_c; ++o) {
+      const float* wrow = wk.data() + static_cast<std::size_t>(o) * taps;
+      const float ws = weight_row_scale(wrow, taps);
+      float aw = 0.0f;
+      for (int i = 0; i < taps; ++i) aw += std::fabs(wrow[i]);
+      const int g = o / (out_c / groups);
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          // |x| over the in-bounds receptive field (padding taps carry no
+          // quantization error: zp decodes to exactly 0).
+          float ax = 0.0f;
+          for (int c = 0; c < cpg; ++c)
+            for (int ky = 0; ky < active_k; ++ky)
+              for (int kx = 0; kx < active_k; ++kx) {
+                const int iy = oy * stride - pad + ky;
+                const int ix = ox * stride - pad + kx;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+                ax += std::fabs(
+                    x[(static_cast<std::size_t>(g * cpg + c) * h + iy) * w +
+                      ix]);
+              }
+          const float tol = int8_tol(aq.scale, ws, aw, ax, taps);
+          const std::size_t at = static_cast<std::size_t>(b) * out_img +
+                                 (static_cast<std::size_t>(o) * oh + oy) * ow +
+                                 ox;
+          ASSERT_NEAR(got.raw()[at], want.raw()[at], tol)
+              << "b=" << b << " o=" << o << " oy=" << oy << " ox=" << ox;
+        }
+      }
+    }
+  }
+}
+
+TEST(Conv2DInt8, PointwiseMatchesFp32WithinQuantTolerance) {
+  Rng rng(97);
+  check_conv_int8(16, 32, 1, 1, 1, 1, 1, 14, 14, rng);
+  check_conv_int8(8, 40, 1, 1, 1, 1, 1, 7, 9, rng);   // ragged columns
+  check_conv_int8(40, 160, 1, 1, 1, 1, 2, 14, 14, rng);  // batched
+}
+
+TEST(Conv2DInt8, DepthwiseCropsMatchFp32WithinQuantTolerance) {
+  Rng rng(101);
+  for (int k : {3, 5, 7})
+    check_conv_int8(8, 8, 7, k, 1, 8, 1, 14, 14, rng);
+  check_conv_int8(8, 8, 7, 5, 2, 8, 1, 14, 14, rng);  // stride 2
+  check_conv_int8(4, 4, 7, 7, 1, 4, 2, 11, 13, rng);  // batch, odd dims
+}
+
+TEST(Conv2DInt8, BatchedForwardMatchesSerialBitwise) {
+  Rng rng(103);
+  // Activation quantization is chosen per sample, so how requests were
+  // batched must never change a single output bit.
+  struct Case {
+    int in_c, out_c, max_k, groups;
+  };
+  for (const Case cs : {Case{16, 32, 1, 1}, Case{8, 8, 5, 8}}) {
+    nn::Conv2D conv(cs.in_c, cs.out_c, cs.max_k, 1, cs.groups, rng);
+    conv.set_compute_precision(QuantBits::k8);
+    const Tensor batch = Tensor::randn({3, cs.in_c, 14, 14}, rng);
+    const Tensor fused = conv.forward(batch);
+    const std::size_t img = batch.size() / 3;
+    const std::size_t out_img = fused.size() / 3;
+    for (int b = 0; b < 3; ++b) {
+      Tensor one({1, cs.in_c, 14, 14});
+      std::memcpy(one.raw(), batch.raw() + b * img, img * sizeof(float));
+      const Tensor single = conv.forward(one);
+      ASSERT_EQ(std::memcmp(single.raw(), fused.raw() + b * out_img,
+                            out_img * sizeof(float)),
+                0)
+          << "int8 batched/serial divergence, sample " << b;
+    }
+  }
+}
+
+TEST(Conv2DLayer, FusedBatchPointwiseMatchesSerialBitwise) {
+  Rng rng(107);
+  // The fp32 batch-fused GEMM folds samples into the N dimension; the
+  // per-element accumulation order depends only on the k blocking, so the
+  // fused product must agree bitwise with one GEMM per sample.
+  nn::Conv2D conv(16, 32, 1, 1, 1, rng);
+  const Tensor batch = Tensor::randn({4, 16, 14, 14}, rng);
+  const Tensor fused = conv.forward(batch);
+  const std::size_t img = batch.size() / 4;
+  const std::size_t out_img = fused.size() / 4;
+  for (int b = 0; b < 4; ++b) {
+    Tensor one({1, 16, 14, 14});
+    std::memcpy(one.raw(), batch.raw() + b * img, img * sizeof(float));
+    const Tensor single = conv.forward(one);
+    ASSERT_EQ(std::memcmp(single.raw(), fused.raw() + b * out_img,
+                          out_img * sizeof(float)),
+              0)
+        << "fused/serial fp32 divergence, sample " << b;
+  }
+}
+
+TEST(Conv2DInt8, SteadyStateForwardIsAllocationFree) {
+  Rng rng(109);
+  nn::Conv2D pw(16, 64, 1, 1, 1, rng);
+  nn::Conv2D dw(16, 16, 7, 1, 16, rng);
+  pw.set_compute_precision(QuantBits::k8);
+  dw.set_compute_precision(QuantBits::k8);
+  const Tensor input = Tensor::randn({1, 16, 14, 14}, rng);
+  Tensor mid(pw.out_shape(input.shape()));
+  Tensor out(dw.out_shape(input.shape()));
+
+  Workspace& ws = Workspace::tls();
+  for (int i = 0; i < 2; ++i) {  // warm the arena and both weight caches
+    pw.forward_into(input, mid);
+    dw.forward_into(input, out);
+  }
+  const std::uint64_t chunks = ws.chunk_allocations();
+  const std::size_t cap = ws.capacity_bytes();
+  const std::uint64_t builds = pw.int8_cache_builds() + dw.int8_cache_builds();
+  for (int i = 0; i < 20; ++i) {
+    pw.forward_into(input, mid);
+    dw.forward_into(input, out);
+  }
+  EXPECT_EQ(ws.chunk_allocations(), chunks)
+      << "steady-state int8 forward grew the workspace";
+  EXPECT_EQ(ws.capacity_bytes(), cap);
+  EXPECT_EQ(pw.int8_cache_builds() + dw.int8_cache_builds(), builds)
+      << "steady-state int8 forward requantized the weights";
+
+  // Weight mutation invalidates the int8 cache like the crop cache.
+  dw.weights().raw()[0] += 0.5f;
+  dw.forward_into(input, out);
+  EXPECT_GT(dw.int8_cache_builds(), builds - pw.int8_cache_builds());
 }
 
 TEST(Conv2D, KernelSwitchesReuseCropCache) {

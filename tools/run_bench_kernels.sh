@@ -24,10 +24,15 @@ fi
 
 "$BENCH" --benchmark_filter="$FILTER" \
          --benchmark_format=json \
-         --benchmark_min_time=0.2 > "$OUT.raw"
+         --benchmark_min_time=0.5 > "$OUT.raw"
 
+# Context recorded alongside the numbers: the kernel thread setting the
+# run actually used and the real core count. google-benchmark's num_cpus
+# reports the cgroup-visible count, which lies inside containers.
+MURMUR_BENCH_THREADS="${MURMUR_KERNEL_THREADS:-unset}" \
+MURMUR_BENCH_CORES="$(nproc)" \
 python3 - "$OUT.raw" "$OUT" <<'PY'
-import json, sys
+import json, os, sys
 
 raw_path, out_path = sys.argv[1], sys.argv[2]
 raw = json.load(open(raw_path))
@@ -51,16 +56,34 @@ speedup = {
     if name in baseline and v["real_time_ns"] > 0
 }
 
+# fp32-vs-int8 speedup per shape: pair each *Int8 benchmark with its fp32
+# twin (the same name minus "Int8"). Benchmarks without a twin (e.g. the
+# quantize-codec microbench) are skipped.
+quantized = {}
+for name, v in current.items():
+    if "Int8" not in name:
+        continue
+    twin = name.replace("Int8", "", 1)
+    if twin in current and v["real_time_ns"] > 0:
+        quantized[name] = {
+            "fp32_ns": current[twin]["real_time_ns"],
+            "int8_ns": v["real_time_ns"],
+            "speedup_vs_fp32": round(
+                current[twin]["real_time_ns"] / v["real_time_ns"], 2),
+        }
+
 json.dump(
     {
         "context": {
             "host": raw.get("context", {}).get("host_name", ""),
-            "num_cpus": raw.get("context", {}).get("num_cpus", 0),
+            "num_cpus": int(os.environ.get("MURMUR_BENCH_CORES", "0") or 0),
             "mhz_per_cpu": raw.get("context", {}).get("mhz_per_cpu", 0),
+            "kernel_threads": os.environ.get("MURMUR_BENCH_THREADS", "unset"),
         },
         "baseline": baseline,
         "current": current,
         "speedup_vs_baseline": speedup,
+        "quantized": quantized,
     },
     open(out_path, "w"),
     indent=2,
@@ -69,3 +92,7 @@ print(f"wrote {out_path}")
 for name, s in sorted(speedup.items()):
     print(f"  {name:32s} {s:6.2f}x")
 PY
+
+# Regression gate: fail on any per-shape real_time_ns >10% above the
+# committed baseline (skipped automatically when the file is untracked).
+tools/check_bench_regress.py "$OUT"

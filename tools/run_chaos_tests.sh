@@ -21,7 +21,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR=${1:-build-chaos}
 TSAN_BUILD_DIR=${2:-build-tsan}
-LABEL=${MURMUR_CHAOS_LABEL:-faults|serving|batching}
+LABEL=${MURMUR_CHAOS_LABEL:-faults|serving|batching|int8}
 TSAN_LABEL=${MURMUR_TSAN_LABEL:-obs|serving|batching}
 
 cmake -B "$BUILD_DIR" -S . -DMURMUR_SANITIZE=address,undefined \
