@@ -75,7 +75,8 @@ Histogram& strategy_histogram(std::uint64_t key) {
 
 void note_request(const PhaseLedger& ledger,
                   const std::vector<DeviceSlice>& devices,
-                  std::uint64_t strategy_key, double observed_sim_ms) {
+                  std::uint64_t strategy_key, double observed_sim_ms,
+                  int replica) {
   if (!enabled()) return;
   auto& ph = phase_histograms();
   for (std::size_t i = 0; i < kPhaseCount; ++i) {
@@ -99,6 +100,13 @@ void note_request(const PhaseLedger& ledger,
     if (d.compute_ms > 0.0) reg.histogram(buf).observe(d.compute_ms);
   }
   strategy_histogram(strategy_key).observe(observed_sim_ms);
+  if (replica >= 0) {
+    // Replica ids are bounded by pool size (operator-chosen, single
+    // digits in practice), so no "other" cap is needed here.
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "attrib.replica%d.latency_ms", replica);
+    reg.histogram(buf).observe(observed_sim_ms);
+  }
 }
 
 bool check_invariant(double attributed_ms, double observed_ms,

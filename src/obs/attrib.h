@@ -117,11 +117,16 @@ struct DeviceSlice {
 ///   attrib.wall.<phase>             wall ms per phase (nonzero only)
 ///   attrib.dev<d>.{send,recv,compute}_ms   per-device slices
 ///   attrib.strategy.<key>.latency_ms       per-strategy observed latency
+///   attrib.replica<r>.latency_ms           per-replica observed latency
+///                                          (r >= 0 only; single-system
+///                                          callers pass the default -1
+///                                          and emit no replica series)
 /// Strategy keys are capped (kMaxStrategyKeys); overflow lands in
 /// "attrib.strategy.other.latency_ms". No-op while telemetry is disabled.
 void note_request(const PhaseLedger& ledger,
                   const std::vector<DeviceSlice>& devices,
-                  std::uint64_t strategy_key, double observed_sim_ms);
+                  std::uint64_t strategy_key, double observed_sim_ms,
+                  int replica = -1);
 
 inline constexpr std::size_t kMaxStrategyKeys = 32;
 

@@ -113,6 +113,7 @@ std::string to_json(const FlightRecord& r) {
                 static_cast<unsigned long long>(r.strategy_key));
   out += buf;
   out += ",\"rung\":" + std::to_string(r.rung);
+  out += ",\"replica\":" + std::to_string(r.replica);
   out += ",\"device_mask\":" + std::to_string(r.device_mask);
   out += ",\"breaker_open_mask\":" + std::to_string(r.breaker_open_mask);
   out += ",\"sim_arrival_ms\":" + fmt(r.sim_arrival_ms);

@@ -66,6 +66,9 @@ struct FlightRecord {
   };
   DevicePhase dev[kMaxDeviceSlices] = {};
   FlightOutcome outcome = FlightOutcome::kCompleted;
+  /// Serving replica that executed the request; -1 in single-system mode
+  /// (no pool) and for shed requests, which never reach a replica.
+  std::int16_t replica = -1;
   std::int16_t rung = 0;
   bool cache_hit = false;
   bool slo_met = false;

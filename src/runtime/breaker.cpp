@@ -20,6 +20,7 @@ void BreakerBoard::trip(Breaker& b, double sim_now_ms) {
   b.state = State::kOpen;
   b.opened_at_ms = sim_now_ms;
   b.consecutive_failures = 0;
+  b.probe_inflight = false;
   trips_.inc();
   obs::add("runtime.breaker.trip");
 }
@@ -27,22 +28,39 @@ void BreakerBoard::trip(Breaker& b, double sim_now_ms) {
 std::vector<bool> BreakerBoard::admitted_mask(double sim_now_ms) {
   std::lock_guard lock(mutex_);
   std::vector<bool> admitted(breakers_.size(), true);
-  for (std::size_t d = 1; d < breakers_.size(); ++d) {
+  for (std::size_t d = opts_.exempt_origin ? 1 : 0; d < breakers_.size();
+       ++d) {
     Breaker& b = breakers_[d];
     if (b.state == State::kOpen &&
         sim_now_ms - b.opened_at_ms >= opts_.open_cooldown_ms) {
       log_transition(d, b.state, State::kHalfOpen, sim_now_ms);
       b.state = State::kHalfOpen;
+      b.probe_inflight = false;
       half_opens_.inc();
       obs::add("runtime.breaker.half_open");
     }
-    admitted[d] = b.state != State::kOpen;
+    if (b.state == State::kHalfOpen) {
+      // Single-flight probe: the first reader after half-open (or after a
+      // lost probe expires) is granted the probe; everyone else sees the
+      // target as not admitted until record() resolves it.
+      if (!b.probe_inflight ||
+          sim_now_ms - b.probe_started_ms >= opts_.open_cooldown_ms) {
+        b.probe_inflight = true;
+        b.probe_started_ms = sim_now_ms;
+        admitted[d] = true;
+      } else {
+        admitted[d] = false;
+      }
+    } else {
+      admitted[d] = b.state != State::kOpen;
+    }
   }
   return admitted;
 }
 
 void BreakerBoard::record(std::size_t device, bool failed, double sim_now_ms) {
-  if (device == 0 || device >= breakers_.size()) return;
+  if ((opts_.exempt_origin && device == 0) || device >= breakers_.size())
+    return;
   std::lock_guard lock(mutex_);
   Breaker& b = breakers_[device];
   switch (b.state) {
@@ -57,6 +75,7 @@ void BreakerBoard::record(std::size_t device, bool failed, double sim_now_ms) {
     case State::kHalfOpen:
       // The probe request decides: success closes, failure reopens (and
       // the cooldown restarts from now).
+      b.probe_inflight = false;
       if (failed) {
         trip(b, sim_now_ms);
       } else {
@@ -114,6 +133,21 @@ std::uint64_t BreakerBoard::open_mask() const {
 std::vector<BreakerBoard::Transition> BreakerBoard::transitions() const {
   std::lock_guard lock(mutex_);
   return transition_log_;
+}
+
+std::uint64_t BreakerBoard::dropped_transitions() const {
+  std::lock_guard lock(mutex_);
+  return transition_drop_;
+}
+
+void BreakerBoard::grow_to(std::size_t n) {
+  std::lock_guard lock(mutex_);
+  if (n > breakers_.size()) breakers_.resize(n);
+}
+
+std::size_t BreakerBoard::size() const {
+  std::lock_guard lock(mutex_);
+  return breakers_.size();
 }
 
 }  // namespace murmur::runtime

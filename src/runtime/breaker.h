@@ -19,6 +19,19 @@
 // into the global registry as runtime.breaker.{trip,half_open,close} when
 // telemetry is on. All methods are thread-safe: the serving layer's workers
 // consult and feed the board concurrently.
+//
+// Half-open probes are single-flight (DESIGN.md §5.13): the admitted_mask
+// call that performs open -> half-open grants exactly one probe; further
+// calls see the target as not admitted until the probe resolves through
+// record(). A granted probe whose report never arrives (the request was
+// planned around the target) expires after another cooldown and a fresh
+// probe is granted — the target can never be wedged out permanently by a
+// lost probe.
+//
+// The board is entity-agnostic: PR 4 instantiates it over devices (entity
+// 0, the request origin, exempt from breaking), the replica pool over
+// serving replicas (no exemption — any replica may trip). grow_to() lets
+// elastic membership widen the board at runtime.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +48,10 @@ struct BreakerOptions {
   int failure_threshold = 3;
   /// Sim-time the breaker stays open before allowing a half-open probe.
   double open_cooldown_ms = 1'000.0;
+  /// Entity 0 is never broken. True for device boards (a dead local device
+  /// is a terminal kFailed, not a breaker case); the replica pool sets
+  /// false — every replica is individually breakable.
+  bool exempt_origin = true;
 };
 
 /// Board of one breaker per device. Device 0 (the request origin) is never
@@ -48,7 +65,10 @@ class BreakerBoard {
   /// Mask of devices the breakers currently admit to plans, evaluated at
   /// `sim_now_ms`. Open breakers whose cooldown has elapsed transition to
   /// half-open here (and report true: the probe request is how a device
-  /// earns readmission).
+  /// earns readmission). Probes are single-flight: while a half-open
+  /// target's probe is outstanding, subsequent calls read it as NOT
+  /// admitted until record() resolves the probe or a full cooldown elapses
+  /// (lost-probe expiry; a fresh probe is then granted).
   std::vector<bool> admitted_mask(double sim_now_ms);
 
   /// Record one request's observation of `device`: `failed` is true when
@@ -81,13 +101,27 @@ class BreakerBoard {
   /// The most recent transitions, oldest first (bounded ring of
   /// kMaxTransitionLog; older entries are dropped).
   std::vector<Transition> transitions() const;
+  /// Transitions silently evicted from the front of the bounded log. A
+  /// nonzero value tells a post-mortem reader the log is truncated
+  /// (surfaced by `murmurctl top`).
+  std::uint64_t dropped_transitions() const;
   static constexpr std::size_t kMaxTransitionLog = 256;
+
+  /// Widen the board to at least `n` entities (new breakers start closed).
+  /// Never shrinks; elastic replica membership grows the board at join.
+  void grow_to(std::size_t n);
+  /// Number of entities currently on the board.
+  std::size_t size() const;
 
  private:
   struct Breaker {
     State state = State::kClosed;
     int consecutive_failures = 0;
     double opened_at_ms = 0.0;
+    /// Half-open probe bookkeeping: a probe is outstanding, granted at
+    /// probe_started_ms (see single-flight note on admitted_mask).
+    bool probe_inflight = false;
+    double probe_started_ms = 0.0;
   };
 
   void trip(Breaker& b, double sim_now_ms);
@@ -99,7 +133,7 @@ class BreakerBoard {
   mutable std::mutex mutex_;
   std::vector<Breaker> breakers_;
   std::vector<Transition> transition_log_;
-  std::size_t transition_drop_ = 0;  // entries evicted from the front
+  std::uint64_t transition_drop_ = 0;  // entries evicted from the front
   obs::Counter trips_, half_opens_, closes_;
 };
 

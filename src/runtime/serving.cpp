@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <utility>
 
 #include "common/log.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
+#include "runtime/replica_pool.h"
 
 namespace murmur::runtime {
 
@@ -40,7 +42,7 @@ const char* to_string(ServeOutcome outcome) noexcept {
 }
 
 ServingLayer::ServingLayer(MurmurationSystem& system, ServingOptions opts)
-    : system_(system),
+    : system_(&system),
       opts_(opts),
       ladder_(opts.ladder),
       pool_(static_cast<std::size_t>(std::max(1, opts.workers)), "serving") {
@@ -56,7 +58,27 @@ ServingLayer::ServingLayer(MurmurationSystem& system, ServingOptions opts)
     });
 }
 
+ServingLayer::ServingLayer(ReplicaPool& pool, ServingOptions opts)
+    : replica_pool_(&pool),
+      opts_(opts),
+      ladder_(opts.ladder),
+      // The pool routes and executes on its own threads; this layer's
+      // worker pool only resolves shed futures, so keep it minimal.
+      pool_(1, "serving") {
+  if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
+  opts_.cold_start_latency_ms = std::max(0.0, opts_.cold_start_latency_ms);
+  if (opts_.max_batch == 0) opts_.max_batch = 1;
+  // No dispatcher thread: strategy coalescing happens per replica inside
+  // the pool (affinity routing already converged same-key requests there).
+}
+
 ServingLayer::~ServingLayer() {
+  if (replica_pool_) {
+    // Every pool done callback references `this`; wait until the last one
+    // has resolved its promise before members are torn down.
+    std::unique_lock lock(outstanding_mutex_);
+    outstanding_cv_.wait(lock, [&] { return outstanding_.load() == 0; });
+  }
   if (dispatcher_.joinable()) {
     {
       std::lock_guard lock(dispatch_mutex_);
@@ -80,8 +102,15 @@ double ServingLayer::occupancy_estimate_ms() const {
   return have_estimate_ ? ewma_occupancy_ms_ : 0.0;
 }
 
+namespace {
+bool same_class(const core::Slo& a, const core::Slo& b) {
+  return a.type == b.type && a.value == b.value;
+}
+}  // namespace
+
 void ServingLayer::note_completion(double sim_latency_ms,
-                                   double sim_occupancy_ms) {
+                                   double sim_occupancy_ms,
+                                   const core::Slo& slo) {
   std::lock_guard lock(estimate_mutex_);
   if (have_estimate_) {
     ewma_latency_ms_ += opts_.ewma_alpha * (sim_latency_ms - ewma_latency_ms_);
@@ -92,8 +121,32 @@ void ServingLayer::note_completion(double sim_latency_ms,
     ewma_occupancy_ms_ = sim_occupancy_ms;
     have_estimate_ = true;
   }
+  ClassEstimate* cls = nullptr;
+  for (auto& e : class_estimates_)
+    if (same_class(e.slo, slo)) cls = &e;
+  if (cls != nullptr) {
+    cls->latency_ms += opts_.ewma_alpha * (sim_latency_ms - cls->latency_ms);
+    cls->occupancy_ms +=
+        opts_.ewma_alpha * (sim_occupancy_ms - cls->occupancy_ms);
+  } else {
+    class_estimates_.push_back(
+        ClassEstimate{slo, sim_latency_ms, sim_occupancy_ms});
+  }
   if (obs::enabled())
     obs::gauge_set("serving.batch.occupancy_ms", ewma_occupancy_ms_);
+}
+
+double ServingLayer::class_latency_estimate_ms(const core::Slo& slo) const {
+  return class_estimates(slo).first;
+}
+
+std::pair<double, double> ServingLayer::class_estimates(
+    const core::Slo& slo) const {
+  std::lock_guard lock(estimate_mutex_);
+  for (const auto& e : class_estimates_)
+    if (same_class(e.slo, slo)) return {e.latency_ms, e.occupancy_ms};
+  return {have_estimate_ ? ewma_latency_ms_ : 0.0,
+          have_estimate_ ? ewma_occupancy_ms_ : 0.0};
 }
 
 void ServingLayer::count(ServeOutcome outcome) {
@@ -119,6 +172,18 @@ ServingLayer::Admission ServingLayer::admit(double sim_arrival_ms,
   Admission a;
   a.seq = next_seq_++;
 
+  // Pool mode: effective capacity scales with the replicas the router can
+  // actually use, and a request is only hopeless when there are none.
+  std::size_t routable = 1;
+  if (replica_pool_) {
+    routable = replica_pool_->routable_count();
+    if (routable == 0) {
+      a.shed_reason = "no_healthy_replica";
+      return a;
+    }
+  }
+  const std::size_t capacity = opts_.queue_capacity * routable;
+
   // Retire requests the sim clock says have finished by this arrival.
   std::erase_if(in_system_,
                 [&](double finish) { return finish <= sim_arrival_ms; });
@@ -126,14 +191,30 @@ ServingLayer::Admission ServingLayer::admit(double sim_arrival_ms,
   if (obs::enabled())
     obs::gauge_set("serving.queue_depth", static_cast<double>(depth));
 
-  if (depth >= opts_.queue_capacity) {
+  if (depth >= capacity) {
     a.shed_reason = "queue_full";
     return a;
   }
 
-  const double latency_est = latency_estimate_ms();
-  const double occupancy_est = occupancy_estimate_ms();
-  a.est_start_ms = std::max(sim_arrival_ms, busy_until_ms_);
+  // Judge and reserve by this SLO class's own cost (falls back to the
+  // global EWMAs while the class is cold): a tight latency class mixed
+  // with a loose class that resolves to a slower submodel must not be
+  // shed against the blend of the two.
+  const auto [latency_est, occupancy_est] = class_estimates(slo);
+  a.slo = slo;
+  if (replica_pool_) {
+    // Earliest start across the pool's per-replica reservation clocks.
+    // Admission is serialized on admission_mutex_ and nothing else touches
+    // the clocks, so the peek below and the reserve at the end agree.
+    const double est = replica_pool_->peek_earliest_start(sim_arrival_ms);
+    if (est < 0.0) {
+      a.shed_reason = "no_healthy_replica";
+      return a;
+    }
+    a.est_start_ms = est;
+  } else {
+    a.est_start_ms = std::max(sim_arrival_ms, busy_until_ms_);
+  }
   a.queue_wait_ms = a.est_start_ms - sim_arrival_ms;
 
   // Deadline feasibility: even at the deepest degradation rung, could this
@@ -151,7 +232,7 @@ ServingLayer::Admission ServingLayer::admit(double sim_arrival_ms,
 
   a.admit = true;
   a.rung = ladder_.rung_for(static_cast<double>(depth) /
-                            static_cast<double>(opts_.queue_capacity));
+                            static_cast<double>(capacity));
   // Reserve the executor slot this request is estimated to occupy: the
   // occupancy EWMA, which equals the latency EWMA under serial serving and
   // shrinks below it once fused batches amortize per-message delays — so
@@ -161,14 +242,20 @@ ServingLayer::Admission ServingLayer::admit(double sim_arrival_ms,
   // fills in_system_ and the queue_capacity bound holds from request zero.
   const double reserve_ms =
       occupancy_est > 0.0 ? occupancy_est : opts_.cold_start_latency_ms;
-  busy_until_ms_ = a.est_start_ms + reserve_ms;
-  in_system_.push_back(busy_until_ms_);
+  if (replica_pool_) {
+    replica_pool_->reserve(sim_arrival_ms, reserve_ms);
+    in_system_.push_back(a.est_start_ms + reserve_ms);
+  } else {
+    busy_until_ms_ = a.est_start_ms + reserve_ms;
+    in_system_.push_back(busy_until_ms_);
+  }
   return a;
 }
 
 std::future<ServeResult> ServingLayer::submit(const Tensor& image,
                                               double sim_arrival_ms) {
-  return submit(image, sim_arrival_ms, system_.slo());
+  return submit(image, sim_arrival_ms,
+                system_ ? system_->slo() : replica_pool_->slo());
 }
 
 std::future<ServeResult> ServingLayer::submit(const Tensor& image,
@@ -183,9 +270,10 @@ std::future<ServeResult> ServingLayer::submit(const Tensor& image,
     r.outcome = ServeOutcome::kShed;
     r.shed_reason = a.shed_reason;
     r.sim_start_ms = sim_arrival_ms;
-    // Shed-reason attribution: admit() only ever sheds for these two.
-    if (a.shed_reason[0] == 'q')
+    if (std::strcmp(a.shed_reason, "queue_full") == 0)
       shed_queue_full_.fetch_add(1);
+    else if (std::strcmp(a.shed_reason, "no_healthy_replica") == 0)
+      shed_no_replica_.fetch_add(1);
     else
       shed_infeasible_.fetch_add(1);
     window_.record(/*slo_met=*/false, /*shed=*/true);
@@ -213,6 +301,23 @@ std::future<ServeResult> ServingLayer::submit(const Tensor& image,
   ctx.queue_wait_ms = a.queue_wait_ms;
   ctx.seed = mix_seed(opts_.seed, a.seq);
 
+  if (replica_pool_) {
+    auto promise = std::make_shared<std::promise<ServeResult>>();
+    std::future<ServeResult> fut = promise->get_future();
+    outstanding_.fetch_add(1);
+    replica_pool_->submit(
+        image, ctx, [this, a, promise](ReplicaPool::Completion&& c) {
+          promise->set_value(
+              finalize(a, std::move(c.result), c.redispatches));
+          // Decrement under the mutex: the destructor's wait predicate
+          // must not observe zero (and tear members down) while this
+          // callback still has member accesses ahead of it.
+          std::lock_guard lock(outstanding_mutex_);
+          if (outstanding_.fetch_sub(1) == 1) outstanding_cv_.notify_all();
+        });
+    return fut;
+  }
+
   if (opts_.max_batch > 1) {
     Pending p;
     p.image = image;
@@ -229,14 +334,16 @@ std::future<ServeResult> ServingLayer::submit(const Tensor& image,
   }
 
   return pool_.submit([this, image, ctx, a]() -> ServeResult {
-    return finalize(a, system_.infer(image, ctx));
+    return finalize(a, system_->infer(image, ctx));
   });
 }
 
 ServeResult ServingLayer::finalize(const Admission& a,
-                                   InferenceResult&& inference) {
+                                   InferenceResult&& inference,
+                                   int redispatches) {
   ServeResult r;
   r.rung = a.rung;
+  r.redispatches = redispatches;
   r.queue_wait_ms = a.queue_wait_ms;
   r.sim_start_ms = a.est_start_ms;
   r.inference = std::move(inference);
@@ -253,8 +360,13 @@ ServeResult ServingLayer::finalize(const Admission& a,
                              : ServeOutcome::kCompleted;
       break;
   }
+  // A request re-dispatched off a dead replica was served, but not
+  // cleanly: failover ran above the executor, so it is at best degraded.
+  if (redispatches > 0 && r.outcome == ServeOutcome::kCompleted)
+    r.outcome = ServeOutcome::kDegraded;
   if (r.outcome != ServeOutcome::kFailed)
-    note_completion(r.inference.sim_latency_ms, r.inference.sim_occupancy_ms);
+    note_completion(r.inference.sim_latency_ms, r.inference.sim_occupancy_ms,
+                    a.slo);
   window_.record(r.inference.slo_met, /*shed=*/false);
   count(r.outcome);
   if (obs::enabled()) {
@@ -269,7 +381,12 @@ ServeResult ServingLayer::finalize(const Admission& a,
     fr.seq = a.seq;
     fr.strategy_key = r.inference.strategy_key;
     fr.device_mask = r.inference.device_mask;
-    fr.breaker_open_mask = system_.breakers().open_mask();
+    // Pool mode surfaces the REPLICA board here (the per-replica device
+    // boards stay visible through each system's own breakers()).
+    fr.breaker_open_mask = replica_pool_
+                               ? replica_pool_->breakers().open_mask()
+                               : system_->breakers().open_mask();
+    fr.replica = static_cast<std::int16_t>(r.inference.replica);
     fr.sim_arrival_ms = a.est_start_ms - a.queue_wait_ms;
     fr.sim_start_ms = a.est_start_ms;
     fr.sim_latency_ms = a.queue_wait_ms + r.inference.sim_latency_ms;
@@ -361,7 +478,7 @@ void ServingLayer::dispatcher_loop() {
 
     // Plan in submission (= admission) order: the monitor/decision pipeline
     // sees the same request sequence as single-worker serial serving.
-    PlannedRequest plan = system_.plan_request(p.ctx);
+    PlannedRequest plan = system_->plan_request(p.ctx);
     if (plan.failed_fast) {
       p.promise.set_value(finalize(p.adm, std::move(plan.result)));
       continue;
@@ -400,7 +517,7 @@ void ServingLayer::execute_group(std::vector<Member> group) {
     batch.push_back(std::move(m.plan));
   }
   const double exec_start_wall_ms = monotonic_ms();
-  system_.execute_batch(images, batch);
+  system_->execute_batch(images, batch);
   for (std::size_t i = 0; i < group.size(); ++i) {
     // Wall-side batching-window phase: how long this member sat parked in
     // the dispatcher between enqueue and the moment the batch *started*

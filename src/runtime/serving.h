@@ -41,6 +41,8 @@
 
 namespace murmur::runtime {
 
+class ReplicaPool;
+
 struct ServingOptions {
   /// Worker threads driving concurrent infer() calls.
   int workers = 4;
@@ -94,6 +96,9 @@ struct ServeResult {
   ServeOutcome outcome = ServeOutcome::kCompleted;
   /// Ladder rung the request was planned at (0 = honest SLO).
   int rung = 0;
+  /// Times the request was re-dispatched off a dead replica (pool mode;
+  /// always 0 in single-system mode). Nonzero forces at least kDegraded.
+  int redispatches = 0;
   /// Estimated sim-time spent queued (charged into the SLO check).
   double queue_wait_ms = 0.0;
   /// Position on the simulated clock where execution was estimated to
@@ -108,6 +113,16 @@ struct ServeResult {
 class ServingLayer {
  public:
   ServingLayer(MurmurationSystem& system, ServingOptions opts);
+
+  /// Pool mode (DESIGN.md §5.13): admission fronts a ReplicaPool instead
+  /// of one system. Occupancy is reserved against the pool's per-replica
+  /// clocks, queue capacity scales with the routable-replica count, and a
+  /// request is shed with "no_healthy_replica" only when the pool has
+  /// nobody to route to. Coalescing happens per replica inside the pool
+  /// (the pool's own max_batch), so this layer's dispatcher stays off;
+  /// opts.max_batch should mirror the pool's for honest `batched` flags.
+  /// The pool must outlive this layer.
+  ServingLayer(ReplicaPool& pool, ServingOptions opts);
 
   /// Destruction drains: queued requests still run to completion (the
   /// dispatcher flushes open groups before the worker pool joins).
@@ -134,7 +149,14 @@ class ServingLayer {
   std::uint64_t failed() const noexcept { return failed_.load(); }
 
   /// Current smoothed sim-latency estimate (0 before any completion).
+  /// Global across SLO classes; admission additionally keeps per-class
+  /// estimates so a mixed-SLO workload judges each class by its own cost.
   double latency_estimate_ms() const;
+
+  /// This SLO class's smoothed sim-latency estimate — what admission
+  /// judges a request of this class against. Falls back to the global
+  /// estimate while the class has no completions of its own.
+  double class_latency_estimate_ms(const core::Slo& slo) const;
 
   /// Current smoothed per-request executor-occupancy estimate (0 before
   /// any completion). Tracks InferenceResult::sim_occupancy_ms, so it
@@ -170,12 +192,17 @@ class ServingLayer {
   }
 
   // Observability plane (DESIGN.md §5.11).
-  /// Sheds by reason (queue_full + deadline_infeasible == shed()).
+  /// Sheds by reason (queue_full + deadline_infeasible + no_healthy_replica
+  /// == shed()).
   std::uint64_t shed_queue_full() const noexcept {
     return shed_queue_full_.load();
   }
   std::uint64_t shed_infeasible() const noexcept {
     return shed_infeasible_.load();
+  }
+  /// Sheds because no replica was routable (pool mode only).
+  std::uint64_t shed_no_replica() const noexcept {
+    return shed_no_replica_.load();
   }
   /// Ladder rung of the most recently admitted request.
   int last_rung() const noexcept { return last_rung_.load(); }
@@ -195,6 +222,22 @@ class ServingLayer {
     double est_start_ms = 0.0;
     double queue_wait_ms = 0.0;
     std::uint64_t seq = 0;
+    /// The request's honest SLO — the estimate class its completion feeds.
+    core::Slo slo{};
+  };
+
+  /// Per-SLO-class latency/occupancy EWMAs. A mixed workload (e.g. a tight
+  /// latency class interleaved with a loose one that resolves to a richer,
+  /// slower submodel) would otherwise judge the tight class's deadline
+  /// feasibility against a blended estimate and shed it wholesale; each
+  /// class is judged by — and reserves — what requests like it actually
+  /// cost. The globals keep serving the public accessors and act as the
+  /// cold-class fallback. One entry per distinct SLO, so the table stays
+  /// tiny; guarded by estimate_mutex_.
+  struct ClassEstimate {
+    core::Slo slo{};
+    double latency_ms = 0.0;
+    double occupancy_ms = 0.0;
   };
 
   /// An admitted request parked on the dispatcher queue (batching path).
@@ -215,19 +258,29 @@ class ServingLayer {
 
   /// Sim-clock admission decision; sequential under admission_mutex_.
   Admission admit(double sim_arrival_ms, const core::Slo& slo);
-  void note_completion(double sim_latency_ms, double sim_occupancy_ms);
+  void note_completion(double sim_latency_ms, double sim_occupancy_ms,
+                       const core::Slo& slo);
+  /// This SLO class's EWMAs, falling back to the globals for a class that
+  /// has not completed a request yet. Returns {latency, occupancy}.
+  std::pair<double, double> class_estimates(const core::Slo& slo) const;
   void count(ServeOutcome outcome);
   /// Map a finished pipeline result to the caller-facing ServeResult:
   /// outcome mapping, EWMA update, lifetime counters, per-request metrics.
-  /// Shared by the serial worker path and the batched path.
-  ServeResult finalize(const Admission& a, InferenceResult&& inference);
+  /// Shared by the serial worker path, the batched path and the pool done
+  /// callback; `redispatches > 0` (a request re-dispatched off a dead
+  /// replica) forces at least kDegraded.
+  ServeResult finalize(const Admission& a, InferenceResult&& inference,
+                       int redispatches = 0);
   /// Dispatcher thread body: plan in submission order, coalesce by
   /// strategy, flush on full/window/key-change/drain.
   void dispatcher_loop();
   /// Run one coalesced group on a pool worker and resolve its promises.
   void execute_group(std::vector<Member> group);
 
-  MurmurationSystem& system_;
+  /// Exactly one of these is set; system_ drives the serial and batched
+  /// single-system paths, replica_pool_ the pool mode.
+  MurmurationSystem* system_ = nullptr;
+  ReplicaPool* replica_pool_ = nullptr;
   ServingOptions opts_;
   core::DegradationLadder ladder_;
 
@@ -242,13 +295,20 @@ class ServingLayer {
   double ewma_latency_ms_ = 0.0;
   double ewma_occupancy_ms_ = 0.0;
   bool have_estimate_ = false;
+  std::vector<ClassEstimate> class_estimates_;
 
   std::atomic<std::uint64_t> submitted_{0}, completed_{0}, degraded_{0},
       shed_{0}, failed_{0};
   std::atomic<std::uint64_t> batches_{0}, batched_requests_{0}, coalesced_{0},
       full_flushes_{0}, window_flushes_{0}, key_flushes_{0}, drain_flushes_{0};
-  std::atomic<std::uint64_t> shed_queue_full_{0}, shed_infeasible_{0};
+  std::atomic<std::uint64_t> shed_queue_full_{0}, shed_infeasible_{0},
+      shed_no_replica_{0};
   std::atomic<int> last_rung_{0};
+  /// Pool-mode requests whose done callback has not fired yet; the
+  /// destructor waits for zero so no callback touches a dead `this`.
+  std::atomic<std::uint64_t> outstanding_{0};
+  std::mutex outstanding_mutex_;
+  std::condition_variable outstanding_cv_;
   /// Rolling SLO/shed window; internally mutex-protected (finalize runs on
   /// pool workers concurrently).
   obs::RollingOutcomeWindow window_{512};

@@ -22,10 +22,16 @@ SupernetHost::SupernetHost(supernet::SupernetOptions opts)
 }
 
 double SupernetHost::switch_submodel(const supernet::SubnetConfig& config) {
+  if (active_ && *active_ == config) {
+    held_switches_.fetch_add(1, std::memory_order_relaxed);
+    obs::add("reconfig.held");
+    return 0.0;
+  }
   MURMUR_SPAN("reconfig", "runtime",
               obs::maybe_histogram("stage.reconfig_ms"));
   obs::add("reconfig.switches");
   switch_count_.fetch_add(1, std::memory_order_relaxed);
+  active_ = config;
   const auto t0 = std::chrono::steady_clock::now();
   net_->activate(config);
   // Kernel-layer health alongside the reconfig metrics: a stable scratch
@@ -42,6 +48,7 @@ double SupernetHost::cold_model_load() {
   const auto t0 = std::chrono::steady_clock::now();
   net_->simulate_weight_reload(*shadow_);
   std::swap(net_, shadow_);
+  active_.reset();  // the swapped-in net's activation state is unknown
   return elapsed_ms(t0);
 }
 

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "netsim/device.h"
 #include "supernet/supernet.h"
@@ -24,7 +25,13 @@ class SupernetHost {
   const supernet::Supernet& supernet() const noexcept { return *net_; }
 
   /// Warm switch: activate a submodel in the resident supernet.
-  /// Returns host wall time in ms (expected: microseconds).
+  /// Returns host wall time in ms (expected: microseconds). When `config`
+  /// is already the active submodel the switch is *held*: no activate runs,
+  /// 0 ms is returned and held_switches() counts it — strategy-affinity
+  /// routing (DESIGN.md §5.13) relies on this to keep a hot submodel
+  /// resident across consecutive same-strategy batches. Callers serialize
+  /// (the system's exec mutex); the host takes no lock of its own for the
+  /// residency check.
   double switch_submodel(const supernet::SubnetConfig& config);
 
   /// Cold switch: simulate loading a different model of the supernet's
@@ -37,17 +44,27 @@ class SupernetHost {
 
   std::size_t resident_bytes() const noexcept { return net_->param_bytes(); }
 
-  /// Warm switches performed since construction. Strategy-coalesced
-  /// serving reconfigures once per batch, so the throughput bench reads
-  /// this to show reconfig cost amortized across batch members.
+  /// Actual warm switches (activate ran) since construction. Strategy-
+  /// coalesced serving reconfigures once per batch and affinity routing
+  /// holds repeats entirely, so the throughput bench reads this to show
+  /// reconfig cost amortized — and avoided — across batch members.
   std::uint64_t switch_count() const noexcept {
     return switch_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Switch requests held because the submodel was already resident.
+  std::uint64_t held_switches() const noexcept {
+    return held_switches_.load(std::memory_order_relaxed);
   }
 
  private:
   std::unique_ptr<supernet::Supernet> net_;
   std::unique_ptr<supernet::Supernet> shadow_;  // cold-load source
+  /// Currently active submodel; empty until the first switch and after a
+  /// cold reload (the swapped-in net's activation state is unknown).
+  std::optional<supernet::SubnetConfig> active_;
   std::atomic<std::uint64_t> switch_count_{0};
+  std::atomic<std::uint64_t> held_switches_{0};
 };
 
 }  // namespace murmur::runtime

@@ -113,8 +113,22 @@ core::Decision MurmurationSystem::decide(const rl::ConstraintPoint& c,
     MURMUR_SPAN("cache_lookup", "runtime",
                 obs::maybe_histogram("stage.cache_lookup_ms"));
     if (auto hit = cache_.get(c)) {
-      *cache_hit = true;
-      return *std::move(hit);
+      // A cache bucket spans a range of SLO values (the env grid is
+      // coarse: ~(slo_max-slo_min)/grid_points per bucket), so the stored
+      // decision may have been planned against a looser constraint than
+      // this request's. Re-judge it against *this* constraint and only
+      // reuse it when it still holds — a tighter-SLO request must not
+      // inherit a bucket-mate's slower plan. Unsatisfied entries are kept
+      // as-is: they are already the bucket's best-effort answer, and
+      // re-deciding every request under an unsatisfiable SLO would put a
+      // full policy rollout back on the hot path.
+      const bool ok = artifacts_.env->satisfies(c, hit->predicted);
+      if (ok || !hit->satisfied) {
+        hit->satisfied = ok;
+        *cache_hit = true;
+        return *std::move(hit);
+      }
+      if (obs::enabled()) obs::add("cache.requalified");
     }
   }
   *cache_hit = false;
@@ -359,6 +373,7 @@ void MurmurationSystem::finish_request(PlannedRequest& pr, bool exec_degraded) {
   else
     result.outcome = RequestOutcome::kCompleted;
   result.strategy_key = pr.strategy_key;
+  result.replica = replica_id();
   if (obs::enabled()) {
     obs::add("system.requests");
     obs::add(result.slo_met ? "system.slo_met" : "system.slo_missed");
@@ -411,7 +426,8 @@ void MurmurationSystem::finish_request(PlannedRequest& pr, bool exec_degraded) {
                                         at.device_compute_ms[d]});
     }
     const double observed = pr.ctx.queue_wait_ms + result.sim_latency_ms;
-    obs::note_request(led, slices, result.strategy_key, observed);
+    obs::note_request(led, slices, result.strategy_key, observed,
+                      result.replica);
     obs::check_invariant(led.sim_total(), observed);
   }
 }

@@ -17,6 +17,7 @@
 // Workers therefore pipeline: one request plans while another executes.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <mutex>
@@ -128,6 +129,8 @@ struct InferenceResult {
   std::uint64_t strategy_key = 0;
   /// Bit d set: device d participated in the executed plan.
   std::uint64_t device_mask = 0;
+  /// Pool replica that executed the request; -1 outside a replica pool.
+  int replica = -1;
 };
 
 /// A request that has run the planning half of the pipeline (health mask,
@@ -205,6 +208,16 @@ class MurmurationSystem {
   void execute_batch(std::span<const Tensor> images,
                      std::span<PlannedRequest> batch);
 
+  /// Identify this system as replica `id` of a pool: results, ledgers and
+  /// flight records carry the id (attrib.replica<id> series). -1 (the
+  /// default) marks a standalone system and emits no replica series.
+  void set_replica_id(int id) noexcept {
+    replica_id_.store(id, std::memory_order_relaxed);
+  }
+  int replica_id() const noexcept {
+    return replica_id_.load(std::memory_order_relaxed);
+  }
+
   const core::StrategyCache& cache() const noexcept { return cache_; }
   const core::MurmurationEnv& env() const noexcept { return *artifacts_.env; }
   SupernetHost& host() noexcept { return host_; }
@@ -233,6 +246,7 @@ class MurmurationSystem {
   SupernetHost host_;
   std::unique_ptr<DistributedExecutor> executor_;
   mutable BreakerBoard breakers_;  // admitted_mask transitions open->half-open
+  std::atomic<int> replica_id_{-1};
   Rng rng_;
   double sim_time_ms_ = 0.0;
   // Decision pipeline lock: monitor_/predictor_ state and the RL engine

@@ -139,6 +139,58 @@ TEST(Breaker, TransitionsVisibleInRuntimeBreakerMetrics) {
   EXPECT_EQ(reg.counter("runtime.breaker.close").value(), close0 + 1);
 }
 
+TEST(Breaker, HalfOpenProbeIsSingleFlightUnderConcurrency) {
+  // Many threads consult the board at the same post-cooldown instant:
+  // exactly one may carry the half-open probe. The rest must read the
+  // target as not admitted until the probe resolves (or expires).
+  BreakerBoard board(4, fast_breaker());
+  for (int i = 0; i < 3; ++i) board.record(1, true, 0.0);
+  ASSERT_EQ(board.state(1), BreakerBoard::State::kOpen);
+
+  constexpr int kThreads = 8;
+  constexpr int kCalls = 50;
+  std::atomic<int> go{0};
+  std::atomic<int> grants{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      go.fetch_add(1);
+      while (go.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kCalls; ++i)
+        if (board.admitted_mask(650.0)[1]) grants.fetch_add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(grants.load(), 1);
+  EXPECT_EQ(board.state(1), BreakerBoard::State::kHalfOpen);
+  EXPECT_EQ(board.half_opens(), 1u);
+
+  // A probe whose report never arrives expires after another cooldown and
+  // a fresh grant is issued — the target cannot be wedged out forever.
+  EXPECT_FALSE(board.admitted_mask(1'100.0)[1]);  // 650 + 500 not elapsed
+  EXPECT_TRUE(board.admitted_mask(1'200.0)[1]);   // expired: re-granted
+  board.record(1, false, 1'210.0);
+  EXPECT_EQ(board.state(1), BreakerBoard::State::kClosed);
+}
+
+TEST(Breaker, TransitionLogDropsAreCounted) {
+  BreakerBoard board(2, fast_breaker());
+  EXPECT_EQ(board.dropped_transitions(), 0u);
+  // Each cycle logs three transitions: trip, half-open, close.
+  double t = 0.0;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (int i = 0; i < 3; ++i) board.record(1, true, t);
+    t += 600.0;                    // past the 500 ms cooldown
+    (void)board.admitted_mask(t);  // open -> half-open (probe granted)
+    board.record(1, false, t);     // probe success -> closed
+    t += 10.0;
+  }
+  EXPECT_EQ(board.transitions().size(), BreakerBoard::kMaxTransitionLog);
+  EXPECT_EQ(board.dropped_transitions(),
+            300u - BreakerBoard::kMaxTransitionLog);
+}
+
 // --------------------------------------------------- degradation ladder ----
 
 TEST(DegradationLadder, RungAndFactorEndpoints) {
@@ -429,6 +481,99 @@ TEST(ServingAdmission, PressureClimbsTheDegradationLadder) {
     EXPECT_GE(rungs[i], rungs[i - 1]);  // pressure only grew
   // A degraded rung is reported as a degraded outcome even on success.
   EXPECT_GE(serving.degraded(), 1u);
+}
+
+TEST(ServingAdmission, PerSloClassEstimatesTrackEachClassSeparately) {
+  auto system = runtime::MurmurationSystem(
+      tiny_artifacts(netsim::Scenario::kAugmentedComputing),
+      tiny_system_opts());
+  runtime::ServingOptions so;
+  so.workers = 1;  // sequential completions: estimates update in order
+  so.queue_capacity = 64;
+  so.ewma_alpha = 0.5;
+  runtime::ServingLayer serving(system, so);
+  const Tensor img = test_image(57);
+  const core::Slo tight = system.slo();
+  const core::Slo loose = core::Slo::latency_ms(5'000.0);
+
+  // First completion of the tight class: its class estimate snaps to the
+  // observed sim latency; the still-cold loose class reads the global
+  // estimate as its fallback.
+  const auto r1 = serving.submit(img, 0.0, tight).get();
+  ASSERT_NE(r1.outcome, ServeOutcome::kShed);
+  const double t1 = r1.inference.sim_latency_ms;
+  EXPECT_DOUBLE_EQ(serving.class_latency_estimate_ms(tight), t1);
+  EXPECT_DOUBLE_EQ(serving.class_latency_estimate_ms(loose),
+                   serving.latency_estimate_ms());
+
+  // First loose completion: the loose class now owns its estimate.
+  const auto r2 = serving.submit(img, 2'000.0, loose).get();
+  ASSERT_NE(r2.outcome, ServeOutcome::kShed);
+  const double l1 = r2.inference.sim_latency_ms;
+  EXPECT_DOUBLE_EQ(serving.class_latency_estimate_ms(loose), l1);
+
+  // Further tight completions move only the tight class, by its own EWMA
+  // recursion; the loose class estimate stays pinned to its one sample.
+  double expect_tight = t1;
+  for (int i = 0; i < 3; ++i) {
+    const auto r = serving.submit(img, 4'000.0 + 2'000.0 * i, tight).get();
+    ASSERT_NE(r.outcome, ServeOutcome::kShed);
+    expect_tight += so.ewma_alpha * (r.inference.sim_latency_ms - expect_tight);
+  }
+  EXPECT_NEAR(serving.class_latency_estimate_ms(tight), expect_tight, 1e-9);
+  EXPECT_DOUBLE_EQ(serving.class_latency_estimate_ms(loose), l1);
+}
+
+TEST(ServingAdmission, CacheHitRequalifiedAgainstTighterSameBucketSlo) {
+  // A strategy-cache bucket spans ~(slo_max-slo_min)/grid_points of SLO
+  // value: a decision planned against a looser SLO must not be replayed
+  // verbatim for a same-bucket request it would violate. Self-calibrating:
+  // scan buckets for one where the planned decision's predicted latency
+  // lands strictly inside the bucket, then re-plan below it.
+  auto art = tiny_artifacts(netsim::Scenario::kAugmentedComputing);
+  const auto& eo = art.env->options();
+  const double bucket_w = (eo.slo_max - eo.slo_min) / eo.grid_points;
+  auto opts = tiny_system_opts();
+  auto system = runtime::MurmurationSystem(std::move(art), opts);
+  const auto plan_at = [&](double slo_ms) {
+    runtime::RequestContext ctx;
+    ctx.slo = core::Slo::latency_ms(slo_ms);
+    ctx.plan_slo = ctx.slo;
+    ctx.sim_now_ms = 10.0;
+    ctx.seed = 7;
+    return system.plan_request(ctx);
+  };
+
+  // Let the monitor's estimate EWMA converge before anything is cached:
+  // while it is still moving, consecutive plans can quantize the network
+  // dimensions into different buckets and no lookup would ever hit.
+  for (int i = 0; i < 16; ++i) (void)plan_at(eo.slo_max);
+
+  double loose_slo = 0.0, tight_slo = 0.0;
+  for (int k = 1; k < eo.grid_points && tight_slo == 0.0; ++k) {
+    const double lo = eo.slo_min + k * bucket_w;
+    const double hi = lo + 0.95 * bucket_w;  // same bucket as lo
+    const auto planned = plan_at(hi);
+    const double p = planned.result.decision.predicted.latency_ms;
+    if (planned.result.decision.satisfied && p > lo + 1e-6 && p <= hi) {
+      loose_slo = hi;
+      tight_slo = (lo + p) / 2.0;  // same bucket, below the cached plan
+    }
+  }
+  if (tight_slo == 0.0)
+    GTEST_SKIP() << "no bucket with an interior predicted latency";
+
+  // The loose plan is cached; the tighter same-bucket request must NOT
+  // reuse it (the cached strategy would blow its deadline) — it re-decides.
+  const auto tight = plan_at(tight_slo);
+  EXPECT_FALSE(tight.result.cache_hit);
+  if (tight.result.decision.satisfied) {
+    EXPECT_LE(tight.result.decision.predicted.latency_ms, tight_slo + 1e-6);
+  }
+
+  // The bucket converged onto the tighter strategy: both classes now hit.
+  EXPECT_TRUE(plan_at(tight_slo).result.cache_hit);
+  EXPECT_TRUE(plan_at(loose_slo).result.cache_hit);
 }
 
 // -------------------------------------------------- breaker integration ----

@@ -11,11 +11,13 @@ the current side is the working-tree file — regenerate it with the bench
 binary before running this gate.
 
 Regression policy (both sides compared leaf-by-leaf on matching JSON paths):
-  * higher-is-better keys (sustained_req_per_s, wall_req_per_sec, speedup)
-    fail when the current value drops more than `threshold` below baseline;
-  * lower-is-better keys — tail latencies (p99_ms, p99, max_ms) and
-    per-shape kernel times (real_time_ns, BENCH_kernels.json) — fail when
-    the current value rises more than `threshold` above baseline.
+  * higher-is-better keys (sustained_req_per_s, wall_req_per_sec, speedup,
+    and the replica-sweep scaling factors speedup_2x / speedup_4x) fail
+    when the current value drops more than `threshold` below baseline;
+  * lower-is-better keys — tail latencies (p99_ms, p99, max_ms), per-shape
+    kernel times (real_time_ns, BENCH_kernels.json), and the replica
+    sweep's supernet switches_per_batch — fail when the current value
+    rises more than `threshold` above baseline.
 Keys present on only one side are reported but never fail the gate, so
 adding new report sections (e.g. attribution snapshots) does not trip it.
 Tiny absolute values (< 1e-6) are skipped: their ratios are noise.
@@ -29,8 +31,14 @@ import os
 import subprocess
 import sys
 
-HIGHER_BETTER = ("sustained_req_per_s", "wall_req_per_sec", "speedup")
-LOWER_BETTER = ("p99_ms", "p99", "max_ms", "real_time_ns")
+HIGHER_BETTER = (
+    "sustained_req_per_s",
+    "wall_req_per_sec",
+    "speedup",
+    "speedup_2x",
+    "speedup_4x",
+)
+LOWER_BETTER = ("p99_ms", "p99", "max_ms", "real_time_ns", "switches_per_batch")
 
 
 def flatten(node, prefix=""):

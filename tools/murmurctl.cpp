@@ -16,7 +16,8 @@
 //   murmurctl overload [--requests N] [--spacing MS] [--workers N]
 //                    [--queue N] [--rungs N] [--chaos 0|1] [--scenario ...]
 //                    [--slo V] [--seed N] [--batch N] [--window MS]
-//                    [--drain-grace MS] [--attrib-out flight.jsonl]
+//                    [--drain-grace MS] [--replicas N] [--kill-at I]
+//                    [--join-at I] [--attrib-out flight.jsonl]
 //                    [--attrib-trace-out flight_trace.json]
 //                     (replay a seeded burst through the concurrent serving
 //                      layer; report the completed/degraded/shed/failed
@@ -24,16 +25,21 @@
 //                      per-phase latency-attribution table, DESIGN.md §5.11.
 //                      --batch N > 1 turns on strategy-coalesced batching,
 //                      DESIGN.md §5.10, and reports group/flush/occupancy
-//                      stats. --attrib-out dumps the flight-recorder ring as
-//                      JSONL; --attrib-trace-out exports it as a Chrome
-//                      trace with cross-device causal flow arrows)
+//                      stats. --replicas N > 1 serves the burst through a
+//                      replica pool with strategy-affinity routing,
+//                      DESIGN.md §5.13; the chaos drills --kill-at I /
+//                      --join-at I crash replica 0 / warm-join a fresh
+//                      replica when request I is submitted. --attrib-out
+//                      dumps the flight-recorder ring as JSONL;
+//                      --attrib-trace-out exports it as a Chrome trace with
+//                      cross-device causal flow arrows)
 //   murmurctl top   [--frames N] [--refresh-ms MS] [--plain 0|1]
 //                    [+ all overload flags]
 //                     (live terminal view of the same burst: SLO compliance
-//                      / shed / burn-rate gauges, ladder rung, breaker
-//                      board, phase p50/p95/p99 table, batch occupancy —
-//                      redrawn every frame; --plain 1 appends frames
-//                      instead of redrawing, for logs and CI)
+//                      / shed / burn-rate gauges, ladder rung, breaker or
+//                      per-replica board, phase p50/p95/p99 table, batch
+//                      occupancy — redrawn every frame; --plain 1 appends
+//                      frames instead of redrawing, for logs and CI)
 //   murmurctl info                                   (search space / models)
 //
 // Trained policies are cached in .murmur_cache and shared with the
@@ -60,6 +66,7 @@
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/replica_pool.h"
 #include "runtime/serving.h"
 #include "runtime/system.h"
 #include "supernet/accuracy_model.h"
@@ -276,47 +283,68 @@ int cmd_metrics(const Args& args) {
   return 0;
 }
 
-// Shared burst harness for `overload` and `top`: a trained system under
-// (optional) chaos faults fronted by the concurrent serving layer, built
-// from the common flag set. Member order matters for destruction: the
-// serving layer drains before the injector and system go away.
+// Shared burst harness for `overload` and `top`: a trained system (or a
+// replica pool of them, --replicas N) under (optional) chaos faults
+// fronted by the concurrent serving layer, built from the common flag set.
+// Member order matters for destruction: the serving layer drains first,
+// then the pool joins its workers, and the injector every replica points
+// at goes away last.
 struct BurstRig {
-  std::unique_ptr<runtime::MurmurationSystem> system;
+  core::TrainSetup setup;
+  runtime::SystemOptions sys_opts;
+  core::Slo slo;
+  double bw_mbps = 150.0;
+  double delay_ms = 20.0;
+  Tensor image;  // the burst workload; also the join warm-up probe input
   std::unique_ptr<netsim::FaultInjector> injector;
+  std::unique_ptr<runtime::MurmurationSystem> system;  // single-system mode
+  std::unique_ptr<runtime::ReplicaPool> pool;          // --replicas > 1
   std::unique_ptr<runtime::ServingLayer> serving;
   runtime::ServingOptions serve_opts;
   std::uint64_t seed = 0;
   bool chaos = false;
+  int replicas = 1;
+
+  /// One fully shaped, chaos-wired replica (cached artifacts after the
+  /// first call). Also used by the --join-at drill mid-burst.
+  std::unique_ptr<runtime::MurmurationSystem> make_replica() {
+    auto sys = std::make_unique<runtime::MurmurationSystem>(
+        core::train_or_load(setup), sys_opts);
+    netsim::shape_remotes(sys->network(), Bandwidth::from_mbps(bw_mbps),
+                          Delay::from_ms(delay_ms));
+    if (chaos)
+      sys->set_failover(
+          {.injector = injector.get(), .recv_slack_ms = 50.0});
+    return sys;
+  }
 };
 
 BurstRig make_burst_rig(const Args& args) {
-  auto setup = setup_from(args);
+  BurstRig rig;
+  rig.setup = setup_from(args);
   // The burst is a swarm workload by default: 1 local + 4 remote devices.
   if (args.flags.find("scenario") == args.flags.end())
-    setup.scenario = netsim::Scenario::kDeviceSwarm;
-  auto artifacts = core::train_or_load(setup);
-
-  runtime::SystemOptions sys_opts;
-  sys_opts.slo = slo_from(args, setup.slo_type);
-  sys_opts.exec_width_mult = args.num("width", 0.15);
-  sys_opts.classes = 100;
-  sys_opts.telemetry = true;
-  sys_opts.use_predictor = false;  // burst serving: no precompute detour
-  // Fresh collection window: training-time registration and any prior
-  // burst's flight records must not pollute this run's attribution.
+    rig.setup.scenario = netsim::Scenario::kDeviceSwarm;
+  // Warm the artifact cache before resetting the observability plane:
+  // training-time registration and any prior burst's flight records must
+  // not pollute this run's attribution.
+  (void)core::train_or_load(rig.setup);
   obs::MetricsRegistry::instance().reset();
   obs::Tracer::instance().clear();
   obs::FlightRecorder::instance().reset();
 
-  BurstRig rig;
-  rig.system = std::make_unique<runtime::MurmurationSystem>(
-      std::move(artifacts), sys_opts);
-  netsim::shape_remotes(rig.system->network(),
-                        Bandwidth::from_mbps(args.num("bw", 150)),
-                        Delay::from_ms(args.num("delay", 20)));
-
+  rig.sys_opts.slo = slo_from(args, rig.setup.slo_type);
+  rig.sys_opts.exec_width_mult = args.num("width", 0.15);
+  rig.sys_opts.classes = 100;
+  rig.sys_opts.telemetry = true;
+  rig.sys_opts.use_predictor = false;  // burst serving: no precompute detour
+  rig.slo = rig.sys_opts.slo;
+  rig.bw_mbps = args.num("bw", 150);
+  rig.delay_ms = args.num("delay", 20);
   rig.seed = static_cast<std::uint64_t>(args.num("seed", 7));
   rig.chaos = args.num("chaos", 1) != 0;
+  rig.replicas = std::max(1, static_cast<int>(args.num("replicas", 1)));
+
   netsim::FaultPlan plan;
   if (rig.chaos) {
     Rng chaos_rng(rig.seed);
@@ -326,14 +354,15 @@ BurstRig make_burst_rig(const Args& args) {
     copts.horizon_ms = args.num(
         "horizon", std::max(1'000.0, args.num("requests", 64) *
                                          args.num("spacing", 5.0) * 2.0));
-    plan = netsim::FaultPlan::chaos(rig.system->network().num_devices(),
-                                    copts, chaos_rng);
+    plan = netsim::FaultPlan::chaos(
+        netsim::make_scenario(rig.setup.scenario).num_devices(), copts,
+        chaos_rng);
   }
   rig.injector =
       std::make_unique<netsim::FaultInjector>(std::move(plan), rig.seed);
-  if (rig.chaos)
-    rig.system->set_failover(
-        {.injector = rig.injector.get(), .recv_slack_ms = 50.0});
+
+  Rng img_rng(rig.seed ^ 0x0eedu);
+  rig.image = Tensor::randn({1, 3, 224, 224}, img_rng, 0.0f, 0.5f);
 
   rig.serve_opts.workers = static_cast<int>(args.num("workers", 4));
   rig.serve_opts.queue_capacity =
@@ -348,9 +377,80 @@ BurstRig make_burst_rig(const Args& args) {
       args.num("window", rig.serve_opts.batch_window_ms);
   rig.serve_opts.drain_grace_ms =
       args.num("drain-grace", rig.serve_opts.max_batch > 1 ? 5.0 : 0.0);
-  rig.serving =
-      std::make_unique<runtime::ServingLayer>(*rig.system, rig.serve_opts);
+
+  if (rig.replicas > 1) {
+    std::vector<std::unique_ptr<runtime::MurmurationSystem>> systems;
+    systems.reserve(static_cast<std::size_t>(rig.replicas));
+    for (int i = 0; i < rig.replicas; ++i)
+      systems.push_back(rig.make_replica());
+    runtime::ReplicaPoolOptions po;
+    po.max_batch = rig.serve_opts.max_batch;
+    po.batch_window_ms = rig.serve_opts.batch_window_ms;
+    po.drain_grace_ms = rig.serve_opts.drain_grace_ms;
+    po.warmup_image = rig.image;  // --join-at drills probe before serving
+    rig.pool = std::make_unique<runtime::ReplicaPool>(std::move(systems), po);
+    rig.serving =
+        std::make_unique<runtime::ServingLayer>(*rig.pool, rig.serve_opts);
+  } else {
+    rig.system = rig.make_replica();
+    rig.serving =
+        std::make_unique<runtime::ServingLayer>(*rig.system, rig.serve_opts);
+  }
   return rig;
+}
+
+/// Per-replica board + routing/membership counters for pool-mode bursts
+/// (`--replicas N`), DESIGN.md §5.13.
+void print_replica_board(const runtime::ReplicaPool& pool) {
+  Table t({"replica", "state", "breaker", "load", "executed", "affinity",
+           "switches", "held"});
+  for (const auto& r : pool.snapshot()) {
+    char key[20];
+    std::snprintf(key, sizeof(key), "%012llx",
+                  static_cast<unsigned long long>(r.affinity_key) &
+                      0xFFFFFFFFFFFFull);
+    t.new_row()
+        .add(static_cast<double>(r.id))
+        .add(runtime::to_string(r.state))
+        .add(runtime::to_string(r.breaker))
+        .add(static_cast<double>(r.load))
+        .add(static_cast<double>(r.executed))
+        .add(key)
+        .add(static_cast<double>(r.switches))
+        .add(static_cast<double>(r.switches_held));
+  }
+  t.print(std::cout);
+  std::printf("routing: %llu planned — %llu affinity, %llu spill, "
+              "%llu probe; %llu redispatched, %llu unroutable\n",
+              static_cast<unsigned long long>(pool.planned()),
+              static_cast<unsigned long long>(pool.affinity_routed()),
+              static_cast<unsigned long long>(pool.spill_routed()),
+              static_cast<unsigned long long>(pool.probe_routed()),
+              static_cast<unsigned long long>(pool.redispatched()),
+              static_cast<unsigned long long>(pool.unroutable_failures()));
+  std::printf("membership: %llu joins, %llu kills, %llu drains; "
+              "pool batches %llu (%llu coalesced); supernet switches "
+              "%llu actual, %llu held resident\n",
+              static_cast<unsigned long long>(pool.joins()),
+              static_cast<unsigned long long>(pool.kills()),
+              static_cast<unsigned long long>(pool.drains()),
+              static_cast<unsigned long long>(pool.batches()),
+              static_cast<unsigned long long>(pool.coalesced()),
+              static_cast<unsigned long long>(pool.total_switches()),
+              static_cast<unsigned long long>(pool.total_held_switches()));
+  const auto& b = pool.breakers();
+  const auto transitions = b.transitions();
+  std::printf("replica breakers: %llu trips, %llu half-opens, %llu closes; "
+              "transition log %zu events (%llu dropped)\n",
+              static_cast<unsigned long long>(b.trips()),
+              static_cast<unsigned long long>(b.half_opens()),
+              static_cast<unsigned long long>(b.closes()),
+              transitions.size(),
+              static_cast<unsigned long long>(b.dropped_transitions()));
+  for (const auto& tr : transitions)
+    std::printf("    t=%7.1f ms  replica %zu  %s -> %s\n", tr.sim_ms,
+                tr.device, runtime::to_string(tr.from),
+                runtime::to_string(tr.to));
 }
 
 /// Per-phase sim-latency attribution table (p50/p95/p99 from the
@@ -407,22 +507,37 @@ bool export_flight_records(const Args& args) {
 
 int cmd_overload(const Args& args) {
   BurstRig rig = make_burst_rig(args);
-  runtime::MurmurationSystem& system = *rig.system;
   runtime::ServingLayer& serving = *rig.serving;
   const runtime::ServingOptions& serve_opts = rig.serve_opts;
 
   const int requests = std::max(1, static_cast<int>(args.num("requests", 64)));
   const double spacing = args.num("spacing", 5.0);
-  Rng rng(rig.seed ^ 0x0eedu);
-  Tensor image = Tensor::randn({1, 3, 224, 224}, rng, 0.0f, 0.5f);
+  // Chaos drills (pool mode): crash replica 0 / warm-join a fresh replica
+  // when the given request index is submitted.
+  const int kill_at = static_cast<int>(args.num("kill-at", -1));
+  const int join_at = static_cast<int>(args.num("join-at", -1));
 
   std::vector<std::future<runtime::ServeResult>> futures;
   futures.reserve(static_cast<std::size_t>(requests));
-  for (int i = 0; i < requests; ++i)
-    futures.push_back(serving.submit(image, i * spacing));
+  for (int i = 0; i < requests; ++i) {
+    if (rig.pool) {
+      if (i == kill_at) {
+        std::printf("chaos drill: killing replica 0 at request %d "
+                    "(sim %.1f ms)\n", i, i * spacing);
+        rig.pool->kill(0);
+      }
+      if (i == join_at) {
+        const int id = rig.pool->join(rig.make_replica(), i * spacing);
+        std::printf("chaos drill: replica %d joining at request %d "
+                    "(sim %.1f ms)\n", id, i, i * spacing);
+      }
+    }
+    futures.push_back(serving.submit(rig.image, i * spacing));
+  }
 
   int by_outcome[4] = {0, 0, 0, 0};
-  int degraded_rungs = 0, queue_full = 0, infeasible = 0;
+  int degraded_rungs = 0, queue_full = 0, infeasible = 0, no_replica = 0;
+  int redispatched_reqs = 0;
   double max_wait = 0.0;
   for (auto& f : futures) {
     const runtime::ServeResult r = f.get();
@@ -430,13 +545,15 @@ int cmd_overload(const Args& args) {
     if (r.rung > 0) ++degraded_rungs;
     if (std::strcmp(r.shed_reason, "queue_full") == 0) ++queue_full;
     if (std::strcmp(r.shed_reason, "deadline_infeasible") == 0) ++infeasible;
+    if (std::strcmp(r.shed_reason, "no_healthy_replica") == 0) ++no_replica;
+    if (r.redispatches > 0) ++redispatched_reqs;
     max_wait = std::max(max_wait, r.queue_wait_ms);
   }
 
   std::printf("%d requests, spacing %.1f ms sim, SLO %s, %d workers, "
-              "queue %zu\n",
-              requests, spacing, system.slo().to_string().c_str(),
-              serve_opts.workers, serve_opts.queue_capacity);
+              "queue %zu, %d replica(s)\n",
+              requests, spacing, rig.slo.to_string().c_str(),
+              serve_opts.workers, serve_opts.queue_capacity, rig.replicas);
   Table t({"outcome", "count", "share"});
   for (int o = 0; o < 4; ++o)
     t.new_row()
@@ -444,9 +561,12 @@ int cmd_overload(const Args& args) {
         .add(static_cast<double>(by_outcome[o]))
         .add(100.0 * by_outcome[o] / requests);
   t.print(std::cout);
-  std::printf("shed: %d queue_full, %d deadline_infeasible; "
-              "%d served at a degraded rung; max queue wait %.0f ms sim\n",
-              queue_full, infeasible, degraded_rungs, max_wait);
+  std::printf("shed: %d queue_full, %d deadline_infeasible, "
+              "%d no_healthy_replica; %d served at a degraded rung; "
+              "%d redispatched off a dead replica; max queue wait %.0f ms "
+              "sim\n",
+              queue_full, infeasible, no_replica, degraded_rungs,
+              redispatched_reqs, max_wait);
   std::printf("latency estimate (EWMA): %.1f ms sim\n",
               serving.latency_estimate_ms());
   if (serve_opts.max_batch > 1) {
@@ -472,22 +592,29 @@ int cmd_overload(const Args& args) {
         "latency estimate still judges deadlines)\n",
         serving.occupancy_estimate_ms());
   }
-  const auto& breakers = system.breakers();
-  std::printf("breakers: %llu trips, %llu half-opens, %llu closes; "
-              "%zu currently not closed\n",
-              static_cast<unsigned long long>(breakers.trips()),
-              static_cast<unsigned long long>(breakers.half_opens()),
-              static_cast<unsigned long long>(breakers.closes()),
-              breakers.open_count());
-  for (std::size_t d = 1; d < system.network().num_devices(); ++d)
-    std::printf("  device %zu: %s\n", d, breakers.state_name(d));
-  const auto transitions = breakers.transitions();
-  if (!transitions.empty()) {
-    std::printf("  transition log (%zu events):\n", transitions.size());
-    for (const auto& tr : transitions)
-      std::printf("    t=%7.1f ms  device %zu  %s -> %s\n", tr.sim_ms,
-                  tr.device, runtime::to_string(tr.from),
-                  runtime::to_string(tr.to));
+  if (rig.pool) {
+    print_replica_board(*rig.pool);
+  } else {
+    const auto& breakers = rig.system->breakers();
+    std::printf("breakers: %llu trips, %llu half-opens, %llu closes; "
+                "%zu currently not closed\n",
+                static_cast<unsigned long long>(breakers.trips()),
+                static_cast<unsigned long long>(breakers.half_opens()),
+                static_cast<unsigned long long>(breakers.closes()),
+                breakers.open_count());
+    for (std::size_t d = 1; d < rig.system->network().num_devices(); ++d)
+      std::printf("  device %zu: %s\n", d, breakers.state_name(d));
+    const auto transitions = breakers.transitions();
+    if (!transitions.empty()) {
+      std::printf("  transition log (%zu events, %llu dropped):\n",
+                  transitions.size(),
+                  static_cast<unsigned long long>(
+                      breakers.dropped_transitions()));
+      for (const auto& tr : transitions)
+        std::printf("    t=%7.1f ms  device %zu  %s -> %s\n", tr.sim_ms,
+                    tr.device, runtime::to_string(tr.from),
+                    runtime::to_string(tr.to));
+    }
   }
   std::printf("rolling SLO window (%d most recent): compliance %.1f%%, "
               "shed rate %.1f%%, burn rate %.2fx (target 95%%)\n",
@@ -511,9 +638,8 @@ int cmd_top(const Args& args) {
       std::max(1, std::min(requests, static_cast<int>(args.num("frames", 8))));
   const double refresh_ms = args.num("refresh-ms", 0.0);
   const bool plain = args.num("plain", 0) != 0;
-
-  Rng rng(rig.seed ^ 0x0eedu);
-  Tensor image = Tensor::randn({1, 3, 224, 224}, rng, 0.0f, 0.5f);
+  const int kill_at = static_cast<int>(args.num("kill-at", -1));
+  const int join_at = static_cast<int>(args.num("join-at", -1));
 
   int by_outcome[4] = {0, 0, 0, 0};
   int submitted = 0;
@@ -524,25 +650,33 @@ int cmd_top(const Args& args) {
     const int target = requests * frame / frames;
     std::vector<std::future<runtime::ServeResult>> slice;
     slice.reserve(static_cast<std::size_t>(target - submitted));
-    for (; submitted < target; ++submitted)
-      slice.push_back(serving.submit(image, submitted * spacing));
+    for (; submitted < target; ++submitted) {
+      if (rig.pool) {
+        if (submitted == kill_at) rig.pool->kill(0);
+        if (submitted == join_at)
+          rig.pool->join(rig.make_replica(), submitted * spacing);
+      }
+      slice.push_back(serving.submit(rig.image, submitted * spacing));
+    }
     for (auto& f : slice)
       ++by_outcome[static_cast<int>(f.get().outcome)];
 
     if (!plain) std::printf("\x1b[H\x1b[2J");  // home + clear
     std::printf("murmurctl top — frame %d/%d — %d/%d submitted — SLO %s\n",
                 frame, frames, submitted, requests,
-                rig.system->slo().to_string().c_str());
+                rig.slo.to_string().c_str());
     std::printf("slo window: compliance %5.1f%%  shed %5.1f%%  "
                 "burn %5.2fx  |  ladder rung %d\n",
                 100.0 * serving.slo_compliance(),
                 100.0 * serving.slo_shed_rate(), serving.slo_burn_rate(),
                 serving.last_rung());
     std::printf("outcomes: %d completed, %d degraded, %d shed "
-                "(%llu queue_full, %llu infeasible), %d failed\n",
+                "(%llu queue_full, %llu infeasible, %llu no_replica), "
+                "%d failed\n",
                 by_outcome[0], by_outcome[1], by_outcome[2],
                 static_cast<unsigned long long>(serving.shed_queue_full()),
                 static_cast<unsigned long long>(serving.shed_infeasible()),
+                static_cast<unsigned long long>(serving.shed_no_replica()),
                 by_outcome[3]);
     std::printf("estimates: latency %.1f ms sim, occupancy %.1f ms sim",
                 serving.latency_estimate_ms(),
@@ -555,20 +689,37 @@ int cmd_top(const Args& args) {
                             static_cast<double>(serving.batches())
                       : 0.0);
     std::printf("\n");
-    const auto& breakers = rig.system->breakers();
-    std::printf("breakers:");
-    for (std::size_t d = 1; d < rig.system->network().num_devices(); ++d)
-      std::printf("  [%zu %s]", d, breakers.state_name(d));
-    const auto transitions = breakers.transitions();
-    std::printf("  (%llu trips, %zu transitions)\n",
-                static_cast<unsigned long long>(breakers.trips()),
-                transitions.size());
-    for (std::size_t i = transitions.size() > 3 ? transitions.size() - 3 : 0;
-         i < transitions.size(); ++i)
-      std::printf("  t=%7.1f ms  device %zu  %s -> %s\n",
-                  transitions[i].sim_ms, transitions[i].device,
-                  runtime::to_string(transitions[i].from),
-                  runtime::to_string(transitions[i].to));
+    if (rig.pool) {
+      const auto& breakers = rig.pool->breakers();
+      std::printf("replicas:");
+      for (const auto& info : rig.pool->snapshot())
+        std::printf("  [%d %s/%s load %d exec %llu]", info.id,
+                    runtime::to_string(info.state),
+                    runtime::to_string(info.breaker), info.load,
+                    static_cast<unsigned long long>(info.executed));
+      std::printf("  (%llu redispatched, %llu dropped transitions)\n",
+                  static_cast<unsigned long long>(
+                      rig.pool->redispatched()),
+                  static_cast<unsigned long long>(
+                      breakers.dropped_transitions()));
+    } else {
+      const auto& breakers = rig.system->breakers();
+      std::printf("breakers:");
+      for (std::size_t d = 1; d < rig.system->network().num_devices(); ++d)
+        std::printf("  [%zu %s]", d, breakers.state_name(d));
+      const auto transitions = breakers.transitions();
+      std::printf("  (%llu trips, %zu transitions, %llu dropped)\n",
+                  static_cast<unsigned long long>(breakers.trips()),
+                  transitions.size(),
+                  static_cast<unsigned long long>(
+                      breakers.dropped_transitions()));
+      for (std::size_t i = transitions.size() > 3 ? transitions.size() - 3 : 0;
+           i < transitions.size(); ++i)
+        std::printf("  t=%7.1f ms  device %zu  %s -> %s\n",
+                    transitions[i].sim_ms, transitions[i].device,
+                    runtime::to_string(transitions[i].from),
+                    runtime::to_string(transitions[i].to));
+    }
     std::printf("phase attribution (sim ms):\n");
     if (!print_phase_attribution()) std::printf("  (no samples yet)\n");
     std::fflush(stdout);

@@ -2,13 +2,15 @@
 # Chaos + concurrency sweep, two sanitized configurations:
 #
 #   1. AddressSanitizer + UndefinedBehaviorSanitizer over every test carrying
-#      the `faults`, `serving`, or `batching` ctest label
+#      the `faults`, `serving`, `batching`, or `replicas` ctest label
 #      (tests/test_faults.cpp, tests/test_serving.cpp,
-#      tests/test_batching.cpp).
-#   2. ThreadSanitizer over the concurrency-heavy `obs`, `serving` and
-#      `batching` labels (the obs suite hammers the flight-recorder ring
-#      from 8 writer threads). TSan cannot be combined with ASan, so it
-#      gets its own build dir.
+#      tests/test_batching.cpp, tests/test_replicas.cpp).
+#   2. ThreadSanitizer over the concurrency-heavy `obs`, `serving`,
+#      `batching` and `replicas` labels (the obs suite hammers the
+#      flight-recorder ring from 8 writer threads; the replica suite runs a
+#      router plus one worker thread per replica through kill/drain/join
+#      races). TSan cannot be combined with ASan, so it gets its own build
+#      dir.
 #
 # Usage:  tools/run_chaos_tests.sh [asan-build-dir] [tsan-build-dir]
 #
@@ -21,8 +23,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR=${1:-build-chaos}
 TSAN_BUILD_DIR=${2:-build-tsan}
-LABEL=${MURMUR_CHAOS_LABEL:-faults|serving|batching|int8}
-TSAN_LABEL=${MURMUR_TSAN_LABEL:-obs|serving|batching}
+LABEL=${MURMUR_CHAOS_LABEL:-faults|serving|batching|int8|replicas}
+TSAN_LABEL=${MURMUR_TSAN_LABEL:-obs|serving|batching|replicas}
 
 cmake -B "$BUILD_DIR" -S . -DMURMUR_SANITIZE=address,undefined \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo

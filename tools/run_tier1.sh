@@ -10,9 +10,11 @@
 #      a green run means something broke silently.
 #   3. Sanitizer sweep: delegates to tools/run_chaos_tests.sh with the
 #      full chaos-relevant label set — ASan+UBSan over
-#      obs|kernels|int8|faults|serving|batching, TSan over obs|serving|batching
-#      (the obs label carries the flight-recorder concurrency hammer) —
-#      and applies the same log scrub to its output.
+#      obs|kernels|int8|faults|serving|batching|replicas, TSan over
+#      obs|serving|batching|replicas (the obs label carries the
+#      flight-recorder concurrency hammer; replicas the pool's
+#      kill/drain/join races) — and applies the same log scrub to its
+#      output.
 #   4. Bench-regression gate: tools/check_bench_regress.py diffs the
 #      working-tree BENCH_*.json files against the committed baselines and
 #      fails on a >10% sustained-throughput drop or p99 rise. Skipped
@@ -52,8 +54,8 @@ grep -E '^[0-9]+% tests passed|^Total Test time' "$LOG" || true
 scrub_log "tier-1 ctest"
 
 echo "== sanitizer sweep (ASan+UBSan + TSan) =="
-MURMUR_CHAOS_LABEL='obs|kernels|int8|faults|serving|batching' \
-MURMUR_TSAN_LABEL='obs|serving|batching' \
+MURMUR_CHAOS_LABEL='obs|kernels|int8|faults|serving|batching|replicas' \
+MURMUR_TSAN_LABEL='obs|serving|batching|replicas' \
   tools/run_chaos_tests.sh 2>&1 | tee "$LOG"
 scrub_log "sanitizer sweep"
 
@@ -61,5 +63,5 @@ echo "== bench-regression gate =="
 tools/check_bench_regress.py
 
 echo "tier-1 gate clean: full suite green, no error-level log output," \
-     "sanitized labels obs|kernels|int8|faults|serving|batching pass," \
-     "benches within 10% of the committed baseline"
+     "sanitized labels obs|kernels|int8|faults|serving|batching|replicas" \
+     "pass, benches within 10% of the committed baseline"
