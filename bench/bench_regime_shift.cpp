@@ -1,0 +1,313 @@
+// Regime-shift recovery: frozen policy vs online adaptation (DESIGN.md
+// §5.14).
+//
+// Failure mechanism under test: the policy is trained against a NARROWED
+// constraint envelope (bandwidth >= 150 Mbps — an operator sizing the
+// training grid to the link's contracted floor). Mid-run the remote link
+// degrades far below that floor; `make_constraint` clamps the monitored
+// bandwidth to the envelope edge, so the decision model systematically
+// underestimates remote transfer cost and the frozen policy keeps picking
+// remote-heavy strategies whose REAL latency violates the SLO. The model
+// cannot see its own bias — the frozen deployment never recovers.
+//
+// The online path closes the loop: per-request observed/predicted latency
+// ratios feed the per-device calibration (remote plans get re-judged at
+// their real cost, cached entries included), the residual CUSUM fires on
+// the monitor's forecast residuals (re-fitting the predictor and purging
+// strategies on the drifted link), and the background GCSL trainer keeps
+// folding reality-labelled trajectories into guarded policy snapshots.
+// Decisions move to plans that are actually feasible and compliance
+// recovers while the frozen twin stays down.
+//
+// Both runs are fully deterministic (fixed seeds, trainer cycles driven
+// synchronously every few requests instead of from the background thread).
+//
+// Reported (and merged into BENCH_serving.json under "regime_shift",
+// gated by tools/check_bench_regress.py):
+//   online.recovered_compliance  — compliance over the final window
+//                                  (higher is better, gated);
+//   online.recovery_time_ms      — sim time from the shift until a full
+//                                  20-request window is >= 90% compliant
+//                                  (lower is better, gated);
+//   frozen.final_compliance      — the permanent failure (NOT gated: it
+//                                  measures the problem, not the fix).
+//
+// Knobs: MURMUR_REGIME_REQUESTS (default 220), plus the shared
+// MURMUR_TRAIN_STEPS / MURMUR_NO_CACHE.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "netsim/scenario.h"
+#include "runtime/adapt.h"
+#include "runtime/system.h"
+
+namespace murmur::bench {
+namespace {
+
+constexpr double kSloMs = 210.0;
+constexpr double kSpacingMs = 25.0;
+// Pre-shift link: comfortably inside the training envelope.
+constexpr double kPreBwMbps = 300.0, kPreDelayMs = 20.0;
+// Post-shift link: bandwidth far below the envelope floor (the constraint
+// clamps), delay still inside it (stays honest — only bandwidth lies).
+constexpr double kPostBwMbps = 25.0, kPostDelayMs = 60.0;
+constexpr double kEnvelopeBwFloorMbps = 150.0;
+constexpr int kShiftAt = 70;           // request index of the degradation
+constexpr int kFinalWindow = 50;       // recovered/final compliance window
+constexpr int kRecoveryWindow = 20;    // rolling window for recovery time
+constexpr double kRecoveryBar = 0.9;   // compliance bar for "recovered"
+constexpr int kCycleEvery = 10;        // trainer cadence (requests)
+
+int env_int(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+
+/// Training setup with the narrowed bandwidth envelope (its own checkpoint
+/// cache key — see TrainSetup::env_opts).
+core::TrainSetup narrowed_setup() {
+  core::TrainSetup s;
+  s.scenario = netsim::Scenario::kAugmentedComputing;
+  s.slo_type = core::SloType::kLatency;
+  s.trainer.total_steps = train_steps();
+  core::EnvOptions eo;
+  eo.bw_min_mbps = kEnvelopeBwFloorMbps;
+  s.env_opts = eo;
+  return s;
+}
+
+struct RequestPoint {
+  double arrival_ms = 0.0;
+  bool slo_met = false;
+};
+
+struct RunResult {
+  std::vector<RequestPoint> points;
+  runtime::OnlineAdapter::Stats adapt;  // zeroes for the frozen run
+  bool adapted = false;
+};
+
+double compliance(const std::vector<RequestPoint>& pts, int begin, int end) {
+  begin = std::max(0, begin);
+  end = std::min(end, static_cast<int>(pts.size()));
+  if (begin >= end) return 0.0;
+  int met = 0;
+  for (int i = begin; i < end; ++i) met += pts[static_cast<std::size_t>(i)].slo_met;
+  return static_cast<double>(met) / static_cast<double>(end - begin);
+}
+
+/// Sim ms from the shift until the first kRecoveryWindow-request window at
+/// >= kRecoveryBar compliance; -1 when the run never recovers.
+double recovery_time_ms(const std::vector<RequestPoint>& pts) {
+  const int n = static_cast<int>(pts.size());
+  for (int i = kShiftAt; i + kRecoveryWindow <= n; ++i)
+    if (compliance(pts, i, i + kRecoveryWindow) >= kRecoveryBar)
+      return pts[static_cast<std::size_t>(i)].arrival_ms -
+             pts[kShiftAt].arrival_ms;
+  return -1.0;
+}
+
+RunResult run_mode(bool online, int requests) {
+  auto artifacts = core::train_or_load(narrowed_setup());
+  const core::MurmurationEnv& env = *artifacts.env;
+
+  runtime::SystemOptions opts;
+  opts.slo = core::Slo::latency_ms(kSloMs);
+  opts.exec_width_mult = 0.15;
+  opts.classes = 100;
+  opts.use_predictor = false;
+  runtime::MurmurationSystem system(std::move(artifacts), opts);
+
+  std::unique_ptr<runtime::OnlineAdapter> adapter;
+  if (online) {
+    adapter = std::make_unique<runtime::OnlineAdapter>(
+        env, system.policy(), system.replay());
+    system.attach_adapter(adapter.get());
+  }
+
+  netsim::shape_remotes(system.network(), Bandwidth::from_mbps(kPreBwMbps),
+                        Delay::from_ms(kPreDelayMs));
+
+  Rng img_rng(0x0eed);
+  const Tensor image = Tensor::randn({1, 3, 224, 224}, img_rng, 0.0f, 0.5f);
+
+  RunResult out;
+  out.adapted = online;
+  out.points.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    if (i == kShiftAt)
+      netsim::shape_remotes(system.network(),
+                            Bandwidth::from_mbps(kPostBwMbps),
+                            Delay::from_ms(kPostDelayMs));
+    runtime::RequestContext ctx;
+    ctx.slo = core::Slo::latency_ms(kSloMs);
+    ctx.plan_slo = ctx.slo;
+    ctx.sim_now_ms = i * kSpacingMs;
+    ctx.seed = static_cast<std::uint64_t>(i) ^ 0x5107u;
+    const auto r = system.infer(image, ctx);
+    out.points.push_back({ctx.sim_now_ms, r.slo_met});
+    // Deterministic trainer cadence (the deployment's background thread,
+    // driven synchronously so the bench is reproducible).
+    if (adapter && (i + 1) % kCycleEvery == 0) adapter->run_cycle();
+  }
+  if (adapter) {
+    out.adapt = adapter->stats();
+    system.attach_adapter(nullptr);
+  }
+  return out;
+}
+
+std::string regime_section(const RunResult& frozen, const RunResult& online,
+                           int requests) {
+  const auto pre = [&](const RunResult& r) {
+    return compliance(r.points, 0, kShiftAt);
+  };
+  const auto post = [&](const RunResult& r) {
+    return compliance(r.points, kShiftAt, requests);
+  };
+  const auto fin = [&](const RunResult& r) {
+    return compliance(r.points, requests - kFinalWindow, requests);
+  };
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  os << "\"regime_shift\": {\n"
+     << "    \"workload\": {\n"
+     << "      \"scenario\": \"augmented_computing\",\n"
+     << "      \"slo_ms\": " << kSloMs << ",\n"
+     << "      \"requests\": " << requests << ",\n"
+     << "      \"spacing_ms\": " << kSpacingMs << ",\n"
+     << "      \"train_envelope_bw_floor_mbps\": " << kEnvelopeBwFloorMbps
+     << ",\n"
+     << "      \"pre_shift_link\": \"" << kPreBwMbps << " Mbps / "
+     << kPreDelayMs << " ms\",\n"
+     << "      \"post_shift_link\": \"" << kPostBwMbps << " Mbps / "
+     << kPostDelayMs << " ms\",\n"
+     << "      \"shift_at_request\": " << kShiftAt << "\n"
+     << "    },\n"
+     << "    \"frozen\": {\n"
+     << "      \"pre_shift_compliance\": " << pre(frozen) << ",\n"
+     << "      \"post_shift_compliance\": " << post(frozen) << ",\n"
+     << "      \"final_compliance\": " << fin(frozen) << "\n"
+     << "    },\n"
+     << "    \"online\": {\n"
+     << "      \"pre_shift_compliance\": " << pre(online) << ",\n"
+     << "      \"post_shift_compliance\": " << post(online) << ",\n"
+     << "      \"recovered_compliance\": " << fin(online) << ",\n"
+     << "      \"recovery_time_ms\": " << recovery_time_ms(online.points)
+     << ",\n"
+     << "      \"drift_events\": " << online.adapt.drift_events << ",\n"
+     << "      \"snapshots_published\": " << online.adapt.published << ",\n"
+     << "      \"guardrail_rejections\": " << online.adapt.rejected_guardrail
+     << ",\n"
+     << "      \"rollbacks\": " << online.adapt.rollbacks << ",\n"
+     << "      \"calibration_max_ratio\": "
+     << online.adapt.calibration_max_ratio << "\n"
+     << "    }\n"
+     << "  }";
+  return os.str();
+}
+
+/// Merge the section into BENCH_serving.json: strip any previous
+/// "regime_shift" object (brace-counted), then splice the new one in
+/// before the file's closing brace. The serving-throughput bench owns the
+/// rest of the file; re-running either bench preserves the other's
+/// sections.
+void merge_into_serving_json(const char* path, const std::string& section) {
+  std::string text;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      text = ss.str();
+    }
+  }
+  const std::string key = "\"regime_shift\":";
+  const std::size_t at = text.find(key);
+  if (at != std::string::npos) {
+    std::size_t open = text.find('{', at);
+    std::size_t end = open;
+    for (int depth = 0; end < text.size(); ++end) {
+      if (text[end] == '{') ++depth;
+      if (text[end] == '}' && --depth == 0) break;
+    }
+    // Take the preceding comma (or, for a leading section, the trailing
+    // one) with the object so the remainder stays valid JSON.
+    std::size_t begin = text.find_last_of(',', at);
+    if (begin == std::string::npos || text.find('}', begin) < at)
+      begin = at;
+    while (begin > 0 && (text[begin - 1] == ' ' || text[begin - 1] == '\n'))
+      --begin;
+    text.erase(begin, end + 1 - begin);
+  }
+  const std::size_t close = text.find_last_of('}');
+  if (close == std::string::npos) {
+    text = "{\n  " + section + "\n}\n";
+  } else {
+    text.insert(close, ",\n  " + section + "\n");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  std::printf("merged regime_shift section into %s\n", path);
+}
+
+int run() {
+  const int requests = std::max(kShiftAt + kFinalWindow + kRecoveryWindow,
+                                env_int("MURMUR_REGIME_REQUESTS", 220));
+
+  std::printf("regime-shift bench: %d requests, shift at %d "
+              "(%g->%g Mbps, %g->%g ms), SLO %g ms, envelope floor %g Mbps\n",
+              requests, kShiftAt, kPreBwMbps, kPostBwMbps, kPreDelayMs,
+              kPostDelayMs, kSloMs, kEnvelopeBwFloorMbps);
+  const RunResult frozen = run_mode(/*online=*/false, requests);
+  const RunResult online = run_mode(/*online=*/true, requests);
+
+  Table t({"policy", "pre_compliance", "post_compliance", "final_compliance",
+           "recovery_ms"});
+  const auto row = [&](const char* name, const RunResult& r) {
+    t.new_row()
+        .add(name)
+        .add(compliance(r.points, 0, kShiftAt))
+        .add(compliance(r.points, kShiftAt, requests))
+        .add(compliance(r.points, requests - kFinalWindow, requests))
+        .add(recovery_time_ms(r.points));
+  };
+  row("frozen", frozen);
+  row("online", online);
+  emit("regime_shift",
+       "SLO compliance through a mid-run link degradation that leaves the "
+       "trained constraint envelope: the frozen policy's model clamps and "
+       "never recovers; the online adapter (calibration + drift + guarded "
+       "snapshots) does (DESIGN.md 5.14)",
+       t);
+
+  std::printf("online adaptation: %llu samples, %llu cycles, %llu snapshots "
+              "(%llu unguarded), %llu guardrail rejections, %llu rollbacks, "
+              "%llu drift events, calibration max ratio %.2fx\n",
+              static_cast<unsigned long long>(online.adapt.samples),
+              static_cast<unsigned long long>(online.adapt.cycles),
+              static_cast<unsigned long long>(online.adapt.published),
+              static_cast<unsigned long long>(online.adapt.unguarded),
+              static_cast<unsigned long long>(online.adapt.rejected_guardrail),
+              static_cast<unsigned long long>(online.adapt.rollbacks),
+              static_cast<unsigned long long>(online.adapt.drift_events),
+              online.adapt.calibration_max_ratio);
+
+  const char* out = std::getenv("MURMUR_SERVING_JSON");
+  merge_into_serving_json(out != nullptr ? out : "BENCH_serving.json",
+                          regime_section(frozen, online, requests));
+  return 0;
+}
+
+}  // namespace
+}  // namespace murmur::bench
+
+int main() { return murmur::bench::run(); }

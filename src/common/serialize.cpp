@@ -112,23 +112,50 @@ std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept {
   return h;
 }
 
-bool save_checked_file(const std::string& path,
-                       std::span<const std::uint8_t> payload,
-                       std::uint32_t version) {
+std::vector<std::uint8_t> encode_checked(std::span<const std::uint8_t> payload,
+                                         std::uint32_t version) {
   ByteWriter w;
   w.write_u32(kCheckedFileMagic);
   w.write_u32(version);
   w.write_u64(payload.size());
   w.write_bytes(payload);
   w.write_u64(fnv1a64(w.data()));
+  return w.take();
+}
+
+std::optional<std::vector<std::uint8_t>> decode_checked(
+    std::span<const std::uint8_t> frame, std::uint32_t version) {
+  // Trailer: the checksum covers everything before its own 8 bytes.
+  if (frame.size() < sizeof(std::uint64_t)) return std::nullopt;
+  const std::size_t body = frame.size() - sizeof(std::uint64_t);
+  ByteReader trailer{frame.subspan(body)};
+  std::uint64_t stored_sum = 0;
+  if (!trailer.read_u64(stored_sum) || stored_sum != fnv1a64(frame.first(body)))
+    return std::nullopt;
+
+  ByteReader r{frame.first(body)};
+  std::uint32_t magic = 0, ver = 0;
+  std::uint64_t declared = 0;
+  if (!r.read_u32(magic) || magic != kCheckedFileMagic) return std::nullopt;
+  if (!r.read_u32(ver) || ver != version) return std::nullopt;
+  if (!r.read_u64(declared)) return std::nullopt;
+  std::vector<std::uint8_t> payload;
+  if (!r.read_bytes(payload) || payload.size() != declared) return std::nullopt;
+  if (r.remaining() != 0) return std::nullopt;  // trailing junk inside frame
+  return payload;
+}
+
+bool save_checked_file(const std::string& path,
+                       std::span<const std::uint8_t> payload,
+                       std::uint32_t version) {
+  const std::vector<std::uint8_t> frame = encode_checked(payload, version);
 
   const std::string tmp = path + ".tmp";
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
     if (!f) return false;
-    const auto& buf = w.data();
-    f.write(reinterpret_cast<const char*>(buf.data()),
-            static_cast<std::streamsize>(buf.size()));
+    f.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
     if (!f.good()) {
       f.close();
       std::remove(tmp.c_str());
@@ -150,25 +177,7 @@ std::optional<std::vector<std::uint8_t>> load_checked_file(
   if (!f) return std::nullopt;
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(f)),
                                   std::istreambuf_iterator<char>());
-  // Trailer: the checksum covers everything before its own 8 bytes.
-  if (bytes.size() < sizeof(std::uint64_t)) return std::nullopt;
-  const std::size_t body = bytes.size() - sizeof(std::uint64_t);
-  ByteReader trailer{std::span(bytes).subspan(body)};
-  std::uint64_t stored_sum = 0;
-  if (!trailer.read_u64(stored_sum) ||
-      stored_sum != fnv1a64(std::span(bytes).first(body)))
-    return std::nullopt;
-
-  ByteReader r{std::span(bytes).first(body)};
-  std::uint32_t magic = 0, ver = 0;
-  std::uint64_t declared = 0;
-  if (!r.read_u32(magic) || magic != kCheckedFileMagic) return std::nullopt;
-  if (!r.read_u32(ver) || ver != version) return std::nullopt;
-  if (!r.read_u64(declared)) return std::nullopt;
-  std::vector<std::uint8_t> payload;
-  if (!r.read_bytes(payload) || payload.size() != declared) return std::nullopt;
-  if (r.remaining() != 0) return std::nullopt;  // trailing junk inside frame
-  return payload;
+  return decode_checked(bytes, version);
 }
 
 }  // namespace murmur

@@ -77,6 +77,19 @@ class ByteReader {
 /// FNV-1a over a byte span (the checkpoint trailer hash).
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept;
 
+/// Frame `payload` as an in-memory checked container (same MCKF layout the
+/// file functions use). The online-adaptation snapshot path frames candidate
+/// policy weights this way so the swap site can validate the checksum before
+/// publication — a corrupt candidate can never be swapped into serving.
+std::vector<std::uint8_t> encode_checked(std::span<const std::uint8_t> payload,
+                                         std::uint32_t version);
+
+/// Validate an in-memory checked frame (magic, version, declared length,
+/// trailing checksum, no trailing junk) and return its payload; nullopt on
+/// any mismatch. Every single-bit flip of `frame` must fail.
+std::optional<std::vector<std::uint8_t>> decode_checked(
+    std::span<const std::uint8_t> frame, std::uint32_t version);
+
 /// Atomically write `payload` framed as a checked checkpoint. Returns false
 /// on any I/O failure (the destination is left untouched).
 bool save_checked_file(const std::string& path,

@@ -7,17 +7,89 @@
 
 namespace murmur::core {
 
+LatencyCalibration::LatencyCalibration(std::size_t num_devices, double alpha)
+    : alpha_(alpha), n_(std::min(num_devices, kMaxDevices)) {
+  for (auto& r : ratio_) r.store(1.0, std::memory_order_relaxed);
+}
+
+void LatencyCalibration::update(const std::vector<bool>& participants,
+                                double predicted_ms,
+                                double observed_ms) noexcept {
+  if (predicted_ms <= 1e-6 || observed_ms <= 0.0) return;
+  const double sample =
+      std::clamp(observed_ms / predicted_ms, kMinRatio, kMaxRatio);
+  bool any_remote = false;
+  for (std::size_t d = 1; d < n_ && d < participants.size(); ++d)
+    any_remote = any_remote || participants[d];
+  for (std::size_t d = 0; d < n_ && d < participants.size(); ++d) {
+    if (!participants[d]) continue;
+    // Remote participants absorb the bias of a plan that left the local
+    // device; an all-local plan calibrates device 0 only.
+    if (any_remote && d == 0) continue;
+    double cur = ratio_[d].load(std::memory_order_relaxed);
+    double next;
+    do {
+      next = std::clamp(cur + alpha_ * (sample - cur), kMinRatio, kMaxRatio);
+    } while (!ratio_[d].compare_exchange_weak(cur, next,
+                                              std::memory_order_relaxed));
+    if (next > 1.05 || next < 1.0 / 1.05)
+      active_.store(true, std::memory_order_relaxed);
+  }
+}
+
+double LatencyCalibration::factor(
+    const std::vector<bool>& participants) const noexcept {
+  double f = 1.0;
+  for (std::size_t d = 0; d < n_ && d < participants.size(); ++d)
+    if (participants[d])
+      f = std::max(f, ratio_[d].load(std::memory_order_relaxed));
+  return f;
+}
+
+double LatencyCalibration::ratio(std::size_t device) const noexcept {
+  return device < n_ ? ratio_[device].load(std::memory_order_relaxed) : 1.0;
+}
+
+double LatencyCalibration::max_ratio() const noexcept {
+  double m = 1.0;
+  for (std::size_t d = 0; d < n_; ++d)
+    m = std::max(m, ratio_[d].load(std::memory_order_relaxed));
+  return m;
+}
+
+void LatencyCalibration::reset() noexcept {
+  for (auto& r : ratio_) r.store(1.0, std::memory_order_relaxed);
+  active_.store(false, std::memory_order_relaxed);
+}
+
 Decision DecisionEngine::decide(const rl::ConstraintPoint& c, Rng& rng) const {
   MURMUR_SPAN("rl_decision", "decision",
               obs::maybe_histogram("stage.rl_decision_ms"));
   obs::add("decision.policy_rollouts");
+  // Calibration stays completely off this path until a ratio leaves the
+  // dead band, so the frozen pipeline pays one relaxed load and nothing
+  // else.
+  const bool calibrate = calib_ != nullptr && calib_->active();
+  const auto apply_calib = [&](const MurmurationEnv::Strategy& s,
+                               rl::Outcome o) {
+    o.latency_ms *= calib_->factor(partition::plan_participants(
+        s.plan, s.config, env_.num_devices()));
+    return o;
+  };
+
   const rl::Episode ep =
       rl::rollout(env_, policy_, c, rng, {.greedy = true});
   Decision best;
   best.strategy = env_.decode(ep.actions);
   best.predicted = ep.outcome;
+  best.model = ep.outcome;
   best.reward = ep.reward;
   best.satisfied = ep.satisfied;
+  if (calibrate) {
+    best.predicted = apply_calib(best.strategy, ep.outcome);
+    best.reward = env_.reward(c, best.predicted);
+    best.satisfied = env_.satisfies(c, best.predicted);
+  }
 
   if (replay_) {
     // Consult the SUPREME strategy store. Bucketed sharing gives the prime
@@ -33,11 +105,18 @@ Decision DecisionEngine::decide(const rl::ConstraintPoint& c, Rng& rng) const {
     const auto all = replay_->all_entries();
     candidates.insert(candidates.end(), all.begin(), all.end());
     for (const rl::ReplayEntry* entry : candidates) {
-      const rl::Outcome o = env_.evaluate(c, entry->actions);
+      const rl::Outcome raw = env_.evaluate(c, entry->actions);
+      rl::Outcome o = raw;
+      MurmurationEnv::Strategy s;
+      if (calibrate) {
+        s = env_.decode(entry->actions);
+        o = apply_calib(s, raw);
+      }
       const double r = env_.reward(c, o);
       if (r > best.reward) {
-        best.strategy = env_.decode(entry->actions);
+        best.strategy = calibrate ? std::move(s) : env_.decode(entry->actions);
         best.predicted = o;
+        best.model = raw;
         best.reward = r;
         best.satisfied = env_.satisfies(c, o);
       }

@@ -2,6 +2,9 @@
 // evolutionary-search baseline it is compared against in Fig 18.
 #pragma once
 
+#include <array>
+#include <atomic>
+
 #include "core/murmuration_env.h"
 #include "rl/policy.h"
 #include "rl/replay_tree.h"
@@ -11,19 +14,77 @@ namespace murmur::core {
 struct Decision {
   MurmurationEnv::Strategy strategy;
   rl::Outcome predicted;
+  /// Raw analytic-model outcome, NEVER calibration-inflated (equals
+  /// `predicted` while calibration is inactive). The adaptation layer
+  /// computes observed/model latency ratios from this, so the calibration
+  /// never feeds back on its own corrections.
+  rl::Outcome model;
   double reward = 0.0;
   bool satisfied = false;
+};
+
+/// Live observed-vs-predicted latency bias, per device (DESIGN.md §5.14).
+///
+/// The analytic evaluator predicts a strategy's latency from the monitored
+/// conditions — but after a regime shift that pushes a link outside the
+/// trained constraint envelope, `make_constraint` clamps and the model
+/// systematically underestimates remote latency. The adaptation layer folds
+/// every completed request's observed/predicted latency ratio into a
+/// per-device EWMA here; the decision engine then inflates model latency by
+/// the worst participating device's ratio before judging SLO satisfaction,
+/// steering decisions back to strategies that hold up in reality.
+///
+/// Attribution: a plan that touches any remote device charges its ratio to
+/// the remote participants (the shift lives on a link); an all-local plan
+/// charges device 0. Readers are lock-free (relaxed atomics on the decision
+/// hot path); writers CAS, so concurrent completions never lose updates.
+class LatencyCalibration {
+ public:
+  static constexpr std::size_t kMaxDevices = 16;
+  /// Ratios are clamped into [kMinRatio, kMaxRatio]; `active()` trips once
+  /// any ratio leaves the +/-5% dead band around 1.
+  static constexpr double kMinRatio = 0.25;
+  static constexpr double kMaxRatio = 20.0;
+
+  explicit LatencyCalibration(std::size_t num_devices, double alpha = 0.25);
+
+  /// Fold one completed request: the model predicted `predicted_ms`, the
+  /// executor observed `observed_ms`, and `participants` are the plan's
+  /// devices (partition::plan_participants). No-op for degenerate inputs.
+  void update(const std::vector<bool>& participants, double predicted_ms,
+              double observed_ms) noexcept;
+
+  /// Latency multiplier for a plan: max ratio over its participants.
+  double factor(const std::vector<bool>& participants) const noexcept;
+  double ratio(std::size_t device) const noexcept;
+  /// True once any device ratio left the dead band — the engine skips
+  /// calibration work entirely while this is false.
+  bool active() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+  double max_ratio() const noexcept;
+  std::size_t num_devices() const noexcept { return n_; }
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<double>, kMaxDevices> ratio_;
+  std::atomic<bool> active_{false};
+  double alpha_;
+  std::size_t n_;
 };
 
 /// RL-policy-driven decision making. Optionally consults the SUPREME replay
 /// tree: the bucketed buffer stores the best strategy found per constraint
 /// bucket, so runtime decisions take the better of (greedy policy rollout,
-/// best shared bucket entry) — both are O(ms).
+/// best shared bucket entry) — both are O(ms). An optional latency
+/// calibration (online adaptation) inflates every candidate's model latency
+/// by the observed per-device bias before reward/SLO judgment.
 class DecisionEngine {
  public:
   DecisionEngine(const MurmurationEnv& env, const rl::PolicyNetwork& policy,
-                 const rl::BucketedReplayTree* replay = nullptr)
-      : env_(env), policy_(policy), replay_(replay) {}
+                 const rl::BucketedReplayTree* replay = nullptr,
+                 const LatencyCalibration* calib = nullptr)
+      : env_(env), policy_(policy), replay_(replay), calib_(calib) {}
 
   Decision decide(const rl::ConstraintPoint& c, Rng& rng) const;
 
@@ -37,6 +98,7 @@ class DecisionEngine {
   const MurmurationEnv& env_;
   const rl::PolicyNetwork& policy_;
   const rl::BucketedReplayTree* replay_;
+  const LatencyCalibration* calib_;
 };
 
 /// Graceful-degradation ladder (DESIGN.md §5.9): under load the serving

@@ -31,6 +31,13 @@ std::string setup_key(const TrainSetup& s) {
      << algo_name(s.algo) << "_s" << s.trainer.total_steps << "_h"
      << s.policy.hidden << "_seed" << s.trainer.seed
      << (s.curriculum ? "_cur" : "");
+  if (s.env_opts) {
+    // Envelope-overridden setups must not collide with default-envelope
+    // checkpoints of the same scenario/algo/steps.
+    os << "_env" << s.env_opts->bw_min_mbps << "-" << s.env_opts->bw_max_mbps
+       << "-" << s.env_opts->delay_min_ms << "-" << s.env_opts->delay_max_ms
+       << "-" << s.env_opts->grid_points;
+  }
   return os.str();
 }
 
@@ -126,6 +133,12 @@ int default_train_steps() noexcept {
 }
 
 std::unique_ptr<MurmurationEnv> make_env(const TrainSetup& setup) {
+  if (setup.env_opts) {
+    EnvOptions opts = *setup.env_opts;
+    opts.slo_type = setup.slo_type;
+    return std::make_unique<MurmurationEnv>(
+        netsim::make_scenario(setup.scenario), opts);
+  }
   return std::make_unique<MurmurationEnv>(netsim::make_scenario(setup.scenario),
                                           setup.slo_type);
 }

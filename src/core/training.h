@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/murmuration_env.h"
@@ -27,6 +28,14 @@ struct TrainSetup {
   rl::PolicyOptions policy{};
   /// Curriculum on => supreme.curriculum_steps set to half the run.
   bool curriculum = true;
+  /// Override the env's constraint envelope (bandwidth/delay/SLO ranges).
+  /// The regime-shift bench trains against a NARROWED envelope so that a
+  /// mid-run link degradation leaves it — `make_constraint` then clamps
+  /// and the frozen policy's model systematically underestimates remote
+  /// latency (the failure the online adapter recovers from). `slo_type`
+  /// is forced from the setup; checkpoints of overridden envs get their
+  /// own cache key.
+  std::optional<EnvOptions> env_opts;
 };
 
 /// Owns everything a trained Murmuration policy needs at decision time.

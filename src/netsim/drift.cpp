@@ -1,0 +1,79 @@
+#include "netsim/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace murmur::netsim {
+
+bool ResidualCusum::observe(double residual) noexcept {
+  // Standardize against the baseline gathered so far, then fold the sample
+  // into the baseline. Warm-up samples only build the baseline.
+  if (stat_.count() < opts_.min_samples) {
+    stat_.add(residual);
+    return false;
+  }
+  const double sigma =
+      std::max({stat_.stddev(), std::abs(stat_.mean()) * 0.05,
+                opts_.sigma_floor});
+  const double z = (residual - stat_.mean()) / sigma;
+  s_pos_ = std::max(0.0, s_pos_ + z - opts_.k);
+  s_neg_ = std::max(0.0, s_neg_ - z - opts_.k);
+  if (s_pos_ > opts_.h || s_neg_ > opts_.h) {
+    reset();
+    return true;
+  }
+  stat_.add(residual);
+  return false;
+}
+
+void ResidualCusum::reset() noexcept {
+  stat_.reset();
+  s_pos_ = s_neg_ = 0.0;
+}
+
+DriftDetector::DriftDetector(std::size_t num_devices, DriftOptions opts)
+    : opts_(opts),
+      bw_(num_devices, ResidualCusum(opts)),
+      delay_(num_devices, ResidualCusum(opts)),
+      device_events_(num_devices, 0) {}
+
+bool DriftDetector::observe(std::size_t device, double forecast_bw_mbps,
+                            double sampled_bw_mbps, double forecast_delay_ms,
+                            double sampled_delay_ms) noexcept {
+  if (device >= bw_.size()) return false;
+  // Bandwidth residuals are relative (link noise is multiplicative, and a
+  // 50 Mbps error means nothing at 1 Gbps but everything at 60 Mbps);
+  // delay residuals stay absolute (queueing adds milliseconds, not ratios).
+  const double bw_rel = (sampled_bw_mbps - forecast_bw_mbps) /
+                        std::max(1e-3, forecast_bw_mbps);
+  const bool bw_fired = bw_[device].observe(bw_rel);
+  const bool delay_fired =
+      delay_[device].observe(sampled_delay_ms - forecast_delay_ms);
+  if (!bw_fired && !delay_fired) return false;
+  // One shift usually moves both metrics; reset the sibling stream too so
+  // it does not re-fire on the tail of the same event after the caller has
+  // already re-fit the predictor.
+  bw_[device].reset();
+  delay_[device].reset();
+  ++device_events_[device];
+  ++events_;
+  return true;
+}
+
+std::uint64_t DriftDetector::events(std::size_t device) const noexcept {
+  return device < device_events_.size() ? device_events_[device] : 0;
+}
+
+double DriftDetector::score(std::size_t device) const noexcept {
+  if (device >= bw_.size()) return 0.0;
+  return std::max(bw_[device].score(), delay_[device].score());
+}
+
+void DriftDetector::reset() noexcept {
+  for (auto& c : bw_) c.reset();
+  for (auto& c : delay_) c.reset();
+  std::fill(device_events_.begin(), device_events_.end(), 0);
+  events_ = 0;
+}
+
+}  // namespace murmur::netsim

@@ -52,6 +52,13 @@ void NetworkMonitor::observe_transfer(std::size_t device, double bytes,
   bw_ewma_[device].add(s.bandwidth_mbps);
 }
 
+void NetworkMonitor::reset_device(std::size_t device) noexcept {
+  if (device >= history_.size()) return;
+  history_[device].clear();
+  bw_ewma_[device] = Ewma(opts_.ewma_alpha);
+  delay_ewma_[device] = Ewma(opts_.ewma_alpha);
+}
+
 double NetworkMonitor::bandwidth_estimate(std::size_t device) const noexcept {
   if (bw_ewma_[device].initialized()) return bw_ewma_[device].value();
   return network_.link(device).bandwidth.mbps;  // no probe yet

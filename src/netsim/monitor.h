@@ -57,6 +57,12 @@ class NetworkMonitor {
     return history_[device];
   }
 
+  /// Drop one device's history and smoothers (predictor re-fit after a
+  /// detected regime shift): the linreg forecast and the EWMA estimate
+  /// re-seed from post-shift probes only, instead of blending across the
+  /// discontinuity.
+  void reset_device(std::size_t device) noexcept;
+
  private:
   const Network& network_;
   Options opts_;

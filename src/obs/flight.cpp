@@ -127,6 +127,16 @@ std::string to_json(const FlightRecord& r) {
     out += r.shed_reason;
     out += '"';
   }
+  if (r.constraint_dims > 0) {
+    out += ",\"slo_value\":" + fmt(r.slo_value);
+    out += ",\"constraint\":[";
+    for (int i = 0; i < r.constraint_dims && i < FlightRecord::kMaxConstraintDims;
+         ++i) {
+      if (i) out += ',';
+      out += fmt(r.constraint[i]);
+    }
+    out += ']';
+  }
   out += ",\"sim_phases_ms\":";
   append_phase_object(out, r.sim_phase_ms);
   out += ",\"wall_phases_ms\":";

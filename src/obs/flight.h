@@ -65,6 +65,14 @@ struct FlightRecord {
     float compute_ms = 0.0f;
   };
   DevicePhase dev[kMaxDeviceSlices] = {};
+  /// Planning constraint (normalized tightness coords, see rl/env.h) and
+  /// the concrete SLO value the decision planned against. Zero dims means
+  /// "not recorded" (shed requests, pre-adaptation records). The online
+  /// adapter's guardrail shadow-replays recent records from these.
+  static constexpr int kMaxConstraintDims = 12;
+  float constraint[kMaxConstraintDims] = {};
+  std::uint8_t constraint_dims = 0;
+  float slo_value = 0.0f;
   FlightOutcome outcome = FlightOutcome::kCompleted;
   /// Serving replica that executed the request; -1 in single-system mode
   /// (no pool) and for shed requests, which never reach a replica.

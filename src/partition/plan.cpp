@@ -67,6 +67,24 @@ bool plan_uses_unhealthy(const PlacementPlan& plan,
   return false;
 }
 
+std::vector<bool> plan_participants(const PlacementPlan& plan,
+                                    const supernet::SubnetConfig& config,
+                                    std::size_t num_devices) {
+  std::vector<bool> used(num_devices, false);
+  const auto mark = [&](std::uint8_t d) {
+    if (d < used.size()) used[d] = true;
+  };
+  mark(plan.stem_device);
+  mark(plan.head_device);
+  for (int b = 0; b < kMaxBlocks; ++b) {
+    if (!config.block_active(b)) continue;
+    const int tiles = config.blocks[static_cast<std::size_t>(b)].grid.tiles();
+    for (int t = 0; t < tiles; ++t)
+      mark(plan.device[static_cast<std::size_t>(b)][static_cast<std::size_t>(t)]);
+  }
+  return used;
+}
+
 int remap_unhealthy(PlacementPlan& plan, const supernet::SubnetConfig& config,
                     const std::vector<bool>& healthy) noexcept {
   std::vector<std::uint8_t> survivors;

@@ -48,6 +48,13 @@ bool plan_uses_unhealthy(const PlacementPlan& plan,
                          const supernet::SubnetConfig& config,
                          const std::vector<bool>& healthy) noexcept;
 
+/// used[d]: the plan places the stem, head, or any active tile on device d.
+/// Shared by the runtime's breaker feeding, the flight recorder's device
+/// mask and the adaptation layer's latency-calibration attribution.
+std::vector<bool> plan_participants(const PlacementPlan& plan,
+                                    const supernet::SubnetConfig& config,
+                                    std::size_t num_devices);
+
 /// Failover re-planning: rewrite every reference to an unhealthy device —
 /// stem/head fall back to the first healthy device, tiles deal round-robin
 /// across the healthy set so spatial spread survives where possible.

@@ -409,6 +409,12 @@ ServeResult ServingLayer::finalize(const Admission& a,
           static_cast<float>(at.device_recv_ms[d]),
           static_cast<float>(at.device_compute_ms[d])};
     }
+    const auto& coords = r.inference.constraint.coords;
+    fr.constraint_dims = static_cast<std::uint8_t>(std::min<std::size_t>(
+        coords.size(), obs::FlightRecord::kMaxConstraintDims));
+    for (int i = 0; i < fr.constraint_dims; ++i)
+      fr.constraint[i] = static_cast<float>(coords[static_cast<std::size_t>(i)]);
+    fr.slo_value = static_cast<float>(ladder_.effective(a.slo, a.rung).value);
     fr.outcome = flight_outcome(r.outcome);
     fr.rung = static_cast<std::int16_t>(r.rung);
     fr.cache_hit = r.inference.cache_hit;

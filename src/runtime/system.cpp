@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/trace.h"
+#include "runtime/adapt.h"
 
 namespace murmur::runtime {
 
@@ -21,26 +22,6 @@ Tensor center_crop(const Tensor& image, int size) {
   const int h0 = (image.dim(2) - size) / 2;
   const int w0 = (image.dim(3) - size) / 2;
   return image.crop(h0, w0, size, size);
-}
-
-/// used[d]: the (post-remap) plan places the stem, head, or any active tile
-/// on device d.
-std::vector<bool> plan_participants(const partition::PlacementPlan& plan,
-                                    const supernet::SubnetConfig& config,
-                                    std::size_t num_devices) {
-  std::vector<bool> used(num_devices, false);
-  const auto mark = [&](std::uint8_t d) {
-    if (d < used.size()) used[d] = true;
-  };
-  mark(plan.stem_device);
-  mark(plan.head_device);
-  for (int b = 0; b < partition::kMaxBlocks; ++b) {
-    if (!config.block_active(b)) continue;
-    const int tiles = config.blocks[static_cast<std::size_t>(b)].grid.tiles();
-    for (int t = 0; t < tiles; ++t)
-      mark(plan.device[static_cast<std::size_t>(b)][static_cast<std::size_t>(t)]);
-  }
-  return used;
 }
 }  // namespace
 
@@ -109,6 +90,8 @@ std::vector<bool> MurmurationSystem::health_mask() const {
 
 core::Decision MurmurationSystem::decide(const rl::ConstraintPoint& c,
                                          bool* cache_hit, Rng& rng) {
+  const core::LatencyCalibration* calib =
+      adapter_ ? &adapter_->calibration() : nullptr;
   if (opts_.use_cache) {
     MURMUR_SPAN("cache_lookup", "runtime",
                 obs::maybe_histogram("stage.cache_lookup_ms"));
@@ -122,6 +105,16 @@ core::Decision MurmurationSystem::decide(const rl::ConstraintPoint& c,
       // as-is: they are already the bucket's best-effort answer, and
       // re-deciding every request under an unsatisfiable SLO would put a
       // full policy rollout back on the hot path.
+      if (calib && calib->active()) {
+        // Re-judge under the CURRENT calibration, from the raw model
+        // outcome — a decision cached before the bias surfaced must not
+        // keep serving on the model's stale optimism.
+        hit->predicted = hit->model;
+        hit->predicted.latency_ms *= calib->factor(
+            partition::plan_participants(hit->strategy.plan,
+                                         hit->strategy.config,
+                                         network_.num_devices()));
+      }
       const bool ok = artifacts_.env->satisfies(c, hit->predicted);
       if (ok || !hit->satisfied) {
         hit->satisfied = ok;
@@ -137,7 +130,18 @@ core::Decision MurmurationSystem::decide(const rl::ConstraintPoint& c,
     // The RL engine's evaluations re-apply conditions to the env's shared
     // network model; serialize decisions across serving workers.
     std::lock_guard lock(decision_mutex_);
-    d = engine_.decide(c, rng);
+    if (adapter_) {
+      // Online adaptation: decide with the currently published policy
+      // snapshot. current() is one acquire-load; the engine is four
+      // pointers, so building it per decision adds no locking and no
+      // allocation to the hot path.
+      const PolicySnapshot* snap = adapter_->current();
+      const core::DecisionEngine engine(*artifacts_.env, snap->policy(),
+                                        snap->replay(), calib);
+      d = engine.decide(c, rng);
+    } else {
+      d = engine_.decide(c, rng);
+    }
   }
   if (opts_.use_cache) cache_.put(c, d);
   return d;
@@ -212,13 +216,41 @@ PlannedRequest MurmurationSystem::plan_request_impl(const RequestContext& ctx,
     }
   }
 
-  // 1. Monitoring: refresh estimates of every remote link.
+  // 1. Monitoring: refresh estimates of every remote link. With an
+  //    adapter attached, each probe is paired with the predictor's
+  //    forecast made BEFORE it, and the residual feeds the per-device
+  //    drift detector; a fired detector re-fits the monitor (drop the
+  //    pre-shift history) and purges cached strategies touching the
+  //    drifted device. All under the existing decision mutex — the drift
+  //    path adds no new lock.
   netsim::NetworkConditions est;
   {
     MURMUR_SPAN("monitor", "runtime",
                 obs::maybe_histogram("stage.monitor_ms"));
     std::lock_guard lock(decision_mutex_);
-    monitor_.probe_all(sim_now);
+    if (adapter_) {
+      obs::add("monitor.probes",
+               network_.num_devices() > 0 ? network_.num_devices() - 1 : 0);
+      for (std::size_t d = 1; d < network_.num_devices(); ++d) {
+        const netsim::MonitorPredictor::Forecast f = predictor_.forecast(d, 0.0);
+        const netsim::MonitorSample s = monitor_.probe(d, sim_now);
+        if (adapter_->observe_network(d, f.bandwidth_mbps, s.bandwidth_mbps,
+                                      f.delay_ms, s.delay_ms)) {
+          monitor_.reset_device(d);
+          monitor_.probe(d, sim_now);  // seed the re-fit from post-shift truth
+          const std::size_t purged =
+              cache_.invalidate_if([&](const core::Decision& dec) {
+                const std::vector<bool> used = partition::plan_participants(
+                    dec.strategy.plan, dec.strategy.config,
+                    network_.num_devices());
+                return d < used.size() && used[d];
+              });
+          if (purged > 0) obs::add("adapt.cache_purged", purged);
+        }
+      }
+    } else {
+      monitor_.probe_all(sim_now);
+    }
     est = monitor_.estimate();
   }
   if (inj) {
@@ -241,6 +273,7 @@ PlannedRequest MurmurationSystem::plan_request_impl(const RequestContext& ctx,
     const rl::ConstraintPoint c =
         artifacts_.env->make_constraint(ctx.plan_slo.value, est);
     result.decision = decide(c, &result.cache_hit, rng);
+    result.constraint = c;
   }
   result.decision_wall_ms = elapsed_ms(t_dec);
 
@@ -339,9 +372,9 @@ void MurmurationSystem::execute_batch(std::span<const Tensor> images,
       // fused batch path never produces device_failures (no injector).
       if (inj && !rep.device_failures.empty()) {
         const std::vector<bool> used =
-            plan_participants(result.decision.strategy.plan,
-                              result.decision.strategy.config,
-                              rep.device_failures.size());
+            partition::plan_participants(result.decision.strategy.plan,
+                                         result.decision.strategy.config,
+                                         rep.device_failures.size());
         for (std::size_t d = 1; d < rep.device_failures.size(); ++d) {
           const bool failed = rep.device_failures[d] > 0;
           if (used[d] || failed) breakers_.record(d, failed, pr.ctx.sim_now_ms);
@@ -374,6 +407,27 @@ void MurmurationSystem::finish_request(PlannedRequest& pr, bool exec_degraded) {
     result.outcome = RequestOutcome::kCompleted;
   result.strategy_key = pr.strategy_key;
   result.replica = replica_id();
+  if (adapter_ || obs::enabled()) {
+    const std::vector<bool> used =
+        partition::plan_participants(result.decision.strategy.plan,
+                                     result.decision.strategy.config,
+                                     network_.num_devices());
+    for (std::size_t d = 0; d < used.size() && d < 64; ++d)
+      if (used[d]) result.device_mask |= std::uint64_t{1} << d;
+    if (adapter_) {
+      // Close the loop: every finished request becomes a live trajectory
+      // (observed latency, SLO verdict) and a calibration observation.
+      OnlineAdapter::ServingSample sample;
+      sample.constraint = result.constraint;
+      sample.actions = artifacts_.env->encode(result.decision.strategy);
+      sample.model_latency_ms = result.decision.model.latency_ms;
+      sample.observed_latency_ms = result.sim_latency_ms;
+      sample.accuracy = result.decision.predicted.accuracy;
+      sample.slo_met = result.slo_met;
+      sample.participants = used;
+      adapter_->observe_outcome(sample);
+    }
+  }
   if (obs::enabled()) {
     obs::add("system.requests");
     obs::add(result.slo_met ? "system.slo_met" : "system.slo_missed");
@@ -406,13 +460,6 @@ void MurmurationSystem::finish_request(PlannedRequest& pr, bool exec_degraded) {
     led.charge_wall(obs::Phase::kDecision, result.decision_wall_ms);
     led.charge_wall(obs::Phase::kSwitch, result.switch_wall_ms);
     led.charge_wall(obs::Phase::kCompute, result.exec_wall_ms);
-
-    const std::vector<bool> used =
-        plan_participants(result.decision.strategy.plan,
-                          result.decision.strategy.config,
-                          network_.num_devices());
-    for (std::size_t d = 0; d < used.size() && d < 64; ++d)
-      if (used[d]) result.device_mask |= std::uint64_t{1} << d;
 
     std::vector<obs::DeviceSlice> slices;
     const auto& at = result.attrib;

@@ -36,6 +36,8 @@
 
 namespace murmur::runtime {
 
+class OnlineAdapter;  // runtime/adapt.h
+
 struct SystemOptions {
   core::Slo slo = core::Slo::latency_ms(200.0);
   bool use_cache = true;
@@ -124,6 +126,9 @@ struct InferenceResult {
   obs::PhaseLedger ledger;
   /// Evaluator critical-path decomposition incl. per-device slices.
   partition::PhaseBreakdown attrib;
+  /// Planning constraint the decision was made against (online adaptation:
+  /// flows into flight records and the adapter's live trajectories).
+  rl::ConstraintPoint constraint;
   /// Coalescing fingerprint of the executed strategy (copied from the
   /// plan so single-result callers — the serving serial path — see it).
   std::uint64_t strategy_key = 0;
@@ -218,8 +223,23 @@ class MurmurationSystem {
     return replica_id_.load(std::memory_order_relaxed);
   }
 
+  /// Attach online adaptation (runtime/adapt.h; not owned, must outlive
+  /// the system or be detached with nullptr). With an adapter attached the
+  /// decision path runs the adapter's current policy snapshot (one
+  /// acquire-load — no new lock) with latency calibration, the monitoring
+  /// stage feeds the drift detector, and every finished request flows back
+  /// as a live trajectory.
+  void attach_adapter(OnlineAdapter* adapter) noexcept { adapter_ = adapter; }
+  OnlineAdapter* adapter() const noexcept { return adapter_; }
+
   const core::StrategyCache& cache() const noexcept { return cache_; }
   const core::MurmurationEnv& env() const noexcept { return *artifacts_.env; }
+  const rl::PolicyNetwork& policy() const noexcept {
+    return *artifacts_.policy;
+  }
+  const rl::BucketedReplayTree* replay() const noexcept {
+    return artifacts_.replay.get();
+  }
   SupernetHost& host() noexcept { return host_; }
   const BreakerBoard& breakers() const noexcept { return breakers_; }
   /// Mutable board access (tests feed observations directly; production
@@ -246,6 +266,7 @@ class MurmurationSystem {
   SupernetHost host_;
   std::unique_ptr<DistributedExecutor> executor_;
   mutable BreakerBoard breakers_;  // admitted_mask transitions open->half-open
+  OnlineAdapter* adapter_ = nullptr;  // optional, not owned
   std::atomic<int> replica_id_{-1};
   Rng rng_;
   double sim_time_ms_ = 0.0;

@@ -12,12 +12,17 @@ binary before running this gate.
 
 Regression policy (both sides compared leaf-by-leaf on matching JSON paths):
   * higher-is-better keys (sustained_req_per_s, wall_req_per_sec, speedup,
-    and the replica-sweep scaling factors speedup_2x / speedup_4x) fail
-    when the current value drops more than `threshold` below baseline;
+    the replica-sweep scaling factors speedup_2x / speedup_4x, and the
+    regime-shift bench's online recovered_compliance) fail when the
+    current value drops more than `threshold` below baseline;
   * lower-is-better keys — tail latencies (p99_ms, p99, max_ms), per-shape
-    kernel times (real_time_ns, BENCH_kernels.json), and the replica
-    sweep's supernet switches_per_batch — fail when the current value
-    rises more than `threshold` above baseline.
+    kernel times (real_time_ns, BENCH_kernels.json), the replica sweep's
+    supernet switches_per_batch, and the regime-shift bench's online
+    recovery_time_ms — fail when the current value rises more than
+    `threshold` above baseline.
+The frozen policy's post-shift final_compliance is intentionally NOT
+gated: it measures the failure the online path recovers from, and near
+zero its ratio would be pure noise.
 Keys present on only one side are reported but never fail the gate, so
 adding new report sections (e.g. attribution snapshots) does not trip it.
 Tiny absolute values (< 1e-6) are skipped: their ratios are noise.
@@ -37,8 +42,16 @@ HIGHER_BETTER = (
     "speedup",
     "speedup_2x",
     "speedup_4x",
+    "recovered_compliance",
 )
-LOWER_BETTER = ("p99_ms", "p99", "max_ms", "real_time_ns", "switches_per_batch")
+LOWER_BETTER = (
+    "p99_ms",
+    "p99",
+    "max_ms",
+    "real_time_ns",
+    "switches_per_batch",
+    "recovery_time_ms",
+)
 
 
 def flatten(node, prefix=""):

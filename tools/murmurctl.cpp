@@ -17,7 +17,8 @@
 //                    [--queue N] [--rungs N] [--chaos 0|1] [--scenario ...]
 //                    [--slo V] [--seed N] [--batch N] [--window MS]
 //                    [--drain-grace MS] [--replicas N] [--kill-at I]
-//                    [--join-at I] [--attrib-out flight.jsonl]
+//                    [--join-at I] [--adapt 0|1]
+//                    [--attrib-out flight.jsonl]
 //                    [--attrib-trace-out flight_trace.json]
 //                     (replay a seeded burst through the concurrent serving
 //                      layer; report the completed/degraded/shed/failed
@@ -32,7 +33,11 @@
 //                      replica when request I is submitted. --attrib-out
 //                      dumps the flight-recorder ring as JSONL;
 //                      --attrib-trace-out exports it as a Chrome trace with
-//                      cross-device causal flow arrows)
+//                      cross-device causal flow arrows. --adapt 1 (single-
+//                      replica mode) attaches the online adapter —
+//                      background trainer, guarded policy snapshots, drift
+//                      detection, latency calibration, DESIGN.md §5.14 —
+//                      and reports the adaptation panel)
 //   murmurctl top   [--frames N] [--refresh-ms MS] [--plain 0|1]
 //                    [+ all overload flags]
 //                     (live terminal view of the same burst: SLO compliance
@@ -66,6 +71,7 @@
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/adapt.h"
 #include "runtime/replica_pool.h"
 #include "runtime/serving.h"
 #include "runtime/system.h"
@@ -299,6 +305,11 @@ struct BurstRig {
   std::unique_ptr<netsim::FaultInjector> injector;
   std::unique_ptr<runtime::MurmurationSystem> system;  // single-system mode
   std::unique_ptr<runtime::ReplicaPool> pool;          // --replicas > 1
+  // --adapt 1: online adapter attached to the single system. Declared
+  // between pool and serving so the serving layer drains before the
+  // adapter's trainer stops, and the system the adapter observes outlives
+  // neither.
+  std::unique_ptr<runtime::OnlineAdapter> adapter;
   std::unique_ptr<runtime::ServingLayer> serving;
   runtime::ServingOptions serve_opts;
   std::uint64_t seed = 0;
@@ -393,10 +404,46 @@ BurstRig make_burst_rig(const Args& args) {
         std::make_unique<runtime::ServingLayer>(*rig.pool, rig.serve_opts);
   } else {
     rig.system = rig.make_replica();
+    if (args.num("adapt", 0) != 0) {
+      rig.adapter = std::make_unique<runtime::OnlineAdapter>(
+          rig.system->env(), rig.system->policy(), rig.system->replay());
+      rig.system->attach_adapter(rig.adapter.get());
+      rig.adapter->start();
+    }
     rig.serving =
         std::make_unique<runtime::ServingLayer>(*rig.system, rig.serve_opts);
   }
   return rig;
+}
+
+/// Adaptation panel for --adapt bursts: snapshot lineage, trainer cycle
+/// and guardrail counters, drift events, and the per-device latency
+/// calibration (DESIGN.md §5.14).
+void print_adapt_panel(const runtime::OnlineAdapter& adapter,
+                       std::size_t num_devices) {
+  const auto s = adapter.stats();
+  std::printf("adaptation: snapshot %llu live; %llu samples, %llu trainer "
+              "cycles\n",
+              static_cast<unsigned long long>(s.snapshot_id),
+              static_cast<unsigned long long>(s.samples),
+              static_cast<unsigned long long>(s.cycles));
+  std::printf("  snapshots: %llu published (%llu unguarded), "
+              "%llu rejected_checksum, %llu rejected_guardrail, "
+              "%llu rollbacks\n",
+              static_cast<unsigned long long>(s.published),
+              static_cast<unsigned long long>(s.unguarded),
+              static_cast<unsigned long long>(s.rejected_checksum),
+              static_cast<unsigned long long>(s.rejected_guardrail),
+              static_cast<unsigned long long>(s.rollbacks));
+  std::printf("  drift: %llu events\n",
+              static_cast<unsigned long long>(s.drift_events));
+  const auto& calib = adapter.calibration();
+  std::printf("  latency calibration: %s, max ratio %.2fx;",
+              calib.active() ? "ACTIVE" : "inactive",
+              s.calibration_max_ratio);
+  for (std::size_t d = 0; d < num_devices; ++d)
+    std::printf("  d%zu %.2f", d, calib.ratio(d));
+  std::printf("\n");
 }
 
 /// Per-replica board + routing/membership counters for pool-mode bursts
@@ -616,6 +663,10 @@ int cmd_overload(const Args& args) {
                     runtime::to_string(tr.to));
     }
   }
+  if (rig.adapter) {
+    rig.adapter->stop();  // settle the trainer before reading its counters
+    print_adapt_panel(*rig.adapter, rig.system->network().num_devices());
+  }
   std::printf("rolling SLO window (%d most recent): compliance %.1f%%, "
               "shed rate %.1f%%, burn rate %.2fx (target 95%%)\n",
               512, 100.0 * serving.slo_compliance(),
@@ -719,6 +770,10 @@ int cmd_top(const Args& args) {
                     transitions[i].sim_ms, transitions[i].device,
                     runtime::to_string(transitions[i].from),
                     runtime::to_string(transitions[i].to));
+    }
+    if (rig.adapter && frame == frames) {
+      rig.adapter->stop();
+      print_adapt_panel(*rig.adapter, rig.system->network().num_devices());
     }
     std::printf("phase attribution (sim ms):\n");
     if (!print_phase_attribution()) std::printf("  (no samples yet)\n");

@@ -1,30 +1,32 @@
 #!/usr/bin/env bash
 # Chaos + concurrency sweep, two sanitized configurations:
 #
-#   1. AddressSanitizer + UndefinedBehaviorSanitizer over every test carrying
-#      the `faults`, `serving`, `batching`, or `replicas` ctest label
-#      (tests/test_faults.cpp, tests/test_serving.cpp,
-#      tests/test_batching.cpp, tests/test_replicas.cpp).
-#   2. ThreadSanitizer over the concurrency-heavy `obs`, `serving`,
-#      `batching` and `replicas` labels (the obs suite hammers the
-#      flight-recorder ring from 8 writer threads; the replica suite runs a
-#      router plus one worker thread per replica through kill/drain/join
-#      races). TSan cannot be combined with ASan, so it gets its own build
-#      dir.
+#   1. AddressSanitizer + UndefinedBehaviorSanitizer over every test
+#      carrying a label in MURMUR_ASAN_LABELS (tools/chaos_labels.sh) —
+#      the fault, serving, batching, replica, adaptation and kernel suites.
+#   2. ThreadSanitizer over the concurrency-heavy MURMUR_TSAN_LABELS (the
+#      obs suite hammers the flight-recorder ring from 8 writer threads;
+#      the replica suite runs a router plus one worker thread per replica
+#      through kill/drain/join races; the adapt suite races the background
+#      trainer's snapshot swaps against concurrent decisions). TSan cannot
+#      be combined with ASan, so it gets its own build dir.
 #
 # Usage:  tools/run_chaos_tests.sh [asan-build-dir] [tsan-build-dir]
 #
 # The default build dirs are build-chaos / build-tsan so the sanitized
-# configurations never collide with a plain `build/`. Set MURMUR_CHAOS_LABEL
-# / MURMUR_TSAN_LABEL (ctest -L regexes) to run different labels through the
-# same sanitized builds.
+# configurations never collide with a plain `build/`. The default label
+# sets come from tools/chaos_labels.sh (shared with run_tier1.sh); set
+# MURMUR_CHAOS_LABEL / MURMUR_TSAN_LABEL (ctest -L regexes) to run
+# different labels through the same sanitized builds.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${1:-build-chaos}
 TSAN_BUILD_DIR=${2:-build-tsan}
-LABEL=${MURMUR_CHAOS_LABEL:-faults|serving|batching|int8|replicas}
-TSAN_LABEL=${MURMUR_TSAN_LABEL:-obs|serving|batching|replicas}
+# shellcheck source=tools/chaos_labels.sh
+. tools/chaos_labels.sh
+LABEL=${MURMUR_CHAOS_LABEL:-$MURMUR_ASAN_LABELS}
+TSAN_LABEL=${MURMUR_TSAN_LABEL:-$MURMUR_TSAN_LABELS}
 
 cmake -B "$BUILD_DIR" -S . -DMURMUR_SANITIZE=address,undefined \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo

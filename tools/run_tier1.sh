@@ -9,12 +9,13 @@
 #      that provoke the error path assert on counters, so an ERROR line in
 #      a green run means something broke silently.
 #   3. Sanitizer sweep: delegates to tools/run_chaos_tests.sh with the
-#      full chaos-relevant label set — ASan+UBSan over
-#      obs|kernels|int8|faults|serving|batching|replicas, TSan over
-#      obs|serving|batching|replicas (the obs label carries the
-#      flight-recorder concurrency hammer; replicas the pool's
-#      kill/drain/join races) — and applies the same log scrub to its
-#      output.
+#      full chaos-relevant label sets from tools/chaos_labels.sh (one
+#      shared definition for both scripts: ASan+UBSan over the fault and
+#      concurrency-adjacent suites plus kernels, TSan over the genuinely
+#      multi-threaded ones — obs carries the flight-recorder concurrency
+#      hammer, replicas the pool's kill/drain/join races, adapt the
+#      snapshot-swap/decide races) — and applies the same log scrub to
+#      its output.
 #   4. Bench-regression gate: tools/check_bench_regress.py diffs the
 #      working-tree BENCH_*.json files against the committed baselines and
 #      fails on a >10% sustained-throughput drop or p99 rise. Skipped
@@ -54,8 +55,10 @@ grep -E '^[0-9]+% tests passed|^Total Test time' "$LOG" || true
 scrub_log "tier-1 ctest"
 
 echo "== sanitizer sweep (ASan+UBSan + TSan) =="
-MURMUR_CHAOS_LABEL='obs|kernels|int8|faults|serving|batching|replicas' \
-MURMUR_TSAN_LABEL='obs|serving|batching|replicas' \
+# shellcheck source=tools/chaos_labels.sh
+. tools/chaos_labels.sh
+MURMUR_CHAOS_LABEL="$MURMUR_ASAN_LABELS" \
+MURMUR_TSAN_LABEL="$MURMUR_TSAN_LABELS" \
   tools/run_chaos_tests.sh 2>&1 | tee "$LOG"
 scrub_log "sanitizer sweep"
 
@@ -63,5 +66,5 @@ echo "== bench-regression gate =="
 tools/check_bench_regress.py
 
 echo "tier-1 gate clean: full suite green, no error-level log output," \
-     "sanitized labels obs|kernels|int8|faults|serving|batching|replicas" \
+     "sanitized labels $MURMUR_ASAN_LABELS" \
      "pass, benches within 10% of the committed baseline"
