@@ -1,0 +1,199 @@
+// Decision-path microbench (DESIGN.md §5.15): what a single strategy
+// decision costs on each tier of the two-tier cache.
+//
+//   cold       — empty cache, no front index: the full policy path (feature
+//                extraction + greedy rollout + replay-store sweep). The
+//                price the Pareto-front tier exists to avoid.
+//   warm_hit   — tier-1 exact-key memo hit through the full plan_request
+//                path (same (SLO, conditions) bucket seen before).
+//   front_hit  — tier-2 Pareto-front query: bucket resolve (with
+//                dominating-bucket sharing) + binary search on the front +
+//                decision construction, across RANDOM constraints the exact
+//                memo has never seen. This is the †5.15 fast path; the PR
+//                targets p99 < 100 us.
+//
+// Reported (and merged into BENCH_serving.json under "decision_path"):
+//   cold.avg_decide_ms / cold.p99_decide_ms   — NOT gated (they measure the
+//                                               problem, not the fix);
+//   warm_hit.p99_us, front_hit.p99_us         — gated lower-is-better by
+//                                               tools/check_bench_regress.py.
+//
+// Knobs: MURMUR_DECIDE_ITERS (default 2000 fast-path samples; cold runs
+// iters/20), plus the shared MURMUR_TRAIN_STEPS / MURMUR_NO_CACHE.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/pareto_front.h"
+#include "netsim/scenario.h"
+#include "runtime/system.h"
+
+namespace murmur::bench {
+namespace {
+
+constexpr double kSloMs = 250.0;
+
+int env_int(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+
+struct Series {
+  std::vector<double> us;  // per-decision latency, microseconds
+  double avg() const {
+    double s = 0.0;
+    for (double v : us) s += v;
+    return us.empty() ? 0.0 : s / static_cast<double>(us.size());
+  }
+  double p99() const {
+    if (us.empty()) return 0.0;
+    std::vector<double> sorted = us;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t at = static_cast<std::size_t>(
+        0.99 * static_cast<double>(sorted.size() - 1));
+    return sorted[at];
+  }
+};
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Random constraint with a serviceable SLO coordinate (upper half of the
+/// grid) and uniformly random network conditions.
+rl::ConstraintPoint random_constraint(const core::MurmurationEnv& env,
+                                      Rng& rng) {
+  rl::ConstraintPoint c;
+  c.coords.resize(static_cast<std::size_t>(env.constraint_dims()));
+  c.coords[0] = rng.uniform(0.5, 1.0);
+  for (std::size_t d = 1; d < c.coords.size(); ++d)
+    c.coords[d] = rng.uniform();
+  return c;
+}
+
+int run() {
+  const int iters = std::max(100, env_int("MURMUR_DECIDE_ITERS", 2000));
+  const int cold_iters = std::max(5, iters / 20);
+
+  auto artifacts = murmuration_artifacts(netsim::Scenario::kAugmentedComputing,
+                                         core::SloType::kLatency);
+  runtime::SystemOptions opts;
+  opts.slo = core::Slo::latency_ms(kSloMs);
+  opts.use_predictor = false;
+  runtime::MurmurationSystem system(std::move(artifacts), opts);
+  const core::MurmurationEnv& env = system.env();
+  core::StrategyCache& cache = system.cache();
+
+  std::printf("decision-path bench: %d cold + %d warm + %d front samples, "
+              "SLO %g ms\n",
+              cold_iters, iters, iters, kSloMs);
+
+  runtime::RequestContext ctx;
+  ctx.slo = core::Slo::latency_ms(kSloMs);
+  ctx.plan_slo = ctx.slo;
+
+  // --- cold: policy rollout path, cache emptied before every decision ----
+  Series cold;
+  for (int i = 0; i < cold_iters; ++i) {
+    cache.clear();
+    ctx.seed = static_cast<std::uint64_t>(i) ^ 0xc01du;
+    const double t0 = now_us();
+    (void)system.plan_request(ctx);
+    cold.us.push_back(now_us() - t0);
+  }
+
+  // --- warm_hit: tier-1 exact memo through the full plan path -----------
+  cache.clear();
+  ctx.seed = 0x3a3au;
+  (void)system.plan_request(ctx);  // prime the bucket
+  Series warm;
+  for (int i = 0; i < iters; ++i) {
+    ctx.seed = static_cast<std::uint64_t>(i) ^ 0x3a3au;
+    const double t0 = now_us();
+    (void)system.plan_request(ctx);
+    warm.us.push_back(now_us() - t0);
+  }
+  const std::uint64_t warm_hits = cache.hits();
+
+  // --- front_hit: tier-2 Pareto-front queries on fresh constraints ------
+  // The index is what the refiner's seed cycle would publish: every bucket
+  // the replay tree visited in training plus the corner fallbacks.
+  const core::FrontBuilder builder(env, core::FrontBuilderOptions{});
+  cache.install_front_index(
+      builder.build_all(system.replay(), &system.policy()));
+  const auto index = cache.front_index();
+  std::printf("front index: %zu buckets, %zu points\n", index->num_buckets(),
+              index->num_points());
+
+  Rng rng(0xf407);
+  Series front;
+  std::uint64_t front_answers = 0;
+  for (int i = 0; i < iters; ++i) {
+    const rl::ConstraintPoint c = random_constraint(env, rng);
+    const double t0 = now_us();
+    const auto d = cache.front_query(c);
+    front.us.push_back(now_us() - t0);
+    front_answers += d.has_value();
+  }
+  const double hit_frac =
+      static_cast<double>(front_answers) / static_cast<double>(iters);
+
+  Table t({"path", "samples", "avg_us", "p99_us"});
+  t.new_row().add("cold_policy").add(cold_iters).add(cold.avg()).add(
+      cold.p99());
+  t.new_row().add("warm_memo_hit").add(iters).add(warm.avg()).add(warm.p99());
+  t.new_row().add("front_hit").add(iters).add(front.avg()).add(front.p99());
+  emit("decision_path",
+       "per-decision latency by cache tier: cold policy rollout vs tier-1 "
+       "exact-memo hit vs tier-2 Pareto-front query (DESIGN.md 5.15)",
+       t);
+  std::printf("front tier answered %.1f%% of random constraints; "
+              "p99 %.1f us (target < 100 us) — warm tier-1 hits: %llu\n",
+              100.0 * hit_frac, front.p99(),
+              static_cast<unsigned long long>(warm_hits));
+
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "\"decision_path\": {\n"
+     << "    \"workload\": {\n"
+     << "      \"scenario\": \"augmented_computing\",\n"
+     << "      \"slo_ms\": " << kSloMs << ",\n"
+     << "      \"fast_path_samples\": " << iters << ",\n"
+     << "      \"cold_samples\": " << cold_iters << "\n"
+     << "    },\n"
+     << "    \"cold\": {\n"
+     << "      \"avg_decide_ms\": " << cold.avg() / 1000.0 << ",\n"
+     << "      \"p99_decide_ms\": " << cold.p99() / 1000.0 << "\n"
+     << "    },\n"
+     << "    \"warm_hit\": {\n"
+     << "      \"avg_us\": " << warm.avg() << ",\n"
+     << "      \"p99_us\": " << warm.p99() << "\n"
+     << "    },\n"
+     << "    \"front_hit\": {\n"
+     << "      \"buckets\": " << index->num_buckets() << ",\n"
+     << "      \"points\": " << index->num_points() << ",\n"
+     << "      \"answer_fraction\": " << hit_frac << ",\n"
+     << "      \"avg_us\": " << front.avg() << ",\n"
+     << "      \"p99_us\": " << front.p99() << "\n"
+     << "    }\n"
+     << "  }";
+  const char* out = std::getenv("MURMUR_SERVING_JSON");
+  merge_json_section(out != nullptr ? out : "BENCH_serving.json",
+                     "decision_path", os.str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace murmur::bench
+
+int main() { return murmur::bench::run(); }

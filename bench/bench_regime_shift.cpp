@@ -37,7 +37,6 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -215,50 +214,6 @@ std::string regime_section(const RunResult& frozen, const RunResult& online,
   return os.str();
 }
 
-/// Merge the section into BENCH_serving.json: strip any previous
-/// "regime_shift" object (brace-counted), then splice the new one in
-/// before the file's closing brace. The serving-throughput bench owns the
-/// rest of the file; re-running either bench preserves the other's
-/// sections.
-void merge_into_serving_json(const char* path, const std::string& section) {
-  std::string text;
-  {
-    std::ifstream in(path);
-    if (in) {
-      std::ostringstream ss;
-      ss << in.rdbuf();
-      text = ss.str();
-    }
-  }
-  const std::string key = "\"regime_shift\":";
-  const std::size_t at = text.find(key);
-  if (at != std::string::npos) {
-    std::size_t open = text.find('{', at);
-    std::size_t end = open;
-    for (int depth = 0; end < text.size(); ++end) {
-      if (text[end] == '{') ++depth;
-      if (text[end] == '}' && --depth == 0) break;
-    }
-    // Take the preceding comma (or, for a leading section, the trailing
-    // one) with the object so the remainder stays valid JSON.
-    std::size_t begin = text.find_last_of(',', at);
-    if (begin == std::string::npos || text.find('}', begin) < at)
-      begin = at;
-    while (begin > 0 && (text[begin - 1] == ' ' || text[begin - 1] == '\n'))
-      --begin;
-    text.erase(begin, end + 1 - begin);
-  }
-  const std::size_t close = text.find_last_of('}');
-  if (close == std::string::npos) {
-    text = "{\n  " + section + "\n}\n";
-  } else {
-    text.insert(close, ",\n  " + section + "\n");
-  }
-  std::ofstream out(path, std::ios::trunc);
-  out << text;
-  std::printf("merged regime_shift section into %s\n", path);
-}
-
 int run() {
   const int requests = std::max(kShiftAt + kFinalWindow + kRecoveryWindow,
                                 env_int("MURMUR_REGIME_REQUESTS", 220));
@@ -302,8 +257,8 @@ int run() {
               online.adapt.calibration_max_ratio);
 
   const char* out = std::getenv("MURMUR_SERVING_JSON");
-  merge_into_serving_json(out != nullptr ? out : "BENCH_serving.json",
-                          regime_section(frozen, online, requests));
+  merge_json_section(out != nullptr ? out : "BENCH_serving.json",
+                     "regime_shift", regime_section(frozen, online, requests));
   return 0;
 }
 

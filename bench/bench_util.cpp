@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "obs/metrics.h"
 
@@ -80,6 +82,46 @@ std::vector<double> swarm_bandwidths() {
 
 std::vector<double> augmented_bandwidths() {
   return {50, 100, 150, 200, 250, 300, 350, 400};
+}
+
+void merge_json_section(const char* path, const std::string& key,
+                        const std::string& section) {
+  std::string text;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      text = ss.str();
+    }
+  }
+  const std::string marker = "\"" + key + "\":";
+  const std::size_t at = text.find(marker);
+  if (at != std::string::npos) {
+    std::size_t open = text.find('{', at);
+    std::size_t end = open;
+    for (int depth = 0; end < text.size(); ++end) {
+      if (text[end] == '{') ++depth;
+      if (text[end] == '}' && --depth == 0) break;
+    }
+    // Take the preceding comma (or, for a leading section, the trailing
+    // one) with the object so the remainder stays valid JSON.
+    std::size_t begin = text.find_last_of(',', at);
+    if (begin == std::string::npos || text.find('}', begin) < at)
+      begin = at;
+    while (begin > 0 && (text[begin - 1] == ' ' || text[begin - 1] == '\n'))
+      --begin;
+    text.erase(begin, end + 1 - begin);
+  }
+  const std::size_t close = text.find_last_of('}');
+  if (close == std::string::npos) {
+    text = "{\n  " + section + "\n}\n";
+  } else {
+    text.insert(close, ",\n  " + section + "\n");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  std::printf("merged %s section into %s\n", key.c_str(), path);
 }
 
 }  // namespace murmur::bench

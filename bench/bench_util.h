@@ -48,4 +48,12 @@ std::vector<double> swarm_bandwidths();
 /// Bandwidth sweep used by the augmented figures (50-400 Mbps).
 std::vector<double> augmented_bandwidths();
 
+/// Merge one top-level section into a shared bench JSON report (e.g.
+/// BENCH_serving.json): strip any previous `"<key>": {...}` object
+/// (brace-counted), then splice `section` — the full `"<key>": {...}`
+/// text — in before the file's closing brace. Each bench owns only its own
+/// section, so re-running one preserves the others'.
+void merge_json_section(const char* path, const std::string& key,
+                        const std::string& section);
+
 }  // namespace murmur::bench

@@ -46,6 +46,15 @@ double LatencyCalibration::factor(
   return f;
 }
 
+double LatencyCalibration::factor_mask(
+    std::uint64_t participants) const noexcept {
+  double f = 1.0;
+  for (std::size_t d = 0; d < n_ && d < 64; ++d)
+    if (participants & (1ull << d))
+      f = std::max(f, ratio_[d].load(std::memory_order_relaxed));
+  return f;
+}
+
 double LatencyCalibration::ratio(std::size_t device) const noexcept {
   return device < n_ ? ratio_[device].load(std::memory_order_relaxed) : 1.0;
 }

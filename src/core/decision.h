@@ -56,6 +56,10 @@ class LatencyCalibration {
 
   /// Latency multiplier for a plan: max ratio over its participants.
   double factor(const std::vector<bool>& participants) const noexcept;
+  /// Same, but participants are a device bitmask (bit d = device d) — the
+  /// compact form Pareto-front points carry so calibration can be applied
+  /// at query time without materializing a vector<bool>.
+  double factor_mask(std::uint64_t participants) const noexcept;
   double ratio(std::size_t device) const noexcept;
   /// True once any device ratio left the dead band — the engine skips
   /// calibration work entirely while this is false.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/serialize.h"
+
 namespace murmur::core {
 
 std::uint64_t strategy_fingerprint(
@@ -82,11 +84,135 @@ void StrategyCache::clear() {
   std::lock_guard lock(mutex_);
   lru_.clear();
   map_.clear();
+  front_.reset();
+  front_tombstones_.clear();
+  front_memo_.clear();
   hits_.reset();
   misses_.reset();
   evictions_.reset();
   invalidations_.reset();
   lookups_.reset();
+  front_hits_.reset();
+  front_misses_.reset();
+  front_installs_.reset();
+  front_rejects_.reset();
+  front_invalidations_.reset();
+}
+
+// ---- Pareto-front tier -----------------------------------------------------
+
+void StrategyCache::install_front_index(
+    std::shared_ptr<const ParetoFrontIndex> index) {
+  std::lock_guard lock(mutex_);
+  front_ = std::move(index);
+  front_tombstones_.clear();
+  front_memo_.clear();
+  if (front_) {
+    front_installs_.inc();
+    obs::add("cache.front_install");
+  }
+}
+
+FrontVerdict StrategyCache::offer_front_frame(
+    std::span<const std::uint8_t> frame) {
+  // Same guard discipline as the adaptation layer's policy snapshots: the
+  // checksum gate first, then the deserializer's full structural walk; on
+  // any rejection the incumbent index keeps serving untouched.
+  const auto payload = decode_checked(frame, ParetoFrontIndex::kFrameVersion);
+  if (!payload) {
+    front_rejects_.inc();
+    obs::add("cache.front_reject");
+    return FrontVerdict::kRejectedChecksum;
+  }
+  std::unique_ptr<ParetoFrontIndex> idx =
+      ParetoFrontIndex::deserialize(*payload, env_);
+  if (!idx) {
+    front_rejects_.inc();
+    obs::add("cache.front_reject");
+    return FrontVerdict::kRejectedInvariant;
+  }
+  install_front_index(std::shared_ptr<const ParetoFrontIndex>(std::move(idx)));
+  return FrontVerdict::kInstalled;
+}
+
+std::shared_ptr<const ParetoFrontIndex> StrategyCache::front_index() const {
+  std::lock_guard lock(mutex_);
+  return front_;
+}
+
+const ParetoFront* StrategyCache::resolve_front_locked(const FrontKey& k) {
+  if (const auto it = front_memo_.find(k); it != front_memo_.end())
+    return it->second;
+  const ParetoFront* f = front_->resolve(k, [this](const FrontKey& key) {
+    return front_tombstones_.count(key) == 0;
+  });
+  front_memo_.emplace(k, f);
+  return f;
+}
+
+std::optional<Decision> StrategyCache::front_query(
+    const rl::ConstraintPoint& c, const LatencyCalibration* calib) {
+  std::shared_ptr<const ParetoFrontIndex> idx;
+  const ParetoFront* front = nullptr;
+  {
+    std::lock_guard lock(mutex_);
+    if (!front_) return std::nullopt;  // tier inert until an index installs
+    idx = front_;  // keeps `front` alive after the lock drops
+    front = resolve_front_locked(idx->key_for(c));
+  }
+  const auto miss = [this] {
+    front_misses_.inc();
+    obs::add("cache.front_miss");
+    return std::nullopt;
+  };
+  if (front == nullptr) return miss();
+
+  const double slo = env_.slo_value(c);
+  const ParetoPoint* p =
+      env_.slo_type() == SloType::kLatency
+          ? front->best_within_latency(slo, calib)
+          : front->cheapest_with_accuracy(slo, calib);
+  if (p == nullptr) return miss();
+
+  Decision d;
+  d.strategy = p->strategy;
+  d.model = p->outcome;
+  d.predicted = p->outcome;
+  if (calib != nullptr && calib->active())
+    d.predicted.latency_ms *= calib->factor_mask(p->device_mask);
+  d.reward = env_.reward(c, d.predicted);
+  d.satisfied = env_.satisfies(c, d.predicted);
+  // The front only answers with satisfying strategies; anything else (e.g.
+  // an env epsilon disagreeing at the boundary) falls through to the
+  // policy path.
+  if (!d.satisfied) return miss();
+  front_hits_.inc();
+  obs::add("cache.front_hit");
+  return d;
+}
+
+std::size_t StrategyCache::invalidate_fronts_touching(std::size_t device) {
+  if (device >= 64) return 0;
+  const std::uint64_t bit = 1ull << device;
+  std::lock_guard lock(mutex_);
+  if (!front_) return 0;
+  std::size_t added = 0;
+  for (const auto& [key, front] : front_->fronts()) {
+    if (front_tombstones_.count(key)) continue;
+    for (const ParetoPoint& p : front.points()) {
+      if (p.device_mask & bit) {
+        front_tombstones_.insert(key);
+        ++added;
+        break;
+      }
+    }
+  }
+  if (added > 0) {
+    front_memo_.clear();
+    front_invalidations_.inc(added);
+    obs::add("cache.front_invalidate", added);
+  }
+  return added;
 }
 
 }  // namespace murmur::core

@@ -1,22 +1,37 @@
-// Strategy Cache (paper §5): maps known (SLO, network-condition) buckets to
-// previously computed strategies so the RL policy is not re-run for every
-// inference request. Keys are the same grid quantization the replay tree
-// uses; eviction is LRU.
+// Strategy Cache (paper §5): a two-tier dominance-aware structure in front
+// of the RL decision module.
+//
+//   Tier 1 — exact-key memo: maps known (SLO, network-condition) buckets to
+//   previously computed strategies. Keys are the same grid quantization the
+//   replay tree uses; eviction is LRU.
+//
+//   Tier 2 — Pareto-front index (DESIGN.md §5.15): an immutable per-bucket
+//   front store answering "best strategy satisfying this SLO" by binary
+//   search, with dominating-bucket sharing for uncovered conditions and the
+//   §5.14 latency calibration applied at query time. Installed/replaced as
+//   a whole through the same MCKF checked-frame guard the adaptation layer
+//   uses for policy snapshots; drift events tombstone only affected buckets.
 //
 // Thread safety: the serving layer (DESIGN.md §5.9) looks strategies up
-// from concurrent worker threads, so the LRU structures are guarded by an
-// internal mutex — every public member is safe to call concurrently.
-// Lookups return copies; the statistics counters are lock-free atomics.
+// from concurrent worker threads, so the LRU structures, front pointer,
+// tombstones and resolve memo are guarded by an internal mutex — every
+// public member is safe to call concurrently. Front searches run outside
+// the lock on a shared_ptr snapshot. Lookups return copies; the statistics
+// counters are lock-free atomics.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/decision.h"
+#include "core/pareto_front.h"
 #include "obs/metrics.h"
 
 namespace murmur::core {
@@ -30,6 +45,14 @@ std::uint64_t strategy_fingerprint(
     const supernet::SubnetConfig& config,
     const partition::PlacementPlan& plan) noexcept;
 
+/// Outcome of offering a serialized front frame to the cache (mirrors the
+/// adaptation layer's SnapshotVerdict discipline).
+enum class FrontVerdict {
+  kInstalled,
+  kRejectedChecksum,   // MCKF magic/version/length/checksum mismatch
+  kRejectedInvariant,  // payload failed structural/schema validation
+};
+
 class StrategyCache {
  public:
   explicit StrategyCache(const MurmurationEnv& env,
@@ -40,6 +63,34 @@ class StrategyCache {
   std::optional<Decision> get(const rl::ConstraintPoint& c);
   void put(const rl::ConstraintPoint& c, Decision decision);
   void clear();
+
+  // --- Pareto-front tier ----------------------------------------------------
+
+  /// Install a built index directly (trusted path: offline builder at
+  /// startup). Clears tombstones and the resolve memo. Null uninstalls.
+  void install_front_index(std::shared_ptr<const ParetoFrontIndex> index);
+
+  /// Guarded install from an MCKF checked frame (the refiner's publication
+  /// path): checksum validation, then the index deserializer's full schema
+  /// walk. On any rejection the incumbent index keeps serving.
+  FrontVerdict offer_front_frame(std::span<const std::uint8_t> frame);
+
+  std::shared_ptr<const ParetoFrontIndex> front_index() const;
+
+  /// Front-tier lookup: resolve the constraint's bucket (with
+  /// dominating-bucket sharing, skipping tombstoned buckets), then answer
+  /// the SLO query on the front — max accuracy within the latency budget,
+  /// or cheapest at the accuracy floor — with `calib` applied per point.
+  /// Counts front_hits()/front_misses(); a cache without an installed index
+  /// returns nullopt without counting, so the front tier is inert until
+  /// someone installs one.
+  std::optional<Decision> front_query(const rl::ConstraintPoint& c,
+                                      const LatencyCalibration* calib = nullptr);
+
+  /// Drift response: tombstone every bucket whose front places work on
+  /// `device`, so queries fall back to unaffected buckets (or the policy)
+  /// until the refiner republishes. Returns buckets newly tombstoned.
+  std::size_t invalidate_fronts_touching(std::size_t device);
 
   /// Purge every entry whose decision matches `pred` (e.g. strategies that
   /// place work on a device now known dead). Survivors keep their relative
@@ -65,6 +116,19 @@ class StrategyCache {
   std::uint64_t lookups() const noexcept { return lookups_.value(); }
   std::uint64_t evictions() const noexcept { return evictions_.value(); }
   std::uint64_t invalidations() const noexcept { return invalidations_.value(); }
+  /// Front-tier counters, independent of the exact-memo triple above so
+  /// lookups() == hits() + misses() stays intact.
+  std::uint64_t front_hits() const noexcept { return front_hits_.value(); }
+  std::uint64_t front_misses() const noexcept { return front_misses_.value(); }
+  std::uint64_t front_installs() const noexcept {
+    return front_installs_.value();
+  }
+  std::uint64_t front_rejects() const noexcept {
+    return front_rejects_.value();
+  }
+  std::uint64_t front_invalidations() const noexcept {
+    return front_invalidations_.value();
+  }
   double hit_rate() const noexcept {
     const auto total = hits() + misses();
     return total ? static_cast<double>(hits()) / static_cast<double>(total)
@@ -73,14 +137,24 @@ class StrategyCache {
 
  private:
   std::uint64_t key_of(const rl::ConstraintPoint& c) const noexcept;
+  /// Resolve `k` against the current index honoring tombstones, memoized.
+  /// Caller must hold mutex_ and keep a shared_ptr to the index alive.
+  const ParetoFront* resolve_front_locked(const FrontKey& k);
 
   const MurmurationEnv& env_;
   std::size_t capacity_;
-  mutable std::mutex mutex_;  // guards lru_ and map_
+  mutable std::mutex mutex_;  // guards lru_, map_ and the front-tier state
   // LRU: most-recent at front.
   std::list<std::pair<std::uint64_t, Decision>> lru_;
   std::unordered_map<std::uint64_t, decltype(lru_)::iterator> map_;
+  // Front tier: immutable index shared with readers; tombstones and the
+  // resolve memo are per-generation (cleared on every install).
+  std::shared_ptr<const ParetoFrontIndex> front_;
+  std::unordered_set<FrontKey, FrontKeyHash> front_tombstones_;
+  std::unordered_map<FrontKey, const ParetoFront*, FrontKeyHash> front_memo_;
   obs::Counter hits_, misses_, evictions_, invalidations_, lookups_;
+  obs::Counter front_hits_, front_misses_, front_installs_, front_rejects_,
+      front_invalidations_;
 };
 
 }  // namespace murmur::core

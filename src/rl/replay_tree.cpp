@@ -6,6 +6,13 @@
 
 namespace murmur::rl {
 
+bool coords_dominate(std::span<const std::int8_t> a,
+                     std::span<const std::int8_t> b) noexcept {
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] > b[i]) return false;
+  return true;
+}
+
 BucketedReplayTree::BucketedReplayTree(int dims, int grid_points,
                                        std::size_t queue_size)
     : dims_(dims), grid_(grid_points), queue_size_(queue_size) {
@@ -33,9 +40,7 @@ BucketKey BucketedReplayTree::filing_key_of(const ConstraintPoint& c) const {
 
 bool BucketedReplayTree::dominates(const BucketKey& a,
                                    const BucketKey& b) noexcept {
-  for (std::size_t i = 0; i < a.coords.size(); ++i)
-    if (a.coords[i] > b.coords[i]) return false;
-  return true;
+  return coords_dominate(a.coords, b.coords);
 }
 
 bool BucketedReplayTree::insert(ReplayEntry entry) {
@@ -112,6 +117,14 @@ const ReplayEntry* BucketedReplayTree::random_entry(Rng& rng) const {
     idx -= bucket.queue.size();
   }
   return nullptr;
+}
+
+std::unique_ptr<BucketedReplayTree> BucketedReplayTree::clone(
+    std::size_t queue_size) const {
+  auto out = std::make_unique<BucketedReplayTree>(
+      dims_, grid_, queue_size ? queue_size : queue_size_);
+  for (const ReplayEntry* e : all_entries()) out->insert(*e);
+  return out;
 }
 
 std::vector<const ReplayEntry*> BucketedReplayTree::all_entries() const {

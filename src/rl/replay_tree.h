@@ -20,7 +20,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +30,15 @@
 #include "rl/trajectory.h"
 
 namespace murmur::rl {
+
+/// Elementwise tightness dominance over grid-quantized constraint
+/// coordinates (0 = tightest): `a` dominates `b` when `a` is
+/// tighter-or-equal in EVERY dimension — the Fig 7 relation shared by the
+/// replay tree's bucket ancestry and the Pareto-front store's
+/// condition-bucket sharing (core/pareto_front.h). Spans must be the same
+/// length; a point trivially dominates itself.
+bool coords_dominate(std::span<const std::int8_t> a,
+                     std::span<const std::int8_t> b) noexcept;
 
 struct BucketKey {
   std::vector<std::int8_t> coords;
@@ -92,6 +103,12 @@ class BucketedReplayTree {
 
   /// All stored entries (checkpointing / inspection).
   std::vector<const ReplayEntry*> all_entries() const;
+
+  /// Deep copy rebuilt entry by entry (the sharing memo holds raw bucket
+  /// pointers, so there is no copy constructor). `queue_size` overrides the
+  /// clone's per-bucket depth; 0 keeps this tree's. Used by the online
+  /// adapter's trainer-private stores and the Pareto-front refiner.
+  std::unique_ptr<BucketedReplayTree> clone(std::size_t queue_size = 0) const;
 
  private:
   struct Bucket {

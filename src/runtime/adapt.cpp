@@ -65,14 +65,10 @@ std::unique_ptr<rl::PolicyNetwork> OnlineAdapter::clone_policy(
 
 std::unique_ptr<rl::BucketedReplayTree> OnlineAdapter::clone_replay(
     const rl::BucketedReplayTree* src) const {
-  // No copy constructor: the tree's sharing memo holds raw bucket pointers,
-  // so a clone is rebuilt entry by entry (same pattern as checkpoint load).
-  auto clone = std::make_unique<rl::BucketedReplayTree>(
+  if (src) return src->clone(opts_.bucket_queue);
+  return std::make_unique<rl::BucketedReplayTree>(
       shadow_env_.constraint_dims(), shadow_env_.grid_points(),
       opts_.bucket_queue);
-  if (src)
-    for (const rl::ReplayEntry* e : src->all_entries()) clone->insert(*e);
-  return clone;
 }
 
 void OnlineAdapter::observe_outcome(const ServingSample& sample) {

@@ -5,6 +5,7 @@
 
 #include "obs/trace.h"
 #include "runtime/adapt.h"
+#include "runtime/pareto_refiner.h"
 
 namespace murmur::runtime {
 
@@ -122,6 +123,22 @@ core::Decision MurmurationSystem::decide(const rl::ConstraintPoint& c,
         return *std::move(hit);
       }
       if (obs::enabled()) obs::add("cache.requalified");
+    }
+    // Tier 2 (DESIGN.md §5.15): a precomputed Pareto front answers the SLO
+    // query by binary search — no rollout, no store sweep, and no decision
+    // mutex. Hits are memoized into tier 1 so bucket-mates skip even the
+    // front search. Inert until an index is installed.
+    if (auto fd = cache_.front_query(c, calib)) {
+      *cache_hit = true;
+      if (obs::enabled()) obs::add("decision.front_hit");
+      cache_.put(c, *fd);
+      return *std::move(fd);
+    }
+    if (cache_.front_index() != nullptr) {
+      if (obs::enabled()) obs::add("decision.front_miss");
+      // Uncovered bucket: hand it to the background refiner and fall
+      // through to the policy path for this request.
+      if (front_refiner_) front_refiner_->request(c);
     }
   }
   *cache_hit = false;
@@ -246,6 +263,11 @@ PlannedRequest MurmurationSystem::plan_request_impl(const RequestContext& ctx,
                 return d < used.size() && used[d];
               });
           if (purged > 0) obs::add("adapt.cache_purged", purged);
+          // Drift on device d also poisons every front bucket whose
+          // strategies place work there: tombstone those buckets only, so
+          // unaffected conditions keep their fast path.
+          const std::size_t fronts = cache_.invalidate_fronts_touching(d);
+          if (fronts > 0) obs::add("adapt.front_buckets_purged", fronts);
         }
       }
     } else {

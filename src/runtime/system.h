@@ -37,6 +37,7 @@
 namespace murmur::runtime {
 
 class OnlineAdapter;  // runtime/adapt.h
+class FrontRefiner;   // runtime/pareto_refiner.h
 
 struct SystemOptions {
   core::Slo slo = core::Slo::latency_ms(200.0);
@@ -232,7 +233,19 @@ class MurmurationSystem {
   void attach_adapter(OnlineAdapter* adapter) noexcept { adapter_ = adapter; }
   OnlineAdapter* adapter() const noexcept { return adapter_; }
 
+  /// Attach the background Pareto-front refiner (runtime/pareto_refiner.h;
+  /// not owned, must outlive the system or be detached with nullptr). With
+  /// one attached, front-tier misses enqueue their bucket so the refiner
+  /// builds and republishes it; without one the front index stays whatever
+  /// was last installed.
+  void attach_front_refiner(FrontRefiner* refiner) noexcept {
+    front_refiner_ = refiner;
+  }
+  FrontRefiner* front_refiner() const noexcept { return front_refiner_; }
+
   const core::StrategyCache& cache() const noexcept { return cache_; }
+  /// Mutable cache access (front-index installation, refiner wiring).
+  core::StrategyCache& cache() noexcept { return cache_; }
   const core::MurmurationEnv& env() const noexcept { return *artifacts_.env; }
   const rl::PolicyNetwork& policy() const noexcept {
     return *artifacts_.policy;
@@ -267,6 +280,7 @@ class MurmurationSystem {
   std::unique_ptr<DistributedExecutor> executor_;
   mutable BreakerBoard breakers_;  // admitted_mask transitions open->half-open
   OnlineAdapter* adapter_ = nullptr;  // optional, not owned
+  FrontRefiner* front_refiner_ = nullptr;  // optional, not owned
   std::atomic<int> replica_id_{-1};
   Rng rng_;
   double sim_time_ms_ = 0.0;

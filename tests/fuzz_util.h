@@ -145,4 +145,30 @@ inline CorpusStats fuzz_corruption_corpus(std::span<const std::uint8_t> clean,
   return stats;
 }
 
+/// Outcome of one sweep_checked_frame run.
+struct CheckedFrameStats {
+  std::size_t bit_flip_survivors = 0;
+  std::size_t truncation_survivors = 0;
+  CorpusStats corpus;
+  std::size_t total_accepted() const noexcept {
+    return bit_flip_survivors + truncation_survivors + corpus.accepted;
+  }
+};
+
+/// Combined hardening sweep for an MCKF checked frame (encode_checked
+/// container): every single-bit flip, every strict truncation, and the
+/// seeded corruption corpus, all against one decoder. A correctly
+/// checksummed container format yields total_accepted() == 0 — the
+/// assertion both the policy-snapshot and the serialized-Pareto-front
+/// harnesses pin.
+inline CheckedFrameStats sweep_checked_frame(
+    std::span<const std::uint8_t> clean, const Accepts& accepts,
+    std::uint64_t seed, int corpus_trials = 300) {
+  CheckedFrameStats s;
+  s.bit_flip_survivors = count_bit_flip_survivors(clean, accepts);
+  s.truncation_survivors = count_truncation_survivors(clean, accepts);
+  s.corpus = fuzz_corruption_corpus(clean, accepts, seed, corpus_trials);
+  return s;
+}
+
 }  // namespace murmur::testfuzz

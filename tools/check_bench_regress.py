@@ -15,9 +15,10 @@ Regression policy (both sides compared leaf-by-leaf on matching JSON paths):
     the replica-sweep scaling factors speedup_2x / speedup_4x, and the
     regime-shift bench's online recovered_compliance) fail when the
     current value drops more than `threshold` below baseline;
-  * lower-is-better keys — tail latencies (p99_ms, p99, max_ms), per-shape
-    kernel times (real_time_ns, BENCH_kernels.json), the replica sweep's
-    supernet switches_per_batch, and the regime-shift bench's online
+  * lower-is-better keys — tail latencies (p99_ms, p99, max_ms, and the
+    decision-path bench's microsecond-scale p99_us), per-shape kernel
+    times (real_time_ns, BENCH_kernels.json), the replica sweep's supernet
+    switches_per_batch, and the regime-shift bench's online
     recovery_time_ms — fail when the current value rises more than
     `threshold` above baseline.
 The frozen policy's post-shift final_compliance is intentionally NOT
@@ -47,6 +48,7 @@ HIGHER_BETTER = (
 LOWER_BETTER = (
     "p99_ms",
     "p99",
+    "p99_us",
     "max_ms",
     "real_time_ns",
     "switches_per_batch",
